@@ -1,0 +1,42 @@
+// Reproduces Fig. 7: total node accesses during insertion, SWST vs MV3R,
+// for datasets of 1M / 2.5M / 5M records (scaled by SWST_BENCH_SCALE).
+//
+// Paper shape: the two indexes are comparable. SWST pays two insertions
+// plus one deletion per arrival (close previous entry, insert closed,
+// insert new current); MV3R pays one update and one insertion.
+
+#include <cstdio>
+
+#include "bench/workload.h"
+
+int main() {
+  using namespace swst;
+  using namespace swst::bench;
+
+  const double scale = ScaleFromEnv();
+  std::printf("# Fig 7: insertion node accesses (SWST vs MV3R)\n");
+  std::printf("# scale=%.3f of paper dataset sizes (1M/2.5M/5M records)\n",
+              scale);
+  std::printf("%12s %14s %18s %18s %12s\n", "objects", "records",
+              "swst_insert_io", "mv3r_insert_io", "ratio");
+
+  for (uint64_t paper_objects : {10000ull, 25000ull, 50000ull}) {
+    const uint64_t objects = ScaledObjects(paper_objects, scale);
+    Instances inst = MakeInstances(PaperSwstOptions());
+    const GstdOptions gstd = PaperGstdOptions(objects);
+
+    LoadResult swst_load = LoadSwst(inst.swst.get(), inst.swst_pool.get(),
+                                    gstd);
+    LoadResult mv3r_load = LoadMv3r(inst.mv3r.get(), inst.mv3r_pool.get(),
+                                    gstd);
+
+    std::printf("%12llu %14llu %18llu %18llu %12.2f\n",
+                static_cast<unsigned long long>(objects),
+                static_cast<unsigned long long>(swst_load.records),
+                static_cast<unsigned long long>(swst_load.node_accesses),
+                static_cast<unsigned long long>(mv3r_load.node_accesses),
+                static_cast<double>(swst_load.node_accesses) /
+                    static_cast<double>(mv3r_load.node_accesses));
+  }
+  return 0;
+}

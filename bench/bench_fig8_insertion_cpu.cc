@@ -1,0 +1,40 @@
+// Reproduces Fig. 8: CPU execution time of the insertion workload, SWST vs
+// MV3R (scaled by SWST_BENCH_SCALE).
+//
+// Paper shape: SWST is ~5x faster. MV3R's heuristics (version splits,
+// sibling merges, multi-path descent with overlap) cost far more CPU than
+// a B+ tree's simple search and split routines.
+
+#include <cstdio>
+
+#include "bench/workload.h"
+
+int main() {
+  using namespace swst;
+  using namespace swst::bench;
+
+  const double scale = ScaleFromEnv();
+  std::printf("# Fig 8: insertion CPU time (SWST vs MV3R)\n");
+  std::printf("# scale=%.3f of paper dataset sizes (1M/2.5M/5M records)\n",
+              scale);
+  std::printf("%12s %14s %14s %14s %14s\n", "objects", "records",
+              "swst_cpu_s", "mv3r_cpu_s", "mv3r/swst");
+
+  for (uint64_t paper_objects : {10000ull, 25000ull, 50000ull}) {
+    const uint64_t objects = ScaledObjects(paper_objects, scale);
+    Instances inst = MakeInstances(PaperSwstOptions());
+    const GstdOptions gstd = PaperGstdOptions(objects);
+
+    LoadResult swst_load = LoadSwst(inst.swst.get(), inst.swst_pool.get(),
+                                    gstd);
+    LoadResult mv3r_load = LoadMv3r(inst.mv3r.get(), inst.mv3r_pool.get(),
+                                    gstd);
+
+    std::printf("%12llu %14llu %14.3f %14.3f %14.2f\n",
+                static_cast<unsigned long long>(objects),
+                static_cast<unsigned long long>(swst_load.records),
+                swst_load.cpu_seconds, mv3r_load.cpu_seconds,
+                mv3r_load.cpu_seconds / swst_load.cpu_seconds);
+  }
+  return 0;
+}

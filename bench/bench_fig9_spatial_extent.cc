@@ -1,0 +1,79 @@
+// Reproduces Fig. 9: average search node accesses vs query spatial extent
+// (0.5%, 1%, 4% of the area), on the 5M-record dataset with a 10% time
+// interval, 200 queries inside the current window at steady state.
+//
+// Paper shape: SWST beats MV3R up to ~4% spatial extent and the gap widens
+// as the extent shrinks. SWST's spatial discrimination below the grid
+// comes from two mechanisms — the Z-curve bits in the B+ key and the
+// isPresent memo's MBR check — so all four on/off combinations are
+// reported (DESIGN.md ablations 2 and 3).
+
+#include <cstdio>
+
+#include "bench/workload.h"
+
+int main() {
+  using namespace swst;
+  using namespace swst::bench;
+
+  const double scale = ScaleFromEnv();
+  const uint64_t objects = ScaledObjects(50000, scale);
+  std::printf("# Fig 9: avg search node accesses vs spatial extent\n");
+  std::printf("# dataset=%llu objects (scale=%.3f of 50K), interval=10%%, "
+              "200 queries\n",
+              static_cast<unsigned long long>(objects), scale);
+
+  struct Variant {
+    const char* name;
+    bool memo;
+    bool zcurve;
+    std::unique_ptr<Pager> pager;
+    std::unique_ptr<BufferPool> pool;
+    std::unique_ptr<SwstIndex> idx;
+  };
+  Variant variants[] = {
+      {"swst", true, true, nullptr, nullptr, nullptr},
+      {"swst_nozc", true, false, nullptr, nullptr, nullptr},
+      {"swst_nomemo", false, true, nullptr, nullptr, nullptr},
+      {"swst_nomemo_nozc", false, false, nullptr, nullptr, nullptr},
+  };
+
+  const GstdOptions gstd = PaperGstdOptions(objects);
+  const Timestamp cap = 95000;  // Query at steady state.
+  for (Variant& v : variants) {
+    SwstOptions o = PaperSwstOptions();
+    o.use_memo = v.memo;
+    o.use_zcurve = v.zcurve;
+    v.pager = Pager::OpenMemory();
+    v.pool = std::make_unique<BufferPool>(v.pager.get(), 1 << 17);
+    auto idx = SwstIndex::Create(v.pool.get(), o);
+    if (!idx.ok()) return 1;
+    v.idx = std::move(*idx);
+    LoadSwst(v.idx.get(), v.pool.get(), gstd, cap);
+  }
+
+  auto mv3r_pager = Pager::OpenMemory();
+  BufferPool mv3r_pool(mv3r_pager.get(), 1 << 17);
+  auto mv3r = Mv3rTree::Create(&mv3r_pool);
+  if (!mv3r.ok()) return 1;
+  LoadMv3r(mv3r->get(), &mv3r_pool, gstd, cap);
+
+  const TimeInterval win = variants[0].idx->QueriablePeriod();
+  std::printf("%16s %10s %12s %14s %18s %10s\n", "spatial_extent", "swst_io",
+              "swst_nozc_io", "swst_nomemo_io", "swst_nomemo_nozc_io",
+              "mv3r_io");
+  for (double extent : {0.005, 0.01, 0.04}) {
+    auto queries =
+        MakeQueries(PaperSwstOptions().space, win, extent, 0.10, 200, 7);
+    double io[4];
+    for (int i = 0; i < 4; ++i) {
+      io[i] = RunSwstQueries(variants[i].idx.get(), variants[i].pool.get(),
+                             queries)
+                  .avg_node_accesses;
+    }
+    QueryResult m = RunMv3rQueries(mv3r->get(), &mv3r_pool, queries);
+    std::printf("%15.1f%% %10.1f %12.1f %14.1f %18.1f %10.1f\n", extent * 100,
+                io[0], io[1], io[2], io[3], m.avg_node_accesses);
+  }
+  return 0;
+}

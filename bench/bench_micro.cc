@@ -1,0 +1,161 @@
+// Google-benchmark micro suite for SWST's building blocks: key encoding,
+// Z-order curves, B+ tree operations, and the multi-range level-wise
+// search against the naive per-range descent (DESIGN.md ablation 4).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/random.h"
+#include "swst/temporal_key.h"
+#include "zorder/hilbert.h"
+#include "zorder/zorder.h"
+
+namespace swst {
+namespace {
+
+void BM_ZEncode(benchmark::State& state) {
+  Random rng(1);
+  uint32_t x = static_cast<uint32_t>(rng.Next());
+  uint32_t y = static_cast<uint32_t>(rng.Next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ZEncode(x, y));
+    x += 7;
+    y += 13;
+  }
+}
+BENCHMARK(BM_ZEncode);
+
+void BM_ZDecode(benchmark::State& state) {
+  uint64_t z = 0x123456789ABCDEFULL;
+  uint32_t x, y;
+  for (auto _ : state) {
+    ZDecode(z, &x, &y);
+    benchmark::DoNotOptimize(x);
+    z += 0x10001;
+  }
+}
+BENCHMARK(BM_ZDecode);
+
+void BM_HilbertEncode(benchmark::State& state) {
+  uint32_t x = 12345, y = 54321;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HilbertEncode(x & 0xFFFF, y & 0xFFFF, 16));
+    x += 7;
+    y += 13;
+  }
+}
+BENCHMARK(BM_HilbertEncode);
+
+void BM_KeyEncode(benchmark::State& state) {
+  SwstOptions o;
+  KeyCodec codec(o);
+  Random rng(2);
+  Timestamp s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        codec.MakeKey(s, 1 + (s % o.max_duration), (s * 7) & 0xFF,
+                      (s * 13) & 0xFF));
+    s++;
+  }
+}
+BENCHMARK(BM_KeyEncode);
+
+std::unique_ptr<Pager> g_pager;
+std::unique_ptr<BufferPool> g_pool;
+
+BufferPool* SharedPool() {
+  if (!g_pool) {
+    g_pager = Pager::OpenMemory();
+    g_pool = std::make_unique<BufferPool>(g_pager.get(), 1 << 16);
+  }
+  return g_pool.get();
+}
+
+void BM_BTreeInsert(benchmark::State& state) {
+  auto tree = BTree::Create(SharedPool());
+  BTree t = std::move(*tree);
+  Random rng(3);
+  Entry e{};
+  for (auto _ : state) {
+    e.oid++;
+    benchmark::DoNotOptimize(t.Insert(rng.Next() >> 16, e).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+  (void)t.Drop();
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreePointScan(benchmark::State& state) {
+  auto tree = BTree::Create(SharedPool());
+  BTree t = std::move(*tree);
+  Random rng(4);
+  for (int i = 0; i < 100000; ++i) {
+    (void)t.Insert(rng.Uniform(1 << 20), Entry{});
+  }
+  Random qrng(5);
+  for (auto _ : state) {
+    uint64_t k = qrng.Uniform(1 << 20);
+    int n = 0;
+    (void)t.Scan(k, k, [&n](const BTreeRecord&) {
+      n++;
+      return true;
+    });
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations());
+  (void)t.Drop();
+}
+BENCHMARK(BM_BTreePointScan);
+
+// Multi-range search vs naive per-range descents on R adjacent ranges.
+void MultiRangeCommon(benchmark::State& state, bool naive) {
+  auto tree = BTree::Create(SharedPool());
+  BTree t = std::move(*tree);
+  Random rng(6);
+  for (int i = 0; i < 200000; ++i) {
+    (void)t.Insert(rng.Uniform(1 << 20), Entry{});
+  }
+  const int num_ranges = static_cast<int>(state.range(0));
+  std::vector<KeyRange> ranges;
+  const uint64_t step = (1 << 20) / num_ranges;
+  for (int i = 0; i < num_ranges; ++i) {
+    ranges.push_back(KeyRange{i * step, i * step + step / 2});
+  }
+  uint64_t total_io = 0;
+  for (auto _ : state) {
+    const uint64_t before = SharedPool()->stats().logical_reads;
+    int n = 0;
+    auto fn = [&n](const BTreeRecord&) {
+      n++;
+      return true;
+    };
+    if (naive) {
+      (void)t.SearchRangesNaive(ranges, fn);
+    } else {
+      (void)t.SearchRanges(ranges, fn);
+    }
+    benchmark::DoNotOptimize(n);
+    total_io += SharedPool()->stats().logical_reads - before;
+  }
+  state.counters["node_io"] = benchmark::Counter(
+      static_cast<double>(total_io) / state.iterations());
+  (void)t.Drop();
+}
+
+void BM_MultiRangeSearch(benchmark::State& state) {
+  MultiRangeCommon(state, /*naive=*/false);
+}
+BENCHMARK(BM_MultiRangeSearch)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_MultiRangeSearchNaive(benchmark::State& state) {
+  MultiRangeCommon(state, /*naive=*/true);
+}
+BENCHMARK(BM_MultiRangeSearchNaive)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace swst
+
+BENCHMARK_MAIN();

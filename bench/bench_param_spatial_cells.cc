@@ -1,0 +1,47 @@
+// Reproduces the §V-E grid ablation: query cost as the number of spatial
+// cells varies. The paper reports that 200-1200 cells work well, with
+// 300-600 best at these settings (it uses 400).
+//
+// Too few cells lose spatial discrimination inside a cell; too many cells
+// multiply the per-cell temporal searches and the statistics overhead.
+
+#include <cstdio>
+
+#include "bench/workload.h"
+
+int main() {
+  using namespace swst;
+  using namespace swst::bench;
+
+  const double scale = ScaleFromEnv();
+  const uint64_t objects = ScaledObjects(50000, scale);
+  std::printf("# Param: spatial cell count sweep (paper SV-E)\n");
+  std::printf("# dataset=%llu objects (scale=%.3f), spatial=1%%, "
+              "interval=10%%, 200 queries\n",
+              static_cast<unsigned long long>(objects), scale);
+  std::printf("%8s %8s %12s %14s %16s\n", "grid", "cells", "query_io",
+              "insert_io", "stats_bytes");
+
+  for (uint32_t p : {10u, 15u, 20u, 25u, 30u, 35u}) {
+    SwstOptions o = PaperSwstOptions();
+    o.x_partitions = p;
+    o.y_partitions = p;
+
+    auto pager = Pager::OpenMemory();
+    BufferPool pool(pager.get(), 1 << 17);
+    auto idx = SwstIndex::Create(&pool, o);
+    if (!idx.ok()) return 1;
+
+    LoadResult load =
+        LoadSwst(idx->get(), &pool, PaperGstdOptions(objects), 95000);
+    const TimeInterval win = (*idx)->QueriablePeriod();
+    auto queries = MakeQueries(o.space, win, 0.01, 0.10, 200, 17);
+    QueryResult q = RunSwstQueries(idx->get(), &pool, queries);
+
+    std::printf("%5ux%-3u %8u %12.1f %14llu %16zu\n", p, p, p * p,
+                q.avg_node_accesses,
+                static_cast<unsigned long long>(load.node_accesses),
+                (*idx)->StatisticsMemoryUsage());
+  }
+  return 0;
+}

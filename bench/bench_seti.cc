@@ -1,0 +1,140 @@
+// SETI vs SWST (paper §II): both are grid + per-cell temporal structures,
+// but SETI *fully decouples* space from time below the grid, and keeps its
+// page-level sparse index in RAM. Two workloads expose the trade-offs:
+// normal durations (both prune well; SETI pays no on-disk index levels but
+// its index memory grows with the data) and 4% long durations (stretched
+// page end-bounds defeat SETI's timeslice pruning — the decoupling
+// critique). Expiry is reported too: SETI's FIFO page drops are the one
+// retention story among the historical baselines.
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "bench/workload.h"
+#include "seti/seti_index.h"
+
+namespace {
+
+using namespace swst;
+using namespace swst::bench;
+
+struct ClosedStream {
+  std::vector<Entry> entries;  // In global start order.
+};
+
+ClosedStream MakeClosedStream(const GstdOptions& gstd, Timestamp cap) {
+  ClosedStream s;
+  GstdGenerator gen(gstd);
+  std::unordered_map<ObjectId, GstdRecord> open;
+  GstdRecord rec;
+  while (gen.Next(&rec)) {
+    if (rec.t > cap) continue;
+    auto it = open.find(rec.oid);
+    if (it != open.end() && rec.t > it->second.t) {
+      s.entries.push_back(Entry{rec.oid, it->second.pos, it->second.t,
+                                rec.t - it->second.t});
+    }
+    open[rec.oid] = rec;
+  }
+  // SETI needs per-cell non-decreasing starts; the stream is globally
+  // start-ordered already because closes happen in report order.
+  std::stable_sort(s.entries.begin(), s.entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.start < b.start;
+                   });
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = ScaleFromEnv();
+  const uint64_t objects = ScaledObjects(25000, scale);
+  std::printf("# SETI vs SWST: the cost of full spatio-temporal "
+              "decoupling (paper SII)\n");
+  std::printf("# dataset=%llu objects (scale=%.3f of 25K), spatial=1%%, "
+              "200 queries\n",
+              static_cast<unsigned long long>(objects), scale);
+
+  std::printf("%12s %16s %10s %10s %14s %14s\n", "workload", "interval",
+              "swst_io", "seti_io", "swst_expire", "seti_expire");
+
+  for (int long_mode = 0; long_mode < 2; ++long_mode) {
+    GstdOptions gstd = PaperGstdOptions(objects);
+    SwstOptions so = PaperSwstOptions();
+    if (long_mode) {
+      gstd.long_duration_fraction = 0.04;
+      gstd.long_duration_max = 20000;
+      so.max_duration = 20000;
+      so.duration_interval = 1000;
+    }
+    const Timestamp cap = long_mode ? 120000 : 95000;
+    ClosedStream stream = MakeClosedStream(gstd, cap);
+
+    // SWST.
+    auto swst_pager = Pager::OpenMemory();
+    BufferPool swst_pool(swst_pager.get(), 1 << 17);
+    auto swst = SwstIndex::Create(&swst_pool, so);
+    if (!swst.ok()) return 1;
+    for (const Entry& e : stream.entries) {
+      Status st = (*swst)->Insert(e);
+      if (!st.ok() && !st.IsInvalidArgument()) return 1;
+    }
+    // SETI.
+    SetiOptions seo;
+    seo.space = so.space;
+    seo.x_partitions = so.x_partitions;
+    seo.y_partitions = so.y_partitions;
+    auto seti_pager = Pager::OpenMemory();
+    BufferPool seti_pool(seti_pager.get(), 1 << 17);
+    auto seti = SetiIndex::Create(&seti_pool, seo);
+    if (!seti.ok()) return 1;
+    for (const Entry& e : stream.entries) {
+      if (!(*seti)->Insert(e).ok()) return 1;
+    }
+
+    const TimeInterval win = (*swst)->QueriablePeriod();
+    for (double extent : {0.0, 0.10}) {
+      auto queries = MakeQueries(so.space, win, 0.01, extent, 200, 41);
+      QueryResult s = RunSwstQueries(swst->get(), &swst_pool, queries);
+      uint64_t seti_before = seti_pool.stats().logical_reads;
+      for (const WindowQuery& q : queries) {
+        auto r = (*seti)->IntervalQuery(q.area, q.interval, win.lo);
+        if (!r.ok()) return 1;
+      }
+      const double seti_io =
+          static_cast<double>(seti_pool.stats().logical_reads - seti_before) /
+          queries.size();
+      std::printf("%12s %15.0f%% %10.1f %10.1f %14s %14s\n",
+                  long_mode ? "4%-long" : "normal", extent * 100,
+                  s.avg_node_accesses, seti_io, "-", "-");
+    }
+
+    // Expiry comparison: drop everything older than the window end.
+    const uint64_t swst_before = swst_pool.stats().logical_reads;
+    if (!(*swst)->Advance((*swst)->now() + 2 * so.epoch_length()).ok()) {
+      return 1;
+    }
+    const uint64_t swst_expire =
+        swst_pool.stats().logical_reads - swst_before;
+    const uint64_t seti_before = seti_pool.stats().logical_reads;
+    auto freed = (*seti)->ExpireBefore(win.hi + 1);
+    if (!freed.ok()) return 1;
+    const uint64_t seti_expire =
+        seti_pool.stats().logical_reads - seti_before;
+    std::printf("%12s %16s %10s %10s %14llu %14llu\n",
+                long_mode ? "4%-long" : "normal", "(expiry)", "-", "-",
+                static_cast<unsigned long long>(swst_expire),
+                static_cast<unsigned long long>(seti_expire));
+  }
+  std::printf("# SETI's FIFO page drops match SWST's cheap expiry, and its "
+              "*in-memory* sparse page index saves disk levels at moderate "
+              "density —\n"
+              "# but that index grows linearly with the data (SWST's "
+              "statistics are constant-size), current entries are "
+              "unsupported,\n"
+              "# and long durations stretch page end-bounds, inflating "
+              "timeslice scans (compare the 0%% rows across workloads) — "
+              "the SII decoupling critique.\n");
+  return 0;
+}

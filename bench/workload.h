@@ -1,0 +1,276 @@
+#ifndef SWST_BENCH_WORKLOAD_H_
+#define SWST_BENCH_WORKLOAD_H_
+
+// Shared workload driver for the paper-reproduction benchmarks.
+//
+// Reproduces the experimental setup of §V (Table II): GSTD streams of
+// discretely moving points driven into SWST (the paper's index) and MV3R
+// (the baseline) with each index's streaming protocol, followed by 200
+// random window queries of configurable spatial/temporal extent. The cost
+// metric is buffer-pool node accesses, exactly as in the paper.
+//
+// `SWST_BENCH_SCALE` scales the dataset sizes (default 0.1 => 100K/250K/
+// 500K records instead of the paper's 1M/2.5M/5M) so the full suite runs
+// in minutes; set SWST_BENCH_SCALE=1 for paper scale.
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "gstd/gstd.h"
+#include "mv3r/mv3r_tree.h"
+#include "swst/swst_index.h"
+
+namespace swst {
+namespace bench {
+
+inline double ScaleFromEnv() {
+  const char* s = std::getenv("SWST_BENCH_SCALE");
+  if (s == nullptr) return 0.1;
+  const double v = std::atof(s);
+  return v > 0 ? v : 0.1;
+}
+
+/// Paper Table II defaults for the index.
+inline SwstOptions PaperSwstOptions() {
+  SwstOptions o;
+  o.space = Rect{{0, 0}, {10000, 10000}};
+  o.x_partitions = 20;
+  o.y_partitions = 20;
+  o.window_size = 20000;
+  o.slide = 100;
+  o.max_duration = 2000;
+  o.duration_interval = 100;
+  return o;
+}
+
+/// Paper Table II GSTD stream: `objects` objects x 100 records over
+/// T = [0, 100000].
+inline GstdOptions PaperGstdOptions(uint64_t objects, uint64_t seed = 42) {
+  GstdOptions g;
+  g.num_objects = objects;
+  g.records_per_object = 100;
+  g.max_time = 100000;
+  g.space = Rect{{0, 0}, {10000, 10000}};
+  g.max_step = 200.0;
+  g.seed = seed;
+  return g;
+}
+
+struct LoadResult {
+  uint64_t records = 0;
+  uint64_t node_accesses = 0;
+  double cpu_seconds = 0;
+  uint64_t live_pages = 0;
+};
+
+/// Drives a GSTD stream into an SWST index with the paper's protocol
+/// (close previous entry + insert new current: "two insertions and one
+/// deletion" per arrival).
+/// `time_cap` (if nonzero) drops records past that timestamp — used by the
+/// long-duration workload, where a few objects' report schedules stretch
+/// far beyond the dense region and would otherwise leave the final window
+/// nearly empty.
+inline LoadResult LoadSwst(SwstIndex* idx, BufferPool* pool,
+                           const GstdOptions& gstd_options,
+                           Timestamp time_cap = 0) {
+  GstdGenerator gen(gstd_options);
+  std::unordered_map<ObjectId, Entry> open;
+  open.reserve(gstd_options.num_objects);
+
+  LoadResult res;
+  const uint64_t reads_before = pool->stats().logical_reads;
+  const auto t0 = std::chrono::steady_clock::now();
+  GstdRecord rec;
+  while (gen.Next(&rec)) {
+    if (time_cap != 0 && rec.t > time_cap) continue;
+    auto it = open.find(rec.oid);
+    const Entry* prev = (it != open.end()) ? &it->second : nullptr;
+    Entry cur;
+    Status st = idx->ReportPosition(rec.oid, rec.pos, rec.t, prev, &cur);
+    if (!st.ok()) {
+      std::fprintf(stderr, "SWST load failed: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+    open[rec.oid] = cur;
+    res.records++;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  res.cpu_seconds = std::chrono::duration<double>(t1 - t0).count();
+  res.node_accesses = pool->stats().logical_reads - reads_before;
+  res.live_pages = pool->pager()->live_page_count();
+  return res;
+}
+
+/// Drives the same stream into MV3R ("one update and one insertion").
+inline LoadResult LoadMv3r(Mv3rTree* tree, BufferPool* pool,
+                           const GstdOptions& gstd_options,
+                           Timestamp time_cap = 0) {
+  GstdGenerator gen(gstd_options);
+  std::unordered_map<ObjectId, Point> open;
+  open.reserve(gstd_options.num_objects);
+
+  LoadResult res;
+  const uint64_t reads_before = pool->stats().logical_reads;
+  const auto t0 = std::chrono::steady_clock::now();
+  GstdRecord rec;
+  while (gen.Next(&rec)) {
+    if (time_cap != 0 && rec.t > time_cap) continue;
+    auto it = open.find(rec.oid);
+    Status st = (it != open.end())
+                    ? tree->Update(rec.oid, it->second, rec.pos, rec.t)
+                    : tree->Insert(rec.oid, rec.pos, rec.t);
+    if (!st.ok()) {
+      std::fprintf(stderr, "MV3R load failed: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+    open[rec.oid] = rec.pos;
+    res.records++;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  res.cpu_seconds = std::chrono::duration<double>(t1 - t0).count();
+  res.node_accesses = pool->stats().logical_reads - reads_before;
+  res.live_pages = pool->pager()->live_page_count();
+  return res;
+}
+
+/// One window query: a spatial rectangle plus a time interval inside the
+/// current queriable period.
+struct WindowQuery {
+  Rect area;
+  TimeInterval interval;
+};
+
+/// Generates `count` random queries inside the queriable period `win`.
+/// `spatial_extent` is the fraction of the total area (paper: 0.5%, 1%,
+/// 4%); `temporal_extent` the query interval length as a fraction of the
+/// total temporal domain T = 100000 (paper: 0%, 5%, 10%, 15% — 0 means a
+/// timeslice).
+inline std::vector<WindowQuery> MakeQueries(const Rect& space,
+                                            const TimeInterval& win,
+                                            double spatial_extent,
+                                            double temporal_extent,
+                                            int count, uint64_t seed) {
+  std::vector<WindowQuery> out;
+  out.reserve(count);
+  Random rng(seed);
+  const double side_frac = std::sqrt(spatial_extent);
+  const double w = space.Width() * side_frac;
+  const double h = space.Height() * side_frac;
+  const Timestamp total_t = 100000;
+  const auto dur = static_cast<Timestamp>(temporal_extent * total_t);
+  for (int i = 0; i < count; ++i) {
+    WindowQuery q;
+    const double x = rng.UniformDouble(space.lo.x, space.hi.x - w);
+    const double y = rng.UniformDouble(space.lo.y, space.hi.y - h);
+    q.area = Rect{{x, y}, {x + w, y + h}};
+    Timestamp max_lo = (win.hi - win.lo > dur) ? (win.hi - win.lo - dur) : 0;
+    q.interval.lo = win.lo + rng.Uniform(max_lo + 1);
+    q.interval.hi = q.interval.lo + dur;
+    out.push_back(q);
+  }
+  return out;
+}
+
+struct QueryResult {
+  double avg_node_accesses = 0;
+  double avg_results = 0;
+};
+
+inline QueryResult RunSwstQueries(SwstIndex* idx, BufferPool* pool,
+                                  const std::vector<WindowQuery>& queries) {
+  QueryResult res;
+  const uint64_t reads_before = pool->stats().logical_reads;
+  uint64_t results = 0;
+  for (const WindowQuery& q : queries) {
+    auto r = idx->IntervalQuery(q.area, q.interval);
+    if (!r.ok()) {
+      std::fprintf(stderr, "SWST query failed: %s\n",
+                   r.status().ToString().c_str());
+      std::abort();
+    }
+    results += r->size();
+  }
+  res.avg_node_accesses =
+      static_cast<double>(pool->stats().logical_reads - reads_before) /
+      queries.size();
+  res.avg_results = static_cast<double>(results) / queries.size();
+  return res;
+}
+
+inline QueryResult RunMv3rQueries(Mv3rTree* tree, BufferPool* pool,
+                                  const std::vector<WindowQuery>& queries) {
+  QueryResult res;
+  const uint64_t reads_before = pool->stats().logical_reads;
+  uint64_t results = 0;
+  for (const WindowQuery& q : queries) {
+    Result<std::vector<Entry>> r =
+        (q.interval.lo == q.interval.hi)
+            ? tree->TimestampQuery(q.area, q.interval.lo)
+            : tree->IntervalQuery(q.area, q.interval);
+    if (!r.ok()) {
+      std::fprintf(stderr, "MV3R query failed: %s\n",
+                   r.status().ToString().c_str());
+      std::abort();
+    }
+    results += r->size();
+  }
+  res.avg_node_accesses =
+      static_cast<double>(pool->stats().logical_reads - reads_before) /
+      queries.size();
+  res.avg_results = static_cast<double>(results) / queries.size();
+  return res;
+}
+
+/// Standard harness pieces.
+struct Instances {
+  std::unique_ptr<Pager> swst_pager;
+  std::unique_ptr<BufferPool> swst_pool;
+  std::unique_ptr<SwstIndex> swst;
+  std::unique_ptr<Pager> mv3r_pager;
+  std::unique_ptr<BufferPool> mv3r_pool;
+  std::unique_ptr<Mv3rTree> mv3r;
+};
+
+inline Instances MakeInstances(const SwstOptions& options,
+                               size_t pool_pages = 1 << 17) {
+  Instances inst;
+  inst.swst_pager = Pager::OpenMemory();
+  inst.swst_pool =
+      std::make_unique<BufferPool>(inst.swst_pager.get(), pool_pages);
+  auto idx = SwstIndex::Create(inst.swst_pool.get(), options);
+  if (!idx.ok()) {
+    std::fprintf(stderr, "SwstIndex::Create: %s\n",
+                 idx.status().ToString().c_str());
+    std::abort();
+  }
+  inst.swst = std::move(*idx);
+
+  inst.mv3r_pager = Pager::OpenMemory();
+  inst.mv3r_pool =
+      std::make_unique<BufferPool>(inst.mv3r_pager.get(), pool_pages);
+  auto tree = Mv3rTree::Create(inst.mv3r_pool.get());
+  if (!tree.ok()) {
+    std::fprintf(stderr, "Mv3rTree::Create: %s\n",
+                 tree.status().ToString().c_str());
+    std::abort();
+  }
+  inst.mv3r = std::move(*tree);
+  return inst;
+}
+
+inline uint64_t ScaledObjects(uint64_t paper_objects, double scale) {
+  uint64_t n = static_cast<uint64_t>(paper_objects * scale);
+  return n < 100 ? 100 : n;
+}
+
+}  // namespace bench
+}  // namespace swst
+
+#endif  // SWST_BENCH_WORKLOAD_H_

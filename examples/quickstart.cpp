@@ -1,0 +1,92 @@
+// Quickstart: create an SWST index, stream a few position reports, and run
+// the two query types the index supports (timeslice and interval).
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "swst/swst_index.h"
+
+using namespace swst;
+
+int main() {
+  // 1. Storage: a pager (file- or memory-backed) plus a buffer pool.
+  //    Use Pager::OpenFile("swst.db", true) for a real on-disk index.
+  std::unique_ptr<Pager> pager = Pager::OpenMemory();
+  BufferPool pool(pager.get(), /*capacity_pages=*/1024);
+
+  // 2. Index options: spatial domain, grid, window size W, slide L.
+  SwstOptions options;
+  options.space = Rect{{0, 0}, {1000, 1000}};
+  options.x_partitions = 10;
+  options.y_partitions = 10;
+  options.window_size = 600;  // Keep the last ~600 time units.
+  options.slide = 20;
+  options.max_duration = 100;
+  options.duration_interval = 20;
+
+  auto index_or = SwstIndex::Create(&pool, options);
+  if (!index_or.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 index_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<SwstIndex> index = std::move(*index_or);
+
+  // 3. Stream position reports. Each report opens a *current* entry; the
+  //    object's next report closes the previous one with its real duration.
+  Entry taxi7_prev, taxi9_prev;
+  Status st;
+  st = index->ReportPosition(/*oid=*/7, {100, 120}, /*t=*/10, nullptr,
+                             &taxi7_prev);
+  if (!st.ok()) return 1;
+  st = index->ReportPosition(9, {480, 510}, 15, nullptr, &taxi9_prev);
+  if (!st.ok()) return 1;
+  // Taxi 7 moves at t=70: its stay at (100,120) becomes a closed entry
+  // with duration 60.
+  st = index->ReportPosition(7, {220, 260}, 70, &taxi7_prev, &taxi7_prev);
+  if (!st.ok()) return 1;
+
+  // Closed entries with known duration can also be inserted directly.
+  st = index->Insert(Entry{/*oid=*/11, {500, 500}, /*start=*/40,
+                           /*duration=*/50});
+  if (!st.ok()) return 1;
+
+  // 4. Timeslice query: who was inside this rectangle at t=50?
+  auto slice = index->TimesliceQuery(Rect{{0, 0}, {600, 600}}, 50);
+  if (!slice.ok()) return 1;
+  std::printf("valid at t=50 in [0,600]^2:\n");
+  for (const Entry& e : *slice) {
+    std::printf("  %s\n", e.ToString().c_str());
+  }
+
+  // 5. Interval query with per-query statistics.
+  QueryStats stats;
+  auto range = index->IntervalQuery(Rect{{0, 0}, {1000, 1000}}, {20, 60}, {},
+                                    &stats);
+  if (!range.ok()) return 1;
+  std::printf("valid during [20,60] anywhere: %zu entries "
+              "(%llu node accesses, %llu candidates, %llu refined out)\n",
+              range->size(),
+              static_cast<unsigned long long>(stats.node_accesses),
+              static_cast<unsigned long long>(stats.candidates),
+              static_cast<unsigned long long>(stats.refined_out));
+
+  // 6. The window slides forward with time; expired entries vanish and
+  //    their pages are reclaimed wholesale.
+  st = index->Advance(2000);
+  if (!st.ok()) return 1;
+  auto later = index->TimesliceQuery(Rect{{0, 0}, {1000, 1000}}, 50);
+  if (!later.ok()) return 1;
+  std::printf("after advancing to t=2000, t=50 is outside the window: "
+              "%zu entries\n",
+              later->size());
+  std::printf("queriable period is now [%llu, %llu]\n",
+              static_cast<unsigned long long>(index->QueriablePeriod().lo),
+              static_cast<unsigned long long>(index->QueriablePeriod().hi));
+  return 0;
+}

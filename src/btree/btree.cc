@@ -1,0 +1,550 @@
+#include "btree/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "btree/btree_node.h"
+
+namespace swst {
+
+using btree_internal::InternalNode;
+using btree_internal::kInternalCapacity;
+using btree_internal::kInternalMin;
+using btree_internal::kInternalType;
+using btree_internal::kLeafCapacity;
+using btree_internal::kLeafMin;
+using btree_internal::kLeafType;
+using btree_internal::LeafNode;
+using btree_internal::LowerBoundChild;
+using btree_internal::LowerBoundRecord;
+using btree_internal::UpperBoundChild;
+using btree_internal::UpperBoundRecord;
+
+int BTree::LeafCapacity() { return kLeafCapacity; }
+int BTree::InternalCapacity() { return kInternalCapacity; }
+
+Result<BTree> BTree::Create(BufferPool* pool) {
+  auto page = pool->New();
+  if (!page.ok()) return page.status();
+  auto* leaf = page->As<LeafNode>();
+  leaf->header.type = kLeafType;
+  leaf->header.count = 0;
+  leaf->header.next = kInvalidPageId;
+  page->MarkDirty();
+  return BTree(pool, page->id());
+}
+
+BTree BTree::Attach(BufferPool* pool, PageId root) {
+  return BTree(pool, root);
+}
+
+namespace {
+
+// Inserts `rec` at index `pos` of a leaf, shifting the tail right.
+void LeafInsertAt(LeafNode* leaf, int pos, const BTreeRecord& rec) {
+  std::memmove(&leaf->records[pos + 1], &leaf->records[pos],
+               sizeof(BTreeRecord) * (leaf->header.count - pos));
+  leaf->records[pos] = rec;
+  leaf->header.count++;
+}
+
+void LeafRemoveAt(LeafNode* leaf, int pos) {
+  std::memmove(&leaf->records[pos], &leaf->records[pos + 1],
+               sizeof(BTreeRecord) * (leaf->header.count - pos - 1));
+  leaf->header.count--;
+}
+
+// Inserts separator `key` and right child at key index `pos` of an
+// internal node (children shift from pos+1).
+void InternalInsertAt(InternalNode* node, int pos, uint64_t key,
+                      PageId right_child) {
+  std::memmove(&node->keys[pos + 1], &node->keys[pos],
+               sizeof(uint64_t) * (node->header.count - pos));
+  std::memmove(&node->children[pos + 2], &node->children[pos + 1],
+               sizeof(PageId) * (node->header.count - pos));
+  node->keys[pos] = key;
+  node->children[pos + 1] = right_child;
+  node->header.count++;
+}
+
+// Removes separator key at `key_pos` and the child at `key_pos + 1`.
+void InternalRemoveAt(InternalNode* node, int key_pos) {
+  std::memmove(&node->keys[key_pos], &node->keys[key_pos + 1],
+               sizeof(uint64_t) * (node->header.count - key_pos - 1));
+  std::memmove(&node->children[key_pos + 1], &node->children[key_pos + 2],
+               sizeof(PageId) * (node->header.count - key_pos - 1));
+  node->header.count--;
+}
+
+}  // namespace
+
+Status BTree::Insert(uint64_t key, const Entry& entry) {
+  // Descend to the target leaf, recording the path for split propagation.
+  struct PathStep {
+    PageHandle handle;
+    int child_idx;
+  };
+  std::vector<PathStep> path;
+
+  auto cur = pool_->Fetch(root_);
+  if (!cur.ok()) return cur.status();
+  PageHandle node = std::move(*cur);
+  while (node.As<btree_internal::NodeHeader>()->type == kInternalType) {
+    auto* in = node.As<InternalNode>();
+    int idx = UpperBoundChild(in, key);
+    PageId child = in->children[idx];
+    path.push_back(PathStep{std::move(node), idx});
+    auto next = pool_->Fetch(child);
+    if (!next.ok()) return next.status();
+    node = std::move(*next);
+  }
+
+  auto* leaf = node.As<LeafNode>();
+  if (leaf->header.count < kLeafCapacity) {
+    int pos = UpperBoundRecord(leaf, key);
+    LeafInsertAt(leaf, pos, BTreeRecord{key, entry});
+    node.MarkDirty();
+    return Status::OK();
+  }
+
+  // Leaf split: move the upper half to a new right sibling.
+  auto right_page = pool_->New();
+  if (!right_page.ok()) return right_page.status();
+  auto* right = right_page->As<LeafNode>();
+  right->header.type = kLeafType;
+  const int split = kLeafCapacity / 2;
+  right->header.count = static_cast<uint16_t>(kLeafCapacity - split);
+  std::memcpy(right->records, &leaf->records[split],
+              sizeof(BTreeRecord) * right->header.count);
+  leaf->header.count = static_cast<uint16_t>(split);
+  right->header.next = leaf->header.next;
+  leaf->header.next = right_page->id();
+
+  uint64_t separator = right->records[0].key;
+  if (key < separator) {
+    LeafInsertAt(leaf, UpperBoundRecord(leaf, key), BTreeRecord{key, entry});
+  } else {
+    LeafInsertAt(right, UpperBoundRecord(right, key), BTreeRecord{key, entry});
+  }
+  node.MarkDirty();
+  right_page->MarkDirty();
+
+  // Propagate the separator up the recorded path.
+  PageId new_child = right_page->id();
+  node.Release();
+  right_page->Release();
+
+  while (!path.empty()) {
+    PathStep step = std::move(path.back());
+    path.pop_back();
+    auto* in = step.handle.As<InternalNode>();
+    if (in->header.count < kInternalCapacity) {
+      InternalInsertAt(in, step.child_idx, separator, new_child);
+      step.handle.MarkDirty();
+      return Status::OK();
+    }
+    // Internal split: middle key moves up.
+    auto new_right = pool_->New();
+    if (!new_right.ok()) return new_right.status();
+    auto* rin = new_right->As<InternalNode>();
+    rin->header.type = kInternalType;
+    rin->header.next = kInvalidPageId;
+    const int mid = kInternalCapacity / 2;
+    uint64_t up_key = in->keys[mid];
+    rin->header.count = static_cast<uint16_t>(kInternalCapacity - mid - 1);
+    std::memcpy(rin->keys, &in->keys[mid + 1],
+                sizeof(uint64_t) * rin->header.count);
+    std::memcpy(rin->children, &in->children[mid + 1],
+                sizeof(PageId) * (rin->header.count + 1));
+    in->header.count = static_cast<uint16_t>(mid);
+
+    if (step.child_idx <= mid) {
+      InternalInsertAt(in, step.child_idx, separator, new_child);
+    } else {
+      InternalInsertAt(rin, step.child_idx - mid - 1, separator, new_child);
+    }
+    step.handle.MarkDirty();
+    new_right->MarkDirty();
+    separator = up_key;
+    new_child = new_right->id();
+  }
+
+  // Root split: grow the tree by one level.
+  auto new_root = pool_->New();
+  if (!new_root.ok()) return new_root.status();
+  auto* rootn = new_root->As<InternalNode>();
+  rootn->header.type = kInternalType;
+  rootn->header.next = kInvalidPageId;
+  rootn->header.count = 1;
+  rootn->keys[0] = separator;
+  rootn->children[0] = root_;
+  rootn->children[1] = new_child;
+  new_root->MarkDirty();
+  root_ = new_root->id();
+  return Status::OK();
+}
+
+Status BTree::Delete(uint64_t key, ObjectId oid, Timestamp start) {
+  DeleteResult result;
+  SWST_RETURN_IF_ERROR(DeleteInSubtree(root_, 0, key, oid, start, &result));
+  if (!result.found) {
+    return Status::NotFound("BTree::Delete: no matching record");
+  }
+  // Collapse the root if it is an internal node with a single child.
+  auto root_page = pool_->Fetch(root_);
+  if (!root_page.ok()) return root_page.status();
+  if (root_page->As<btree_internal::NodeHeader>()->type == kInternalType &&
+      root_page->As<InternalNode>()->header.count == 0) {
+    PageId old_root = root_;
+    root_ = root_page->As<InternalNode>()->children[0];
+    root_page->Release();
+    SWST_RETURN_IF_ERROR(pool_->Free(old_root));
+  }
+  return Status::OK();
+}
+
+Status BTree::DeleteInSubtree(PageId node_id, int depth, uint64_t key,
+                              ObjectId oid, Timestamp start,
+                              DeleteResult* result) {
+  auto page = pool_->Fetch(node_id);
+  if (!page.ok()) return page.status();
+
+  if (page->As<btree_internal::NodeHeader>()->type == kLeafType) {
+    auto* leaf = page->As<LeafNode>();
+    int pos = LowerBoundRecord(leaf, key);
+    for (; pos < leaf->header.count && leaf->records[pos].key == key; ++pos) {
+      const Entry& e = leaf->records[pos].entry;
+      if (e.oid == oid && e.start == start) {
+        LeafRemoveAt(leaf, pos);
+        page->MarkDirty();
+        result->found = true;
+        result->underflow = leaf->header.count < kLeafMin;
+        return Status::OK();
+      }
+    }
+    result->found = false;
+    return Status::OK();
+  }
+
+  auto* in = page->As<InternalNode>();
+  int lb = LowerBoundChild(in, key);
+  int ub = UpperBoundChild(in, key);
+  for (int i = lb; i <= ub; ++i) {
+    DeleteResult child_result;
+    SWST_RETURN_IF_ERROR(DeleteInSubtree(in->children[i], depth + 1, key, oid,
+                                         start, &child_result));
+    if (!child_result.found) continue;
+    result->found = true;
+    if (child_result.underflow) {
+      SWST_RETURN_IF_ERROR(RebalanceChild(*page, i));
+    }
+    result->underflow = in->header.count < kInternalMin;
+    return Status::OK();
+  }
+  result->found = false;
+  return Status::OK();
+}
+
+Status BTree::RebalanceChild(PageHandle& parent, int child_idx) {
+  auto* in = parent.As<InternalNode>();
+  auto child_page = pool_->Fetch(in->children[child_idx]);
+  if (!child_page.ok()) return child_page.status();
+  const bool child_is_leaf =
+      child_page->As<btree_internal::NodeHeader>()->type == kLeafType;
+
+  // Try borrowing from the left sibling, then the right, then merge.
+  if (child_idx > 0) {
+    auto left_page = pool_->Fetch(in->children[child_idx - 1]);
+    if (!left_page.ok()) return left_page.status();
+    if (child_is_leaf) {
+      auto* left = left_page->As<LeafNode>();
+      auto* child = child_page->As<LeafNode>();
+      if (left->header.count > kLeafMin) {
+        LeafInsertAt(child, 0, left->records[left->header.count - 1]);
+        left->header.count--;
+        in->keys[child_idx - 1] = child->records[0].key;
+        left_page->MarkDirty();
+        child_page->MarkDirty();
+        parent.MarkDirty();
+        return Status::OK();
+      }
+    } else {
+      auto* left = left_page->As<InternalNode>();
+      auto* child = child_page->As<InternalNode>();
+      if (left->header.count > kInternalMin) {
+        // Rotate right through the parent separator.
+        std::memmove(&child->keys[1], &child->keys[0],
+                     sizeof(uint64_t) * child->header.count);
+        std::memmove(&child->children[1], &child->children[0],
+                     sizeof(PageId) * (child->header.count + 1));
+        child->keys[0] = in->keys[child_idx - 1];
+        child->children[0] = left->children[left->header.count];
+        child->header.count++;
+        in->keys[child_idx - 1] = left->keys[left->header.count - 1];
+        left->header.count--;
+        left_page->MarkDirty();
+        child_page->MarkDirty();
+        parent.MarkDirty();
+        return Status::OK();
+      }
+    }
+  }
+
+  if (child_idx < in->header.count) {
+    auto right_page = pool_->Fetch(in->children[child_idx + 1]);
+    if (!right_page.ok()) return right_page.status();
+    if (child_is_leaf) {
+      auto* right = right_page->As<LeafNode>();
+      auto* child = child_page->As<LeafNode>();
+      if (right->header.count > kLeafMin) {
+        LeafInsertAt(child, child->header.count, right->records[0]);
+        LeafRemoveAt(right, 0);
+        in->keys[child_idx] = right->records[0].key;
+        right_page->MarkDirty();
+        child_page->MarkDirty();
+        parent.MarkDirty();
+        return Status::OK();
+      }
+    } else {
+      auto* right = right_page->As<InternalNode>();
+      auto* child = child_page->As<InternalNode>();
+      if (right->header.count > kInternalMin) {
+        // Rotate left through the parent separator.
+        child->keys[child->header.count] = in->keys[child_idx];
+        child->children[child->header.count + 1] = right->children[0];
+        child->header.count++;
+        in->keys[child_idx] = right->keys[0];
+        std::memmove(&right->keys[0], &right->keys[1],
+                     sizeof(uint64_t) * (right->header.count - 1));
+        std::memmove(&right->children[0], &right->children[1],
+                     sizeof(PageId) * right->header.count);
+        right->header.count--;
+        right_page->MarkDirty();
+        child_page->MarkDirty();
+        parent.MarkDirty();
+        return Status::OK();
+      }
+    }
+  }
+
+  // Merge: fold the child into its left sibling, or its right sibling into
+  // the child. Normalize to "merge node at index j+1 into node at index j".
+  int j = (child_idx > 0) ? child_idx - 1 : child_idx;
+  auto left_page = pool_->Fetch(in->children[j]);
+  if (!left_page.ok()) return left_page.status();
+  auto right_page = pool_->Fetch(in->children[j + 1]);
+  if (!right_page.ok()) return right_page.status();
+
+  if (child_is_leaf) {
+    auto* left = left_page->As<LeafNode>();
+    auto* right = right_page->As<LeafNode>();
+    assert(left->header.count + right->header.count <= kLeafCapacity);
+    std::memcpy(&left->records[left->header.count], right->records,
+                sizeof(BTreeRecord) * right->header.count);
+    left->header.count =
+        static_cast<uint16_t>(left->header.count + right->header.count);
+    left->header.next = right->header.next;
+  } else {
+    auto* left = left_page->As<InternalNode>();
+    auto* right = right_page->As<InternalNode>();
+    assert(left->header.count + right->header.count + 1 <= kInternalCapacity);
+    left->keys[left->header.count] = in->keys[j];
+    std::memcpy(&left->keys[left->header.count + 1], right->keys,
+                sizeof(uint64_t) * right->header.count);
+    std::memcpy(&left->children[left->header.count + 1], right->children,
+                sizeof(PageId) * (right->header.count + 1));
+    left->header.count = static_cast<uint16_t>(left->header.count +
+                                               right->header.count + 1);
+  }
+  PageId freed = right_page->id();
+  left_page->MarkDirty();
+  right_page->Release();
+  child_page.value().Release();
+  InternalRemoveAt(in, j);
+  parent.MarkDirty();
+  return pool_->Free(freed);
+}
+
+Status BTree::Scan(uint64_t lo, uint64_t hi,
+                   const std::function<bool(const BTreeRecord&)>& fn) const {
+  if (lo > hi) return Status::OK();
+  auto cur = pool_->Fetch(root_);
+  if (!cur.ok()) return cur.status();
+  PageHandle node = std::move(*cur);
+  while (node.As<btree_internal::NodeHeader>()->type == kInternalType) {
+    auto* in = node.As<InternalNode>();
+    PageId child = in->children[LowerBoundChild(in, lo)];
+    auto next = pool_->Fetch(child);
+    if (!next.ok()) return next.status();
+    node = std::move(*next);
+  }
+  const auto* leaf = node.As<LeafNode>();
+  int pos = LowerBoundRecord(leaf, lo);
+  for (;;) {
+    for (; pos < leaf->header.count; ++pos) {
+      if (leaf->records[pos].key > hi) return Status::OK();
+      if (!fn(leaf->records[pos])) return Status::OK();
+    }
+    PageId next_id = leaf->header.next;
+    if (next_id == kInvalidPageId) return Status::OK();
+    auto next = pool_->Fetch(next_id);
+    if (!next.ok()) return next.status();
+    node = std::move(*next);
+    leaf = node.As<LeafNode>();
+    pos = 0;
+  }
+}
+
+Status BTree::Drop() {
+  SWST_RETURN_IF_ERROR(DropSubtree(root_));
+  root_ = kInvalidPageId;
+  return Status::OK();
+}
+
+Status BTree::DropSubtree(PageId node_id) {
+  std::vector<PageId> children;
+  {
+    auto page = pool_->Fetch(node_id);
+    if (!page.ok()) return page.status();
+    if (page->As<btree_internal::NodeHeader>()->type == kInternalType) {
+      const auto* in = page->As<InternalNode>();
+      children.assign(in->children, in->children + in->header.count + 1);
+    }
+  }
+  for (PageId child : children) {
+    SWST_RETURN_IF_ERROR(DropSubtree(child));
+  }
+  return pool_->Free(node_id);
+}
+
+Result<uint64_t> BTree::CountEntries() const {
+  uint64_t n = 0;
+  Status st = Scan(0, UINT64_MAX, [&n](const BTreeRecord&) {
+    n++;
+    return true;
+  });
+  if (!st.ok()) return st;
+  return n;
+}
+
+Result<int> BTree::Height() const {
+  int h = 1;
+  PageId cur = root_;
+  for (;;) {
+    auto page = pool_->Fetch(cur);
+    if (!page.ok()) return page.status();
+    if (page->As<btree_internal::NodeHeader>()->type == kLeafType) return h;
+    cur = page->As<InternalNode>()->children[0];
+    h++;
+  }
+}
+
+namespace {
+
+struct ValidateState {
+  int leaf_depth = -1;
+  uint64_t leaf_count = 0;
+};
+
+Status ValidateSubtree(BufferPool* pool, PageId node_id, int depth,
+                       bool is_root, uint64_t min_key, uint64_t max_key,
+                       ValidateState* state) {
+  auto page = pool->Fetch(node_id);
+  if (!page.ok()) return page.status();
+
+  if (page->As<btree_internal::NodeHeader>()->type == kLeafType) {
+    const auto* leaf = page->As<LeafNode>();
+    if (state->leaf_depth == -1) {
+      state->leaf_depth = depth;
+    } else if (state->leaf_depth != depth) {
+      return Status::Corruption("leaves at different depths");
+    }
+    if (!is_root && leaf->header.count < kLeafMin) {
+      return Status::Corruption("leaf underflow");
+    }
+    for (int i = 0; i < leaf->header.count; ++i) {
+      uint64_t k = leaf->records[i].key;
+      if (k < min_key || k > max_key) {
+        return Status::Corruption("leaf key outside separator bounds");
+      }
+      if (i > 0 && leaf->records[i - 1].key > k) {
+        return Status::Corruption("leaf keys out of order");
+      }
+    }
+    state->leaf_count++;
+    return Status::OK();
+  }
+
+  const auto* in = page->As<InternalNode>();
+  if (!is_root && in->header.count < kInternalMin) {
+    return Status::Corruption("internal underflow");
+  }
+  if (is_root && in->header.count < 1) {
+    return Status::Corruption("internal root has no separator");
+  }
+  for (int i = 1; i < in->header.count; ++i) {
+    if (in->keys[i - 1] > in->keys[i]) {
+      return Status::Corruption("internal keys out of order");
+    }
+  }
+  // Copy what we need, then release before recursing to bound pin count.
+  std::vector<PageId> children(in->children,
+                               in->children + in->header.count + 1);
+  std::vector<uint64_t> keys(in->keys, in->keys + in->header.count);
+  page->Release();
+
+  for (size_t i = 0; i < children.size(); ++i) {
+    uint64_t lo = (i == 0) ? min_key : keys[i - 1];
+    uint64_t hi = (i == keys.size()) ? max_key : keys[i];
+    if (lo < min_key || hi > max_key) {
+      return Status::Corruption("separator outside parent bounds");
+    }
+    SWST_RETURN_IF_ERROR(ValidateSubtree(pool, children[i], depth + 1, false,
+                                         lo, hi, state));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BTree::Validate() const {
+  ValidateState state;
+  SWST_RETURN_IF_ERROR(ValidateSubtree(pool_, root_, 0, true, 0, UINT64_MAX,
+                                       &state));
+  // Leaf chain must visit exactly the leaves found by the tree walk, in
+  // non-decreasing key order.
+  auto cur = pool_->Fetch(root_);
+  if (!cur.ok()) return cur.status();
+  PageHandle node = std::move(*cur);
+  while (node.As<btree_internal::NodeHeader>()->type == kInternalType) {
+    auto next = pool_->Fetch(node.As<InternalNode>()->children[0]);
+    if (!next.ok()) return next.status();
+    node = std::move(*next);
+  }
+  uint64_t chain_leaves = 0;
+  uint64_t last_key = 0;
+  bool have_last = false;
+  for (;;) {
+    const auto* leaf = node.As<LeafNode>();
+    chain_leaves++;
+    for (int i = 0; i < leaf->header.count; ++i) {
+      if (have_last && leaf->records[i].key < last_key) {
+        return Status::Corruption("leaf chain keys out of order");
+      }
+      last_key = leaf->records[i].key;
+      have_last = true;
+    }
+    if (leaf->header.next == kInvalidPageId) break;
+    auto next = pool_->Fetch(leaf->header.next);
+    if (!next.ok()) return next.status();
+    node = std::move(*next);
+  }
+  if (chain_leaves != state.leaf_count) {
+    return Status::Corruption("leaf chain does not cover all leaves");
+  }
+  return Status::OK();
+}
+
+}  // namespace swst

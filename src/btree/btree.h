@@ -1,0 +1,129 @@
+#ifndef SWST_BTREE_BTREE_H_
+#define SWST_BTREE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace swst {
+
+/// Inclusive key range [lo, hi] searched in a B+ tree.
+struct KeyRange {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+};
+
+/// On-disk record stored in B+ tree leaves: the linearized SWST key plus
+/// the full entry (needed for the refinement step and for re-insertion of
+/// current entries when their real duration becomes known).
+struct BTreeRecord {
+  uint64_t key = 0;
+  Entry entry;
+};
+
+/// \brief Disk-based B+ tree over a `BufferPool`, with duplicate keys.
+///
+/// This is the second-layer index of SWST: each spatial cell owns two of
+/// these, keyed by `KEY(s, d, x, y)` (see `swst/temporal_key.h`). The tree
+/// supports:
+///  - insertion with node splits,
+///  - deletion of a specific (key, oid, start) triple with borrow/merge
+///    rebalancing,
+///  - single-range scans,
+///  - the paper's §IV-B.c *multi-range level-wise search*, which visits
+///    every node at most once for a sorted, disjoint list of key ranges,
+///  - wholesale `Drop()`, returning every page to the pager — this is how
+///    SWST deletes an entire expired window at almost no cost.
+///
+/// The tree does not own its root: the caller persists `root()` (SWST keeps
+/// a per-cell directory). All failures surface as `Status`.
+class BTree {
+ public:
+  /// Creates an empty tree (a single empty leaf) in `pool`.
+  static Result<BTree> Create(BufferPool* pool);
+
+  /// Attaches to an existing tree rooted at `root`.
+  static BTree Attach(BufferPool* pool, PageId root);
+
+  BTree(BTree&&) = default;
+  BTree& operator=(BTree&&) = default;
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts a record. Duplicate keys are allowed; equal keys are appended
+  /// after existing ones.
+  Status Insert(uint64_t key, const Entry& entry);
+
+  /// Deletes the record with exactly this `key` whose entry matches
+  /// (oid, start). Returns NotFound if absent. Rebalances underflowing
+  /// nodes by borrowing from or merging with siblings.
+  Status Delete(uint64_t key, ObjectId oid, Timestamp start);
+
+  /// Calls `fn` for every record with key in [lo, hi], in key order.
+  /// `fn` returning false stops the scan early.
+  Status Scan(uint64_t lo, uint64_t hi,
+              const std::function<bool(const BTreeRecord&)>& fn) const;
+
+  /// Multi-range search (paper §IV-B.c). `ranges` must be sorted by `lo`
+  /// and pairwise disjoint. The tree is traversed level by level so that no
+  /// node is fetched more than once, and no node without an overlapping
+  /// range is fetched at all. Records are emitted in key order.
+  Status SearchRanges(const std::vector<KeyRange>& ranges,
+                      const std::function<bool(const BTreeRecord&)>& fn) const;
+
+  /// Baseline for the multi-search ablation: one root-to-leaf descent per
+  /// range. Same results, more node accesses on adjacent ranges.
+  Status SearchRangesNaive(
+      const std::vector<KeyRange>& ranges,
+      const std::function<bool(const BTreeRecord&)>& fn) const;
+
+  /// Frees every page of the tree. The tree becomes unusable afterwards.
+  /// This is SWST's O(pages) *expired-window drop* — no per-entry work.
+  Status Drop();
+
+  /// Number of records (O(leaves) walk; for tests and stats).
+  Result<uint64_t> CountEntries() const;
+
+  /// Tree height (1 = root is a leaf).
+  Result<int> Height() const;
+
+  /// Checks structural invariants (key order within nodes, separator
+  /// consistency, leaf chain order, uniform leaf depth, minimum occupancy).
+  /// Used heavily by property tests.
+  Status Validate() const;
+
+  PageId root() const { return root_; }
+
+  /// Leaf / internal fan-out constants, exposed for tests.
+  static int LeafCapacity();
+  static int InternalCapacity();
+
+ private:
+  BTree(BufferPool* pool, PageId root) : pool_(pool), root_(root) {}
+
+  struct DeleteResult {
+    bool found = false;
+    bool underflow = false;
+  };
+
+  /// Recursive delete; searches all children whose range may contain `key`.
+  Status DeleteInSubtree(PageId node_id, int depth, uint64_t key, ObjectId oid,
+                         Timestamp start, DeleteResult* result);
+
+  /// Fixes an underflowing child `child_idx` of internal node `parent`.
+  Status RebalanceChild(PageHandle& parent, int child_idx);
+
+  Status DropSubtree(PageId node_id);
+
+  BufferPool* pool_;
+  PageId root_;
+};
+
+}  // namespace swst
+
+#endif  // SWST_BTREE_BTREE_H_

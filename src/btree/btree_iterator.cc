@@ -1,0 +1,67 @@
+#include "btree/btree_iterator.h"
+
+#include "btree/btree_node.h"
+
+namespace swst {
+
+using btree_internal::InternalNode;
+using btree_internal::kInternalType;
+using btree_internal::LeafNode;
+using btree_internal::LowerBoundChild;
+using btree_internal::LowerBoundRecord;
+
+void BTreeIterator::SeekToFirst() { Seek(0); }
+
+void BTreeIterator::Seek(uint64_t key) {
+  valid_ = false;
+  status_ = Status::OK();
+  auto cur = pool_->Fetch(root_);
+  if (!cur.ok()) {
+    status_ = cur.status();
+    return;
+  }
+  PageHandle node = std::move(*cur);
+  while (node.As<btree_internal::NodeHeader>()->type == kInternalType) {
+    const auto* in = node.As<InternalNode>();
+    auto next = pool_->Fetch(in->children[LowerBoundChild(in, key)]);
+    if (!next.ok()) {
+      status_ = next.status();
+      return;
+    }
+    node = std::move(*next);
+  }
+  leaf_ = node.id();
+  pos_ = LowerBoundRecord(node.As<LeafNode>(), key);
+  node.Release();
+  LoadCurrent();
+}
+
+void BTreeIterator::Next() {
+  pos_++;
+  LoadCurrent();
+}
+
+void BTreeIterator::LoadCurrent() {
+  for (;;) {
+    auto page = pool_->Fetch(leaf_);
+    if (!page.ok()) {
+      status_ = page.status();
+      valid_ = false;
+      return;
+    }
+    const auto* leaf = page->As<LeafNode>();
+    if (pos_ < leaf->header.count) {
+      record_ = leaf->records[pos_];
+      valid_ = true;
+      return;
+    }
+    if (leaf->header.next == kInvalidPageId) {
+      valid_ = false;
+      return;
+    }
+    leaf_ = leaf->header.next;
+    pos_ = 0;
+  }
+}
+
+}  // namespace swst

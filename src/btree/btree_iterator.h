@@ -1,0 +1,53 @@
+#ifndef SWST_BTREE_BTREE_ITERATOR_H_
+#define SWST_BTREE_BTREE_ITERATOR_H_
+
+#include "btree/btree.h"
+#include "storage/buffer_pool.h"
+
+namespace swst {
+
+/// \brief Forward cursor over a B+ tree's leaf chain, RocksDB-iterator style.
+///
+/// Usage:
+/// \code
+///   BTreeIterator it(&pool, tree.root());
+///   for (it.SeekToFirst(); it.Valid(); it.Next()) { use(it.record()); }
+///   if (!it.status().ok()) { ... }
+/// \endcode
+class BTreeIterator {
+ public:
+  BTreeIterator(BufferPool* pool, PageId root) : pool_(pool), root_(root) {}
+
+  /// Positions at the first record of the tree.
+  void SeekToFirst();
+
+  /// Positions at the first record with key >= `key`.
+  void Seek(uint64_t key);
+
+  /// True while positioned on a record and no error has occurred.
+  bool Valid() const { return valid_; }
+
+  /// Advances to the next record. Precondition: `Valid()`.
+  void Next();
+
+  /// Current record. Precondition: `Valid()`.
+  const BTreeRecord& record() const { return record_; }
+
+  /// First error encountered, if any.
+  const Status& status() const { return status_; }
+
+ private:
+  void LoadCurrent();
+
+  BufferPool* pool_;
+  PageId root_;
+  PageId leaf_ = kInvalidPageId;
+  int pos_ = 0;
+  bool valid_ = false;
+  BTreeRecord record_;
+  Status status_;
+};
+
+}  // namespace swst
+
+#endif  // SWST_BTREE_BTREE_ITERATOR_H_

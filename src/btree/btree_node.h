@@ -1,0 +1,110 @@
+#ifndef SWST_BTREE_BTREE_NODE_H_
+#define SWST_BTREE_BTREE_NODE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "btree/btree.h"
+#include "storage/page.h"
+
+namespace swst {
+namespace btree_internal {
+
+/// On-page node header, common to leaves and internal nodes.
+struct NodeHeader {
+  uint16_t type;   ///< kLeafType or kInternalType.
+  uint16_t count;  ///< Records (leaf) or separator keys (internal).
+  PageId next;     ///< Right sibling for leaves; unused for internal nodes.
+};
+static_assert(sizeof(NodeHeader) == 8);
+
+inline constexpr uint16_t kLeafType = 1;
+inline constexpr uint16_t kInternalType = 2;
+
+/// Leaf page: header followed by `count` sorted records.
+inline constexpr int kLeafCapacity =
+    static_cast<int>((kPageSize - sizeof(NodeHeader)) / sizeof(BTreeRecord));
+inline constexpr int kLeafMin = kLeafCapacity / 2;
+
+struct LeafNode {
+  NodeHeader header;
+  BTreeRecord records[kLeafCapacity];
+};
+static_assert(sizeof(LeafNode) <= kPageSize);
+
+/// Internal page: header, `count+1` children, `count` separator keys.
+/// Invariant: every key in subtree `children[i]` is <= keys[i] and
+/// >= keys[i-1]; equality is allowed on both sides, which is what makes
+/// duplicate keys straddling a separator work.
+inline constexpr int kInternalCapacity =
+    static_cast<int>((kPageSize - sizeof(NodeHeader) - sizeof(PageId)) /
+                     (sizeof(PageId) + sizeof(uint64_t)));
+inline constexpr int kInternalMin = kInternalCapacity / 2;
+
+struct InternalNode {
+  NodeHeader header;
+  PageId children[kInternalCapacity + 1];
+  uint64_t keys[kInternalCapacity];
+};
+static_assert(sizeof(InternalNode) <= kPageSize);
+
+/// First index i with keys[i] >= key (descend here for leftmost search).
+inline int LowerBoundChild(const InternalNode* n, uint64_t key) {
+  int lo = 0, hi = n->header.count;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (n->keys[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// First index i with keys[i] > key (descend here for rightmost/insert).
+inline int UpperBoundChild(const InternalNode* n, uint64_t key) {
+  int lo = 0, hi = n->header.count;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (n->keys[mid] <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// First record index with record key >= key.
+inline int LowerBoundRecord(const LeafNode* n, uint64_t key) {
+  int lo = 0, hi = n->header.count;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (n->records[mid].key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// First record index with record key > key.
+inline int UpperBoundRecord(const LeafNode* n, uint64_t key) {
+  int lo = 0, hi = n->header.count;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (n->records[mid].key <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace btree_internal
+}  // namespace swst
+
+#endif  // SWST_BTREE_BTREE_NODE_H_

@@ -1,0 +1,44 @@
+#ifndef SWST_COMMON_RANDOM_H_
+#define SWST_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace swst {
+
+/// \brief Deterministic pseudo-random generator (xoshiro256**).
+///
+/// Every stochastic component (GSTD generator, query workloads, tests) seeds
+/// one of these explicitly so that experiments are reproducible run-to-run
+/// and across platforms, unlike `std::mt19937` + distribution objects whose
+/// output is implementation-defined for floating point.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace swst
+
+#endif  // SWST_COMMON_RANDOM_H_

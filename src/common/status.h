@@ -1,0 +1,136 @@
+#ifndef SWST_COMMON_STATUS_H_
+#define SWST_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace swst {
+
+/// \brief Outcome of an operation that may fail.
+///
+/// SWST follows the RocksDB/Arrow idiom of returning a `Status` from every
+/// operation that can fail due to I/O, corruption, or precondition
+/// violations. Exceptions are not used. A default-constructed `Status` is
+/// `ok()`.
+class Status {
+ public:
+  /// Error category. Kept intentionally small; the message carries detail.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIOError,
+    kCorruption,
+    kNotSupported,
+    kOutOfRange,
+  };
+
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// \name Factory functions for each error category.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  /// @}
+
+  /// Returns true iff the operation succeeded.
+  bool ok() const { return code_ == Code::kOk; }
+
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+
+  Code code() const { return code_; }
+
+  /// Human-readable message; empty for `ok()` statuses.
+  const std::string& message() const { return message_; }
+
+  /// Renders e.g. "IOError: short read on page 12" or "OK".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// \brief A value or an error, RocksDB `StatusOr` style.
+///
+/// Lightweight: stores both slots; adequate for the value types used in this
+/// codebase (ids, small structs, vectors).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value makes `return value;` work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller. Usable in functions returning
+/// `Status`.
+#define SWST_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::swst::Status _st = (expr);          \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+
+}  // namespace swst
+
+#endif  // SWST_COMMON_STATUS_H_

@@ -1,0 +1,53 @@
+#include "common/types.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace swst {
+
+Rect Rect::Empty() {
+  Rect r;
+  r.lo = {std::numeric_limits<double>::max(),
+          std::numeric_limits<double>::max()};
+  r.hi = {std::numeric_limits<double>::lowest(),
+          std::numeric_limits<double>::lowest()};
+  return r;
+}
+
+void Rect::Expand(const Point& p) {
+  lo.x = std::min(lo.x, p.x);
+  lo.y = std::min(lo.y, p.y);
+  hi.x = std::max(hi.x, p.x);
+  hi.y = std::max(hi.y, p.y);
+}
+
+void Rect::Expand(const Rect& r) {
+  if (r.IsEmpty()) return;
+  Expand(r.lo);
+  Expand(r.hi);
+}
+
+std::string Rect::ToString() const {
+  std::ostringstream os;
+  if (IsEmpty()) {
+    os << "[empty]";
+  } else {
+    os << "[(" << lo.x << "," << lo.y << "),(" << hi.x << "," << hi.y << ")]";
+  }
+  return os.str();
+}
+
+std::string Entry::ToString() const {
+  std::ostringstream os;
+  os << "Entry{oid=" << oid << ", pos=(" << pos.x << "," << pos.y
+     << "), s=" << start << ", d=";
+  if (is_current()) {
+    os << "current";
+  } else {
+    os << duration;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace swst

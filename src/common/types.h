@@ -1,0 +1,114 @@
+#ifndef SWST_COMMON_TYPES_H_
+#define SWST_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace swst {
+
+/// Object identifier of a moving object.
+using ObjectId = uint64_t;
+
+/// Discrete timestamp (the paper's time domain is integral, T in [0,100000]).
+using Timestamp = uint64_t;
+
+/// Valid duration of an entry, in the same units as `Timestamp`.
+using Duration = uint64_t;
+
+/// Duration value for *current* entries whose end timestamp is not yet
+/// known (paper: d = infinity until the object reports its next position).
+inline constexpr Duration kUnknownDuration =
+    std::numeric_limits<Duration>::max();
+
+/// A point in the two-dimensional spatial domain.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// An axis-aligned spatial rectangle, closed on all sides: [lo.x, hi.x] x
+/// [lo.y, hi.y]. Queries and memo MBRs use this type.
+struct Rect {
+  Point lo;
+  Point hi;
+
+  /// An "empty" rectangle that contains nothing and expands from scratch.
+  static Rect Empty();
+
+  bool IsEmpty() const { return lo.x > hi.x || lo.y > hi.y; }
+
+  bool Contains(const Point& p) const {
+    return lo.x <= p.x && p.x <= hi.x && lo.y <= p.y && p.y <= hi.y;
+  }
+
+  bool ContainsRect(const Rect& r) const {
+    return !r.IsEmpty() && lo.x <= r.lo.x && r.hi.x <= hi.x &&
+           lo.y <= r.lo.y && r.hi.y <= hi.y;
+  }
+
+  bool Intersects(const Rect& r) const {
+    if (IsEmpty() || r.IsEmpty()) return false;
+    return lo.x <= r.hi.x && r.lo.x <= hi.x && lo.y <= r.hi.y &&
+           r.lo.y <= hi.y;
+  }
+
+  /// Grows this rectangle to cover `p`.
+  void Expand(const Point& p);
+
+  /// Grows this rectangle to cover `r`.
+  void Expand(const Rect& r);
+
+  double Width() const { return IsEmpty() ? 0.0 : hi.x - lo.x; }
+  double Height() const { return IsEmpty() ? 0.0 : hi.y - lo.y; }
+  double Area() const { return Width() * Height(); }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// A closed time interval [lo, hi] used by interval queries. A timeslice
+/// query at time t is the degenerate interval [t, t].
+struct TimeInterval {
+  Timestamp lo = 0;
+  Timestamp hi = 0;
+
+  bool Contains(Timestamp t) const { return lo <= t && t <= hi; }
+
+  friend bool operator==(const TimeInterval&, const TimeInterval&) = default;
+};
+
+/// One record of the spatio-temporal stream: object `oid` was at `pos`
+/// during the valid time [start, start + duration). A *current* entry has
+/// `duration == kUnknownDuration`.
+struct Entry {
+  ObjectId oid = 0;
+  Point pos;
+  Timestamp start = 0;
+  Duration duration = 0;
+
+  bool is_current() const { return duration == kUnknownDuration; }
+
+  /// End timestamp of the valid time; only meaningful for closed entries.
+  Timestamp end() const { return start + duration; }
+
+  /// True iff the entry's valid time [start, start+duration) intersects the
+  /// closed query interval [q.lo, q.hi]. A current entry is treated as
+  /// valid from `start` onwards (d = infinity), per the paper's model.
+  bool ValidTimeOverlaps(const TimeInterval& q) const {
+    if (start > q.hi) return false;
+    if (is_current()) return true;
+    return start + duration > q.lo;
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Entry&, const Entry&) = default;
+};
+
+}  // namespace swst
+
+#endif  // SWST_COMMON_TYPES_H_

@@ -1,0 +1,101 @@
+#include "gstd/gstd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace swst {
+
+GstdGenerator::GstdGenerator(const GstdOptions& options) : options_(options) {
+  assert(options_.num_objects > 0 && options_.records_per_object > 0);
+  base_interval_ =
+      std::max<Timestamp>(1, options_.max_time / options_.records_per_object);
+
+  objects_.reserve(options_.num_objects);
+  for (uint64_t i = 0; i < options_.num_objects; ++i) {
+    ObjectState obj{/*oid=*/i, /*pos=*/{}, /*next_time=*/0,
+                    /*remaining=*/options_.records_per_object,
+                    Random(options_.seed * 0x9E3779B97F4A7C15ULL + i)};
+    const Rect& s = options_.space;
+    switch (options_.initial) {
+      case GstdOptions::Distribution::kUniform:
+        obj.pos.x = obj.rng.UniformDouble(s.lo.x, s.hi.x);
+        obj.pos.y = obj.rng.UniformDouble(s.lo.y, s.hi.y);
+        break;
+      case GstdOptions::Distribution::kGaussian: {
+        const double cx = (s.lo.x + s.hi.x) / 2, cy = (s.lo.y + s.hi.y) / 2;
+        const double sx = s.Width() / 8, sy = s.Height() / 8;
+        obj.pos.x = std::clamp(cx + obj.rng.NextGaussian() * sx, s.lo.x,
+                               s.hi.x);
+        obj.pos.y = std::clamp(cy + obj.rng.NextGaussian() * sy, s.lo.y,
+                               s.hi.y);
+        break;
+      }
+    }
+    // Random phase so reports are spread over time from the start.
+    obj.next_time = obj.rng.Uniform(base_interval_);
+    objects_.push_back(obj);
+  }
+  for (ObjectState& obj : objects_) queue_.push(&obj);
+}
+
+Timestamp GstdGenerator::NextGap(Random* rng) const {
+  if (options_.long_duration_fraction > 0.0 &&
+      rng->Bernoulli(options_.long_duration_fraction)) {
+    return 1 + rng->Uniform(options_.long_duration_max);
+  }
+  // Uniform in [1, 2*I - 1]: mean = base interval I.
+  return 1 + rng->Uniform(2 * base_interval_ - 1);
+}
+
+void GstdGenerator::Move(ObjectState* obj) const {
+  const Rect& s = options_.space;
+  const double step = options_.max_step;
+  double nx = obj->pos.x + options_.drift.x +
+              obj->rng.UniformDouble(-step, step);
+  double ny = obj->pos.y + options_.drift.y +
+              obj->rng.UniformDouble(-step, step);
+  switch (options_.adjustment) {
+    case GstdOptions::Adjustment::kClamp:
+      nx = std::clamp(nx, s.lo.x, s.hi.x);
+      ny = std::clamp(ny, s.lo.y, s.hi.y);
+      break;
+    case GstdOptions::Adjustment::kWrap: {
+      const double w = s.Width(), h = s.Height();
+      nx = s.lo.x + std::fmod(std::fmod(nx - s.lo.x, w) + w, w);
+      ny = s.lo.y + std::fmod(std::fmod(ny - s.lo.y, h) + h, h);
+      break;
+    }
+  }
+  obj->pos = {nx, ny};
+}
+
+bool GstdGenerator::Next(GstdRecord* record) {
+  if (queue_.empty()) return false;
+  ObjectState* obj = queue_.top();
+  queue_.pop();
+
+  record->oid = obj->oid;
+  record->pos = obj->pos;
+  record->t = obj->next_time;
+  emitted_++;
+
+  obj->remaining--;
+  if (obj->remaining > 0) {
+    obj->next_time += NextGap(&obj->rng);
+    Move(obj);
+    queue_.push(obj);
+  }
+  return true;
+}
+
+std::vector<GstdRecord> GenerateGstd(const GstdOptions& options) {
+  GstdGenerator gen(options);
+  std::vector<GstdRecord> out;
+  out.reserve(gen.total_records());
+  GstdRecord rec;
+  while (gen.Next(&rec)) out.push_back(rec);
+  return out;
+}
+
+}  // namespace swst

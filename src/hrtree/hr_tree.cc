@@ -1,0 +1,546 @@
+#include "hrtree/hr_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <unordered_set>
+
+namespace swst {
+
+namespace {
+
+struct HrNodeHeader {
+  uint16_t type;
+  uint16_t count;
+  uint32_t refcount;
+  Timestamp version;  ///< Version timestamp this page was created at.
+};
+
+constexpr uint16_t kLeafType = 1;
+constexpr uint16_t kInternalType = 2;
+
+/// Leaf payload = oid; internal payload = child page id.
+struct HrEntry {
+  Box2 box;
+  uint64_t payload;
+};
+
+constexpr int kCapacity =
+    static_cast<int>((kPageSize - sizeof(HrNodeHeader)) / sizeof(HrEntry));
+
+HrNodeHeader* Header(PageHandle& p) { return p.As<HrNodeHeader>(); }
+const HrNodeHeader* Header(const PageHandle& p) {
+  return p.As<HrNodeHeader>();
+}
+HrEntry* Entries(PageHandle& p) {
+  return reinterpret_cast<HrEntry*>(p.data() + sizeof(HrNodeHeader));
+}
+const HrEntry* Entries(const PageHandle& p) {
+  return reinterpret_cast<const HrEntry*>(p.data() + sizeof(HrNodeHeader));
+}
+
+Box2 PointBox(const Point& p) {
+  Box2 b;
+  b.lo[0] = b.hi[0] = p.x;
+  b.lo[1] = b.hi[1] = p.y;
+  return b;
+}
+
+Box2 NodeBox(const PageHandle& p) {
+  Box2 b = Box2::Empty();
+  const HrEntry* e = Entries(p);
+  for (int i = 0; i < Header(p)->count; ++i) b.Expand(e[i].box);
+  return b;
+}
+
+Box2 RectBox(const Rect& r) {
+  Box2 b;
+  b.lo[0] = r.lo.x;
+  b.hi[0] = r.hi.x;
+  b.lo[1] = r.lo.y;
+  b.hi[1] = r.hi.y;
+  return b;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HrTree>> HrTree::Create(BufferPool* pool) {
+  return std::unique_ptr<HrTree>(new HrTree(pool));
+}
+
+Status HrTree::BeginVersion(Timestamp t) {
+  const PageId prev_root = CurrentRoot();
+  if (prev_root != kInvalidPageId) {
+    auto page = pool_->Fetch(prev_root);
+    if (!page.ok()) return page.status();
+    Header(*page)->refcount++;  // The new version shares the old root.
+    page->MarkDirty();
+  }
+  versions_.push_back(VersionInfo{t, prev_root});
+  return Status::OK();
+}
+
+Result<PageId> HrTree::EnsureMutable(PageId node, bool* changed) {
+  auto page = pool_->Fetch(node);
+  if (!page.ok()) return page.status();
+  if (Header(*page)->version == versions_.back().from) {
+    *changed = false;
+    return node;
+  }
+  // Copy-on-write clone for the current version.
+  auto clone = pool_->New();
+  if (!clone.ok()) return clone.status();
+  pages_created_++;
+  auto* ch = Header(*clone);
+  ch->type = Header(*page)->type;
+  ch->count = Header(*page)->count;
+  ch->refcount = 1;
+  ch->version = versions_.back().from;
+  std::copy(Entries(*page), Entries(*page) + Header(*page)->count,
+            Entries(*clone));
+  clone->MarkDirty();
+  // The clone now references the children too.
+  if (ch->type == kInternalType) {
+    for (int i = 0; i < ch->count; ++i) {
+      auto child = pool_->Fetch(static_cast<PageId>(Entries(*clone)[i]
+                                                        .payload));
+      if (!child.ok()) return child.status();
+      Header(*child)->refcount++;
+      child->MarkDirty();
+    }
+  }
+  const PageId clone_id = clone->id();
+  clone->Release();
+  page->Release();
+  // The caller replaces its reference to `node` with the clone.
+  SWST_RETURN_IF_ERROR(Release(node));
+  *changed = true;
+  return clone_id;
+}
+
+Status HrTree::Release(PageId node) {
+  auto page = pool_->Fetch(node);
+  if (!page.ok()) return page.status();
+  auto* h = Header(*page);
+  assert(h->refcount > 0);
+  h->refcount--;
+  page->MarkDirty();
+  if (h->refcount > 0) return Status::OK();
+  std::vector<PageId> children;
+  if (h->type == kInternalType) {
+    const HrEntry* e = Entries(*page);
+    for (int i = 0; i < h->count; ++i) {
+      children.push_back(static_cast<PageId>(e[i].payload));
+    }
+  }
+  page->Release();
+  for (PageId child : children) {
+    SWST_RETURN_IF_ERROR(Release(child));
+  }
+  return pool_->Free(node);
+}
+
+Status HrTree::Report(ObjectId oid, const Point* old_pos, const Point& pos,
+                      Timestamp t) {
+  if (t < last_time_) {
+    return Status::InvalidArgument("Report: timestamps must be non-decreasing");
+  }
+  last_time_ = t;
+  if (versions_.empty() || t > versions_.back().from) {
+    SWST_RETURN_IF_ERROR(BeginVersion(t));
+  }
+  if (old_pos != nullptr) {
+    bool found = false;
+    SWST_RETURN_IF_ERROR(DeletePoint(oid, *old_pos, &found));
+    if (!found) {
+      return Status::NotFound("Report: previous position not in the tree");
+    }
+  }
+  return InsertPoint(oid, pos);
+}
+
+Status HrTree::InsertPoint(ObjectId oid, const Point& pos) {
+  const Box2 pb = PointBox(pos);
+  if (CurrentRoot() == kInvalidPageId) {
+    auto page = pool_->New();
+    if (!page.ok()) return page.status();
+    pages_created_++;
+    auto* h = Header(*page);
+    h->type = kLeafType;
+    h->count = 0;
+    h->refcount = 1;
+    h->version = versions_.back().from;
+    page->MarkDirty();
+    versions_.back().root = page->id();
+  }
+  bool changed = false;
+  auto root = EnsureMutable(versions_.back().root, &changed);
+  if (!root.ok()) return root.status();
+  versions_.back().root = *root;
+
+  // Descend, cloning along the way; record the (mutable) path.
+  struct Step {
+    PageId node;
+    int child_idx;
+  };
+  std::vector<Step> path;
+  PageId cur = *root;
+  for (;;) {
+    auto page = pool_->Fetch(cur);
+    if (!page.ok()) return page.status();
+    if (Header(*page)->type == kLeafType) break;
+    HrEntry* e = Entries(*page);
+    const int n = Header(*page)->count;
+    int best = 0;
+    double best_enlarge = std::numeric_limits<double>::max();
+    double best_area = std::numeric_limits<double>::max();
+    for (int i = 0; i < n; ++i) {
+      const double enlarge = e[i].box.Enlargement(pb);
+      const double area = e[i].box.Area();
+      if (enlarge < best_enlarge ||
+          (enlarge == best_enlarge && area < best_area)) {
+        best_enlarge = enlarge;
+        best_area = area;
+        best = i;
+      }
+    }
+    bool child_changed = false;
+    auto child = EnsureMutable(static_cast<PageId>(e[best].payload),
+                               &child_changed);
+    if (!child.ok()) return child.status();
+    if (child_changed) {
+      e[best].payload = *child;
+    }
+    e[best].box.Expand(pb);
+    page->MarkDirty();
+    path.push_back(Step{cur, best});
+    cur = *child;
+  }
+
+  // Insert into the (mutable) leaf, splitting bottom-up as needed.
+  Box2 carry_box = pb;
+  uint64_t carry_payload = oid;
+  bool have_carry = true;
+  bool carry_is_child = false;
+  PageId node = cur;
+  int level = static_cast<int>(path.size());
+  while (have_carry) {
+    auto page = pool_->Fetch(node);
+    if (!page.ok()) return page.status();
+    auto* h = Header(*page);
+    if (h->count < kCapacity) {
+      Entries(*page)[h->count] = HrEntry{carry_box, carry_payload};
+      h->count++;
+      page->MarkDirty();
+      have_carry = false;
+      break;
+    }
+    // Split: move half the entries (sorted along the longer axis) to a
+    // fresh node of this version.
+    std::vector<HrEntry> all(Entries(*page), Entries(*page) + h->count);
+    all.push_back(HrEntry{carry_box, carry_payload});
+    Box2 mbr = Box2::Empty();
+    for (const HrEntry& en : all) mbr.Expand(en.box);
+    const int axis =
+        (mbr.hi[0] - mbr.lo[0] >= mbr.hi[1] - mbr.lo[1]) ? 0 : 1;
+    std::sort(all.begin(), all.end(), [axis](const HrEntry& a,
+                                             const HrEntry& b) {
+      return a.box.lo[axis] + a.box.hi[axis] <
+             b.box.lo[axis] + b.box.hi[axis];
+    });
+    const size_t half = all.size() / 2;
+    h->count = static_cast<uint16_t>(half);
+    std::copy(all.begin(), all.begin() + half, Entries(*page));
+    page->MarkDirty();
+
+    auto right = pool_->New();
+    if (!right.ok()) return right.status();
+    pages_created_++;
+    auto* rh = Header(*right);
+    rh->type = h->type;
+    rh->count = static_cast<uint16_t>(all.size() - half);
+    rh->refcount = 1;
+    rh->version = versions_.back().from;
+    std::copy(all.begin() + half, all.end(), Entries(*right));
+    right->MarkDirty();
+
+    Box2 left_box = NodeBox(*page);
+    Box2 right_box = NodeBox(*right);
+    const PageId right_id = right->id();
+    page->Release();
+    right->Release();
+
+    if (level == 0) {
+      // Root split: grow a new root for this version.
+      auto new_root = pool_->New();
+      if (!new_root.ok()) return new_root.status();
+      pages_created_++;
+      auto* nh = Header(*new_root);
+      nh->type = kInternalType;
+      nh->count = 2;
+      nh->refcount = 1;
+      nh->version = versions_.back().from;
+      Entries(*new_root)[0] = HrEntry{left_box, node};
+      Entries(*new_root)[1] = HrEntry{right_box, right_id};
+      new_root->MarkDirty();
+      versions_.back().root = new_root->id();
+      have_carry = false;
+      break;
+    }
+    // Update the parent: fix the split child's box and carry the new
+    // sibling up.
+    level--;
+    const Step step = path[level];
+    auto parent = pool_->Fetch(step.node);
+    if (!parent.ok()) return parent.status();
+    Entries(*parent)[step.child_idx].box = left_box;
+    parent->MarkDirty();
+    carry_box = right_box;
+    carry_payload = right_id;
+    carry_is_child = true;
+    (void)carry_is_child;
+    node = step.node;
+  }
+  return Status::OK();
+}
+
+Status HrTree::DeletePoint(ObjectId oid, const Point& pos, bool* found) {
+  *found = false;
+  if (CurrentRoot() == kInvalidPageId) return Status::OK();
+  const Box2 pb = PointBox(pos);
+
+  // Locate the entry in the current version (read-only path of child
+  // indices), exploring every subtree whose box contains the point.
+  struct Frame {
+    PageId node;
+    int idx;
+  };
+  std::vector<Frame> path;
+  std::function<Status(PageId, bool*)> locate =
+      [&](PageId node, bool* ok) -> Status {
+    auto page = pool_->Fetch(node);
+    if (!page.ok()) return page.status();
+    const HrEntry* e = Entries(*page);
+    const int n = Header(*page)->count;
+    if (Header(*page)->type == kLeafType) {
+      for (int i = 0; i < n; ++i) {
+        if (e[i].payload == oid && e[i].box == pb) {
+          path.push_back(Frame{node, i});
+          *ok = true;
+          return Status::OK();
+        }
+      }
+      return Status::OK();
+    }
+    std::vector<std::pair<int, PageId>> children;
+    for (int i = 0; i < n; ++i) {
+      if (e[i].box.Contains(pb)) {
+        children.emplace_back(i, static_cast<PageId>(e[i].payload));
+      }
+    }
+    page->Release();
+    for (const auto& [idx, child] : children) {
+      path.push_back(Frame{node, idx});
+      SWST_RETURN_IF_ERROR(locate(child, ok));
+      if (*ok) return Status::OK();
+      path.pop_back();
+    }
+    return Status::OK();
+  };
+  bool ok = false;
+  SWST_RETURN_IF_ERROR(locate(CurrentRoot(), &ok));
+  if (!ok) return Status::OK();
+
+  // Make the located path mutable top-down, rewriting child pointers.
+  bool changed = false;
+  auto root = EnsureMutable(versions_.back().root, &changed);
+  if (!root.ok()) return root.status();
+  versions_.back().root = *root;
+  path[0].node = *root;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    auto page = pool_->Fetch(path[i].node);
+    if (!page.ok()) return page.status();
+    HrEntry* e = Entries(*page);
+    bool child_changed = false;
+    auto child = EnsureMutable(
+        static_cast<PageId>(e[path[i].idx].payload), &child_changed);
+    if (!child.ok()) return child.status();
+    if (child_changed) {
+      e[path[i].idx].payload = *child;
+      page->MarkDirty();
+    }
+    path[i + 1].node = *child;
+  }
+
+  // Remove the entry from the (now mutable) leaf and tighten boxes upward.
+  {
+    const Frame leaf = path.back();
+    auto page = pool_->Fetch(leaf.node);
+    if (!page.ok()) return page.status();
+    auto* h = Header(*page);
+    HrEntry* e = Entries(*page);
+    std::copy(e + leaf.idx + 1, e + h->count, e + leaf.idx);
+    h->count--;
+    page->MarkDirty();
+  }
+  for (size_t i = path.size() - 1; i-- > 0;) {
+    auto parent = pool_->Fetch(path[i].node);
+    if (!parent.ok()) return parent.status();
+    auto child = pool_->Fetch(path[i + 1].node);
+    if (!child.ok()) return child.status();
+    Entries(*parent)[path[i].idx].box = NodeBox(*child);
+    parent->MarkDirty();
+    // HR-tree versions skip condense-tree (classic simplification): empty
+    // nodes are unlinked, underfull ones tolerated.
+    if (Header(*child)->count == 0) {
+      const PageId empty = path[i + 1].node;
+      auto* ph = Header(*parent);
+      HrEntry* pe = Entries(*parent);
+      std::copy(pe + path[i].idx + 1, pe + ph->count, pe + path[i].idx);
+      ph->count--;
+      child->Release();
+      SWST_RETURN_IF_ERROR(Release(empty));
+    }
+  }
+  *found = true;
+  return Status::OK();
+}
+
+namespace {
+
+Status SearchVersion(BufferPool* pool, PageId root, const Rect& area,
+                     Timestamp version_time,
+                     const std::function<void(const Entry&)>& fn) {
+  if (root == kInvalidPageId) return Status::OK();
+  const Box2 qb = RectBox(area);
+  std::vector<PageId> stack{root};
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    auto page = pool->Fetch(id);
+    if (!page.ok()) return page.status();
+    const HrEntry* e = Entries(*page);
+    const int n = Header(*page)->count;
+    if (Header(*page)->type == kLeafType) {
+      for (int i = 0; i < n; ++i) {
+        if (qb.Intersects(e[i].box)) {
+          Entry out;
+          out.oid = e[i].payload;
+          out.pos = Point{e[i].box.lo[0], e[i].box.lo[1]};
+          out.start = version_time;
+          out.duration = kUnknownDuration;
+          fn(out);
+        }
+      }
+    } else {
+      for (int i = 0; i < n; ++i) {
+        if (qb.Intersects(e[i].box)) {
+          stack.push_back(static_cast<PageId>(e[i].payload));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<Entry>> HrTree::TimesliceQuery(const Rect& area,
+                                                  Timestamp t) {
+  std::vector<Entry> out;
+  // Version covering t: the last one with from <= t.
+  const VersionInfo* v = nullptr;
+  for (const VersionInfo& vi : versions_) {
+    if (vi.from <= t) v = &vi;
+  }
+  if (v == nullptr) return out;
+  Status st = SearchVersion(pool_, v->root, area, v->from,
+                            [&out](const Entry& e) { out.push_back(e); });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Result<std::vector<Entry>> HrTree::IntervalQuery(const Rect& area,
+                                                 const TimeInterval& interval) {
+  std::vector<Entry> out;
+  std::unordered_set<uint64_t> seen;
+  for (size_t i = 0; i < versions_.size(); ++i) {
+    const Timestamp from = versions_[i].from;
+    const Timestamp until = (i + 1 < versions_.size())
+                                ? versions_[i + 1].from
+                                : std::numeric_limits<Timestamp>::max();
+    // Version i covers [from, until); also include the version current at
+    // interval.lo.
+    if (until <= interval.lo || from > interval.hi) continue;
+    SWST_RETURN_IF_ERROR(SearchVersion(
+        pool_, versions_[i].root, area, from, [&](const Entry& e) {
+          const uint64_t key =
+              e.oid * 0x9E3779B97F4A7C15ULL ^
+              (static_cast<uint64_t>(e.pos.x * 64) << 20) ^
+              static_cast<uint64_t>(e.pos.y * 64);
+          if (seen.insert(key).second) out.push_back(e);
+        }));
+  }
+  return out;
+}
+
+Status HrTree::DropVersionsBefore(Timestamp cutoff) {
+  // A version is droppable when it ended (the next version began) at or
+  // before the cutoff; the most recent version always stays.
+  size_t drop = 0;
+  while (drop + 1 < versions_.size() &&
+         versions_[drop + 1].from <= cutoff) {
+    drop++;
+  }
+  for (size_t i = 0; i < drop; ++i) {
+    if (versions_[i].root != kInvalidPageId) {
+      SWST_RETURN_IF_ERROR(Release(versions_[i].root));
+    }
+  }
+  versions_.erase(versions_.begin(), versions_.begin() + drop);
+  return Status::OK();
+}
+
+Status HrTree::Validate() const {
+  for (const VersionInfo& v : versions_) {
+    if (v.root == kInvalidPageId) continue;
+    // Recursive containment + depth check per version.
+    std::function<Status(PageId, int, const Box2*, int*)> walk =
+        [&](PageId node, int depth, const Box2* parent_box,
+            int* leaf_depth) -> Status {
+      auto page = pool_->Fetch(node);
+      if (!page.ok()) return page.status();
+      if (Header(*page)->refcount == 0) {
+        return Status::Corruption("reachable HR page has refcount 0");
+      }
+      const Box2 self = NodeBox(*page);
+      if (parent_box != nullptr && Header(*page)->count > 0 &&
+          !parent_box->Contains(self)) {
+        return Status::Corruption("HR child escapes parent box");
+      }
+      if (Header(*page)->type == kLeafType) {
+        if (*leaf_depth == -1) {
+          *leaf_depth = depth;
+        } else if (*leaf_depth != depth) {
+          return Status::Corruption("HR leaves at different depths");
+        }
+        return Status::OK();
+      }
+      std::vector<std::pair<Box2, PageId>> children;
+      const HrEntry* e = Entries(*page);
+      for (int i = 0; i < Header(*page)->count; ++i) {
+        children.emplace_back(e[i].box, static_cast<PageId>(e[i].payload));
+      }
+      page->Release();
+      for (const auto& [box, child] : children) {
+        SWST_RETURN_IF_ERROR(walk(child, depth + 1, &box, leaf_depth));
+      }
+      return Status::OK();
+    };
+    int leaf_depth = -1;
+    SWST_RETURN_IF_ERROR(walk(v.root, 0, nullptr, &leaf_depth));
+  }
+  return Status::OK();
+}
+
+}  // namespace swst

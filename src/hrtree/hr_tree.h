@@ -1,0 +1,106 @@
+#ifndef SWST_HRTREE_HR_TREE_H_
+#define SWST_HRTREE_HR_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "rtree/box.h"
+#include "storage/buffer_pool.h"
+
+namespace swst {
+
+/// \brief Historical R-tree (Nascimento & Silva, SAC'98; paper §II).
+///
+/// Conceptually one R-tree per timestamp; consecutive versions share the
+/// subtrees that did not change (copy-on-write with per-page reference
+/// counts). The paper's §II characterization, which the benchmarks
+/// reproduce:
+///
+///  - timeslice queries are fast: pick the version root covering t and run
+///    one ordinary R-tree search;
+///  - interval queries are poor: every version in the interval must be
+///    searched and the results de-duplicated;
+///  - storage is very large: every version adds O(updates x height) new
+///    pages;
+///  - deletion of old versions *is* efficient (unlike MV3R): dropping a
+///    version just decrements reference counts, freeing pages that are no
+///    longer shared — which is why HR-trees can support retention, at the
+///    price of the two problems above.
+///
+/// Versions are identified by the report timestamps, which must be
+/// non-decreasing. Each version holds the *current* position of every
+/// object at that time.
+class HrTree {
+ public:
+  static Result<std::unique_ptr<HrTree>> Create(BufferPool* pool);
+
+  HrTree(const HrTree&) = delete;
+  HrTree& operator=(const HrTree&) = delete;
+
+  /// Reports `oid` at `pos` from time `t` on. If `old_pos` is non-null the
+  /// object's previous position is removed from the new version. Creates a
+  /// new version (copy-on-write from the previous one) when `t` advances.
+  Status Report(ObjectId oid, const Point* old_pos, const Point& pos,
+                Timestamp t);
+
+  /// Objects present in `area` at time `t` (the version covering `t`).
+  Result<std::vector<Entry>> TimesliceQuery(const Rect& area, Timestamp t);
+
+  /// Objects seen in `area` at any version within `interval`;
+  /// de-duplicated by (oid, position). Searches every covered version —
+  /// the §II weakness.
+  Result<std::vector<Entry>> IntervalQuery(const Rect& area,
+                                           const TimeInterval& interval);
+
+  /// Drops every version that ended before `cutoff`, returning freed pages
+  /// to the pager via reference-count decrements. The HR-tree's retention
+  /// story: cheap, unlike MV3R (impossible) or PIST (per-entry).
+  Status DropVersionsBefore(Timestamp cutoff);
+
+  /// Number of live versions.
+  size_t version_count() const { return versions_.size(); }
+
+  /// Pages ever allocated by this tree (the storage-blowup metric).
+  uint64_t pages_created() const { return pages_created_; }
+
+  /// Structural check over every live version (tests only).
+  Status Validate() const;
+
+ private:
+  struct VersionInfo {
+    Timestamp from;
+    PageId root;  ///< kInvalidPageId for an empty version.
+  };
+
+  explicit HrTree(BufferPool* pool) : pool_(pool) {}
+
+  /// Begins a new version at time `t` (clones the root reference).
+  Status BeginVersion(Timestamp t);
+
+  /// Returns a mutable copy of `node` for the current version, cloning it
+  /// (and bumping its children's refcounts) if it belongs to an older
+  /// version. `*changed` reports whether a clone happened.
+  Result<PageId> EnsureMutable(PageId node, bool* changed);
+
+  Status InsertPoint(ObjectId oid, const Point& pos);
+  Status DeletePoint(ObjectId oid, const Point& pos, bool* found);
+
+  /// Decrements `node`'s refcount; frees it (recursively releasing its
+  /// children) when it reaches zero.
+  Status Release(PageId node);
+
+  PageId CurrentRoot() const {
+    return versions_.empty() ? kInvalidPageId : versions_.back().root;
+  }
+
+  BufferPool* pool_;
+  std::vector<VersionInfo> versions_;
+  Timestamp last_time_ = 0;
+  uint64_t pages_created_ = 0;
+};
+
+}  // namespace swst
+
+#endif  // SWST_HRTREE_HR_TREE_H_

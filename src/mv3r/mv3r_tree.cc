@@ -1,0 +1,116 @@
+#include "mv3r/mv3r_tree.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace swst {
+
+namespace {
+
+Entry ToEntry(const MvrTree::VersionedEntry& v) {
+  Entry e;
+  e.oid = v.oid;
+  e.pos = Point{v.box.lo[0], v.box.lo[1]};
+  e.start = v.t_start;
+  e.duration =
+      (v.t_end == kAlive) ? kUnknownDuration : (v.t_end - v.t_start);
+  return e;
+}
+
+/// Key identifying a logical entry across its copies: (oid, start).
+uint64_t DedupKey(ObjectId oid, Timestamp start) {
+  // Entries are uniquely identified by (oid, start) in this workload; mix
+  // both into one 64-bit key for the hash map.
+  return oid * 0x9E3779B97F4A7C15ULL ^ start;
+}
+
+}  // namespace
+
+Mv3rTree::Mv3rTree(BufferPool* pool, MvrTree mvr, AuxTree aux)
+    : pool_(pool), mvr_(std::move(mvr)), aux_(std::move(aux)) {
+  mvr_.set_leaf_death_hook([this](PageId page, const Box2& mbr,
+                                  Timestamp birth, Timestamp death) {
+    Box3 box;
+    box.lo[0] = mbr.lo[0];
+    box.hi[0] = mbr.hi[0];
+    box.lo[1] = mbr.lo[1];
+    box.hi[1] = mbr.hi[1];
+    // Node lifespan [birth, death) on the time axis; closed-box geometry
+    // uses death - 1 as the last covered instant (timestamps are integral).
+    box.lo[2] = static_cast<double>(birth);
+    box.hi[2] = static_cast<double>(death - 1);
+    return aux_.Insert(box, page);
+  });
+}
+
+Result<std::unique_ptr<Mv3rTree>> Mv3rTree::Create(BufferPool* pool) {
+  auto mvr = MvrTree::Create(pool);
+  if (!mvr.ok()) return mvr.status();
+  auto aux = AuxTree::Create(pool);
+  if (!aux.ok()) return aux.status();
+  return std::unique_ptr<Mv3rTree>(
+      new Mv3rTree(pool, std::move(*mvr), std::move(*aux)));
+}
+
+Status Mv3rTree::Insert(ObjectId oid, const Point& pos, Timestamp t) {
+  return mvr_.Insert(oid, pos, t);
+}
+
+Status Mv3rTree::Update(ObjectId oid, const Point& prev_pos,
+                        const Point& new_pos, Timestamp t) {
+  SWST_RETURN_IF_ERROR(mvr_.Close(oid, prev_pos, t));
+  return mvr_.Insert(oid, new_pos, t);
+}
+
+Result<std::vector<Entry>> Mv3rTree::TimestampQuery(const Rect& area,
+                                                    Timestamp t) {
+  std::vector<Entry> out;
+  Status st = mvr_.TimestampQuery(
+      area, t,
+      [&out](const MvrTree::VersionedEntry& v) { out.push_back(ToEntry(v)); });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Result<std::vector<Entry>> Mv3rTree::IntervalQuery(
+    const Rect& area, const TimeInterval& interval) {
+  // Candidate leaves: dead leaves via the 3D tree, live leaves via the
+  // current MVR version.
+  std::vector<PageId> candidates;
+  Box3 qbox;
+  qbox.lo[0] = area.lo.x;
+  qbox.hi[0] = area.hi.x;
+  qbox.lo[1] = area.lo.y;
+  qbox.hi[1] = area.hi.y;
+  qbox.lo[2] = static_cast<double>(interval.lo);
+  qbox.hi[2] = static_cast<double>(interval.hi);
+  SWST_RETURN_IF_ERROR(
+      aux_.Search(qbox, [&candidates](const Box3&, const PageId& page) {
+        candidates.push_back(page);
+        return true;
+      }));
+  SWST_RETURN_IF_ERROR(mvr_.CollectLiveLeaves(area, interval, &candidates));
+
+  // Scan each candidate once; de-duplicate logical entries across copies,
+  // preferring a closed copy (known duration) over a still-open one.
+  std::unordered_set<PageId> seen_pages;
+  std::unordered_map<uint64_t, Entry> results;
+  for (PageId page : candidates) {
+    if (!seen_pages.insert(page).second) continue;
+    SWST_RETURN_IF_ERROR(mvr_.ScanLeaf(
+        page, area, interval, [&results](const MvrTree::VersionedEntry& v) {
+          Entry e = ToEntry(v);
+          auto [it, inserted] = results.try_emplace(DedupKey(e.oid, e.start),
+                                                    e);
+          if (!inserted && it->second.is_current() && !e.is_current()) {
+            it->second = e;
+          }
+        }));
+  }
+  std::vector<Entry> out;
+  out.reserve(results.size());
+  for (auto& [k, e] : results) out.push_back(e);
+  return out;
+}
+
+}  // namespace swst

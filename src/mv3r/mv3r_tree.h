@@ -1,0 +1,73 @@
+#ifndef SWST_MV3R_MV3R_TREE_H_
+#define SWST_MV3R_MV3R_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "mv3r/mvr_tree.h"
+#include "rtree/rstar_tree.h"
+#include "storage/buffer_pool.h"
+
+namespace swst {
+
+/// \brief The MV3R-tree baseline (Tao & Papadias, VLDB'01): an MVR-tree
+/// plus a small auxiliary 3D R*-tree built over the MVR-tree's dead leaves.
+///
+/// Timestamp queries descend the MVR version root covering the query time.
+/// Interval queries search the auxiliary 3D tree (x, y, node lifespan) for
+/// dead-leaf candidates, add the currently live leaves from the MVR-tree,
+/// scan each candidate leaf once, and de-duplicate logical entries (version
+/// splits copy live entries, so one logical entry can appear in several
+/// leaves).
+///
+/// The structure is partially persistent: only the most recent entry of an
+/// object can be modified (its end timestamp closed), old pages are never
+/// reclaimed, and there is no bulk expiry path — the properties the paper
+/// contrasts with SWST's sliding-window maintenance.
+class Mv3rTree {
+ public:
+  using AuxTree = RStarTree<3, PageId>;
+
+  static Result<std::unique_ptr<Mv3rTree>> Create(BufferPool* pool);
+
+  Mv3rTree(const Mv3rTree&) = delete;
+  Mv3rTree& operator=(const Mv3rTree&) = delete;
+
+  /// Inserts a *current* entry: `oid` is at `pos` from time `t` on.
+  Status Insert(ObjectId oid, const Point& pos, Timestamp t);
+
+  /// The paper's per-arrival protocol ("one update and one insertion"):
+  /// closes the object's previous current entry at `prev_pos` (an in-place
+  /// end-timestamp update — the only modification partial persistency
+  /// allows) and inserts the new current entry.
+  Status Update(ObjectId oid, const Point& prev_pos, const Point& new_pos,
+                Timestamp t);
+
+  /// Timestamp query via the MVR version root covering `t`.
+  Result<std::vector<Entry>> TimestampQuery(const Rect& area, Timestamp t);
+
+  /// Interval query via the auxiliary 3D tree + live MVR leaves.
+  Result<std::vector<Entry>> IntervalQuery(const Rect& area,
+                                           const TimeInterval& interval);
+
+  /// Pages ever created by the MVR part (monotone; never shrinks).
+  uint64_t mvr_pages_created() const { return mvr_.pages_created(); }
+
+  /// Number of version roots in the MVR root table.
+  size_t root_count() const { return mvr_.root_count(); }
+
+  const MvrTree& mvr() const { return mvr_; }
+
+ private:
+  Mv3rTree(BufferPool* pool, MvrTree mvr, AuxTree aux);
+
+  BufferPool* pool_;
+  MvrTree mvr_;
+  AuxTree aux_;
+};
+
+}  // namespace swst
+
+#endif  // SWST_MV3R_MV3R_TREE_H_

@@ -1,0 +1,611 @@
+#include "mv3r/mvr_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace swst {
+
+/// On-page entry of an MVR node. `payload` is the object id in leaves and
+/// the child page id in internal nodes.
+struct MvrEntryData {
+  Box2 box;
+  Timestamp t_start;
+  Timestamp t_end;  ///< kAlive while open.
+  uint64_t payload;
+};
+
+namespace {
+
+struct MvrNodeHeader {
+  uint16_t type;
+  uint16_t count;
+  uint32_t padding;
+  Timestamp birth;
+};
+
+constexpr uint16_t kLeafType = 1;
+constexpr uint16_t kInternalType = 2;
+
+constexpr int kCapacity = static_cast<int>(
+    (kPageSize - sizeof(MvrNodeHeader)) / sizeof(MvrEntryData));
+// Strong version condition bounds and the weak underflow threshold
+// (fractions of the block capacity, following the MVB-tree literature).
+constexpr int kStrongMin = kCapacity / 3;
+constexpr int kStrongMax = kCapacity * 4 / 5;
+constexpr int kWeakMin = kCapacity / 5;
+
+MvrNodeHeader* Header(PageHandle& page) {
+  return page.As<MvrNodeHeader>();
+}
+const MvrNodeHeader* Header(const PageHandle& page) {
+  return page.As<MvrNodeHeader>();
+}
+
+MvrEntryData* Entries(PageHandle& page) {
+  return reinterpret_cast<MvrEntryData*>(page.data() + sizeof(MvrNodeHeader));
+}
+const MvrEntryData* Entries(const PageHandle& page) {
+  return reinterpret_cast<const MvrEntryData*>(page.data() +
+                                               sizeof(MvrNodeHeader));
+}
+
+bool IsLive(const MvrEntryData& e) { return e.t_end == kAlive; }
+
+bool LifespanContains(const MvrEntryData& e, Timestamp t) {
+  return e.t_start <= t && (e.t_end == kAlive || t < e.t_end);
+}
+
+bool LifespanIntersects(const MvrEntryData& e, const TimeInterval& q) {
+  return e.t_start <= q.hi && (e.t_end == kAlive || e.t_end > q.lo);
+}
+
+Box2 PointBox(const Point& p) {
+  Box2 b;
+  b.lo[0] = b.hi[0] = p.x;
+  b.lo[1] = b.hi[1] = p.y;
+  return b;
+}
+
+Box2 RectBox(const Rect& r) {
+  Box2 b;
+  b.lo[0] = r.lo.x;
+  b.hi[0] = r.hi.x;
+  b.lo[1] = r.lo.y;
+  b.hi[1] = r.hi.y;
+  return b;
+}
+
+Box2 AllEntriesBox(const PageHandle& page) {
+  Box2 b = Box2::Empty();
+  const MvrEntryData* e = Entries(page);
+  for (int i = 0; i < Header(page)->count; ++i) b.Expand(e[i].box);
+  return b;
+}
+
+Box2 LiveEntriesBox(const std::vector<MvrEntryData>& entries) {
+  Box2 b = Box2::Empty();
+  for (const MvrEntryData& e : entries) b.Expand(e.box);
+  return b;
+}
+
+/// Splits `entries` (in place, reordered) into two halves along the axis
+/// with the larger extent, by box center. Returns the partition point.
+size_t KeySplit(std::vector<MvrEntryData>* entries) {
+  Box2 mbr = LiveEntriesBox(*entries);
+  const int axis = (mbr.hi[0] - mbr.lo[0] >= mbr.hi[1] - mbr.lo[1]) ? 0 : 1;
+  std::sort(entries->begin(), entries->end(),
+            [axis](const MvrEntryData& a, const MvrEntryData& b) {
+              return a.box.lo[axis] + a.box.hi[axis] <
+                     b.box.lo[axis] + b.box.hi[axis];
+            });
+  return entries->size() / 2;
+}
+
+}  // namespace
+
+int MvrTree::NodeCapacity() { return kCapacity; }
+int MvrTree::StrongMin() { return kStrongMin; }
+int MvrTree::StrongMax() { return kStrongMax; }
+int MvrTree::WeakMin() { return kWeakMin; }
+
+Result<MvrTree> MvrTree::Create(BufferPool* pool) {
+  return MvrTree(pool);
+}
+
+Status MvrTree::InitRoot(Timestamp t) {
+  auto page = pool_->New();
+  if (!page.ok()) return page.status();
+  auto* h = Header(*page);
+  h->type = kLeafType;
+  h->count = 0;
+  h->birth = t;
+  page->MarkDirty();
+  pages_created_++;
+  roots_.push_back(RootInfo{/*from=*/0, page->id(), /*birth=*/t});
+  return Status::OK();
+}
+
+PageId MvrTree::RootForVersion(Timestamp t) const {
+  PageId best = kInvalidPageId;
+  for (const RootInfo& r : roots_) {
+    if (r.from <= t) best = r.page;
+  }
+  return best;
+}
+
+Status MvrTree::ChooseLeaf(const Point& p, Timestamp t,
+                           std::vector<PathStep>* path, PageId* leaf) const {
+  (void)t;
+  PageId cur = CurrentRoot();
+  const Box2 pb = PointBox(p);
+  int depth = 0;
+  for (;;) {
+    auto page = pool_->Fetch(cur);
+    if (!page.ok()) return page.status();
+    if (Header(*page)->type == kLeafType) {
+      *leaf = cur;
+      return Status::OK();
+    }
+    MvrEntryData* e = Entries(*page);
+    const int n = Header(*page)->count;
+    // R*-style subtree choice over *live* entries: minimize overlap
+    // enlargement when the children are leaves, area enlargement above.
+    // Like the R*-tree's published optimization, the overlap rule only
+    // considers the 32 candidates with the least area enlargement.
+    const bool children_are_leaves = (depth == current_height_ - 2);
+    int best = -1;
+    if (children_are_leaves) {
+      struct Candidate {
+        int idx;
+        double enlarge;
+      };
+      std::vector<Candidate> cands;
+      cands.reserve(n);
+      for (int i = 0; i < n; ++i) {
+        if (IsLive(e[i])) {
+          cands.push_back(Candidate{i, e[i].box.Enlargement(pb)});
+        }
+      }
+      constexpr size_t kPreselect = 32;
+      if (cands.size() > kPreselect) {
+        std::nth_element(cands.begin(), cands.begin() + kPreselect,
+                         cands.end(),
+                         [](const Candidate& a, const Candidate& b) {
+                           return a.enlarge < b.enlarge;
+                         });
+        cands.resize(kPreselect);
+      }
+      double best_overlap = std::numeric_limits<double>::max();
+      double best_enlarge = std::numeric_limits<double>::max();
+      double best_area = std::numeric_limits<double>::max();
+      for (const Candidate& c : cands) {
+        const Box2 enlarged = e[c.idx].box.Union(pb);
+        double overlap_delta = 0.0;
+        for (int j = 0; j < n; ++j) {
+          if (j == c.idx || !IsLive(e[j])) continue;
+          overlap_delta += enlarged.OverlapArea(e[j].box) -
+                           e[c.idx].box.OverlapArea(e[j].box);
+        }
+        const double area = e[c.idx].box.Area();
+        if (overlap_delta < best_overlap ||
+            (overlap_delta == best_overlap &&
+             (c.enlarge < best_enlarge ||
+              (c.enlarge == best_enlarge && area < best_area)))) {
+          best_overlap = overlap_delta;
+          best_enlarge = c.enlarge;
+          best_area = area;
+          best = c.idx;
+        }
+      }
+    } else {
+      double best_enlarge = std::numeric_limits<double>::max();
+      double best_area = std::numeric_limits<double>::max();
+      for (int i = 0; i < n; ++i) {
+        if (!IsLive(e[i])) continue;
+        const double enlarge = e[i].box.Enlargement(pb);
+        const double area = e[i].box.Area();
+        if (enlarge < best_enlarge ||
+            (enlarge == best_enlarge && area < best_area)) {
+          best_enlarge = enlarge;
+          best_area = area;
+          best = i;
+        }
+      }
+    }
+    if (best < 0) {
+      return Status::Corruption("MVR internal node has no live entries");
+    }
+    if (!e[best].box.Contains(pb)) {
+      e[best].box.Expand(pb);
+      page->MarkDirty();
+    }
+    path->push_back(PathStep{cur, best});
+    cur = static_cast<PageId>(e[best].payload);
+    depth++;
+  }
+}
+
+Status MvrTree::Insert(ObjectId oid, const Point& p, Timestamp t) {
+  assert(t >= last_version_ && "versions must be non-decreasing");
+  last_version_ = t;
+  if (roots_.empty()) {
+    SWST_RETURN_IF_ERROR(InitRoot(t));
+  }
+  std::vector<PathStep> path;
+  PageId leaf = kInvalidPageId;
+  SWST_RETURN_IF_ERROR(ChooseLeaf(p, t, &path, &leaf));
+
+  MvrEntryData e;
+  e.box = PointBox(p);
+  e.t_start = t;
+  e.t_end = kAlive;
+  e.payload = oid;
+  return InsertEntries(leaf, std::move(path), {e}, t);
+}
+
+Status MvrTree::InsertEntries(PageId node_id, std::vector<PathStep> path,
+                              const std::vector<MvrEntryData>& entries,
+                              Timestamp t) {
+  auto page = pool_->Fetch(node_id);
+  if (!page.ok()) return page.status();
+  auto* h = Header(*page);
+  if (h->count + entries.size() <= static_cast<size_t>(kCapacity)) {
+    MvrEntryData* dst = Entries(*page);
+    for (const MvrEntryData& e : entries) {
+      dst[h->count++] = e;
+    }
+    page->MarkDirty();
+    return Status::OK();
+  }
+  page->Release();
+  return VersionSplit(node_id, std::move(path), t, entries);
+}
+
+Status MvrTree::VersionSplit(PageId node_id, std::vector<PathStep> path,
+                             Timestamp t,
+                             const std::vector<MvrEntryData>& extra) {
+  // Gather the live entries of the dying node, plus the entries being
+  // inserted.
+  std::vector<MvrEntryData> live;
+  uint16_t node_type;
+  {
+    auto page = pool_->Fetch(node_id);
+    if (!page.ok()) return page.status();
+    node_type = Header(*page)->type;
+    const MvrEntryData* e = Entries(*page);
+    for (int i = 0; i < Header(*page)->count; ++i) {
+      if (IsLive(e[i])) live.push_back(e[i]);
+    }
+  }
+  live.insert(live.end(), extra.begin(), extra.end());
+
+  // Kill the node in its parent (the root table handles the root case).
+  if (!path.empty()) {
+    const PathStep parent = path.back();
+    auto ppage = pool_->Fetch(parent.node);
+    if (!ppage.ok()) return ppage.status();
+    Entries(*ppage)[parent.entry_idx].t_end = t;
+    ppage->MarkDirty();
+  }
+  if (node_type == kLeafType) {
+    SWST_RETURN_IF_ERROR(NotifyLeafDeath(node_id, t));
+  }
+
+  // Strong version underflow: merge with a live sibling's live entries.
+  if (static_cast<int>(live.size()) < kStrongMin && !path.empty()) {
+    const PathStep parent = path.back();
+    auto ppage = pool_->Fetch(parent.node);
+    if (!ppage.ok()) return ppage.status();
+    MvrEntryData* pe = Entries(*ppage);
+    const Box2 self_box = LiveEntriesBox(live);
+    int sibling = -1;
+    double best_dist = std::numeric_limits<double>::max();
+    for (int i = 0; i < Header(*ppage)->count; ++i) {
+      if (i == parent.entry_idx || !IsLive(pe[i])) continue;
+      const double d = self_box.IsEmpty()
+                           ? 0.0
+                           : self_box.CenterDistance2(pe[i].box);
+      if (d < best_dist) {
+        best_dist = d;
+        sibling = i;
+      }
+    }
+    if (sibling >= 0) {
+      const PageId sib_id = static_cast<PageId>(pe[sibling].payload);
+      pe[sibling].t_end = t;
+      ppage->MarkDirty();
+      ppage->Release();
+      auto spage = pool_->Fetch(sib_id);
+      if (!spage.ok()) return spage.status();
+      const MvrEntryData* se = Entries(*spage);
+      for (int i = 0; i < Header(*spage)->count; ++i) {
+        if (IsLive(se[i])) live.push_back(se[i]);
+      }
+      const bool sib_leaf = Header(*spage)->type == kLeafType;
+      spage->Release();
+      if (sib_leaf) {
+        SWST_RETURN_IF_ERROR(NotifyLeafDeath(sib_id, t));
+      }
+    }
+  }
+
+  // Key split if the copy violates the strong upper bound.
+  std::vector<std::vector<MvrEntryData>> parts;
+  if (static_cast<int>(live.size()) > kStrongMax) {
+    const size_t k = KeySplit(&live);
+    parts.emplace_back(live.begin(), live.begin() + k);
+    parts.emplace_back(live.begin() + k, live.end());
+  } else {
+    parts.push_back(std::move(live));
+  }
+
+  // Materialize the new node(s).
+  std::vector<MvrEntryData> parent_entries;
+  for (const std::vector<MvrEntryData>& part : parts) {
+    assert(part.size() <= static_cast<size_t>(kCapacity));
+    auto npage = pool_->New();
+    if (!npage.ok()) return npage.status();
+    auto* nh = Header(*npage);
+    nh->type = node_type;
+    nh->count = static_cast<uint16_t>(part.size());
+    nh->birth = t;
+    std::copy(part.begin(), part.end(), Entries(*npage));
+    npage->MarkDirty();
+    pages_created_++;
+
+    MvrEntryData anchor;
+    anchor.box = LiveEntriesBox(part);
+    anchor.t_start = t;
+    anchor.t_end = kAlive;
+    anchor.payload = npage->id();
+    parent_entries.push_back(anchor);
+  }
+
+  if (path.empty()) {
+    // The root died: register the new version root; two parts grow a new
+    // internal root above them.
+    if (parent_entries.size() == 1) {
+      roots_.push_back(RootInfo{t, static_cast<PageId>(
+                                       parent_entries[0].payload),
+                                t});
+      return Status::OK();
+    }
+    auto rpage = pool_->New();
+    if (!rpage.ok()) return rpage.status();
+    auto* rh = Header(*rpage);
+    rh->type = kInternalType;
+    rh->count = static_cast<uint16_t>(parent_entries.size());
+    rh->birth = t;
+    std::copy(parent_entries.begin(), parent_entries.end(), Entries(*rpage));
+    rpage->MarkDirty();
+    pages_created_++;
+    roots_.push_back(RootInfo{t, rpage->id(), t});
+    current_height_++;
+    return Status::OK();
+  }
+
+  const PathStep parent = path.back();
+  path.pop_back();
+  return InsertEntries(parent.node, std::move(path), parent_entries, t);
+}
+
+Status MvrTree::NotifyLeafDeath(PageId page_id, Timestamp death) {
+  if (!on_leaf_death_) return Status::OK();
+  auto page = pool_->Fetch(page_id);
+  if (!page.ok()) return page.status();
+  const Timestamp birth = Header(*page)->birth;
+  if (birth >= death) return Status::OK();  // Empty lifespan; never visible.
+  const Box2 mbr = AllEntriesBox(*page);
+  page->Release();
+  return on_leaf_death_(page_id, mbr, birth, death);
+}
+
+Status MvrTree::FindLiveLeaf(PageId node_id, const Point& p, ObjectId oid,
+                             Timestamp t, std::vector<PathStep>* path,
+                             PageId* leaf, int* entry_idx, bool* found) const {
+  auto page = pool_->Fetch(node_id);
+  if (!page.ok()) return page.status();
+  const MvrEntryData* e = Entries(*page);
+  const int n = Header(*page)->count;
+  const Box2 pb = PointBox(p);
+
+  if (Header(*page)->type == kLeafType) {
+    for (int i = 0; i < n; ++i) {
+      if (IsLive(e[i]) && e[i].payload == oid && e[i].box == pb) {
+        *leaf = node_id;
+        *entry_idx = i;
+        *found = true;
+        return Status::OK();
+      }
+    }
+    return Status::OK();
+  }
+
+  std::vector<std::pair<int, PageId>> children;
+  for (int i = 0; i < n; ++i) {
+    if (IsLive(e[i]) && e[i].box.Contains(pb)) {
+      children.emplace_back(i, static_cast<PageId>(e[i].payload));
+    }
+  }
+  page->Release();
+  for (const auto& [idx, child] : children) {
+    path->push_back(PathStep{node_id, idx});
+    SWST_RETURN_IF_ERROR(
+        FindLiveLeaf(child, p, oid, t, path, leaf, entry_idx, found));
+    if (*found) return Status::OK();
+    path->pop_back();
+  }
+  return Status::OK();
+}
+
+Status MvrTree::Close(ObjectId oid, const Point& p, Timestamp t) {
+  assert(t >= last_version_ && "versions must be non-decreasing");
+  last_version_ = t;
+  if (roots_.empty()) {
+    return Status::NotFound("MvrTree::Close: empty tree");
+  }
+  std::vector<PathStep> path;
+  PageId leaf = kInvalidPageId;
+  int entry_idx = -1;
+  bool found = false;
+  SWST_RETURN_IF_ERROR(FindLiveLeaf(CurrentRoot(), p, oid, t, &path, &leaf,
+                                    &entry_idx, &found));
+  if (!found) {
+    return Status::NotFound("MvrTree::Close: no live entry for object");
+  }
+
+  int live_count = 0;
+  {
+    auto page = pool_->Fetch(leaf);
+    if (!page.ok()) return page.status();
+    MvrEntryData* e = Entries(*page);
+    e[entry_idx].t_end = t;
+    page->MarkDirty();
+    for (int i = 0; i < Header(*page)->count; ++i) {
+      if (IsLive(e[i])) live_count++;
+    }
+  }
+
+  // Weak version underflow: consolidate the sparse leaf with a sibling via
+  // a version split (only useful when a live sibling exists).
+  if (live_count < kWeakMin && !path.empty()) {
+    const PathStep parent = path.back();
+    auto ppage = pool_->Fetch(parent.node);
+    if (!ppage.ok()) return ppage.status();
+    const MvrEntryData* pe = Entries(*ppage);
+    int live_children = 0;
+    for (int i = 0; i < Header(*ppage)->count; ++i) {
+      if (IsLive(pe[i])) live_children++;
+    }
+    ppage->Release();
+    if (live_children >= 2) {
+      return VersionSplit(leaf, std::move(path), t, {});
+    }
+  }
+  return Status::OK();
+}
+
+Status MvrTree::TimestampQuery(
+    const Rect& area, Timestamp t,
+    const std::function<void(const VersionedEntry&)>& fn) const {
+  const PageId root = RootForVersion(t);
+  if (root == kInvalidPageId) return Status::OK();
+  const Box2 qb = RectBox(area);
+
+  std::vector<PageId> stack{root};
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    auto page = pool_->Fetch(id);
+    if (!page.ok()) return page.status();
+    const MvrEntryData* e = Entries(*page);
+    const int n = Header(*page)->count;
+    if (Header(*page)->type == kLeafType) {
+      for (int i = 0; i < n; ++i) {
+        if (LifespanContains(e[i], t) && qb.Intersects(e[i].box)) {
+          fn(VersionedEntry{e[i].box, e[i].t_start, e[i].t_end, e[i].payload});
+        }
+      }
+    } else {
+      for (int i = 0; i < n; ++i) {
+        if (LifespanContains(e[i], t) && qb.Intersects(e[i].box)) {
+          stack.push_back(static_cast<PageId>(e[i].payload));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status MvrTree::CollectLiveLeaves(const Rect& area,
+                                  const TimeInterval& interval,
+                                  std::vector<PageId>* leaves) const {
+  if (roots_.empty()) return Status::OK();
+  const Box2 qb = RectBox(area);
+  std::vector<PageId> stack{CurrentRoot()};
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    auto page = pool_->Fetch(id);
+    if (!page.ok()) return page.status();
+    if (Header(*page)->type == kLeafType) {
+      if (Header(*page)->birth <= interval.hi) {
+        leaves->push_back(id);
+      }
+      continue;
+    }
+    const MvrEntryData* e = Entries(*page);
+    for (int i = 0; i < Header(*page)->count; ++i) {
+      if (IsLive(e[i]) && e[i].t_start <= interval.hi &&
+          qb.Intersects(e[i].box)) {
+        stack.push_back(static_cast<PageId>(e[i].payload));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status MvrTree::ScanLeaf(
+    PageId leaf, const Rect& area, const TimeInterval& interval,
+    const std::function<void(const VersionedEntry&)>& fn) const {
+  auto page = pool_->Fetch(leaf);
+  if (!page.ok()) return page.status();
+  const Box2 qb = RectBox(area);
+  const MvrEntryData* e = Entries(*page);
+  for (int i = 0; i < Header(*page)->count; ++i) {
+    if (LifespanIntersects(e[i], interval) && qb.Intersects(e[i].box)) {
+      fn(VersionedEntry{e[i].box, e[i].t_start, e[i].t_end, e[i].payload});
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status ValidateLive(BufferPool* pool, PageId node_id, int depth,
+                    int* leaf_depth) {
+  auto page = pool->Fetch(node_id);
+  if (!page.ok()) return page.status();
+  const MvrEntryData* e = Entries(*page);
+  const int n = Header(*page)->count;
+  if (n > kCapacity) return Status::Corruption("MVR node over capacity");
+  if (Header(*page)->type == kLeafType) {
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("MVR live leaves at different depths");
+    }
+    return Status::OK();
+  }
+  std::vector<std::pair<Box2, PageId>> children;
+  for (int i = 0; i < n; ++i) {
+    if (IsLive(e[i])) {
+      children.emplace_back(e[i].box, static_cast<PageId>(e[i].payload));
+    }
+  }
+  page->Release();
+  for (const auto& [box, child] : children) {
+    auto cpage = pool->Fetch(child);
+    if (!cpage.ok()) return cpage.status();
+    const MvrEntryData* ce = Entries(*cpage);
+    for (int i = 0; i < Header(*cpage)->count; ++i) {
+      if (IsLive(ce[i]) && !box.Contains(ce[i].box)) {
+        return Status::Corruption("MVR live child escapes parent MBR");
+      }
+    }
+    cpage->Release();
+    SWST_RETURN_IF_ERROR(ValidateLive(pool, child, depth + 1, leaf_depth));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MvrTree::Validate() const {
+  if (roots_.empty()) return Status::OK();
+  int leaf_depth = -1;
+  return ValidateLive(pool_, CurrentRoot(), 0, &leaf_depth);
+}
+
+}  // namespace swst

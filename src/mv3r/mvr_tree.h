@@ -1,0 +1,175 @@
+#ifndef SWST_MV3R_MVR_TREE_H_
+#define SWST_MV3R_MVR_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "rtree/box.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace swst {
+
+/// Sentinel for a still-open lifespan end ("*" in the multi-version
+/// literature).
+inline constexpr Timestamp kAlive = std::numeric_limits<Timestamp>::max();
+
+struct MvrEntryData;
+
+/// \brief Multi-version R-tree (the MVR part of the MV3R baseline; Tao &
+/// Papadias, VLDB'01, building on the MVB-tree of Becker et al.).
+///
+/// A partially persistent R-tree over a monotone version axis — here the
+/// entries' start timestamps, exactly as the paper's workload uses it. Each
+/// entry (leaf or internal) carries a lifespan [t_start, t_end); structural
+/// changes never destroy old versions:
+///
+///  - an insertion that overflows a node triggers a *version split*: the
+///    node's live entries are copied to a fresh node and the old node is
+///    logically killed in its parent;
+///  - if the copied live set violates the strong version condition, the
+///    fresh node is *key split* (R*-style) into two, or merged with a live
+///    sibling's live entries when too sparse;
+///  - closing an entry (setting its end timestamp — the only "update"
+///    partial persistency permits) that leaves a leaf too sparse triggers a
+///    *weak version underflow* treatment: a version split plus sibling
+///    merge.
+///
+/// A root table maps version ranges to root pages, so timestamp queries
+/// descend exactly one logical R-tree. Old nodes are never reclaimed —
+/// the index grows monotonically, which is precisely the property that
+/// makes MV3R unsuitable for a sliding window (paper §IV-A, §V-A).
+///
+/// `on_leaf_death` (set by the MV3R wrapper) is invoked whenever a leaf is
+/// version-killed, with its final MBR and lifespan — the hook used to
+/// populate the auxiliary 3D R-tree.
+class MvrTree {
+ public:
+  /// A leaf record surfaced by queries.
+  struct VersionedEntry {
+    Box2 box;
+    Timestamp t_start;
+    Timestamp t_end;  ///< kAlive while open.
+    ObjectId oid;
+  };
+
+  /// Callback invoked when a leaf node dies at `death`: `page` identifies
+  /// the (now frozen) leaf, `mbr` bounds all its entries, `birth`/`death`
+  /// are its lifespan.
+  using LeafDeathHook = std::function<Status(
+      PageId page, const Box2& mbr, Timestamp birth, Timestamp death)>;
+
+  static Result<MvrTree> Create(BufferPool* pool);
+
+  MvrTree(MvrTree&&) = default;
+  MvrTree& operator=(MvrTree&&) = default;
+  MvrTree(const MvrTree&) = delete;
+  MvrTree& operator=(const MvrTree&) = delete;
+
+  void set_leaf_death_hook(LeafDeathHook hook) {
+    on_leaf_death_ = std::move(hook);
+  }
+
+  /// Inserts a live entry for `oid` at point `p`, opening at version `t`.
+  /// Versions must be non-decreasing across all mutations.
+  Status Insert(ObjectId oid, const Point& p, Timestamp t);
+
+  /// Closes the live entry of `oid` at point `p` (its most recent
+  /// position) by setting its end timestamp to `t` — the single in-place
+  /// update partial persistency allows. NotFound if no live entry matches.
+  Status Close(ObjectId oid, const Point& p, Timestamp t);
+
+  /// Timestamp query: every entry alive at `t` whose point intersects
+  /// `area`, evaluated against the version root covering `t`.
+  Status TimestampQuery(const Rect& area, Timestamp t,
+                        const std::function<void(const VersionedEntry&)>& fn)
+      const;
+
+  /// Collects the pages of *currently live* leaves whose MBR intersects
+  /// `area` and whose node lifespan intersects [interval.lo, interval.hi].
+  /// Dead leaves are found through the MV3R auxiliary tree instead.
+  Status CollectLiveLeaves(const Rect& area, const TimeInterval& interval,
+                           std::vector<PageId>* leaves) const;
+
+  /// Scans one leaf page, invoking `fn` for entries intersecting `area`
+  /// with lifespans intersecting `interval`.
+  Status ScanLeaf(PageId leaf, const Rect& area, const TimeInterval& interval,
+                  const std::function<void(const VersionedEntry&)>& fn) const;
+
+  /// Number of version roots accumulated so far.
+  size_t root_count() const { return roots_.size(); }
+
+  /// Total pages ever allocated to the tree (it never frees any — the
+  /// "grows forever" property of a partially persistent index).
+  uint64_t pages_created() const { return pages_created_; }
+
+  /// Structural check: lifespan containment and MBR containment along live
+  /// paths (tests only).
+  Status Validate() const;
+
+  /// Version-capacity parameters, exposed for tests.
+  static int NodeCapacity();
+  static int StrongMin();   ///< Lower bound after a version split.
+  static int StrongMax();   ///< Upper bound after a version split.
+  static int WeakMin();     ///< Weak version underflow threshold.
+
+ private:
+  struct RootInfo {
+    Timestamp from;  ///< This root covers versions [from, next.from).
+    PageId page;
+    Timestamp birth;
+  };
+
+  struct PathStep {
+    PageId node;
+    int entry_idx;  ///< Index of the child's entry within this node.
+  };
+
+  explicit MvrTree(BufferPool* pool) : pool_(pool) {}
+
+  Status InitRoot(Timestamp t);
+
+  /// Descends live entries from the current root to a leaf, choosing
+  /// children R*-style; fills `path` (root first) and the leaf id.
+  Status ChooseLeaf(const Point& p, Timestamp t, std::vector<PathStep>* path,
+                    PageId* leaf) const;
+
+  /// Adds entries to `node`; on overflow performs the version split
+  /// cascade along `path` (which addresses `node`'s ancestors).
+  Status InsertEntries(PageId node_id, std::vector<PathStep> path,
+                       const std::vector<MvrEntryData>& entries,
+                       Timestamp t);
+
+  /// Version split of `node_id` (with sibling merge / key split as the
+  /// strong version condition requires), re-anchoring the results in the
+  /// parent addressed by `path`. `extra` entries ride along into the new
+  /// version.
+  Status VersionSplit(PageId node_id, std::vector<PathStep> path, Timestamp t,
+                      const std::vector<MvrEntryData>& extra);
+
+  Status FindLiveLeaf(PageId node_id, const Point& p, ObjectId oid,
+                      Timestamp t, std::vector<PathStep>* path,
+                      PageId* leaf, int* entry_idx, bool* found) const;
+
+  PageId CurrentRoot() const { return roots_.back().page; }
+  PageId RootForVersion(Timestamp t) const;
+
+  Status NotifyLeafDeath(PageId page, Timestamp death);
+
+  BufferPool* pool_;
+  std::vector<RootInfo> roots_;
+  LeafDeathHook on_leaf_death_;
+  Timestamp last_version_ = 0;
+  uint64_t pages_created_ = 0;
+  /// Height of the current version's live tree (1 = root is a leaf).
+  /// Needed so insertion can apply the R* overlap-minimization rule at the
+  /// leaf-parent level, like the original MV3R implementation.
+  int current_height_ = 1;
+};
+
+}  // namespace swst
+
+#endif  // SWST_MV3R_MVR_TREE_H_

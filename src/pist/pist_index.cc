@@ -1,0 +1,191 @@
+#include "pist/pist_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace swst {
+
+Status PistOptions::Validate() const {
+  if (space.IsEmpty()) {
+    return Status::InvalidArgument("space must be non-empty");
+  }
+  if (x_partitions == 0 || y_partitions == 0) {
+    return Status::InvalidArgument("grid partitions must be positive");
+  }
+  if (lambda == 0) {
+    return Status::InvalidArgument("lambda must be positive");
+  }
+  return Status::OK();
+}
+
+PistIndex::PistIndex(BufferPool* pool, const PistOptions& options)
+    : pool_(pool),
+      options_(options),
+      grid_(options.space, options.x_partitions, options.y_partitions),
+      roots_(grid_.cell_count(), kInvalidPageId) {}
+
+Result<std::unique_ptr<PistIndex>> PistIndex::Create(
+    BufferPool* pool, const PistOptions& options) {
+  SWST_RETURN_IF_ERROR(options.Validate());
+  return std::unique_ptr<PistIndex>(new PistIndex(pool, options));
+}
+
+Status PistIndex::EnsureTree(uint32_t cell) {
+  if (roots_[cell] != kInvalidPageId) return Status::OK();
+  auto tree = BTree::Create(pool_);
+  if (!tree.ok()) return tree.status();
+  roots_[cell] = tree->root();
+  return Status::OK();
+}
+
+Status PistIndex::Insert(const Entry& entry) {
+  if (entry.is_current()) {
+    return Status::NotSupported(
+        "PIST cannot index current entries (unknown end timestamps)");
+  }
+  if (entry.duration == 0) {
+    return Status::InvalidArgument("Insert: duration must be positive");
+  }
+  if (!grid_.Contains(entry.pos)) {
+    return Status::InvalidArgument("Insert: position outside spatial domain");
+  }
+  if (entry.end() >= (1ULL << 32)) {
+    return Status::InvalidArgument("Insert: timestamp exceeds key width");
+  }
+  const uint32_t cell = grid_.CellOf(entry.pos);
+  SWST_RETURN_IF_ERROR(EnsureTree(cell));
+  BTree tree = BTree::Attach(pool_, roots_[cell]);
+
+  // Split the valid time [start, end) into sub-ranges of length <= lambda.
+  // Every sub-entry carries the original entry as payload, so queries can
+  // reconstruct and de-duplicate.
+  Timestamp sub_start = entry.start;
+  const Timestamp end = entry.end();
+  while (sub_start < end) {
+    const Timestamp sub_end = std::min<Timestamp>(sub_start + options_.lambda,
+                                                  end);
+    SWST_RETURN_IF_ERROR(tree.Insert(PackKey(sub_start, sub_end), entry));
+    sub_entries_inserted_++;
+    sub_start = sub_end;
+  }
+  roots_[cell] = tree.root();
+  entries_inserted_++;
+  return Status::OK();
+}
+
+Status PistIndex::Delete(const Entry& entry) {
+  if (entry.is_current()) {
+    return Status::NotFound("PIST holds no current entries");
+  }
+  if (!grid_.Contains(entry.pos)) {
+    return Status::NotFound("Delete: position outside spatial domain");
+  }
+  const uint32_t cell = grid_.CellOf(entry.pos);
+  if (roots_[cell] == kInvalidPageId) {
+    return Status::NotFound("Delete: empty cell");
+  }
+  BTree tree = BTree::Attach(pool_, roots_[cell]);
+  Timestamp sub_start = entry.start;
+  const Timestamp end = entry.end();
+  bool any = false;
+  while (sub_start < end) {
+    const Timestamp sub_end = std::min<Timestamp>(sub_start + options_.lambda,
+                                                  end);
+    Status st = tree.Delete(PackKey(sub_start, sub_end), entry.oid,
+                            entry.start);
+    if (st.ok()) {
+      any = true;
+    } else if (!st.IsNotFound()) {
+      return st;
+    }
+    sub_start = sub_end;
+  }
+  roots_[cell] = tree.root();
+  return any ? Status::OK()
+             : Status::NotFound("Delete: no matching sub-entries");
+}
+
+Result<std::vector<Entry>> PistIndex::IntervalQuery(
+    const Rect& area, const TimeInterval& interval, Timestamp window_lo) {
+  std::vector<Entry> out;
+  if (area.IsEmpty() || interval.lo > interval.hi) {
+    return Status::InvalidArgument("IntervalQuery: malformed query");
+  }
+  // Sub-entries are at most lambda long, so any overlapping sub-entry has
+  // sub_start in [interval.lo - lambda + 1, interval.hi] (PIST's search
+  // range; the dependence on lambda is the §V-A tension).
+  const Timestamp scan_lo =
+      (interval.lo >= options_.lambda) ? interval.lo - options_.lambda + 1 : 0;
+  const uint64_t key_lo = PackKey(scan_lo, 0);
+  const uint64_t key_hi = PackKey(interval.hi, ~0ULL >> 32);
+
+  // De-duplicate sub-entries of one original by (oid, original start).
+  std::unordered_set<uint64_t> seen;
+  auto dedup_key = [](const Entry& e) {
+    return e.oid * 0x9E3779B97F4A7C15ULL ^ e.start;
+  };
+
+  for (const SpatialGrid::CellOverlap& co : grid_.Overlapping(area)) {
+    if (roots_[co.cell] == kInvalidPageId) continue;
+    BTree tree = BTree::Attach(pool_, roots_[co.cell]);
+    SWST_RETURN_IF_ERROR(tree.Scan(key_lo, key_hi, [&](const BTreeRecord& r) {
+      // Sub-range filter: the sub-entry must itself overlap the query
+      // (its end is exclusive).
+      if (KeyEnd(r.key) <= interval.lo) return true;
+      const Entry& e = r.entry;
+      if (e.start < window_lo) return true;          // Expired original.
+      if (!co.overlap.Contains(e.pos)) return true;  // Spatial refinement.
+      if (!e.ValidTimeOverlaps(interval)) return true;
+      if (seen.insert(dedup_key(e)).second) out.push_back(e);
+      return true;
+    }));
+  }
+  return out;
+}
+
+Result<uint64_t> PistIndex::ExpireBefore(Timestamp cutoff) {
+  // Locate every expired sub-entry, then delete them one at a time — each
+  // deletion is a root-to-leaf descent with rebalancing. An original entry
+  // split across the cutoff keeps its newer sub-entries.
+  uint64_t removed = 0;
+  if (cutoff == 0) return removed;
+  for (uint32_t cell = 0; cell < grid_.cell_count(); ++cell) {
+    if (roots_[cell] == kInvalidPageId) continue;
+    BTree tree = BTree::Attach(pool_, roots_[cell]);
+    std::vector<BTreeRecord> expired;
+    SWST_RETURN_IF_ERROR(
+        tree.Scan(0, PackKey(cutoff, 0) - 1, [&](const BTreeRecord& r) {
+          expired.push_back(r);
+          return true;
+        }));
+    for (const BTreeRecord& r : expired) {
+      SWST_RETURN_IF_ERROR(tree.Delete(r.key, r.entry.oid, r.entry.start));
+      removed++;
+    }
+    roots_[cell] = tree.root();
+  }
+  return removed;
+}
+
+Result<uint64_t> PistIndex::CountSubEntries() const {
+  uint64_t n = 0;
+  for (PageId root : roots_) {
+    if (root == kInvalidPageId) continue;
+    BTree tree = BTree::Attach(pool_, root);
+    auto c = tree.CountEntries();
+    if (!c.ok()) return c.status();
+    n += *c;
+  }
+  return n;
+}
+
+Status PistIndex::ValidateTrees() const {
+  for (PageId root : roots_) {
+    if (root == kInvalidPageId) continue;
+    BTree tree = BTree::Attach(pool_, root);
+    SWST_RETURN_IF_ERROR(tree.Validate());
+  }
+  return Status::OK();
+}
+
+}  // namespace swst

@@ -1,0 +1,117 @@
+#ifndef SWST_PIST_PIST_INDEX_H_
+#define SWST_PIST_PIST_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/buffer_pool.h"
+#include "swst/spatial_grid.h"
+
+namespace swst {
+
+/// Options for the PIST baseline.
+struct PistOptions {
+  Rect space{{0.0, 0.0}, {10000.0, 10000.0}};
+  uint32_t x_partitions = 20;
+  uint32_t y_partitions = 20;
+  /// The largest temporal range lambda: entries with longer valid times
+  /// are split into ceil(d / lambda) sub-entries (PIST's long-range
+  /// treatment). The interval-query search range grows with lambda, so
+  /// PIST wants it small — which multiplies sub-entries.
+  Duration lambda = 2000;
+
+  Status Validate() const;
+};
+
+/// \brief PIST (Botea et al., GeoInformatica'08) adapted to a sliding
+/// window — the paper's §V-A analysis made runnable.
+///
+/// PIST is the other "best available" historical index for discretely
+/// moving points: a spatial grid whose cells each carry a B+ tree on the
+/// composite key (t_start, t_end). We reproduce its essential mechanics:
+///
+///  - entries with a temporal range longer than lambda are split into
+///    multiple sub-entries (each key encodes the sub-range; the payload
+///    keeps the original entry, so queries return originals after
+///    de-duplication);
+///  - an interval query [t_l, t_h] scans t_start in [t_l - lambda, t_h]
+///    per overlapping cell and filters on t_end;
+///  - *current* entries are unsupported (the PIST limitation the paper
+///    calls out): only closed entries can be inserted;
+///  - window maintenance must locate and delete every expired sub-entry
+///    individually (`ExpireBefore`), rebalancing the trees as it goes —
+///    the cost profile that makes PIST a poor sliding-window index.
+///
+/// Uniform grid partitioning is used (PIST's optimal data-driven
+/// partitioning requires the full dataset upfront, which a stream does not
+/// have — also a §V-A point).
+class PistIndex {
+ public:
+  static Result<std::unique_ptr<PistIndex>> Create(BufferPool* pool,
+                                                   const PistOptions& options);
+
+  PistIndex(const PistIndex&) = delete;
+  PistIndex& operator=(const PistIndex&) = delete;
+
+  /// Inserts a *closed* entry, splitting it into sub-entries of length
+  /// <= lambda. Current entries are rejected (NotSupported).
+  Status Insert(const Entry& entry);
+
+  /// Deletes all sub-entries of `entry`. NotFound if absent.
+  Status Delete(const Entry& entry);
+
+  /// Entries intersecting `area` whose valid time overlaps `interval`,
+  /// restricted to originals with start >= `window_lo` (the sliding-window
+  /// filter). De-duplicated across sub-entries.
+  Result<std::vector<Entry>> IntervalQuery(const Rect& area,
+                                           const TimeInterval& interval,
+                                           Timestamp window_lo = 0);
+
+  Result<std::vector<Entry>> TimesliceQuery(const Rect& area, Timestamp t,
+                                            Timestamp window_lo = 0) {
+    return IntervalQuery(area, TimeInterval{t, t}, window_lo);
+  }
+
+  /// Per-sub-entry window maintenance: locates and deletes every
+  /// sub-entry with sub-range start below `cutoff`. Returns the number of
+  /// sub-entries removed. This is what "supporting a sliding window" costs
+  /// PIST (paper §V-A).
+  Result<uint64_t> ExpireBefore(Timestamp cutoff);
+
+  /// Total sub-entries currently indexed.
+  Result<uint64_t> CountSubEntries() const;
+
+  /// Sub-entries created so far (>= entries inserted; the split overhead).
+  uint64_t sub_entries_inserted() const { return sub_entries_inserted_; }
+  uint64_t entries_inserted() const { return entries_inserted_; }
+
+  Status ValidateTrees() const;
+
+  const PistOptions& options() const { return options_; }
+
+ private:
+  PistIndex(BufferPool* pool, const PistOptions& options);
+
+  /// Composite key (sub_start, sub_end) in lexicographic order.
+  static uint64_t PackKey(Timestamp sub_start, Timestamp sub_end) {
+    return (sub_start << 32) | (sub_end & 0xFFFFFFFFULL);
+  }
+  static Timestamp KeyStart(uint64_t key) { return key >> 32; }
+  static Timestamp KeyEnd(uint64_t key) { return key & 0xFFFFFFFFULL; }
+
+  Status EnsureTree(uint32_t cell);
+
+  BufferPool* pool_;
+  PistOptions options_;
+  SpatialGrid grid_;
+  std::vector<PageId> roots_;
+  uint64_t sub_entries_inserted_ = 0;
+  uint64_t entries_inserted_ = 0;
+};
+
+}  // namespace swst
+
+#endif  // SWST_PIST_PIST_INDEX_H_

@@ -1,0 +1,114 @@
+#ifndef SWST_RTREE_BOX_H_
+#define SWST_RTREE_BOX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace swst {
+
+/// \brief Axis-aligned box in `Dim` dimensions, closed on all sides.
+///
+/// The geometric primitive of the R*-tree substrate. 2-D boxes index
+/// spatial rectangles; 3-D boxes index (x, y, time) for the 3D R-tree
+/// baseline and MV3R's auxiliary tree (time intervals are modelled as
+/// [start, end] on the third axis).
+template <int Dim>
+struct Box {
+  double lo[Dim];
+  double hi[Dim];
+
+  static Box Empty() {
+    Box b;
+    for (int i = 0; i < Dim; ++i) {
+      b.lo[i] = std::numeric_limits<double>::max();
+      b.hi[i] = std::numeric_limits<double>::lowest();
+    }
+    return b;
+  }
+
+  bool IsEmpty() const {
+    for (int i = 0; i < Dim; ++i) {
+      if (lo[i] > hi[i]) return true;
+    }
+    return false;
+  }
+
+  bool Intersects(const Box& o) const {
+    for (int i = 0; i < Dim; ++i) {
+      if (lo[i] > o.hi[i] || o.lo[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  bool Contains(const Box& o) const {
+    for (int i = 0; i < Dim; ++i) {
+      if (o.lo[i] < lo[i] || o.hi[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  void Expand(const Box& o) {
+    for (int i = 0; i < Dim; ++i) {
+      lo[i] = std::min(lo[i], o.lo[i]);
+      hi[i] = std::max(hi[i], o.hi[i]);
+    }
+  }
+
+  Box Union(const Box& o) const {
+    Box b = *this;
+    b.Expand(o);
+    return b;
+  }
+
+  double Area() const {
+    double a = 1.0;
+    for (int i = 0; i < Dim; ++i) a *= (hi[i] - lo[i]);
+    return a;
+  }
+
+  /// Sum of edge lengths (the R* "margin").
+  double Margin() const {
+    double m = 0.0;
+    for (int i = 0; i < Dim; ++i) m += (hi[i] - lo[i]);
+    return m;
+  }
+
+  double OverlapArea(const Box& o) const {
+    double a = 1.0;
+    for (int i = 0; i < Dim; ++i) {
+      const double w = std::min(hi[i], o.hi[i]) - std::max(lo[i], o.lo[i]);
+      if (w <= 0.0) return 0.0;
+      a *= w;
+    }
+    return a;
+  }
+
+  /// How much this box's area grows to accommodate `o`.
+  double Enlargement(const Box& o) const { return Union(o).Area() - Area(); }
+
+  /// Squared distance between box centers (used by forced reinsertion).
+  double CenterDistance2(const Box& o) const {
+    double d = 0.0;
+    for (int i = 0; i < Dim; ++i) {
+      const double c1 = (lo[i] + hi[i]) / 2.0;
+      const double c2 = (o.lo[i] + o.hi[i]) / 2.0;
+      d += (c1 - c2) * (c1 - c2);
+    }
+    return d;
+  }
+
+  friend bool operator==(const Box& a, const Box& b) {
+    for (int i = 0; i < Dim; ++i) {
+      if (a.lo[i] != b.lo[i] || a.hi[i] != b.hi[i]) return false;
+    }
+    return true;
+  }
+};
+
+using Box2 = Box<2>;
+using Box3 = Box<3>;
+
+}  // namespace swst
+
+#endif  // SWST_RTREE_BOX_H_

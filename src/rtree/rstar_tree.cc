@@ -1,0 +1,15 @@
+#include "rtree/rstar_tree.h"
+
+#include "common/types.h"
+
+namespace swst {
+
+// Explicit instantiations for the configurations this codebase uses:
+//  - RStarTree<3, Entry>: the 3D R-tree baseline (x, y, valid time).
+//  - RStarTree<3, PageId>: MV3R's auxiliary tree over MVR leaf lifespans.
+//  - RStarTree<2, Entry>: plain spatial R*-tree (tests and examples).
+template class RStarTree<3, Entry>;
+template class RStarTree<3, PageId>;
+template class RStarTree<2, Entry>;
+
+}  // namespace swst

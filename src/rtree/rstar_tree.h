@@ -1,0 +1,248 @@
+#ifndef SWST_RTREE_RSTAR_TREE_H_
+#define SWST_RTREE_RSTAR_TREE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "common/status.h"
+#include "rtree/box.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace swst {
+
+/// \brief Disk-based R*-tree (Beckmann et al., SIGMOD'90), templated on
+/// dimension and leaf payload.
+///
+/// Substrate for the paper's baselines: the 3D R-tree of Theodoridis et
+/// al. (`RStarTree<3, Entry>`) and the auxiliary 3D tree of MV3R
+/// (`RStarTree<3, PageId>` over MVR leaf lifespans). Implements the R*
+/// ChooseSubtree rule, the margin-driven split axis selection, and forced
+/// reinsertion; deletion uses the classic condense-tree with orphan
+/// reinsertion — whose cost the `bench_window_maintenance` experiment
+/// contrasts with SWST's wholesale tree drop.
+///
+/// `Payload` must be trivially copyable. The caller persists `root()` and
+/// `height()` across sessions.
+template <int Dim, typename Payload>
+class RStarTree {
+ public:
+  using BoxT = Box<Dim>;
+
+  /// Creates an empty tree (a single empty leaf).
+  static Result<RStarTree> Create(BufferPool* pool) {
+    auto page = pool->New();
+    if (!page.ok()) return page.status();
+    auto* node = page->template As<NodePage>();
+    node->header.type = kLeafType;
+    node->header.count = 0;
+    page->MarkDirty();
+    return RStarTree(pool, page->id(), 1);
+  }
+
+  static RStarTree Attach(BufferPool* pool, PageId root, int height) {
+    return RStarTree(pool, root, height);
+  }
+
+  RStarTree(RStarTree&&) = default;
+  RStarTree& operator=(RStarTree&&) = default;
+  RStarTree(const RStarTree&) = delete;
+  RStarTree& operator=(const RStarTree&) = delete;
+
+  /// Inserts an entry at leaf level.
+  Status Insert(const BoxT& box, const Payload& payload) {
+    reinserted_.assign(height_, false);
+    return InsertAtLevel(box, EntryRef{payload, kInvalidPageId}, 0);
+  }
+
+  /// Deletes the first leaf entry whose box equals `box` and whose payload
+  /// satisfies `match`. NotFound if absent. Underflowing nodes are
+  /// condensed: removed wholesale and their entries reinserted.
+  Status Delete(const BoxT& box, const std::function<bool(const Payload&)>& match);
+
+  /// Calls `fn` for every leaf entry whose box intersects `query`.
+  /// `fn` returning false stops the search.
+  Status Search(const BoxT& query,
+                const std::function<bool(const BoxT&, const Payload&)>& fn) const {
+    bool stop = false;
+    return SearchNode(root_, height_ - 1, query, fn, &stop);
+  }
+
+  /// Number of leaf entries (tests only).
+  Result<uint64_t> CountEntries() const {
+    uint64_t n = 0;
+    BoxT all;
+    for (int i = 0; i < Dim; ++i) {
+      all.lo[i] = std::numeric_limits<double>::lowest();
+      all.hi[i] = std::numeric_limits<double>::max();
+    }
+    Status st = Search(all, [&n](const BoxT&, const Payload&) {
+      n++;
+      return true;
+    });
+    if (!st.ok()) return st;
+    return n;
+  }
+
+  /// Structural invariant check: MBR containment, occupancy, uniform leaf
+  /// depth (tests only).
+  Status Validate() const;
+
+  /// Frees every page of the tree.
+  Status Drop();
+
+  PageId root() const { return root_; }
+  int height() const { return height_; }
+
+  static int LeafCapacity() { return kLeafCapacity; }
+  static int InternalCapacity() { return kInternalCapacity; }
+
+ private:
+  struct NodeHeader {
+    uint16_t type;
+    uint16_t count;
+    uint32_t padding;
+  };
+  static constexpr uint16_t kLeafType = 1;
+  static constexpr uint16_t kInternalType = 2;
+
+  struct LeafEntry {
+    BoxT box;
+    Payload payload;
+  };
+  struct InternalEntry {
+    BoxT box;
+    PageId child;
+  };
+
+  static constexpr int kLeafCapacity = static_cast<int>(
+      (kPageSize - sizeof(NodeHeader)) / sizeof(LeafEntry));
+  static constexpr int kInternalCapacity = static_cast<int>(
+      (kPageSize - sizeof(NodeHeader)) / sizeof(InternalEntry));
+  /// R* minimum fill: 40% of capacity.
+  static constexpr int kLeafMin = std::max(1, kLeafCapacity * 2 / 5);
+  static constexpr int kInternalMin = std::max(1, kInternalCapacity * 2 / 5);
+  /// Forced reinsertion fraction: 30% (Beckmann et al.).
+  static constexpr int kReinsertLeaf = std::max(1, kLeafCapacity * 3 / 10);
+  static constexpr int kReinsertInternal =
+      std::max(1, kInternalCapacity * 3 / 10);
+
+  /// Raw node page; the entry array (leaf or internal, per header.type)
+  /// starts right after the header — see `LeafEntries` / `InternalEntries`.
+  struct NodePage {
+    NodeHeader header;
+  };
+  static_assert(sizeof(NodeHeader) + sizeof(LeafEntry) <= kPageSize);
+
+  static LeafEntry* LeafEntries(NodePage* n) {
+    return reinterpret_cast<LeafEntry*>(reinterpret_cast<char*>(n) +
+                                        sizeof(NodeHeader));
+  }
+  static const LeafEntry* LeafEntries(const NodePage* n) {
+    return reinterpret_cast<const LeafEntry*>(
+        reinterpret_cast<const char*>(n) + sizeof(NodeHeader));
+  }
+  static InternalEntry* InternalEntries(NodePage* n) {
+    return reinterpret_cast<InternalEntry*>(reinterpret_cast<char*>(n) +
+                                            sizeof(NodeHeader));
+  }
+  static const InternalEntry* InternalEntries(const NodePage* n) {
+    return reinterpret_cast<const InternalEntry*>(
+        reinterpret_cast<const char*>(n) + sizeof(NodeHeader));
+  }
+
+  /// An entry being inserted: a payload (leaf level) or a child (above).
+  struct EntryRef {
+    Payload payload;
+    PageId child;
+  };
+
+  RStarTree(BufferPool* pool, PageId root, int height)
+      : pool_(pool), root_(root), height_(height) {}
+
+  static int Capacity(bool leaf) {
+    return leaf ? kLeafCapacity : kInternalCapacity;
+  }
+  static int MinFill(bool leaf) { return leaf ? kLeafMin : kInternalMin; }
+
+  /// In-memory entry used during splits/reinserts/condense.
+  struct ScratchEntry {
+    BoxT box;
+    Payload payload;
+    PageId child;
+  };
+
+  /// Outcome of a recursive insertion into a subtree.
+  struct InsertResult {
+    BoxT node_box;            ///< Updated MBR of the subtree root.
+    bool split = false;
+    BoxT right_box;           ///< Valid when split.
+    PageId right = kInvalidPageId;
+  };
+
+  /// A (level, entry) pair queued for reinsertion.
+  struct Pending {
+    int level;
+    ScratchEntry entry;
+  };
+
+  Status InsertAtLevel(const BoxT& box, const EntryRef& entry, int level);
+  Status InsertRec(PageId node_id, int level, const BoxT& box,
+                   const EntryRef& entry, int target_level, InsertResult* res,
+                   std::vector<Pending>* pending);
+  /// Stores `entries` into `page` if they fit; otherwise applies R*
+  /// overflow treatment (forced reinsertion once per level per insertion,
+  /// else split).
+  Status HandleOverflowOrStore(PageHandle page,
+                               std::vector<ScratchEntry> entries, bool leaf,
+                               int level, InsertResult* res,
+                               std::vector<Pending>* pending);
+  /// Reinserts an orphaned (level, entry) pair after a condense; demotes
+  /// subtree roots whose level no longer exists.
+  Status ReinsertOrphan(const Pending& p);
+  Status SearchNode(PageId node, int level, const BoxT& query,
+                    const std::function<bool(const BoxT&, const Payload&)>& fn,
+                    bool* stop) const;
+  /// Locates the leaf holding a matching entry, recording the root path.
+  struct PathStep {
+    PageId node;
+    int child_idx;
+  };
+  Status FindLeaf(PageId node_id, const BoxT& box,
+                  const std::function<bool(const Payload&)>& match,
+                  std::vector<PathStep>* path, PageId* leaf, int* entry_idx,
+                  bool* found) const;
+  Status DropSubtree(PageId node_id);
+  Status ValidateNode(PageId node_id, int depth, bool is_root,
+                      const BoxT* parent_box, int* leaf_depth) const;
+
+  /// R* ChooseSubtree: child index minimizing overlap enlargement at the
+  /// level above leaves, area enlargement elsewhere.
+  static int ChooseChild(const NodePage* node, const BoxT& box,
+                         bool children_are_leaves);
+
+  /// R* split: choose axis by minimum total margin, distribution by
+  /// minimum overlap (ties: minimum area). Returns the partition point.
+  static size_t ChooseSplit(std::vector<ScratchEntry>* entries, bool leaf);
+
+  static BoxT NodeBox(const NodePage* node);
+  static void ReadEntries(const NodePage* node,
+                          std::vector<ScratchEntry>* out);
+  static void WriteEntries(NodePage* node, bool leaf,
+                           const ScratchEntry* entries, size_t n);
+
+  BufferPool* pool_;
+  PageId root_;
+  int height_;
+  std::vector<bool> reinserted_;  ///< Per-level flag within one insertion.
+};
+
+}  // namespace swst
+
+#include "rtree/rstar_tree_impl.h"
+
+#endif  // SWST_RTREE_RSTAR_TREE_H_

@@ -1,0 +1,613 @@
+#ifndef SWST_RTREE_RSTAR_TREE_IMPL_H_
+#define SWST_RTREE_RSTAR_TREE_IMPL_H_
+
+// Implementation of RStarTree. Included at the bottom of rstar_tree.h;
+// do not include directly.
+
+namespace swst {
+
+template <int Dim, typename Payload>
+auto RStarTree<Dim, Payload>::NodeBox(const NodePage* node) -> BoxT {
+  BoxT b = BoxT::Empty();
+  if (node->header.type == kLeafType) {
+    const LeafEntry* e = LeafEntries(node);
+    for (int i = 0; i < node->header.count; ++i) b.Expand(e[i].box);
+  } else {
+    const InternalEntry* e = InternalEntries(node);
+    for (int i = 0; i < node->header.count; ++i) b.Expand(e[i].box);
+  }
+  return b;
+}
+
+template <int Dim, typename Payload>
+void RStarTree<Dim, Payload>::ReadEntries(const NodePage* node,
+                                          std::vector<ScratchEntry>* out) {
+  out->clear();
+  out->reserve(node->header.count + 1);
+  if (node->header.type == kLeafType) {
+    const LeafEntry* e = LeafEntries(node);
+    for (int i = 0; i < node->header.count; ++i) {
+      out->push_back(ScratchEntry{e[i].box, e[i].payload, kInvalidPageId});
+    }
+  } else {
+    const InternalEntry* e = InternalEntries(node);
+    for (int i = 0; i < node->header.count; ++i) {
+      out->push_back(ScratchEntry{e[i].box, Payload{}, e[i].child});
+    }
+  }
+}
+
+template <int Dim, typename Payload>
+void RStarTree<Dim, Payload>::WriteEntries(NodePage* node, bool leaf,
+                                           const ScratchEntry* entries,
+                                           size_t n) {
+  node->header.type = leaf ? kLeafType : kInternalType;
+  node->header.count = static_cast<uint16_t>(n);
+  if (leaf) {
+    LeafEntry* e = LeafEntries(node);
+    for (size_t i = 0; i < n; ++i) {
+      e[i].box = entries[i].box;
+      e[i].payload = entries[i].payload;
+    }
+  } else {
+    InternalEntry* e = InternalEntries(node);
+    for (size_t i = 0; i < n; ++i) {
+      e[i].box = entries[i].box;
+      e[i].child = entries[i].child;
+    }
+  }
+}
+
+template <int Dim, typename Payload>
+int RStarTree<Dim, Payload>::ChooseChild(const NodePage* node,
+                                         const BoxT& box,
+                                         bool children_are_leaves) {
+  const InternalEntry* e = InternalEntries(node);
+  const int n = node->header.count;
+  assert(n > 0);
+
+  int best = 0;
+  if (children_are_leaves) {
+    // R*: minimize overlap enlargement; ties by area enlargement, then area.
+    double best_overlap = std::numeric_limits<double>::max();
+    double best_enlarge = std::numeric_limits<double>::max();
+    double best_area = std::numeric_limits<double>::max();
+    for (int i = 0; i < n; ++i) {
+      const BoxT enlarged = e[i].box.Union(box);
+      double overlap_delta = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        overlap_delta += enlarged.OverlapArea(e[j].box) -
+                         e[i].box.OverlapArea(e[j].box);
+      }
+      const double enlarge = e[i].box.Enlargement(box);
+      const double area = e[i].box.Area();
+      if (overlap_delta < best_overlap ||
+          (overlap_delta == best_overlap &&
+           (enlarge < best_enlarge ||
+            (enlarge == best_enlarge && area < best_area)))) {
+        best_overlap = overlap_delta;
+        best_enlarge = enlarge;
+        best_area = area;
+        best = i;
+      }
+    }
+  } else {
+    // Minimize area enlargement; ties by area.
+    double best_enlarge = std::numeric_limits<double>::max();
+    double best_area = std::numeric_limits<double>::max();
+    for (int i = 0; i < n; ++i) {
+      const double enlarge = e[i].box.Enlargement(box);
+      const double area = e[i].box.Area();
+      if (enlarge < best_enlarge ||
+          (enlarge == best_enlarge && area < best_area)) {
+        best_enlarge = enlarge;
+        best_area = area;
+        best = i;
+      }
+    }
+  }
+  return best;
+}
+
+template <int Dim, typename Payload>
+size_t RStarTree<Dim, Payload>::ChooseSplit(std::vector<ScratchEntry>* entries,
+                                            bool leaf) {
+  const int total = static_cast<int>(entries->size());
+  const int min_fill = MinFill(leaf);
+  assert(total >= 2 * min_fill);
+
+  // Choose the split axis: for each axis, sort by lower then by upper
+  // coordinate and sum the margins of all legal distributions; pick the
+  // axis with the least total margin (R* ChooseSplitAxis).
+  int best_axis = 0;
+  bool best_axis_by_upper = false;
+  double best_margin_sum = std::numeric_limits<double>::max();
+
+  std::vector<ScratchEntry> work = *entries;
+  for (int axis = 0; axis < Dim; ++axis) {
+    for (int by_upper = 0; by_upper < 2; ++by_upper) {
+      std::sort(work.begin(), work.end(),
+                [axis, by_upper](const ScratchEntry& a,
+                                 const ScratchEntry& b) {
+                  const double ka = by_upper ? a.box.hi[axis] : a.box.lo[axis];
+                  const double kb = by_upper ? b.box.hi[axis] : b.box.lo[axis];
+                  if (ka != kb) return ka < kb;
+                  return a.box.hi[axis] < b.box.hi[axis];
+                });
+      // Prefix/suffix MBRs for O(n) margin sums.
+      std::vector<BoxT> prefix(total), suffix(total);
+      prefix[0] = work[0].box;
+      for (int i = 1; i < total; ++i) {
+        prefix[i] = prefix[i - 1].Union(work[i].box);
+      }
+      suffix[total - 1] = work[total - 1].box;
+      for (int i = total - 2; i >= 0; --i) {
+        suffix[i] = suffix[i + 1].Union(work[i].box);
+      }
+      double margin_sum = 0.0;
+      for (int k = min_fill; k <= total - min_fill; ++k) {
+        margin_sum += prefix[k - 1].Margin() + suffix[k].Margin();
+      }
+      if (margin_sum < best_margin_sum) {
+        best_margin_sum = margin_sum;
+        best_axis = axis;
+        best_axis_by_upper = (by_upper != 0);
+      }
+    }
+  }
+
+  // Sort along the chosen axis and pick the distribution with minimum
+  // overlap (ties: minimum total area) — R* ChooseSplitIndex.
+  const int axis = best_axis;
+  const bool by_upper = best_axis_by_upper;
+  std::sort(entries->begin(), entries->end(),
+            [axis, by_upper](const ScratchEntry& a, const ScratchEntry& b) {
+              const double ka = by_upper ? a.box.hi[axis] : a.box.lo[axis];
+              const double kb = by_upper ? b.box.hi[axis] : b.box.lo[axis];
+              if (ka != kb) return ka < kb;
+              return a.box.hi[axis] < b.box.hi[axis];
+            });
+  std::vector<BoxT> prefix(total), suffix(total);
+  prefix[0] = (*entries)[0].box;
+  for (int i = 1; i < total; ++i) {
+    prefix[i] = prefix[i - 1].Union((*entries)[i].box);
+  }
+  suffix[total - 1] = (*entries)[total - 1].box;
+  for (int i = total - 2; i >= 0; --i) {
+    suffix[i] = suffix[i + 1].Union((*entries)[i].box);
+  }
+  size_t best_k = min_fill;
+  double best_overlap = std::numeric_limits<double>::max();
+  double best_area = std::numeric_limits<double>::max();
+  for (int k = min_fill; k <= total - min_fill; ++k) {
+    const double overlap = prefix[k - 1].OverlapArea(suffix[k]);
+    const double area = prefix[k - 1].Area() + suffix[k].Area();
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && area < best_area)) {
+      best_overlap = overlap;
+      best_area = area;
+      best_k = static_cast<size_t>(k);
+    }
+  }
+  return best_k;
+}
+
+template <int Dim, typename Payload>
+Status RStarTree<Dim, Payload>::InsertAtLevel(const BoxT& box,
+                                              const EntryRef& entry,
+                                              int level) {
+  reinserted_.assign(height_, false);
+  std::vector<Pending> pending;
+  pending.push_back(Pending{level, ScratchEntry{box, entry.payload,
+                                                entry.child}});
+  while (!pending.empty()) {
+    Pending p = pending.back();
+    pending.pop_back();
+    InsertResult res;
+    SWST_RETURN_IF_ERROR(InsertRec(root_, height_ - 1, p.entry.box,
+                                   EntryRef{p.entry.payload, p.entry.child},
+                                   p.level, &res, &pending));
+    if (res.split) {
+      // Grow a new root.
+      auto page = pool_->New();
+      if (!page.ok()) return page.status();
+      auto* node = page->template As<NodePage>();
+      ScratchEntry children[2];
+      children[0] = ScratchEntry{res.node_box, Payload{}, root_};
+      children[1] = ScratchEntry{res.right_box, Payload{}, res.right};
+      WriteEntries(node, /*leaf=*/false, children, 2);
+      page->MarkDirty();
+      root_ = page->id();
+      height_++;
+      reinserted_.resize(height_, true);  // No reinsertion at the new root.
+    }
+  }
+  return Status::OK();
+}
+
+template <int Dim, typename Payload>
+Status RStarTree<Dim, Payload>::InsertRec(PageId node_id, int level,
+                                          const BoxT& box,
+                                          const EntryRef& entry,
+                                          int target_level, InsertResult* res,
+                                          std::vector<Pending>* pending) {
+  auto page = pool_->Fetch(node_id);
+  if (!page.ok()) return page.status();
+  auto* node = page->template As<NodePage>();
+  const bool is_leaf = node->header.type == kLeafType;
+
+  if (level > target_level) {
+    assert(!is_leaf);
+    const int child_idx =
+        ChooseChild(node, box, /*children_are_leaves=*/level - 1 == 0);
+    InternalEntry* ie = InternalEntries(node);
+    InsertResult child_res;
+    const PageId child_id = ie[child_idx].child;
+    // Keep the parent pinned across the recursion: the subtree depth bounds
+    // the pin count, which the pool accommodates.
+    SWST_RETURN_IF_ERROR(InsertRec(child_id, level - 1, box, entry,
+                                   target_level, &child_res, pending));
+    ie[child_idx].box = child_res.node_box;
+    page->MarkDirty();
+    if (!child_res.split) {
+      res->node_box = NodeBox(node);
+      res->split = false;
+      return Status::OK();
+    }
+    // Add the new sibling entry to this node; may overflow in turn.
+    std::vector<ScratchEntry> entries;
+    ReadEntries(node, &entries);
+    entries.push_back(
+        ScratchEntry{child_res.right_box, Payload{}, child_res.right});
+    return HandleOverflowOrStore(std::move(*page), std::move(entries),
+                                 /*leaf=*/false, level, res, pending);
+  }
+
+  // level == target_level: the entry belongs in this node.
+  assert(is_leaf == (target_level == 0));
+  std::vector<ScratchEntry> entries;
+  ReadEntries(node, &entries);
+  entries.push_back(ScratchEntry{box, entry.payload, entry.child});
+  return HandleOverflowOrStore(std::move(*page), std::move(entries), is_leaf,
+                               level, res, pending);
+}
+
+template <int Dim, typename Payload>
+Status RStarTree<Dim, Payload>::HandleOverflowOrStore(
+    PageHandle page, std::vector<ScratchEntry> entries, bool leaf, int level,
+    InsertResult* res, std::vector<Pending>* pending) {
+  auto* node = page.template As<NodePage>();
+  const int capacity = Capacity(leaf);
+
+  if (entries.size() <= static_cast<size_t>(capacity)) {
+    WriteEntries(node, leaf, entries.data(), entries.size());
+    page.MarkDirty();
+    res->node_box = NodeBox(node);
+    res->split = false;
+    return Status::OK();
+  }
+
+  if (level < height_ - 1 && !reinserted_[level]) {
+    // R* forced reinsertion: evict the 30% of entries farthest from the
+    // node's center and try them again from the root.
+    reinserted_[level] = true;
+    BoxT node_box = BoxT::Empty();
+    for (const ScratchEntry& e : entries) node_box.Expand(e.box);
+    std::sort(entries.begin(), entries.end(),
+              [&node_box](const ScratchEntry& a, const ScratchEntry& b) {
+                return node_box.CenterDistance2(a.box) >
+                       node_box.CenterDistance2(b.box);
+              });
+    const int evict = leaf ? kReinsertLeaf : kReinsertInternal;
+    for (int i = 0; i < evict; ++i) {
+      pending->push_back(Pending{level, entries[i]});
+    }
+    entries.erase(entries.begin(), entries.begin() + evict);
+    WriteEntries(node, leaf, entries.data(), entries.size());
+    page.MarkDirty();
+    res->node_box = NodeBox(node);
+    res->split = false;
+    return Status::OK();
+  }
+
+  // Split.
+  const size_t k = ChooseSplit(&entries, leaf);
+  auto right_page = pool_->New();
+  if (!right_page.ok()) return right_page.status();
+  auto* right = right_page->template As<NodePage>();
+  WriteEntries(node, leaf, entries.data(), k);
+  WriteEntries(right, leaf, entries.data() + k, entries.size() - k);
+  page.MarkDirty();
+  right_page->MarkDirty();
+  res->node_box = NodeBox(node);
+  res->split = true;
+  res->right_box = NodeBox(right);
+  res->right = right_page->id();
+  return Status::OK();
+}
+
+template <int Dim, typename Payload>
+Status RStarTree<Dim, Payload>::SearchNode(
+    PageId node_id, int level, const BoxT& query,
+    const std::function<bool(const BoxT&, const Payload&)>& fn,
+    bool* stop) const {
+  auto page = pool_->Fetch(node_id);
+  if (!page.ok()) return page.status();
+  const auto* node = page->template As<NodePage>();
+
+  if (node->header.type == kLeafType) {
+    const LeafEntry* e = LeafEntries(node);
+    for (int i = 0; i < node->header.count && !*stop; ++i) {
+      if (query.Intersects(e[i].box)) {
+        if (!fn(e[i].box, e[i].payload)) *stop = true;
+      }
+    }
+    return Status::OK();
+  }
+  const InternalEntry* e = InternalEntries(node);
+  std::vector<PageId> children;
+  for (int i = 0; i < node->header.count; ++i) {
+    if (query.Intersects(e[i].box)) children.push_back(e[i].child);
+  }
+  page->Release();
+  for (PageId child : children) {
+    if (*stop) break;
+    SWST_RETURN_IF_ERROR(SearchNode(child, level - 1, query, fn, stop));
+  }
+  return Status::OK();
+}
+
+template <int Dim, typename Payload>
+Status RStarTree<Dim, Payload>::FindLeaf(
+    PageId node_id, const BoxT& box,
+    const std::function<bool(const Payload&)>& match,
+    std::vector<PathStep>* path, PageId* leaf, int* entry_idx,
+    bool* found) const {
+  auto page = pool_->Fetch(node_id);
+  if (!page.ok()) return page.status();
+  const auto* node = page->template As<NodePage>();
+
+  if (node->header.type == kLeafType) {
+    const LeafEntry* e = LeafEntries(node);
+    for (int i = 0; i < node->header.count; ++i) {
+      if (e[i].box == box && match(e[i].payload)) {
+        *leaf = node_id;
+        *entry_idx = i;
+        *found = true;
+        return Status::OK();
+      }
+    }
+    return Status::OK();
+  }
+
+  const InternalEntry* e = InternalEntries(node);
+  std::vector<std::pair<int, PageId>> children;
+  for (int i = 0; i < node->header.count; ++i) {
+    if (e[i].box.Contains(box)) children.emplace_back(i, e[i].child);
+  }
+  page->Release();
+  for (const auto& [idx, child] : children) {
+    path->push_back(PathStep{node_id, idx});
+    SWST_RETURN_IF_ERROR(FindLeaf(child, box, match, path, leaf, entry_idx,
+                                  found));
+    if (*found) return Status::OK();
+    path->pop_back();
+  }
+  return Status::OK();
+}
+
+template <int Dim, typename Payload>
+Status RStarTree<Dim, Payload>::Delete(
+    const BoxT& box, const std::function<bool(const Payload&)>& match) {
+  std::vector<PathStep> path;
+  PageId leaf_id = kInvalidPageId;
+  int entry_idx = -1;
+  bool found = false;
+  SWST_RETURN_IF_ERROR(
+      FindLeaf(root_, box, match, &path, &leaf_id, &entry_idx, &found));
+  if (!found) return Status::NotFound("RStarTree::Delete: entry not found");
+
+  std::vector<Pending> orphans;
+
+  // Remove the entry from the leaf.
+  bool remove_child = false;  // Whether the current node must be detached.
+  BoxT child_box;
+  {
+    auto page = pool_->Fetch(leaf_id);
+    if (!page.ok()) return page.status();
+    auto* node = page->template As<NodePage>();
+    LeafEntry* e = LeafEntries(node);
+    std::memmove(&e[entry_idx], &e[entry_idx + 1],
+                 sizeof(LeafEntry) * (node->header.count - entry_idx - 1));
+    node->header.count--;
+    page->MarkDirty();
+    const bool is_root = path.empty();
+    if (!is_root && node->header.count < kLeafMin) {
+      for (int i = 0; i < node->header.count; ++i) {
+        orphans.push_back(Pending{0, ScratchEntry{e[i].box, e[i].payload,
+                                                  kInvalidPageId}});
+      }
+      remove_child = true;
+    } else {
+      child_box = NodeBox(node);
+    }
+  }
+  if (remove_child) {
+    SWST_RETURN_IF_ERROR(pool_->Free(leaf_id));
+  }
+
+  // Condense up the recorded path (leaf is level 0; path.back() is its
+  // parent at level 1).
+  for (size_t i = path.size(); i > 0; --i) {
+    const PathStep& step = path[i - 1];
+    const int level = static_cast<int>(path.size() - i) + 1;
+    auto page = pool_->Fetch(step.node);
+    if (!page.ok()) return page.status();
+    auto* node = page->template As<NodePage>();
+    InternalEntry* e = InternalEntries(node);
+    bool this_remove = false;
+    if (remove_child) {
+      std::memmove(&e[step.child_idx], &e[step.child_idx + 1],
+                   sizeof(InternalEntry) *
+                       (node->header.count - step.child_idx - 1));
+      node->header.count--;
+    } else {
+      e[step.child_idx].box = child_box;
+    }
+    page->MarkDirty();
+    const bool is_root = (i == 1);
+    if (!is_root && node->header.count < kInternalMin) {
+      for (int j = 0; j < node->header.count; ++j) {
+        orphans.push_back(
+            Pending{level, ScratchEntry{e[j].box, Payload{}, e[j].child}});
+      }
+      this_remove = true;
+    } else {
+      child_box = NodeBox(node);
+    }
+    page->Release();
+    if (this_remove) {
+      SWST_RETURN_IF_ERROR(pool_->Free(step.node));
+    }
+    remove_child = this_remove;
+  }
+
+  // Shrink the root: collapse single-child internal roots; an internal
+  // root left with no children becomes an empty leaf.
+  for (;;) {
+    auto page = pool_->Fetch(root_);
+    if (!page.ok()) return page.status();
+    auto* node = page->template As<NodePage>();
+    if (node->header.type == kLeafType) break;
+    if (node->header.count == 1) {
+      const PageId child = InternalEntries(node)->child;
+      page->Release();
+      SWST_RETURN_IF_ERROR(pool_->Free(root_));
+      root_ = child;
+      height_--;
+      continue;
+    }
+    if (node->header.count == 0) {
+      node->header.type = kLeafType;
+      page->MarkDirty();
+      height_ = 1;
+    }
+    break;
+  }
+
+  // Reinsert orphans (highest levels first so subtrees regain anchor
+  // points before their would-be descendants).
+  std::stable_sort(orphans.begin(), orphans.end(),
+                   [](const Pending& a, const Pending& b) {
+                     return a.level > b.level;
+                   });
+  for (const Pending& p : orphans) {
+    SWST_RETURN_IF_ERROR(ReinsertOrphan(p));
+  }
+  return Status::OK();
+}
+
+template <int Dim, typename Payload>
+Status RStarTree<Dim, Payload>::ReinsertOrphan(const Pending& p) {
+  if (p.level <= height_ - 1) {
+    return InsertAtLevel(p.entry.box,
+                         EntryRef{p.entry.payload, p.entry.child}, p.level);
+  }
+  // The tree shrank below this orphan's level: demote by re-scattering the
+  // orphan subtree's own entries one level down.
+  auto page = pool_->Fetch(p.entry.child);
+  if (!page.ok()) return page.status();
+  auto* node = page->template As<NodePage>();
+  std::vector<ScratchEntry> entries;
+  ReadEntries(node, &entries);
+  const bool child_is_leaf = node->header.type == kLeafType;
+  page->Release();
+  SWST_RETURN_IF_ERROR(pool_->Free(p.entry.child));
+  for (const ScratchEntry& e : entries) {
+    SWST_RETURN_IF_ERROR(
+        ReinsertOrphan(Pending{child_is_leaf ? 0 : p.level - 1, e}));
+  }
+  return Status::OK();
+}
+
+template <int Dim, typename Payload>
+Status RStarTree<Dim, Payload>::Drop() {
+  SWST_RETURN_IF_ERROR(DropSubtree(root_));
+  root_ = kInvalidPageId;
+  height_ = 0;
+  return Status::OK();
+}
+
+template <int Dim, typename Payload>
+Status RStarTree<Dim, Payload>::DropSubtree(PageId node_id) {
+  std::vector<PageId> children;
+  {
+    auto page = pool_->Fetch(node_id);
+    if (!page.ok()) return page.status();
+    const auto* node = page->template As<NodePage>();
+    if (node->header.type == kInternalType) {
+      const InternalEntry* e = InternalEntries(node);
+      for (int i = 0; i < node->header.count; ++i) {
+        children.push_back(e[i].child);
+      }
+    }
+  }
+  for (PageId child : children) {
+    SWST_RETURN_IF_ERROR(DropSubtree(child));
+  }
+  return pool_->Free(node_id);
+}
+
+template <int Dim, typename Payload>
+Status RStarTree<Dim, Payload>::ValidateNode(PageId node_id, int depth,
+                                             bool is_root,
+                                             const BoxT* parent_box,
+                                             int* leaf_depth) const {
+  auto page = pool_->Fetch(node_id);
+  if (!page.ok()) return page.status();
+  const auto* node = page->template As<NodePage>();
+  const bool leaf = node->header.type == kLeafType;
+  const BoxT self_box = NodeBox(node);
+
+  if (!is_root && node->header.count < MinFill(leaf)) {
+    return Status::Corruption("r-tree node underflow");
+  }
+  if (parent_box != nullptr && node->header.count > 0 &&
+      !parent_box->Contains(self_box)) {
+    return Status::Corruption("r-tree child escapes parent MBR");
+  }
+  if (leaf) {
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("r-tree leaves at different depths");
+    }
+    return Status::OK();
+  }
+  const InternalEntry* e = InternalEntries(node);
+  std::vector<std::pair<BoxT, PageId>> children;
+  for (int i = 0; i < node->header.count; ++i) {
+    children.emplace_back(e[i].box, e[i].child);
+  }
+  page->Release();
+  for (const auto& [box, child] : children) {
+    SWST_RETURN_IF_ERROR(
+        ValidateNode(child, depth + 1, false, &box, leaf_depth));
+  }
+  return Status::OK();
+}
+
+template <int Dim, typename Payload>
+Status RStarTree<Dim, Payload>::Validate() const {
+  int leaf_depth = -1;
+  SWST_RETURN_IF_ERROR(ValidateNode(root_, 0, true, nullptr, &leaf_depth));
+  if (leaf_depth + 1 != height_) {
+    return Status::Corruption("r-tree height out of sync");
+  }
+  return Status::OK();
+}
+
+}  // namespace swst
+
+#endif  // SWST_RTREE_RSTAR_TREE_IMPL_H_

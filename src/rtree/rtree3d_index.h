@@ -1,0 +1,87 @@
+#ifndef SWST_RTREE_RTREE3D_INDEX_H_
+#define SWST_RTREE_RTREE3D_INDEX_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "rtree/rstar_tree.h"
+#include "storage/buffer_pool.h"
+
+namespace swst {
+
+/// \brief The 3D R-tree historical baseline (Theodoridis et al., ICMCS'96;
+/// paper §II): entries indexed as boxes in (x, y, valid time).
+///
+/// Included as the second classical point of comparison. It demonstrates
+/// the paper's two criticisms of historical indexes under a sliding
+/// window:
+///  - *current* entries have an unknown end timestamp, so their time
+///    extent must be pessimistically stretched to "now" and replaced on
+///    every close — the structure has no natural notion of open entries;
+///  - expiring a window means locating and deleting every expired entry
+///    (condense-tree each time), which `bench_window_maintenance` shows to
+///    be orders of magnitude costlier than SWST's tree drop.
+///
+/// Streaming protocol mirrors the other indexes: `ReportPosition` closes
+/// the previous current entry (delete + reinsert with the real extent) and
+/// inserts the new one. `ExpireBefore` performs the per-entry window
+/// maintenance.
+class RTree3dIndex {
+ public:
+  static Result<std::unique_ptr<RTree3dIndex>> Create(BufferPool* pool,
+                                                      Timestamp horizon);
+
+  RTree3dIndex(const RTree3dIndex&) = delete;
+  RTree3dIndex& operator=(const RTree3dIndex&) = delete;
+
+  /// Inserts a closed entry.
+  Status Insert(const Entry& entry);
+
+  /// Deletes a specific entry (matched by oid + start).
+  Status Delete(const Entry& entry);
+
+  /// Streaming protocol: closes `previous` (if non-null, with duration
+  /// t - previous->start) and inserts the new current entry for `oid`.
+  Status ReportPosition(ObjectId oid, const Point& pos, Timestamp t,
+                        const Entry* previous, Entry* out_current = nullptr);
+
+  /// Interval query: entries in `area` whose valid time overlaps
+  /// `interval`. Current entries match any time >= start.
+  Result<std::vector<Entry>> IntervalQuery(const Rect& area,
+                                           const TimeInterval& interval);
+
+  /// Timeslice query.
+  Result<std::vector<Entry>> TimesliceQuery(const Rect& area, Timestamp t) {
+    return IntervalQuery(area, TimeInterval{t, t});
+  }
+
+  /// Deletes every entry whose start timestamp is below `cutoff` — the
+  /// per-entry window maintenance a 3D R-tree is stuck with. Returns the
+  /// number of entries removed.
+  Result<uint64_t> ExpireBefore(Timestamp cutoff);
+
+  /// Number of live entries.
+  Result<uint64_t> CountEntries() { return tree_.CountEntries(); }
+
+  Status Validate() const { return tree_.Validate(); }
+
+ private:
+  RTree3dIndex(BufferPool* pool, RStarTree<3, Entry> tree, Timestamp horizon)
+      : pool_(pool), tree_(std::move(tree)), horizon_(horizon) {}
+
+  /// Box for an entry; current entries extend to the fixed horizon (a 3D
+  /// R-tree must bound the time axis somehow — the classic workaround).
+  Box3 BoxFor(const Entry& entry) const;
+
+  BufferPool* pool_;
+  RStarTree<3, Entry> tree_;
+  /// Upper bound used as the open end of current entries' time extent.
+  Timestamp horizon_;
+};
+
+}  // namespace swst
+
+#endif  // SWST_RTREE_RTREE3D_INDEX_H_

@@ -1,0 +1,66 @@
+#include "rtree/rum_tree.h"
+
+namespace swst {
+
+Result<std::unique_ptr<RumTree>> RumTree::Create(BufferPool* pool) {
+  auto tree = RStarTree<2, Stamped>::Create(pool);
+  if (!tree.ok()) return tree.status();
+  return std::unique_ptr<RumTree>(new RumTree(pool, std::move(*tree)));
+}
+
+Status RumTree::Report(ObjectId oid, const Point& pos) {
+  const uint64_t stamp = next_stamp_++;
+  SWST_RETURN_IF_ERROR(tree_.Insert(PointBox(pos), Stamped{oid, stamp}));
+  memo_[oid] = stamp;
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<ObjectId, Point>>> RumTree::CurrentQuery(
+    const Rect& area) {
+  Box2 q;
+  q.lo[0] = area.lo.x;
+  q.hi[0] = area.hi.x;
+  q.lo[1] = area.lo.y;
+  q.hi[1] = area.hi.y;
+  std::vector<std::pair<ObjectId, Point>> out;
+  Status st = tree_.Search(q, [&](const Box2& b, const Stamped& s) {
+    auto it = memo_.find(s.oid);
+    if (it != memo_.end() && it->second == s.stamp) {
+      out.emplace_back(s.oid, Point{b.lo[0], b.lo[1]});
+    }
+    return true;
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Result<uint64_t> RumTree::GarbageCollect() {
+  // Collect stale (box, payload) pairs with a full sweep, then delete each
+  // one — deletion cost is the overhead the paper's §II argument is about.
+  Box2 all;
+  for (int i = 0; i < 2; ++i) {
+    all.lo[i] = std::numeric_limits<double>::lowest();
+    all.hi[i] = std::numeric_limits<double>::max();
+  }
+  struct Garbage {
+    Box2 box;
+    ObjectId oid;
+    uint64_t stamp;
+  };
+  std::vector<Garbage> garbage;
+  SWST_RETURN_IF_ERROR(tree_.Search(all, [&](const Box2& b, const Stamped& s) {
+    auto it = memo_.find(s.oid);
+    if (it == memo_.end() || it->second != s.stamp) {
+      garbage.push_back(Garbage{b, s.oid, s.stamp});
+    }
+    return true;
+  }));
+  for (const Garbage& g : garbage) {
+    SWST_RETURN_IF_ERROR(tree_.Delete(g.box, [&g](const Stamped& s) {
+      return s.oid == g.oid && s.stamp == g.stamp;
+    }));
+  }
+  return static_cast<uint64_t>(garbage.size());
+}
+
+}  // namespace swst

@@ -1,0 +1,144 @@
+#include "seti/seti_index.h"
+
+#include <algorithm>
+
+namespace swst {
+
+namespace {
+
+/// On-page layout: a bare count followed by packed entries.
+struct SetiPageHeader {
+  uint32_t count;
+  uint32_t padding;
+};
+
+constexpr int kPageCapacity = static_cast<int>(
+    (kPageSize - sizeof(SetiPageHeader)) / sizeof(Entry));
+
+Entry* PageEntries(PageHandle& p) {
+  return reinterpret_cast<Entry*>(p.data() + sizeof(SetiPageHeader));
+}
+
+}  // namespace
+
+Status SetiOptions::Validate() const {
+  if (space.IsEmpty()) {
+    return Status::InvalidArgument("space must be non-empty");
+  }
+  if (x_partitions == 0 || y_partitions == 0) {
+    return Status::InvalidArgument("grid partitions must be positive");
+  }
+  return Status::OK();
+}
+
+SetiIndex::SetiIndex(BufferPool* pool, const SetiOptions& options)
+    : pool_(pool),
+      options_(options),
+      grid_(options.space, options.x_partitions, options.y_partitions),
+      cells_(grid_.cell_count()) {}
+
+Result<std::unique_ptr<SetiIndex>> SetiIndex::Create(
+    BufferPool* pool, const SetiOptions& options) {
+  SWST_RETURN_IF_ERROR(options.Validate());
+  return std::unique_ptr<SetiIndex>(new SetiIndex(pool, options));
+}
+
+Status SetiIndex::Insert(const Entry& entry) {
+  if (entry.is_current()) {
+    return Status::NotSupported(
+        "SETI cannot index current entries (unknown end timestamps)");
+  }
+  if (entry.duration == 0) {
+    return Status::InvalidArgument("Insert: duration must be positive");
+  }
+  if (!grid_.Contains(entry.pos)) {
+    return Status::InvalidArgument("Insert: position outside spatial domain");
+  }
+  Cell& cell = cells_[grid_.CellOf(entry.pos)];
+  if (!cell.pages.empty() && entry.start < cell.pages.back().max_start) {
+    return Status::InvalidArgument(
+        "Insert: start timestamps must be non-decreasing per cell");
+  }
+  if (cell.pages.empty() ||
+      cell.pages.back().count == static_cast<uint16_t>(kPageCapacity)) {
+    auto page = pool_->New();
+    if (!page.ok()) return page.status();
+    page->As<SetiPageHeader>()->count = 0;
+    page->MarkDirty();
+    PageMeta meta;
+    meta.page = page->id();
+    meta.min_start = entry.start;
+    cell.pages.push_back(meta);
+  }
+  PageMeta& meta = cell.pages.back();
+  auto page = pool_->Fetch(meta.page);
+  if (!page.ok()) return page.status();
+  auto* hdr = page->As<SetiPageHeader>();
+  PageEntries(*page)[hdr->count] = entry;
+  hdr->count++;
+  page->MarkDirty();
+
+  meta.count = static_cast<uint16_t>(hdr->count);
+  meta.max_start = entry.start;
+  meta.max_end = std::max(meta.max_end, entry.end());
+  meta.mbr.Expand(entry.pos);
+  return Status::OK();
+}
+
+Result<std::vector<Entry>> SetiIndex::IntervalQuery(
+    const Rect& area, const TimeInterval& interval, Timestamp window_lo) {
+  std::vector<Entry> out;
+  if (area.IsEmpty() || interval.lo > interval.hi) {
+    return Status::InvalidArgument("IntervalQuery: malformed query");
+  }
+  for (const SpatialGrid::CellOverlap& co : grid_.Overlapping(area)) {
+    const Cell& cell = cells_[co.cell];
+    for (const PageMeta& meta : cell.pages) {
+      // Page-level pruning: the sparse index only knows the page's start
+      // range, max end, and MBR.
+      if (meta.min_start > interval.hi) break;  // Time-ordered pages.
+      if (meta.max_end <= interval.lo) continue;
+      if (meta.max_start < window_lo) continue;
+      if (!meta.mbr.Intersects(co.overlap)) continue;
+      auto page = pool_->Fetch(meta.page);
+      if (!page.ok()) return page.status();
+      const auto* hdr = page->As<SetiPageHeader>();
+      const Entry* e = PageEntries(*page);
+      for (uint32_t i = 0; i < hdr->count; ++i) {
+        if (e[i].start < window_lo) continue;
+        if (!e[i].ValidTimeOverlaps(interval)) continue;
+        if (!co.overlap.Contains(e[i].pos)) continue;
+        out.push_back(e[i]);
+      }
+    }
+  }
+  return out;
+}
+
+Result<uint64_t> SetiIndex::ExpireBefore(Timestamp cutoff) {
+  uint64_t freed = 0;
+  for (Cell& cell : cells_) {
+    while (!cell.pages.empty() && cell.pages.front().max_start < cutoff) {
+      SWST_RETURN_IF_ERROR(pool_->Free(cell.pages.front().page));
+      cell.pages.pop_front();
+      freed++;
+    }
+  }
+  return freed;
+}
+
+Result<uint64_t> SetiIndex::CountEntries() const {
+  uint64_t n = 0;
+  for (const Cell& cell : cells_) {
+    for (const PageMeta& meta : cell.pages) n += meta.count;
+  }
+  return n;
+}
+
+size_t SetiIndex::SparseIndexBytes() const {
+  size_t pages = 0;
+  for (const Cell& cell : cells_) pages += cell.pages.size();
+  return pages * sizeof(PageMeta) + cells_.size() * sizeof(Cell);
+}
+
+}  // namespace swst

@@ -1,0 +1,107 @@
+#ifndef SWST_SETI_SETI_INDEX_H_
+#define SWST_SETI_SETI_INDEX_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/buffer_pool.h"
+#include "swst/spatial_grid.h"
+
+namespace swst {
+
+/// Options for the SETI baseline.
+struct SetiOptions {
+  Rect space{{0.0, 0.0}, {10000.0, 10000.0}};
+  uint32_t x_partitions = 20;
+  uint32_t y_partitions = 20;
+
+  Status Validate() const;
+};
+
+/// \brief SETI (Chakka, Everspaugh & Patel, CIDR'03) adapted to the
+/// discretely-moving-point stream — the paper's §II archetype of a
+/// *fully decoupled* two-layer index.
+///
+/// Space is partitioned into static cells; within a cell, entries are
+/// appended to time-ordered data pages, and a *sparse* in-memory index
+/// keeps one record per page: its start-timestamp range, its maximum end
+/// timestamp, and its MBR. Queries pick overlapping cells, then
+/// overlapping pages, then scan those pages in full.
+///
+/// Because the temporal layer knows nothing about positions below page
+/// granularity (and nothing about durations at all), two of the paper's
+/// criticisms become measurable:
+///  - a cell barely clipped by the query costs as much as a fully covered
+///    one (no in-cell spatial discrimination — contrast SWST's Z-bits and
+///    memo MBRs);
+///  - one long-duration entry stretches its page's end-timestamp bound, so
+///    the page is fetched by every later interval query (contrast SWST's
+///    bounded duration partitions).
+///
+/// What SETI *does* get right for a sliding window is expiry: pages are
+/// time-ordered per cell, so dropping expired data is a FIFO pop of whole
+/// pages (`ExpireBefore`), nearly as cheap as SWST's tree drop. Like PIST,
+/// it cannot represent current entries (their ends are unknown), so only
+/// closed entries are accepted.
+class SetiIndex {
+ public:
+  static Result<std::unique_ptr<SetiIndex>> Create(BufferPool* pool,
+                                                   const SetiOptions& options);
+
+  SetiIndex(const SetiIndex&) = delete;
+  SetiIndex& operator=(const SetiIndex&) = delete;
+
+  /// Appends a *closed* entry. Start timestamps must be non-decreasing per
+  /// cell (the stream order), which keeps pages time-ordered.
+  Status Insert(const Entry& entry);
+
+  /// Entries intersecting `area` whose valid time overlaps `interval`,
+  /// restricted to starts >= `window_lo`.
+  Result<std::vector<Entry>> IntervalQuery(const Rect& area,
+                                           const TimeInterval& interval,
+                                           Timestamp window_lo = 0);
+
+  Result<std::vector<Entry>> TimesliceQuery(const Rect& area, Timestamp t,
+                                            Timestamp window_lo = 0) {
+    return IntervalQuery(area, TimeInterval{t, t}, window_lo);
+  }
+
+  /// FIFO window maintenance: per cell, pops whole pages whose every entry
+  /// has start < `cutoff`. Returns pages freed.
+  Result<uint64_t> ExpireBefore(Timestamp cutoff);
+
+  /// Total entries currently indexed (O(pages) walk; tests only).
+  Result<uint64_t> CountEntries() const;
+
+  /// In-memory sparse-index footprint in bytes.
+  size_t SparseIndexBytes() const;
+
+ private:
+  /// Sparse-index record for one data page (SETI keeps these in memory).
+  struct PageMeta {
+    PageId page = kInvalidPageId;
+    Timestamp min_start = 0;
+    Timestamp max_start = 0;
+    Timestamp max_end = 0;  ///< Largest s + d on the page.
+    Rect mbr = Rect::Empty();
+    uint16_t count = 0;
+  };
+
+  struct Cell {
+    std::deque<PageMeta> pages;  ///< Time-ordered, oldest first.
+  };
+
+  SetiIndex(BufferPool* pool, const SetiOptions& options);
+
+  BufferPool* pool_;
+  SetiOptions options_;
+  SpatialGrid grid_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace swst
+
+#endif  // SWST_SETI_SETI_INDEX_H_

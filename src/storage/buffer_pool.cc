@@ -1,0 +1,184 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace swst {
+
+PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    frame_ = o.frame_;
+    id_ = o.id_;
+    data_ = o.data_;
+    o.pool_ = nullptr;
+    o.data_ = nullptr;
+    o.id_ = kInvalidPageId;
+  }
+  return *this;
+}
+
+void PageHandle::MarkDirty() {
+  assert(valid());
+  pool_->MarkDirty(frame_);
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    data_ = nullptr;
+    id_ = kInvalidPageId;
+  }
+}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity_pages) : pager_(pager) {
+  assert(capacity_pages >= 1);
+  frames_.resize(capacity_pages);
+  unused_frames_.reserve(capacity_pages);
+  for (size_t i = capacity_pages; i > 0; --i) {
+    unused_frames_.push_back(i - 1);
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort write-back; errors here cannot be reported.
+  (void)FlushAll();
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id) {
+  if (id == kInvalidPageId) {
+    return Status::InvalidArgument("Fetch: invalid page id");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.logical_reads++;
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.pin_count == 0 && f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    f.pin_count++;
+    return PageHandle(this, it->second, id, f.data.data());
+  }
+
+  auto frame_idx = GrabFrame();
+  if (!frame_idx.ok()) return frame_idx.status();
+  Frame& f = frames_[*frame_idx];
+  if (f.data.empty()) f.data.resize(kPageSize);
+  Status st = pager_->ReadPage(id, f.data.data());
+  if (!st.ok()) {
+    unused_frames_.push_back(*frame_idx);
+    return st;
+  }
+  stats_.physical_reads++;
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.in_lru = false;
+  page_to_frame_[id] = *frame_idx;
+  return PageHandle(this, *frame_idx, id, f.data.data());
+}
+
+Result<PageHandle> BufferPool::New() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto id = pager_->AllocatePage();
+  if (!id.ok()) return id.status();
+  stats_.pages_allocated++;
+  stats_.logical_reads++;
+
+  auto frame_idx = GrabFrame();
+  if (!frame_idx.ok()) return frame_idx.status();
+  Frame& f = frames_[*frame_idx];
+  if (f.data.empty()) f.data.resize(kPageSize);
+  std::memset(f.data.data(), 0, kPageSize);
+  f.page_id = *id;
+  f.pin_count = 1;
+  f.dirty = true;
+  f.in_lru = false;
+  page_to_frame_[*id] = *frame_idx;
+  return PageHandle(this, *frame_idx, *id, f.data.data());
+}
+
+Status BufferPool::Free(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.pin_count != 0) {
+      return Status::InvalidArgument("Free: page is pinned");
+    }
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    f.page_id = kInvalidPageId;
+    f.dirty = false;
+    unused_frames_.push_back(it->second);
+    page_to_frame_.erase(it);
+  }
+  SWST_RETURN_IF_ERROR(pager_->FreePage(id));
+  stats_.pages_freed++;
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Frame& f : frames_) {
+    if (f.page_id != kInvalidPageId && f.dirty) {
+      SWST_RETURN_IF_ERROR(pager_->WritePage(f.page_id, f.data.data()));
+      stats_.physical_writes++;
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+size_t BufferPool::pinned_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const Frame& f : frames_) {
+    if (f.page_id != kInvalidPageId && f.pin_count > 0) n++;
+  }
+  return n;
+}
+
+void BufferPool::Unpin(size_t frame_idx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame& f = frames_[frame_idx];
+  assert(f.pin_count > 0);
+  f.pin_count--;
+  if (f.pin_count == 0) {
+    lru_.push_front(frame_idx);
+    f.lru_pos = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+Result<size_t> BufferPool::GrabFrame() {
+  if (!unused_frames_.empty()) {
+    size_t idx = unused_frames_.back();
+    unused_frames_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::IOError("buffer pool exhausted: all frames pinned");
+  }
+  // Evict the least-recently-used unpinned frame.
+  size_t victim = lru_.back();
+  lru_.pop_back();
+  Frame& f = frames_[victim];
+  f.in_lru = false;
+  if (f.dirty) {
+    SWST_RETURN_IF_ERROR(pager_->WritePage(f.page_id, f.data.data()));
+    stats_.physical_writes++;
+    f.dirty = false;
+  }
+  page_to_frame_.erase(f.page_id);
+  f.page_id = kInvalidPageId;
+  return victim;
+}
+
+}  // namespace swst

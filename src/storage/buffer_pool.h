@@ -1,0 +1,145 @@
+#ifndef SWST_STORAGE_BUFFER_POOL_H_
+#define SWST_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace swst {
+
+class BufferPool;
+
+/// \brief RAII guard for a pinned page frame.
+///
+/// While a handle is live the underlying frame cannot be evicted. Handles
+/// are move-only and unpin on destruction. Call `MarkDirty()` after
+/// mutating `data()` so the frame is written back on eviction/flush.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  ~PageHandle() { Release(); }
+
+  PageHandle(PageHandle&& o) noexcept { *this = std::move(o); }
+  PageHandle& operator=(PageHandle&& o) noexcept;
+
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  /// Reinterprets the page bytes as `T`. `T` must fit in a page.
+  template <typename T>
+  T* As() {
+    static_assert(sizeof(T) <= kPageSize);
+    return reinterpret_cast<T*>(data_);
+  }
+  template <typename T>
+  const T* As() const {
+    static_assert(sizeof(T) <= kPageSize);
+    return reinterpret_cast<const T*>(data_);
+  }
+
+  void MarkDirty();
+
+  /// Unpins early (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, size_t frame, PageId id, char* data)
+      : pool_(pool), frame_(frame), id_(id), data_(data) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId id_ = kInvalidPageId;
+  char* data_ = nullptr;
+};
+
+/// \brief Fixed-capacity LRU page cache over a `Pager`.
+///
+/// All index structures in this codebase (B+ trees, R-trees, MVR-trees)
+/// access disk pages exclusively through a buffer pool, and every `Fetch` /
+/// `New` increments `stats().logical_reads` — this is the *node access*
+/// count reported in the paper's experiments.
+///
+/// Pool bookkeeping (frame table, LRU, pin counts) is protected by an
+/// internal mutex, so pages can be fetched from multiple threads; the
+/// *contents* of a pinned page are not synchronized — concurrent access to
+/// the same page must be coordinated by the caller (see
+/// `ConcurrentSwstIndex`). `stats()` reads are unsynchronized snapshots.
+class BufferPool {
+ public:
+  /// `capacity_pages` must be >= 1. The pool does not own `pager`.
+  BufferPool(Pager* pager, size_t capacity_pages);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from the pager on a cache miss.
+  Result<PageHandle> Fetch(PageId id);
+
+  /// Allocates a fresh zeroed page and pins it (already marked dirty).
+  Result<PageHandle> New();
+
+  /// Frees page `id`. The page must not be pinned; a cached copy is
+  /// discarded without write-back.
+  Status Free(PageId id);
+
+  /// Writes back all dirty frames (pages stay cached).
+  Status FlushAll();
+
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+
+  Pager* pager() { return pager_; }
+
+  size_t capacity() const { return frames_.size(); }
+  size_t pinned_count() const;
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    bool in_lru = false;
+    std::list<size_t>::iterator lru_pos;
+    std::vector<char> data;
+  };
+
+  void Unpin(size_t frame_idx);
+  void MarkDirty(size_t frame_idx) {
+    std::lock_guard<std::mutex> lock(mu_);
+    frames_[frame_idx].dirty = true;
+  }
+
+  /// Finds a frame for a new page: a never-used frame or the LRU victim
+  /// (written back if dirty). Fails if every frame is pinned.
+  Result<size_t> GrabFrame();
+
+  /// Guards frames_, lru_, unused_frames_, page_to_frame_ and stats_.
+  mutable std::mutex mu_;
+  Pager* pager_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> unused_frames_;
+  std::list<size_t> lru_;  ///< Unpinned frames, most-recent at front.
+  std::unordered_map<PageId, size_t> page_to_frame_;
+  IoStats stats_;
+};
+
+}  // namespace swst
+
+#endif  // SWST_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,27 @@
+#include "storage/io_stats.h"
+
+#include <sstream>
+
+namespace swst {
+
+IoStats IoStats::Since(const IoStats& snapshot) const {
+  IoStats d;
+  d.logical_reads = logical_reads - snapshot.logical_reads;
+  d.physical_reads = physical_reads - snapshot.physical_reads;
+  d.physical_writes = physical_writes - snapshot.physical_writes;
+  d.pages_allocated = pages_allocated - snapshot.pages_allocated;
+  d.pages_freed = pages_freed - snapshot.pages_freed;
+  return d;
+}
+
+std::string IoStats::ToString() const {
+  std::ostringstream os;
+  os << "IoStats{logical_reads=" << logical_reads
+     << ", physical_reads=" << physical_reads
+     << ", physical_writes=" << physical_writes
+     << ", pages_allocated=" << pages_allocated
+     << ", pages_freed=" << pages_freed << "}";
+  return os.str();
+}
+
+}  // namespace swst

@@ -1,0 +1,41 @@
+#ifndef SWST_STORAGE_IO_STATS_H_
+#define SWST_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace swst {
+
+/// \brief Counters for the cost metrics reported in the paper.
+///
+/// The paper compares indexes by *node accesses* (logical page fetches,
+/// whether or not they hit the buffer pool) because that metric is
+/// independent of buffering policy and hardware. Physical reads/writes are
+/// kept too, for completeness.
+struct IoStats {
+  uint64_t logical_reads = 0;    ///< Buffer-pool fetches ("node accesses").
+  uint64_t physical_reads = 0;   ///< Pages actually read from the backing file.
+  uint64_t physical_writes = 0;  ///< Pages actually written to the backing file.
+  uint64_t pages_allocated = 0;
+  uint64_t pages_freed = 0;
+
+  void Reset() { *this = IoStats{}; }
+
+  IoStats& operator+=(const IoStats& o) {
+    logical_reads += o.logical_reads;
+    physical_reads += o.physical_reads;
+    physical_writes += o.physical_writes;
+    pages_allocated += o.pages_allocated;
+    pages_freed += o.pages_freed;
+    return *this;
+  }
+
+  /// Difference since an earlier snapshot.
+  IoStats Since(const IoStats& snapshot) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace swst
+
+#endif  // SWST_STORAGE_IO_STATS_H_

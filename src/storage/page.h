@@ -1,0 +1,20 @@
+#ifndef SWST_STORAGE_PAGE_H_
+#define SWST_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace swst {
+
+/// Identifier of a disk page within a pager file. Page 0 is the pager's
+/// superblock and is never handed out to clients.
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = 0;
+
+/// Disk page size. The paper's experiments use 8 KiB pages (Table II).
+inline constexpr uint32_t kPageSize = 8192;
+
+}  // namespace swst
+
+#endif  // SWST_STORAGE_PAGE_H_

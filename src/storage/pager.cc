@@ -1,0 +1,230 @@
+#include "storage/pager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace swst {
+
+namespace {
+
+// Superblock layout (page 0).
+struct Superblock {
+  uint64_t magic;
+  uint64_t page_count;      // Including the superblock.
+  uint64_t live_pages;      // Excluding the superblock.
+  PageId free_list_head;    // kInvalidPageId when empty.
+};
+
+constexpr uint64_t kMagic = 0x53575354'50414745ULL;  // "SWSTPAGE"
+
+std::string Errno(const std::string& op) {
+  return op + ": " + std::strerror(errno);
+}
+
+class FilePager final : public Pager {
+ public:
+  FilePager(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  ~FilePager() override {
+    if (fd_ >= 0) {
+      WriteSuperblock();
+      ::close(fd_);
+    }
+  }
+
+  Status Init(bool truncate) {
+    off_t size = ::lseek(fd_, 0, SEEK_END);
+    if (size < 0) return Status::IOError(Errno("lseek " + path_));
+    if (truncate || size < static_cast<off_t>(kPageSize)) {
+      if (::ftruncate(fd_, 0) != 0) {
+        return Status::IOError(Errno("ftruncate " + path_));
+      }
+      sb_.magic = kMagic;
+      sb_.page_count = 1;
+      sb_.live_pages = 0;
+      sb_.free_list_head = kInvalidPageId;
+      return WriteSuperblock();
+    }
+    char buf[kPageSize];
+    SWST_RETURN_IF_ERROR(ReadRaw(0, buf));
+    std::memcpy(&sb_, buf, sizeof(sb_));
+    if (sb_.magic != kMagic) {
+      return Status::Corruption("bad pager magic in " + path_);
+    }
+    if (sb_.page_count * static_cast<uint64_t>(kPageSize) >
+        static_cast<uint64_t>(size)) {
+      return Status::Corruption("pager file shorter than superblock claims: " +
+                                path_);
+    }
+    return Status::OK();
+  }
+
+  Result<PageId> AllocatePage() override {
+    PageId id;
+    if (sb_.free_list_head != kInvalidPageId) {
+      id = sb_.free_list_head;
+      char buf[kPageSize];
+      SWST_RETURN_IF_ERROR(ReadRaw(id, buf));
+      std::memcpy(&sb_.free_list_head, buf, sizeof(PageId));
+    } else {
+      id = static_cast<PageId>(sb_.page_count);
+      sb_.page_count++;
+      // Extend the file so subsequent reads of this page succeed.
+      char zero[kPageSize] = {};
+      SWST_RETURN_IF_ERROR(WriteRaw(id, zero));
+    }
+    sb_.live_pages++;
+    return id;
+  }
+
+  Status FreePage(PageId id) override {
+    if (id == kInvalidPageId || id >= sb_.page_count) {
+      return Status::InvalidArgument("FreePage: bad page id");
+    }
+    char buf[kPageSize] = {};
+    std::memcpy(buf, &sb_.free_list_head, sizeof(PageId));
+    SWST_RETURN_IF_ERROR(WriteRaw(id, buf));
+    sb_.free_list_head = id;
+    sb_.live_pages--;
+    return Status::OK();
+  }
+
+  Status ReadPage(PageId id, void* buf) override {
+    if (id == kInvalidPageId || id >= sb_.page_count) {
+      return Status::InvalidArgument("ReadPage: bad page id");
+    }
+    return ReadRaw(id, buf);
+  }
+
+  Status WritePage(PageId id, const void* buf) override {
+    if (id == kInvalidPageId || id >= sb_.page_count) {
+      return Status::InvalidArgument("WritePage: bad page id");
+    }
+    return WriteRaw(id, buf);
+  }
+
+  Status Sync() override {
+    SWST_RETURN_IF_ERROR(WriteSuperblock());
+    if (::fdatasync(fd_) != 0) {
+      return Status::IOError(Errno("fdatasync " + path_));
+    }
+    return Status::OK();
+  }
+
+  uint64_t page_count() const override { return sb_.page_count; }
+  uint64_t live_page_count() const override { return sb_.live_pages; }
+
+ private:
+  Status ReadRaw(PageId id, void* buf) {
+    const off_t off = static_cast<off_t>(id) * kPageSize;
+    ssize_t n = ::pread(fd_, buf, kPageSize, off);
+    if (n != static_cast<ssize_t>(kPageSize)) {
+      return Status::IOError(Errno("pread " + path_));
+    }
+    return Status::OK();
+  }
+
+  Status WriteRaw(PageId id, const void* buf) {
+    const off_t off = static_cast<off_t>(id) * kPageSize;
+    ssize_t n = ::pwrite(fd_, buf, kPageSize, off);
+    if (n != static_cast<ssize_t>(kPageSize)) {
+      return Status::IOError(Errno("pwrite " + path_));
+    }
+    return Status::OK();
+  }
+
+  Status WriteSuperblock() {
+    char buf[kPageSize] = {};
+    std::memcpy(buf, &sb_, sizeof(sb_));
+    return WriteRaw(0, buf);
+  }
+
+  int fd_;
+  std::string path_;
+  Superblock sb_{};
+};
+
+class MemPager final : public Pager {
+ public:
+  MemPager() {
+    pages_.emplace_back();  // Superblock placeholder; never handed out.
+  }
+
+  Result<PageId> AllocatePage() override {
+    PageId id;
+    if (!free_.empty()) {
+      id = free_.back();
+      free_.pop_back();
+    } else {
+      id = static_cast<PageId>(pages_.size());
+      pages_.emplace_back();
+    }
+    live_++;
+    return id;
+  }
+
+  Status FreePage(PageId id) override {
+    if (id == kInvalidPageId || id >= pages_.size()) {
+      return Status::InvalidArgument("FreePage: bad page id");
+    }
+    free_.push_back(id);
+    live_--;
+    return Status::OK();
+  }
+
+  Status ReadPage(PageId id, void* buf) override {
+    if (id == kInvalidPageId || id >= pages_.size()) {
+      return Status::InvalidArgument("ReadPage: bad page id");
+    }
+    std::memcpy(buf, pages_[id].data(), kPageSize);
+    return Status::OK();
+  }
+
+  Status WritePage(PageId id, const void* buf) override {
+    if (id == kInvalidPageId || id >= pages_.size()) {
+      return Status::InvalidArgument("WritePage: bad page id");
+    }
+    std::memcpy(pages_[id].data(), buf, kPageSize);
+    return Status::OK();
+  }
+
+  Status Sync() override { return Status::OK(); }
+
+  uint64_t page_count() const override { return pages_.size(); }
+  uint64_t live_page_count() const override { return live_; }
+
+ private:
+  struct PageBuf {
+    PageBuf() : bytes(kPageSize, 0) {}
+    char* data() { return bytes.data(); }
+    std::vector<char> bytes;
+  };
+
+  std::vector<PageBuf> pages_;
+  std::vector<PageId> free_;
+  uint64_t live_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Pager>> Pager::OpenFile(const std::string& path,
+                                               bool truncate) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError(Errno("open " + path));
+  }
+  auto pager = std::make_unique<FilePager>(fd, path);
+  Status st = pager->Init(truncate);
+  if (!st.ok()) return st;
+  return Result<std::unique_ptr<Pager>>(std::move(pager));
+}
+
+std::unique_ptr<Pager> Pager::OpenMemory() {
+  return std::make_unique<MemPager>();
+}
+
+}  // namespace swst

@@ -1,0 +1,65 @@
+#ifndef SWST_STORAGE_PAGER_H_
+#define SWST_STORAGE_PAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace swst {
+
+/// \brief Low-level page store: allocate/free/read/write fixed-size pages.
+///
+/// Two backends are provided:
+///  - a file backend (`Pager::OpenFile`) with a superblock at page 0 holding
+///    the page count and the head of an on-disk free-list (each free page
+///    stores the id of the next free page in its first 4 bytes), and
+///  - a memory backend (`Pager::OpenMemory`) with identical semantics, used
+///    by unit tests and by benchmarks that only measure node accesses.
+///
+/// The pager itself performs no caching; `BufferPool` sits on top.
+class Pager {
+ public:
+  virtual ~Pager() = default;
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Opens (or creates) a page file at `path`. Truncates if `truncate`.
+  static Result<std::unique_ptr<Pager>> OpenFile(const std::string& path,
+                                                 bool truncate);
+
+  /// Creates an in-memory pager.
+  static std::unique_ptr<Pager> OpenMemory();
+
+  /// Allocates a page, reusing a free page when available. The page's
+  /// contents are unspecified; callers must fully initialize it.
+  virtual Result<PageId> AllocatePage() = 0;
+
+  /// Returns `id` to the free list. `id` must be a live allocated page.
+  virtual Status FreePage(PageId id) = 0;
+
+  /// Reads page `id` into `buf` (kPageSize bytes).
+  virtual Status ReadPage(PageId id, void* buf) = 0;
+
+  /// Writes `buf` (kPageSize bytes) to page `id`.
+  virtual Status WritePage(PageId id, const void* buf) = 0;
+
+  /// Flushes OS buffers to stable storage (no-op for the memory backend).
+  virtual Status Sync() = 0;
+
+  /// Total pages in the file, including the superblock and free pages.
+  virtual uint64_t page_count() const = 0;
+
+  /// Number of live (allocated, not freed) pages, excluding the superblock.
+  virtual uint64_t live_page_count() const = 0;
+
+ protected:
+  Pager() = default;
+};
+
+}  // namespace swst
+
+#endif  // SWST_STORAGE_PAGER_H_

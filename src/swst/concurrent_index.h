@@ -1,0 +1,119 @@
+#ifndef SWST_SWST_CONCURRENT_INDEX_H_
+#define SWST_SWST_CONCURRENT_INDEX_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "swst/swst_index.h"
+
+namespace swst {
+
+/// \brief Thread-safe façade over `SwstIndex` with single-writer /
+/// multi-reader semantics.
+///
+/// Queries never mutate index state (only buffer-pool bookkeeping, which
+/// has its own internal mutex), so they run under a shared lock; mutations
+/// (inserts, deletes, closes, clock advances, saves) take the lock
+/// exclusively. This matches the streaming model: one ingestion thread,
+/// many query threads.
+///
+/// Per-query `QueryStats::node_accesses` are derived from the shared pool
+/// counter and become approximate when queries overlap; all other
+/// semantics are identical to `SwstIndex`.
+class ConcurrentSwstIndex {
+ public:
+  static Result<std::unique_ptr<ConcurrentSwstIndex>> Create(
+      BufferPool* pool, const SwstOptions& options) {
+    auto idx = SwstIndex::Create(pool, options);
+    if (!idx.ok()) return idx.status();
+    return std::unique_ptr<ConcurrentSwstIndex>(
+        new ConcurrentSwstIndex(std::move(*idx)));
+  }
+
+  ConcurrentSwstIndex(const ConcurrentSwstIndex&) = delete;
+  ConcurrentSwstIndex& operator=(const ConcurrentSwstIndex&) = delete;
+
+  /// \name Mutations (exclusive lock)
+  /// @{
+  Status Insert(const Entry& entry) {
+    std::unique_lock lock(mu_);
+    return index_->Insert(entry);
+  }
+  Status Delete(const Entry& entry) {
+    std::unique_lock lock(mu_);
+    return index_->Delete(entry);
+  }
+  Status CloseCurrent(const Entry& current, Duration actual) {
+    std::unique_lock lock(mu_);
+    return index_->CloseCurrent(current, actual);
+  }
+  Status ReportPosition(ObjectId oid, const Point& pos, Timestamp t,
+                        const Entry* previous, Entry* out_current = nullptr) {
+    std::unique_lock lock(mu_);
+    return index_->ReportPosition(oid, pos, t, previous, out_current);
+  }
+  Status Advance(Timestamp t) {
+    std::unique_lock lock(mu_);
+    return index_->Advance(t);
+  }
+  Status Save(PageId* meta_page) {
+    std::unique_lock lock(mu_);
+    return index_->Save(meta_page);
+  }
+  /// @}
+
+  /// \name Queries (shared lock)
+  /// @{
+  Result<std::vector<Entry>> IntervalQuery(const Rect& area,
+                                           const TimeInterval& interval,
+                                           const QueryOptions& opts = {},
+                                           QueryStats* stats = nullptr) {
+    std::shared_lock lock(mu_);
+    return index_->IntervalQuery(area, interval, opts, stats);
+  }
+  Result<std::vector<Entry>> TimesliceQuery(const Rect& area, Timestamp t,
+                                            const QueryOptions& opts = {},
+                                            QueryStats* stats = nullptr) {
+    std::shared_lock lock(mu_);
+    return index_->TimesliceQuery(area, t, opts, stats);
+  }
+  Result<std::vector<Entry>> Knn(const Point& center, size_t k,
+                                 const TimeInterval& interval,
+                                 const QueryOptions& opts = {},
+                                 QueryStats* stats = nullptr) {
+    std::shared_lock lock(mu_);
+    return index_->Knn(center, k, interval, opts, stats);
+  }
+  TimeInterval QueriablePeriod(Timestamp logical_window = 0) const {
+    std::shared_lock lock(mu_);
+    return index_->QueriablePeriod(logical_window);
+  }
+  Timestamp now() const {
+    std::shared_lock lock(mu_);
+    return index_->now();
+  }
+  Result<uint64_t> CountEntries() const {
+    std::shared_lock lock(mu_);
+    return index_->CountEntries();
+  }
+  Status ValidateTrees() const {
+    std::shared_lock lock(mu_);
+    return index_->ValidateTrees();
+  }
+  /// @}
+
+  /// Escape hatch for single-threaded phases (setup, teardown).
+  SwstIndex* Unsafe() { return index_.get(); }
+
+ private:
+  explicit ConcurrentSwstIndex(std::unique_ptr<SwstIndex> index)
+      : index_(std::move(index)) {}
+
+  mutable std::shared_mutex mu_;
+  std::unique_ptr<SwstIndex> index_;
+};
+
+}  // namespace swst
+
+#endif  // SWST_SWST_CONCURRENT_INDEX_H_

@@ -1,0 +1,73 @@
+#include "swst/is_present_memo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace swst {
+
+namespace {
+
+// Conservative double->float rounding so the stored MBR always *contains*
+// the true coordinates: mins round toward -inf, maxes toward +inf.
+float FloorFloat(double v) {
+  float f = static_cast<float>(v);
+  if (static_cast<double>(f) > v) {
+    f = std::nextafterf(f, -std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
+
+float CeilFloat(double v) {
+  float f = static_cast<float>(v);
+  if (static_cast<double>(f) < v) {
+    f = std::nextafterf(f, std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
+
+}  // namespace
+
+IsPresentMemo::IsPresentMemo(uint32_t spatial_cells, uint32_t s_partitions,
+                             uint32_t d_slots)
+    : sp_(s_partitions), d_slots_(d_slots) {
+  stats_.resize(static_cast<size_t>(spatial_cells) * 2 * sp_ * d_slots_);
+}
+
+void IsPresentMemo::Add(uint32_t cell, int slot, uint32_t column, uint32_t dp,
+                        const Point& p) {
+  CellStat& s = stats_[Index(cell, slot, column, dp)];
+  const float xlo = FloorFloat(p.x), xhi = CeilFloat(p.x);
+  const float ylo = FloorFloat(p.y), yhi = CeilFloat(p.y);
+  if (s.count == 0) {
+    s.min_x = xlo;
+    s.max_x = xhi;
+    s.min_y = ylo;
+    s.max_y = yhi;
+  } else {
+    s.min_x = std::min(s.min_x, xlo);
+    s.max_x = std::max(s.max_x, xhi);
+    s.min_y = std::min(s.min_y, ylo);
+    s.max_y = std::max(s.max_y, yhi);
+  }
+  s.count++;
+}
+
+void IsPresentMemo::Remove(uint32_t cell, int slot, uint32_t column,
+                           uint32_t dp) {
+  CellStat& s = stats_[Index(cell, slot, column, dp)];
+  assert(s.count > 0);
+  s.count--;
+  if (s.count == 0) {
+    s = CellStat{};
+  }
+}
+
+void IsPresentMemo::ResetSlot(uint32_t cell, int slot) {
+  const size_t begin = Index(cell, slot, 0, 0);
+  const size_t n = static_cast<size_t>(sp_) * d_slots_;
+  std::fill(stats_.begin() + begin, stats_.begin() + begin + n, CellStat{});
+}
+
+}  // namespace swst

@@ -1,0 +1,100 @@
+#ifndef SWST_SWST_IS_PRESENT_MEMO_H_
+#define SWST_SWST_IS_PRESENT_MEMO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace swst {
+
+/// \brief The paper's *isPresent* memo (§III-B.3).
+///
+/// An in-memory statistics grid: for every spatial cell, tree slot, and
+/// temporal cell (s-partition column x d-partition) it keeps the number of
+/// entries assigned there and the minimum bounding rectangle of their
+/// locations. During search it answers "can this temporal cell contain a
+/// match for this spatial overlap?", pruning (a) temporal cells that hold
+/// no entries at all and (b) cells whose entries all lie outside the
+/// query's overlap rectangle. The memo exists because both temporal
+/// dimensions (folded start timestamp, bounded duration) are bounded — the
+/// (t_start, t_end) representation of classic historical indexes cannot be
+/// gridded this way.
+///
+/// Entry counts are exact under insertion and deletion; MBRs only grow on
+/// insert (a conservative over-approximation) and reset when a temporal
+/// cell empties or when a whole tree slot is dropped with the expired
+/// window.
+class IsPresentMemo {
+ public:
+  /// Per-temporal-cell statistics. Coordinates are stored as floats (the
+  /// paper budgets 16 bytes per MBR).
+  struct CellStat {
+    uint32_t count = 0;
+    float min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+
+    bool empty() const { return count == 0; }
+
+    bool Intersects(const Rect& r) const {
+      return count > 0 && min_x <= r.hi.x && r.lo.x <= max_x &&
+             min_y <= r.hi.y && r.lo.y <= max_y;
+    }
+  };
+
+  /// `spatial_cells` grid cells, each with 2 slots of
+  /// `s_partitions * d_slots` temporal cells.
+  IsPresentMemo(uint32_t spatial_cells, uint32_t s_partitions,
+                uint32_t d_slots);
+
+  /// Records an entry at absolute position `p` (memo MBRs are in domain
+  /// coordinates, matching query rectangles).
+  void Add(uint32_t cell, int slot, uint32_t column, uint32_t dp,
+           const Point& p);
+
+  /// Removes one entry. The MBR resets when the count reaches zero,
+  /// otherwise it stays (conservatively) unchanged.
+  void Remove(uint32_t cell, int slot, uint32_t column, uint32_t dp);
+
+  /// Clears a whole slot; called when the expired B+ tree is dropped.
+  void ResetSlot(uint32_t cell, int slot);
+
+  const CellStat& At(uint32_t cell, int slot, uint32_t column,
+                     uint32_t dp) const {
+    return stats_[Index(cell, slot, column, dp)];
+  }
+
+  /// True iff the temporal cell has entries whose MBR intersects `area`.
+  bool MayContain(uint32_t cell, int slot, uint32_t column, uint32_t dp,
+                  const Rect& area) const {
+    return At(cell, slot, column, dp).Intersects(area);
+  }
+
+  /// Bytes of statistical state (paper §V-E reports 25 MB at defaults).
+  size_t MemoryUsage() const { return stats_.size() * sizeof(CellStat); }
+
+  /// Number of temporal cells currently holding at least one entry.
+  uint64_t NonEmptyCells() const {
+    uint64_t n = 0;
+    for (const CellStat& s : stats_) {
+      if (s.count > 0) n++;
+    }
+    return n;
+  }
+
+  uint32_t s_partitions() const { return sp_; }
+  uint32_t d_slots() const { return d_slots_; }
+
+ private:
+  size_t Index(uint32_t cell, int slot, uint32_t column, uint32_t dp) const {
+    return ((static_cast<size_t>(cell) * 2 + slot) * sp_ + column) * d_slots_ +
+           dp;
+  }
+
+  uint32_t sp_;
+  uint32_t d_slots_;
+  std::vector<CellStat> stats_;
+};
+
+}  // namespace swst
+
+#endif  // SWST_SWST_IS_PRESENT_MEMO_H_

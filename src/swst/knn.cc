@@ -1,0 +1,135 @@
+#include <algorithm>
+#include <limits>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "swst/swst_index.h"
+
+namespace swst {
+
+namespace {
+
+double DistanceSquared(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+// Squared distance from `p` to rectangle `r` (0 when inside).
+double RectDistanceSquared(const Point& p, const Rect& r) {
+  const double dx = std::max({r.lo.x - p.x, 0.0, p.x - r.hi.x});
+  const double dy = std::max({r.lo.y - p.y, 0.0, p.y - r.hi.y});
+  return dx * dx + dy * dy;
+}
+
+struct Candidate {
+  double dist2;
+  Entry entry;
+  bool operator<(const Candidate& o) const { return dist2 < o.dist2; }
+};
+
+}  // namespace
+
+Result<std::vector<Entry>> SwstIndex::Knn(const Point& center, size_t k,
+                                          const TimeInterval& interval,
+                                          const QueryOptions& opts,
+                                          QueryStats* stats) {
+  std::vector<Entry> out;
+  if (k == 0) return out;
+  if (!grid_.Contains(center)) {
+    return Status::InvalidArgument("Knn: center outside spatial domain");
+  }
+  const TimeInterval win = QueriablePeriod(opts.logical_window);
+  TimeInterval q;
+  q.lo = std::max(interval.lo, win.lo);
+  q.hi = std::min(interval.hi, win.hi);
+  if (q.lo > q.hi) return out;
+
+  ColumnPlan plan;
+  SWST_RETURN_IF_ERROR(BuildPlan(q, win, &plan));
+
+  const uint64_t reads_before = pool_->stats().logical_reads;
+
+  // Expanding ring search over the spatial grid: visit cells in Chebyshev
+  // rings around the center's cell; stop once the nearest unvisited ring
+  // cannot improve the current k-th best distance.
+  const uint32_t nx = options_.x_partitions;
+  const uint32_t ny = options_.y_partitions;
+  const uint32_t home = grid_.CellOf(center);
+  const int64_t hx = home % nx;
+  const int64_t hy = home / nx;
+
+  // Max-heap of the best k candidates found so far.
+  std::priority_queue<Candidate> best;
+
+  auto visit_cell = [&](uint32_t cell) -> Status {
+    SpatialGrid::CellOverlap co;
+    co.cell = cell;
+    co.overlap = grid_.CellRect(cell);
+    co.full = true;  // The "query area" is the whole cell for KNN.
+    return SearchCell(co, plan, q, win, opts, stats, [&](const Entry& e) {
+      const double d2 = DistanceSquared(center, e.pos);
+      if (best.size() < k) {
+        best.push(Candidate{d2, e});
+      } else if (d2 < best.top().dist2) {
+        best.pop();
+        best.push(Candidate{d2, e});
+      }
+      return true;
+    });
+  };
+
+  const int64_t max_ring =
+      static_cast<int64_t>(std::max(nx, ny));
+  for (int64_t ring = 0; ring <= max_ring; ++ring) {
+    // Termination: if we already have k results and even the closest point
+    // of this ring's nearest cell is farther than the k-th best, stop.
+    if (best.size() == k && ring > 0) {
+      double ring_min = std::numeric_limits<double>::max();
+      bool any = false;
+      for (int64_t dy = -ring; dy <= ring; ++dy) {
+        for (int64_t dx = -ring; dx <= ring; ++dx) {
+          if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
+          const int64_t cx = hx + dx, cy = hy + dy;
+          if (cx < 0 || cy < 0 || cx >= static_cast<int64_t>(nx) ||
+              cy >= static_cast<int64_t>(ny)) {
+            continue;
+          }
+          any = true;
+          ring_min = std::min(
+              ring_min, RectDistanceSquared(
+                            center, grid_.CellRect(static_cast<uint32_t>(
+                                        cy * nx + cx))));
+        }
+      }
+      if (!any || ring_min > best.top().dist2) break;
+    }
+    for (int64_t dy = -ring; dy <= ring; ++dy) {
+      for (int64_t dx = -ring; dx <= ring; ++dx) {
+        if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
+        const int64_t cx = hx + dx, cy = hy + dy;
+        if (cx < 0 || cy < 0 || cx >= static_cast<int64_t>(nx) ||
+              cy >= static_cast<int64_t>(ny)) {
+            continue;
+          }
+        if (stats != nullptr) stats->spatial_cells++;
+        SWST_RETURN_IF_ERROR(visit_cell(static_cast<uint32_t>(cy * nx + cx)));
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->columns += plan.active_fields.size();
+    stats->node_accesses += pool_->stats().logical_reads - reads_before;
+  }
+
+  out.resize(best.size());
+  for (size_t i = best.size(); i > 0; --i) {
+    out[i - 1] = best.top().entry;
+    best.pop();
+  }
+  return out;
+}
+
+}  // namespace swst

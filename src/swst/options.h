@@ -1,0 +1,81 @@
+#ifndef SWST_SWST_OPTIONS_H_
+#define SWST_SWST_OPTIONS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace swst {
+
+/// \brief Configuration of an SWST index (paper Table I / Table II).
+///
+/// Defaults follow the paper's experimental settings: spatial space
+/// [0,10000]^2 with a 20x20 grid, W = 20000, L = delta = 100,
+/// Dmax = 2000.
+struct SwstOptions {
+  /// Spatial domain. Points outside are rejected at insertion.
+  Rect space{{0.0, 0.0}, {10000.0, 10000.0}};
+
+  /// Number of spatial grid partitions along x and y (paper: Xp, Yp).
+  uint32_t x_partitions = 20;
+  uint32_t y_partitions = 20;
+
+  /// Sliding window size W (time units).
+  Timestamp window_size = 20000;
+
+  /// Slide L: granularity with which the window moves. Also the interval
+  /// size of an s-partition (the paper sets Sp = ceil(Wmax / L)).
+  Timestamp slide = 100;
+
+  /// Maximum valid duration Dmax. Closed entries must have
+  /// 1 <= duration <= Dmax; current entries use the reserved top partition.
+  Duration max_duration = 2000;
+
+  /// Interval size delta along the duration axis; Dp = ceil(Dmax / delta).
+  Duration duration_interval = 100;
+
+  /// Bits per dimension for the in-cell Z-curve code embedded in B+ keys.
+  int zcurve_bits = 8;
+
+  /// Toggles for the paper's ablations.
+  bool use_memo = true;    ///< isPresent memo (Fig. 11).
+  bool use_zcurve = true;  ///< Spatial bits in the key (Fig. 9 discussion).
+
+  /// --- Derived quantities -------------------------------------------------
+
+  /// Wmax = W + (L - 1): the maximum actual window length (paper §III-B.1).
+  Timestamp wmax() const { return window_size + slide - 1; }
+
+  /// Sp = ceil(Wmax / L): s-partitions per epoch.
+  uint32_t s_partitions() const {
+    return static_cast<uint32_t>((wmax() + slide - 1) / slide);
+  }
+
+  /// Epoch length E = Sp * L. The paper folds start timestamps modulo
+  /// 2*Wmax; we round the fold length up to a whole number of s-partitions
+  /// (E >= Wmax) so that temporal cells tile the folded space exactly.
+  /// Expiry timing is unchanged: a tree holding epoch k is fully expired
+  /// once entries of epoch k+2 arrive.
+  Timestamp epoch_length() const {
+    return static_cast<Timestamp>(s_partitions()) * slide;
+  }
+
+  /// Dp = ceil(Dmax / delta): d-partitions for closed durations. Partition
+  /// index Dp (one past) is reserved for current entries (duration ND).
+  uint32_t d_partitions() const {
+    return static_cast<uint32_t>((max_duration + duration_interval - 1) /
+                                 duration_interval);
+  }
+
+  /// Total d-partition slots including the current-entry partition.
+  uint32_t d_partition_slots() const { return d_partitions() + 1; }
+
+  /// Checks parameter sanity, including that the composite key fits in
+  /// 64 bits.
+  Status Validate() const;
+};
+
+}  // namespace swst
+
+#endif  // SWST_SWST_OPTIONS_H_

@@ -1,0 +1,80 @@
+#include "swst/spatial_grid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace swst {
+
+SpatialGrid::SpatialGrid(const SwstOptions& options)
+    : SpatialGrid(options.space, options.x_partitions, options.y_partitions) {}
+
+SpatialGrid::SpatialGrid(const Rect& space, uint32_t x_partitions,
+                         uint32_t y_partitions)
+    : space_(space), nx_(x_partitions), ny_(y_partitions) {
+  cell_w_ = space_.Width() / nx_;
+  cell_h_ = space_.Height() / ny_;
+}
+
+uint32_t SpatialGrid::CellOf(const Point& p) const {
+  assert(Contains(p));
+  auto clamp_idx = [](double v, uint32_t n) {
+    if (v < 0.0) return 0u;
+    uint32_t i = static_cast<uint32_t>(v);
+    return std::min(i, n - 1);
+  };
+  uint32_t cx = clamp_idx((p.x - space_.lo.x) / cell_w_, nx_);
+  uint32_t cy = clamp_idx((p.y - space_.lo.y) / cell_h_, ny_);
+  return cy * nx_ + cx;
+}
+
+Rect SpatialGrid::CellRect(uint32_t cell) const {
+  uint32_t cx = cell % nx_;
+  uint32_t cy = cell / nx_;
+  Rect r;
+  r.lo = {space_.lo.x + cx * cell_w_, space_.lo.y + cy * cell_h_};
+  r.hi = {space_.lo.x + (cx + 1) * cell_w_, space_.lo.y + (cy + 1) * cell_h_};
+  return r;
+}
+
+std::vector<SpatialGrid::CellOverlap> SpatialGrid::Overlapping(
+    const Rect& area) const {
+  std::vector<CellOverlap> out;
+  // Clip the query area to the domain.
+  Rect q;
+  q.lo = {std::max(area.lo.x, space_.lo.x), std::max(area.lo.y, space_.lo.y)};
+  q.hi = {std::min(area.hi.x, space_.hi.x), std::min(area.hi.y, space_.hi.y)};
+  if (q.IsEmpty()) return out;
+
+  auto idx_lo = [this](double v, double origin, double w, uint32_t n) {
+    double i = std::floor((v - origin) / w);
+    if (i < 0.0) return 0u;
+    return std::min(static_cast<uint32_t>(i), n - 1);
+  };
+  uint32_t cx0 = idx_lo(q.lo.x, space_.lo.x, cell_w_, nx_);
+  uint32_t cy0 = idx_lo(q.lo.y, space_.lo.y, cell_h_, ny_);
+  uint32_t cx1 = idx_lo(q.hi.x, space_.lo.x, cell_w_, nx_);
+  uint32_t cy1 = idx_lo(q.hi.y, space_.lo.y, cell_h_, ny_);
+
+  for (uint32_t cy = cy0; cy <= cy1; ++cy) {
+    for (uint32_t cx = cx0; cx <= cx1; ++cx) {
+      uint32_t cell = cy * nx_ + cx;
+      Rect cr = CellRect(cell);
+      CellOverlap ov;
+      ov.cell = cell;
+      ov.overlap.lo = {std::max(q.lo.x, cr.lo.x), std::max(q.lo.y, cr.lo.y)};
+      ov.overlap.hi = {std::min(q.hi.x, cr.hi.x), std::min(q.hi.y, cr.hi.y)};
+      if (ov.overlap.IsEmpty()) continue;
+      ov.full = q.ContainsRect(cr);
+      out.push_back(ov);
+    }
+  }
+  return out;
+}
+
+Point SpatialGrid::LocalOffset(const Point& p, uint32_t cell) const {
+  Rect cr = CellRect(cell);
+  return Point{p.x - cr.lo.x, p.y - cr.lo.y};
+}
+
+}  // namespace swst

@@ -1,0 +1,66 @@
+#ifndef SWST_SWST_SPATIAL_GRID_H_
+#define SWST_SWST_SPATIAL_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "swst/options.h"
+
+namespace swst {
+
+/// \brief First layer of SWST: a uniform, non-overlapping spatial grid.
+///
+/// Data entries are distributed to cells by their location (paper
+/// §III-B.1). Query evaluation starts by computing the cells a query
+/// rectangle overlaps, together with the exact overlap rectangle (the
+/// paper's [S_l, S_h]) and whether the overlap is full — full spatial +
+/// full temporal overlap lets the refinement step be skipped entirely.
+class SpatialGrid {
+ public:
+  /// One grid cell a query overlaps.
+  struct CellOverlap {
+    uint32_t cell = 0;   ///< Linear cell index (row-major).
+    Rect overlap;        ///< Intersection of the query area with the cell.
+    bool full = false;   ///< True iff the cell lies entirely inside the area.
+  };
+
+  explicit SpatialGrid(const SwstOptions& options);
+
+  /// Direct construction for non-SWST users (e.g. the PIST baseline).
+  SpatialGrid(const Rect& space, uint32_t x_partitions, uint32_t y_partitions);
+
+  /// Total number of cells (Xp * Yp).
+  uint32_t cell_count() const { return nx_ * ny_; }
+
+  /// Cell containing `p`. Points on the domain's upper edges map to the
+  /// last row/column. Precondition: `Contains(p)`.
+  uint32_t CellOf(const Point& p) const;
+
+  /// True iff `p` lies in the spatial domain.
+  bool Contains(const Point& p) const { return space_.Contains(p); }
+
+  /// Rectangle covered by cell `cell`.
+  Rect CellRect(uint32_t cell) const;
+
+  /// All cells overlapping `area` (clipped to the domain), in row-major
+  /// order, each with its overlap rectangle and full/partial flag.
+  std::vector<CellOverlap> Overlapping(const Rect& area) const;
+
+  double cell_width() const { return cell_w_; }
+  double cell_height() const { return cell_h_; }
+
+  /// Offset of `p` from the lower corner of its cell, for Z quantization.
+  Point LocalOffset(const Point& p, uint32_t cell) const;
+
+ private:
+  Rect space_;
+  uint32_t nx_;
+  uint32_t ny_;
+  double cell_w_;
+  double cell_h_;
+};
+
+}  // namespace swst
+
+#endif  // SWST_SWST_SPATIAL_GRID_H_

@@ -1,0 +1,561 @@
+#include "swst/swst_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace swst {
+
+SwstIndex::SwstIndex(BufferPool* pool, const SwstOptions& options)
+    : pool_(pool),
+      options_(options),
+      codec_(options),
+      grid_(options),
+      overlap_(options),
+      memo_(grid_.cell_count(), options.s_partitions(),
+            options.d_partition_slots()),
+      cells_(grid_.cell_count()) {}
+
+Result<std::unique_ptr<SwstIndex>> SwstIndex::Create(
+    BufferPool* pool, const SwstOptions& options) {
+  SWST_RETURN_IF_ERROR(options.Validate());
+  return std::unique_ptr<SwstIndex>(new SwstIndex(pool, options));
+}
+
+TimeInterval SwstIndex::QueriablePeriod(Timestamp logical_window) const {
+  Timestamp w = options_.window_size;
+  if (logical_window != 0) w = std::min(w, logical_window);
+  const Timestamp aligned = (now_ / options_.slide) * options_.slide;
+  TimeInterval t;
+  t.lo = (aligned >= w) ? aligned - w : 0;
+  t.hi = now_;
+  return t;
+}
+
+uint64_t SwstIndex::KeyFor(const Entry& entry, uint32_t cell) const {
+  const Point local = grid_.LocalOffset(entry.pos, cell);
+  const uint32_t qx = codec_.Quantize(local.x, grid_.cell_width());
+  const uint32_t qy = codec_.Quantize(local.y, grid_.cell_height());
+  return codec_.MakeKey(entry.start, entry.duration, qx, qy);
+}
+
+Status SwstIndex::PrepareTree(uint32_t cell, uint64_t epoch) {
+  CellTrees& ct = cells_[cell];
+  const int slot = static_cast<int>(epoch % 2);
+  if (ct.root[slot] != kInvalidPageId) {
+    if (ct.epoch[slot] == epoch) return Status::OK();
+    // The slot holds a fully expired epoch (epoch - 2 or older): drop it
+    // wholesale — this is SWST's entire deletion cost for a window's data.
+    BTree stale = BTree::Attach(pool_, ct.root[slot]);
+    SWST_RETURN_IF_ERROR(stale.Drop());
+    memo_.ResetSlot(cell, slot);
+    ct.root[slot] = kInvalidPageId;
+  }
+  auto tree = BTree::Create(pool_);
+  if (!tree.ok()) return tree.status();
+  ct.root[slot] = tree->root();
+  ct.epoch[slot] = epoch;
+  return Status::OK();
+}
+
+Status SwstIndex::DropExpired(uint32_t cell, uint64_t min_live_epoch) {
+  CellTrees& ct = cells_[cell];
+  for (int slot = 0; slot < 2; ++slot) {
+    if (ct.root[slot] != kInvalidPageId && ct.epoch[slot] < min_live_epoch) {
+      BTree stale = BTree::Attach(pool_, ct.root[slot]);
+      SWST_RETURN_IF_ERROR(stale.Drop());
+      memo_.ResetSlot(cell, slot);
+      ct.root[slot] = kInvalidPageId;
+    }
+  }
+  return Status::OK();
+}
+
+Status SwstIndex::Advance(Timestamp t) {
+  now_ = std::max(now_, t);
+  const uint64_t k = now_ / options_.epoch_length();
+  const uint64_t min_live = (k == 0) ? 0 : k - 1;
+  for (uint32_t cell = 0; cell < grid_.cell_count(); ++cell) {
+    SWST_RETURN_IF_ERROR(DropExpired(cell, min_live));
+  }
+  return Status::OK();
+}
+
+Status SwstIndex::Insert(const Entry& entry) {
+  if (!grid_.Contains(entry.pos)) {
+    return Status::InvalidArgument("Insert: position outside spatial domain");
+  }
+  if (!entry.is_current() &&
+      (entry.duration == 0 || entry.duration > options_.max_duration)) {
+    return Status::InvalidArgument("Insert: duration outside [1, Dmax]");
+  }
+  now_ = std::max(now_, entry.start);
+  const TimeInterval win = QueriablePeriod();
+  if (entry.start < win.lo) {
+    return Status::InvalidArgument("Insert: entry already expired");
+  }
+
+  const uint32_t cell = grid_.CellOf(entry.pos);
+  const uint64_t epoch = codec_.Epoch(entry.start);
+  SWST_RETURN_IF_ERROR(PrepareTree(cell, epoch));
+
+  const int slot = static_cast<int>(epoch % 2);
+  BTree tree = BTree::Attach(pool_, cells_[cell].root[slot]);
+  SWST_RETURN_IF_ERROR(tree.Insert(KeyFor(entry, cell), entry));
+  cells_[cell].root[slot] = tree.root();
+
+  memo_.Add(cell, slot, codec_.LocalColumn(entry.start),
+            codec_.DPartition(entry.duration), entry.pos);
+  return Status::OK();
+}
+
+Status SwstIndex::Delete(const Entry& entry) {
+  if (!grid_.Contains(entry.pos)) {
+    return Status::NotFound("Delete: position outside spatial domain");
+  }
+  const uint32_t cell = grid_.CellOf(entry.pos);
+  const uint64_t epoch = codec_.Epoch(entry.start);
+  const int slot = static_cast<int>(epoch % 2);
+  CellTrees& ct = cells_[cell];
+  if (ct.root[slot] == kInvalidPageId || ct.epoch[slot] != epoch) {
+    return Status::NotFound("Delete: entry's epoch is no longer live");
+  }
+  BTree tree = BTree::Attach(pool_, ct.root[slot]);
+  SWST_RETURN_IF_ERROR(tree.Delete(KeyFor(entry, cell), entry.oid,
+                                   entry.start));
+  ct.root[slot] = tree.root();
+  memo_.Remove(cell, slot, codec_.LocalColumn(entry.start),
+               codec_.DPartition(entry.duration));
+  return Status::OK();
+}
+
+Status SwstIndex::CloseCurrent(const Entry& current, Duration actual) {
+  assert(current.is_current());
+  if (actual == 0 || actual > options_.max_duration) {
+    return Status::InvalidArgument("CloseCurrent: duration outside [1, Dmax]");
+  }
+  const uint32_t cell = grid_.CellOf(current.pos);
+  const uint64_t epoch = codec_.Epoch(current.start);
+  const int slot = static_cast<int>(epoch % 2);
+  CellTrees& ct = cells_[cell];
+  if (ct.root[slot] == kInvalidPageId || ct.epoch[slot] != epoch) {
+    // The entry expired with its window; nothing to close.
+    return Status::OK();
+  }
+  SWST_RETURN_IF_ERROR(Delete(current));
+  Entry closed = current;
+  closed.duration = actual;
+  return Insert(closed);
+}
+
+Status SwstIndex::ReportPosition(ObjectId oid, const Point& pos, Timestamp t,
+                                 const Entry* previous, Entry* out_current) {
+  if (previous != nullptr) {
+    if (t <= previous->start) {
+      return Status::InvalidArgument(
+          "ReportPosition: timestamps must be increasing per object");
+    }
+    Duration d = t - previous->start;
+    if (d > options_.max_duration) {
+      // The object stayed longer than Dmax at its previous position. SWST
+      // never splits long entries (paper §V-A); the previous entry simply
+      // stays current until it expires with its window.
+    } else {
+      Status st = CloseCurrent(*previous, d);
+      if (!st.ok() && !st.IsNotFound()) return st;
+    }
+  }
+  Entry cur;
+  cur.oid = oid;
+  cur.pos = pos;
+  cur.start = t;
+  cur.duration = kUnknownDuration;
+  SWST_RETURN_IF_ERROR(Insert(cur));
+  if (out_current != nullptr) *out_current = cur;
+  return Status::OK();
+}
+
+Status SwstIndex::BuildPlan(const TimeInterval& q, const TimeInterval& win,
+                            ColumnPlan* plan) const {
+  const uint32_t sp = codec_.s_partitions();
+  plan->by_field.assign(2 * sp, ColumnPlan::Column{});
+  plan->active_fields.clear();
+
+  for (const ColumnOverlap& col : overlap_.Compute(q, win)) {
+    const uint64_t epoch = col.raw_column / sp;
+    const uint32_t m_local = static_cast<uint32_t>(col.raw_column % sp);
+    const int slot = static_cast<int>(epoch % 2);
+    const uint32_t field = m_local + static_cast<uint32_t>(slot) * sp;
+    ColumnPlan::Column& c = plan->by_field[field];
+    c.active = true;
+    c.n_partial = col.n_partial;
+    c.n_full = col.n_full;
+    c.in_window = col.in_window;
+    c.epoch = epoch;
+    c.m_local = m_local;
+    c.slot = slot;
+    plan->active_fields.push_back(field);
+  }
+  return Status::OK();
+}
+
+Status SwstIndex::SearchCell(const SpatialGrid::CellOverlap& co,
+                             const ColumnPlan& plan, const TimeInterval& q,
+                             const TimeInterval& win, const QueryOptions& opts,
+                             QueryStats* stats,
+                             const std::function<bool(const Entry&)>& emit) {
+  const CellTrees& ct = cells_[co.cell];
+  const Rect cell_rect = grid_.CellRect(co.cell);
+  const uint32_t d_slots = options_.d_partition_slots();
+
+  // Quantized corners of the overlap rectangle (the paper's S_l and S_h).
+  const uint32_t qx_lo =
+      codec_.Quantize(co.overlap.lo.x - cell_rect.lo.x, grid_.cell_width());
+  const uint32_t qy_lo =
+      codec_.Quantize(co.overlap.lo.y - cell_rect.lo.y, grid_.cell_height());
+  const uint32_t qx_hi =
+      codec_.Quantize(co.overlap.hi.x - cell_rect.lo.x, grid_.cell_width());
+  const uint32_t qy_hi =
+      codec_.Quantize(co.overlap.hi.y - cell_rect.lo.y, grid_.cell_height());
+
+  // One sorted, disjoint key-range list per tree slot (paper §IV-B.b).
+  std::vector<KeyRange> ranges[2];
+  for (uint32_t field : plan.active_fields) {
+    const ColumnPlan::Column& col = plan.by_field[field];
+    const int slot = col.slot;
+    if (ct.root[slot] == kInvalidPageId || ct.epoch[slot] != col.epoch) {
+      continue;  // No live tree for this column's epoch in this cell.
+    }
+    uint32_t n_start = col.n_partial;
+    uint32_t n_end = d_slots - 1;
+    if (options_.use_memo) {
+      // Trim empty temporal cells at the bottom and top of the column
+      // (middle holes are kept; the paper keeps one contiguous range per
+      // column to bound the number of key ranges).
+      while (n_start <= n_end &&
+             !memo_.MayContain(co.cell, slot, col.m_local, n_start,
+                               co.overlap)) {
+        n_start++;
+      }
+      while (n_end > n_start &&
+             !memo_.MayContain(co.cell, slot, col.m_local, n_end,
+                               co.overlap)) {
+        n_end--;
+      }
+      if (n_start > n_end ||
+          !memo_.MayContain(co.cell, slot, col.m_local, n_start, co.overlap)) {
+        if (stats != nullptr) stats->memo_pruned_columns++;
+        continue;
+      }
+    }
+    KeyRange r;
+    r.lo = codec_.MinKey(field, n_start, qx_lo, qy_lo);
+    r.hi = codec_.MaxKey(field, n_end, qx_hi, qy_hi);
+    ranges[slot].push_back(r);
+  }
+
+  for (int slot = 0; slot < 2; ++slot) {
+    if (ranges[slot].empty()) continue;
+    if (stats != nullptr) stats->key_ranges += ranges[slot].size();
+    BTree tree = BTree::Attach(pool_, ct.root[slot]);
+    SWST_RETURN_IF_ERROR(tree.SearchRanges(
+        ranges[slot], [&](const BTreeRecord& rec) {
+          if (stats != nullptr) stats->candidates++;
+          const ColumnPlan::Column& col =
+              plan.by_field[codec_.DecodeSPartition(rec.key)];
+          const uint32_t dp = codec_.DecodeDPartition(rec.key);
+          const bool temporal_full = col.in_window && dp >= col.n_full;
+          const Entry& e = rec.entry;
+          if (temporal_full && co.full && !opts.retention_filter) {
+            // Full temporal + full spatial overlap: guaranteed qualified,
+            // no refinement (paper §IV-B.d).
+            if (stats != nullptr) stats->full_cell_accepts++;
+            return emit(e);
+          }
+          const bool in_window = e.start >= win.lo && e.start <= win.hi;
+          const bool temporal_ok =
+              temporal_full || e.ValidTimeOverlaps(q);
+          const bool spatial_ok = co.full || co.overlap.Contains(e.pos);
+          // Variable retention (paper §IV-B.d): entries expired under
+          // their own, shorter retention are rejected here.
+          const bool retained =
+              !opts.retention_filter || opts.retention_filter(e, now_);
+          if (in_window && temporal_ok && spatial_ok && retained) {
+            return emit(e);
+          }
+          if (stats != nullptr) stats->refined_out++;
+          return true;
+        }));
+  }
+  return Status::OK();
+}
+
+Status SwstIndex::IntervalQueryStream(
+    const Rect& area, const TimeInterval& interval, const QueryOptions& opts,
+    const std::function<bool(const Entry&)>& fn, QueryStats* stats) {
+  if (area.IsEmpty() || interval.lo > interval.hi) {
+    return Status::InvalidArgument("IntervalQuery: malformed query");
+  }
+  const TimeInterval win = QueriablePeriod(opts.logical_window);
+  // Queries are defined within the queriable period (paper §III-A); the
+  // parts of the interval outside it cannot match any entry of R(tau).
+  TimeInterval q;
+  q.lo = std::max(interval.lo, win.lo);
+  q.hi = std::min(interval.hi, win.hi);
+  if (q.lo > q.hi) return Status::OK();
+
+  ColumnPlan plan;
+  SWST_RETURN_IF_ERROR(BuildPlan(q, win, &plan));
+
+  const uint64_t reads_before = pool_->stats().logical_reads;
+  bool stop = false;
+  for (const SpatialGrid::CellOverlap& co : grid_.Overlapping(area)) {
+    if (stop) break;
+    if (stats != nullptr) stats->spatial_cells++;
+    SWST_RETURN_IF_ERROR(SearchCell(co, plan, q, win, opts, stats,
+                                    [&fn, &stop](const Entry& e) {
+                                      if (!fn(e)) {
+                                        stop = true;
+                                        return false;
+                                      }
+                                      return true;
+                                    }));
+  }
+  if (stats != nullptr) {
+    stats->columns += plan.active_fields.size();
+    stats->node_accesses += pool_->stats().logical_reads - reads_before;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Entry>> SwstIndex::IntervalQuery(
+    const Rect& area, const TimeInterval& interval, const QueryOptions& opts,
+    QueryStats* stats) {
+  std::vector<Entry> out;
+  SWST_RETURN_IF_ERROR(
+      IntervalQueryStream(area, interval, opts,
+                          [&out](const Entry& e) {
+                            out.push_back(e);
+                            return true;
+                          },
+                          stats));
+  return out;
+}
+
+Result<std::vector<Entry>> SwstIndex::TimesliceQuery(const Rect& area,
+                                                     Timestamp t,
+                                                     const QueryOptions& opts,
+                                                     QueryStats* stats) {
+  return IntervalQuery(area, TimeInterval{t, t}, opts, stats);
+}
+
+Result<uint64_t> SwstIndex::CountEntries() const {
+  uint64_t n = 0;
+  for (const CellTrees& ct : cells_) {
+    for (int slot = 0; slot < 2; ++slot) {
+      if (ct.root[slot] == kInvalidPageId) continue;
+      BTree tree = BTree::Attach(pool_, ct.root[slot]);
+      auto c = tree.CountEntries();
+      if (!c.ok()) return c.status();
+      n += *c;
+    }
+  }
+  return n;
+}
+
+Status SwstIndex::ValidateTrees() const {
+  for (const CellTrees& ct : cells_) {
+    for (int slot = 0; slot < 2; ++slot) {
+      if (ct.root[slot] == kInvalidPageId) continue;
+      BTree tree = BTree::Attach(pool_, ct.root[slot]);
+      SWST_RETURN_IF_ERROR(tree.Validate());
+    }
+  }
+  return Status::OK();
+}
+
+size_t SwstIndex::StatisticsMemoryUsage() const {
+  return memo_.MemoryUsage() + cells_.size() * sizeof(CellTrees);
+}
+
+
+namespace {
+
+/// On-disk metadata layout: a chain of pages, each with this header
+/// followed by packed `CellRecord`s.
+struct MetaHeader {
+  uint64_t magic;
+  uint64_t fingerprint;
+  uint64_t now;
+  uint32_t cell_count;   // Total cells (first page only; 0 on others).
+  uint32_t cells_here;   // CellRecords stored in this page.
+  PageId next;           // Next page of the chain, or kInvalidPageId.
+  uint32_t padding;
+};
+
+struct CellRecord {
+  PageId root0;
+  PageId root1;
+  uint64_t epoch0;
+  uint64_t epoch1;
+};
+
+constexpr uint64_t kMetaMagic = 0x5357'5354'4D45'5441ULL;  // "SWSTMETA"
+constexpr size_t kCellsPerPage =
+    (kPageSize - sizeof(MetaHeader)) / sizeof(CellRecord);
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+uint64_t SwstIndex::OptionsFingerprint() const {
+  uint64_t h = 0;
+  h = HashCombine(h, static_cast<uint64_t>(options_.space.lo.x * 1000));
+  h = HashCombine(h, static_cast<uint64_t>(options_.space.hi.x * 1000));
+  h = HashCombine(h, static_cast<uint64_t>(options_.space.lo.y * 1000));
+  h = HashCombine(h, static_cast<uint64_t>(options_.space.hi.y * 1000));
+  h = HashCombine(h, options_.x_partitions);
+  h = HashCombine(h, options_.y_partitions);
+  h = HashCombine(h, options_.window_size);
+  h = HashCombine(h, options_.slide);
+  h = HashCombine(h, options_.max_duration);
+  h = HashCombine(h, options_.duration_interval);
+  h = HashCombine(h, static_cast<uint64_t>(options_.zcurve_bits));
+  h = HashCombine(h, options_.use_zcurve ? 1 : 0);
+  return h;
+}
+
+Status SwstIndex::Save(PageId* meta_page) {
+  // Ensure the chain is long enough for all cells.
+  const size_t pages_needed =
+      (cells_.size() + kCellsPerPage - 1) / kCellsPerPage;
+  while (meta_chain_.size() < pages_needed) {
+    auto page = pool_->New();
+    if (!page.ok()) return page.status();
+    meta_chain_.push_back(page->id());
+  }
+  if (meta_page_ == kInvalidPageId) meta_page_ = meta_chain_[0];
+
+  size_t cell = 0;
+  for (size_t p = 0; p < pages_needed; ++p) {
+    auto page = pool_->Fetch(meta_chain_[p]);
+    if (!page.ok()) return page.status();
+    auto* hdr = page->As<MetaHeader>();
+    hdr->magic = kMetaMagic;
+    hdr->fingerprint = OptionsFingerprint();
+    hdr->now = now_;
+    hdr->cell_count =
+        (p == 0) ? static_cast<uint32_t>(cells_.size()) : 0;
+    hdr->next =
+        (p + 1 < pages_needed) ? meta_chain_[p + 1] : kInvalidPageId;
+    auto* recs = reinterpret_cast<CellRecord*>(page->data() +
+                                               sizeof(MetaHeader));
+    uint32_t here = 0;
+    for (; cell < cells_.size() && here < kCellsPerPage; ++cell, ++here) {
+      recs[here] = CellRecord{cells_[cell].root[0], cells_[cell].root[1],
+                              cells_[cell].epoch[0], cells_[cell].epoch[1]};
+    }
+    hdr->cells_here = here;
+    page->MarkDirty();
+  }
+  SWST_RETURN_IF_ERROR(pool_->FlushAll());
+  SWST_RETURN_IF_ERROR(pool_->pager()->Sync());
+  *meta_page = meta_page_;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SwstIndex>> SwstIndex::Open(BufferPool* pool,
+                                                   const SwstOptions& options,
+                                                   PageId meta_page) {
+  auto idx_or = Create(pool, options);
+  if (!idx_or.ok()) return idx_or.status();
+  std::unique_ptr<SwstIndex> idx = std::move(*idx_or);
+
+  PageId cur = meta_page;
+  size_t cell = 0;
+  bool first = true;
+  while (cur != kInvalidPageId) {
+    auto page = pool->Fetch(cur);
+    if (!page.ok()) return page.status();
+    const auto* hdr = page->As<MetaHeader>();
+    if (hdr->magic != kMetaMagic) {
+      return Status::Corruption("SwstIndex::Open: bad metadata magic");
+    }
+    if (hdr->fingerprint != idx->OptionsFingerprint()) {
+      return Status::InvalidArgument(
+          "SwstIndex::Open: options do not match the persisted index");
+    }
+    if (first) {
+      if (hdr->cell_count != idx->cells_.size()) {
+        return Status::Corruption("SwstIndex::Open: cell count mismatch");
+      }
+      idx->now_ = hdr->now;
+      first = false;
+    }
+    const auto* recs = reinterpret_cast<const CellRecord*>(
+        page->data() + sizeof(MetaHeader));
+    for (uint32_t i = 0; i < hdr->cells_here; ++i, ++cell) {
+      if (cell >= idx->cells_.size()) {
+        return Status::Corruption("SwstIndex::Open: too many cell records");
+      }
+      idx->cells_[cell].root[0] = recs[i].root0;
+      idx->cells_[cell].root[1] = recs[i].root1;
+      idx->cells_[cell].epoch[0] = recs[i].epoch0;
+      idx->cells_[cell].epoch[1] = recs[i].epoch1;
+    }
+    idx->meta_chain_.push_back(cur);
+    cur = hdr->next;
+  }
+  if (cell != idx->cells_.size()) {
+    return Status::Corruption("SwstIndex::Open: truncated metadata chain");
+  }
+  idx->meta_page_ = meta_page;
+  SWST_RETURN_IF_ERROR(idx->RebuildMemo());
+  return Result<std::unique_ptr<SwstIndex>>(std::move(idx));
+}
+
+Status SwstIndex::RebuildMemo() {
+  for (uint32_t cell = 0; cell < cells_.size(); ++cell) {
+    for (int slot = 0; slot < 2; ++slot) {
+      memo_.ResetSlot(cell, slot);
+      if (cells_[cell].root[slot] == kInvalidPageId) continue;
+      BTree tree = BTree::Attach(pool_, cells_[cell].root[slot]);
+      SWST_RETURN_IF_ERROR(
+          tree.Scan(0, UINT64_MAX, [&](const BTreeRecord& rec) {
+            memo_.Add(cell, slot, codec_.LocalColumn(rec.entry.start),
+                      codec_.DPartition(rec.entry.duration), rec.entry.pos);
+            return true;
+          }));
+    }
+  }
+  return Status::OK();
+}
+
+Result<SwstIndex::DebugStats> SwstIndex::GetDebugStats() const {
+  DebugStats stats;
+  stats.memo_bytes = memo_.MemoryUsage();
+  stats.memo_nonempty_cells = memo_.NonEmptyCells();
+  for (const CellTrees& ct : cells_) {
+    for (int slot = 0; slot < 2; ++slot) {
+      if (ct.root[slot] == kInvalidPageId) continue;
+      stats.live_trees++;
+      BTree tree = BTree::Attach(pool_, ct.root[slot]);
+      auto height = tree.Height();
+      if (!height.ok()) return height.status();
+      stats.max_tree_height = std::max(stats.max_tree_height, *height);
+      SWST_RETURN_IF_ERROR(tree.Scan(0, UINT64_MAX,
+                                     [&stats](const BTreeRecord& rec) {
+                                       stats.entries++;
+                                       if (rec.entry.is_current()) {
+                                         stats.current_entries++;
+                                       }
+                                       return true;
+                                     }));
+    }
+  }
+  return stats;
+}
+
+}  // namespace swst

@@ -1,0 +1,253 @@
+#ifndef SWST_SWST_SWST_INDEX_H_
+#define SWST_SWST_SWST_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/buffer_pool.h"
+#include "swst/is_present_memo.h"
+#include "swst/options.h"
+#include "swst/overlap.h"
+#include "swst/spatial_grid.h"
+#include "swst/temporal_key.h"
+
+namespace swst {
+
+/// Per-query cost counters, matching the metrics reported in the paper's
+/// evaluation (node accesses) plus finer-grained breakdowns.
+struct QueryStats {
+  uint64_t node_accesses = 0;     ///< B+ tree page fetches for this query.
+  uint64_t spatial_cells = 0;     ///< Overlapping spatial grid cells.
+  uint64_t columns = 0;           ///< Overlapping s-partition columns.
+  uint64_t key_ranges = 0;        ///< Key ranges searched in B+ trees.
+  uint64_t candidates = 0;        ///< Records produced by the tree search.
+  uint64_t full_cell_accepts = 0; ///< Accepted with no refinement check.
+  uint64_t refined_out = 0;       ///< False positives removed by refinement.
+  uint64_t memo_pruned_columns = 0;  ///< Columns skipped entirely by memo.
+};
+
+/// Per-query options.
+struct QueryOptions {
+  /// Logical sliding window W' <= W (paper §III-A): restricts the queriable
+  /// period to the most recent W' time units. 0 means the physical window.
+  Timestamp logical_window = 0;
+
+  /// Variable per-entry retention (paper §IV-B.d): entries may carry
+  /// retention times shorter than the physical window. When set, this
+  /// predicate runs in the refinement step with the entry and the current
+  /// clock; returning false excludes an entry that has expired under its
+  /// own retention. Full-overlap fast-accepts are disabled for such
+  /// queries so every candidate is checked — exactly the modification the
+  /// paper describes. Window drops are unchanged.
+  std::function<bool(const Entry& entry, Timestamp now)> retention_filter;
+};
+
+/// \brief The SWST index: sliding-window spatio-temporal index (the paper's
+/// primary contribution).
+///
+/// Two layers: a uniform spatial grid, and per spatial cell two B+ trees
+/// keyed by `KEY(s, d, x, y)` covering the two most recent epochs of start
+/// timestamps. Window maintenance is a wholesale drop of the expired tree
+/// (plus a memo slot reset) — no per-entry deletion.
+///
+/// ### Streaming usage
+///
+/// Positions arrive in non-decreasing start-timestamp order. A position
+/// report with no known end time is inserted as a *current* entry; when the
+/// object's next report arrives, the previous entry is closed (deleted and
+/// re-inserted with its actual duration) — the paper's "two insertions and
+/// one deletion" per update. `ReportPosition` packages that protocol;
+/// `Insert` / `Delete` are the raw operations (SWST, unlike MV3R, has no
+/// partial-persistency restriction: any valid entry may be deleted or
+/// updated).
+///
+/// ### Queries
+///
+/// `IntervalQuery` and `TimesliceQuery` evaluate the paper's two query
+/// types against the current queriable period [tau', tau], optionally under
+/// a logical window W' <= W. All failures surface as `Status`.
+class SwstIndex {
+ public:
+  /// Creates an empty index. `pool` must outlive the index.
+  static Result<std::unique_ptr<SwstIndex>> Create(BufferPool* pool,
+                                                   const SwstOptions& options);
+
+  /// Re-opens an index previously persisted with `Save` from the pager
+  /// behind `pool`. `options` must match the options the index was created
+  /// with (they parameterize the key codec and grid; a fingerprint stored
+  /// in the metadata is verified). The isPresent memo is rebuilt by
+  /// scanning the live trees.
+  static Result<std::unique_ptr<SwstIndex>> Open(BufferPool* pool,
+                                                 const SwstOptions& options,
+                                                 PageId meta_page);
+
+  /// Persists the index directory (per-cell tree roots and epochs, the
+  /// clock, an options fingerprint) into a chain of pages, returning the
+  /// chain head through `meta_page`. Call once after Create (the page id
+  /// is stable across subsequent saves); store it in your application's
+  /// superblock. Flushes the buffer pool so tree pages are durable too.
+  Status Save(PageId* meta_page);
+
+  SwstIndex(const SwstIndex&) = delete;
+  SwstIndex& operator=(const SwstIndex&) = delete;
+
+  /// Inserts an entry (closed or current). Advances the index clock to
+  /// `entry.start` if it is ahead. Requirements: the position lies in the
+  /// spatial domain; a closed duration is in [1, Dmax]; the start timestamp
+  /// is inside the current queriable period (not already expired).
+  Status Insert(const Entry& entry);
+
+  /// Deletes a specific entry (matched by oid + start, located via its
+  /// key). NotFound if absent or already dropped with an expired tree.
+  Status Delete(const Entry& entry);
+
+  /// Closes a previously inserted *current* entry: deletes its ND-keyed
+  /// record and re-inserts it with duration `actual`. If the entry's epoch
+  /// has already been dropped, this is a no-op (the entry expired).
+  Status CloseCurrent(const Entry& current, Duration actual);
+
+  /// Streaming convenience: report that `oid` is at `pos` from time `t`
+  /// on. If `previous` is non-null it must be the object's still-open
+  /// previous entry; it is closed with duration `t - previous->start`.
+  /// Returns the new current entry through `out_current` if non-null.
+  Status ReportPosition(ObjectId oid, const Point& pos, Timestamp t,
+                        const Entry* previous, Entry* out_current = nullptr);
+
+  /// Advances the index clock to `t` and performs window maintenance:
+  /// drops every B+ tree whose epoch is fully expired (paper §IV-C).
+  Status Advance(Timestamp t);
+
+  /// Interval query ([x_l,y_l],[x_h,y_h],[t_l,t_h]): entries of the output
+  /// relation R(tau) inside `area` whose valid time overlaps `interval`.
+  Result<std::vector<Entry>> IntervalQuery(const Rect& area,
+                                           const TimeInterval& interval,
+                                           const QueryOptions& opts = {},
+                                           QueryStats* stats = nullptr);
+
+  /// Timeslice query: entries inside `area` valid at time `t`.
+  Result<std::vector<Entry>> TimesliceQuery(const Rect& area, Timestamp t,
+                                            const QueryOptions& opts = {},
+                                            QueryStats* stats = nullptr);
+
+  /// Streaming interval query: `fn` is invoked for every matching entry
+  /// as the search proceeds (no result materialization); returning false
+  /// stops the query early. Useful for large results, existence tests,
+  /// and aggregations.
+  Status IntervalQueryStream(const Rect& area, const TimeInterval& interval,
+                             const QueryOptions& opts,
+                             const std::function<bool(const Entry&)>& fn,
+                             QueryStats* stats = nullptr);
+
+  /// K-nearest-neighbour query over the sliding window (the paper's §VI
+  /// future-work extension): the `k` entries closest to `center` whose
+  /// valid time overlaps `interval`, searched via expanding grid rings.
+  Result<std::vector<Entry>> Knn(const Point& center, size_t k,
+                                 const TimeInterval& interval,
+                                 const QueryOptions& opts = {},
+                                 QueryStats* stats = nullptr);
+
+  /// Current index clock (tau).
+  Timestamp now() const { return now_; }
+
+  /// Queriable period [tau', tau] (paper §III-A), under an optional
+  /// logical window.
+  TimeInterval QueriablePeriod(Timestamp logical_window = 0) const;
+
+  /// Bytes of in-memory statistical state (isPresent memos + directory).
+  size_t StatisticsMemoryUsage() const;
+
+  /// Total live entries across all trees (O(data) walk; tests only).
+  Result<uint64_t> CountEntries() const;
+
+  /// Introspection snapshot (O(data) walk over live trees).
+  struct DebugStats {
+    uint64_t live_trees = 0;       ///< B+ trees currently live (<= 2/cell).
+    uint64_t entries = 0;          ///< Live entries (incl. expired-not-yet-dropped).
+    uint64_t current_entries = 0;  ///< Entries with unknown duration.
+    int max_tree_height = 0;
+    uint64_t memo_nonempty_cells = 0;
+    size_t memo_bytes = 0;
+  };
+  Result<DebugStats> GetDebugStats() const;
+
+  /// Validates every live B+ tree's structural invariants (tests only).
+  Status ValidateTrees() const;
+
+  const SwstOptions& options() const { return options_; }
+  const SpatialGrid& grid() const { return grid_; }
+
+ private:
+  /// Live B+ trees of one spatial cell: slot k%2 holds epoch k.
+  struct CellTrees {
+    PageId root[2] = {kInvalidPageId, kInvalidPageId};
+    uint64_t epoch[2] = {0, 0};
+  };
+
+  /// Static per-query plan: classification of every active column, indexed
+  /// by the key's s-partition field (paper: computed once, valid for all
+  /// overlapping spatial cells).
+  struct ColumnPlan {
+    struct Column {
+      bool active = false;
+      uint32_t n_partial = 0;
+      uint32_t n_full = 0;
+      bool in_window = false;
+      uint64_t epoch = 0;
+      uint32_t m_local = 0;
+      int slot = 0;
+    };
+    std::vector<Column> by_field;          ///< Size 2*Sp.
+    std::vector<uint32_t> active_fields;   ///< Ascending within each slot.
+  };
+
+  SwstIndex(BufferPool* pool, const SwstOptions& options);
+
+  /// Ensures the cell's slot holds a live tree for `epoch`, dropping a
+  /// stale tree first. Creates the tree lazily.
+  Status PrepareTree(uint32_t cell, uint64_t epoch);
+
+  /// Drops any tree in `cell` whose epoch is < `min_live_epoch`.
+  Status DropExpired(uint32_t cell, uint64_t min_live_epoch);
+
+  Status BuildPlan(const TimeInterval& q, const TimeInterval& win,
+                   ColumnPlan* plan) const;
+
+  /// Runs the temporal search of one overlapping spatial cell and emits
+  /// every accepted entry. Shared by the rectangle queries and KNN.
+  /// `emit` returning false stops the search of this cell (and the whole
+  /// query, via the caller's stop flag).
+  Status SearchCell(const SpatialGrid::CellOverlap& co, const ColumnPlan& plan,
+                    const TimeInterval& q, const TimeInterval& win,
+                    const QueryOptions& opts, QueryStats* stats,
+                    const std::function<bool(const Entry&)>& emit);
+
+  uint64_t KeyFor(const Entry& entry, uint32_t cell) const;
+
+  /// Reconstructs the isPresent memo from the live trees (used by Open).
+  Status RebuildMemo();
+
+  /// Stable hash of the options that affect on-disk key layout.
+  uint64_t OptionsFingerprint() const;
+
+  BufferPool* pool_;
+  SwstOptions options_;
+  KeyCodec codec_;
+  SpatialGrid grid_;
+  TemporalOverlapComputer overlap_;
+  IsPresentMemo memo_;
+  std::vector<CellTrees> cells_;
+  Timestamp now_ = 0;
+  /// Head of the persisted metadata page chain; allocated on first Save.
+  PageId meta_page_ = kInvalidPageId;
+  /// Additional metadata pages of the chain (for reuse across saves).
+  std::vector<PageId> meta_chain_;
+};
+
+}  // namespace swst
+
+#endif  // SWST_SWST_SWST_INDEX_H_

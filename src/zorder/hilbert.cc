@@ -1,0 +1,55 @@
+#include "zorder/hilbert.h"
+
+#include <cassert>
+
+namespace swst {
+
+namespace {
+
+// Rotates/flips a quadrant so the curve orientation is canonical.
+void Rot(uint32_t n, uint32_t* x, uint32_t* y, uint32_t rx, uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = n - 1 - *x;
+      *y = n - 1 - *y;
+    }
+    uint32_t t = *x;
+    *x = *y;
+    *y = t;
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertEncode(uint32_t x, uint32_t y, int order) {
+  assert(order > 0 && order <= 31);
+  const uint32_t n = 1u << order;
+  assert(x < n && y < n);
+  uint64_t d = 0;
+  for (uint32_t s = n / 2; s > 0; s /= 2) {
+    uint32_t rx = (x & s) > 0 ? 1 : 0;
+    uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    Rot(n, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void HilbertDecode(uint64_t d, int order, uint32_t* x, uint32_t* y) {
+  assert(order > 0 && order <= 31);
+  const uint32_t n = 1u << order;
+  uint32_t rx, ry;
+  uint64_t t = d;
+  *x = 0;
+  *y = 0;
+  for (uint32_t s = 1; s < n; s *= 2) {
+    rx = 1 & static_cast<uint32_t>(t / 2);
+    ry = 1 & static_cast<uint32_t>(t ^ rx);
+    Rot(s, x, y, rx, ry);
+    *x += s * rx;
+    *y += s * ry;
+    t /= 4;
+  }
+}
+
+}  // namespace swst

@@ -1,0 +1,24 @@
+#ifndef SWST_ZORDER_HILBERT_H_
+#define SWST_ZORDER_HILBERT_H_
+
+#include <cstdint>
+
+namespace swst {
+
+/// \brief Hilbert curve mapping for a 2^order x 2^order grid.
+///
+/// Provided for the paper's Fig. 2 discussion: the Hilbert curve clusters
+/// better than the Z-curve but does *not* satisfy the corner-extremality
+/// property SWST needs (the upper-right corner of a rectangle is not
+/// guaranteed to have the maximum curve value), so SWST adopts the Z-curve.
+/// Tests demonstrate the violation; an ablation benchmark quantifies it.
+
+/// Maps (x, y) with x, y < 2^order to its Hilbert distance.
+uint64_t HilbertEncode(uint32_t x, uint32_t y, int order);
+
+/// Inverse of `HilbertEncode`.
+void HilbertDecode(uint64_t d, int order, uint32_t* x, uint32_t* y);
+
+}  // namespace swst
+
+#endif  // SWST_ZORDER_HILBERT_H_

@@ -1,0 +1,127 @@
+#include "zorder/zorder.h"
+
+#include <cassert>
+
+namespace swst {
+
+namespace {
+
+// Spreads the low 32 bits of v to the even bit positions of a uint64_t.
+uint64_t SpreadBits(uint32_t v) {
+  uint64_t x = v;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+// Inverse of SpreadBits: collects the even bit positions into 32 bits.
+uint32_t CompactBits(uint64_t x) {
+  x &= 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x >> 4)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x >> 8)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x >> 16)) & 0x00000000FFFFFFFFULL;
+  return static_cast<uint32_t>(x);
+}
+
+}  // namespace
+
+uint64_t ZEncode(uint32_t x, uint32_t y) {
+  return SpreadBits(x) | (SpreadBits(y) << 1);
+}
+
+void ZDecode(uint64_t z, uint32_t* x, uint32_t* y) {
+  *x = CompactBits(z);
+  *y = CompactBits(z >> 1);
+}
+
+uint64_t ZEncodeBits(uint32_t x, uint32_t y, int bits) {
+  assert(bits >= 0 && bits <= 32);
+  if (bits < 32) {
+    assert(x < (1u << bits) && y < (1u << bits));
+  }
+  return ZEncode(x, y);
+}
+
+bool ZInRect(uint64_t z, uint32_t min_x, uint32_t min_y, uint32_t max_x,
+             uint32_t max_y) {
+  uint32_t x, y;
+  ZDecode(z, &x, &y);
+  return min_x <= x && x <= max_x && min_y <= y && y <= max_y;
+}
+
+bool ZBigMin(uint64_t z, uint32_t min_x, uint32_t min_y, uint32_t max_x,
+             uint32_t max_y, uint64_t* bigmin) {
+  // Tropf & Herzog (1981) BIGMIN computation. We walk the bits of the
+  // 64-bit Morton code from the most significant down, maintaining the
+  // candidate rectangle [min, max] in interleaved form.
+  uint64_t zmin = ZEncode(min_x, min_y);
+  uint64_t zmax = ZEncode(max_x, max_y);
+  uint64_t result = 0;
+  bool found = false;
+
+  // LOAD helpers operate on the interleaved representation: for the bit at
+  // interleaved position `pos` (dimension pos%2), set the value's remaining
+  // lower bits of that dimension to a pattern.
+  auto load = [](uint64_t value, int pos, bool bit_value,
+                 bool ones_below) -> uint64_t {
+    // Mask of this dimension's bits at and below `pos`.
+    const uint64_t dim_mask =
+        (pos % 2 == 0) ? 0x5555555555555555ULL : 0xAAAAAAAAAAAAAAAAULL;
+    uint64_t below_mask = (pos == 63) ? ~0ULL : ((1ULL << (pos + 1)) - 1);
+    uint64_t affected = dim_mask & below_mask;
+    uint64_t bit = 1ULL << pos;
+    uint64_t v = value & ~affected;  // Clear this dim's bits at/below pos.
+    if (bit_value) v |= bit;
+    if (ones_below) v |= affected & ~bit;
+    return v;
+  };
+
+  for (int pos = 63; pos >= 0; --pos) {
+    const uint64_t bit = 1ULL << pos;
+    const bool zb = (z & bit) != 0;
+    const bool minb = (zmin & bit) != 0;
+    const bool maxb = (zmax & bit) != 0;
+
+    if (!zb && !minb && !maxb) {
+      continue;
+    } else if (!zb && !minb && maxb) {
+      // BIGMIN candidate: the min corner of the upper half.
+      result = load(zmin, pos, true, false);
+      found = true;
+      // Continue searching in the lower half.
+      zmax = load(zmax, pos, false, true);
+    } else if (!zb && minb && maxb) {
+      // The whole remaining rectangle is above z.
+      *bigmin = zmin;
+      return true;
+    } else if (zb && !minb && !maxb) {
+      // The whole remaining rectangle is below z; no BIGMIN here.
+      if (found) {
+        *bigmin = result;
+        return true;
+      }
+      return false;
+    } else if (zb && !minb && maxb) {
+      // Restrict to the upper half.
+      zmin = load(zmin, pos, true, false);
+    } else if (zb && minb && maxb) {
+      continue;
+    } else {
+      // minb && !maxb is impossible for a valid rectangle.
+      assert(false && "invalid z-range: zmin bit set where zmax bit clear");
+      return false;
+    }
+  }
+  if (found) {
+    *bigmin = result;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace swst

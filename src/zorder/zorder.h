@@ -1,0 +1,45 @@
+#ifndef SWST_ZORDER_ZORDER_H_
+#define SWST_ZORDER_ZORDER_H_
+
+#include <cstdint>
+
+namespace swst {
+
+/// \brief Z-order (Morton) curve utilities.
+///
+/// The SWST B+ tree key embeds `zc(x, y)` so that, after the spatial-grid
+/// filter, entries within a spatial cell are further ordered by spatial
+/// proximity (paper §III-B.2). The property the index relies on (§IV-B.b):
+/// for any axis-aligned rectangle, the lower-left corner has the minimum
+/// Z-value and the upper-right corner the maximum Z-value among all points
+/// inside the rectangle. This holds because bit interleaving is monotone in
+/// each coordinate — and it is exactly the property the Hilbert curve
+/// violates (see `hilbert.h`).
+
+/// Interleaves the low 32 bits of `x` (even positions) and `y` (odd
+/// positions) into a 64-bit Morton code.
+uint64_t ZEncode(uint32_t x, uint32_t y);
+
+/// Inverse of `ZEncode`.
+void ZDecode(uint64_t z, uint32_t* x, uint32_t* y);
+
+/// Morton code restricted to `bits` bits per dimension (result fits in
+/// `2*bits` bits). Precondition: `bits <= 32`, `x, y < 2^bits`.
+uint64_t ZEncodeBits(uint32_t x, uint32_t y, int bits);
+
+/// \brief BIGMIN/LITMAX support: tightest Z-range refinement.
+///
+/// Given a Z-range scan that left the query rectangle at Z-value `z`
+/// (exclusive), returns the smallest Z-value > z that lies inside the
+/// rectangle [min_x,max_x] x [min_y,max_y] (Tropf & Herzog's BIGMIN), or
+/// false if none exists. Used by the optional tightened range scan.
+bool ZBigMin(uint64_t z, uint32_t min_x, uint32_t min_y, uint32_t max_x,
+             uint32_t max_y, uint64_t* bigmin);
+
+/// True iff the point decoded from `z` lies in [min_x,max_x] x [min_y,max_y].
+bool ZInRect(uint64_t z, uint32_t min_x, uint32_t min_y, uint32_t max_x,
+             uint32_t max_y);
+
+}  // namespace swst
+
+#endif  // SWST_ZORDER_ZORDER_H_

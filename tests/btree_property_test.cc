@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/random.h"
+#include "tests/test_util.h"
+
+namespace swst {
+namespace {
+
+/// Randomized insert/delete/scan workloads checked against a
+/// std::multimap oracle, with structural validation along the way.
+/// Parameters: (seed, operation count, key range).
+using PropertyParams = std::tuple<uint64_t, int, uint64_t>;
+
+class BTreePropertyTest : public ::testing::TestWithParam<PropertyParams> {
+ protected:
+  BTreePropertyTest()
+      : pager_(Pager::OpenMemory()),
+        pool_(std::make_unique<BufferPool>(pager_.get(), 4096)) {}
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+TEST_P(BTreePropertyTest, MatchesMultimapOracle) {
+  const auto [seed, ops, key_range] = GetParam();
+  Random rng(seed);
+  auto tree = BTree::Create(pool_.get());
+  ASSERT_TRUE(tree.ok());
+  BTree t = std::move(*tree);
+
+  // Oracle: key -> set of (oid, start). Entries are uniquely identified by
+  // (oid, start), as in SWST.
+  std::multimap<uint64_t, std::pair<ObjectId, Timestamp>> oracle;
+  ObjectId next_oid = 0;
+
+  for (int op = 0; op < ops; ++op) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.6 || oracle.empty()) {
+      const uint64_t key = rng.Uniform(key_range);
+      const ObjectId oid = next_oid++;
+      const Timestamp start = rng.Uniform(100000);
+      ASSERT_OK(t.Insert(key, MakeEntry(oid, 1, 2, start, 3)));
+      oracle.emplace(key, std::make_pair(oid, start));
+    } else if (dice < 0.9) {
+      // Delete a random existing record.
+      auto it = oracle.begin();
+      std::advance(it, static_cast<long>(rng.Uniform(oracle.size())));
+      ASSERT_OK(t.Delete(it->first, it->second.first, it->second.second));
+      oracle.erase(it);
+    } else {
+      // Random range scan compared against the oracle.
+      uint64_t lo = rng.Uniform(key_range);
+      uint64_t hi = lo + rng.Uniform(key_range / 4 + 1);
+      std::multiset<std::pair<ObjectId, Timestamp>> expected;
+      for (auto it = oracle.lower_bound(lo);
+           it != oracle.end() && it->first <= hi; ++it) {
+        expected.insert(it->second);
+      }
+      std::multiset<std::pair<ObjectId, Timestamp>> got;
+      ASSERT_OK(t.Scan(lo, hi, [&](const BTreeRecord& r) {
+        EXPECT_GE(r.key, lo);
+        EXPECT_LE(r.key, hi);
+        got.insert({r.entry.oid, r.entry.start});
+        return true;
+      }));
+      ASSERT_EQ(got, expected) << "scan [" << lo << "," << hi << "] at op "
+                               << op;
+    }
+    if (op % 500 == 0) {
+      ASSERT_OK(t.Validate()) << "after op " << op;
+    }
+  }
+  ASSERT_OK(t.Validate());
+  auto count = t.CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, oracle.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, BTreePropertyTest,
+    ::testing::Values(
+        // Narrow key range: heavy duplication.
+        PropertyParams{1, 4000, 10},
+        PropertyParams{2, 4000, 100},
+        // Wide key range: few duplicates, deep trees.
+        PropertyParams{3, 6000, 1000000},
+        // Mixed.
+        PropertyParams{4, 5000, 5000},
+        PropertyParams{5, 3000, 2}));
+
+TEST(BTreeChurnTest, InsertDeleteChurnKeepsInvariants) {
+  auto pager = Pager::OpenMemory();
+  BufferPool pool(pager.get(), 4096);
+  auto tree = BTree::Create(&pool);
+  ASSERT_TRUE(tree.ok());
+  BTree t = std::move(*tree);
+  Random rng(99);
+
+  // Fill, then repeatedly delete the oldest half and insert new: the
+  // sliding-window churn pattern.
+  std::vector<std::pair<uint64_t, std::pair<ObjectId, Timestamp>>> live;
+  ObjectId oid = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 800; ++i) {
+      uint64_t key = rng.Uniform(10000);
+      Timestamp s = rng.Uniform(100000);
+      ASSERT_OK(t.Insert(key, MakeEntry(oid, 0, 0, s, 1)));
+      live.push_back({key, {oid, s}});
+      oid++;
+    }
+    const size_t cut = live.size() / 2;
+    for (size_t i = 0; i < cut; ++i) {
+      ASSERT_OK(t.Delete(live[i].first, live[i].second.first,
+                         live[i].second.second));
+    }
+    live.erase(live.begin(), live.begin() + static_cast<long>(cut));
+    ASSERT_OK(t.Validate());
+    auto count = t.CountEntries();
+    ASSERT_TRUE(count.ok());
+    ASSERT_EQ(*count, live.size());
+  }
+}
+
+}  // namespace
+}  // namespace swst

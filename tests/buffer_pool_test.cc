@@ -1,0 +1,164 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace swst {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() : pager_(Pager::OpenMemory()) {}
+  std::unique_ptr<Pager> pager_;
+};
+
+TEST_F(BufferPoolTest, NewPageIsZeroedAndPinned) {
+  BufferPool pool(pager_.get(), 4);
+  auto page = pool.New();
+  ASSERT_TRUE(page.ok());
+  for (uint32_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(page->data()[i], 0);
+  }
+  EXPECT_EQ(pool.pinned_count(), 1u);
+  page->Release();
+  EXPECT_EQ(pool.pinned_count(), 0u);
+}
+
+TEST_F(BufferPoolTest, FetchCountsLogicalReadsOnHitAndMiss) {
+  BufferPool pool(pager_.get(), 4);
+  auto page = pool.New();
+  ASSERT_TRUE(page.ok());
+  PageId id = page->id();
+  page->Release();
+
+  const uint64_t before_logical = pool.stats().logical_reads;
+  const uint64_t before_physical = pool.stats().physical_reads;
+  {
+    auto h = pool.Fetch(id);  // Hit: cached.
+    ASSERT_TRUE(h.ok());
+  }
+  EXPECT_EQ(pool.stats().logical_reads, before_logical + 1);
+  EXPECT_EQ(pool.stats().physical_reads, before_physical);
+}
+
+TEST_F(BufferPoolTest, DirtyPageSurvivesEviction) {
+  BufferPool pool(pager_.get(), 2);
+  PageId id;
+  {
+    auto page = pool.New();
+    ASSERT_TRUE(page.ok());
+    id = page->id();
+    std::memset(page->data(), 0xAB, kPageSize);
+    page->MarkDirty();
+  }
+  // Force eviction of `id` by filling the pool with other pages.
+  std::vector<PageId> others;
+  for (int i = 0; i < 3; ++i) {
+    auto p = pool.New();
+    ASSERT_TRUE(p.ok());
+    others.push_back(p->id());
+  }
+  auto h = pool.Fetch(id);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(static_cast<unsigned char>(h->data()[100]), 0xAB);
+  EXPECT_GT(pool.stats().physical_writes, 0u);
+  EXPECT_GT(pool.stats().physical_reads, 0u);
+}
+
+TEST_F(BufferPoolTest, PinnedPagesCannotBeEvicted) {
+  BufferPool pool(pager_.get(), 2);
+  auto a = pool.New();
+  auto b = pool.New();
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Both frames pinned: the next allocation must fail.
+  auto c = pool.New();
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(c.status().IsIOError());
+  a->Release();
+  auto d = pool.New();
+  EXPECT_TRUE(d.ok());
+}
+
+TEST_F(BufferPoolTest, RepinningKeepsSingleFrame) {
+  BufferPool pool(pager_.get(), 4);
+  auto a = pool.New();
+  ASSERT_TRUE(a.ok());
+  PageId id = a->id();
+  auto b = pool.Fetch(id);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->data(), b->data());
+  EXPECT_EQ(pool.pinned_count(), 1u);  // One frame, pin count 2.
+}
+
+TEST_F(BufferPoolTest, FreeDiscardsCachedCopy) {
+  BufferPool pool(pager_.get(), 4);
+  auto a = pool.New();
+  ASSERT_TRUE(a.ok());
+  PageId id = a->id();
+  a->Release();
+  ASSERT_TRUE(pool.Free(id).ok());
+  EXPECT_EQ(pager_->live_page_count(), 0u);
+  // Fetching a freed page is an error at the pager level once reused or
+  // simply returns stale bytes; here we only check Free of a pinned page.
+  auto b = pool.New();
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(pool.Free(b->id()).IsInvalidArgument());
+}
+
+TEST_F(BufferPoolTest, FlushAllWritesBackDirtyFrames) {
+  BufferPool pool(pager_.get(), 4);
+  auto a = pool.New();
+  ASSERT_TRUE(a.ok());
+  std::memset(a->data(), 0x77, kPageSize);
+  a->MarkDirty();
+  PageId id = a->id();
+  a->Release();
+  ASSERT_TRUE(pool.FlushAll().ok());
+  char buf[kPageSize];
+  ASSERT_TRUE(pager_->ReadPage(id, buf).ok());
+  EXPECT_EQ(static_cast<unsigned char>(buf[0]), 0x77);
+}
+
+TEST_F(BufferPoolTest, MoveHandleTransfersPin) {
+  BufferPool pool(pager_.get(), 4);
+  auto a = pool.New();
+  ASSERT_TRUE(a.ok());
+  PageHandle h = std::move(*a);
+  EXPECT_TRUE(h.valid());
+  EXPECT_EQ(pool.pinned_count(), 1u);
+  PageHandle h2 = std::move(h);
+  EXPECT_FALSE(h.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(h2.valid());
+  h2.Release();
+  EXPECT_EQ(pool.pinned_count(), 0u);
+}
+
+TEST_F(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
+  BufferPool pool(pager_.get(), 2);
+  PageId a, b;
+  {
+    auto pa = pool.New();
+    ASSERT_TRUE(pa.ok());
+    a = pa->id();
+  }
+  {
+    auto pb = pool.New();
+    ASSERT_TRUE(pb.ok());
+    b = pb->id();
+  }
+  // Touch `a` so `b` is the LRU victim.
+  pool.Fetch(a).value().Release();
+  {
+    auto pc = pool.New();  // Evicts b.
+    ASSERT_TRUE(pc.ok());
+  }
+  const uint64_t misses_before = pool.stats().physical_reads;
+  pool.Fetch(a).value().Release();  // Still cached: no physical read.
+  EXPECT_EQ(pool.stats().physical_reads, misses_before);
+  pool.Fetch(b).value().Release();  // Evicted: physical read.
+  EXPECT_EQ(pool.stats().physical_reads, misses_before + 1);
+}
+
+}  // namespace
+}  // namespace swst

@@ -1,0 +1,190 @@
+#include "gstd/gstd.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace swst {
+namespace {
+
+GstdOptions SmallOptions() {
+  GstdOptions o;
+  o.num_objects = 100;
+  o.records_per_object = 50;
+  o.max_time = 10000;
+  o.seed = 7;
+  return o;
+}
+
+TEST(GstdTest, EmitsExactRecordCount) {
+  GstdGenerator gen(SmallOptions());
+  GstdRecord rec;
+  uint64_t n = 0;
+  while (gen.Next(&rec)) n++;
+  EXPECT_EQ(n, 100u * 50u);
+  EXPECT_EQ(gen.emitted(), n);
+}
+
+TEST(GstdTest, StreamIsTimeOrdered) {
+  GstdGenerator gen(SmallOptions());
+  GstdRecord rec;
+  Timestamp prev = 0;
+  while (gen.Next(&rec)) {
+    EXPECT_GE(rec.t, prev);
+    prev = rec.t;
+  }
+}
+
+TEST(GstdTest, DeterministicForSameSeed) {
+  auto a = GenerateGstd(SmallOptions());
+  auto b = GenerateGstd(SmallOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].oid, b[i].oid);
+    ASSERT_EQ(a[i].t, b[i].t);
+    ASSERT_EQ(a[i].pos, b[i].pos);
+  }
+}
+
+TEST(GstdTest, DifferentSeedsProduceDifferentStreams) {
+  GstdOptions o1 = SmallOptions();
+  GstdOptions o2 = SmallOptions();
+  o2.seed = 8;
+  auto a = GenerateGstd(o1);
+  auto b = GenerateGstd(o2);
+  int diffs = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].pos == b[i].pos)) diffs++;
+  }
+  EXPECT_GT(diffs, static_cast<int>(a.size()) / 2);
+}
+
+TEST(GstdTest, PositionsStayInsideSpace) {
+  GstdOptions o = SmallOptions();
+  for (auto adj : {GstdOptions::Adjustment::kClamp,
+                   GstdOptions::Adjustment::kWrap}) {
+    o.adjustment = adj;
+    for (const GstdRecord& r : GenerateGstd(o)) {
+      EXPECT_TRUE(o.space.Contains(r.pos))
+          << "(" << r.pos.x << "," << r.pos.y << ")";
+    }
+  }
+}
+
+TEST(GstdTest, PerObjectTimesStrictlyIncrease) {
+  auto recs = GenerateGstd(SmallOptions());
+  std::map<ObjectId, Timestamp> last;
+  std::map<ObjectId, int> count;
+  for (const GstdRecord& r : recs) {
+    auto it = last.find(r.oid);
+    if (it != last.end()) {
+      EXPECT_GT(r.t, it->second) << "oid " << r.oid;
+    }
+    last[r.oid] = r.t;
+    count[r.oid]++;
+  }
+  EXPECT_EQ(last.size(), 100u);
+  for (const auto& [oid, n] : count) EXPECT_EQ(n, 50);
+}
+
+TEST(GstdTest, GapsBoundedByTwiceBaseInterval) {
+  GstdOptions o = SmallOptions();  // Base interval = 10000/50 = 200.
+  auto recs = GenerateGstd(o);
+  std::map<ObjectId, Timestamp> last;
+  for (const GstdRecord& r : recs) {
+    auto it = last.find(r.oid);
+    if (it != last.end()) {
+      const Timestamp gap = r.t - it->second;
+      EXPECT_GE(gap, 1u);
+      EXPECT_LE(gap, 399u);  // [1, 2*I - 1]
+    }
+    last[r.oid] = r.t;
+  }
+}
+
+TEST(GstdTest, LongDurationFractionProducesLongGaps) {
+  GstdOptions o = SmallOptions();
+  o.long_duration_fraction = 0.2;
+  o.long_duration_max = 5000;
+  auto recs = GenerateGstd(o);
+  std::map<ObjectId, Timestamp> last;
+  int long_gaps = 0, total_gaps = 0;
+  for (const GstdRecord& r : recs) {
+    auto it = last.find(r.oid);
+    if (it != last.end()) {
+      total_gaps++;
+      if (r.t - it->second > 399) long_gaps++;
+    }
+    last[r.oid] = r.t;
+  }
+  const double frac = static_cast<double>(long_gaps) / total_gaps;
+  // ~0.2 of gaps drawn from [1,5000]; about 92% of those exceed 399.
+  EXPECT_GT(frac, 0.12);
+  EXPECT_LT(frac, 0.26);
+}
+
+TEST(GstdTest, GaussianInitialDistributionIsCentered) {
+  GstdOptions o = SmallOptions();
+  o.initial = GstdOptions::Distribution::kGaussian;
+  o.records_per_object = 1;  // Only initial positions.
+  o.num_objects = 5000;
+  double sx = 0, sy = 0;
+  for (const GstdRecord& r : GenerateGstd(o)) {
+    sx += r.pos.x;
+    sy += r.pos.y;
+  }
+  EXPECT_NEAR(sx / 5000, 5000.0, 100.0);
+  EXPECT_NEAR(sy / 5000, 5000.0, 100.0);
+}
+
+TEST(GstdTest, MovementIsBoundedByMaxStep) {
+  GstdOptions o = SmallOptions();
+  o.max_step = 50.0;
+  o.adjustment = GstdOptions::Adjustment::kClamp;
+  auto recs = GenerateGstd(o);
+  std::map<ObjectId, Point> last;
+  for (const GstdRecord& r : recs) {
+    auto it = last.find(r.oid);
+    if (it != last.end()) {
+      EXPECT_LE(std::abs(r.pos.x - it->second.x), 50.0 + 1e-9);
+      EXPECT_LE(std::abs(r.pos.y - it->second.y), 50.0 + 1e-9);
+    }
+    last[r.oid] = r.pos;
+  }
+}
+
+TEST(GstdTest, DriftMovesThePopulation) {
+  GstdOptions o = SmallOptions();
+  o.initial = GstdOptions::Distribution::kGaussian;  // Start centered.
+  o.drift = {150.0, 0.0};
+  o.max_step = 50.0;
+  o.adjustment = GstdOptions::Adjustment::kClamp;
+  auto recs = GenerateGstd(o);
+  // Average x of early reports vs late reports: the cloud migrates +x.
+  double early = 0, late = 0;
+  int early_n = 0, late_n = 0;
+  for (const GstdRecord& r : recs) {
+    if (r.t < o.max_time / 4) {
+      early += r.pos.x;
+      early_n++;
+    } else if (r.t > 3 * o.max_time / 4) {
+      late += r.pos.x;
+      late_n++;
+    }
+  }
+  ASSERT_GT(early_n, 0);
+  ASSERT_GT(late_n, 0);
+  EXPECT_GT(late / late_n, early / early_n + 1000.0);
+}
+
+TEST(GstdTest, DriftWithWrapKeepsPositionsInSpace) {
+  GstdOptions o = SmallOptions();
+  o.drift = {300.0, -120.0};
+  o.adjustment = GstdOptions::Adjustment::kWrap;
+  for (const GstdRecord& r : GenerateGstd(o)) {
+    EXPECT_TRUE(o.space.Contains(r.pos));
+  }
+}
+
+}  // namespace
+}  // namespace swst

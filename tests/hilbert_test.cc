@@ -1,0 +1,84 @@
+#include "zorder/hilbert.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "zorder/zorder.h"
+
+namespace swst {
+namespace {
+
+TEST(HilbertTest, EncodeDecodeRoundTrip) {
+  const int order = 6;
+  const uint32_t n = 1u << order;
+  for (uint32_t x = 0; x < n; ++x) {
+    for (uint32_t y = 0; y < n; ++y) {
+      uint32_t dx, dy;
+      HilbertDecode(HilbertEncode(x, y, order), order, &dx, &dy);
+      ASSERT_EQ(dx, x);
+      ASSERT_EQ(dy, y);
+    }
+  }
+}
+
+TEST(HilbertTest, IsABijectionOverTheGrid) {
+  const int order = 5;
+  const uint32_t n = 1u << order;
+  std::set<uint64_t> seen;
+  for (uint32_t x = 0; x < n; ++x) {
+    for (uint32_t y = 0; y < n; ++y) {
+      seen.insert(HilbertEncode(x, y, order));
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(n) * n);
+  EXPECT_EQ(*seen.rbegin(), static_cast<uint64_t>(n) * n - 1);
+}
+
+TEST(HilbertTest, ConsecutiveDistancesAreUnitSteps) {
+  // The defining property of the Hilbert curve: consecutive curve
+  // positions are grid neighbours.
+  const int order = 5;
+  const uint32_t n = 1u << order;
+  for (uint64_t d = 0; d + 1 < static_cast<uint64_t>(n) * n; ++d) {
+    uint32_t x1, y1, x2, y2;
+    HilbertDecode(d, order, &x1, &y1);
+    HilbertDecode(d + 1, order, &x2, &y2);
+    const uint32_t dist = (x1 > x2 ? x1 - x2 : x2 - x1) +
+                          (y1 > y2 ? y1 - y2 : y2 - y1);
+    ASSERT_EQ(dist, 1u) << "at d=" << d;
+  }
+}
+
+// The paper's Fig. 2 argument: the Hilbert curve violates the
+// corner-extremality property SWST needs, while the Z-curve satisfies it.
+TEST(HilbertTest, ViolatesCornerExtremalityUnlikeZCurve) {
+  const int order = 3;
+  const uint32_t n = 1u << order;
+  bool violated = false;
+  for (uint32_t x1 = 0; x1 < n && !violated; ++x1) {
+    for (uint32_t y1 = 0; y1 < n && !violated; ++y1) {
+      for (uint32_t x2 = x1; x2 < n && !violated; ++x2) {
+        for (uint32_t y2 = y1; y2 < n && !violated; ++y2) {
+          const uint64_t lo = HilbertEncode(x1, y1, order);
+          const uint64_t hi = HilbertEncode(x2, y2, order);
+          for (uint32_t x = x1; x <= x2 && !violated; ++x) {
+            for (uint32_t y = y1; y <= y2; ++y) {
+              const uint64_t h = HilbertEncode(x, y, order);
+              if (h < lo || h > hi) {
+                violated = true;
+                break;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(violated)
+      << "expected at least one rectangle whose interior escapes the "
+         "corner Hilbert values";
+}
+
+}  // namespace
+}  // namespace swst

@@ -1,0 +1,199 @@
+#include "hrtree/hr_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+
+namespace swst {
+namespace {
+
+class HrTreeTest : public PoolTest {
+ protected:
+  std::unique_ptr<HrTree> Make() {
+    auto t = HrTree::Create(pool());
+    EXPECT_TRUE(t.ok());
+    return std::move(*t);
+  }
+};
+
+TEST_F(HrTreeTest, TimesliceSeesTheRightVersion) {
+  auto t = Make();
+  ASSERT_OK(t->Report(1, nullptr, {10, 10}, 100));
+  Point old{10, 10};
+  ASSERT_OK(t->Report(1, &old, {500, 500}, 200));
+
+  auto r = t->TimesliceQuery(Rect{{0, 0}, {100, 100}}, 150);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);  // Still at (10,10) during [100, 200).
+  r = t->TimesliceQuery(Rect{{0, 0}, {100, 100}}, 250);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+  r = t->TimesliceQuery(Rect{{400, 400}, {600, 600}}, 250);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  // Before the first version: nothing.
+  r = t->TimesliceQuery(Rect{{0, 0}, {1000, 1000}}, 50);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST_F(HrTreeTest, RandomizedVersionsMatchSnapshotOracle) {
+  auto t = Make();
+  Random rng(7);
+  // Maintain the oracle: position of each object over time.
+  std::map<ObjectId, Point> pos;
+  struct Snapshot {
+    Timestamp t;
+    std::map<ObjectId, Point> state;
+  };
+  std::vector<Snapshot> snaps;
+
+  Timestamp now = 0;
+  for (int step = 0; step < 400; ++step) {
+    now += 1 + rng.Uniform(3);
+    const ObjectId oid = rng.Uniform(60);
+    const Point np{rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)};
+    auto it = pos.find(oid);
+    if (it != pos.end()) {
+      Point old = it->second;
+      ASSERT_OK(t->Report(oid, &old, np, now));
+    } else {
+      ASSERT_OK(t->Report(oid, nullptr, np, now));
+    }
+    pos[oid] = np;
+    snaps.push_back(Snapshot{now, pos});
+  }
+  ASSERT_OK(t->Validate());
+
+  // Query random times and areas; compare to the snapshot in effect.
+  for (int trial = 0; trial < 60; ++trial) {
+    const Timestamp q = 1 + rng.Uniform(now);
+    const Snapshot* snap = nullptr;
+    for (const Snapshot& s : snaps) {
+      if (s.t <= q) snap = &s;
+    }
+    const double x = rng.UniformDouble(0, 700);
+    const double y = rng.UniformDouble(0, 700);
+    const Rect area{{x, y}, {x + 300, y + 300}};
+    auto r = t->TimesliceQuery(area, q);
+    ASSERT_TRUE(r.ok());
+    std::set<ObjectId> got, expect;
+    for (const Entry& e : *r) got.insert(e.oid);
+    if (snap != nullptr) {
+      for (const auto& [oid, p] : snap->state) {
+        if (area.Contains(p)) expect.insert(oid);
+      }
+    }
+    ASSERT_EQ(got, expect) << "t=" << q;
+  }
+}
+
+TEST_F(HrTreeTest, IntervalQueryUnionsVersions) {
+  auto t = Make();
+  ASSERT_OK(t->Report(1, nullptr, {10, 10}, 100));
+  Point old{10, 10};
+  ASSERT_OK(t->Report(1, &old, {20, 20}, 200));
+  old = {20, 20};
+  ASSERT_OK(t->Report(1, &old, {900, 900}, 300));
+
+  auto r = t->IntervalQuery(Rect{{0, 0}, {100, 100}}, {100, 250});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);  // Both old positions of object 1.
+  r = t->IntervalQuery(Rect{{0, 0}, {100, 100}}, {310, 400});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST_F(HrTreeTest, SharedSubtreesKeepStorageSubLinear) {
+  auto t = Make();
+  Random rng(8);
+  // 2000 objects, then 200 versions of single-object updates: each version
+  // should add ~height pages, not a full copy.
+  Timestamp now = 1;
+  std::map<ObjectId, Point> pos;
+  for (ObjectId oid = 0; oid < 2000; ++oid) {
+    Point p{rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)};
+    ASSERT_OK(t->Report(oid, nullptr, p, now));
+    pos[oid] = p;
+  }
+  const uint64_t after_load = t->pages_created();
+  for (int i = 0; i < 200; ++i) {
+    now++;
+    const ObjectId oid = rng.Uniform(2000);
+    Point old = pos[oid];
+    Point np{rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)};
+    ASSERT_OK(t->Report(oid, &old, np, now));
+    pos[oid] = np;
+  }
+  const uint64_t per_version =
+      (t->pages_created() - after_load) / 200;
+  // Full copies would be ~30 pages per version; COW should need ~2x height.
+  EXPECT_LT(per_version, 12u);
+  EXPECT_GE(per_version, 1u);
+  ASSERT_OK(t->Validate());
+}
+
+TEST_F(HrTreeTest, DropVersionsFreesUnsharedPages) {
+  auto t = Make();
+  Random rng(9);
+  Timestamp now = 1;
+  std::map<ObjectId, Point> pos;
+  for (ObjectId oid = 0; oid < 1000; ++oid) {
+    Point p{rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)};
+    ASSERT_OK(t->Report(oid, nullptr, p, now));
+    pos[oid] = p;
+  }
+  for (int i = 0; i < 500; ++i) {
+    now++;
+    const ObjectId oid = rng.Uniform(1000);
+    Point old = pos[oid];
+    Point np{rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)};
+    ASSERT_OK(t->Report(oid, &old, np, now));
+    pos[oid] = np;
+  }
+  const uint64_t live_before = pager_->live_page_count();
+  const size_t versions_before = t->version_count();
+  ASSERT_OK(t->DropVersionsBefore(now - 50));
+  EXPECT_LT(t->version_count(), versions_before);
+  EXPECT_LT(pager_->live_page_count(), live_before);
+  ASSERT_OK(t->Validate());
+
+  // The current version still answers correctly.
+  auto r = t->TimesliceQuery(Rect{{0, 0}, {1000, 1000}}, now);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1000u);
+}
+
+TEST_F(HrTreeTest, DropEverythingButCurrentKeepsOneVersion) {
+  auto t = Make();
+  Point old;
+  ASSERT_OK(t->Report(1, nullptr, {10, 10}, 100));
+  old = {10, 10};
+  ASSERT_OK(t->Report(1, &old, {20, 20}, 200));
+  ASSERT_OK(t->DropVersionsBefore(100000));
+  EXPECT_EQ(t->version_count(), 1u);
+  auto r = t->TimesliceQuery(Rect{{0, 0}, {100, 100}}, 100000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST_F(HrTreeTest, ReportRejectsMissingOldPosition) {
+  auto t = Make();
+  ASSERT_OK(t->Report(1, nullptr, {10, 10}, 100));
+  Point wrong{11, 11};
+  EXPECT_TRUE(t->Report(1, &wrong, {20, 20}, 200).IsNotFound());
+}
+
+TEST_F(HrTreeTest, RejectsDecreasingTimestamps) {
+  auto t = Make();
+  ASSERT_OK(t->Report(1, nullptr, {10, 10}, 100));
+  EXPECT_TRUE(
+      t->Report(2, nullptr, {20, 20}, 50).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace swst

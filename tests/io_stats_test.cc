@@ -1,0 +1,99 @@
+#include "storage/io_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "swst/swst_index.h"
+#include "tests/test_util.h"
+
+namespace swst {
+namespace {
+
+TEST(IoStatsTest, SinceComputesDeltas) {
+  IoStats a;
+  a.logical_reads = 100;
+  a.physical_reads = 10;
+  a.physical_writes = 5;
+  a.pages_allocated = 7;
+  a.pages_freed = 2;
+  IoStats b = a;
+  b.logical_reads = 150;
+  b.physical_writes = 9;
+  IoStats d = b.Since(a);
+  EXPECT_EQ(d.logical_reads, 50u);
+  EXPECT_EQ(d.physical_reads, 0u);
+  EXPECT_EQ(d.physical_writes, 4u);
+  EXPECT_EQ(d.pages_allocated, 0u);
+  EXPECT_EQ(d.pages_freed, 0u);
+}
+
+TEST(IoStatsTest, PlusEqualsAccumulates) {
+  IoStats a, b;
+  a.logical_reads = 1;
+  b.logical_reads = 2;
+  b.pages_freed = 3;
+  a += b;
+  EXPECT_EQ(a.logical_reads, 3u);
+  EXPECT_EQ(a.pages_freed, 3u);
+}
+
+TEST(IoStatsTest, ResetZeroes) {
+  IoStats a;
+  a.logical_reads = 5;
+  a.Reset();
+  EXPECT_EQ(a.logical_reads, 0u);
+}
+
+TEST(IoStatsTest, ToStringMentionsAllCounters) {
+  IoStats a;
+  a.logical_reads = 11;
+  a.physical_reads = 22;
+  a.physical_writes = 33;
+  const std::string s = a.ToString();
+  EXPECT_NE(s.find("logical_reads=11"), std::string::npos);
+  EXPECT_NE(s.find("physical_reads=22"), std::string::npos);
+  EXPECT_NE(s.find("physical_writes=33"), std::string::npos);
+}
+
+class DebugStatsTest : public PoolTest {};
+
+TEST_F(DebugStatsTest, ReflectsIndexContents) {
+  SwstOptions o;
+  o.space = Rect{{0, 0}, {1000, 1000}};
+  o.x_partitions = 4;
+  o.y_partitions = 4;
+  o.window_size = 1000;
+  o.slide = 50;
+  o.max_duration = 200;
+  o.duration_interval = 50;
+  auto idx = SwstIndex::Create(pool(), o);
+  ASSERT_TRUE(idx.ok());
+
+  auto empty = (*idx)->GetDebugStats();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->live_trees, 0u);
+  EXPECT_EQ(empty->entries, 0u);
+  EXPECT_EQ(empty->memo_nonempty_cells, 0u);
+  EXPECT_GT(empty->memo_bytes, 0u);
+
+  ASSERT_OK((*idx)->Insert(MakeEntry(1, 100, 100, 10, 50)));
+  ASSERT_OK((*idx)->Insert(Entry{2, {900, 900}, 20, kUnknownDuration}));
+
+  auto stats = (*idx)->GetDebugStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->live_trees, 2u);  // Two cells touched, one tree each.
+  EXPECT_EQ(stats->entries, 2u);
+  EXPECT_EQ(stats->current_entries, 1u);
+  EXPECT_EQ(stats->max_tree_height, 1);
+  EXPECT_EQ(stats->memo_nonempty_cells, 2u);
+
+  // Expiry clears everything.
+  ASSERT_OK((*idx)->Advance(10 * o.epoch_length()));
+  stats = (*idx)->GetDebugStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->live_trees, 0u);
+  EXPECT_EQ(stats->entries, 0u);
+  EXPECT_EQ(stats->memo_nonempty_cells, 0u);
+}
+
+}  // namespace
+}  // namespace swst

@@ -1,0 +1,89 @@
+#include "swst/is_present_memo.h"
+
+#include <gtest/gtest.h>
+
+namespace swst {
+namespace {
+
+TEST(IsPresentMemoTest, StartsEmpty) {
+  IsPresentMemo memo(4, 10, 5);
+  for (uint32_t c = 0; c < 4; ++c) {
+    for (int slot = 0; slot < 2; ++slot) {
+      for (uint32_t col = 0; col < 10; ++col) {
+        for (uint32_t dp = 0; dp < 5; ++dp) {
+          EXPECT_TRUE(memo.At(c, slot, col, dp).empty());
+          EXPECT_FALSE(memo.MayContain(c, slot, col, dp,
+                                       Rect{{-1e9, -1e9}, {1e9, 1e9}}));
+        }
+      }
+    }
+  }
+}
+
+TEST(IsPresentMemoTest, AddTracksCountAndMbr) {
+  IsPresentMemo memo(1, 4, 4);
+  memo.Add(0, 0, 1, 2, {10, 20});
+  memo.Add(0, 0, 1, 2, {30, 5});
+  const auto& s = memo.At(0, 0, 1, 2);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_TRUE(memo.MayContain(0, 0, 1, 2, Rect{{9, 4}, {31, 21}}));
+  EXPECT_TRUE(memo.MayContain(0, 0, 1, 2, Rect{{29, 4}, {31, 6}}));
+  EXPECT_FALSE(memo.MayContain(0, 0, 1, 2, Rect{{100, 100}, {200, 200}}));
+  // Other cells untouched.
+  EXPECT_TRUE(memo.At(0, 0, 1, 3).empty());
+  EXPECT_TRUE(memo.At(0, 1, 1, 2).empty());
+}
+
+TEST(IsPresentMemoTest, MbrIntersectionIsInclusive) {
+  IsPresentMemo memo(1, 2, 2);
+  memo.Add(0, 0, 0, 0, {50, 50});
+  EXPECT_TRUE(memo.MayContain(0, 0, 0, 0, Rect{{50, 50}, {60, 60}}));
+  EXPECT_TRUE(memo.MayContain(0, 0, 0, 0, Rect{{40, 40}, {50, 50}}));
+  EXPECT_FALSE(memo.MayContain(0, 0, 0, 0, Rect{{50.5, 50.5}, {60, 60}}));
+}
+
+TEST(IsPresentMemoTest, RemoveResetsWhenCellEmpties) {
+  IsPresentMemo memo(1, 2, 2);
+  memo.Add(0, 1, 1, 1, {10, 10});
+  memo.Add(0, 1, 1, 1, {90, 90});
+  memo.Remove(0, 1, 1, 1);
+  // One entry left: the MBR stays conservative (still covers both points).
+  EXPECT_EQ(memo.At(0, 1, 1, 1).count, 1u);
+  EXPECT_TRUE(memo.MayContain(0, 1, 1, 1, Rect{{0, 0}, {20, 20}}));
+  memo.Remove(0, 1, 1, 1);
+  EXPECT_TRUE(memo.At(0, 1, 1, 1).empty());
+  EXPECT_FALSE(memo.MayContain(0, 1, 1, 1, Rect{{0, 0}, {100, 100}}));
+  // Fresh adds start a new, tight MBR.
+  memo.Add(0, 1, 1, 1, {5, 5});
+  EXPECT_FALSE(memo.MayContain(0, 1, 1, 1, Rect{{50, 50}, {100, 100}}));
+}
+
+TEST(IsPresentMemoTest, ResetSlotClearsOnlyThatSlot) {
+  IsPresentMemo memo(2, 3, 3);
+  memo.Add(0, 0, 1, 1, {1, 1});
+  memo.Add(0, 1, 1, 1, {2, 2});
+  memo.Add(1, 0, 2, 2, {3, 3});
+  memo.ResetSlot(0, 0);
+  EXPECT_TRUE(memo.At(0, 0, 1, 1).empty());
+  EXPECT_EQ(memo.At(0, 1, 1, 1).count, 1u);
+  EXPECT_EQ(memo.At(1, 0, 2, 2).count, 1u);
+}
+
+TEST(IsPresentMemoTest, FloatRoundingStaysConservative) {
+  IsPresentMemo memo(1, 1, 1);
+  // A coordinate that is not exactly representable as float: the stored
+  // MBR must still contain it.
+  const double x = 10000.0000001;
+  memo.Add(0, 0, 0, 0, {x, x});
+  EXPECT_TRUE(memo.MayContain(0, 0, 0, 0, Rect{{x, x}, {x, x}}));
+}
+
+TEST(IsPresentMemoTest, MemoryUsageMatchesGeometry) {
+  IsPresentMemo memo(400, 201, 21);
+  // 400 cells * 2 slots * 201 columns * 21 d-slots * sizeof(CellStat).
+  EXPECT_EQ(memo.MemoryUsage(),
+            400ull * 2 * 201 * 21 * sizeof(IsPresentMemo::CellStat));
+}
+
+}  // namespace
+}  // namespace swst

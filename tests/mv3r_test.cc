@@ -1,0 +1,164 @@
+#include "mv3r/mv3r_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+
+namespace swst {
+namespace {
+
+struct TruthEntry {
+  ObjectId oid;
+  Point pos;
+  Timestamp start;
+  Timestamp end;  // kAlive while open.
+};
+
+using Key = std::pair<ObjectId, Timestamp>;
+
+std::set<Key> OracleInterval(const std::vector<TruthEntry>& all,
+                             const Rect& area, const TimeInterval& q) {
+  std::set<Key> out;
+  for (const TruthEntry& e : all) {
+    if (!area.Contains(e.pos)) continue;
+    const bool overlap = e.start <= q.hi && (e.end == kAlive || e.end > q.lo);
+    if (overlap) out.insert({e.oid, e.start});
+  }
+  return out;
+}
+
+class Mv3rTest : public PoolTest {
+ protected:
+  Mv3rTest() : PoolTest(16384) {}
+
+  struct Workload {
+    std::vector<TruthEntry> truth;
+    Timestamp now = 0;
+  };
+
+  /// Runs the paper's streaming protocol: each arrival closes the previous
+  /// current entry (an update) and inserts a new current one.
+  Workload RunStream(Mv3rTree* tree, int steps, int objects, uint64_t seed) {
+    Workload w;
+    Random rng(seed);
+    std::map<ObjectId, size_t> open;
+    for (int step = 0; step < steps; ++step) {
+      w.now += 1;
+      const ObjectId oid = rng.Uniform(objects);
+      const Point pos{rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)};
+      auto it = open.find(oid);
+      if (it != open.end()) {
+        TruthEntry& prev = w.truth[it->second];
+        EXPECT_OK(tree->Update(oid, prev.pos, pos, w.now));
+        prev.end = w.now;
+      } else {
+        EXPECT_OK(tree->Insert(oid, pos, w.now));
+      }
+      open[oid] = w.truth.size();
+      w.truth.push_back(TruthEntry{oid, pos, w.now, kAlive});
+    }
+    return w;
+  }
+};
+
+TEST_F(Mv3rTest, TimestampQueriesMatchOracleAcrossHistory) {
+  auto tree = Mv3rTree::Create(pool());
+  ASSERT_TRUE(tree.ok());
+  Workload w = RunStream(tree->get(), 6000, 200, 91);
+
+  Random rng(92);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Timestamp t = rng.Uniform(w.now + 1);
+    const double x = rng.UniformDouble(0, 700);
+    const double y = rng.UniformDouble(0, 700);
+    const Rect area{{x, y}, {x + 300, y + 300}};
+    auto r = (*tree)->TimestampQuery(area, t);
+    ASSERT_TRUE(r.ok());
+    std::set<Key> got;
+    for (const Entry& e : *r) got.insert({e.oid, e.start});
+    ASSERT_EQ(got, OracleInterval(w.truth, area, {t, t})) << "t=" << t;
+  }
+}
+
+TEST_F(Mv3rTest, IntervalQueriesMatchOracleWithDeduplication) {
+  auto tree = Mv3rTree::Create(pool());
+  ASSERT_TRUE(tree.ok());
+  Workload w = RunStream(tree->get(), 6000, 200, 93);
+
+  Random rng(94);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Timestamp lo = rng.Uniform(w.now);
+    const Timestamp hi = lo + rng.Uniform(w.now / 3);
+    const double x = rng.UniformDouble(0, 700);
+    const double y = rng.UniformDouble(0, 700);
+    const Rect area{{x, y}, {x + 300, y + 300}};
+    auto r = (*tree)->IntervalQuery(area, {lo, hi});
+    ASSERT_TRUE(r.ok());
+    std::set<Key> got;
+    for (const Entry& e : *r) {
+      // Deduplication must be complete: no repeated (oid, start).
+      ASSERT_TRUE(got.insert({e.oid, e.start}).second)
+          << "duplicate " << e.oid << "@" << e.start;
+    }
+    ASSERT_EQ(got, OracleInterval(w.truth, area, {lo, hi}))
+        << "q=[" << lo << "," << hi << "]";
+  }
+}
+
+TEST_F(Mv3rTest, IntervalResultsPreferClosedDurations) {
+  auto tree = Mv3rTree::Create(pool());
+  ASSERT_TRUE(tree.ok());
+  // Force version splits around a closed entry so stale open copies exist.
+  ASSERT_OK((*tree)->Insert(0, {10, 10}, 1));
+  Random rng(95);
+  Timestamp now = 1;
+  for (int i = 1; i < 3 * MvrTree::NodeCapacity(); ++i) {
+    now++;
+    ASSERT_OK((*tree)->Insert(i, {rng.UniformDouble(0, 100),
+                                  rng.UniformDouble(0, 100)},
+                              now));
+  }
+  now++;
+  ASSERT_OK((*tree)->Update(0, {10, 10}, {20, 20}, now));
+
+  auto r = (*tree)->IntervalQuery(Rect{{5, 5}, {15, 15}}, {1, now});
+  ASSERT_TRUE(r.ok());
+  bool found = false;
+  for (const Entry& e : *r) {
+    if (e.oid == 0 && e.start == 1) {
+      EXPECT_FALSE(e.is_current());
+      EXPECT_EQ(e.duration, now - 1);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(Mv3rTest, StorageGrowsWithoutReclamation) {
+  auto tree = Mv3rTree::Create(pool());
+  ASSERT_TRUE(tree.ok());
+  RunStream(tree->get(), 3000, 100, 96);
+  const uint64_t after_first = (*tree)->mvr_pages_created();
+  RunStream(tree->get(), 1, 100, 97);  // No-op sized.
+  EXPECT_GE((*tree)->mvr_pages_created(), after_first);
+  EXPECT_GT(after_first, 20u);
+}
+
+TEST_F(Mv3rTest, EmptyTreeQueries) {
+  auto tree = Mv3rTree::Create(pool());
+  ASSERT_TRUE(tree.ok());
+  auto r = (*tree)->TimestampQuery(Rect{{0, 0}, {10, 10}}, 5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+  auto r2 = (*tree)->IntervalQuery(Rect{{0, 0}, {10, 10}}, {0, 100});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->empty());
+}
+
+}  // namespace
+}  // namespace swst

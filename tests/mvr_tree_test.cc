@@ -1,0 +1,209 @@
+#include "mv3r/mvr_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+
+namespace swst {
+namespace {
+
+/// Ground-truth record for the oracle.
+struct TruthEntry {
+  ObjectId oid;
+  Point pos;
+  Timestamp start;
+  Timestamp end;  // kAlive while open.
+};
+
+std::set<std::pair<ObjectId, Timestamp>> OracleAt(
+    const std::vector<TruthEntry>& all, const Rect& area, Timestamp t) {
+  std::set<std::pair<ObjectId, Timestamp>> out;
+  for (const TruthEntry& e : all) {
+    if (e.start <= t && (e.end == kAlive || t < e.end) &&
+        area.Contains(e.pos)) {
+      out.insert({e.oid, e.start});
+    }
+  }
+  return out;
+}
+
+class MvrTreeTest : public PoolTest {
+ protected:
+  MvrTree Make() {
+    auto t = MvrTree::Create(pool());
+    EXPECT_TRUE(t.ok());
+    return std::move(*t);
+  }
+};
+
+TEST_F(MvrTreeTest, SingleEntryVisibleOnlyDuringLifespan) {
+  MvrTree t = Make();
+  ASSERT_OK(t.Insert(1, {10, 10}, 100));
+  ASSERT_OK(t.Close(1, {10, 10}, 200));
+
+  const Rect all{{0, 0}, {1000, 1000}};
+  std::set<Timestamp> visible;
+  for (Timestamp q : {Timestamp{50}, Timestamp{100}, Timestamp{150},
+                      Timestamp{199}, Timestamp{200}, Timestamp{300}}) {
+    int n = 0;
+    ASSERT_OK(t.TimestampQuery(all, q, [&](const MvrTree::VersionedEntry&) {
+      n++;
+    }));
+    if (n > 0) visible.insert(q);
+  }
+  EXPECT_EQ(visible, (std::set<Timestamp>{100, 150, 199}));
+}
+
+TEST_F(MvrTreeTest, CloseMissingEntryIsNotFound) {
+  MvrTree t = Make();
+  ASSERT_OK(t.Insert(1, {10, 10}, 100));
+  EXPECT_TRUE(t.Close(2, {10, 10}, 150).IsNotFound());
+  EXPECT_TRUE(t.Close(1, {11, 10}, 150).IsNotFound());
+  ASSERT_OK(t.Close(1, {10, 10}, 150));
+  // Already closed.
+  EXPECT_TRUE(t.Close(1, {10, 10}, 160).IsNotFound());
+}
+
+TEST_F(MvrTreeTest, VersionSplitsPreserveHistory) {
+  MvrTree t = Make();
+  Random rng(81);
+  std::vector<TruthEntry> truth;
+  std::map<ObjectId, size_t> open;  // oid -> index into truth.
+
+  // Enough churn to force many version splits (capacity is ~146).
+  Timestamp now = 0;
+  for (int step = 0; step < 8000; ++step) {
+    now += 1;
+    ObjectId oid = rng.Uniform(300);
+    Point pos{rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)};
+    auto it = open.find(oid);
+    if (it != open.end()) {
+      TruthEntry& prev = truth[it->second];
+      ASSERT_OK(t.Close(oid, prev.pos, now));
+      prev.end = now;
+    }
+    ASSERT_OK(t.Insert(oid, pos, now));
+    open[oid] = truth.size();
+    truth.push_back(TruthEntry{oid, pos, now, kAlive});
+  }
+  ASSERT_OK(t.Validate());
+  EXPECT_GT(t.root_count(), 1u);  // The root version-split at least once.
+
+  // Timestamp queries across all of history must match the oracle.
+  Random qrng(82);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Timestamp q = qrng.Uniform(now + 1);
+    const double x = qrng.UniformDouble(0, 800);
+    const double y = qrng.UniformDouble(0, 800);
+    const Rect area{{x, y}, {x + 250, y + 250}};
+    std::set<std::pair<ObjectId, Timestamp>> got;
+    ASSERT_OK(t.TimestampQuery(area, q, [&](const MvrTree::VersionedEntry& v) {
+      got.insert({v.oid, v.t_start});
+    }));
+    ASSERT_EQ(got, OracleAt(truth, area, q)) << "t=" << q;
+  }
+}
+
+TEST_F(MvrTreeTest, LeafDeathHookFiresWithValidLifespans) {
+  MvrTree t = Make();
+  int deaths = 0;
+  Timestamp max_death = 0;
+  t.set_leaf_death_hook([&](PageId page, const Box2& mbr, Timestamp birth,
+                            Timestamp death) {
+    EXPECT_NE(page, kInvalidPageId);
+    EXPECT_FALSE(mbr.IsEmpty());
+    EXPECT_LT(birth, death);
+    deaths++;
+    max_death = std::max(max_death, death);
+    return Status::OK();
+  });
+  Random rng(83);
+  for (Timestamp now = 1; now <= 2000; ++now) {
+    ASSERT_OK(t.Insert(now, {rng.UniformDouble(0, 100),
+                             rng.UniformDouble(0, 100)},
+                       now));
+  }
+  EXPECT_GT(deaths, 0);
+  EXPECT_LE(max_death, 2000u);
+}
+
+TEST_F(MvrTreeTest, PagesGrowMonotonically) {
+  // The property the paper holds against MV3R: storage grows forever.
+  MvrTree t = Make();
+  Random rng(84);
+  uint64_t last_pages = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 1000; ++i) {
+      Timestamp now = static_cast<Timestamp>(round * 1000 + i + 1);
+      ASSERT_OK(t.Insert(rng.Uniform(100), {rng.UniformDouble(0, 100),
+                                            rng.UniformDouble(0, 100)},
+                         now));
+    }
+    EXPECT_GE(t.pages_created(), last_pages);
+    last_pages = t.pages_created();
+  }
+  EXPECT_GT(t.pages_created(), 10u);
+}
+
+TEST_F(MvrTreeTest, ScanLeafFiltersByAreaAndInterval) {
+  MvrTree t = Make();
+  ASSERT_OK(t.Insert(1, {10, 10}, 100));
+  ASSERT_OK(t.Insert(2, {500, 500}, 110));
+  ASSERT_OK(t.Close(1, {10, 10}, 150));
+
+  std::vector<PageId> leaves;
+  ASSERT_OK(t.CollectLiveLeaves(Rect{{0, 0}, {1000, 1000}},
+                                TimeInterval{0, 1000}, &leaves));
+  ASSERT_EQ(leaves.size(), 1u);
+
+  int n = 0;
+  ASSERT_OK(t.ScanLeaf(leaves[0], Rect{{0, 0}, {100, 100}},
+                       TimeInterval{120, 130},
+                       [&](const MvrTree::VersionedEntry& v) {
+                         EXPECT_EQ(v.oid, 1u);
+                         n++;
+                       }));
+  EXPECT_EQ(n, 1);
+  // After its end: excluded.
+  n = 0;
+  ASSERT_OK(t.ScanLeaf(leaves[0], Rect{{0, 0}, {100, 100}},
+                       TimeInterval{150, 160},
+                       [&](const MvrTree::VersionedEntry&) { n++; }));
+  EXPECT_EQ(n, 0);
+}
+
+TEST_F(MvrTreeTest, WeakUnderflowConsolidatesSparseLeaves) {
+  MvrTree t = Make();
+  // Fill two leaves' worth of entries, then close almost all of them: weak
+  // version underflow should version-split/merge, keeping the live tree
+  // valid.
+  const int n = MvrTree::NodeCapacity() * 2;
+  Timestamp now = 0;
+  std::vector<Point> pts;
+  for (int i = 0; i < n; ++i) {
+    now++;
+    Point p{static_cast<double>(i % 50), static_cast<double>(i / 50)};
+    ASSERT_OK(t.Insert(static_cast<ObjectId>(i), p, now));
+    pts.push_back(p);
+  }
+  for (int i = 0; i < n - 3; ++i) {
+    now++;
+    ASSERT_OK(t.Close(static_cast<ObjectId>(i), pts[i], now));
+  }
+  ASSERT_OK(t.Validate());
+  // The three survivors are still found.
+  std::set<ObjectId> got;
+  ASSERT_OK(t.TimestampQuery(Rect{{0, 0}, {100, 100}}, now,
+                             [&](const MvrTree::VersionedEntry& v) {
+                               got.insert(v.oid);
+                             }));
+  EXPECT_EQ(got.size(), 3u);
+}
+
+}  // namespace
+}  // namespace swst

@@ -1,0 +1,146 @@
+#include "storage/pager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace swst {
+namespace {
+
+class PagerTest : public ::testing::TestWithParam<bool> {
+ protected:
+  // Parameter: true = file backend, false = memory backend.
+  std::unique_ptr<Pager> Open() {
+    if (GetParam()) {
+      path_ = std::filesystem::temp_directory_path() /
+              ("swst_pager_test_" + std::to_string(::getpid()) + ".db");
+      auto p = Pager::OpenFile(path_.string(), /*truncate=*/true);
+      EXPECT_TRUE(p.ok()) << p.status().ToString();
+      return std::move(*p);
+    }
+    return Pager::OpenMemory();
+  }
+
+  void TearDown() override {
+    if (!path_.empty()) std::filesystem::remove(path_);
+  }
+
+  std::filesystem::path path_;
+};
+
+TEST_P(PagerTest, AllocateReadWriteRoundTrip) {
+  auto pager = Open();
+  auto id = pager->AllocatePage();
+  ASSERT_TRUE(id.ok());
+  EXPECT_NE(*id, kInvalidPageId);
+
+  char wbuf[kPageSize];
+  for (uint32_t i = 0; i < kPageSize; ++i) wbuf[i] = static_cast<char>(i * 7);
+  ASSERT_TRUE(pager->WritePage(*id, wbuf).ok());
+
+  char rbuf[kPageSize] = {};
+  ASSERT_TRUE(pager->ReadPage(*id, rbuf).ok());
+  EXPECT_EQ(std::memcmp(wbuf, rbuf, kPageSize), 0);
+}
+
+TEST_P(PagerTest, FreedPagesAreReused) {
+  auto pager = Open();
+  auto a = pager->AllocatePage();
+  auto b = pager->AllocatePage();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const uint64_t count_before = pager->page_count();
+  ASSERT_TRUE(pager->FreePage(*a).ok());
+  auto c = pager->AllocatePage();
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, *a);
+  EXPECT_EQ(pager->page_count(), count_before);
+}
+
+TEST_P(PagerTest, LivePageCountTracksAllocAndFree) {
+  auto pager = Open();
+  EXPECT_EQ(pager->live_page_count(), 0u);
+  auto a = pager->AllocatePage();
+  auto b = pager->AllocatePage();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(pager->live_page_count(), 2u);
+  ASSERT_TRUE(pager->FreePage(*b).ok());
+  EXPECT_EQ(pager->live_page_count(), 1u);
+}
+
+TEST_P(PagerTest, RejectsInvalidPageIds) {
+  auto pager = Open();
+  char buf[kPageSize];
+  EXPECT_TRUE(pager->ReadPage(kInvalidPageId, buf).IsInvalidArgument());
+  EXPECT_TRUE(pager->ReadPage(9999, buf).IsInvalidArgument());
+  EXPECT_TRUE(pager->WritePage(9999, buf).IsInvalidArgument());
+  EXPECT_TRUE(pager->FreePage(9999).IsInvalidArgument());
+}
+
+TEST_P(PagerTest, ManyPagesKeepDistinctContent) {
+  auto pager = Open();
+  std::vector<PageId> ids;
+  char buf[kPageSize];
+  for (int i = 0; i < 50; ++i) {
+    auto id = pager->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    std::memset(buf, i, kPageSize);
+    ASSERT_TRUE(pager->WritePage(*id, buf).ok());
+    ids.push_back(*id);
+  }
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(pager->ReadPage(ids[i], buf).ok());
+    EXPECT_EQ(buf[0], static_cast<char>(i));
+    EXPECT_EQ(buf[kPageSize - 1], static_cast<char>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PagerTest, ::testing::Values(true, false),
+                         [](const auto& info) {
+                           return info.param ? "File" : "Memory";
+                         });
+
+TEST(FilePagerTest, PersistsAcrossReopen) {
+  auto path = std::filesystem::temp_directory_path() /
+              ("swst_pager_reopen_" + std::to_string(::getpid()) + ".db");
+  PageId id;
+  {
+    auto pager = Pager::OpenFile(path.string(), /*truncate=*/true);
+    ASSERT_TRUE(pager.ok());
+    auto alloc = (*pager)->AllocatePage();
+    ASSERT_TRUE(alloc.ok());
+    id = *alloc;
+    char buf[kPageSize];
+    std::memset(buf, 0x5A, kPageSize);
+    ASSERT_TRUE((*pager)->WritePage(id, buf).ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  {
+    auto pager = Pager::OpenFile(path.string(), /*truncate=*/false);
+    ASSERT_TRUE(pager.ok());
+    char buf[kPageSize] = {};
+    ASSERT_TRUE((*pager)->ReadPage(id, buf).ok());
+    EXPECT_EQ(buf[0], 0x5A);
+    EXPECT_EQ((*pager)->live_page_count(), 1u);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(FilePagerTest, RejectsCorruptMagic) {
+  auto path = std::filesystem::temp_directory_path() /
+              ("swst_pager_magic_" + std::to_string(::getpid()) + ".db");
+  {
+    std::ofstream f(path);
+    std::string junk(kPageSize, 'x');
+    f << junk;
+  }
+  auto pager = Pager::OpenFile(path.string(), /*truncate=*/false);
+  EXPECT_FALSE(pager.ok());
+  EXPECT_TRUE(pager.status().IsCorruption());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace swst

@@ -1,0 +1,188 @@
+#include "pist/pist_index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+
+namespace swst {
+namespace {
+
+PistOptions SmallOptions() {
+  PistOptions o;
+  o.space = Rect{{0, 0}, {1000, 1000}};
+  o.x_partitions = 4;
+  o.y_partitions = 4;
+  o.lambda = 50;
+  return o;
+}
+
+using Key = std::pair<ObjectId, Timestamp>;
+
+class PistIndexTest : public PoolTest {
+ protected:
+  std::unique_ptr<PistIndex> Make(const PistOptions& o) {
+    auto idx = PistIndex::Create(pool(), o);
+    EXPECT_TRUE(idx.ok());
+    return std::move(*idx);
+  }
+};
+
+TEST_F(PistIndexTest, RejectsCurrentEntries) {
+  auto idx = Make(SmallOptions());
+  Entry cur{1, {10, 10}, 100, kUnknownDuration};
+  EXPECT_TRUE(idx->Insert(cur).IsNotSupported());
+}
+
+TEST_F(PistIndexTest, LongEntriesAreSplit) {
+  auto idx = Make(SmallOptions());  // lambda = 50.
+  ASSERT_OK(idx->Insert(MakeEntry(1, 10, 10, 100, 170)));
+  EXPECT_EQ(idx->entries_inserted(), 1u);
+  EXPECT_EQ(idx->sub_entries_inserted(), 4u);  // ceil(170/50).
+  auto n = idx->CountSubEntries();
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 4u);
+  // Short entries are not split.
+  ASSERT_OK(idx->Insert(MakeEntry(2, 20, 20, 100, 50)));
+  EXPECT_EQ(idx->sub_entries_inserted(), 5u);
+}
+
+TEST_F(PistIndexTest, QueriesDeduplicateSubEntries) {
+  auto idx = Make(SmallOptions());
+  ASSERT_OK(idx->Insert(MakeEntry(1, 10, 10, 100, 170)));  // 4 sub-entries.
+  // A query spanning the whole valid time must return the original once.
+  auto r = idx->IntervalQuery(Rect{{0, 0}, {100, 100}}, {50, 400});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].duration, 170u);
+}
+
+TEST_F(PistIndexTest, MatchesOracleOnRandomData) {
+  PistOptions o = SmallOptions();
+  auto idx = Make(o);
+  Random rng(71);
+  std::vector<Entry> all;
+  for (int i = 0; i < 2000; ++i) {
+    Entry e = MakeEntry(i, rng.UniformDouble(0, 1000),
+                        rng.UniformDouble(0, 1000), rng.Uniform(5000),
+                        1 + rng.Uniform(300));
+    ASSERT_OK(idx->Insert(e));
+    all.push_back(e);
+  }
+  ASSERT_OK(idx->ValidateTrees());
+  for (int trial = 0; trial < 50; ++trial) {
+    const double x = rng.UniformDouble(0, 700);
+    const double y = rng.UniformDouble(0, 700);
+    const Rect area{{x, y}, {x + 300, y + 300}};
+    const Timestamp lo = rng.Uniform(5200);
+    const TimeInterval q{lo, lo + rng.Uniform(400)};
+    auto r = idx->IntervalQuery(area, q);
+    ASSERT_TRUE(r.ok());
+    std::multiset<Key> got, expect;
+    for (const Entry& e : *r) got.insert({e.oid, e.start});
+    for (const Entry& e : all) {
+      if (area.Contains(e.pos) && e.ValidTimeOverlaps(q)) {
+        expect.insert({e.oid, e.start});
+      }
+    }
+    ASSERT_EQ(got, expect) << "trial " << trial;
+  }
+}
+
+TEST_F(PistIndexTest, WindowLoFiltersExpiredOriginals) {
+  auto idx = Make(SmallOptions());
+  ASSERT_OK(idx->Insert(MakeEntry(1, 10, 10, 100, 40)));
+  ASSERT_OK(idx->Insert(MakeEntry(2, 10, 10, 500, 40)));
+  auto r = idx->IntervalQuery(Rect{{0, 0}, {100, 100}}, {0, 1000},
+                              /*window_lo=*/300);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].oid, 2u);
+}
+
+TEST_F(PistIndexTest, ExpireBeforeDeletesSubEntriesIndividually) {
+  PistOptions o = SmallOptions();
+  auto idx = Make(o);
+  Random rng(72);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_OK(idx->Insert(MakeEntry(i, rng.UniformDouble(0, 1000),
+                                    rng.UniformDouble(0, 1000),
+                                    static_cast<Timestamp>(i * 5),
+                                    1 + rng.Uniform(200))));
+  }
+  const uint64_t before_subs = *idx->CountSubEntries();
+  const uint64_t reads_before = pool()->stats().logical_reads;
+  auto removed = idx->ExpireBefore(2500);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_GT(*removed, 0u);
+  const uint64_t reads = pool()->stats().logical_reads - reads_before;
+  // Per-entry deletion: at least one node access per removed sub-entry.
+  EXPECT_GT(reads, *removed);
+  ASSERT_OK(idx->ValidateTrees());
+  EXPECT_EQ(*idx->CountSubEntries(), before_subs - *removed);
+
+  // Queries older than the cutoff find nothing (with the window filter).
+  auto r = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}}, {0, 2000},
+                              /*window_lo=*/2500);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST_F(PistIndexTest, StraddlingEntriesKeepNewerSubEntries) {
+  auto idx = Make(SmallOptions());  // lambda = 50.
+  // Valid [90, 260): sub-entries [90,140),[140,190),[190,240),[240,260).
+  ASSERT_OK(idx->Insert(MakeEntry(1, 10, 10, 90, 170)));
+  auto removed = idx->ExpireBefore(150);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 2u);  // Sub-starts 90 and 140.
+  // The entry is still discoverable through its newer sub-entries.
+  auto r = idx->IntervalQuery(Rect{{0, 0}, {100, 100}}, {200, 210});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST_F(PistIndexTest, DeleteRemovesAllSubEntries) {
+  auto idx = Make(SmallOptions());
+  Entry e = MakeEntry(1, 10, 10, 100, 170);
+  ASSERT_OK(idx->Insert(e));
+  ASSERT_OK(idx->Delete(e));
+  EXPECT_EQ(*idx->CountSubEntries(), 0u);
+  EXPECT_TRUE(idx->Delete(e).IsNotFound());
+}
+
+TEST_F(PistIndexTest, LambdaSweepAgreesOnResults) {
+  Random rng(73);
+  std::vector<Entry> all;
+  for (int i = 0; i < 800; ++i) {
+    all.push_back(MakeEntry(i, rng.UniformDouble(0, 1000),
+                            rng.UniformDouble(0, 1000), rng.Uniform(3000),
+                            1 + rng.Uniform(300)));
+  }
+  std::multiset<Key> reference;
+  const Rect area{{100, 100}, {600, 600}};
+  const TimeInterval q{500, 1500};
+  for (Duration lambda : {10u, 50u, 100u, 1000u}) {
+    PistOptions o = SmallOptions();
+    o.lambda = lambda;
+    auto pager = Pager::OpenMemory();
+    BufferPool local_pool(pager.get(), 4096);
+    auto idx = PistIndex::Create(&local_pool, o);
+    ASSERT_TRUE(idx.ok());
+    for (const Entry& e : all) ASSERT_OK((*idx)->Insert(e));
+    auto r = (*idx)->IntervalQuery(area, q);
+    ASSERT_TRUE(r.ok());
+    std::multiset<Key> got;
+    for (const Entry& e : *r) got.insert({e.oid, e.start});
+    if (reference.empty()) {
+      reference = got;
+    } else {
+      ASSERT_EQ(got, reference) << "lambda=" << lambda;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swst

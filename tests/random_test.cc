@@ -1,0 +1,85 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace swst {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) same++;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformCoversAllValues) {
+  Random r(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(11);
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, UniformDoubleRespectsBounds) {
+  Random r(13);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.UniformDouble(-5.0, 3.0);
+    EXPECT_GE(d, -5.0);
+    EXPECT_LT(d, 3.0);
+  }
+}
+
+TEST(RandomTest, GaussianMomentsRoughlyStandard) {
+  Random r(17);
+  const int n = 100000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = r.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  Random r(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (r.Bernoulli(0.25)) hits++;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace swst

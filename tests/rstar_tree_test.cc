@@ -1,0 +1,262 @@
+#include "rtree/rstar_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "tests/test_util.h"
+
+namespace swst {
+namespace {
+
+Box2 MakeBox2(double x1, double y1, double x2, double y2) {
+  Box2 b;
+  b.lo[0] = x1;
+  b.hi[0] = x2;
+  b.lo[1] = y1;
+  b.hi[1] = y2;
+  return b;
+}
+
+Box3 PointBox3(double x, double y, double t1, double t2) {
+  Box3 b;
+  b.lo[0] = b.hi[0] = x;
+  b.lo[1] = b.hi[1] = y;
+  b.lo[2] = t1;
+  b.hi[2] = t2;
+  return b;
+}
+
+TEST(BoxTest, GeometryBasics) {
+  Box2 a = MakeBox2(0, 0, 10, 10);
+  Box2 b = MakeBox2(5, 5, 15, 15);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_DOUBLE_EQ(a.OverlapArea(b), 25.0);
+  EXPECT_DOUBLE_EQ(a.Area(), 100.0);
+  EXPECT_DOUBLE_EQ(a.Margin(), 20.0);
+  Box2 u = a.Union(b);
+  EXPECT_TRUE(u.Contains(a));
+  EXPECT_TRUE(u.Contains(b));
+  EXPECT_DOUBLE_EQ(a.Enlargement(b), 225.0 - 100.0);
+  EXPECT_FALSE(a.Contains(b));
+  EXPECT_TRUE(Box2::Empty().IsEmpty());
+}
+
+class RStarTreeTest : public PoolTest {
+ protected:
+  RStarTree<2, Entry> Make() {
+    auto t = RStarTree<2, Entry>::Create(pool());
+    EXPECT_TRUE(t.ok());
+    return std::move(*t);
+  }
+};
+
+TEST_F(RStarTreeTest, InsertAndSearchMatchesOracle) {
+  auto t = Make();
+  Random rng(61);
+  std::vector<std::pair<Box2, ObjectId>> all;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.UniformDouble(0, 1000);
+    const double y = rng.UniformDouble(0, 1000);
+    Box2 b = MakeBox2(x, y, x, y);
+    ASSERT_OK(t.Insert(b, MakeEntry(i, x, y, 0, 1)));
+    all.push_back({b, static_cast<ObjectId>(i)});
+  }
+  ASSERT_OK(t.Validate());
+  auto count = t.CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 20000u);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const double x = rng.UniformDouble(0, 900);
+    const double y = rng.UniformDouble(0, 900);
+    Box2 q = MakeBox2(x, y, x + rng.UniformDouble(1, 100),
+                      y + rng.UniformDouble(1, 100));
+    std::set<ObjectId> expect;
+    for (const auto& [b, oid] : all) {
+      if (q.Intersects(b)) expect.insert(oid);
+    }
+    std::set<ObjectId> got;
+    ASSERT_OK(t.Search(q, [&](const Box2&, const Entry& e) {
+      got.insert(e.oid);
+      return true;
+    }));
+    ASSERT_EQ(got, expect) << "trial " << trial;
+  }
+}
+
+TEST_F(RStarTreeTest, RectangleDataWithOverlaps) {
+  auto t = Make();
+  Random rng(62);
+  std::vector<std::pair<Box2, ObjectId>> all;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.UniformDouble(0, 1000);
+    const double y = rng.UniformDouble(0, 1000);
+    Box2 b = MakeBox2(x, y, x + rng.UniformDouble(0, 50),
+                      y + rng.UniformDouble(0, 50));
+    ASSERT_OK(t.Insert(b, MakeEntry(i, x, y, 0, 1)));
+    all.push_back({b, static_cast<ObjectId>(i)});
+  }
+  ASSERT_OK(t.Validate());
+  Box2 q = MakeBox2(200, 200, 400, 400);
+  std::set<ObjectId> expect, got;
+  for (const auto& [b, oid] : all) {
+    if (q.Intersects(b)) expect.insert(oid);
+  }
+  ASSERT_OK(t.Search(q, [&](const Box2&, const Entry& e) {
+    got.insert(e.oid);
+    return true;
+  }));
+  EXPECT_EQ(got, expect);
+}
+
+TEST_F(RStarTreeTest, DeleteRemovesAndCondenses) {
+  auto t = Make();
+  Random rng(63);
+  std::vector<std::pair<Box2, ObjectId>> all;
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.UniformDouble(0, 1000);
+    const double y = rng.UniformDouble(0, 1000);
+    Box2 b = MakeBox2(x, y, x, y);
+    ASSERT_OK(t.Insert(b, MakeEntry(i, x, y, 0, 1)));
+    all.push_back({b, static_cast<ObjectId>(i)});
+  }
+  // Delete a random half.
+  for (int i = 0; i < 2000; ++i) {
+    const auto& [b, oid] = all[static_cast<size_t>(i) * 2];
+    ObjectId target = oid;
+    ASSERT_OK(t.Delete(b, [target](const Entry& e) {
+      return e.oid == target;
+    })) << "i=" << i;
+    if (i % 200 == 0) {
+      ASSERT_OK(t.Validate());
+    }
+  }
+  ASSERT_OK(t.Validate());
+  auto count = t.CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 2000u);
+  // Every remaining entry still findable.
+  std::set<ObjectId> got;
+  ASSERT_OK(t.Search(MakeBox2(-1, -1, 1001, 1001),
+                     [&](const Box2&, const Entry& e) {
+                       got.insert(e.oid);
+                       return true;
+                     }));
+  EXPECT_EQ(got.size(), 2000u);
+  for (ObjectId oid : got) EXPECT_EQ(oid % 2, 1u);
+}
+
+TEST_F(RStarTreeTest, DeleteMissingIsNotFound) {
+  auto t = Make();
+  Box2 b = MakeBox2(1, 1, 1, 1);
+  ASSERT_OK(t.Insert(b, MakeEntry(1, 1, 1, 0, 1)));
+  EXPECT_TRUE(
+      t.Delete(b, [](const Entry& e) { return e.oid == 99; }).IsNotFound());
+  EXPECT_TRUE(t.Delete(MakeBox2(2, 2, 2, 2), [](const Entry&) {
+                  return true;
+                }).IsNotFound());
+}
+
+TEST_F(RStarTreeTest, DeleteEverythingLeavesEmptyTree) {
+  auto t = Make();
+  std::vector<Box2> boxes;
+  for (int i = 0; i < 500; ++i) {
+    Box2 b = MakeBox2(i, i, i + 1, i + 1);
+    ASSERT_OK(t.Insert(b, MakeEntry(i, i, i, 0, 1)));
+    boxes.push_back(b);
+  }
+  for (int i = 0; i < 500; ++i) {
+    ObjectId target = static_cast<ObjectId>(i);
+    ASSERT_OK(t.Delete(boxes[i], [target](const Entry& e) {
+      return e.oid == target;
+    }));
+  }
+  auto count = t.CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+  EXPECT_EQ(t.height(), 1);
+}
+
+TEST_F(RStarTreeTest, DropReclaimsAllPages) {
+  const uint64_t before = pager_->live_page_count();
+  auto t = Make();
+  Random rng(64);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.UniformDouble(0, 1000);
+    Box2 b = MakeBox2(x, x, x, x);
+    ASSERT_OK(t.Insert(b, MakeEntry(i, x, x, 0, 1)));
+  }
+  EXPECT_GT(pager_->live_page_count(), before + 10);
+  ASSERT_OK(t.Drop());
+  EXPECT_EQ(pager_->live_page_count(), before);
+}
+
+TEST_F(RStarTreeTest, EarlySearchTermination) {
+  auto t = Make();
+  for (int i = 0; i < 1000; ++i) {
+    Box2 b = MakeBox2(i % 100, i / 100, i % 100, i / 100);
+    ASSERT_OK(t.Insert(b, MakeEntry(i, 0, 0, 0, 1)));
+  }
+  int n = 0;
+  ASSERT_OK(t.Search(MakeBox2(-1, -1, 101, 101),
+                     [&](const Box2&, const Entry&) {
+                       n++;
+                       return n < 10;
+                     }));
+  EXPECT_EQ(n, 10);
+}
+
+TEST(RStarTree3DTest, TemporalBoxesQueryAsIn3DRTreeBaseline) {
+  auto pager = Pager::OpenMemory();
+  BufferPool pool(pager.get(), 4096);
+  auto tree = RStarTree<3, Entry>::Create(&pool);
+  ASSERT_TRUE(tree.ok());
+  auto t = std::move(*tree);
+  Random rng(65);
+  std::vector<Entry> all;
+  for (int i = 0; i < 8000; ++i) {
+    Entry e = MakeEntry(i, rng.UniformDouble(0, 1000),
+                        rng.UniformDouble(0, 1000), rng.Uniform(10000),
+                        1 + rng.Uniform(500));
+    ASSERT_OK(t.Insert(
+        PointBox3(e.pos.x, e.pos.y, static_cast<double>(e.start),
+                  static_cast<double>(e.end() - 1)),
+        e));
+    all.push_back(e);
+  }
+  ASSERT_OK(t.Validate());
+  for (int trial = 0; trial < 25; ++trial) {
+    const double x = rng.UniformDouble(0, 900);
+    const double y = rng.UniformDouble(0, 900);
+    const Timestamp t1 = rng.Uniform(10000);
+    const Timestamp t2 = t1 + rng.Uniform(1000);
+    Box3 q;
+    q.lo[0] = x;
+    q.hi[0] = x + 100;
+    q.lo[1] = y;
+    q.hi[1] = y + 100;
+    q.lo[2] = static_cast<double>(t1);
+    q.hi[2] = static_cast<double>(t2);
+    std::set<ObjectId> expect;
+    for (const Entry& e : all) {
+      if (e.pos.x >= x && e.pos.x <= x + 100 && e.pos.y >= y &&
+          e.pos.y <= y + 100 && e.start <= t2 && e.end() - 1 >= t1) {
+        expect.insert(e.oid);
+      }
+    }
+    std::set<ObjectId> got;
+    ASSERT_OK(t.Search(q, [&](const Box3&, const Entry& e) {
+      got.insert(e.oid);
+      return true;
+    }));
+    ASSERT_EQ(got, expect) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace swst

@@ -1,0 +1,155 @@
+#include "seti/seti_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+
+namespace swst {
+namespace {
+
+SetiOptions SmallOptions() {
+  SetiOptions o;
+  o.space = Rect{{0, 0}, {1000, 1000}};
+  o.x_partitions = 4;
+  o.y_partitions = 4;
+  return o;
+}
+
+using Key = std::pair<ObjectId, Timestamp>;
+
+class SetiIndexTest : public PoolTest {
+ protected:
+  std::unique_ptr<SetiIndex> Make() {
+    auto idx = SetiIndex::Create(pool(), SmallOptions());
+    EXPECT_TRUE(idx.ok());
+    return std::move(*idx);
+  }
+};
+
+TEST_F(SetiIndexTest, RejectsCurrentAndOutOfOrderEntries) {
+  auto idx = Make();
+  EXPECT_TRUE(
+      idx->Insert(Entry{1, {10, 10}, 100, kUnknownDuration}).IsNotSupported());
+  ASSERT_OK(idx->Insert(MakeEntry(1, 10, 10, 100, 50)));
+  // Same cell, earlier start: violates the stream order.
+  EXPECT_TRUE(idx->Insert(MakeEntry(2, 11, 11, 50, 50)).IsInvalidArgument());
+  // Different cell: independent order.
+  ASSERT_OK(idx->Insert(MakeEntry(3, 900, 900, 50, 50)));
+}
+
+TEST_F(SetiIndexTest, MatchesOracleOnRandomStream) {
+  auto idx = Make();
+  Random rng(61);
+  std::vector<Entry> all;
+  Timestamp now = 0;
+  for (int i = 0; i < 5000; ++i) {
+    now += rng.Uniform(3);
+    Entry e = MakeEntry(i, rng.UniformDouble(0, 1000),
+                        rng.UniformDouble(0, 1000), now,
+                        1 + rng.Uniform(300));
+    ASSERT_OK(idx->Insert(e));
+    all.push_back(e);
+  }
+  for (int trial = 0; trial < 40; ++trial) {
+    const double x = rng.UniformDouble(0, 700);
+    const double y = rng.UniformDouble(0, 700);
+    const Rect area{{x, y}, {x + 300, y + 300}};
+    const Timestamp lo = rng.Uniform(now + 1);
+    const TimeInterval q{lo, lo + rng.Uniform(500)};
+    auto r = idx->IntervalQuery(area, q);
+    ASSERT_TRUE(r.ok());
+    std::multiset<Key> got, expect;
+    for (const Entry& e : *r) got.insert({e.oid, e.start});
+    for (const Entry& e : all) {
+      if (area.Contains(e.pos) && e.ValidTimeOverlaps(q)) {
+        expect.insert({e.oid, e.start});
+      }
+    }
+    ASSERT_EQ(got, expect) << "trial " << trial;
+  }
+}
+
+TEST_F(SetiIndexTest, WindowLoFiltersExpired) {
+  auto idx = Make();
+  ASSERT_OK(idx->Insert(MakeEntry(1, 10, 10, 100, 50)));
+  ASSERT_OK(idx->Insert(MakeEntry(2, 10, 10, 500, 50)));
+  auto r = idx->IntervalQuery(Rect{{0, 0}, {100, 100}}, {0, 1000}, 300);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].oid, 2u);
+}
+
+TEST_F(SetiIndexTest, ExpireDropsWholePagesFifo) {
+  auto idx = Make();
+  Random rng(62);
+  Timestamp now = 0;
+  // Concentrate entries in one cell so it accumulates many pages (a page
+  // holds ~200 entries).
+  for (int i = 0; i < 3000; ++i) {
+    now += 1;
+    ASSERT_OK(idx->Insert(MakeEntry(i, rng.UniformDouble(0, 200),
+                                    rng.UniformDouble(0, 200), now, 10)));
+  }
+  const uint64_t pages_before = pager_->live_page_count();
+  const uint64_t reads_before = pool()->stats().logical_reads;
+  auto freed = idx->ExpireBefore(now / 2);
+  ASSERT_TRUE(freed.ok());
+  EXPECT_GT(*freed, 0u);
+  // FIFO page drops: no page fetches at all (the sparse index is in
+  // memory), just frees.
+  EXPECT_EQ(pool()->stats().logical_reads, reads_before);
+  EXPECT_EQ(pager_->live_page_count(), pages_before - *freed);
+
+  // Remaining entries still queryable; old ones behind the cutoff may
+  // linger on straddling pages but are filtered by window_lo.
+  auto r = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}},
+                              {now / 2, now}, now / 2);
+  ASSERT_TRUE(r.ok());
+  size_t expect = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const Timestamp s = static_cast<Timestamp>(i + 1);
+    if (s >= now / 2) expect++;
+  }
+  EXPECT_EQ(r->size(), expect);
+}
+
+TEST_F(SetiIndexTest, LongDurationEntryPinsItsPageIntoEveryQuery) {
+  // The decoupling weakness the paper points at: one long entry stretches
+  // its page's max_end, so much later interval queries still fetch it.
+  auto idx = Make();
+  ASSERT_OK(idx->Insert(MakeEntry(1, 10, 10, 0, 100000)));  // Long.
+  Timestamp now = 0;
+  for (int i = 0; i < 2000; ++i) {
+    now += 1;
+    ASSERT_OK(idx->Insert(MakeEntry(100 + i, 10 + (i % 5) * 0.1,
+                                    10 + (i % 7) * 0.1, now, 5)));
+  }
+  // A late query far beyond the short entries' lifetimes.
+  const uint64_t before = pool()->stats().logical_reads;
+  auto r = idx->IntervalQuery(Rect{{0, 0}, {50, 50}}, {50000, 50010});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);  // Only the long entry is valid there.
+  EXPECT_EQ((*r)[0].oid, 1u);
+  // Every page of that cell (all pinned by long max_end or by the first
+  // page's long entry) had to be inspected... at minimum the first page.
+  EXPECT_GT(pool()->stats().logical_reads, before);
+}
+
+TEST_F(SetiIndexTest, CountAndSparseIndexBytes) {
+  auto idx = Make();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_OK(idx->Insert(MakeEntry(i, (i % 30) * 30.0, (i / 30) * 30.0,
+                                    static_cast<Timestamp>(i), 5)));
+  }
+  auto count = idx->CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 500u);
+  EXPECT_GT(idx->SparseIndexBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace swst

@@ -1,0 +1,122 @@
+#include "swst/spatial_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace swst {
+namespace {
+
+SwstOptions DefaultOptions() {
+  SwstOptions o;  // 20x20 grid over [0,10000]^2.
+  return o;
+}
+
+TEST(SpatialGridTest, CellOfMapsCorners) {
+  SpatialGrid g(DefaultOptions());
+  EXPECT_EQ(g.cell_count(), 400u);
+  EXPECT_EQ(g.CellOf({0, 0}), 0u);
+  EXPECT_EQ(g.CellOf({499.9, 0}), 0u);
+  EXPECT_EQ(g.CellOf({500.0, 0}), 1u);
+  EXPECT_EQ(g.CellOf({0, 500.0}), 20u);
+  // Domain upper edge maps into the last cell, not out of range.
+  EXPECT_EQ(g.CellOf({10000, 10000}), 399u);
+}
+
+TEST(SpatialGridTest, CellRectRoundTripsCellOf) {
+  SpatialGrid g(DefaultOptions());
+  Random rng(21);
+  for (int i = 0; i < 5000; ++i) {
+    Point p{rng.UniformDouble(0, 10000), rng.UniformDouble(0, 10000)};
+    uint32_t cell = g.CellOf(p);
+    EXPECT_TRUE(g.CellRect(cell).Contains(p)) << "p=(" << p.x << "," << p.y
+                                              << ") cell=" << cell;
+  }
+}
+
+TEST(SpatialGridTest, OverlappingFindsExactCellSet) {
+  SpatialGrid g(DefaultOptions());
+  // Query spanning cells (2..4) x (1..2).
+  Rect q{{1050, 700}, {2400, 1400}};
+  auto cells = g.Overlapping(q);
+  ASSERT_EQ(cells.size(), 6u);
+  std::set<uint32_t> ids;
+  for (const auto& c : cells) ids.insert(c.cell);
+  EXPECT_EQ(ids, (std::set<uint32_t>{22, 23, 24, 42, 43, 44}));
+}
+
+TEST(SpatialGridTest, OverlapRectsPartitionTheQuery) {
+  SpatialGrid g(DefaultOptions());
+  Rect q{{123, 456}, {3456, 2345}};
+  double area = 0;
+  for (const auto& c : g.Overlapping(q)) {
+    area += c.overlap.Area();
+    EXPECT_TRUE(q.ContainsRect(c.overlap));
+    EXPECT_TRUE(g.CellRect(c.cell).ContainsRect(c.overlap));
+  }
+  EXPECT_NEAR(area, q.Area(), 1e-6);
+}
+
+TEST(SpatialGridTest, FullFlagOnlyForContainedCells) {
+  SpatialGrid g(DefaultOptions());
+  // Covers cells (1..3)x(1..3) fully, with partial fringes around.
+  Rect q{{400, 400}, {2100, 2100}};
+  int full = 0, partial = 0;
+  for (const auto& c : g.Overlapping(q)) {
+    if (c.full) {
+      full++;
+      EXPECT_TRUE(q.ContainsRect(g.CellRect(c.cell)));
+    } else {
+      partial++;
+      EXPECT_FALSE(q.ContainsRect(g.CellRect(c.cell)));
+    }
+  }
+  EXPECT_EQ(full, 9);
+  EXPECT_GT(partial, 0);
+}
+
+TEST(SpatialGridTest, QueryOutsideDomainClipped) {
+  SpatialGrid g(DefaultOptions());
+  EXPECT_TRUE(g.Overlapping(Rect{{20000, 20000}, {30000, 30000}}).empty());
+  auto cells = g.Overlapping(Rect{{-5000, -5000}, {100, 100}});
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].cell, 0u);
+  EXPECT_FALSE(cells[0].full);
+}
+
+TEST(SpatialGridTest, WholeDomainQueryIsAllCellsFull) {
+  SpatialGrid g(DefaultOptions());
+  auto cells = g.Overlapping(Rect{{0, 0}, {10000, 10000}});
+  EXPECT_EQ(cells.size(), 400u);
+  for (const auto& c : cells) EXPECT_TRUE(c.full);
+}
+
+TEST(SpatialGridTest, LocalOffsetWithinCellExtent) {
+  SpatialGrid g(DefaultOptions());
+  Random rng(22);
+  for (int i = 0; i < 2000; ++i) {
+    Point p{rng.UniformDouble(0, 10000), rng.UniformDouble(0, 10000)};
+    uint32_t cell = g.CellOf(p);
+    Point off = g.LocalOffset(p, cell);
+    EXPECT_GE(off.x, 0.0);
+    EXPECT_GE(off.y, 0.0);
+    EXPECT_LE(off.x, g.cell_width() + 1e-9);
+    EXPECT_LE(off.y, g.cell_height() + 1e-9);
+  }
+}
+
+TEST(SpatialGridTest, NonSquareGrid) {
+  SwstOptions o = DefaultOptions();
+  o.x_partitions = 5;
+  o.y_partitions = 8;
+  SpatialGrid g(o);
+  EXPECT_EQ(g.cell_count(), 40u);
+  EXPECT_DOUBLE_EQ(g.cell_width(), 2000.0);
+  EXPECT_DOUBLE_EQ(g.cell_height(), 1250.0);
+  EXPECT_EQ(g.CellOf({9999, 9999}), 39u);
+}
+
+}  // namespace
+}  // namespace swst

@@ -1,0 +1,63 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace swst {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("bad").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("missing").IsNotFound());
+  EXPECT_TRUE(Status::IOError("io").IsIOError());
+  EXPECT_TRUE(Status::Corruption("corrupt").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("nope").IsNotSupported());
+  EXPECT_TRUE(Status::OutOfRange("oor").IsOutOfRange());
+  EXPECT_FALSE(Status::IOError("io").ok());
+  EXPECT_EQ(Status::IOError("disk gone").ToString(), "IOError: disk gone");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Corruption("bits flipped");
+  Status t = s;
+  EXPECT_TRUE(t.IsCorruption());
+  EXPECT_EQ(t.message(), "bits flipped");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ReturnIfErrorMacroPropagates) {
+  auto fails = []() -> Status { return Status::IOError("inner"); };
+  auto outer = [&]() -> Status {
+    SWST_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsIOError());
+}
+
+}  // namespace
+}  // namespace swst

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "common/random.h"
+#include "swst/swst_index.h"
+#include "tests/test_util.h"
+
+namespace swst {
+namespace {
+
+SwstOptions SmallOptions() {
+  SwstOptions o;
+  o.space = Rect{{0, 0}, {1000, 1000}};
+  o.x_partitions = 5;
+  o.y_partitions = 5;
+  o.window_size = 1200;
+  o.slide = 60;
+  o.max_duration = 240;
+  o.duration_interval = 60;
+  o.zcurve_bits = 6;
+  return o;
+}
+
+using Key = std::pair<ObjectId, Timestamp>;
+
+std::multiset<Key> Keys(const std::vector<Entry>& entries) {
+  std::multiset<Key> out;
+  for (const Entry& e : entries) out.insert({e.oid, e.start});
+  return out;
+}
+
+/// Differential test: the same operation sequence applied to a
+/// memory-backed and a file-backed index (with a small, eviction-heavy
+/// buffer pool) must produce byte-identical query answers and identical
+/// node-access counts — the disk layer must be semantically invisible.
+TEST(SwstDifferentialTest, FileAndMemoryBackendsAgree) {
+  const SwstOptions o = SmallOptions();
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("swst_diff_" + std::to_string(::getpid()) + ".db");
+
+  auto mem_pager = Pager::OpenMemory();
+  BufferPool mem_pool(mem_pager.get(), 4096);
+  auto mem = SwstIndex::Create(&mem_pool, o);
+  ASSERT_TRUE(mem.ok());
+
+  auto file_pager = Pager::OpenFile(path.string(), /*truncate=*/true);
+  ASSERT_TRUE(file_pager.ok());
+  BufferPool file_pool(file_pager->get(), 32);  // Eviction-heavy.
+  auto file = SwstIndex::Create(&file_pool, o);
+  ASSERT_TRUE(file.ok());
+
+  Random rng(4242);
+  Timestamp now = 0;
+  std::vector<Entry> live;
+  for (int op = 0; op < 4000; ++op) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.7 || live.empty()) {
+      now += rng.Uniform(3);
+      Entry e{static_cast<ObjectId>(op),
+              {rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)},
+              now,
+              rng.Bernoulli(0.2) ? kUnknownDuration
+                                 : 1 + rng.Uniform(o.max_duration)};
+      ASSERT_OK((*mem)->Insert(e));
+      ASSERT_OK((*file)->Insert(e));
+      live.push_back(e);
+    } else if (dice < 0.8) {
+      const size_t i = rng.Uniform(live.size());
+      Status sm = (*mem)->Delete(live[i]);
+      Status sf = (*file)->Delete(live[i]);
+      ASSERT_EQ(sm.ok(), sf.ok());
+      live.erase(live.begin() + static_cast<long>(i));
+    } else {
+      // Interval query; answers and node accesses must match exactly.
+      const TimeInterval win = (*mem)->QueriablePeriod();
+      const double x = rng.UniformDouble(0, 700);
+      const double y = rng.UniformDouble(0, 700);
+      const Rect area{{x, y}, {x + 300, y + 300}};
+      const Timestamp qlo = win.lo + rng.Uniform(win.hi - win.lo + 1);
+      const TimeInterval q{qlo, qlo + rng.Uniform(200)};
+      QueryStats ms, fs;
+      auto rm = (*mem)->IntervalQuery(area, q, {}, &ms);
+      auto rf = (*file)->IntervalQuery(area, q, {}, &fs);
+      ASSERT_TRUE(rm.ok());
+      ASSERT_TRUE(rf.ok());
+      ASSERT_EQ(Keys(*rm), Keys(*rf)) << "op " << op;
+      ASSERT_EQ(ms.node_accesses, fs.node_accesses) << "op " << op;
+      ASSERT_EQ(ms.candidates, fs.candidates) << "op " << op;
+    }
+  }
+  // Final structural agreement.
+  auto cm = (*mem)->CountEntries();
+  auto cf = (*file)->CountEntries();
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cf.ok());
+  EXPECT_EQ(*cm, *cf);
+  ASSERT_OK((*mem)->ValidateTrees());
+  ASSERT_OK((*file)->ValidateTrees());
+
+  std::filesystem::remove(path);
+}
+
+/// B+ tree occupancy: after a mixed workload, non-root nodes must respect
+/// the minimum fill factor (Validate checks it), and overall leaf
+/// utilization should stay above ~45% — the structure does not degrade.
+TEST(SwstDifferentialTest, BTreeOccupancyStaysHealthy) {
+  auto pager = Pager::OpenMemory();
+  BufferPool pool(pager.get(), 4096);
+  auto tree = BTree::Create(&pool);
+  ASSERT_TRUE(tree.ok());
+  BTree t = std::move(*tree);
+  Random rng(7);
+  std::vector<std::pair<uint64_t, std::pair<ObjectId, Timestamp>>> live;
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t key = rng.Uniform(1 << 20);
+    ASSERT_OK(t.Insert(key, MakeEntry(static_cast<ObjectId>(i), 0, 0,
+                                      static_cast<Timestamp>(i), 1)));
+    live.push_back({key, {static_cast<ObjectId>(i),
+                          static_cast<Timestamp>(i)}});
+    if (i % 3 == 2) {
+      const size_t j = rng.Uniform(live.size());
+      ASSERT_OK(t.Delete(live[j].first, live[j].second.first,
+                         live[j].second.second));
+      live.erase(live.begin() + static_cast<long>(j));
+    }
+  }
+  ASSERT_OK(t.Validate());
+  auto count = t.CountEntries();
+  ASSERT_TRUE(count.ok());
+  ASSERT_EQ(*count, live.size());
+  // Utilization: entries / (leaves * capacity).
+  const uint64_t pages = pager->live_page_count();
+  const double min_util = static_cast<double>(*count) /
+                          (static_cast<double>(pages) * BTree::LeafCapacity());
+  EXPECT_GT(min_util, 0.45);
+}
+
+}  // namespace
+}  // namespace swst

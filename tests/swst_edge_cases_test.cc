@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "swst/swst_index.h"
+#include "tests/test_util.h"
+
+namespace swst {
+namespace {
+
+SwstOptions SmallOptions() {
+  SwstOptions o;
+  o.space = Rect{{0, 0}, {1000, 1000}};
+  o.x_partitions = 4;
+  o.y_partitions = 4;
+  o.window_size = 1000;
+  o.slide = 50;  // Sp = 21, epoch = 1050.
+  o.max_duration = 200;
+  o.duration_interval = 50;
+  o.zcurve_bits = 6;
+  return o;
+}
+
+class EdgeCaseTest : public PoolTest {
+ protected:
+  std::unique_ptr<SwstIndex> Make(const SwstOptions& o) {
+    auto idx = SwstIndex::Create(pool(), o);
+    EXPECT_TRUE(idx.ok());
+    return std::move(*idx);
+  }
+};
+
+TEST_F(EdgeCaseTest, EntryAtDomainCorners) {
+  auto idx = Make(SmallOptions());
+  // All four corners, including the inclusive upper edge.
+  ASSERT_OK(idx->Insert(MakeEntry(1, 0, 0, 10, 50)));
+  ASSERT_OK(idx->Insert(MakeEntry(2, 1000, 0, 10, 50)));
+  ASSERT_OK(idx->Insert(MakeEntry(3, 0, 1000, 10, 50)));
+  ASSERT_OK(idx->Insert(MakeEntry(4, 1000, 1000, 10, 50)));
+  ASSERT_OK(idx->Advance(40));
+  auto r = idx->TimesliceQuery(Rect{{0, 0}, {1000, 1000}}, 30);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4u);
+  // Corner-point query areas.
+  r = idx->TimesliceQuery(Rect{{1000, 1000}, {1000, 1000}}, 30);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].oid, 4u);
+}
+
+TEST_F(EdgeCaseTest, EntryOnGridCellBoundary) {
+  auto idx = Make(SmallOptions());  // Cells are 250 wide.
+  ASSERT_OK(idx->Insert(MakeEntry(1, 250, 250, 10, 50)));
+  ASSERT_OK(idx->Insert(MakeEntry(2, 249.999, 249.999, 10, 50)));
+  ASSERT_OK(idx->Advance(40));
+  // Query exactly one side of the boundary.
+  auto r = idx->TimesliceQuery(Rect{{250, 250}, {400, 400}}, 30);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].oid, 1u);
+  r = idx->TimesliceQuery(Rect{{0, 0}, {249.999, 249.999}}, 30);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].oid, 2u);
+  // A boundary-straddling query sees both.
+  r = idx->TimesliceQuery(Rect{{249, 249}, {251, 251}}, 30);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST_F(EdgeCaseTest, DurationExactlyDmax) {
+  SwstOptions o = SmallOptions();
+  auto idx = Make(o);
+  ASSERT_OK(idx->Insert(MakeEntry(1, 100, 100, 10, o.max_duration)));
+  // Valid during [10, 210): the last valid instant is 209.
+  ASSERT_OK(idx->Advance(300));
+  auto r = idx->TimesliceQuery(Rect{{0, 0}, {1000, 1000}}, 209);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+  r = idx->TimesliceQuery(Rect{{0, 0}, {1000, 1000}}, 210);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST_F(EdgeCaseTest, DurationOne) {
+  auto idx = Make(SmallOptions());
+  ASSERT_OK(idx->Insert(MakeEntry(1, 100, 100, 10, 1)));
+  ASSERT_OK(idx->Advance(50));
+  auto r = idx->TimesliceQuery(Rect{{0, 0}, {1000, 1000}}, 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+  r = idx->TimesliceQuery(Rect{{0, 0}, {1000, 1000}}, 11);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST_F(EdgeCaseTest, QueryAtExactWindowBoundaries) {
+  SwstOptions o = SmallOptions();
+  auto idx = Make(o);
+  ASSERT_OK(idx->Insert(MakeEntry(1, 100, 100, 10, 100)));
+  ASSERT_OK(idx->Advance(1200));
+  // win = [floor(1200/50)*50 - 1000, 1200] = [200, 1200].
+  const TimeInterval win = idx->QueriablePeriod();
+  EXPECT_EQ(win, (TimeInterval{200, 1200}));
+  // Entry with start exactly at win.lo is queriable.
+  ASSERT_OK(idx->Insert(MakeEntry(2, 100, 100, 200, 100)));
+  auto r = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}}, {200, 1200});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].oid, 2u);
+  // Timeslice exactly at win.hi.
+  ASSERT_OK(idx->Insert(Entry{3, {50, 50}, 1200, kUnknownDuration}));
+  r = idx->TimesliceQuery(Rect{{0, 0}, {1000, 1000}}, 1200);
+  ASSERT_TRUE(r.ok());
+  bool found3 = false;
+  for (const Entry& e : *r) found3 |= (e.oid == 3);
+  EXPECT_TRUE(found3);
+}
+
+TEST_F(EdgeCaseTest, EntryAtExactEpochBoundary) {
+  SwstOptions o = SmallOptions();
+  auto idx = Make(o);
+  const Timestamp E = o.epoch_length();  // 1050.
+  // First instant of epoch 1 and last of epoch 0.
+  ASSERT_OK(idx->Insert(MakeEntry(1, 100, 100, E - 1, 100)));
+  ASSERT_OK(idx->Insert(MakeEntry(2, 100, 100, E, 100)));
+  auto stats = idx->GetDebugStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->live_trees, 2u);  // One tree per epoch.
+  auto r = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}}, {E - 1, E});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST_F(EdgeCaseTest, AdvanceExactlyAtDropBoundary) {
+  SwstOptions o = SmallOptions();
+  auto idx = Make(o);
+  const Timestamp E = o.epoch_length();
+  ASSERT_OK(idx->Insert(MakeEntry(1, 100, 100, 10, 100)));  // Epoch 0.
+  // At t = 2E - 1 (last instant of epoch 1), epoch 0 must still be live.
+  ASSERT_OK(idx->Advance(2 * E - 1));
+  auto stats = idx->GetDebugStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->entries, 1u);
+  // At t = 2E (first instant of epoch 2), epoch 0 is droppable.
+  ASSERT_OK(idx->Advance(2 * E));
+  stats = idx->GetDebugStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->entries, 0u);
+}
+
+TEST_F(EdgeCaseTest, TimesliceBeforeAnyData) {
+  auto idx = Make(SmallOptions());
+  ASSERT_OK(idx->Advance(500));
+  auto r = idx->TimesliceQuery(Rect{{0, 0}, {1000, 1000}}, 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST_F(EdgeCaseTest, ZeroAreaQueryRectIsAPoint) {
+  auto idx = Make(SmallOptions());
+  ASSERT_OK(idx->Insert(MakeEntry(1, 123.5, 456.5, 10, 50)));
+  ASSERT_OK(idx->Advance(40));
+  auto r = idx->TimesliceQuery(Rect{{123.5, 456.5}, {123.5, 456.5}}, 30);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+  r = idx->TimesliceQuery(Rect{{123.6, 456.5}, {123.6, 456.5}}, 30);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST_F(EdgeCaseTest, SlideEqualsWindow) {
+  SwstOptions o = SmallOptions();
+  o.slide = o.window_size;  // Single s-partition per epoch.
+  ASSERT_OK(o.Validate());
+  auto idx = Make(o);
+  ASSERT_OK(idx->Insert(MakeEntry(1, 100, 100, 10, 100)));
+  ASSERT_OK(idx->Advance(900));
+  auto r = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}}, {0, 900});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST_F(EdgeCaseTest, CurrentEntryCloseAtSameCellDifferentPosition) {
+  auto idx = Make(SmallOptions());
+  Entry cur;
+  ASSERT_OK(idx->ReportPosition(1, {100, 100}, 10, nullptr, &cur));
+  // Moves within the same grid cell: the key's z bits change, the cell
+  // does not. Close + reinsert must still find the old record.
+  Entry cur2;
+  ASSERT_OK(idx->ReportPosition(1, {120, 130}, 60, &cur, &cur2));
+  auto r = idx->TimesliceQuery(Rect{{0, 0}, {1000, 1000}}, 30);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].duration, 50u);
+}
+
+TEST_F(EdgeCaseTest, ManyEntriesSameKeySpot) {
+  // Identical position + start + duration for many objects: maximal key
+  // duplication in one B+ tree.
+  auto idx = Make(SmallOptions());
+  for (ObjectId oid = 0; oid < 500; ++oid) {
+    ASSERT_OK(idx->Insert(MakeEntry(oid, 500, 500, 100, 100)));
+  }
+  ASSERT_OK(idx->ValidateTrees());
+  ASSERT_OK(idx->Advance(180));
+  auto r = idx->TimesliceQuery(Rect{{500, 500}, {500, 500}}, 150);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 500u);
+  // Delete a specific one out of the duplicates.
+  ASSERT_OK(idx->Delete(MakeEntry(250, 500, 500, 100, 100)));
+  r = idx->TimesliceQuery(Rect{{500, 500}, {500, 500}}, 150);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 499u);
+  for (const Entry& e : *r) EXPECT_NE(e.oid, 250u);
+}
+
+TEST_F(EdgeCaseTest, IntervalQueryCoveringEntireWindow) {
+  auto idx = Make(SmallOptions());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(idx->Insert(
+        MakeEntry(i, (i * 13) % 1000, (i * 29) % 1000,
+                  static_cast<Timestamp>(i * 4), 1 + (i % 200))));
+  }
+  const TimeInterval win = idx->QueriablePeriod();
+  auto r = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}}, {0, win.hi});
+  ASSERT_TRUE(r.ok());
+  size_t expect = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Timestamp s = static_cast<Timestamp>(i * 4);
+    if (s >= win.lo && s <= win.hi) expect++;
+  }
+  EXPECT_EQ(r->size(), expect);
+}
+
+}  // namespace
+}  // namespace swst

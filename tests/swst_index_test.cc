@@ -1,0 +1,363 @@
+#include "swst/swst_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+
+namespace swst {
+namespace {
+
+SwstOptions SmallOptions() {
+  SwstOptions o;
+  o.space = Rect{{0, 0}, {1000, 1000}};
+  o.x_partitions = 4;
+  o.y_partitions = 4;
+  o.window_size = 1000;
+  o.slide = 50;
+  o.max_duration = 200;
+  o.duration_interval = 50;
+  o.zcurve_bits = 6;
+  return o;
+}
+
+using Key = std::tuple<ObjectId, Timestamp>;
+
+std::multiset<Key> Keys(const std::vector<Entry>& entries) {
+  std::multiset<Key> out;
+  for (const Entry& e : entries) out.insert({e.oid, e.start});
+  return out;
+}
+
+/// Brute-force evaluation of the paper's output relation + query
+/// predicates over a ground-truth entry list.
+std::multiset<Key> Oracle(const std::vector<Entry>& all, const Rect& area,
+                          TimeInterval q, const TimeInterval& win) {
+  std::multiset<Key> out;
+  q.lo = std::max(q.lo, win.lo);
+  q.hi = std::min(q.hi, win.hi);
+  if (q.lo > q.hi) return out;
+  for (const Entry& e : all) {
+    if (e.start < win.lo || e.start > win.hi) continue;
+    if (!area.Contains(e.pos)) continue;
+    if (!e.ValidTimeOverlaps(q)) continue;
+    out.insert({e.oid, e.start});
+  }
+  return out;
+}
+
+class SwstIndexTest : public PoolTest {
+ protected:
+  std::unique_ptr<SwstIndex> Make(const SwstOptions& o) {
+    auto idx = SwstIndex::Create(pool(), o);
+    EXPECT_TRUE(idx.ok()) << idx.status().ToString();
+    return std::move(*idx);
+  }
+};
+
+TEST_F(SwstIndexTest, EmptyIndexReturnsNothing) {
+  auto idx = Make(SmallOptions());
+  auto r = idx->TimesliceQuery(Rect{{0, 0}, {1000, 1000}}, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST_F(SwstIndexTest, InsertAndTimesliceFindsEntry) {
+  auto idx = Make(SmallOptions());
+  ASSERT_OK(idx->Insert(MakeEntry(1, 100, 100, 10, 50)));
+  ASSERT_OK(idx->Advance(40));
+  auto r = idx->TimesliceQuery(Rect{{50, 50}, {150, 150}}, 30);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].oid, 1u);
+  // Outside the spatial area: nothing.
+  r = idx->TimesliceQuery(Rect{{500, 500}, {600, 600}}, 30);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+  // After the valid time: nothing.
+  ASSERT_OK(idx->Advance(100));
+  r = idx->TimesliceQuery(Rect{{50, 50}, {150, 150}}, 70);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST_F(SwstIndexTest, RejectsInvalidInserts) {
+  auto idx = Make(SmallOptions());
+  // Outside the spatial domain.
+  EXPECT_TRUE(idx->Insert(MakeEntry(1, 5000, 0, 0, 10)).IsInvalidArgument());
+  // Zero duration.
+  EXPECT_TRUE(idx->Insert(MakeEntry(1, 10, 10, 0, 0)).IsInvalidArgument());
+  // Duration beyond Dmax.
+  EXPECT_TRUE(idx->Insert(MakeEntry(1, 10, 10, 0, 1000)).IsInvalidArgument());
+  // Already expired on arrival.
+  ASSERT_OK(idx->Advance(5000));
+  EXPECT_TRUE(idx->Insert(MakeEntry(1, 10, 10, 100, 10)).IsInvalidArgument());
+}
+
+TEST_F(SwstIndexTest, RandomWorkloadMatchesOracle) {
+  SwstOptions o = SmallOptions();
+  auto idx = Make(o);
+  Random rng(42);
+  std::vector<Entry> ground_truth;
+
+  Timestamp now = 0;
+  for (int i = 0; i < 3000; ++i) {
+    now += rng.Uniform(3);
+    Entry e = MakeEntry(static_cast<ObjectId>(i),
+                        rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000),
+                        now, 1 + rng.Uniform(o.max_duration));
+    ASSERT_OK(idx->Insert(e));
+    ground_truth.push_back(e);
+  }
+  ASSERT_OK(idx->ValidateTrees());
+
+  const TimeInterval win = idx->QueriablePeriod();
+  for (int trial = 0; trial < 100; ++trial) {
+    const double x = rng.UniformDouble(0, 900);
+    const double y = rng.UniformDouble(0, 900);
+    const Rect area{{x, y}, {x + rng.UniformDouble(10, 400),
+                             y + rng.UniformDouble(10, 400)}};
+    const Timestamp qlo = win.lo + rng.Uniform(win.hi - win.lo + 1);
+    const Timestamp qhi = qlo + rng.Uniform(200);
+    const TimeInterval q{qlo, qhi};
+    auto r = idx->IntervalQuery(area, q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(Keys(*r), Oracle(ground_truth, area, q, win))
+        << "trial " << trial << " area=" << area.ToString() << " q=[" << qlo
+        << "," << qhi << "]";
+  }
+}
+
+TEST_F(SwstIndexTest, TimesliceMatchesOracleWithCurrentEntries) {
+  SwstOptions o = SmallOptions();
+  auto idx = Make(o);
+  Random rng(43);
+  std::vector<Entry> ground_truth;
+  Timestamp now = 0;
+  for (int i = 0; i < 1500; ++i) {
+    now += rng.Uniform(2);
+    if (rng.Bernoulli(0.3)) {
+      // Current entry (unknown duration).
+      Entry e{static_cast<ObjectId>(i),
+              {rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)},
+              now,
+              kUnknownDuration};
+      ASSERT_OK(idx->Insert(e));
+      ground_truth.push_back(e);
+    } else {
+      Entry e = MakeEntry(static_cast<ObjectId>(i), rng.UniformDouble(0, 1000),
+                          rng.UniformDouble(0, 1000), now,
+                          1 + rng.Uniform(o.max_duration));
+      ASSERT_OK(idx->Insert(e));
+      ground_truth.push_back(e);
+    }
+  }
+  const TimeInterval win = idx->QueriablePeriod();
+  for (int trial = 0; trial < 80; ++trial) {
+    const double x = rng.UniformDouble(0, 800);
+    const double y = rng.UniformDouble(0, 800);
+    const Rect area{{x, y}, {x + 300, y + 300}};
+    const Timestamp t = win.lo + rng.Uniform(win.hi - win.lo + 1);
+    auto r = idx->TimesliceQuery(area, t);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(Keys(*r), Oracle(ground_truth, area, {t, t}, win))
+        << "t=" << t;
+  }
+}
+
+TEST_F(SwstIndexTest, DeleteRemovesFromResults) {
+  auto idx = Make(SmallOptions());
+  Entry e = MakeEntry(7, 100, 100, 10, 100);
+  ASSERT_OK(idx->Insert(e));
+  ASSERT_OK(idx->Insert(MakeEntry(8, 110, 110, 12, 100)));
+  ASSERT_OK(idx->Delete(e));
+  ASSERT_OK(idx->Advance(60));
+  auto r = idx->TimesliceQuery(Rect{{0, 0}, {200, 200}}, 50);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].oid, 8u);
+  // Deleting again: NotFound.
+  EXPECT_TRUE(idx->Delete(e).IsNotFound());
+}
+
+TEST_F(SwstIndexTest, ReportPositionClosesPreviousEntry) {
+  auto idx = Make(SmallOptions());
+  Entry cur;
+  ASSERT_OK(idx->ReportPosition(1, {100, 100}, 10, nullptr, &cur));
+  EXPECT_TRUE(cur.is_current());
+
+  // While current, the entry is valid arbitrarily far into the window.
+  ASSERT_OK(idx->Advance(200));
+  auto r = idx->TimesliceQuery(Rect{{0, 0}, {1000, 1000}}, 150);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_TRUE((*r)[0].is_current());
+
+  // The next report closes it with the actual duration.
+  Entry cur2;
+  ASSERT_OK(idx->ReportPosition(1, {300, 300}, 180, &cur, &cur2));
+  r = idx->TimesliceQuery(Rect{{0, 0}, {1000, 1000}}, 150);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_FALSE((*r)[0].is_current());
+  EXPECT_EQ((*r)[0].duration, 170u);
+  // At t=185 only the new current entry qualifies.
+  ASSERT_OK(idx->Advance(185));
+  r = idx->TimesliceQuery(Rect{{0, 0}, {1000, 1000}}, 185);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].pos, (Point{300, 300}));
+}
+
+TEST_F(SwstIndexTest, StreamedUpdatesMatchOracle) {
+  SwstOptions o = SmallOptions();
+  auto idx = Make(o);
+  Random rng(44);
+  const int kObjects = 60;
+  std::vector<Entry> open(kObjects);
+  std::vector<bool> has_open(kObjects, false);
+  std::vector<Entry> ground_truth;  // Closed entries.
+
+  Timestamp now = 0;
+  for (int step = 0; step < 4000; ++step) {
+    now += rng.Uniform(2);
+    const int obj = static_cast<int>(rng.Uniform(kObjects));
+    const Point pos{rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)};
+    Entry next;
+    const Entry* prev = has_open[obj] ? &open[obj] : nullptr;
+    if (prev != nullptr && now <= prev->start) continue;
+    if (prev != nullptr && now - prev->start > o.max_duration) {
+      // SWST keeps long-stay entries current (no splits); emulate in the
+      // oracle by keeping the old entry current forever.
+      ground_truth.push_back(*prev);
+      prev = nullptr;
+    }
+    ASSERT_OK(idx->ReportPosition(obj, pos, now, prev, &next));
+    if (prev != nullptr) {
+      Entry closed = *prev;
+      closed.duration = now - prev->start;
+      ground_truth.push_back(closed);
+    }
+    open[obj] = next;
+    has_open[obj] = true;
+  }
+  // Snapshot ground truth including open entries.
+  std::vector<Entry> all = ground_truth;
+  for (int i = 0; i < kObjects; ++i) {
+    if (has_open[i]) all.push_back(open[i]);
+  }
+
+  const TimeInterval win = idx->QueriablePeriod();
+  for (int trial = 0; trial < 60; ++trial) {
+    const double x = rng.UniformDouble(0, 700);
+    const double y = rng.UniformDouble(0, 700);
+    const Rect area{{x, y}, {x + 350, y + 350}};
+    const Timestamp qlo = win.lo + rng.Uniform(win.hi - win.lo + 1);
+    const TimeInterval q{qlo, qlo + rng.Uniform(150)};
+    auto r = idx->IntervalQuery(area, q);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(Keys(*r), Oracle(all, area, q, win)) << "trial " << trial;
+  }
+}
+
+TEST_F(SwstIndexTest, QueryStatsPopulated) {
+  auto idx = Make(SmallOptions());
+  Random rng(45);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_OK(idx->Insert(MakeEntry(i, rng.UniformDouble(0, 1000),
+                                    rng.UniformDouble(0, 1000),
+                                    i / 2, 1 + rng.Uniform(200))));
+  }
+  QueryStats stats;
+  auto r = idx->IntervalQuery(Rect{{100, 100}, {600, 600}}, {100, 200}, {},
+                              &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(stats.node_accesses, 0u);
+  EXPECT_GT(stats.spatial_cells, 0u);
+  EXPECT_GT(stats.columns, 0u);
+  EXPECT_GE(stats.candidates, r->size());
+}
+
+TEST_F(SwstIndexTest, MemoOnAndOffAgree) {
+  for (bool use_memo : {true, false}) {
+    SwstOptions o = SmallOptions();
+    o.use_memo = use_memo;
+    auto idx = Make(o);
+    Random rng(46);
+    std::vector<Entry> all;
+    for (int i = 0; i < 800; ++i) {
+      Entry e = MakeEntry(i, rng.UniformDouble(0, 1000),
+                          rng.UniformDouble(0, 1000), i / 4,
+                          1 + rng.Uniform(200));
+      ASSERT_OK(idx->Insert(e));
+      all.push_back(e);
+    }
+    const TimeInterval win = idx->QueriablePeriod();
+    for (int trial = 0; trial < 30; ++trial) {
+      Rect area{{rng.UniformDouble(0, 500), rng.UniformDouble(0, 500)},
+                {rng.UniformDouble(500, 1000), rng.UniformDouble(500, 1000)}};
+      TimeInterval q{win.lo + trial, win.lo + trial + 60};
+      auto r = idx->IntervalQuery(area, q);
+      ASSERT_TRUE(r.ok());
+      ASSERT_EQ(Keys(*r), Oracle(all, area, q, win))
+          << "memo=" << use_memo << " trial=" << trial;
+    }
+  }
+}
+
+TEST_F(SwstIndexTest, ZCurveOnAndOffAgree) {
+  for (bool use_z : {true, false}) {
+    SwstOptions o = SmallOptions();
+    o.use_zcurve = use_z;
+    auto idx = Make(o);
+    Random rng(47);
+    std::vector<Entry> all;
+    for (int i = 0; i < 800; ++i) {
+      Entry e = MakeEntry(i, rng.UniformDouble(0, 1000),
+                          rng.UniformDouble(0, 1000), i / 4,
+                          1 + rng.Uniform(200));
+      ASSERT_OK(idx->Insert(e));
+      all.push_back(e);
+    }
+    const TimeInterval win = idx->QueriablePeriod();
+    for (int trial = 0; trial < 30; ++trial) {
+      Rect area{{rng.UniformDouble(0, 500), rng.UniformDouble(0, 500)},
+                {rng.UniformDouble(500, 1000), rng.UniformDouble(500, 1000)}};
+      TimeInterval q{win.lo + trial * 2, win.lo + trial * 2 + 80};
+      auto r = idx->IntervalQuery(area, q);
+      ASSERT_TRUE(r.ok());
+      ASSERT_EQ(Keys(*r), Oracle(all, area, q, win))
+          << "zcurve=" << use_z << " trial=" << trial;
+    }
+  }
+}
+
+TEST_F(SwstIndexTest, MalformedQueriesRejected) {
+  auto idx = Make(SmallOptions());
+  EXPECT_FALSE(idx->IntervalQuery(Rect::Empty(), {0, 10}).ok());
+  EXPECT_FALSE(
+      idx->IntervalQuery(Rect{{0, 0}, {10, 10}}, {10, 0}).ok());
+}
+
+TEST_F(SwstIndexTest, StatisticsMemoryBounded) {
+  SwstOptions o;  // Paper defaults: 400 cells, Sp=201, 21 d-slots.
+  auto idx = Make(o);
+  // The paper reports ~25 MB of statistical state at these settings; our
+  // per-cell stat is 20 bytes, so the budget is ~70 MB. The key check:
+  // it does not grow with data size.
+  const size_t before = idx->StatisticsMemoryUsage();
+  Random rng(48);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_OK(idx->Insert(MakeEntry(i, rng.UniformDouble(0, 10000),
+                                    rng.UniformDouble(0, 10000), i,
+                                    1 + rng.Uniform(2000))));
+  }
+  EXPECT_EQ(idx->StatisticsMemoryUsage(), before);
+}
+
+}  // namespace
+}  // namespace swst

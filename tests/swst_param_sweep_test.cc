@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "swst/swst_index.h"
+#include "tests/test_util.h"
+
+namespace swst {
+namespace {
+
+/// Property-style sweep: SWST must return exactly the oracle's answer for
+/// every combination of grid resolution, slide, duration partitioning,
+/// z-bits, and feature toggles. Parameters:
+/// (grid, slide, delta, zcurve_bits, use_memo, use_zcurve).
+using SweepParams = std::tuple<uint32_t, Timestamp, Duration, int, bool, bool>;
+
+class SwstSweepTest : public ::testing::TestWithParam<SweepParams> {
+ protected:
+  SwstSweepTest()
+      : pager_(Pager::OpenMemory()),
+        pool_(std::make_unique<BufferPool>(pager_.get(), 8192)) {}
+
+  SwstOptions MakeOptions() const {
+    const auto [grid, slide, delta, zbits, memo, zcurve] = GetParam();
+    SwstOptions o;
+    o.space = Rect{{0, 0}, {1000, 1000}};
+    o.x_partitions = grid;
+    o.y_partitions = grid;
+    o.window_size = 1200;
+    o.slide = slide;
+    o.max_duration = 240;
+    o.duration_interval = delta;
+    o.zcurve_bits = zbits;
+    o.use_memo = memo;
+    o.use_zcurve = zcurve;
+    return o;
+  }
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+using Key = std::pair<ObjectId, Timestamp>;
+
+TEST_P(SwstSweepTest, QueriesMatchOracleAcrossConfigurations) {
+  const SwstOptions o = MakeOptions();
+  ASSERT_OK(o.Validate());
+  auto idx_or = SwstIndex::Create(pool_.get(), o);
+  ASSERT_TRUE(idx_or.ok());
+  auto idx = std::move(*idx_or);
+
+  Random rng(1234);
+  std::vector<Entry> all;
+  Timestamp now = 0;
+  for (int i = 0; i < 2500; ++i) {
+    now += rng.Uniform(2);
+    const Duration d = rng.Bernoulli(0.2)
+                           ? kUnknownDuration
+                           : 1 + rng.Uniform(o.max_duration);
+    Entry e{static_cast<ObjectId>(i),
+            {rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)},
+            now,
+            d};
+    ASSERT_OK(idx->Insert(e));
+    all.push_back(e);
+  }
+  ASSERT_OK(idx->ValidateTrees());
+
+  const TimeInterval win = idx->QueriablePeriod();
+  for (int trial = 0; trial < 25; ++trial) {
+    const double x = rng.UniformDouble(0, 800);
+    const double y = rng.UniformDouble(0, 800);
+    const Rect area{{x, y},
+                    {x + rng.UniformDouble(20, 200),
+                     y + rng.UniformDouble(20, 200)}};
+    const Timestamp qlo = win.lo + rng.Uniform(win.hi - win.lo + 1);
+    const TimeInterval q{qlo, qlo + rng.Uniform(300)};
+    auto r = idx->IntervalQuery(area, q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+    std::multiset<Key> got, expect;
+    for (const Entry& e : *r) got.insert({e.oid, e.start});
+    TimeInterval qc{std::max(q.lo, win.lo), std::min(q.hi, win.hi)};
+    for (const Entry& e : all) {
+      if (e.start >= win.lo && e.start <= win.hi && area.Contains(e.pos) &&
+          qc.lo <= qc.hi && e.ValidTimeOverlaps(qc)) {
+        expect.insert({e.oid, e.start});
+      }
+    }
+    ASSERT_EQ(got, expect) << "trial " << trial;
+  }
+}
+
+std::string SweepName(const ::testing::TestParamInfo<SweepParams>& info) {
+  const auto [grid, slide, delta, zbits, memo, zcurve] = info.param;
+  return "g" + std::to_string(grid) + "_L" + std::to_string(slide) + "_d" +
+         std::to_string(delta) + "_z" + std::to_string(zbits) +
+         (memo ? "_memo" : "_nomemo") + (zcurve ? "_zc" : "_nozc");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, SwstSweepTest,
+    ::testing::Values(
+        // Grid resolution sweep.
+        SweepParams{1, 60, 60, 6, true, true},
+        SweepParams{2, 60, 60, 6, true, true},
+        SweepParams{8, 60, 60, 6, true, true},
+        SweepParams{16, 60, 60, 6, true, true},
+        // Slide sweep (s-partition granularity).
+        SweepParams{5, 10, 60, 6, true, true},
+        SweepParams{5, 120, 60, 6, true, true},
+        SweepParams{5, 600, 60, 6, true, true},
+        SweepParams{5, 1200, 60, 6, true, true},  // Slide == window.
+        // Duration partition sweep.
+        SweepParams{5, 60, 1, 6, true, true},    // One partition per tick.
+        SweepParams{5, 60, 240, 6, true, true},  // Single partition.
+        SweepParams{5, 60, 7, 6, true, true},    // Non-divisible delta.
+        // Z-bit resolution sweep.
+        SweepParams{5, 60, 60, 1, true, true},
+        SweepParams{5, 60, 60, 12, true, true},
+        // Feature toggles.
+        SweepParams{5, 60, 60, 6, false, true},
+        SweepParams{5, 60, 60, 6, true, false},
+        SweepParams{5, 60, 60, 6, false, false}),
+    SweepName);
+
+// The sliding window must behave identically across configurations too:
+// run the stream far enough that several epochs expire, then compare with
+// the oracle restricted to the window.
+TEST_P(SwstSweepTest, WindowExpiryMatchesOracleAfterManyEpochs) {
+  const SwstOptions o = MakeOptions();
+  auto idx_or = SwstIndex::Create(pool_.get(), o);
+  ASSERT_TRUE(idx_or.ok());
+  auto idx = std::move(*idx_or);
+
+  Random rng(99);
+  std::vector<Entry> all;
+  // Stream spanning ~5 epochs.
+  const Timestamp horizon = 5 * o.epoch_length();
+  Timestamp now = 0;
+  while (now < horizon) {
+    now += 1 + rng.Uniform(10);
+    Entry e{static_cast<ObjectId>(all.size()),
+            {rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)},
+            now,
+            1 + rng.Uniform(o.max_duration)};
+    ASSERT_OK(idx->Insert(e));
+    all.push_back(e);
+  }
+  ASSERT_OK(idx->Advance(now));
+  const TimeInterval win = idx->QueriablePeriod();
+
+  const Rect whole{{0, 0}, {1000, 1000}};
+  auto r = idx->IntervalQuery(whole, win);
+  ASSERT_TRUE(r.ok());
+  std::multiset<Key> got, expect;
+  for (const Entry& e : *r) got.insert({e.oid, e.start});
+  for (const Entry& e : all) {
+    if (e.start >= win.lo && e.start <= win.hi &&
+        e.ValidTimeOverlaps(win)) {
+      expect.insert({e.oid, e.start});
+    }
+  }
+  ASSERT_EQ(got, expect);
+}
+
+}  // namespace
+}  // namespace swst

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "swst/swst_index.h"
+#include "tests/test_util.h"
+
+namespace swst {
+namespace {
+
+SwstOptions SmallOptions() {
+  SwstOptions o;
+  o.space = Rect{{0, 0}, {1000, 1000}};
+  o.x_partitions = 4;
+  o.y_partitions = 4;
+  o.window_size = 1000;
+  o.slide = 50;
+  o.max_duration = 200;
+  o.duration_interval = 50;
+  o.zcurve_bits = 6;
+  return o;
+}
+
+class RetentionTest : public PoolTest {
+ protected:
+  std::unique_ptr<SwstIndex> Make(const SwstOptions& o) {
+    auto idx = SwstIndex::Create(pool(), o);
+    EXPECT_TRUE(idx.ok());
+    return std::move(*idx);
+  }
+};
+
+// The paper's §IV-B.d extension: entries with retention shorter than the
+// physical window are filtered in the refinement step. Here, odd object
+// ids have a retention of 300 time units.
+TEST_F(RetentionTest, PerEntryRetentionFiltersExpired) {
+  auto idx = Make(SmallOptions());
+  // Two entries with the same shape, different oids (= retention classes).
+  ASSERT_OK(idx->Insert(MakeEntry(2, 100, 100, 100, 150)));  // Even: full W.
+  ASSERT_OK(idx->Insert(MakeEntry(3, 110, 110, 100, 150)));  // Odd: 300.
+  ASSERT_OK(idx->Advance(500));
+
+  QueryOptions qo;
+  qo.retention_filter = [](const Entry& e, Timestamp now) {
+    const Timestamp retention = (e.oid % 2 == 1) ? 300 : 1000;
+    return e.start + retention >= now;
+  };
+
+  // At now=500, the odd entry (start 100, retention 300) has expired.
+  auto r = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}}, {100, 400}, qo);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].oid, 2u);
+
+  // Without the filter both are found (both are in the physical window).
+  auto r2 = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}}, {100, 400});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->size(), 2u);
+}
+
+TEST_F(RetentionTest, FilterAppliesToFullOverlapCellsToo) {
+  // Full spatial + full temporal cells normally skip refinement; with a
+  // retention filter every candidate must still be checked.
+  auto idx = Make(SmallOptions());
+  Random rng(31);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_OK(idx->Insert(MakeEntry(i, rng.UniformDouble(0, 1000),
+                                    rng.UniformDouble(0, 1000), 100,
+                                    200)));
+  }
+  ASSERT_OK(idx->Advance(600));
+  QueryOptions drop_all;
+  drop_all.retention_filter = [](const Entry&, Timestamp) { return false; };
+  // Whole-domain interval query hits full-overlap cells.
+  auto r = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}}, {150, 250},
+                              drop_all);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+
+  QueryOptions keep_all;
+  keep_all.retention_filter = [](const Entry&, Timestamp) { return true; };
+  auto r2 = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}}, {150, 250},
+                               keep_all);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->size(), 400u);
+}
+
+TEST_F(RetentionTest, FilterComposesWithLogicalWindow) {
+  auto idx = Make(SmallOptions());
+  ASSERT_OK(idx->Insert(MakeEntry(1, 100, 100, 100, 150)));
+  ASSERT_OK(idx->Insert(MakeEntry(2, 100, 100, 600, 150)));
+  ASSERT_OK(idx->Advance(900));
+
+  QueryOptions qo;
+  qo.logical_window = 500;  // Queriable from 400 on: excludes oid 1.
+  qo.retention_filter = [](const Entry& e, Timestamp) {
+    return e.oid != 2;  // Excludes oid 2.
+  };
+  auto r = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}}, {0, 900}, qo);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST_F(RetentionTest, RandomizedRetentionMatchesOracle) {
+  SwstOptions o = SmallOptions();
+  auto idx = Make(o);
+  Random rng(32);
+  std::vector<Entry> all;
+  for (int i = 0; i < 1200; ++i) {
+    Entry e = MakeEntry(i, rng.UniformDouble(0, 1000),
+                        rng.UniformDouble(0, 1000), i / 2,
+                        1 + rng.Uniform(200));
+    ASSERT_OK(idx->Insert(e));
+    all.push_back(e);
+  }
+  auto retention_of = [](const Entry& e) -> Timestamp {
+    return 100 + (e.oid % 7) * 120;
+  };
+  QueryOptions qo;
+  qo.retention_filter = [&](const Entry& e, Timestamp now) {
+    return e.start + retention_of(e) >= now;
+  };
+  const Timestamp now = idx->now();
+  const TimeInterval win = idx->QueriablePeriod();
+  for (int trial = 0; trial < 40; ++trial) {
+    const double x = rng.UniformDouble(0, 600);
+    const double y = rng.UniformDouble(0, 600);
+    const Rect area{{x, y}, {x + 400, y + 400}};
+    const TimeInterval q{win.lo + rng.Uniform(win.hi - win.lo + 1), 0};
+    const TimeInterval qq{q.lo, q.lo + rng.Uniform(150)};
+    auto r = idx->IntervalQuery(area, qq, qo);
+    ASSERT_TRUE(r.ok());
+    std::multiset<std::pair<ObjectId, Timestamp>> got, expect;
+    for (const Entry& e : *r) got.insert({e.oid, e.start});
+    for (const Entry& e : all) {
+      if (e.start >= win.lo && e.start <= win.hi && area.Contains(e.pos) &&
+          e.ValidTimeOverlaps(qq) && e.start + retention_of(e) >= now) {
+        expect.insert({e.oid, e.start});
+      }
+    }
+    ASSERT_EQ(got, expect) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace swst

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "swst/swst_index.h"
+#include "tests/test_util.h"
+
+namespace swst {
+namespace {
+
+// Long-running mixed workload across many epochs: streamed reports,
+// explicit closed inserts, arbitrary deletes, clock advances, and queries
+// (physical + logical windows), all oracle-checked. This is the "leave it
+// running for a week" test in miniature.
+
+SwstOptions SmallOptions() {
+  SwstOptions o;
+  o.space = Rect{{0, 0}, {1000, 1000}};
+  o.x_partitions = 4;
+  o.y_partitions = 4;
+  o.window_size = 800;
+  o.slide = 40;  // Sp = 21, epoch = 840.
+  o.max_duration = 160;
+  o.duration_interval = 40;
+  o.zcurve_bits = 5;
+  return o;
+}
+
+using Key = std::pair<ObjectId, Timestamp>;
+
+struct Oracle {
+  // Ground truth of everything ever alive; entries removed only by
+  // explicit Delete (window expiry is applied at query time).
+  std::vector<Entry> entries;
+
+  std::multiset<Key> Query(const Rect& area, TimeInterval q,
+                           const TimeInterval& win) const {
+    std::multiset<Key> out;
+    q.lo = std::max(q.lo, win.lo);
+    q.hi = std::min(q.hi, win.hi);
+    if (q.lo > q.hi) return out;
+    for (const Entry& e : entries) {
+      if (e.start < win.lo || e.start > win.hi) continue;
+      if (!area.Contains(e.pos)) continue;
+      if (!e.ValidTimeOverlaps(q)) continue;
+      out.insert({e.oid, e.start});
+    }
+    return out;
+  }
+};
+
+TEST(SwstTortureTest, TenEpochsOfEverything) {
+  const SwstOptions o = SmallOptions();
+  auto pager = Pager::OpenMemory();
+  BufferPool pool(pager.get(), 2048);
+  auto idx_or = SwstIndex::Create(&pool, o);
+  ASSERT_TRUE(idx_or.ok());
+  auto idx = std::move(*idx_or);
+
+  Random rng(20260705);
+  Oracle oracle;
+  std::map<ObjectId, Entry> open;  // Streamed objects' current entries.
+  ObjectId next_direct_oid = 1000000;  // Directly inserted closed entries.
+
+  Timestamp now = 0;
+  const Timestamp horizon = 20 * o.epoch_length();
+  int queries_checked = 0;
+
+  while (now < horizon) {
+    now += rng.Uniform(2);
+    const double dice = rng.NextDouble();
+
+    if (dice < 0.45) {
+      // Streamed report for one of 40 objects.
+      const ObjectId oid = rng.Uniform(40);
+      const Point pos{rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)};
+      auto it = open.find(oid);
+      const Entry* prev = (it != open.end()) ? &it->second : nullptr;
+      if (prev != nullptr && now <= prev->start) continue;
+      if (prev != nullptr && now - prev->start > o.max_duration) {
+        // Stays current forever (never split); oracle keeps it as current.
+        prev = nullptr;
+        open.erase(oid);
+      }
+      Entry cur;
+      ASSERT_OK(idx->ReportPosition(oid, pos, now, prev, &cur));
+      if (prev != nullptr) {
+        // Close the oracle copy.
+        for (Entry& e : oracle.entries) {
+          if (e.oid == oid && e.start == prev->start && e.is_current()) {
+            e.duration = now - prev->start;
+          }
+        }
+      }
+      oracle.entries.push_back(cur);
+      open[oid] = cur;
+    } else if (dice < 0.65) {
+      // Direct closed insert.
+      Entry e{next_direct_oid++,
+              {rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)},
+              now,
+              1 + rng.Uniform(o.max_duration)};
+      ASSERT_OK(idx->Insert(e));
+      oracle.entries.push_back(e);
+    } else if (dice < 0.72) {
+      // Arbitrary delete of a random still-in-window entry.
+      const TimeInterval win = idx->QueriablePeriod();
+      std::vector<size_t> candidates;
+      for (size_t i = 0; i < oracle.entries.size(); ++i) {
+        const Entry& e = oracle.entries[i];
+        if (e.start >= win.lo && e.start <= win.hi &&
+            e.oid >= 1000000) {  // Only direct inserts (not streamed).
+          candidates.push_back(i);
+        }
+      }
+      if (!candidates.empty()) {
+        const size_t pick = candidates[rng.Uniform(candidates.size())];
+        ASSERT_OK(idx->Delete(oracle.entries[pick]));
+        oracle.entries.erase(oracle.entries.begin() +
+                             static_cast<long>(pick));
+      }
+    } else if (dice < 0.78) {
+      // Explicit clock advance (may drop whole epochs).
+      now += rng.Uniform(o.epoch_length() / 8);
+      ASSERT_OK(idx->Advance(now));
+    } else {
+      // Query: random area, random interval, sometimes a logical window.
+      ASSERT_OK(idx->Advance(now));
+      const TimeInterval phys = idx->QueriablePeriod();
+      QueryOptions qo;
+      if (rng.Bernoulli(0.3)) {
+        qo.logical_window = 100 + rng.Uniform(o.window_size);
+      }
+      const TimeInterval win = idx->QueriablePeriod(qo.logical_window);
+      const double x = rng.UniformDouble(0, 700);
+      const double y = rng.UniformDouble(0, 700);
+      const Rect area{{x, y}, {x + rng.UniformDouble(50, 300),
+                               y + rng.UniformDouble(50, 300)}};
+      const Timestamp qlo = phys.lo + rng.Uniform(phys.hi - phys.lo + 1);
+      const TimeInterval q{qlo, qlo + rng.Uniform(120)};
+      auto r = idx->IntervalQuery(area, q, qo);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      std::multiset<Key> got;
+      for (const Entry& e : *r) got.insert({e.oid, e.start});
+      ASSERT_EQ(got, oracle.Query(area, q, win))
+          << "now=" << now << " logical=" << qo.logical_window;
+      queries_checked++;
+    }
+
+    // Periodically prune the oracle of entries so old they can never be
+    // queried again (keeps this test linear).
+    if (oracle.entries.size() > 20000) {
+      const TimeInterval win = idx->QueriablePeriod();
+      std::vector<Entry> kept;
+      for (const Entry& e : oracle.entries) {
+        if (e.start + 2 * o.epoch_length() >= win.lo) kept.push_back(e);
+      }
+      oracle.entries = std::move(kept);
+    }
+  }
+  EXPECT_GT(queries_checked, 600);
+  ASSERT_OK(idx->ValidateTrees());
+
+  // End state: everything in the final window agrees with the oracle.
+  const TimeInterval win = idx->QueriablePeriod();
+  auto r = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}}, win);
+  ASSERT_TRUE(r.ok());
+  std::multiset<Key> got;
+  for (const Entry& e : *r) got.insert({e.oid, e.start});
+  ASSERT_EQ(got, oracle.Query(Rect{{0, 0}, {1000, 1000}}, win, win));
+}
+
+}  // namespace
+}  // namespace swst

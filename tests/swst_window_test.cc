@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "swst/swst_index.h"
+#include "tests/test_util.h"
+
+namespace swst {
+namespace {
+
+SwstOptions SmallOptions() {
+  SwstOptions o;
+  o.space = Rect{{0, 0}, {1000, 1000}};
+  o.x_partitions = 4;
+  o.y_partitions = 4;
+  o.window_size = 1000;
+  o.slide = 50;  // Sp = 21, epoch = 1050.
+  o.max_duration = 200;
+  o.duration_interval = 50;
+  o.zcurve_bits = 6;
+  return o;
+}
+
+class SwstWindowTest : public PoolTest {
+ protected:
+  std::unique_ptr<SwstIndex> Make(const SwstOptions& o) {
+    auto idx = SwstIndex::Create(pool(), o);
+    EXPECT_TRUE(idx.ok());
+    return std::move(*idx);
+  }
+};
+
+TEST_F(SwstWindowTest, QueriablePeriodFollowsTheClock) {
+  SwstOptions o = SmallOptions();
+  auto idx = Make(o);
+  EXPECT_EQ(idx->QueriablePeriod().lo, 0u);
+  ASSERT_OK(idx->Advance(500));
+  EXPECT_EQ(idx->QueriablePeriod(), (TimeInterval{0, 500}));
+  ASSERT_OK(idx->Advance(1700));
+  // floor(1700/50)*50 - 1000 = 700.
+  EXPECT_EQ(idx->QueriablePeriod(), (TimeInterval{700, 1700}));
+  ASSERT_OK(idx->Advance(1749));
+  EXPECT_EQ(idx->QueriablePeriod(), (TimeInterval{700, 1749}));
+  ASSERT_OK(idx->Advance(1750));
+  EXPECT_EQ(idx->QueriablePeriod(), (TimeInterval{750, 1750}));
+}
+
+TEST_F(SwstWindowTest, LogicalWindowNarrowsThePeriod) {
+  SwstOptions o = SmallOptions();
+  auto idx = Make(o);
+  ASSERT_OK(idx->Advance(1700));
+  EXPECT_EQ(idx->QueriablePeriod(400), (TimeInterval{1300, 1700}));
+  // A logical window larger than W clamps to W.
+  EXPECT_EQ(idx->QueriablePeriod(5000), (TimeInterval{700, 1700}));
+}
+
+TEST_F(SwstWindowTest, ExpiredEntriesDisappearFromResults) {
+  SwstOptions o = SmallOptions();
+  auto idx = Make(o);
+  ASSERT_OK(idx->Insert(MakeEntry(1, 100, 100, 10, 100)));
+  ASSERT_OK(idx->Insert(MakeEntry(2, 100, 100, 900, 100)));
+
+  // Both inside the window at t=950.
+  ASSERT_OK(idx->Advance(950));
+  auto r = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}}, {0, 950});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+
+  // Advance so entry 1 (start 10) leaves the window: floor(1200/50)*50 -
+  // 1000 = 200 > 10.
+  ASSERT_OK(idx->Advance(1200));
+  r = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}}, {0, 1200});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].oid, 2u);
+}
+
+TEST_F(SwstWindowTest, TreeDropReclaimsPages) {
+  SwstOptions o = SmallOptions();
+  auto idx = Make(o);
+  Random rng(51);
+  // Fill epoch 0 densely.
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_OK(idx->Insert(MakeEntry(i, rng.UniformDouble(0, 1000),
+                                    rng.UniformDouble(0, 1000),
+                                    rng.Uniform(1000), 1 + rng.Uniform(200))));
+  }
+  const uint64_t pages_full = pager_->live_page_count();
+  EXPECT_GT(pages_full, 16u);
+
+  // Move time two epochs ahead: epoch 0's trees must be dropped.
+  ASSERT_OK(idx->Advance(2 * o.epoch_length() + 10));
+  const uint64_t pages_after = pager_->live_page_count();
+  EXPECT_LT(pages_after, pages_full / 2);
+}
+
+TEST_F(SwstWindowTest, WindowDropCostIndependentOfEntryCount) {
+  // The paper's central claim: deleting an expired window is "almost no
+  // overhead". Dropping N entries must cost O(pages), not O(N) node
+  // accesses, and each dropped page is touched exactly once.
+  SwstOptions o = SmallOptions();
+  auto idx = Make(o);
+  Random rng(52);
+  for (int i = 0; i < 8000; ++i) {
+    ASSERT_OK(idx->Insert(MakeEntry(i, rng.UniformDouble(0, 1000),
+                                    rng.UniformDouble(0, 1000),
+                                    rng.Uniform(1000), 1 + rng.Uniform(200))));
+  }
+  const uint64_t pages = pager_->live_page_count();
+  const uint64_t reads_before = pool()->stats().logical_reads;
+  ASSERT_OK(idx->Advance(2 * o.epoch_length() + 10));
+  const uint64_t reads = pool()->stats().logical_reads - reads_before;
+  EXPECT_LE(reads, pages + 32);  // One fetch per dropped page (+ slack).
+}
+
+TEST_F(SwstWindowTest, EntriesSurviveAcrossEpochBoundary) {
+  SwstOptions o = SmallOptions();
+  auto idx = Make(o);
+  const Timestamp e0_end = o.epoch_length() - 1;  // 1049.
+  ASSERT_OK(idx->Insert(MakeEntry(1, 100, 100, e0_end - 5, 100)));
+  ASSERT_OK(idx->Insert(MakeEntry(2, 100, 100, e0_end + 5, 100)));
+  ASSERT_OK(idx->Advance(e0_end + 50));
+  // Window covers both entries (different epochs, different trees).
+  auto r = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}},
+                              {e0_end - 10, e0_end + 20});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST_F(SwstWindowTest, ModuloFoldReusesKeySpace) {
+  // Insert in epoch 0, expire it, insert in epoch 2 (same slot after the
+  // fold): old entries must never resurface.
+  SwstOptions o = SmallOptions();
+  auto idx = Make(o);
+  const Timestamp E = o.epoch_length();
+  ASSERT_OK(idx->Insert(MakeEntry(1, 100, 100, 50, 100)));
+  ASSERT_OK(idx->Insert(MakeEntry(2, 100, 100, 2 * E + 50, 100)));
+
+  auto r = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}},
+                              {2 * E, 2 * E + 100});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].oid, 2u);
+  ASSERT_OK(idx->ValidateTrees());
+}
+
+TEST_F(SwstWindowTest, LargeEpochJumpDropsBothTrees) {
+  SwstOptions o = SmallOptions();
+  auto idx = Make(o);
+  Random rng(53);
+  for (int i = 0; i < 1000; ++i) {
+    // Starts bounded by the window size so no entry is expired on arrival
+    // (the stream is generated out of start order here).
+    ASSERT_OK(idx->Insert(MakeEntry(i, rng.UniformDouble(0, 1000),
+                                    rng.UniformDouble(0, 1000),
+                                    rng.Uniform(900), 1 + rng.Uniform(200))));
+  }
+  ASSERT_OK(idx->Advance(10 * o.epoch_length()));
+  auto count = idx->CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+  // And a fresh insert works fine afterwards.
+  ASSERT_OK(idx->Insert(MakeEntry(9999, 5, 5, 10 * o.epoch_length() + 1, 10)));
+  count = idx->CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1u);
+}
+
+TEST_F(SwstWindowTest, LogicalWindowQueriesSubsetPhysical) {
+  SwstOptions o = SmallOptions();
+  auto idx = Make(o);
+  Random rng(54);
+  std::vector<Entry> all;
+  for (int i = 0; i < 1200; ++i) {
+    Entry e = MakeEntry(i, rng.UniformDouble(0, 1000),
+                        rng.UniformDouble(0, 1000), i, 1 + rng.Uniform(200));
+    ASSERT_OK(idx->Insert(e));
+    all.push_back(e);
+  }
+  const Rect area{{0, 0}, {1000, 1000}};
+  const Timestamp tau = idx->now();
+
+  QueryOptions physical;
+  QueryOptions logical;
+  logical.logical_window = 300;
+  auto rp = idx->IntervalQuery(area, {0, tau}, physical);
+  auto rl = idx->IntervalQuery(area, {0, tau}, logical);
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(rl.ok());
+  EXPECT_LT(rl->size(), rp->size());
+
+  // The logical result is exactly the physical result restricted to the
+  // logical period.
+  const TimeInterval lwin = idx->QueriablePeriod(300);
+  std::multiset<std::pair<ObjectId, Timestamp>> expect, got;
+  for (const Entry& e : *rp) {
+    if (e.start >= lwin.lo) expect.insert({e.oid, e.start});
+  }
+  for (const Entry& e : *rl) got.insert({e.oid, e.start});
+  EXPECT_EQ(got, expect);
+}
+
+TEST_F(SwstWindowTest, VariableRetentionViaLogicalWindows) {
+  // The paper's limited-disclosure scenario: providers get different
+  // logical history lengths over one physical store.
+  SwstOptions o = SmallOptions();
+  auto idx = Make(o);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(idx->Insert(
+        MakeEntry(i, 500, 500, static_cast<Timestamp>(100 * i + 5), 50)));
+  }
+  ASSERT_OK(idx->Advance(1000));
+  const Rect area{{0, 0}, {1000, 1000}};
+  size_t prev = 0;
+  for (Timestamp w : {Timestamp{200}, Timestamp{500}, Timestamp{1000}}) {
+    QueryOptions qo;
+    qo.logical_window = w;
+    auto r = idx->IntervalQuery(area, {0, 1000}, qo);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GE(r->size(), prev);
+    prev = r->size();
+  }
+  EXPECT_EQ(prev, 10u);
+}
+
+}  // namespace
+}  // namespace swst

@@ -1,0 +1,205 @@
+#include "swst/temporal_key.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+
+namespace swst {
+namespace {
+
+SwstOptions DefaultOptions() {
+  SwstOptions o;  // Paper Table II defaults.
+  return o;
+}
+
+TEST(SwstOptionsTest, DerivedQuantitiesMatchPaperDefaults) {
+  SwstOptions o = DefaultOptions();
+  ASSERT_OK(o.Validate());
+  EXPECT_EQ(o.wmax(), 20099u);          // W + (L - 1)
+  EXPECT_EQ(o.s_partitions(), 201u);    // ceil(Wmax / L)
+  EXPECT_EQ(o.epoch_length(), 20100u);  // Sp * L
+  EXPECT_EQ(o.d_partitions(), 20u);     // ceil(Dmax / delta)
+  EXPECT_EQ(o.d_partition_slots(), 21u);
+}
+
+TEST(SwstOptionsTest, ValidateRejectsBadParameters) {
+  SwstOptions o = DefaultOptions();
+  o.window_size = 0;
+  EXPECT_FALSE(o.Validate().ok());
+
+  o = DefaultOptions();
+  o.slide = 0;
+  EXPECT_FALSE(o.Validate().ok());
+
+  o = DefaultOptions();
+  o.slide = o.window_size + 1;
+  EXPECT_FALSE(o.Validate().ok());
+
+  o = DefaultOptions();
+  o.duration_interval = o.max_duration + 1;
+  EXPECT_FALSE(o.Validate().ok());
+
+  o = DefaultOptions();
+  o.x_partitions = 0;
+  EXPECT_FALSE(o.Validate().ok());
+
+  o = DefaultOptions();
+  o.zcurve_bits = 17;
+  EXPECT_FALSE(o.Validate().ok());
+
+  o = DefaultOptions();
+  o.space = Rect::Empty();
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(KeyCodecTest, EpochAndSlotAlternate) {
+  KeyCodec codec(DefaultOptions());
+  const Timestamp e = DefaultOptions().epoch_length();
+  EXPECT_EQ(codec.Epoch(0), 0u);
+  EXPECT_EQ(codec.Epoch(e - 1), 0u);
+  EXPECT_EQ(codec.Epoch(e), 1u);
+  EXPECT_EQ(codec.Slot(0), 0);
+  EXPECT_EQ(codec.Slot(e), 1);
+  EXPECT_EQ(codec.Slot(2 * e), 0);
+  EXPECT_EQ(codec.Slot(3 * e + 5), 1);
+}
+
+TEST(KeyCodecTest, SPartitionFieldFoldsIntoTwoHalves) {
+  SwstOptions o = DefaultOptions();
+  KeyCodec codec(o);
+  const Timestamp e = o.epoch_length();
+  const uint32_t sp = o.s_partitions();
+  // Epoch 0 lands in [0, Sp).
+  EXPECT_EQ(codec.SPartitionField(0), 0u);
+  EXPECT_EQ(codec.SPartitionField(o.slide), 1u);
+  EXPECT_EQ(codec.SPartitionField(e - 1), sp - 1);
+  // Epoch 1 lands in [Sp, 2*Sp).
+  EXPECT_EQ(codec.SPartitionField(e), sp);
+  EXPECT_EQ(codec.SPartitionField(2 * e - 1), 2 * sp - 1);
+  // Epoch 2 folds back onto epoch 0's half.
+  EXPECT_EQ(codec.SPartitionField(2 * e), 0u);
+  EXPECT_EQ(codec.SPartitionField(2 * e + o.slide), 1u);
+}
+
+TEST(KeyCodecTest, DPartitionBucketsClosedDurations) {
+  SwstOptions o = DefaultOptions();  // delta = 100, Dmax = 2000, Dp = 20.
+  KeyCodec codec(o);
+  EXPECT_EQ(codec.DPartition(1), 0u);
+  EXPECT_EQ(codec.DPartition(100), 0u);
+  EXPECT_EQ(codec.DPartition(101), 1u);
+  EXPECT_EQ(codec.DPartition(200), 1u);
+  EXPECT_EQ(codec.DPartition(2000), 19u);
+  // Current entries get the reserved top partition Dp.
+  EXPECT_EQ(codec.DPartition(kUnknownDuration), 20u);
+  EXPECT_EQ(codec.d_partition_current(), 20u);
+}
+
+TEST(KeyCodecTest, KeyOrderedBySThenDThenZ) {
+  SwstOptions o = DefaultOptions();
+  KeyCodec codec(o);
+  // Higher s-partition dominates everything else.
+  EXPECT_LT(codec.MakeKey(0, 2000, 255, 255), codec.MakeKey(o.slide, 1, 0, 0));
+  // Within an s-partition, higher d-partition dominates z.
+  EXPECT_LT(codec.MakeKey(0, 100, 255, 255), codec.MakeKey(50, 101, 0, 0));
+  // Within a temporal cell, Z-order of the quantized position.
+  EXPECT_LT(codec.MakeKey(0, 1, 0, 0), codec.MakeKey(0, 1, 1, 0));
+}
+
+TEST(KeyCodecTest, DecodeRecoversFields) {
+  SwstOptions o = DefaultOptions();
+  KeyCodec codec(o);
+  Random rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const Timestamp s = rng.Uniform(10 * o.epoch_length());
+    const Duration d = 1 + rng.Uniform(o.max_duration);
+    const uint32_t qx = static_cast<uint32_t>(rng.Uniform(256));
+    const uint32_t qy = static_cast<uint32_t>(rng.Uniform(256));
+    const uint64_t key = codec.MakeKey(s, d, qx, qy);
+    ASSERT_EQ(codec.DecodeSPartition(key), codec.SPartitionField(s));
+    ASSERT_EQ(codec.DecodeDPartition(key), codec.DPartition(d));
+  }
+}
+
+TEST(KeyCodecTest, MinMaxKeysBracketAllCellKeys) {
+  SwstOptions o = DefaultOptions();
+  KeyCodec codec(o);
+  Random rng(4);
+  for (int trial = 0; trial < 500; ++trial) {
+    const uint32_t sp = static_cast<uint32_t>(rng.Uniform(
+        2 * o.s_partitions()));
+    const uint32_t dp = static_cast<uint32_t>(rng.Uniform(
+        o.d_partition_slots()));
+    const uint32_t qx1 = static_cast<uint32_t>(rng.Uniform(200));
+    const uint32_t qy1 = static_cast<uint32_t>(rng.Uniform(200));
+    const uint32_t qx2 = qx1 + static_cast<uint32_t>(rng.Uniform(56));
+    const uint32_t qy2 = qy1 + static_cast<uint32_t>(rng.Uniform(56));
+    const uint64_t lo = codec.MinKey(sp, dp, qx1, qy1);
+    const uint64_t hi = codec.MaxKey(sp, dp, qx2, qy2);
+    // Any point inside the quantized rect must produce a key within.
+    for (int probe = 0; probe < 20; ++probe) {
+      const uint32_t px = qx1 + static_cast<uint32_t>(
+          rng.Uniform(qx2 - qx1 + 1));
+      const uint32_t py = qy1 + static_cast<uint32_t>(
+          rng.Uniform(qy2 - qy1 + 1));
+      const uint64_t k = codec.MinKey(sp, dp, px, py);
+      ASSERT_GE(k, lo);
+      ASSERT_LE(k, hi);
+    }
+  }
+}
+
+TEST(KeyCodecTest, QuantizeClampsToGrid) {
+  SwstOptions o = DefaultOptions();
+  o.zcurve_bits = 4;  // 16 cells.
+  KeyCodec codec(o);
+  EXPECT_EQ(codec.Quantize(0.0, 500.0), 0u);
+  EXPECT_EQ(codec.Quantize(499.999, 500.0), 15u);
+  EXPECT_EQ(codec.Quantize(500.0, 500.0), 15u);   // Boundary clamps.
+  EXPECT_EQ(codec.Quantize(-1.0, 500.0), 0u);     // Underflow clamps.
+  EXPECT_EQ(codec.Quantize(250.0, 500.0), 8u);
+}
+
+TEST(KeyCodecTest, NoZCurveVariantSaturatesSpatialBits) {
+  SwstOptions o = DefaultOptions();
+  o.use_zcurve = false;
+  KeyCodec codec(o);
+  // Min key zeroes the z field, max key saturates it: all spatial
+  // positions fall inside every cell range.
+  const uint64_t lo = codec.MinKey(3, 2, 200, 200);
+  const uint64_t hi = codec.MaxKey(3, 2, 10, 10);
+  SwstOptions oz = DefaultOptions();
+  KeyCodec zcodec(oz);
+  for (uint32_t q = 0; q < 256; q += 17) {
+    const uint64_t k = zcodec.MakeKey(3 * oz.slide, 150 + 2 * 0, q, q);
+    (void)k;
+  }
+  EXPECT_LT(lo, hi);
+  EXPECT_EQ(codec.DecodeDPartition(lo), 2u);
+  EXPECT_EQ(codec.DecodeDPartition(hi), 2u);
+}
+
+TEST(KeyCodecTest, BitsForCountsCorrectly) {
+  EXPECT_EQ(KeyCodec::BitsFor(0), 1);
+  EXPECT_EQ(KeyCodec::BitsFor(1), 1);
+  EXPECT_EQ(KeyCodec::BitsFor(2), 2);
+  EXPECT_EQ(KeyCodec::BitsFor(3), 2);
+  EXPECT_EQ(KeyCodec::BitsFor(4), 3);
+  EXPECT_EQ(KeyCodec::BitsFor(255), 8);
+  EXPECT_EQ(KeyCodec::BitsFor(256), 9);
+}
+
+TEST(KeyCodecTest, KeyWidthBoundedRegardlessOfTime) {
+  // The paper's claim: because of the modulo fold, key width does not
+  // grow with time. Encode entries billions of ticks apart and check the
+  // s-field stays within its bit budget.
+  SwstOptions o = DefaultOptions();
+  KeyCodec codec(o);
+  const uint64_t max_field = (1ULL << codec.s_bits()) - 1;
+  for (Timestamp s : {Timestamp{0}, Timestamp{1000000}, Timestamp{1} << 40}) {
+    EXPECT_LE(codec.SPartitionField(s), max_field);
+  }
+}
+
+}  // namespace
+}  // namespace swst

@@ -1,0 +1,46 @@
+#ifndef SWST_TESTS_TEST_UTIL_H_
+#define SWST_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/types.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+
+namespace swst {
+
+/// Converts a Status into a gtest AssertionResult, carrying the message.
+inline ::testing::AssertionResult StatusIsOk(const Status& s) {
+  if (s.ok()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << "status: " << s.ToString();
+}
+
+/// Asserts that a Status-returning expression succeeded. Streams compose:
+/// `ASSERT_OK(expr) << "context"`.
+#define ASSERT_OK(expr) ASSERT_TRUE(::swst::StatusIsOk((expr)))
+#define EXPECT_OK(expr) EXPECT_TRUE(::swst::StatusIsOk((expr)))
+
+/// Test fixture with an in-memory pager and a generously sized buffer pool.
+class PoolTest : public ::testing::Test {
+ protected:
+  explicit PoolTest(size_t capacity = 4096)
+      : pager_(Pager::OpenMemory()),
+        pool_(std::make_unique<BufferPool>(pager_.get(), capacity)) {}
+
+  BufferPool* pool() { return pool_.get(); }
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+/// Builds a closed entry.
+inline Entry MakeEntry(ObjectId oid, double x, double y, Timestamp s,
+                       Duration d) {
+  return Entry{oid, Point{x, y}, s, d};
+}
+
+}  // namespace swst
+
+#endif  // SWST_TESTS_TEST_UTIL_H_

@@ -1,0 +1,92 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+namespace swst {
+namespace {
+
+TEST(RectTest, EmptyRectContainsNothing) {
+  Rect r = Rect::Empty();
+  EXPECT_TRUE(r.IsEmpty());
+  EXPECT_FALSE(r.Contains({0, 0}));
+  EXPECT_EQ(r.Area(), 0.0);
+}
+
+TEST(RectTest, ContainsIsInclusive) {
+  Rect r{{0, 0}, {10, 10}};
+  EXPECT_TRUE(r.Contains({0, 0}));
+  EXPECT_TRUE(r.Contains({10, 10}));
+  EXPECT_TRUE(r.Contains({5, 5}));
+  EXPECT_FALSE(r.Contains({10.0001, 5}));
+  EXPECT_FALSE(r.Contains({-0.0001, 5}));
+}
+
+TEST(RectTest, IntersectsAtSharedEdge) {
+  Rect a{{0, 0}, {10, 10}};
+  Rect b{{10, 0}, {20, 10}};
+  EXPECT_TRUE(a.Intersects(b));
+  Rect c{{10.5, 0}, {20, 10}};
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(RectTest, ContainsRect) {
+  Rect a{{0, 0}, {10, 10}};
+  EXPECT_TRUE(a.ContainsRect(Rect{{2, 2}, {8, 8}}));
+  EXPECT_TRUE(a.ContainsRect(a));
+  EXPECT_FALSE(a.ContainsRect(Rect{{2, 2}, {11, 8}}));
+  EXPECT_FALSE(a.ContainsRect(Rect::Empty()));
+}
+
+TEST(RectTest, ExpandGrowsToCover) {
+  Rect r = Rect::Empty();
+  r.Expand(Point{3, 4});
+  EXPECT_TRUE(r.Contains({3, 4}));
+  r.Expand(Point{-1, 10});
+  EXPECT_TRUE(r.Contains({-1, 10}));
+  EXPECT_TRUE(r.Contains({0, 7}));
+  EXPECT_DOUBLE_EQ(r.Width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.Height(), 6.0);
+}
+
+TEST(TimeIntervalTest, ContainsIsInclusive) {
+  TimeInterval t{10, 20};
+  EXPECT_TRUE(t.Contains(10));
+  EXPECT_TRUE(t.Contains(20));
+  EXPECT_FALSE(t.Contains(9));
+  EXPECT_FALSE(t.Contains(21));
+}
+
+TEST(EntryTest, CurrentEntryHasUnknownDuration) {
+  Entry e{1, {0, 0}, 100, kUnknownDuration};
+  EXPECT_TRUE(e.is_current());
+  Entry f{1, {0, 0}, 100, 50};
+  EXPECT_FALSE(f.is_current());
+  EXPECT_EQ(f.end(), 150u);
+}
+
+TEST(EntryTest, ValidTimeOverlapHalfOpenSemantics) {
+  // Valid time is [start, start + duration): the end instant is excluded.
+  Entry e{1, {0, 0}, 100, 50};
+  EXPECT_TRUE(e.ValidTimeOverlaps({100, 100}));
+  EXPECT_TRUE(e.ValidTimeOverlaps({149, 149}));
+  EXPECT_FALSE(e.ValidTimeOverlaps({150, 150}));
+  EXPECT_FALSE(e.ValidTimeOverlaps({0, 99}));
+  EXPECT_TRUE(e.ValidTimeOverlaps({0, 100}));
+  EXPECT_TRUE(e.ValidTimeOverlaps({149, 500}));
+  EXPECT_FALSE(e.ValidTimeOverlaps({150, 500}));
+}
+
+TEST(EntryTest, CurrentEntryOverlapsEverythingAfterStart) {
+  Entry e{1, {0, 0}, 100, kUnknownDuration};
+  EXPECT_TRUE(e.ValidTimeOverlaps({100, 100}));
+  EXPECT_TRUE(e.ValidTimeOverlaps({1000000, 2000000}));
+  EXPECT_FALSE(e.ValidTimeOverlaps({0, 99}));
+}
+
+TEST(EntryTest, ToStringMentionsCurrent) {
+  Entry e{7, {1, 2}, 5, kUnknownDuration};
+  EXPECT_NE(e.ToString().find("current"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swst

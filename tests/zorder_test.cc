@@ -1,0 +1,117 @@
+#include "zorder/zorder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace swst {
+namespace {
+
+TEST(ZOrderTest, KnownSmallValues) {
+  EXPECT_EQ(ZEncode(0, 0), 0u);
+  EXPECT_EQ(ZEncode(1, 0), 1u);
+  EXPECT_EQ(ZEncode(0, 1), 2u);
+  EXPECT_EQ(ZEncode(1, 1), 3u);
+  EXPECT_EQ(ZEncode(2, 0), 4u);
+  EXPECT_EQ(ZEncode(2, 2), 12u);
+  EXPECT_EQ(ZEncode(3, 3), 15u);
+}
+
+TEST(ZOrderTest, EncodeDecodeRoundTrip) {
+  Random rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    uint32_t x = static_cast<uint32_t>(rng.Next());
+    uint32_t y = static_cast<uint32_t>(rng.Next());
+    uint32_t dx, dy;
+    ZDecode(ZEncode(x, y), &dx, &dy);
+    ASSERT_EQ(dx, x);
+    ASSERT_EQ(dy, y);
+  }
+}
+
+// The property SWST relies on (paper §III-B.2 / Fig. 2): within any
+// rectangle, the lower-left corner has the minimum Z-value and the
+// upper-right corner the maximum.
+TEST(ZOrderTest, MonotoneInBothCoordinates) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    uint32_t x1 = static_cast<uint32_t>(rng.Uniform(1 << 16));
+    uint32_t y1 = static_cast<uint32_t>(rng.Uniform(1 << 16));
+    uint32_t x2 = x1 + static_cast<uint32_t>(rng.Uniform(1 << 10));
+    uint32_t y2 = y1 + static_cast<uint32_t>(rng.Uniform(1 << 10));
+    ASSERT_LE(ZEncode(x1, y1), ZEncode(x2, y2));
+  }
+}
+
+TEST(ZOrderTest, CornerExtremalityOverExhaustiveRectangles) {
+  // All rectangles in an 8x8 grid: every inner point's Z-value lies
+  // between the corners' Z-values.
+  for (uint32_t x1 = 0; x1 < 8; ++x1) {
+    for (uint32_t y1 = 0; y1 < 8; ++y1) {
+      for (uint32_t x2 = x1; x2 < 8; ++x2) {
+        for (uint32_t y2 = y1; y2 < 8; ++y2) {
+          const uint64_t zmin = ZEncode(x1, y1);
+          const uint64_t zmax = ZEncode(x2, y2);
+          for (uint32_t x = x1; x <= x2; ++x) {
+            for (uint32_t y = y1; y <= y2; ++y) {
+              const uint64_t z = ZEncode(x, y);
+              ASSERT_GE(z, zmin);
+              ASSERT_LE(z, zmax);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ZOrderTest, ZInRectMatchesDecode) {
+  Random rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t x = static_cast<uint32_t>(rng.Uniform(256));
+    uint32_t y = static_cast<uint32_t>(rng.Uniform(256));
+    uint64_t z = ZEncode(x, y);
+    EXPECT_TRUE(ZInRect(z, x, y, x, y));
+    EXPECT_EQ(ZInRect(z, 10, 10, 20, 20),
+              (x >= 10 && x <= 20 && y >= 10 && y <= 20));
+  }
+}
+
+TEST(ZOrderTest, BigMinSkipsOutsideRuns) {
+  // Exhaustive check on a small grid: BIGMIN must equal the smallest
+  // in-rectangle Z-value greater than z.
+  const uint32_t n = 16;
+  for (uint32_t min_x = 0; min_x < n; min_x += 3) {
+    for (uint32_t min_y = 0; min_y < n; min_y += 3) {
+      for (uint32_t max_x = min_x; max_x < n; max_x += 3) {
+        for (uint32_t max_y = min_y; max_y < n; max_y += 3) {
+          for (uint64_t z = 0; z < n * n; ++z) {
+            // Brute-force expected BIGMIN.
+            uint64_t expected = UINT64_MAX;
+            for (uint64_t c = z + 1; c < n * n; ++c) {
+              if (ZInRect(c, min_x, min_y, max_x, max_y)) {
+                expected = c;
+                break;
+              }
+            }
+            uint64_t got = UINT64_MAX;
+            bool found = ZBigMin(z, min_x, min_y, max_x, max_y, &got);
+            if (expected == UINT64_MAX) {
+              ASSERT_FALSE(found)
+                  << "z=" << z << " rect=(" << min_x << "," << min_y << ")-("
+                  << max_x << "," << max_y << ") got " << got;
+            } else {
+              ASSERT_TRUE(found) << "z=" << z;
+              ASSERT_EQ(got, expected)
+                  << "z=" << z << " rect=(" << min_x << "," << min_y << ")-("
+                  << max_x << "," << max_y << ")";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swst

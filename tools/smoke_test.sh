@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Smoke tests for swst_cli. Usage: smoke_test.sh <path-to-swst_cli> <mode>
+# Modes: basic | persistence
+set -eu
+
+CLI="$1"
+MODE="$2"
+FLAGS="--space 1000 --window 600 --slide 20 --dmax 100 --delta 20 --grid 10"
+
+case "$MODE" in
+  basic)
+    out=$(printf 'report 1 10 20 100\nreport 2 400 400 120\nslice 0 0 50 50 110\nquery 0 0 1000 1000 100 150\nstats\nquit\n' \
+          | "$CLI" $FLAGS)
+    echo "$out"
+    echo "$out" | grep -q 'results 1'
+    echo "$out" | grep -q 'results 2'
+    echo "$out" | grep -q 'entries=2'
+    ;;
+  persistence)
+    db=$(mktemp -u /tmp/swst_cli_XXXXXX.db)
+    trap 'rm -f "$db"' EXIT
+    printf 'insert 7 10 10 5 50\nquit\n' | "$CLI" --db "$db" $FLAGS > /dev/null
+    out=$(printf 'advance 30\nslice 0 0 50 50 30\nquit\n' | "$CLI" --db "$db" $FLAGS)
+    echo "$out"
+    echo "$out" | grep -q 'reopened'
+    echo "$out" | grep -q 'results 1'
+    ;;
+  *)
+    echo "unknown mode: $MODE" >&2
+    exit 2
+    ;;
+esac

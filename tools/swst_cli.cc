@@ -1,0 +1,321 @@
+// swst_cli — interactive / scriptable shell over an SWST index.
+//
+// Usage:
+//   swst_cli [--db FILE] [--window W] [--slide L] [--dmax D] [--delta d]
+//            [--grid N] [--space MAX] [--pool PAGES]
+//
+// With --db the index is opened from (or created at) FILE and persisted on
+// `save` / `quit`; without it an in-memory index is used. Commands are read
+// line by line from stdin (also works interactively):
+//
+//   report <oid> <x> <y> <t>          stream a position report
+//   insert <oid> <x> <y> <s> <d>      insert a closed entry
+//   delete <oid> <x> <y> <s> <d>      delete a specific entry
+//   query <xlo> <ylo> <xhi> <yhi> <tlo> <thi> [W']   interval query
+//   slice <xlo> <ylo> <xhi> <yhi> <t> [W']           timeslice query
+//   knn <x> <y> <k> <tlo> <thi>       k nearest entries
+//   advance <t>                       move the clock / expire windows
+//   window                            print the queriable period
+//   stats                             index statistics
+//   save                              persist (needs --db)
+//   help | quit
+//
+// Example:
+//   printf 'report 1 10 20 100\nslice 0 0 50 50 100\nquit\n' | swst_cli
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "swst/swst_index.h"
+
+namespace {
+
+using namespace swst;
+
+struct CliConfig {
+  std::string db_path;
+  SwstOptions options;
+  size_t pool_pages = 4096;
+};
+
+void PrintEntry(const Entry& e) {
+  if (e.is_current()) {
+    std::printf("entry oid=%llu x=%.3f y=%.3f start=%llu duration=current\n",
+                static_cast<unsigned long long>(e.oid), e.pos.x, e.pos.y,
+                static_cast<unsigned long long>(e.start));
+  } else {
+    std::printf("entry oid=%llu x=%.3f y=%.3f start=%llu duration=%llu\n",
+                static_cast<unsigned long long>(e.oid), e.pos.x, e.pos.y,
+                static_cast<unsigned long long>(e.start),
+                static_cast<unsigned long long>(e.duration));
+  }
+}
+
+int Fail(const Status& st) {
+  std::printf("error: %s\n", st.ToString().c_str());
+  return 0;  // Keep the shell alive; scripting decides via output.
+}
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  report <oid> <x> <y> <t>\n"
+      "  insert <oid> <x> <y> <start> <duration>\n"
+      "  delete <oid> <x> <y> <start> <duration>\n"
+      "  query <xlo> <ylo> <xhi> <yhi> <tlo> <thi> [logical_window]\n"
+      "  slice <xlo> <ylo> <xhi> <yhi> <t> [logical_window]\n"
+      "  knn <x> <y> <k> <tlo> <thi>\n"
+      "  advance <t> | window | stats | save | help | quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--db") == 0) {
+      cfg.db_path = next("--db");
+    } else if (std::strcmp(argv[i], "--window") == 0) {
+      cfg.options.window_size = std::strtoull(next("--window"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--slide") == 0) {
+      cfg.options.slide = std::strtoull(next("--slide"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--dmax") == 0) {
+      cfg.options.max_duration = std::strtoull(next("--dmax"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--delta") == 0) {
+      cfg.options.duration_interval =
+          std::strtoull(next("--delta"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--grid") == 0) {
+      const uint32_t n =
+          static_cast<uint32_t>(std::strtoul(next("--grid"), nullptr, 10));
+      cfg.options.x_partitions = n;
+      cfg.options.y_partitions = n;
+    } else if (std::strcmp(argv[i], "--space") == 0) {
+      const double m = std::strtod(next("--space"), nullptr);
+      cfg.options.space = Rect{{0, 0}, {m, m}};
+    } else if (std::strcmp(argv[i], "--pool") == 0) {
+      cfg.pool_pages = std::strtoull(next("--pool"), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  // Storage: file-backed (persistent) or in-memory.
+  std::unique_ptr<Pager> pager;
+  bool fresh = true;
+  if (!cfg.db_path.empty()) {
+    // Reuse an existing database file when present.
+    FILE* probe = std::fopen(cfg.db_path.c_str(), "rb");
+    fresh = (probe == nullptr);
+    if (probe != nullptr) std::fclose(probe);
+    auto p = Pager::OpenFile(cfg.db_path, /*truncate=*/fresh);
+    if (!p.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", cfg.db_path.c_str(),
+                   p.status().ToString().c_str());
+      return 1;
+    }
+    pager = std::move(*p);
+  } else {
+    pager = Pager::OpenMemory();
+  }
+  BufferPool pool(pager.get(), cfg.pool_pages);
+
+  // The metadata page chain head lives at a known page right after the
+  // superblock; we stash its id in a tiny sidecar convention: page 1.
+  std::unique_ptr<SwstIndex> index;
+  PageId meta = kInvalidPageId;
+  if (!fresh) {
+    meta = 1;  // Save() below allocates the chain head first, so it is 1.
+    auto idx = SwstIndex::Open(&pool, cfg.options, meta);
+    if (!idx.ok()) {
+      std::fprintf(stderr, "reopen failed (%s); pass matching options\n",
+                   idx.status().ToString().c_str());
+      return 1;
+    }
+    index = std::move(*idx);
+    std::printf("reopened %s: now=%llu\n", cfg.db_path.c_str(),
+                static_cast<unsigned long long>(index->now()));
+  } else {
+    auto idx = SwstIndex::Create(&pool, cfg.options);
+    if (!idx.ok()) {
+      std::fprintf(stderr, "create: %s\n", idx.status().ToString().c_str());
+      return 1;
+    }
+    index = std::move(*idx);
+    if (!cfg.db_path.empty()) {
+      // Allocate the metadata chain immediately so its head is page 1.
+      Status st = index->Save(&meta);
+      if (!st.ok()) {
+        std::fprintf(stderr, "save: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  std::unordered_map<ObjectId, Entry> open_entries;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') continue;
+
+    if (cmd == "quit" || cmd == "exit") {
+      break;
+    } else if (cmd == "help") {
+      PrintHelp();
+    } else if (cmd == "report") {
+      ObjectId oid;
+      double x, y;
+      Timestamp t;
+      if (!(in >> oid >> x >> y >> t)) {
+        std::printf("usage: report <oid> <x> <y> <t>\n");
+        continue;
+      }
+      auto it = open_entries.find(oid);
+      Entry cur;
+      Status st = index->ReportPosition(
+          oid, {x, y}, t, it != open_entries.end() ? &it->second : nullptr,
+          &cur);
+      if (!st.ok()) {
+        Fail(st);
+        continue;
+      }
+      open_entries[oid] = cur;
+      std::printf("ok now=%llu\n",
+                  static_cast<unsigned long long>(index->now()));
+    } else if (cmd == "insert" || cmd == "delete") {
+      ObjectId oid;
+      double x, y;
+      Timestamp s;
+      std::string dur;
+      if (!(in >> oid >> x >> y >> s >> dur)) {
+        std::printf("usage: %s <oid> <x> <y> <start> <duration|current>\n",
+                    cmd.c_str());
+        continue;
+      }
+      Entry e{oid, {x, y}, s,
+              dur == "current" ? kUnknownDuration
+                               : std::strtoull(dur.c_str(), nullptr, 10)};
+      Status st = (cmd == "insert") ? index->Insert(e) : index->Delete(e);
+      if (!st.ok()) {
+        Fail(st);
+        continue;
+      }
+      std::printf("ok\n");
+    } else if (cmd == "query" || cmd == "slice") {
+      double xlo, ylo, xhi, yhi;
+      Timestamp tlo, thi;
+      if (!(in >> xlo >> ylo >> xhi >> yhi >> tlo)) {
+        std::printf("usage: %s <xlo> <ylo> <xhi> <yhi> <t...>\n",
+                    cmd.c_str());
+        continue;
+      }
+      if (cmd == "query") {
+        if (!(in >> thi)) {
+          std::printf("usage: query <xlo> <ylo> <xhi> <yhi> <tlo> <thi>\n");
+          continue;
+        }
+      } else {
+        thi = tlo;
+      }
+      QueryOptions qo;
+      Timestamp lw;
+      if (in >> lw) qo.logical_window = lw;
+      QueryStats stats;
+      auto r = index->IntervalQuery(Rect{{xlo, ylo}, {xhi, yhi}},
+                                    {tlo, thi}, qo, &stats);
+      if (!r.ok()) {
+        Fail(r.status());
+        continue;
+      }
+      std::printf("results %zu (node_accesses=%llu)\n", r->size(),
+                  static_cast<unsigned long long>(stats.node_accesses));
+      for (const Entry& e : *r) PrintEntry(e);
+    } else if (cmd == "knn") {
+      double x, y;
+      size_t k;
+      Timestamp tlo, thi;
+      if (!(in >> x >> y >> k >> tlo >> thi)) {
+        std::printf("usage: knn <x> <y> <k> <tlo> <thi>\n");
+        continue;
+      }
+      auto r = index->Knn({x, y}, k, {tlo, thi});
+      if (!r.ok()) {
+        Fail(r.status());
+        continue;
+      }
+      std::printf("results %zu\n", r->size());
+      for (const Entry& e : *r) PrintEntry(e);
+    } else if (cmd == "advance") {
+      Timestamp t;
+      if (!(in >> t)) {
+        std::printf("usage: advance <t>\n");
+        continue;
+      }
+      Status st = index->Advance(t);
+      if (!st.ok()) {
+        Fail(st);
+        continue;
+      }
+      std::printf("ok now=%llu\n",
+                  static_cast<unsigned long long>(index->now()));
+    } else if (cmd == "window") {
+      const TimeInterval w = index->QueriablePeriod();
+      std::printf("window [%llu, %llu]\n",
+                  static_cast<unsigned long long>(w.lo),
+                  static_cast<unsigned long long>(w.hi));
+    } else if (cmd == "stats") {
+      auto s = index->GetDebugStats();
+      if (!s.ok()) {
+        Fail(s.status());
+        continue;
+      }
+      std::printf("stats trees=%llu entries=%llu current=%llu height=%d "
+                  "memo_cells=%llu memo_bytes=%zu pages=%llu\n",
+                  static_cast<unsigned long long>(s->live_trees),
+                  static_cast<unsigned long long>(s->entries),
+                  static_cast<unsigned long long>(s->current_entries),
+                  s->max_tree_height,
+                  static_cast<unsigned long long>(s->memo_nonempty_cells),
+                  s->memo_bytes,
+                  static_cast<unsigned long long>(
+                      pager->live_page_count()));
+    } else if (cmd == "save") {
+      if (cfg.db_path.empty()) {
+        std::printf("error: no --db file\n");
+        continue;
+      }
+      Status st = index->Save(&meta);
+      if (!st.ok()) {
+        Fail(st);
+        continue;
+      }
+      std::printf("ok meta_page=%u\n", meta);
+    } else {
+      std::printf("unknown command: %s (try 'help')\n", cmd.c_str());
+    }
+  }
+
+  if (!cfg.db_path.empty()) {
+    Status st = index->Save(&meta);
+    if (!st.ok()) {
+      std::fprintf(stderr, "final save: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
