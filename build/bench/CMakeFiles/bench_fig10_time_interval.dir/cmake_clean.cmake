@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_time_interval.dir/bench_fig10_time_interval.cc.o"
+  "CMakeFiles/bench_fig10_time_interval.dir/bench_fig10_time_interval.cc.o.d"
+  "bench_fig10_time_interval"
+  "bench_fig10_time_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_time_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

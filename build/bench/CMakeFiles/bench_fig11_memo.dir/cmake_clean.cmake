@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_memo.dir/bench_fig11_memo.cc.o"
+  "CMakeFiles/bench_fig11_memo.dir/bench_fig11_memo.cc.o.d"
+  "bench_fig11_memo"
+  "bench_fig11_memo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_memo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hrtree.dir/bench_hrtree.cc.o"
+  "CMakeFiles/bench_hrtree.dir/bench_hrtree.cc.o.d"
+  "bench_hrtree"
+  "bench_hrtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hrtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

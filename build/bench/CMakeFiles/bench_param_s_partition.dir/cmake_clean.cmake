@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_param_s_partition.dir/bench_param_s_partition.cc.o"
+  "CMakeFiles/bench_param_s_partition.dir/bench_param_s_partition.cc.o.d"
+  "bench_param_s_partition"
+  "bench_param_s_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_param_s_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

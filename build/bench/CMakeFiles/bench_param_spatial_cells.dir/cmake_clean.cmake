@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_param_spatial_cells.dir/bench_param_spatial_cells.cc.o"
+  "CMakeFiles/bench_param_spatial_cells.dir/bench_param_spatial_cells.cc.o.d"
+  "bench_param_spatial_cells"
+  "bench_param_spatial_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_param_spatial_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pist_comparison.dir/bench_pist_comparison.cc.o"
+  "CMakeFiles/bench_pist_comparison.dir/bench_pist_comparison.cc.o.d"
+  "bench_pist_comparison"
+  "bench_pist_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pist_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seti.dir/bench_seti.cc.o"
+  "CMakeFiles/bench_seti.dir/bench_seti.cc.o.d"
+  "bench_seti"
+  "bench_seti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_window_maintenance.dir/bench_window_maintenance.cc.o"
+  "CMakeFiles/bench_window_maintenance.dir/bench_window_maintenance.cc.o.d"
+  "bench_window_maintenance"
+  "bench_window_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_window_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

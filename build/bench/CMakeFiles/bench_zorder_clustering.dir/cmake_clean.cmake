@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zorder_clustering.dir/bench_zorder_clustering.cc.o"
+  "CMakeFiles/bench_zorder_clustering.dir/bench_zorder_clustering.cc.o.d"
+  "bench_zorder_clustering"
+  "bench_zorder_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zorder_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

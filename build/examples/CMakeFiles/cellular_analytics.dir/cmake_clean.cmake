@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellular_analytics.dir/cellular_analytics.cpp.o"
+  "CMakeFiles/cellular_analytics.dir/cellular_analytics.cpp.o.d"
+  "cellular_analytics"
+  "cellular_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellular_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_windows.dir/privacy_windows.cpp.o"
+  "CMakeFiles/privacy_windows.dir/privacy_windows.cpp.o.d"
+  "privacy_windows"
+  "privacy_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

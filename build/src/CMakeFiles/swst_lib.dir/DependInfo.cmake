@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btree/btree.cc" "src/CMakeFiles/swst_lib.dir/btree/btree.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/btree/btree.cc.o.d"
+  "/root/repo/src/btree/btree_iterator.cc" "src/CMakeFiles/swst_lib.dir/btree/btree_iterator.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/btree/btree_iterator.cc.o.d"
+  "/root/repo/src/btree/multi_range_search.cc" "src/CMakeFiles/swst_lib.dir/btree/multi_range_search.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/btree/multi_range_search.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/swst_lib.dir/common/random.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/swst_lib.dir/common/status.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/common/status.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/CMakeFiles/swst_lib.dir/common/types.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/common/types.cc.o.d"
+  "/root/repo/src/gstd/gstd.cc" "src/CMakeFiles/swst_lib.dir/gstd/gstd.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/gstd/gstd.cc.o.d"
+  "/root/repo/src/hrtree/hr_tree.cc" "src/CMakeFiles/swst_lib.dir/hrtree/hr_tree.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/hrtree/hr_tree.cc.o.d"
+  "/root/repo/src/mv3r/mv3r_tree.cc" "src/CMakeFiles/swst_lib.dir/mv3r/mv3r_tree.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/mv3r/mv3r_tree.cc.o.d"
+  "/root/repo/src/mv3r/mvr_tree.cc" "src/CMakeFiles/swst_lib.dir/mv3r/mvr_tree.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/mv3r/mvr_tree.cc.o.d"
+  "/root/repo/src/pist/pist_index.cc" "src/CMakeFiles/swst_lib.dir/pist/pist_index.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/pist/pist_index.cc.o.d"
+  "/root/repo/src/rtree/rstar_tree.cc" "src/CMakeFiles/swst_lib.dir/rtree/rstar_tree.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/rtree/rstar_tree.cc.o.d"
+  "/root/repo/src/rtree/rtree3d_index.cc" "src/CMakeFiles/swst_lib.dir/rtree/rtree3d_index.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/rtree/rtree3d_index.cc.o.d"
+  "/root/repo/src/rtree/rum_tree.cc" "src/CMakeFiles/swst_lib.dir/rtree/rum_tree.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/rtree/rum_tree.cc.o.d"
+  "/root/repo/src/seti/seti_index.cc" "src/CMakeFiles/swst_lib.dir/seti/seti_index.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/seti/seti_index.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/swst_lib.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/io_stats.cc" "src/CMakeFiles/swst_lib.dir/storage/io_stats.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/storage/io_stats.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/CMakeFiles/swst_lib.dir/storage/pager.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/storage/pager.cc.o.d"
+  "/root/repo/src/swst/is_present_memo.cc" "src/CMakeFiles/swst_lib.dir/swst/is_present_memo.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/swst/is_present_memo.cc.o.d"
+  "/root/repo/src/swst/knn.cc" "src/CMakeFiles/swst_lib.dir/swst/knn.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/swst/knn.cc.o.d"
+  "/root/repo/src/swst/overlap.cc" "src/CMakeFiles/swst_lib.dir/swst/overlap.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/swst/overlap.cc.o.d"
+  "/root/repo/src/swst/spatial_grid.cc" "src/CMakeFiles/swst_lib.dir/swst/spatial_grid.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/swst/spatial_grid.cc.o.d"
+  "/root/repo/src/swst/swst_index.cc" "src/CMakeFiles/swst_lib.dir/swst/swst_index.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/swst/swst_index.cc.o.d"
+  "/root/repo/src/swst/temporal_key.cc" "src/CMakeFiles/swst_lib.dir/swst/temporal_key.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/swst/temporal_key.cc.o.d"
+  "/root/repo/src/zorder/hilbert.cc" "src/CMakeFiles/swst_lib.dir/zorder/hilbert.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/zorder/hilbert.cc.o.d"
+  "/root/repo/src/zorder/zorder.cc" "src/CMakeFiles/swst_lib.dir/zorder/zorder.cc.o" "gcc" "src/CMakeFiles/swst_lib.dir/zorder/zorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswst_lib.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_index_test.dir/concurrent_index_test.cc.o"
+  "CMakeFiles/concurrent_index_test.dir/concurrent_index_test.cc.o.d"
+  "concurrent_index_test"
+  "concurrent_index_test.pdb"
+  "concurrent_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gstd_test.dir/gstd_test.cc.o"
+  "CMakeFiles/gstd_test.dir/gstd_test.cc.o.d"
+  "gstd_test"
+  "gstd_test.pdb"
+  "gstd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gstd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

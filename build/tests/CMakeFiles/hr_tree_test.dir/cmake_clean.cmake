@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hr_tree_test.dir/hr_tree_test.cc.o"
+  "CMakeFiles/hr_tree_test.dir/hr_tree_test.cc.o.d"
+  "hr_tree_test"
+  "hr_tree_test.pdb"
+  "hr_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hr_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

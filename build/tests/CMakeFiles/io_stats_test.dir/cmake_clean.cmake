@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_stats_test.dir/io_stats_test.cc.o"
+  "CMakeFiles/io_stats_test.dir/io_stats_test.cc.o.d"
+  "io_stats_test"
+  "io_stats_test.pdb"
+  "io_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

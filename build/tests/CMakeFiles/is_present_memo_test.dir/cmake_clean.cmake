@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/is_present_memo_test.dir/is_present_memo_test.cc.o"
+  "CMakeFiles/is_present_memo_test.dir/is_present_memo_test.cc.o.d"
+  "is_present_memo_test"
+  "is_present_memo_test.pdb"
+  "is_present_memo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/is_present_memo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

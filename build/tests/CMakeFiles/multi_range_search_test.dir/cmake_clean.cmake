@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_range_search_test.dir/multi_range_search_test.cc.o"
+  "CMakeFiles/multi_range_search_test.dir/multi_range_search_test.cc.o.d"
+  "multi_range_search_test"
+  "multi_range_search_test.pdb"
+  "multi_range_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_range_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

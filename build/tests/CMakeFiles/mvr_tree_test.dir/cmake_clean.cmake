@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvr_tree_test.dir/mvr_tree_test.cc.o"
+  "CMakeFiles/mvr_tree_test.dir/mvr_tree_test.cc.o.d"
+  "mvr_tree_test"
+  "mvr_tree_test.pdb"
+  "mvr_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvr_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

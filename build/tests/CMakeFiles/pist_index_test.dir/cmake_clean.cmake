@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pist_index_test.dir/pist_index_test.cc.o"
+  "CMakeFiles/pist_index_test.dir/pist_index_test.cc.o.d"
+  "pist_index_test"
+  "pist_index_test.pdb"
+  "pist_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pist_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtree3d_index_test.dir/rtree3d_index_test.cc.o"
+  "CMakeFiles/rtree3d_index_test.dir/rtree3d_index_test.cc.o.d"
+  "rtree3d_index_test"
+  "rtree3d_index_test.pdb"
+  "rtree3d_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtree3d_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

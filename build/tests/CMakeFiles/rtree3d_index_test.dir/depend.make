@@ -1,0 +1,2 @@
+# Empty dependencies file for rtree3d_index_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rum_tree_test.dir/rum_tree_test.cc.o"
+  "CMakeFiles/rum_tree_test.dir/rum_tree_test.cc.o.d"
+  "rum_tree_test"
+  "rum_tree_test.pdb"
+  "rum_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rum_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

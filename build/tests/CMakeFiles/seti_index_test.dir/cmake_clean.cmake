@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seti_index_test.dir/seti_index_test.cc.o"
+  "CMakeFiles/seti_index_test.dir/seti_index_test.cc.o.d"
+  "seti_index_test"
+  "seti_index_test.pdb"
+  "seti_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seti_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

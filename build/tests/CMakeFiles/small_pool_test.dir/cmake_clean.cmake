@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_pool_test.dir/small_pool_test.cc.o"
+  "CMakeFiles/small_pool_test.dir/small_pool_test.cc.o.d"
+  "small_pool_test"
+  "small_pool_test.pdb"
+  "small_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

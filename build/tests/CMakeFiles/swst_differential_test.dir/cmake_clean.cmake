@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swst_differential_test.dir/swst_differential_test.cc.o"
+  "CMakeFiles/swst_differential_test.dir/swst_differential_test.cc.o.d"
+  "swst_differential_test"
+  "swst_differential_test.pdb"
+  "swst_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swst_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

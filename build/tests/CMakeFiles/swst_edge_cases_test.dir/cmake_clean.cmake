@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swst_edge_cases_test.dir/swst_edge_cases_test.cc.o"
+  "CMakeFiles/swst_edge_cases_test.dir/swst_edge_cases_test.cc.o.d"
+  "swst_edge_cases_test"
+  "swst_edge_cases_test.pdb"
+  "swst_edge_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swst_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

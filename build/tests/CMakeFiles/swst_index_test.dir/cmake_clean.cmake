@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swst_index_test.dir/swst_index_test.cc.o"
+  "CMakeFiles/swst_index_test.dir/swst_index_test.cc.o.d"
+  "swst_index_test"
+  "swst_index_test.pdb"
+  "swst_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swst_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swst_knn_test.dir/swst_knn_test.cc.o"
+  "CMakeFiles/swst_knn_test.dir/swst_knn_test.cc.o.d"
+  "swst_knn_test"
+  "swst_knn_test.pdb"
+  "swst_knn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swst_knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

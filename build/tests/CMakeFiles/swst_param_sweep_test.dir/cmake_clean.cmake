@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swst_param_sweep_test.dir/swst_param_sweep_test.cc.o"
+  "CMakeFiles/swst_param_sweep_test.dir/swst_param_sweep_test.cc.o.d"
+  "swst_param_sweep_test"
+  "swst_param_sweep_test.pdb"
+  "swst_param_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swst_param_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swst_persistence_test.dir/swst_persistence_test.cc.o"
+  "CMakeFiles/swst_persistence_test.dir/swst_persistence_test.cc.o.d"
+  "swst_persistence_test"
+  "swst_persistence_test.pdb"
+  "swst_persistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swst_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

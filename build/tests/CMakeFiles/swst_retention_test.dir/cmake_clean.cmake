@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swst_retention_test.dir/swst_retention_test.cc.o"
+  "CMakeFiles/swst_retention_test.dir/swst_retention_test.cc.o.d"
+  "swst_retention_test"
+  "swst_retention_test.pdb"
+  "swst_retention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swst_retention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

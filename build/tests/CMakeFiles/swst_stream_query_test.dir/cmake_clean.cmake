@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swst_stream_query_test.dir/swst_stream_query_test.cc.o"
+  "CMakeFiles/swst_stream_query_test.dir/swst_stream_query_test.cc.o.d"
+  "swst_stream_query_test"
+  "swst_stream_query_test.pdb"
+  "swst_stream_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swst_stream_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swst_torture_test.dir/swst_torture_test.cc.o"
+  "CMakeFiles/swst_torture_test.dir/swst_torture_test.cc.o.d"
+  "swst_torture_test"
+  "swst_torture_test.pdb"
+  "swst_torture_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swst_torture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

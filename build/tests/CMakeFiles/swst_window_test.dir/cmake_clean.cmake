@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swst_window_test.dir/swst_window_test.cc.o"
+  "CMakeFiles/swst_window_test.dir/swst_window_test.cc.o.d"
+  "swst_window_test"
+  "swst_window_test.pdb"
+  "swst_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swst_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

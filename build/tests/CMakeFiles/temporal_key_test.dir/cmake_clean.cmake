@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_key_test.dir/temporal_key_test.cc.o"
+  "CMakeFiles/temporal_key_test.dir/temporal_key_test.cc.o.d"
+  "temporal_key_test"
+  "temporal_key_test.pdb"
+  "temporal_key_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_key_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

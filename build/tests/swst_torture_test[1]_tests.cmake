@@ -1,0 +1,3 @@
+add_test([=[SwstTortureTest.TenEpochsOfEverything]=]  /root/repo/build/tests/swst_torture_test [==[--gtest_filter=SwstTortureTest.TenEpochsOfEverything]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[SwstTortureTest.TenEpochsOfEverything]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  swst_torture_test_TESTS SwstTortureTest.TenEpochsOfEverything)

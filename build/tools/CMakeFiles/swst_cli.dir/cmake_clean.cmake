@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swst_cli.dir/swst_cli.cc.o"
+  "CMakeFiles/swst_cli.dir/swst_cli.cc.o.d"
+  "swst_cli"
+  "swst_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swst_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

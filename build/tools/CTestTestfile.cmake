@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(swst_cli_smoke "bash" "/root/repo/tools/smoke_test.sh" "/root/repo/build/tools/swst_cli" "basic")
+set_tests_properties(swst_cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(swst_cli_persistence_smoke "bash" "/root/repo/tools/smoke_test.sh" "/root/repo/build/tools/swst_cli" "persistence")
+set_tests_properties(swst_cli_persistence_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
