@@ -9,6 +9,7 @@
 
 namespace swst {
 
+using btree_internal::FetchNode;
 using btree_internal::InternalNode;
 using btree_internal::kInternalCapacity;
 using btree_internal::kInternalMin;
@@ -19,6 +20,7 @@ using btree_internal::kLeafType;
 using btree_internal::LeafNode;
 using btree_internal::LowerBoundChild;
 using btree_internal::LowerBoundRecord;
+using btree_internal::kMaxDepth;
 using btree_internal::UpperBoundChild;
 using btree_internal::UpperBoundRecord;
 
@@ -88,15 +90,18 @@ Status BTree::Insert(uint64_t key, const Entry& entry) {
   };
   std::vector<PathStep> path;
 
-  auto cur = pool_->Fetch(root_);
+  auto cur = FetchNode(pool_, root_);
   if (!cur.ok()) return cur.status();
   PageHandle node = std::move(*cur);
   while (node.As<btree_internal::NodeHeader>()->type == kInternalType) {
+    if (static_cast<int>(path.size()) >= kMaxDepth) {
+      return Status::Corruption("B+ tree descent exceeds max depth");
+    }
     auto* in = node.As<InternalNode>();
     int idx = UpperBoundChild(in, key);
     PageId child = in->children[idx];
     path.push_back(PathStep{std::move(node), idx});
-    auto next = pool_->Fetch(child);
+    auto next = FetchNode(pool_, child);
     if (!next.ok()) return next.status();
     node = std::move(*next);
   }
@@ -193,7 +198,7 @@ Status BTree::Delete(uint64_t key, ObjectId oid, Timestamp start) {
     return Status::NotFound("BTree::Delete: no matching record");
   }
   // Collapse the root if it is an internal node with a single child.
-  auto root_page = pool_->Fetch(root_);
+  auto root_page = FetchNode(pool_, root_);
   if (!root_page.ok()) return root_page.status();
   if (root_page->As<btree_internal::NodeHeader>()->type == kInternalType &&
       root_page->As<InternalNode>()->header.count == 0) {
@@ -208,7 +213,10 @@ Status BTree::Delete(uint64_t key, ObjectId oid, Timestamp start) {
 Status BTree::DeleteInSubtree(PageId node_id, int depth, uint64_t key,
                               ObjectId oid, Timestamp start,
                               DeleteResult* result) {
-  auto page = pool_->Fetch(node_id);
+  if (depth >= kMaxDepth) {
+    return Status::Corruption("B+ tree descent exceeds max depth");
+  }
+  auto page = FetchNode(pool_, node_id);
   if (!page.ok()) return page.status();
 
   if (page->As<btree_internal::NodeHeader>()->type == kLeafType) {
@@ -249,14 +257,14 @@ Status BTree::DeleteInSubtree(PageId node_id, int depth, uint64_t key,
 
 Status BTree::RebalanceChild(PageHandle& parent, int child_idx) {
   auto* in = parent.As<InternalNode>();
-  auto child_page = pool_->Fetch(in->children[child_idx]);
+  auto child_page = FetchNode(pool_, in->children[child_idx]);
   if (!child_page.ok()) return child_page.status();
   const bool child_is_leaf =
       child_page->As<btree_internal::NodeHeader>()->type == kLeafType;
 
   // Try borrowing from the left sibling, then the right, then merge.
   if (child_idx > 0) {
-    auto left_page = pool_->Fetch(in->children[child_idx - 1]);
+    auto left_page = FetchNode(pool_, in->children[child_idx - 1]);
     if (!left_page.ok()) return left_page.status();
     if (child_is_leaf) {
       auto* left = left_page->As<LeafNode>();
@@ -293,7 +301,7 @@ Status BTree::RebalanceChild(PageHandle& parent, int child_idx) {
   }
 
   if (child_idx < in->header.count) {
-    auto right_page = pool_->Fetch(in->children[child_idx + 1]);
+    auto right_page = FetchNode(pool_, in->children[child_idx + 1]);
     if (!right_page.ok()) return right_page.status();
     if (child_is_leaf) {
       auto* right = right_page->As<LeafNode>();
@@ -332,9 +340,9 @@ Status BTree::RebalanceChild(PageHandle& parent, int child_idx) {
   // Merge: fold the child into its left sibling, or its right sibling into
   // the child. Normalize to "merge node at index j+1 into node at index j".
   int j = (child_idx > 0) ? child_idx - 1 : child_idx;
-  auto left_page = pool_->Fetch(in->children[j]);
+  auto left_page = FetchNode(pool_, in->children[j]);
   if (!left_page.ok()) return left_page.status();
-  auto right_page = pool_->Fetch(in->children[j + 1]);
+  auto right_page = FetchNode(pool_, in->children[j + 1]);
   if (!right_page.ok()) return right_page.status();
 
   if (child_is_leaf) {
@@ -370,43 +378,58 @@ Status BTree::RebalanceChild(PageHandle& parent, int child_idx) {
 Status BTree::Scan(uint64_t lo, uint64_t hi,
                    const std::function<bool(const BTreeRecord&)>& fn) const {
   if (lo > hi) return Status::OK();
-  auto cur = pool_->Fetch(root_);
+  auto cur = FetchNode(pool_, root_);
   if (!cur.ok()) return cur.status();
   PageHandle node = std::move(*cur);
+  int depth = 0;
   while (node.As<btree_internal::NodeHeader>()->type == kInternalType) {
+    if (++depth > kMaxDepth) {
+      return Status::Corruption("B+ tree descent exceeds max depth");
+    }
     auto* in = node.As<InternalNode>();
     PageId child = in->children[LowerBoundChild(in, lo)];
-    auto next = pool_->Fetch(child);
+    auto next = FetchNode(pool_, child);
     if (!next.ok()) return next.status();
     node = std::move(*next);
   }
   const auto* leaf = node.As<LeafNode>();
   int pos = LowerBoundRecord(leaf, lo);
-  for (;;) {
+  // A sibling chain longer than the file has pages must be a cycle.
+  const uint64_t max_leaves = pool_->pager()->page_count() + 1;
+  for (uint64_t visited = 1;; ++visited) {
+    if (visited > max_leaves) {
+      return Status::Corruption("B+ tree leaf chain cycle");
+    }
     for (; pos < leaf->header.count; ++pos) {
       if (leaf->records[pos].key > hi) return Status::OK();
       if (!fn(leaf->records[pos])) return Status::OK();
     }
     PageId next_id = leaf->header.next;
     if (next_id == kInvalidPageId) return Status::OK();
-    auto next = pool_->Fetch(next_id);
+    auto next = FetchNode(pool_, next_id);
     if (!next.ok()) return next.status();
     node = std::move(*next);
+    if (node.As<btree_internal::NodeHeader>()->type != kLeafType) {
+      return Status::Corruption("B+ tree leaf chain reaches non-leaf page");
+    }
     leaf = node.As<LeafNode>();
     pos = 0;
   }
 }
 
 Status BTree::Drop() {
-  SWST_RETURN_IF_ERROR(DropSubtree(root_));
+  SWST_RETURN_IF_ERROR(DropSubtree(root_, 0));
   root_ = kInvalidPageId;
   return Status::OK();
 }
 
-Status BTree::DropSubtree(PageId node_id) {
+Status BTree::DropSubtree(PageId node_id, int depth) {
+  if (depth >= kMaxDepth) {
+    return Status::Corruption("B+ tree descent exceeds max depth");
+  }
   std::vector<PageId> children;
   {
-    auto page = pool_->Fetch(node_id);
+    auto page = FetchNode(pool_, node_id);
     if (!page.ok()) return page.status();
     if (page->As<btree_internal::NodeHeader>()->type == kInternalType) {
       const auto* in = page->As<InternalNode>();
@@ -414,7 +437,7 @@ Status BTree::DropSubtree(PageId node_id) {
     }
   }
   for (PageId child : children) {
-    SWST_RETURN_IF_ERROR(DropSubtree(child));
+    SWST_RETURN_IF_ERROR(DropSubtree(child, depth + 1));
   }
   return pool_->Free(node_id);
 }
@@ -433,7 +456,10 @@ Result<int> BTree::Height() const {
   int h = 1;
   PageId cur = root_;
   for (;;) {
-    auto page = pool_->Fetch(cur);
+    if (h > kMaxDepth) {
+      return Status::Corruption("B+ tree descent exceeds max depth");
+    }
+    auto page = FetchNode(pool_, cur);
     if (!page.ok()) return page.status();
     if (page->As<btree_internal::NodeHeader>()->type == kLeafType) return h;
     cur = page->As<InternalNode>()->children[0];
@@ -451,7 +477,10 @@ struct ValidateState {
 Status ValidateSubtree(BufferPool* pool, PageId node_id, int depth,
                        bool is_root, uint64_t min_key, uint64_t max_key,
                        ValidateState* state) {
-  auto page = pool->Fetch(node_id);
+  if (depth >= kMaxDepth) {
+    return Status::Corruption("B+ tree descent exceeds max depth");
+  }
+  auto page = FetchNode(pool, node_id);
   if (!page.ok()) return page.status();
 
   if (page->As<btree_internal::NodeHeader>()->type == kLeafType) {
@@ -515,20 +544,27 @@ Status BTree::Validate() const {
                                        &state));
   // Leaf chain must visit exactly the leaves found by the tree walk, in
   // non-decreasing key order.
-  auto cur = pool_->Fetch(root_);
+  auto cur = FetchNode(pool_, root_);
   if (!cur.ok()) return cur.status();
   PageHandle node = std::move(*cur);
+  int depth = 0;
   while (node.As<btree_internal::NodeHeader>()->type == kInternalType) {
-    auto next = pool_->Fetch(node.As<InternalNode>()->children[0]);
+    if (++depth > kMaxDepth) {
+      return Status::Corruption("B+ tree descent exceeds max depth");
+    }
+    auto next = FetchNode(pool_, node.As<InternalNode>()->children[0]);
     if (!next.ok()) return next.status();
     node = std::move(*next);
   }
   uint64_t chain_leaves = 0;
   uint64_t last_key = 0;
   bool have_last = false;
+  const uint64_t max_leaves = pool_->pager()->page_count() + 1;
   for (;;) {
     const auto* leaf = node.As<LeafNode>();
-    chain_leaves++;
+    if (++chain_leaves > max_leaves) {
+      return Status::Corruption("B+ tree leaf chain cycle");
+    }
     for (int i = 0; i < leaf->header.count; ++i) {
       if (have_last && leaf->records[i].key < last_key) {
         return Status::Corruption("leaf chain keys out of order");
@@ -537,9 +573,12 @@ Status BTree::Validate() const {
       have_last = true;
     }
     if (leaf->header.next == kInvalidPageId) break;
-    auto next = pool_->Fetch(leaf->header.next);
+    auto next = FetchNode(pool_, leaf->header.next);
     if (!next.ok()) return next.status();
     node = std::move(*next);
+    if (node.As<btree_internal::NodeHeader>()->type != kLeafType) {
+      return Status::Corruption("B+ tree leaf chain reaches non-leaf page");
+    }
   }
   if (chain_leaves != state.leaf_count) {
     return Status::Corruption("leaf chain does not cover all leaves");

@@ -118,7 +118,7 @@ class BTree {
   /// Fixes an underflowing child `child_idx` of internal node `parent`.
   Status RebalanceChild(PageHandle& parent, int child_idx);
 
-  Status DropSubtree(PageId node_id);
+  Status DropSubtree(PageId node_id, int depth);
 
   BufferPool* pool_;
   PageId root_;

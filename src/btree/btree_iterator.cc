@@ -4,8 +4,11 @@
 
 namespace swst {
 
+using btree_internal::FetchNode;
 using btree_internal::InternalNode;
 using btree_internal::kInternalType;
+using btree_internal::kLeafType;
+using btree_internal::kMaxDepth;
 using btree_internal::LeafNode;
 using btree_internal::LowerBoundChild;
 using btree_internal::LowerBoundRecord;
@@ -15,15 +18,20 @@ void BTreeIterator::SeekToFirst() { Seek(0); }
 void BTreeIterator::Seek(uint64_t key) {
   valid_ = false;
   status_ = Status::OK();
-  auto cur = pool_->Fetch(root_);
+  auto cur = FetchNode(pool_, root_);
   if (!cur.ok()) {
     status_ = cur.status();
     return;
   }
   PageHandle node = std::move(*cur);
+  int depth = 0;
   while (node.As<btree_internal::NodeHeader>()->type == kInternalType) {
+    if (++depth > kMaxDepth) {
+      status_ = Status::Corruption("B+ tree descent exceeds max depth");
+      return;
+    }
     const auto* in = node.As<InternalNode>();
-    auto next = pool_->Fetch(in->children[LowerBoundChild(in, key)]);
+    auto next = FetchNode(pool_, in->children[LowerBoundChild(in, key)]);
     if (!next.ok()) {
       status_ = next.status();
       return;
@@ -42,10 +50,22 @@ void BTreeIterator::Next() {
 }
 
 void BTreeIterator::LoadCurrent() {
-  for (;;) {
-    auto page = pool_->Fetch(leaf_);
+  // A sibling chain longer than the file has pages must be a cycle.
+  const uint64_t max_leaves = pool_->pager()->page_count() + 1;
+  for (uint64_t visited = 1;; ++visited) {
+    if (visited > max_leaves) {
+      status_ = Status::Corruption("B+ tree leaf chain cycle");
+      valid_ = false;
+      return;
+    }
+    auto page = FetchNode(pool_, leaf_);
     if (!page.ok()) {
       status_ = page.status();
+      valid_ = false;
+      return;
+    }
+    if (page->As<btree_internal::NodeHeader>()->type != kLeafType) {
+      status_ = Status::Corruption("B+ tree leaf chain reaches non-leaf page");
       valid_ = false;
       return;
     }

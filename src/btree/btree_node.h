@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <cstring>
+#include <string>
+#include <utility>
 
 #include "btree/btree.h"
 #include "storage/page.h"
@@ -20,6 +22,11 @@ static_assert(sizeof(NodeHeader) == 8);
 
 inline constexpr uint16_t kLeafType = 1;
 inline constexpr uint16_t kInternalType = 2;
+
+/// Depth bound for descents and recursive walks: a healthy tree over
+/// 32-bit page ids can never be this deep, so exceeding it means a cycle
+/// through corrupt child/sibling pointers.
+inline constexpr int kMaxDepth = 64;
 
 /// Leaf page: header followed by `count` sorted records.
 inline constexpr int kLeafCapacity =
@@ -47,6 +54,28 @@ struct InternalNode {
   uint64_t keys[kInternalCapacity];
 };
 static_assert(sizeof(InternalNode) <= kPageSize);
+
+/// Sanity-checks a node header freshly fetched from disk. A page whose
+/// type or count is out of bounds (a garbage page behind a stale root, or
+/// a torn write that slipped past lower integrity layers) must not be
+/// interpreted: indexing `count` records would read past the page. Every
+/// read path calls this right after `Fetch` and propagates `Corruption`.
+inline Status CheckNodeHeader(const NodeHeader* h, PageId id) {
+  if (h->type == kLeafType && h->count <= kLeafCapacity) return Status::OK();
+  if (h->type == kInternalType && h->count <= kInternalCapacity) {
+    return Status::OK();
+  }
+  return Status::Corruption("malformed B+ tree node on page " +
+                            std::to_string(id));
+}
+
+/// Fetch + header sanity check; the only way read paths pull in a node.
+inline Result<PageHandle> FetchNode(BufferPool* pool, PageId id) {
+  auto page = pool->Fetch(id);
+  if (!page.ok()) return page.status();
+  SWST_RETURN_IF_ERROR(CheckNodeHeader(page->As<NodeHeader>(), id));
+  return std::move(page);
+}
 
 /// First index i with keys[i] >= key (descend here for leftmost search).
 inline int LowerBoundChild(const InternalNode* n, uint64_t key) {

@@ -6,9 +6,11 @@
 
 namespace swst {
 
+using btree_internal::FetchNode;
 using btree_internal::InternalNode;
 using btree_internal::kInternalType;
 using btree_internal::kLeafType;
+using btree_internal::kMaxDepth;
 using btree_internal::LeafNode;
 using btree_internal::LowerBoundChild;
 using btree_internal::LowerBoundRecord;
@@ -44,12 +46,16 @@ Status BTree::SearchRanges(
   std::vector<WorkItem> level;
   level.push_back(WorkItem{root_, 0, ranges.size()});
 
+  int depth = 0;
   while (!level.empty()) {
+    if (++depth > kMaxDepth) {
+      return Status::Corruption("B+ tree descent exceeds max depth");
+    }
     std::vector<WorkItem> next_level;
     bool is_leaf_level = false;
 
     for (const WorkItem& item : level) {
-      auto page = pool_->Fetch(item.node);
+      auto page = FetchNode(pool_, item.node);
       if (!page.ok()) return page.status();
 
       if (page->As<btree_internal::NodeHeader>()->type == kLeafType) {

@@ -86,11 +86,15 @@ Result<PageHandle> BufferPool::New() {
   std::lock_guard<std::mutex> lock(mu_);
   auto id = pager_->AllocatePage();
   if (!id.ok()) return id.status();
-  stats_.pages_allocated++;
-  stats_.logical_reads++;
 
   auto frame_idx = GrabFrame();
-  if (!frame_idx.ok()) return frame_idx.status();
+  if (!frame_idx.ok()) {
+    // Don't leak the just-allocated page when no frame is available.
+    (void)pager_->FreePage(*id);
+    return frame_idx.status();
+  }
+  stats_.pages_allocated++;
+  stats_.logical_reads++;
   Frame& f = frames_[*frame_idx];
   if (f.data.empty()) f.data.resize(kPageSize);
   std::memset(f.data.data(), 0, kPageSize);
@@ -126,14 +130,22 @@ Status BufferPool::Free(PageId id) {
 
 Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> lock(mu_);
+  // Attempt every dirty frame even after a failure, so one bad page does
+  // not pin the whole pool's dirty set in memory; report the first error.
+  // Frames that failed to write back stay dirty for a later retry.
+  Status first_error;
   for (Frame& f : frames_) {
     if (f.page_id != kInvalidPageId && f.dirty) {
-      SWST_RETURN_IF_ERROR(pager_->WritePage(f.page_id, f.data.data()));
-      stats_.physical_writes++;
-      f.dirty = false;
+      Status st = pager_->WritePage(f.page_id, f.data.data());
+      if (st.ok()) {
+        stats_.physical_writes++;
+        f.dirty = false;
+      } else if (first_error.ok()) {
+        first_error = st;
+      }
     }
   }
-  return Status::OK();
+  return first_error;
 }
 
 size_t BufferPool::pinned_count() const {
@@ -172,7 +184,15 @@ Result<size_t> BufferPool::GrabFrame() {
   Frame& f = frames_[victim];
   f.in_lru = false;
   if (f.dirty) {
-    SWST_RETURN_IF_ERROR(pager_->WritePage(f.page_id, f.data.data()));
+    Status st = pager_->WritePage(f.page_id, f.data.data());
+    if (!st.ok()) {
+      // Write-back failed: the frame keeps its dirty data and returns to
+      // the LRU tail so it stays evictable (and retryable) — never dropped.
+      lru_.push_back(victim);
+      f.lru_pos = std::prev(lru_.end());
+      f.in_lru = true;
+      return st;
+    }
     stats_.physical_writes++;
     f.dirty = false;
   }

@@ -77,7 +77,8 @@ class PageHandle {
 /// internal mutex, so pages can be fetched from multiple threads; the
 /// *contents* of a pinned page are not synchronized — concurrent access to
 /// the same page must be coordinated by the caller (see
-/// `ConcurrentSwstIndex`). `stats()` reads are unsynchronized snapshots.
+/// `ConcurrentSwstIndex`). `stats()` counters are relaxed atomics, so
+/// cross-thread reads are race-free (see `IoStats`).
 class BufferPool {
  public:
   /// `capacity_pages` must be >= 1. The pool does not own `pager`.

@@ -1,0 +1,73 @@
+#include "storage/crc32c.h"
+
+#include <array>
+
+namespace swst {
+namespace crc32c {
+
+namespace {
+
+/// 8 slice tables for the reflected Castagnoli polynomial, built once at
+/// static-init time (256 * 8 * 4 B = 8 KiB, cache-friendly).
+struct Tables {
+  uint32_t t[8][256];
+
+  Tables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (int k = 1; k < 8; ++k) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t crc, const void* data, size_t n) {
+  const Tables& tb = tables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+
+  // Process unaligned prefix byte-wise.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xFF];
+    --n;
+  }
+
+  // Slice-by-8 over the aligned middle.
+  while (n >= 8) {
+    uint32_t lo = crc ^ (static_cast<uint32_t>(p[0]) |
+                         static_cast<uint32_t>(p[1]) << 8 |
+                         static_cast<uint32_t>(p[2]) << 16 |
+                         static_cast<uint32_t>(p[3]) << 24);
+    crc = tb.t[7][lo & 0xFF] ^ tb.t[6][(lo >> 8) & 0xFF] ^
+          tb.t[5][(lo >> 16) & 0xFF] ^ tb.t[4][lo >> 24] ^
+          tb.t[3][p[4]] ^ tb.t[2][p[5]] ^ tb.t[1][p[6]] ^ tb.t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+
+  while (n > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xFF];
+    --n;
+  }
+  return ~crc;
+}
+
+uint32_t Compute(const void* data, size_t n) { return Extend(0, data, n); }
+
+}  // namespace crc32c
+}  // namespace swst

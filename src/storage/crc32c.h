@@ -1,0 +1,36 @@
+#ifndef SWST_STORAGE_CRC32C_H_
+#define SWST_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace swst {
+namespace crc32c {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+/// page-checksum polynomial used by iSCSI, ext4, LevelDB and RocksDB.
+/// Software slice-by-8 implementation; fast enough that checksumming an
+/// 8 KiB page is negligible next to the `pread` that fetched it.
+uint32_t Compute(const void* data, size_t n);
+
+/// Extends a running CRC with more bytes: `Extend(Compute(a), b)` equals
+/// `Compute(concat(a, b))`.
+uint32_t Extend(uint32_t crc, const void* data, size_t n);
+
+/// CRCs of page payloads are stored *masked* on disk (RocksDB-style
+/// rotation + offset) so that a page whose payload happens to contain its
+/// own stored CRC — or an all-zeroes page whose CRC slot is also zero —
+/// does not trivially verify.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xA282EAD8u;
+}
+
+inline uint32_t Unmask(uint32_t masked) {
+  const uint32_t rot = masked - 0xA282EAD8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace crc32c
+}  // namespace swst
+
+#endif  // SWST_STORAGE_CRC32C_H_

@@ -1,0 +1,144 @@
+#include "storage/fault_injection_pager.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+namespace swst {
+
+FaultInjectionPager::FaultInjectionPager(Pager* base)
+    : base_(base), rng_(policy_.seed) {}
+
+void FaultInjectionPager::set_policy(const FaultPolicy& policy) {
+  policy_ = policy;
+  rng_.seed(policy_.seed);
+}
+
+bool FaultInjectionPager::Roll(double prob) {
+  if (prob <= 0.0) return false;
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < prob;
+}
+
+Result<PageId> FaultInjectionPager::AllocatePage() {
+  // Prefer pages freed since the last sync: the free never became durable,
+  // so reusing the id keeps the volatile and durable allocators in step.
+  if (!unsynced_free_.empty()) {
+    PageId id = unsynced_free_.back();
+    unsynced_free_.pop_back();
+    return id;
+  }
+  return base_->AllocatePage();
+}
+
+Status FaultInjectionPager::FreePage(PageId id) {
+  if (id == kInvalidPageId || id >= base_->page_count()) {
+    return Status::InvalidArgument("FreePage: bad page id");
+  }
+  // Deferred: the base's free list (and the link written into the page)
+  // must not change until Sync, or a crash would destroy the last synced
+  // content of a page the durable directory still references.
+  unsynced_free_.push_back(id);
+  return Status::OK();
+}
+
+Status FaultInjectionPager::ReadPage(PageId id, void* buf) {
+  reads_++;
+  if (reads_ == policy_.fail_read_at || Roll(policy_.read_fail_prob)) {
+    return Status::IOError("injected read fault (read #" +
+                           std::to_string(reads_) + ")");
+  }
+  auto it = unsynced_.find(id);
+  if (it != unsynced_.end()) {
+    std::memcpy(buf, it->second.data(), kPageSize);
+    return Status::OK();
+  }
+  return base_->ReadPage(id, buf);
+}
+
+Status FaultInjectionPager::WritePage(PageId id, const void* buf) {
+  writes_++;
+  if (id == kInvalidPageId || id >= base_->page_count()) {
+    return Status::InvalidArgument("WritePage: bad page id");
+  }
+  if (writes_ == policy_.fail_write_at || Roll(policy_.write_fail_prob)) {
+    return Status::IOError("injected write fault (write #" +
+                           std::to_string(writes_) + ")");
+  }
+  auto& image = unsynced_[id];
+  image.assign(static_cast<const char*>(buf),
+               static_cast<const char*>(buf) + kPageSize);
+  if (writes_ == policy_.torn_write_at) {
+    torn_[id] = std::min(policy_.torn_bytes, kPageSize);
+  } else {
+    // A full rewrite supersedes an earlier torn mark on the same page.
+    torn_.erase(id);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionPager::Sync() {
+  syncs_++;
+  if (syncs_ == policy_.fail_sync_at || Roll(policy_.sync_fail_prob)) {
+    return Status::IOError("injected sync fault (sync #" +
+                           std::to_string(syncs_) + ")");
+  }
+  // Commit order: page images first, then frees (a free rewrites the
+  // page's first bytes as a free-list link), then the base's own barrier.
+  for (const auto& [id, image] : unsynced_) {
+    SWST_RETURN_IF_ERROR(base_->WritePage(id, image.data()));
+  }
+  for (PageId id : unsynced_free_) {
+    SWST_RETURN_IF_ERROR(base_->FreePage(id));
+  }
+  SWST_RETURN_IF_ERROR(base_->Sync());
+  unsynced_.clear();
+  torn_.clear();
+  unsynced_free_.clear();
+  return Status::OK();
+}
+
+Status FaultInjectionPager::CrashAndRecover() {
+  // Torn pages: a prefix of the in-flight image reached the platter before
+  // the power cut. Persist the full image, then damage the tail without
+  // restamping the trailer — over a file backend the checksum now fails,
+  // which is exactly how real torn writes are caught.
+  for (const auto& [id, keep] : torn_) {
+    auto it = unsynced_.find(id);
+    if (it == unsynced_.end()) continue;
+    SWST_RETURN_IF_ERROR(base_->WritePage(id, it->second.data()));
+    if (keep < kPageSize) {
+      SWST_RETURN_IF_ERROR(
+          base_->CorruptPageForTesting(id, keep, kPageSize - keep));
+    }
+  }
+  // Everything else buffered since the last sync is lost; deferred frees
+  // never happened, so those pages are simply live again in the base.
+  unsynced_.clear();
+  torn_.clear();
+  unsynced_free_.clear();
+  return Status::OK();
+}
+
+Status FaultInjectionPager::CorruptPageForTesting(PageId id, uint32_t offset,
+                                                  uint32_t len) {
+  auto it = unsynced_.find(id);
+  if (it != unsynced_.end()) {
+    if (offset + len > kPageSize) {
+      return Status::InvalidArgument("CorruptPageForTesting: bad range");
+    }
+    char* p = it->second.data() + offset;
+    for (uint32_t i = 0; i < len; ++i) p[i] = static_cast<char>(p[i] ^ 0xA5);
+    return Status::OK();
+  }
+  return base_->CorruptPageForTesting(id, offset, len);
+}
+
+uint64_t FaultInjectionPager::page_count() const {
+  return base_->page_count();
+}
+
+uint64_t FaultInjectionPager::live_page_count() const {
+  return base_->live_page_count() - unsynced_free_.size();
+}
+
+}  // namespace swst

@@ -1,6 +1,7 @@
 #ifndef SWST_STORAGE_IO_STATS_H_
 #define SWST_STORAGE_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -12,21 +13,54 @@ namespace swst {
 /// whether or not they hit the buffer pool) because that metric is
 /// independent of buffering policy and hardware. Physical reads/writes are
 /// kept too, for completeness.
+///
+/// Counters are relaxed atomics: `BufferPool` bumps them under its own
+/// mutex, but readers (benchmark reporters, `ConcurrentSwstIndex` query
+/// threads) snapshot them without taking that mutex, so plain `uint64_t`
+/// fields would be a data race under TSan. Individual counter reads are
+/// exact; a multi-counter snapshot is only as consistent as the caller's
+/// own synchronization — same contract as before, now race-free.
 struct IoStats {
-  uint64_t logical_reads = 0;    ///< Buffer-pool fetches ("node accesses").
-  uint64_t physical_reads = 0;   ///< Pages actually read from the backing file.
-  uint64_t physical_writes = 0;  ///< Pages actually written to the backing file.
-  uint64_t pages_allocated = 0;
-  uint64_t pages_freed = 0;
+  std::atomic<uint64_t> logical_reads{0};  ///< Pool fetches ("node accesses").
+  std::atomic<uint64_t> physical_reads{0};   ///< Pages read from the backend.
+  std::atomic<uint64_t> physical_writes{0};  ///< Pages written to the backend.
+  std::atomic<uint64_t> pages_allocated{0};
+  std::atomic<uint64_t> pages_freed{0};
+
+  IoStats() = default;
+
+  /// Copyable (relaxed snapshot), so call sites can keep `IoStats before =
+  /// pool.stats();` idioms.
+  IoStats(const IoStats& o) { *this = o; }
+  IoStats& operator=(const IoStats& o) {
+    logical_reads.store(o.logical_reads.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    physical_reads.store(o.physical_reads.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    physical_writes.store(o.physical_writes.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    pages_allocated.store(o.pages_allocated.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    pages_freed.store(o.pages_freed.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
+  }
 
   void Reset() { *this = IoStats{}; }
 
   IoStats& operator+=(const IoStats& o) {
-    logical_reads += o.logical_reads;
-    physical_reads += o.physical_reads;
-    physical_writes += o.physical_writes;
-    pages_allocated += o.pages_allocated;
-    pages_freed += o.pages_freed;
+    logical_reads.fetch_add(o.logical_reads.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    physical_reads.fetch_add(o.physical_reads.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+    physical_writes.fetch_add(
+        o.physical_writes.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    pages_allocated.fetch_add(
+        o.pages_allocated.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    pages_freed.fetch_add(o.pages_freed.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
     return *this;
   }
 

@@ -5,7 +5,10 @@
 
 #include <cerrno>
 #include <cstring>
+#include <string>
 #include <vector>
+
+#include "storage/crc32c.h"
 
 namespace swst {
 
@@ -39,7 +42,7 @@ class FilePager final : public Pager {
   Status Init(bool truncate) {
     off_t size = ::lseek(fd_, 0, SEEK_END);
     if (size < 0) return Status::IOError(Errno("lseek " + path_));
-    if (truncate || size < static_cast<off_t>(kPageSize)) {
+    if (truncate || size < static_cast<off_t>(kPhysicalPageSize)) {
       if (::ftruncate(fd_, 0) != 0) {
         return Status::IOError(Errno("ftruncate " + path_));
       }
@@ -55,7 +58,7 @@ class FilePager final : public Pager {
     if (sb_.magic != kMagic) {
       return Status::Corruption("bad pager magic in " + path_);
     }
-    if (sb_.page_count * static_cast<uint64_t>(kPageSize) >
+    if (sb_.page_count * static_cast<uint64_t>(kPhysicalPageSize) >
         static_cast<uint64_t>(size)) {
       return Status::Corruption("pager file shorter than superblock claims: " +
                                 path_);
@@ -118,21 +121,60 @@ class FilePager final : public Pager {
   uint64_t page_count() const override { return sb_.page_count; }
   uint64_t live_page_count() const override { return sb_.live_pages; }
 
- private:
-  Status ReadRaw(PageId id, void* buf) {
-    const off_t off = static_cast<off_t>(id) * kPageSize;
-    ssize_t n = ::pread(fd_, buf, kPageSize, off);
-    if (n != static_cast<ssize_t>(kPageSize)) {
+  Status CorruptPageForTesting(PageId id, uint32_t offset,
+                               uint32_t len) override {
+    if (id >= sb_.page_count || offset + len > kPageSize) {
+      return Status::InvalidArgument("CorruptPageForTesting: bad range");
+    }
+    const off_t off = static_cast<off_t>(id) * kPhysicalPageSize + offset;
+    std::vector<char> bytes(len);
+    if (::pread(fd_, bytes.data(), len, off) != static_cast<ssize_t>(len)) {
       return Status::IOError(Errno("pread " + path_));
+    }
+    for (char& b : bytes) b = static_cast<char>(b ^ 0xA5);
+    if (::pwrite(fd_, bytes.data(), len, off) != static_cast<ssize_t>(len)) {
+      return Status::IOError(Errno("pwrite " + path_));
     }
     return Status::OK();
   }
 
+ private:
+  /// Reads the payload of page `id` into `buf` and verifies its trailer.
+  Status ReadRaw(PageId id, void* buf) {
+    const off_t off = static_cast<off_t>(id) * kPhysicalPageSize;
+    ssize_t n = ::pread(fd_, buf, kPageSize, off);
+    if (n != static_cast<ssize_t>(kPageSize)) {
+      return Status::IOError(Errno("pread " + path_));
+    }
+    PageTrailer tr;
+    n = ::pread(fd_, &tr, sizeof(tr), off + kPageSize);
+    if (n != static_cast<ssize_t>(sizeof(tr))) {
+      return Status::IOError(Errno("pread trailer " + path_));
+    }
+    const uint32_t expect = crc32c::Compute(buf, kPageSize);
+    if (crc32c::Unmask(tr.crc) != expect) {
+      return Status::Corruption("checksum mismatch on page " +
+                                std::to_string(id) + " of " + path_);
+    }
+    if (tr.page_id != id) {
+      return Status::Corruption("misdirected write: page " +
+                                std::to_string(id) + " of " + path_ +
+                                " carries id " + std::to_string(tr.page_id));
+    }
+    return Status::OK();
+  }
+
+  /// Writes the payload of page `id` and stamps a fresh trailer.
   Status WriteRaw(PageId id, const void* buf) {
-    const off_t off = static_cast<off_t>(id) * kPageSize;
+    const off_t off = static_cast<off_t>(id) * kPhysicalPageSize;
     ssize_t n = ::pwrite(fd_, buf, kPageSize, off);
     if (n != static_cast<ssize_t>(kPageSize)) {
       return Status::IOError(Errno("pwrite " + path_));
+    }
+    PageTrailer tr{crc32c::Mask(crc32c::Compute(buf, kPageSize)), id, 0};
+    n = ::pwrite(fd_, &tr, sizeof(tr), off + kPageSize);
+    if (n != static_cast<ssize_t>(sizeof(tr))) {
+      return Status::IOError(Errno("pwrite trailer " + path_));
     }
     return Status::OK();
   }
@@ -193,6 +235,16 @@ class MemPager final : public Pager {
   }
 
   Status Sync() override { return Status::OK(); }
+
+  Status CorruptPageForTesting(PageId id, uint32_t offset,
+                               uint32_t len) override {
+    if (id >= pages_.size() || offset + len > kPageSize) {
+      return Status::InvalidArgument("CorruptPageForTesting: bad range");
+    }
+    char* p = pages_[id].data() + offset;
+    for (uint32_t i = 0; i < len; ++i) p[i] = static_cast<char>(p[i] ^ 0xA5);
+    return Status::OK();
+  }
 
   uint64_t page_count() const override { return pages_.size(); }
   uint64_t live_page_count() const override { return live_; }

@@ -10,6 +10,23 @@
 
 namespace swst {
 
+/// Integrity trailer appended to every page by the file backend. The CRC is
+/// a masked CRC32C (see `crc32c::Mask`) of the kPageSize payload; `page_id`
+/// detects misdirected writes (a page persisted at the wrong offset).
+struct PageTrailer {
+  uint32_t crc;       ///< crc32c::Mask(crc32c of the payload).
+  PageId page_id;     ///< The id this page was written as.
+  uint64_t reserved;  ///< Zero; reserved for a future format version.
+};
+static_assert(sizeof(PageTrailer) == 16);
+
+/// Physical on-disk size of one page in the file backend: the kPageSize
+/// payload immediately followed by its `PageTrailer`. Page `i` lives at
+/// file offset `i * kPhysicalPageSize`. The memory backend stores bare
+/// payloads and has no trailers.
+inline constexpr uint32_t kPhysicalPageSize =
+    kPageSize + static_cast<uint32_t>(sizeof(PageTrailer));
+
 /// \brief Low-level page store: allocate/free/read/write fixed-size pages.
 ///
 /// Two backends are provided:
@@ -18,6 +35,11 @@ namespace swst {
 ///    stores the id of the next free page in its first 4 bytes), and
 ///  - a memory backend (`Pager::OpenMemory`) with identical semantics, used
 ///    by unit tests and by benchmarks that only measure node accesses.
+///
+/// The file backend stamps a `PageTrailer` on every `WritePage` and
+/// verifies it on every `ReadPage`; a mismatch (bit rot, torn write,
+/// misdirected write) surfaces as `Status::Corruption`, never as a wrong
+/// payload. See docs/storage.md, "Failure model & integrity".
 ///
 /// The pager itself performs no caching; `BufferPool` sits on top.
 class Pager {
@@ -49,6 +71,15 @@ class Pager {
 
   /// Flushes OS buffers to stable storage (no-op for the memory backend).
   virtual Status Sync() = 0;
+
+  /// Testing hook: damages the stored image of page `id` by XOR-ing
+  /// `len` payload bytes starting at `offset` with 0xA5, *without*
+  /// updating the integrity trailer. On the file backend the next
+  /// `ReadPage(id)` is guaranteed to return `Corruption`; the memory
+  /// backend (no trailers) silently serves the damaged payload. Used by
+  /// fault-injection and crash tests only.
+  virtual Status CorruptPageForTesting(PageId id, uint32_t offset,
+                                       uint32_t len) = 0;
 
   /// Total pages in the file, including the superblock and free pages.
   virtual uint64_t page_count() const = 0;

@@ -129,7 +129,9 @@ Status SwstIndex::Delete(const Entry& entry) {
 }
 
 Status SwstIndex::CloseCurrent(const Entry& current, Duration actual) {
-  assert(current.is_current());
+  if (!current.is_current()) {
+    return Status::InvalidArgument("CloseCurrent: entry is already closed");
+  }
   if (actual == 0 || actual > options_.max_duration) {
     return Status::InvalidArgument("CloseCurrent: duration outside [1, Dmax]");
   }
@@ -476,12 +478,22 @@ Result<std::unique_ptr<SwstIndex>> SwstIndex::Open(BufferPool* pool,
   PageId cur = meta_page;
   size_t cell = 0;
   bool first = true;
+  // A chain longer than the file has pages must be a next-pointer cycle.
+  const uint64_t max_chain = pool->pager()->page_count() + 1;
+  uint64_t chain_len = 0;
   while (cur != kInvalidPageId) {
+    if (++chain_len > max_chain) {
+      return Status::Corruption("SwstIndex::Open: metadata chain cycle");
+    }
     auto page = pool->Fetch(cur);
     if (!page.ok()) return page.status();
     const auto* hdr = page->As<MetaHeader>();
     if (hdr->magic != kMetaMagic) {
       return Status::Corruption("SwstIndex::Open: bad metadata magic");
+    }
+    if (hdr->cells_here > kCellsPerPage) {
+      // A garbage count would send the record loop past the page end.
+      return Status::Corruption("SwstIndex::Open: cell record overflow");
     }
     if (hdr->fingerprint != idx->OptionsFingerprint()) {
       return Status::InvalidArgument(

@@ -1,0 +1,414 @@
+// Unit tests for the fault-injection pager itself (deterministic fault
+// schedules, torn writes, crash/recover semantics) and for the file
+// backend's CRC32C page trailers (checksum round-trip, corruption and
+// misdirected-write detection).
+
+#include "storage/fault_injection_pager.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "storage/crc32c.h"
+#include "storage/pager.h"
+#include "tests/test_util.h"
+
+namespace swst {
+namespace {
+
+std::vector<char> PatternPage(char fill) {
+  std::vector<char> page(kPageSize, fill);
+  for (size_t i = 0; i < kPageSize; i += 97) page[i] = static_cast<char>(i);
+  return page;
+}
+
+std::string TempDbPath(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("swst_fault_" + tag + "_" + std::to_string(::getpid()) + ".db"))
+      .string();
+}
+
+// ---------------------------------------------------------------------------
+// CRC32C primitive.
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 §B.4 test vectors.
+  EXPECT_EQ(crc32c::Compute("123456789", 9), 0xE3069283u);
+  std::vector<char> zeros(32, 0);
+  EXPECT_EQ(crc32c::Compute(zeros.data(), zeros.size()), 0x8A9136AAu);
+  std::vector<unsigned char> ffs(32, 0xFF);
+  EXPECT_EQ(crc32c::Compute(ffs.data(), ffs.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ExtendComposes) {
+  const char* data = "the quick brown fox jumps over the lazy dog";
+  const size_t n = std::strlen(data);
+  const uint32_t whole = crc32c::Compute(data, n);
+  for (size_t split = 0; split <= n; ++split) {
+    EXPECT_EQ(crc32c::Extend(crc32c::Compute(data, split), data + split,
+                             n - split),
+              whole);
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTripsAndChangesValue) {
+  for (uint32_t crc : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu, 0xE3069283u}) {
+    EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+    EXPECT_NE(crc32c::Mask(crc), crc);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault schedules.
+
+TEST(FaultInjectionPagerTest, FailsExactlyTheNthWrite) {
+  auto base = Pager::OpenMemory();
+  FaultInjectionPager fi(base.get());
+  auto id = fi.AllocatePage();
+  ASSERT_TRUE(id.ok());
+
+  FaultInjectionPager::FaultPolicy policy;
+  policy.fail_write_at = 3;
+  fi.set_policy(policy);
+
+  const auto page = PatternPage('a');
+  EXPECT_OK(fi.WritePage(*id, page.data()));  // write #1
+  EXPECT_OK(fi.WritePage(*id, page.data()));  // write #2
+  Status st = fi.WritePage(*id, page.data());  // write #3: injected
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_NE(st.message().find("injected"), std::string::npos);
+  EXPECT_OK(fi.WritePage(*id, page.data()));  // write #4: one-shot is over
+  EXPECT_EQ(fi.writes(), 4u);
+}
+
+TEST(FaultInjectionPagerTest, FailsExactlyTheNthReadAndSync) {
+  auto base = Pager::OpenMemory();
+  FaultInjectionPager fi(base.get());
+  auto id = fi.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  const auto page = PatternPage('b');
+  ASSERT_OK(fi.WritePage(*id, page.data()));
+
+  FaultInjectionPager::FaultPolicy policy;
+  policy.fail_read_at = 2;
+  policy.fail_sync_at = 1;
+  fi.set_policy(policy);
+
+  std::vector<char> buf(kPageSize);
+  EXPECT_OK(fi.ReadPage(*id, buf.data()));
+  EXPECT_TRUE(fi.ReadPage(*id, buf.data()).IsIOError());
+  EXPECT_OK(fi.ReadPage(*id, buf.data()));
+
+  EXPECT_TRUE(fi.Sync().IsIOError());
+  // A failed sync keeps everything buffered; a retry commits it.
+  EXPECT_GT(fi.unsynced_pages(), 0u);
+  EXPECT_OK(fi.Sync());
+  EXPECT_EQ(fi.unsynced_pages(), 0u);
+}
+
+TEST(FaultInjectionPagerTest, FailedWriteBuffersNothing) {
+  auto base = Pager::OpenMemory();
+  FaultInjectionPager fi(base.get());
+  auto id = fi.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  const auto before = PatternPage('x');
+  ASSERT_OK(fi.WritePage(*id, before.data()));
+  ASSERT_OK(fi.Sync());
+
+  FaultInjectionPager::FaultPolicy policy;
+  policy.fail_write_at = fi.writes() + 1;
+  fi.set_policy(policy);
+  const auto after = PatternPage('y');
+  ASSERT_TRUE(fi.WritePage(*id, after.data()).IsIOError());
+  EXPECT_EQ(fi.unsynced_pages(), 0u);
+
+  std::vector<char> buf(kPageSize);
+  ASSERT_OK(fi.ReadPage(*id, buf.data()));
+  EXPECT_EQ(std::memcmp(buf.data(), before.data(), kPageSize), 0);
+}
+
+TEST(FaultInjectionPagerTest, ProbabilisticFaultsAreSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    auto base = Pager::OpenMemory();
+    FaultInjectionPager fi(base.get());
+    auto id = fi.AllocatePage();
+    EXPECT_TRUE(id.ok());
+    FaultInjectionPager::FaultPolicy policy;
+    policy.write_fail_prob = 0.3;
+    policy.seed = seed;
+    fi.set_policy(policy);
+    const auto page = PatternPage('p');
+    std::vector<int> failures;
+    for (int i = 0; i < 100; ++i) {
+      if (!fi.WritePage(*id, page.data()).ok()) failures.push_back(i);
+    }
+    return failures;
+  };
+  const auto a = run(42), b = run(42), c = run(7);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+  EXPECT_NE(a, c);  // Different seed, different schedule.
+}
+
+// ---------------------------------------------------------------------------
+// Crash / recover semantics.
+
+TEST(FaultInjectionPagerTest, CrashDropsUnsyncedWritesKeepsSyncedOnes) {
+  auto base = Pager::OpenMemory();
+  FaultInjectionPager fi(base.get());
+  auto id = fi.AllocatePage();
+  ASSERT_TRUE(id.ok());
+
+  const auto durable = PatternPage('d');
+  ASSERT_OK(fi.WritePage(*id, durable.data()));
+  ASSERT_OK(fi.Sync());
+
+  const auto lost = PatternPage('l');
+  ASSERT_OK(fi.WritePage(*id, lost.data()));
+  // Before the crash, reads see the buffered write (the OS page cache).
+  std::vector<char> buf(kPageSize);
+  ASSERT_OK(fi.ReadPage(*id, buf.data()));
+  EXPECT_EQ(std::memcmp(buf.data(), lost.data(), kPageSize), 0);
+
+  ASSERT_OK(fi.CrashAndRecover());
+  ASSERT_OK(fi.ReadPage(*id, buf.data()));
+  EXPECT_EQ(std::memcmp(buf.data(), durable.data(), kPageSize), 0);
+}
+
+TEST(FaultInjectionPagerTest, CrashRevertsUnsyncedFrees) {
+  auto base = Pager::OpenMemory();
+  FaultInjectionPager fi(base.get());
+  auto id = fi.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  const auto content = PatternPage('f');
+  ASSERT_OK(fi.WritePage(*id, content.data()));
+  ASSERT_OK(fi.Sync());
+  const uint64_t live_before = fi.live_page_count();
+
+  ASSERT_OK(fi.FreePage(*id));
+  EXPECT_EQ(fi.live_page_count(), live_before - 1);
+
+  ASSERT_OK(fi.CrashAndRecover());
+  // The free never became durable: the page is live again, content intact.
+  EXPECT_EQ(fi.live_page_count(), live_before);
+  std::vector<char> buf(kPageSize);
+  ASSERT_OK(fi.ReadPage(*id, buf.data()));
+  EXPECT_EQ(std::memcmp(buf.data(), content.data(), kPageSize), 0);
+}
+
+TEST(FaultInjectionPagerTest, SyncedFreeSurvivesCrashAndIdIsReusable) {
+  auto base = Pager::OpenMemory();
+  FaultInjectionPager fi(base.get());
+  auto id = fi.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  ASSERT_OK(fi.FreePage(*id));
+  ASSERT_OK(fi.Sync());
+  const uint64_t live = fi.live_page_count();
+  ASSERT_OK(fi.CrashAndRecover());
+  EXPECT_EQ(fi.live_page_count(), live);
+  auto re = fi.AllocatePage();
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(*re, *id);  // The durable free list hands the hole back.
+}
+
+TEST(FaultInjectionPagerTest, FreeThenReallocateBeforeSyncIsConsistent) {
+  auto base = Pager::OpenMemory();
+  FaultInjectionPager fi(base.get());
+  auto a = fi.AllocatePage();
+  ASSERT_TRUE(a.ok());
+  ASSERT_OK(fi.Sync());
+
+  ASSERT_OK(fi.FreePage(*a));
+  auto b = fi.AllocatePage();  // Reuses the unsynced hole.
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, *a);
+  const auto content = PatternPage('r');
+  ASSERT_OK(fi.WritePage(*b, content.data()));
+  ASSERT_OK(fi.Sync());
+
+  std::vector<char> buf(kPageSize);
+  ASSERT_OK(fi.ReadPage(*b, buf.data()));
+  EXPECT_EQ(std::memcmp(buf.data(), content.data(), kPageSize), 0);
+}
+
+TEST(FaultInjectionPagerTest, TornWriteExposesPrefixAfterCrash) {
+  auto base = Pager::OpenMemory();
+  FaultInjectionPager fi(base.get());
+  auto id = fi.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  const auto old_img = PatternPage('o');
+  ASSERT_OK(fi.WritePage(*id, old_img.data()));
+  ASSERT_OK(fi.Sync());
+
+  FaultInjectionPager::FaultPolicy policy;
+  policy.torn_write_at = fi.writes() + 1;
+  policy.torn_bytes = 1000;
+  fi.set_policy(policy);
+  const auto new_img = PatternPage('n');
+  ASSERT_OK(fi.WritePage(*id, new_img.data()));
+
+  // Pre-crash reads still see the full new image.
+  std::vector<char> buf(kPageSize);
+  ASSERT_OK(fi.ReadPage(*id, buf.data()));
+  EXPECT_EQ(std::memcmp(buf.data(), new_img.data(), kPageSize), 0);
+
+  ASSERT_OK(fi.CrashAndRecover());
+  ASSERT_OK(fi.ReadPage(*id, buf.data()));
+  // The surviving prefix is the new image; the tail is neither the old
+  // nor the new image (garbage), i.e. the page really is torn.
+  EXPECT_EQ(std::memcmp(buf.data(), new_img.data(), 1000), 0);
+  EXPECT_NE(std::memcmp(buf.data() + 1000, new_img.data() + 1000,
+                        kPageSize - 1000),
+            0);
+  EXPECT_NE(std::memcmp(buf.data() + 1000, old_img.data() + 1000,
+                        kPageSize - 1000),
+            0);
+}
+
+TEST(FaultInjectionPagerTest, FullRewriteSupersedesTornMark) {
+  auto base = Pager::OpenMemory();
+  FaultInjectionPager fi(base.get());
+  auto id = fi.AllocatePage();
+  ASSERT_TRUE(id.ok());
+
+  FaultInjectionPager::FaultPolicy policy;
+  policy.torn_write_at = 1;
+  fi.set_policy(policy);
+  const auto torn = PatternPage('t');
+  ASSERT_OK(fi.WritePage(*id, torn.data()));
+  const auto fixed = PatternPage('F');
+  ASSERT_OK(fi.WritePage(*id, fixed.data()));  // Clean rewrite.
+
+  ASSERT_OK(fi.CrashAndRecover());
+  // The torn mark was superseded, so the crash simply drops the page
+  // (it was never synced): reads return the base's zeroed image.
+  std::vector<char> buf(kPageSize);
+  ASSERT_OK(fi.ReadPage(*id, buf.data()));
+  EXPECT_NE(std::memcmp(buf.data(), fixed.data(), kPageSize), 0);
+}
+
+// ---------------------------------------------------------------------------
+// File-backend checksums.
+
+TEST(FilePagerChecksumTest, RoundTripsThroughCloseAndReopen) {
+  const std::string path = TempDbPath("roundtrip");
+  PageId id = kInvalidPageId;
+  const auto page = PatternPage('c');
+  {
+    auto pager = Pager::OpenFile(path, /*truncate=*/true);
+    ASSERT_TRUE(pager.ok());
+    auto alloc = (*pager)->AllocatePage();
+    ASSERT_TRUE(alloc.ok());
+    id = *alloc;
+    ASSERT_OK((*pager)->WritePage(id, page.data()));
+    ASSERT_OK((*pager)->Sync());
+  }
+  {
+    auto pager = Pager::OpenFile(path, /*truncate=*/false);
+    ASSERT_TRUE(pager.ok());
+    std::vector<char> buf(kPageSize);
+    ASSERT_OK((*pager)->ReadPage(id, buf.data()));
+    EXPECT_EQ(std::memcmp(buf.data(), page.data(), kPageSize), 0);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(FilePagerChecksumTest, BitFlipYieldsCorruptionNotIOError) {
+  const std::string path = TempDbPath("bitflip");
+  auto pager = Pager::OpenFile(path, /*truncate=*/true);
+  ASSERT_TRUE(pager.ok());
+  auto id = (*pager)->AllocatePage();
+  ASSERT_TRUE(id.ok());
+  const auto page = PatternPage('z');
+  ASSERT_OK((*pager)->WritePage(*id, page.data()));
+
+  // Damage one payload byte without restamping the trailer.
+  ASSERT_OK((*pager)->CorruptPageForTesting(*id, 1234, 1));
+
+  std::vector<char> buf(kPageSize);
+  Status st = (*pager)->ReadPage(*id, buf.data());
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_FALSE(st.IsIOError());
+  EXPECT_NE(st.message().find("checksum"), std::string::npos);
+
+  // A rewrite restamps the trailer and heals the page.
+  ASSERT_OK((*pager)->WritePage(*id, page.data()));
+  EXPECT_OK((*pager)->ReadPage(*id, buf.data()));
+  pager->reset();
+  std::filesystem::remove(path);
+}
+
+TEST(FilePagerChecksumTest, MisdirectedWriteIsDetected) {
+  const std::string path = TempDbPath("misdirect");
+  PageId a = kInvalidPageId, b = kInvalidPageId;
+  {
+    auto pager = Pager::OpenFile(path, /*truncate=*/true);
+    ASSERT_TRUE(pager.ok());
+    auto pa = (*pager)->AllocatePage();
+    auto pb = (*pager)->AllocatePage();
+    ASSERT_TRUE(pa.ok());
+    ASSERT_TRUE(pb.ok());
+    a = *pa;
+    b = *pb;
+    ASSERT_OK((*pager)->WritePage(a, PatternPage('A').data()));
+    ASSERT_OK((*pager)->WritePage(b, PatternPage('B').data()));
+    ASSERT_OK((*pager)->Sync());
+  }
+  {
+    // Copy page A's physical record (payload + trailer) over page B's
+    // slot: a misdirected write. The CRC still matches the payload, but
+    // the trailer's page id gives it away.
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::vector<char> rec(kPhysicalPageSize);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(a) * kPhysicalPageSize,
+                         SEEK_SET),
+              0);
+    ASSERT_EQ(std::fread(rec.data(), 1, rec.size(), f), rec.size());
+    ASSERT_EQ(std::fseek(f, static_cast<long>(b) * kPhysicalPageSize,
+                         SEEK_SET),
+              0);
+    ASSERT_EQ(std::fwrite(rec.data(), 1, rec.size(), f), rec.size());
+    std::fclose(f);
+  }
+  auto pager = Pager::OpenFile(path, /*truncate=*/false);
+  ASSERT_TRUE(pager.ok());
+  std::vector<char> buf(kPageSize);
+  EXPECT_OK((*pager)->ReadPage(a, buf.data()));
+  Status st = (*pager)->ReadPage(b, buf.data());
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_NE(st.message().find("misdirected"), std::string::npos);
+  pager->reset();
+  std::filesystem::remove(path);
+}
+
+TEST(FilePagerChecksumTest, TornCrashOverFileBackendIsCaughtByChecksum) {
+  const std::string path = TempDbPath("torncrash");
+  auto file = Pager::OpenFile(path, /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+  FaultInjectionPager fi(file->get());
+  auto id = fi.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  ASSERT_OK(fi.WritePage(*id, PatternPage('1').data()));
+  ASSERT_OK(fi.Sync());
+
+  FaultInjectionPager::FaultPolicy policy;
+  policy.torn_write_at = fi.writes() + 1;
+  fi.set_policy(policy);
+  ASSERT_OK(fi.WritePage(*id, PatternPage('2').data()));
+  ASSERT_OK(fi.CrashAndRecover());
+
+  std::vector<char> buf(kPageSize);
+  Status st = fi.ReadPage(*id, buf.data());
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  file->reset();
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace swst

@@ -132,8 +132,10 @@ TEST(FilePagerTest, RejectsCorruptMagic) {
   auto path = std::filesystem::temp_directory_path() /
               ("swst_pager_magic_" + std::to_string(::getpid()) + ".db");
   {
+    // A full physical page (payload + trailer) of junk: the superblock
+    // read fails its checksum before the magic is even looked at.
     std::ofstream f(path);
-    std::string junk(kPageSize, 'x');
+    std::string junk(kPhysicalPageSize, 'x');
     f << junk;
   }
   auto pager = Pager::OpenFile(path.string(), /*truncate=*/false);

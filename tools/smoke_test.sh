@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Smoke tests for swst_cli. Usage: smoke_test.sh <path-to-swst_cli> <mode>
-# Modes: basic | persistence
+# Modes: basic | persistence | verify
 set -eu
 
 CLI="$1"
@@ -24,6 +24,23 @@ case "$MODE" in
     echo "$out"
     echo "$out" | grep -q 'reopened'
     echo "$out" | grep -q 'results 1'
+    ;;
+  verify)
+    db=$(mktemp -u /tmp/swst_cli_XXXXXX.db)
+    trap 'rm -f "$db"' EXIT
+    printf 'insert 7 10 10 5 50\nquit\n' | "$CLI" --db "$db" $FLAGS > /dev/null
+    out=$("$CLI" verify --db "$db" $FLAGS)
+    echo "$out"
+    echo "$out" | grep -q 'verify: ok'
+    # Damage two payload bytes of page 1. Pages are 8208 bytes on disk
+    # (8192 payload + 16-byte checksum trailer), so page 1 starts at 8208.
+    printf '\xde\xad' | dd of="$db" bs=1 seek=$((8208 + 100)) \
+                           conv=notrunc status=none
+    if "$CLI" verify --db "$db" $FLAGS; then
+      echo "verify should have failed on a corrupt page" >&2
+      exit 1
+    fi
+    echo "corruption detected as expected"
     ;;
   *)
     echo "unknown mode: $MODE" >&2
