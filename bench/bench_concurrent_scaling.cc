@@ -1,0 +1,167 @@
+// Concurrent query scaling for the sharded SwstIndex: N client threads
+// issue window queries against one index (read-only mode), or against one
+// index that a background writer keeps ingesting into (mixed mode).
+// Reports QPS and latency percentiles as JSON, one result object per
+// (mode, threads) point.
+//
+// The point of the experiment: per-shard reader/writer locks plus the
+// lock-striped buffer pool let read throughput scale with client threads
+// instead of serializing on a single index mutex.
+//
+// Usage: bench_concurrent_scaling [--smoke]
+//   --smoke    one short iteration per point (CI smoke test).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench/workload.h"
+
+namespace {
+
+using namespace swst;
+using namespace swst::bench;
+
+double PercentileUs(std::vector<double>* lat, double p) {
+  if (lat->empty()) return 0;
+  std::sort(lat->begin(), lat->end());
+  size_t i = static_cast<size_t>(p * (lat->size() - 1));
+  return (*lat)[i];
+}
+
+struct ScalingPoint {
+  const char* mode;
+  int threads;
+  double qps;
+  double p50_us;
+  double p99_us;
+};
+
+ScalingPoint RunPoint(SwstIndex* idx, const std::vector<WindowQuery>& queries,
+               int threads, int queries_per_thread, bool mixed,
+               const GstdOptions& gstd) {
+  std::atomic<bool> stop_writer{false};
+  std::thread writer;
+  if (mixed) {
+    // One ingestion thread replays a fresh GSTD stream (new oids) for the
+    // duration of the measurement — the paper's streaming model.
+    writer = std::thread([&] {
+      GstdGenerator gen(gstd);
+      std::unordered_map<ObjectId, Entry> open;
+      GstdRecord rec;
+      while (!stop_writer.load(std::memory_order_relaxed) && gen.Next(&rec)) {
+        const ObjectId oid = rec.oid + 1000000;  // Avoid loaded oids.
+        auto it = open.find(oid);
+        const Entry* prev = (it != open.end()) ? &it->second : nullptr;
+        Entry cur;
+        if (!idx->ReportPosition(oid, rec.pos, rec.t, prev, &cur).ok()) break;
+        open[oid] = cur;
+      }
+    });
+  }
+
+  std::vector<std::vector<double>> lat(threads);
+  std::atomic<uint64_t> errors{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      lat[t].reserve(queries_per_thread);
+      for (int i = 0; i < queries_per_thread; ++i) {
+        const WindowQuery& q = queries[(t * queries_per_thread + i) %
+                                       queries.size()];
+        const auto q0 = std::chrono::steady_clock::now();
+        auto r = idx->IntervalQuery(q.area, q.interval);
+        const auto q1 = std::chrono::steady_clock::now();
+        if (!r.ok()) {
+          errors++;
+          return;
+        }
+        lat[t].push_back(
+            std::chrono::duration<double, std::micro>(q1 - q0).count());
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  if (mixed) {
+    stop_writer.store(true, std::memory_order_relaxed);
+    writer.join();
+  }
+  if (errors.load() != 0) {
+    std::fprintf(stderr, "query failures in %s mode\n",
+                 mixed ? "mixed" : "read_only");
+    std::abort();
+  }
+
+  std::vector<double> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  ScalingPoint p;
+  p.mode = mixed ? "mixed" : "read_only";
+  p.threads = threads;
+  p.qps = (secs > 0) ? all.size() / secs : 0;
+  p.p50_us = PercentileUs(&all, 0.50);
+  p.p99_us = PercentileUs(&all, 0.99);
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const double scale = smoke ? 0.02 : ScaleFromEnv();
+  const uint64_t objects = ScaledObjects(50000, scale);
+  const int queries_per_thread = smoke ? 20 : 400;
+
+  SwstOptions options = PaperSwstOptions();
+  // Intra-query fan-out stays off: this benchmark measures inter-query
+  // scaling, the dominant mode for a streaming server.
+  options.query_threads = 1;
+  auto pager = Pager::OpenMemory();
+  BufferPool pool(pager.get(), 1 << 17);
+  auto idx_or = SwstIndex::Create(&pool, options);
+  if (!idx_or.ok()) return 1;
+  auto idx = std::move(*idx_or);
+
+  const GstdOptions gstd = PaperGstdOptions(objects);
+  LoadSwst(idx.get(), &pool, gstd, /*time_cap=*/95000);
+  const TimeInterval win = idx->QueriablePeriod();
+  const auto queries =
+      MakeQueries(options.space, win, /*spatial_extent=*/0.01,
+                  /*temporal_extent=*/0.10, /*count=*/256, /*seed=*/11);
+
+  const GstdOptions mixer = PaperGstdOptions(objects, /*seed=*/77);
+  std::vector<ScalingPoint> points;
+  const std::vector<int> thread_counts = smoke ? std::vector<int>{1, 4}
+                                               : std::vector<int>{1, 2, 4, 8};
+  for (bool mixed : {false, true}) {
+    for (int threads : thread_counts) {
+      points.push_back(RunPoint(idx.get(), queries, threads,
+                                queries_per_thread, mixed, mixer));
+    }
+  }
+
+  std::printf("{\n  \"bench\": \"concurrent_scaling\",\n");
+  std::printf("  \"objects\": %llu,\n",
+              static_cast<unsigned long long>(objects));
+  std::printf("  \"queries_per_thread\": %d,\n  \"results\": [\n",
+              queries_per_thread);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ScalingPoint& p = points[i];
+    std::printf("    {\"mode\": \"%s\", \"threads\": %d, \"qps\": %.1f, "
+                "\"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
+                p.mode, p.threads, p.qps, p.p50_us, p.p99_us,
+                (i + 1 < points.size()) ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

@@ -73,8 +73,14 @@ class BTree {
   /// and pairwise disjoint. The tree is traversed level by level so that no
   /// node is fetched more than once, and no node without an overlapping
   /// range is fetched at all. Records are emitted in key order.
+  ///
+  /// If `node_accesses` is non-null, the number of tree nodes fetched by
+  /// this search is *added* to it. This gives callers an exact per-query
+  /// node-access count without diffing the shared buffer-pool counter,
+  /// which is approximate when queries run concurrently.
   Status SearchRanges(const std::vector<KeyRange>& ranges,
-                      const std::function<bool(const BTreeRecord&)>& fn) const;
+                      const std::function<bool(const BTreeRecord&)>& fn,
+                      uint64_t* node_accesses = nullptr) const;
 
   /// Baseline for the multi-search ablation: one root-to-leaf descent per
   /// range. Same results, more node accesses on adjacent ranges.

@@ -30,7 +30,8 @@ struct WorkItem {
 
 Status BTree::SearchRanges(
     const std::vector<KeyRange>& ranges,
-    const std::function<bool(const BTreeRecord&)>& fn) const {
+    const std::function<bool(const BTreeRecord&)>& fn,
+    uint64_t* node_accesses) const {
   if (ranges.empty()) return Status::OK();
 #ifndef NDEBUG
   for (size_t i = 1; i < ranges.size(); ++i) {
@@ -57,6 +58,7 @@ Status BTree::SearchRanges(
     for (const WorkItem& item : level) {
       auto page = FetchNode(pool_, item.node);
       if (!page.ok()) return page.status();
+      if (node_accesses != nullptr) (*node_accesses)++;
 
       if (page->As<btree_internal::NodeHeader>()->type == kLeafType) {
         is_leaf_level = true;

@@ -21,24 +21,53 @@ PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
 
 void PageHandle::MarkDirty() {
   assert(valid());
-  pool_->MarkDirty(frame_);
+  pool_->MarkDirty(id_, frame_);
 }
 
 void PageHandle::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_);
+    pool_->Unpin(id_, frame_);
     pool_ = nullptr;
     data_ = nullptr;
     id_ = kInvalidPageId;
   }
 }
 
-BufferPool::BufferPool(Pager* pager, size_t capacity_pages) : pager_(pager) {
+namespace {
+
+/// Below this many frames per stripe, hash skew can spuriously exhaust a
+/// partition even though the pool as a whole has room; collapse to fewer
+/// (or one) partitions instead.
+constexpr size_t kMinFramesPerPartition = 64;
+constexpr size_t kMaxPartitions = 16;
+
+size_t AutoPartitions(size_t capacity_pages) {
+  size_t n = capacity_pages / kMinFramesPerPartition;
+  if (n < 1) n = 1;
+  if (n > kMaxPartitions) n = kMaxPartitions;
+  return n;
+}
+
+}  // namespace
+
+BufferPool::BufferPool(Pager* pager, size_t capacity_pages, size_t partitions)
+    : pager_(pager), capacity_(capacity_pages) {
   assert(capacity_pages >= 1);
-  frames_.resize(capacity_pages);
-  unused_frames_.reserve(capacity_pages);
-  for (size_t i = capacity_pages; i > 0; --i) {
-    unused_frames_.push_back(i - 1);
+  size_t n = (partitions == 0) ? AutoPartitions(capacity_pages) : partitions;
+  if (n > capacity_pages) n = capacity_pages;
+  if (n < 1) n = 1;
+  partitions_.reserve(n);
+  const size_t base = capacity_pages / n;
+  const size_t extra = capacity_pages % n;
+  for (size_t p = 0; p < n; ++p) {
+    auto part = std::make_unique<Partition>();
+    const size_t frames = base + (p < extra ? 1 : 0);
+    part->frames.resize(frames);
+    part->unused_frames.reserve(frames);
+    for (size_t i = frames; i > 0; --i) {
+      part->unused_frames.push_back(i - 1);
+    }
+    partitions_.push_back(std::move(part));
   }
 }
 
@@ -51,152 +80,190 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   if (id == kInvalidPageId) {
     return Status::InvalidArgument("Fetch: invalid page id");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.logical_reads++;
-  auto it = page_to_frame_.find(id);
-  if (it != page_to_frame_.end()) {
-    Frame& f = frames_[it->second];
+  Partition& part = PartitionFor(id);
+  std::lock_guard<std::mutex> lock(part.mu);
+  part.stats.logical_reads++;
+  auto it = part.page_to_frame.find(id);
+  if (it != part.page_to_frame.end()) {
+    Frame& f = part.frames[it->second];
     if (f.pin_count == 0 && f.in_lru) {
-      lru_.erase(f.lru_pos);
+      part.lru.erase(f.lru_pos);
       f.in_lru = false;
     }
     f.pin_count++;
     return PageHandle(this, it->second, id, f.data.data());
   }
 
-  auto frame_idx = GrabFrame();
+  auto frame_idx = GrabFrame(part);
   if (!frame_idx.ok()) return frame_idx.status();
-  Frame& f = frames_[*frame_idx];
+  Frame& f = part.frames[*frame_idx];
   if (f.data.empty()) f.data.resize(kPageSize);
-  Status st = pager_->ReadPage(id, f.data.data());
+  Status st;
+  {
+    std::lock_guard<std::mutex> pager_lock(pager_mu_);
+    st = pager_->ReadPage(id, f.data.data());
+  }
   if (!st.ok()) {
-    unused_frames_.push_back(*frame_idx);
+    part.unused_frames.push_back(*frame_idx);
     return st;
   }
-  stats_.physical_reads++;
+  part.stats.physical_reads++;
   f.page_id = id;
   f.pin_count = 1;
   f.dirty = false;
   f.in_lru = false;
-  page_to_frame_[id] = *frame_idx;
+  part.page_to_frame[id] = *frame_idx;
   return PageHandle(this, *frame_idx, id, f.data.data());
 }
 
 Result<PageHandle> BufferPool::New() {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto id = pager_->AllocatePage();
+  Result<PageId> id = Status::OK();
+  {
+    std::lock_guard<std::mutex> pager_lock(pager_mu_);
+    id = pager_->AllocatePage();
+  }
   if (!id.ok()) return id.status();
 
-  auto frame_idx = GrabFrame();
+  Partition& part = PartitionFor(*id);
+  std::lock_guard<std::mutex> lock(part.mu);
+  auto frame_idx = GrabFrame(part);
   if (!frame_idx.ok()) {
     // Don't leak the just-allocated page when no frame is available.
+    std::lock_guard<std::mutex> pager_lock(pager_mu_);
     (void)pager_->FreePage(*id);
     return frame_idx.status();
   }
-  stats_.pages_allocated++;
-  stats_.logical_reads++;
-  Frame& f = frames_[*frame_idx];
+  part.stats.pages_allocated++;
+  part.stats.logical_reads++;
+  Frame& f = part.frames[*frame_idx];
   if (f.data.empty()) f.data.resize(kPageSize);
   std::memset(f.data.data(), 0, kPageSize);
   f.page_id = *id;
   f.pin_count = 1;
   f.dirty = true;
   f.in_lru = false;
-  page_to_frame_[*id] = *frame_idx;
+  part.page_to_frame[*id] = *frame_idx;
   return PageHandle(this, *frame_idx, *id, f.data.data());
 }
 
 Status BufferPool::Free(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_to_frame_.find(id);
-  if (it != page_to_frame_.end()) {
-    Frame& f = frames_[it->second];
+  Partition& part = PartitionFor(id);
+  std::lock_guard<std::mutex> lock(part.mu);
+  auto it = part.page_to_frame.find(id);
+  if (it != part.page_to_frame.end()) {
+    Frame& f = part.frames[it->second];
     if (f.pin_count != 0) {
       return Status::InvalidArgument("Free: page is pinned");
     }
     if (f.in_lru) {
-      lru_.erase(f.lru_pos);
+      part.lru.erase(f.lru_pos);
       f.in_lru = false;
     }
     f.page_id = kInvalidPageId;
     f.dirty = false;
-    unused_frames_.push_back(it->second);
-    page_to_frame_.erase(it);
+    part.unused_frames.push_back(it->second);
+    part.page_to_frame.erase(it);
   }
-  SWST_RETURN_IF_ERROR(pager_->FreePage(id));
-  stats_.pages_freed++;
+  {
+    std::lock_guard<std::mutex> pager_lock(pager_mu_);
+    SWST_RETURN_IF_ERROR(pager_->FreePage(id));
+  }
+  part.stats.pages_freed++;
   return Status::OK();
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  // Attempt every dirty frame even after a failure, so one bad page does
-  // not pin the whole pool's dirty set in memory; report the first error.
-  // Frames that failed to write back stay dirty for a later retry.
+  // Attempt every dirty frame of every partition even after a failure, so
+  // one bad page does not pin the whole pool's dirty set in memory; report
+  // the first error. Frames that failed to write back stay dirty for a
+  // later retry. Checkpoints (SwstIndex::Save) depend on this sweeping all
+  // partitions before the pager is synced.
   Status first_error;
-  for (Frame& f : frames_) {
-    if (f.page_id != kInvalidPageId && f.dirty) {
-      Status st = pager_->WritePage(f.page_id, f.data.data());
-      if (st.ok()) {
-        stats_.physical_writes++;
-        f.dirty = false;
-      } else if (first_error.ok()) {
-        first_error = st;
+  for (auto& part : partitions_) {
+    std::lock_guard<std::mutex> lock(part->mu);
+    for (Frame& f : part->frames) {
+      if (f.page_id != kInvalidPageId && f.dirty) {
+        Status st;
+        {
+          std::lock_guard<std::mutex> pager_lock(pager_mu_);
+          st = pager_->WritePage(f.page_id, f.data.data());
+        }
+        if (st.ok()) {
+          part->stats.physical_writes++;
+          f.dirty = false;
+        } else if (first_error.ok()) {
+          first_error = st;
+        }
       }
     }
   }
   return first_error;
 }
 
+IoStats BufferPool::stats() const {
+  IoStats total;
+  for (const auto& part : partitions_) {
+    total += part->stats;
+  }
+  return total;
+}
+
 size_t BufferPool::pinned_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
-  for (const Frame& f : frames_) {
-    if (f.page_id != kInvalidPageId && f.pin_count > 0) n++;
+  for (const auto& part : partitions_) {
+    std::lock_guard<std::mutex> lock(part->mu);
+    for (const Frame& f : part->frames) {
+      if (f.page_id != kInvalidPageId && f.pin_count > 0) n++;
+    }
   }
   return n;
 }
 
-void BufferPool::Unpin(size_t frame_idx) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Frame& f = frames_[frame_idx];
+void BufferPool::Unpin(PageId id, size_t frame_idx) {
+  Partition& part = PartitionFor(id);
+  std::lock_guard<std::mutex> lock(part.mu);
+  Frame& f = part.frames[frame_idx];
   assert(f.pin_count > 0);
   f.pin_count--;
   if (f.pin_count == 0) {
-    lru_.push_front(frame_idx);
-    f.lru_pos = lru_.begin();
+    part.lru.push_front(frame_idx);
+    f.lru_pos = part.lru.begin();
     f.in_lru = true;
   }
 }
 
-Result<size_t> BufferPool::GrabFrame() {
-  if (!unused_frames_.empty()) {
-    size_t idx = unused_frames_.back();
-    unused_frames_.pop_back();
+Result<size_t> BufferPool::GrabFrame(Partition& part) {
+  if (!part.unused_frames.empty()) {
+    size_t idx = part.unused_frames.back();
+    part.unused_frames.pop_back();
     return idx;
   }
-  if (lru_.empty()) {
+  if (part.lru.empty()) {
     return Status::IOError("buffer pool exhausted: all frames pinned");
   }
   // Evict the least-recently-used unpinned frame.
-  size_t victim = lru_.back();
-  lru_.pop_back();
-  Frame& f = frames_[victim];
+  size_t victim = part.lru.back();
+  part.lru.pop_back();
+  Frame& f = part.frames[victim];
   f.in_lru = false;
   if (f.dirty) {
-    Status st = pager_->WritePage(f.page_id, f.data.data());
+    Status st;
+    {
+      std::lock_guard<std::mutex> pager_lock(pager_mu_);
+      st = pager_->WritePage(f.page_id, f.data.data());
+    }
     if (!st.ok()) {
       // Write-back failed: the frame keeps its dirty data and returns to
       // the LRU tail so it stays evictable (and retryable) — never dropped.
-      lru_.push_back(victim);
-      f.lru_pos = std::prev(lru_.end());
+      part.lru.push_back(victim);
+      f.lru_pos = std::prev(part.lru.end());
       f.in_lru = true;
       return st;
     }
-    stats_.physical_writes++;
+    part.stats.physical_writes++;
     f.dirty = false;
   }
-  page_to_frame_.erase(f.page_id);
+  part.page_to_frame.erase(f.page_id);
   f.page_id = kInvalidPageId;
   return victim;
 }

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -61,28 +62,39 @@ class PageHandle {
       : pool_(pool), frame_(frame), id_(id), data_(data) {}
 
   BufferPool* pool_ = nullptr;
-  size_t frame_ = 0;
+  size_t frame_ = 0;  ///< Frame index *within the page's partition*.
   PageId id_ = kInvalidPageId;
   char* data_ = nullptr;
 };
 
-/// \brief Fixed-capacity LRU page cache over a `Pager`.
+/// \brief Fixed-capacity, lock-striped LRU page cache over a `Pager`.
 ///
 /// All index structures in this codebase (B+ trees, R-trees, MVR-trees)
 /// access disk pages exclusively through a buffer pool, and every `Fetch` /
 /// `New` increments `stats().logical_reads` — this is the *node access*
 /// count reported in the paper's experiments.
 ///
-/// Pool bookkeeping (frame table, LRU, pin counts) is protected by an
-/// internal mutex, so pages can be fetched from multiple threads; the
-/// *contents* of a pinned page are not synchronized — concurrent access to
-/// the same page must be coordinated by the caller (see
-/// `ConcurrentSwstIndex`). `stats()` counters are relaxed atomics, so
-/// cross-thread reads are race-free (see `IoStats`).
+/// The cache is split into `partition_count()` independent partitions,
+/// each with its own mutex, frame table, LRU list, and `IoStats`; a page
+/// id hashes to exactly one partition. Concurrent fetches of pages in
+/// different partitions never contend, which is what lets SWST's sharded
+/// query fan-out scale (see docs/concurrency.md). Small pools collapse to
+/// a single partition, preserving exact global-LRU behavior for tests and
+/// tiny configurations. Calls into the underlying `Pager` (reads, writes,
+/// allocation) are serialized by a dedicated pager mutex, acquired only
+/// *after* a partition mutex — the pager itself need not be thread-safe.
+///
+/// The *contents* of a pinned page are not synchronized — concurrent
+/// access to the same page must be coordinated by the caller (the SWST
+/// layer uses per-shard locks; see `SwstIndex`). `stats()` aggregates the
+/// per-partition counters into a relaxed snapshot.
 class BufferPool {
  public:
-  /// `capacity_pages` must be >= 1. The pool does not own `pager`.
-  BufferPool(Pager* pager, size_t capacity_pages);
+  /// `capacity_pages` must be >= 1 and is the *total* frame budget across
+  /// all partitions. `partitions` = 0 picks an automatic stripe count:
+  /// min(16, capacity_pages / 64), at least 1, so small pools behave
+  /// exactly like the previous single-mutex pool.
+  BufferPool(Pager* pager, size_t capacity_pages, size_t partitions = 0);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -98,15 +110,20 @@ class BufferPool {
   /// discarded without write-back.
   Status Free(PageId id);
 
-  /// Writes back all dirty frames (pages stay cached).
+  /// Writes back all dirty frames in every partition (pages stay cached).
+  /// Attempts every frame even after a failure and reports the first
+  /// error; frames that failed to write back stay dirty for a retry.
+  /// `Save`-style checkpoints rely on this covering *all* partitions
+  /// before the pager is synced.
   Status FlushAll();
 
-  IoStats& stats() { return stats_; }
-  const IoStats& stats() const { return stats_; }
+  /// Aggregated counters across all partitions (relaxed snapshot).
+  IoStats stats() const;
 
   Pager* pager() { return pager_; }
 
-  size_t capacity() const { return frames_.size(); }
+  size_t capacity() const { return capacity_; }
+  size_t partition_count() const { return partitions_.size(); }
   size_t pinned_count() const;
 
  private:
@@ -121,24 +138,41 @@ class BufferPool {
     std::vector<char> data;
   };
 
-  void Unpin(size_t frame_idx);
-  void MarkDirty(size_t frame_idx) {
-    std::lock_guard<std::mutex> lock(mu_);
-    frames_[frame_idx].dirty = true;
+  /// One lock stripe: an independent LRU cache over a subset of page ids.
+  struct Partition {
+    mutable std::mutex mu;
+    std::vector<Frame> frames;
+    std::vector<size_t> unused_frames;
+    std::list<size_t> lru;  ///< Unpinned frames, most-recent at front.
+    std::unordered_map<PageId, size_t> page_to_frame;
+    IoStats stats;
+  };
+
+  size_t PartitionIndex(PageId id) const {
+    // Multiplicative hash: sequential page ids (B+ tree allocation order)
+    // spread evenly instead of striding through one stripe.
+    return static_cast<size_t>((id * 0x9E3779B97F4A7C15ULL) >> 17) %
+           partitions_.size();
+  }
+  Partition& PartitionFor(PageId id) { return *partitions_[PartitionIndex(id)]; }
+
+  void Unpin(PageId id, size_t frame_idx);
+  void MarkDirty(PageId id, size_t frame_idx) {
+    Partition& part = PartitionFor(id);
+    std::lock_guard<std::mutex> lock(part.mu);
+    part.frames[frame_idx].dirty = true;
   }
 
-  /// Finds a frame for a new page: a never-used frame or the LRU victim
-  /// (written back if dirty). Fails if every frame is pinned.
-  Result<size_t> GrabFrame();
+  /// Finds a frame in `part` for a new page: a never-used frame or the LRU
+  /// victim (written back if dirty). Fails if every frame of the partition
+  /// is pinned. Caller holds `part.mu`.
+  Result<size_t> GrabFrame(Partition& part);
 
-  /// Guards frames_, lru_, unused_frames_, page_to_frame_ and stats_.
-  mutable std::mutex mu_;
   Pager* pager_;
-  std::vector<Frame> frames_;
-  std::vector<size_t> unused_frames_;
-  std::list<size_t> lru_;  ///< Unpinned frames, most-recent at front.
-  std::unordered_map<PageId, size_t> page_to_frame_;
-  IoStats stats_;
+  /// Serializes all calls into `pager_`; acquired after a partition mutex.
+  std::mutex pager_mu_;
+  size_t capacity_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
 };
 
 }  // namespace swst

@@ -2,25 +2,26 @@
 #define SWST_SWST_CONCURRENT_INDEX_H_
 
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
 #include "swst/swst_index.h"
 
 namespace swst {
 
-/// \brief Thread-safe façade over `SwstIndex` with single-writer /
-/// multi-reader semantics.
+/// \brief Compatibility façade over `SwstIndex`.
 ///
-/// Queries never mutate index state (only buffer-pool bookkeeping, which
-/// has its own internal mutex), so they run under a shared lock; mutations
-/// (inserts, deletes, closes, clock advances, saves) take the lock
-/// exclusively. This matches the streaming model: one ingestion thread,
-/// many query threads.
+/// `SwstIndex` is internally thread-safe since the index was sharded by
+/// spatial cell: every operation locks only the shard(s) it touches
+/// (`Save` takes all shard locks, in ascending order), the clock is an
+/// atomic, and the buffer pool is lock-striped by page id. This wrapper
+/// therefore holds no lock of its own — it simply delegates — and exists
+/// so code written against the old globally-locked API keeps compiling.
+/// New code can use `SwstIndex` directly; see docs/concurrency.md for the
+/// locking model.
 ///
-/// Per-query `QueryStats::node_accesses` are derived from the shared pool
-/// counter and become approximate when queries overlap; all other
-/// semantics are identical to `SwstIndex`.
+/// Per-query `QueryStats` (including `node_accesses`) are exact even under
+/// concurrency: counters are accumulated in per-query locals, not derived
+/// from shared pool counters.
 class ConcurrentSwstIndex {
  public:
   static Result<std::unique_ptr<ConcurrentSwstIndex>> Create(
@@ -34,73 +35,46 @@ class ConcurrentSwstIndex {
   ConcurrentSwstIndex(const ConcurrentSwstIndex&) = delete;
   ConcurrentSwstIndex& operator=(const ConcurrentSwstIndex&) = delete;
 
-  /// \name Mutations (exclusive lock)
+  /// \name Mutations (serialized per shard by `SwstIndex`)
   /// @{
-  Status Insert(const Entry& entry) {
-    std::unique_lock lock(mu_);
-    return index_->Insert(entry);
-  }
-  Status Delete(const Entry& entry) {
-    std::unique_lock lock(mu_);
-    return index_->Delete(entry);
-  }
+  Status Insert(const Entry& entry) { return index_->Insert(entry); }
+  Status Delete(const Entry& entry) { return index_->Delete(entry); }
   Status CloseCurrent(const Entry& current, Duration actual) {
-    std::unique_lock lock(mu_);
     return index_->CloseCurrent(current, actual);
   }
   Status ReportPosition(ObjectId oid, const Point& pos, Timestamp t,
                         const Entry* previous, Entry* out_current = nullptr) {
-    std::unique_lock lock(mu_);
     return index_->ReportPosition(oid, pos, t, previous, out_current);
   }
-  Status Advance(Timestamp t) {
-    std::unique_lock lock(mu_);
-    return index_->Advance(t);
-  }
-  Status Save(PageId* meta_page) {
-    std::unique_lock lock(mu_);
-    return index_->Save(meta_page);
-  }
+  Status Advance(Timestamp t) { return index_->Advance(t); }
+  Status Save(PageId* meta_page) { return index_->Save(meta_page); }
   /// @}
 
-  /// \name Queries (shared lock)
+  /// \name Queries (shared shard locks, taken per cell)
   /// @{
   Result<std::vector<Entry>> IntervalQuery(const Rect& area,
                                            const TimeInterval& interval,
                                            const QueryOptions& opts = {},
                                            QueryStats* stats = nullptr) {
-    std::shared_lock lock(mu_);
     return index_->IntervalQuery(area, interval, opts, stats);
   }
   Result<std::vector<Entry>> TimesliceQuery(const Rect& area, Timestamp t,
                                             const QueryOptions& opts = {},
                                             QueryStats* stats = nullptr) {
-    std::shared_lock lock(mu_);
     return index_->TimesliceQuery(area, t, opts, stats);
   }
   Result<std::vector<Entry>> Knn(const Point& center, size_t k,
                                  const TimeInterval& interval,
                                  const QueryOptions& opts = {},
                                  QueryStats* stats = nullptr) {
-    std::shared_lock lock(mu_);
     return index_->Knn(center, k, interval, opts, stats);
   }
   TimeInterval QueriablePeriod(Timestamp logical_window = 0) const {
-    std::shared_lock lock(mu_);
     return index_->QueriablePeriod(logical_window);
   }
-  Timestamp now() const {
-    std::shared_lock lock(mu_);
-    return index_->now();
-  }
-  Result<uint64_t> CountEntries() const {
-    std::shared_lock lock(mu_);
-    return index_->CountEntries();
-  }
-  Status ValidateTrees() const {
-    std::shared_lock lock(mu_);
-    return index_->ValidateTrees();
-  }
+  Timestamp now() const { return index_->now(); }
+  Result<uint64_t> CountEntries() const { return index_->CountEntries(); }
+  Status ValidateTrees() const { return index_->ValidateTrees(); }
   /// @}
 
   /// Escape hatch for single-threaded phases (setup, teardown).
@@ -110,7 +84,6 @@ class ConcurrentSwstIndex {
   explicit ConcurrentSwstIndex(std::unique_ptr<SwstIndex> index)
       : index_(std::move(index)) {}
 
-  mutable std::shared_mutex mu_;
   std::unique_ptr<SwstIndex> index_;
 };
 

@@ -49,8 +49,6 @@ Result<std::vector<Entry>> SwstIndex::Knn(const Point& center, size_t k,
   ColumnPlan plan;
   SWST_RETURN_IF_ERROR(BuildPlan(q, win, &plan));
 
-  const uint64_t reads_before = pool_->stats().logical_reads;
-
   // Expanding ring search over the spatial grid: visit cells in Chebyshev
   // rings around the center's cell; stop once the nearest unvisited ring
   // cannot improve the current k-th best distance.
@@ -63,21 +61,14 @@ Result<std::vector<Entry>> SwstIndex::Knn(const Point& center, size_t k,
   // Max-heap of the best k candidates found so far.
   std::priority_queue<Candidate> best;
 
-  auto visit_cell = [&](uint32_t cell) -> Status {
-    SpatialGrid::CellOverlap co;
-    co.cell = cell;
-    co.overlap = grid_.CellRect(cell);
-    co.full = true;  // The "query area" is the whole cell for KNN.
-    return SearchCell(co, plan, q, win, opts, stats, [&](const Entry& e) {
-      const double d2 = DistanceSquared(center, e.pos);
-      if (best.size() < k) {
-        best.push(Candidate{d2, e});
-      } else if (d2 < best.top().dist2) {
-        best.pop();
-        best.push(Candidate{d2, e});
-      }
-      return true;
-    });
+  auto accept = [&](const Entry& e) {
+    const double d2 = DistanceSquared(center, e.pos);
+    if (best.size() < k) {
+      best.push(Candidate{d2, e});
+    } else if (d2 < best.top().dist2) {
+      best.pop();
+      best.push(Candidate{d2, e});
+    }
   };
 
   const int64_t max_ring =
@@ -105,23 +96,51 @@ Result<std::vector<Entry>> SwstIndex::Knn(const Point& center, size_t k,
       }
       if (!any || ring_min > best.top().dist2) break;
     }
+
+    // Gather the ring's in-bounds cells in scan order; the whole cell is
+    // the "query area" for KNN.
+    std::vector<SpatialGrid::CellOverlap> ring_cells;
     for (int64_t dy = -ring; dy <= ring; ++dy) {
       for (int64_t dx = -ring; dx <= ring; ++dx) {
         if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
         const int64_t cx = hx + dx, cy = hy + dy;
         if (cx < 0 || cy < 0 || cx >= static_cast<int64_t>(nx) ||
-              cy >= static_cast<int64_t>(ny)) {
-            continue;
-          }
+            cy >= static_cast<int64_t>(ny)) {
+          continue;
+        }
+        SpatialGrid::CellOverlap co;
+        co.cell = static_cast<uint32_t>(cy * nx + cx);
+        co.overlap = grid_.CellRect(co.cell);
+        co.full = true;
+        ring_cells.push_back(co);
+      }
+    }
+    if (ring_cells.empty()) continue;
+
+    if (executor_ != nullptr && ring_cells.size() > 1) {
+      // Fan the ring's cells out in parallel; candidates are merged into
+      // the heap in ascending scan order, so the result (including ties)
+      // matches the sequential walk exactly.
+      SWST_RETURN_IF_ERROR(FanOutCells(
+          ring_cells, plan, q, win, opts, stats,
+          [&accept](size_t, std::vector<Entry>& entries) {
+            for (const Entry& e : entries) accept(e);
+            return true;
+          }));
+    } else {
+      for (const SpatialGrid::CellOverlap& co : ring_cells) {
         if (stats != nullptr) stats->spatial_cells++;
-        SWST_RETURN_IF_ERROR(visit_cell(static_cast<uint32_t>(cy * nx + cx)));
+        SWST_RETURN_IF_ERROR(SearchCell(co, plan, q, win, opts, stats,
+                                        [&accept](const Entry& e) {
+                                          accept(e);
+                                          return true;
+                                        }));
       }
     }
   }
 
   if (stats != nullptr) {
     stats->columns += plan.active_fields.size();
-    stats->node_accesses += pool_->stats().logical_reads - reads_before;
   }
 
   out.resize(best.size());

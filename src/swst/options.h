@@ -42,6 +42,22 @@ struct SwstOptions {
   bool use_memo = true;    ///< isPresent memo (Fig. 11).
   bool use_zcurve = true;  ///< Spatial bits in the key (Fig. 9 discussion).
 
+  /// --- Concurrency (see docs/concurrency.md) -----------------------------
+
+  /// Number of shards the spatial cells are split into. Each shard is a
+  /// contiguous range of cells with its own reader/writer lock, cell-tree
+  /// directory, and isPresent-memo slice, so operations on different
+  /// shards never contend. 0 = automatic (min(16, cell_count)). Purely a
+  /// runtime knob: it does not affect the on-disk format and may differ
+  /// between Save and Open.
+  uint32_t shard_count = 0;
+
+  /// Worker threads used to fan a single query out across its overlapping
+  /// spatial cells. 1 (the default) keeps the exact serial execution path;
+  /// values > 1 spin up an internal thread pool owned by the index.
+  /// Results and their order are identical either way.
+  uint32_t query_threads = 1;
+
   /// --- Derived quantities -------------------------------------------------
 
   /// Wmax = W + (L - 1): the maximum actual window length (paper §III-B.1).

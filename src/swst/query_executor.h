@@ -1,0 +1,49 @@
+#ifndef SWST_SWST_QUERY_EXECUTOR_H_
+#define SWST_SWST_QUERY_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace swst {
+
+/// \brief Small fixed-size thread pool used by `SwstIndex` to fan a single
+/// query out across its overlapping spatial cells.
+///
+/// Tasks are plain `void()` closures executed FIFO; completion signalling
+/// (and any cancellation) is the submitter's responsibility — `SwstIndex`
+/// uses a per-query done-bitmap + condition variable so results can be
+/// consumed in deterministic cell order as tasks finish (see
+/// docs/concurrency.md). The pool is created once per index when
+/// `SwstOptions::query_threads > 1` and shared by all of that index's
+/// queries; tasks must never block on other tasks.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(size_t threads);
+  ~QueryExecutor();
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues `task` for execution on some worker thread.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace swst
+
+#endif  // SWST_SWST_QUERY_EXECUTOR_H_

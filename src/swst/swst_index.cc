@@ -1,7 +1,10 @@
 #include "swst/swst_index.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <condition_variable>
+#include <mutex>
 
 namespace swst {
 
@@ -10,10 +13,21 @@ SwstIndex::SwstIndex(BufferPool* pool, const SwstOptions& options)
       options_(options),
       codec_(options),
       grid_(options),
-      overlap_(options),
-      memo_(grid_.cell_count(), options.s_partitions(),
-            options.d_partition_slots()),
-      cells_(grid_.cell_count()) {}
+      overlap_(options) {
+  const uint32_t total = grid_.cell_count();
+  uint32_t target = (options.shard_count == 0) ? 16u : options.shard_count;
+  target = std::clamp(target, 1u, total);
+  cells_per_shard_ = (total + target - 1) / target;
+  const uint32_t sp = options.s_partitions();
+  const uint32_t ds = options.d_partition_slots();
+  for (uint32_t begin = 0; begin < total; begin += cells_per_shard_) {
+    const uint32_t count = std::min(cells_per_shard_, total - begin);
+    shards_.push_back(std::make_unique<Shard>(begin, count, sp, ds));
+  }
+  if (options.query_threads > 1) {
+    executor_ = std::make_unique<QueryExecutor>(options.query_threads);
+  }
+}
 
 Result<std::unique_ptr<SwstIndex>> SwstIndex::Create(
     BufferPool* pool, const SwstOptions& options) {
@@ -21,13 +35,22 @@ Result<std::unique_ptr<SwstIndex>> SwstIndex::Create(
   return std::unique_ptr<SwstIndex>(new SwstIndex(pool, options));
 }
 
+void SwstIndex::BumpClock(Timestamp t) {
+  Timestamp cur = now_.load(std::memory_order_relaxed);
+  while (t > cur &&
+         !now_.compare_exchange_weak(cur, t, std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
 TimeInterval SwstIndex::QueriablePeriod(Timestamp logical_window) const {
   Timestamp w = options_.window_size;
   if (logical_window != 0) w = std::min(w, logical_window);
-  const Timestamp aligned = (now_ / options_.slide) * options_.slide;
+  const Timestamp tau = now();
+  const Timestamp aligned = (tau / options_.slide) * options_.slide;
   TimeInterval t;
   t.lo = (aligned >= w) ? aligned - w : 0;
-  t.hi = now_;
+  t.hi = tau;
   return t;
 }
 
@@ -38,8 +61,8 @@ uint64_t SwstIndex::KeyFor(const Entry& entry, uint32_t cell) const {
   return codec_.MakeKey(entry.start, entry.duration, qx, qy);
 }
 
-Status SwstIndex::PrepareTree(uint32_t cell, uint64_t epoch) {
-  CellTrees& ct = cells_[cell];
+Status SwstIndex::PrepareTree(Shard& shard, uint32_t cell, uint64_t epoch) {
+  CellTrees& ct = CellIn(shard, cell);
   const int slot = static_cast<int>(epoch % 2);
   if (ct.root[slot] != kInvalidPageId) {
     if (ct.epoch[slot] == epoch) return Status::OK();
@@ -47,7 +70,7 @@ Status SwstIndex::PrepareTree(uint32_t cell, uint64_t epoch) {
     // wholesale — this is SWST's entire deletion cost for a window's data.
     BTree stale = BTree::Attach(pool_, ct.root[slot]);
     SWST_RETURN_IF_ERROR(stale.Drop());
-    memo_.ResetSlot(cell, slot);
+    shard.memo.ResetSlot(cell - shard.cell_begin, slot);
     ct.root[slot] = kInvalidPageId;
   }
   auto tree = BTree::Create(pool_);
@@ -57,13 +80,14 @@ Status SwstIndex::PrepareTree(uint32_t cell, uint64_t epoch) {
   return Status::OK();
 }
 
-Status SwstIndex::DropExpired(uint32_t cell, uint64_t min_live_epoch) {
-  CellTrees& ct = cells_[cell];
+Status SwstIndex::DropExpired(Shard& shard, uint32_t cell,
+                              uint64_t min_live_epoch) {
+  CellTrees& ct = CellIn(shard, cell);
   for (int slot = 0; slot < 2; ++slot) {
     if (ct.root[slot] != kInvalidPageId && ct.epoch[slot] < min_live_epoch) {
       BTree stale = BTree::Attach(pool_, ct.root[slot]);
       SWST_RETURN_IF_ERROR(stale.Drop());
-      memo_.ResetSlot(cell, slot);
+      shard.memo.ResetSlot(cell - shard.cell_begin, slot);
       ct.root[slot] = kInvalidPageId;
     }
   }
@@ -71,11 +95,18 @@ Status SwstIndex::DropExpired(uint32_t cell, uint64_t min_live_epoch) {
 }
 
 Status SwstIndex::Advance(Timestamp t) {
-  now_ = std::max(now_, t);
-  const uint64_t k = now_ / options_.epoch_length();
+  BumpClock(t);
+  const uint64_t k = now() / options_.epoch_length();
   const uint64_t min_live = (k == 0) ? 0 : k - 1;
-  for (uint32_t cell = 0; cell < grid_.cell_count(); ++cell) {
-    SWST_RETURN_IF_ERROR(DropExpired(cell, min_live));
+  // Each shard is swept under its own exclusive lock; shards not being
+  // swept stay fully available to readers and writers.
+  for (auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->mu);
+    const uint32_t end =
+        shard->cell_begin + static_cast<uint32_t>(shard->cells.size());
+    for (uint32_t cell = shard->cell_begin; cell < end; ++cell) {
+      SWST_RETURN_IF_ERROR(DropExpired(*shard, cell, min_live));
+    }
   }
   return Status::OK();
 }
@@ -84,38 +115,54 @@ Status SwstIndex::Insert(const Entry& entry) {
   if (!grid_.Contains(entry.pos)) {
     return Status::InvalidArgument("Insert: position outside spatial domain");
   }
+  const uint32_t cell = grid_.CellOf(entry.pos);
+  Shard& shard = ShardFor(cell);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  return InsertLocked(shard, cell, entry);
+}
+
+Status SwstIndex::InsertLocked(Shard& shard, uint32_t cell,
+                               const Entry& entry) {
   if (!entry.is_current() &&
       (entry.duration == 0 || entry.duration > options_.max_duration)) {
     return Status::InvalidArgument("Insert: duration outside [1, Dmax]");
   }
-  now_ = std::max(now_, entry.start);
+  BumpClock(entry.start);
   const TimeInterval win = QueriablePeriod();
   if (entry.start < win.lo) {
     return Status::InvalidArgument("Insert: entry already expired");
   }
 
-  const uint32_t cell = grid_.CellOf(entry.pos);
   const uint64_t epoch = codec_.Epoch(entry.start);
-  SWST_RETURN_IF_ERROR(PrepareTree(cell, epoch));
+  SWST_RETURN_IF_ERROR(PrepareTree(shard, cell, epoch));
 
   const int slot = static_cast<int>(epoch % 2);
-  BTree tree = BTree::Attach(pool_, cells_[cell].root[slot]);
+  CellTrees& ct = CellIn(shard, cell);
+  BTree tree = BTree::Attach(pool_, ct.root[slot]);
   SWST_RETURN_IF_ERROR(tree.Insert(KeyFor(entry, cell), entry));
-  cells_[cell].root[slot] = tree.root();
+  ct.root[slot] = tree.root();
 
-  memo_.Add(cell, slot, codec_.LocalColumn(entry.start),
-            codec_.DPartition(entry.duration), entry.pos);
+  shard.memo.Add(cell - shard.cell_begin, slot,
+                 codec_.LocalColumn(entry.start),
+                 codec_.DPartition(entry.duration), entry.pos);
   return Status::OK();
 }
 
 Status SwstIndex::Delete(const Entry& entry) {
   if (!grid_.Contains(entry.pos)) {
-    return Status::NotFound("Delete: position outside spatial domain");
+    return Status::InvalidArgument("Delete: position outside spatial domain");
   }
   const uint32_t cell = grid_.CellOf(entry.pos);
+  Shard& shard = ShardFor(cell);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  return DeleteLocked(shard, cell, entry);
+}
+
+Status SwstIndex::DeleteLocked(Shard& shard, uint32_t cell,
+                               const Entry& entry) {
   const uint64_t epoch = codec_.Epoch(entry.start);
   const int slot = static_cast<int>(epoch % 2);
-  CellTrees& ct = cells_[cell];
+  CellTrees& ct = CellIn(shard, cell);
   if (ct.root[slot] == kInvalidPageId || ct.epoch[slot] != epoch) {
     return Status::NotFound("Delete: entry's epoch is no longer live");
   }
@@ -123,8 +170,9 @@ Status SwstIndex::Delete(const Entry& entry) {
   SWST_RETURN_IF_ERROR(tree.Delete(KeyFor(entry, cell), entry.oid,
                                    entry.start));
   ct.root[slot] = tree.root();
-  memo_.Remove(cell, slot, codec_.LocalColumn(entry.start),
-               codec_.DPartition(entry.duration));
+  shard.memo.Remove(cell - shard.cell_begin, slot,
+                    codec_.LocalColumn(entry.start),
+                    codec_.DPartition(entry.duration));
   return Status::OK();
 }
 
@@ -135,18 +183,26 @@ Status SwstIndex::CloseCurrent(const Entry& current, Duration actual) {
   if (actual == 0 || actual > options_.max_duration) {
     return Status::InvalidArgument("CloseCurrent: duration outside [1, Dmax]");
   }
+  if (!grid_.Contains(current.pos)) {
+    return Status::InvalidArgument(
+        "CloseCurrent: position outside spatial domain");
+  }
   const uint32_t cell = grid_.CellOf(current.pos);
   const uint64_t epoch = codec_.Epoch(current.start);
   const int slot = static_cast<int>(epoch % 2);
-  CellTrees& ct = cells_[cell];
+  Shard& shard = ShardFor(cell);
+  // Delete + re-insert under one critical section: the close is atomic to
+  // concurrent queries of this shard.
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  CellTrees& ct = CellIn(shard, cell);
   if (ct.root[slot] == kInvalidPageId || ct.epoch[slot] != epoch) {
     // The entry expired with its window; nothing to close.
     return Status::OK();
   }
-  SWST_RETURN_IF_ERROR(Delete(current));
+  SWST_RETURN_IF_ERROR(DeleteLocked(shard, cell, current));
   Entry closed = current;
   closed.duration = actual;
-  return Insert(closed);
+  return InsertLocked(shard, cell, closed);
 }
 
 Status SwstIndex::ReportPosition(ObjectId oid, const Point& pos, Timestamp t,
@@ -205,7 +261,11 @@ Status SwstIndex::SearchCell(const SpatialGrid::CellOverlap& co,
                              const TimeInterval& win, const QueryOptions& opts,
                              QueryStats* stats,
                              const std::function<bool(const Entry&)>& emit) {
-  const CellTrees& ct = cells_[co.cell];
+  Shard& shard = ShardFor(co.cell);
+  // Shared lock: mutations of this shard wait, other shards are untouched.
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  const CellTrees& ct = CellIn(shard, co.cell);
+  const uint32_t local_cell = co.cell - shard.cell_begin;
   const Rect cell_rect = grid_.CellRect(co.cell);
   const uint32_t d_slots = options_.d_partition_slots();
 
@@ -234,17 +294,18 @@ Status SwstIndex::SearchCell(const SpatialGrid::CellOverlap& co,
       // (middle holes are kept; the paper keeps one contiguous range per
       // column to bound the number of key ranges).
       while (n_start <= n_end &&
-             !memo_.MayContain(co.cell, slot, col.m_local, n_start,
-                               co.overlap)) {
+             !shard.memo.MayContain(local_cell, slot, col.m_local, n_start,
+                                    co.overlap)) {
         n_start++;
       }
       while (n_end > n_start &&
-             !memo_.MayContain(co.cell, slot, col.m_local, n_end,
-                               co.overlap)) {
+             !shard.memo.MayContain(local_cell, slot, col.m_local, n_end,
+                                    co.overlap)) {
         n_end--;
       }
       if (n_start > n_end ||
-          !memo_.MayContain(co.cell, slot, col.m_local, n_start, co.overlap)) {
+          !shard.memo.MayContain(local_cell, slot, col.m_local, n_start,
+                                 co.overlap)) {
         if (stats != nullptr) stats->memo_pruned_columns++;
         continue;
       }
@@ -260,7 +321,8 @@ Status SwstIndex::SearchCell(const SpatialGrid::CellOverlap& co,
     if (stats != nullptr) stats->key_ranges += ranges[slot].size();
     BTree tree = BTree::Attach(pool_, ct.root[slot]);
     SWST_RETURN_IF_ERROR(tree.SearchRanges(
-        ranges[slot], [&](const BTreeRecord& rec) {
+        ranges[slot],
+        [&](const BTreeRecord& rec) {
           if (stats != nullptr) stats->candidates++;
           const ColumnPlan::Column& col =
               plan.by_field[codec_.DecodeSPartition(rec.key)];
@@ -280,15 +342,90 @@ Status SwstIndex::SearchCell(const SpatialGrid::CellOverlap& co,
           // Variable retention (paper §IV-B.d): entries expired under
           // their own, shorter retention are rejected here.
           const bool retained =
-              !opts.retention_filter || opts.retention_filter(e, now_);
+              !opts.retention_filter || opts.retention_filter(e, now());
           if (in_window && temporal_ok && spatial_ok && retained) {
             return emit(e);
           }
           if (stats != nullptr) stats->refined_out++;
           return true;
-        }));
+        },
+        (stats != nullptr) ? &stats->node_accesses : nullptr));
   }
   return Status::OK();
+}
+
+Status SwstIndex::FanOutCells(
+    const std::vector<SpatialGrid::CellOverlap>& cells, const ColumnPlan& plan,
+    const TimeInterval& q, const TimeInterval& win, const QueryOptions& opts,
+    QueryStats* stats,
+    const std::function<bool(size_t, std::vector<Entry>&)>& consume) {
+  struct CellTask {
+    std::vector<Entry> entries;
+    QueryStats qs;
+    Status st;
+  };
+  const size_t n = cells.size();
+  std::vector<CellTask> tasks(n);
+  std::atomic<bool> cancel{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<char> done(n, 0);
+
+  for (size_t i = 0; i < n; ++i) {
+    executor_->Submit([&, i] {
+      CellTask& t = tasks[i];
+      if (!cancel.load(std::memory_order_relaxed)) {
+        t.qs.spatial_cells = 1;
+        t.st = SearchCell(cells[i], plan, q, win, opts, &t.qs,
+                          [&t, &cancel](const Entry& e) {
+                            // The consumer cancelled the query: stop this
+                            // cell's tree search at the next emission.
+                            if (cancel.load(std::memory_order_relaxed)) {
+                              return false;
+                            }
+                            t.entries.push_back(e);
+                            return true;
+                          });
+      }
+      {
+        // Notify under the lock: once the consumer observes done[i] it may
+        // return from FanOutCells and destroy cv/mu, so the notify must
+        // complete before the lock is released.
+        std::lock_guard<std::mutex> lock(mu);
+        done[i] = 1;
+        cv.notify_all();
+      }
+    });
+  }
+
+  // Consume results on the calling thread, in ascending cell order, as
+  // their tasks complete — result order (and, absent cancellation, stats)
+  // are identical to serial execution. Every task is awaited even after a
+  // stop, since tasks reference this frame.
+  Status result;
+  bool stopped = false;
+  for (size_t i = 0; i < n; ++i) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done[i] != 0; });
+    }
+    if (stopped) continue;
+    CellTask& t = tasks[i];
+    if (!t.st.ok()) {
+      result = t.st;
+      cancel.store(true, std::memory_order_relaxed);
+      stopped = true;
+      continue;
+    }
+    if (!consume(i, t.entries)) {
+      cancel.store(true, std::memory_order_relaxed);
+      stopped = true;
+    }
+  }
+  if (stats != nullptr) {
+    for (const CellTask& t : tasks) *stats += t.qs;
+  }
+  return result;
 }
 
 Status SwstIndex::IntervalQueryStream(
@@ -305,26 +442,38 @@ Status SwstIndex::IntervalQueryStream(
   q.hi = std::min(interval.hi, win.hi);
   if (q.lo > q.hi) return Status::OK();
 
+  // The plan is immutable and built without touching any shard lock; it is
+  // shared read-only by every cell search (and cell task) below.
   ColumnPlan plan;
   SWST_RETURN_IF_ERROR(BuildPlan(q, win, &plan));
 
-  const uint64_t reads_before = pool_->stats().logical_reads;
-  bool stop = false;
-  for (const SpatialGrid::CellOverlap& co : grid_.Overlapping(area)) {
-    if (stop) break;
-    if (stats != nullptr) stats->spatial_cells++;
-    SWST_RETURN_IF_ERROR(SearchCell(co, plan, q, win, opts, stats,
-                                    [&fn, &stop](const Entry& e) {
-                                      if (!fn(e)) {
-                                        stop = true;
-                                        return false;
-                                      }
-                                      return true;
-                                    }));
+  const std::vector<SpatialGrid::CellOverlap> cells = grid_.Overlapping(area);
+  if (executor_ != nullptr && cells.size() > 1) {
+    SWST_RETURN_IF_ERROR(FanOutCells(
+        cells, plan, q, win, opts, stats,
+        [&fn](size_t, std::vector<Entry>& entries) {
+          for (const Entry& e : entries) {
+            if (!fn(e)) return false;
+          }
+          return true;
+        }));
+  } else {
+    bool stop = false;
+    for (const SpatialGrid::CellOverlap& co : cells) {
+      if (stop) break;
+      if (stats != nullptr) stats->spatial_cells++;
+      SWST_RETURN_IF_ERROR(SearchCell(co, plan, q, win, opts, stats,
+                                      [&fn, &stop](const Entry& e) {
+                                        if (!fn(e)) {
+                                          stop = true;
+                                          return false;
+                                        }
+                                        return true;
+                                      }));
+    }
   }
   if (stats != nullptr) {
     stats->columns += plan.active_fields.size();
-    stats->node_accesses += pool_->stats().logical_reads - reads_before;
   }
   return Status::OK();
 }
@@ -352,31 +501,42 @@ Result<std::vector<Entry>> SwstIndex::TimesliceQuery(const Rect& area,
 
 Result<uint64_t> SwstIndex::CountEntries() const {
   uint64_t n = 0;
-  for (const CellTrees& ct : cells_) {
-    for (int slot = 0; slot < 2; ++slot) {
-      if (ct.root[slot] == kInvalidPageId) continue;
-      BTree tree = BTree::Attach(pool_, ct.root[slot]);
-      auto c = tree.CountEntries();
-      if (!c.ok()) return c.status();
-      n += *c;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    for (const CellTrees& ct : shard->cells) {
+      for (int slot = 0; slot < 2; ++slot) {
+        if (ct.root[slot] == kInvalidPageId) continue;
+        BTree tree = BTree::Attach(pool_, ct.root[slot]);
+        auto c = tree.CountEntries();
+        if (!c.ok()) return c.status();
+        n += *c;
+      }
     }
   }
   return n;
 }
 
 Status SwstIndex::ValidateTrees() const {
-  for (const CellTrees& ct : cells_) {
-    for (int slot = 0; slot < 2; ++slot) {
-      if (ct.root[slot] == kInvalidPageId) continue;
-      BTree tree = BTree::Attach(pool_, ct.root[slot]);
-      SWST_RETURN_IF_ERROR(tree.Validate());
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    for (const CellTrees& ct : shard->cells) {
+      for (int slot = 0; slot < 2; ++slot) {
+        if (ct.root[slot] == kInvalidPageId) continue;
+        BTree tree = BTree::Attach(pool_, ct.root[slot]);
+        SWST_RETURN_IF_ERROR(tree.Validate());
+      }
     }
   }
   return Status::OK();
 }
 
 size_t SwstIndex::StatisticsMemoryUsage() const {
-  return memo_.MemoryUsage() + cells_.size() * sizeof(CellTrees);
+  size_t bytes = 0;
+  for (const auto& shard : shards_) {
+    bytes += shard->memo.MemoryUsage() +
+             shard->cells.size() * sizeof(CellTrees);
+  }
+  return bytes;
 }
 
 
@@ -430,9 +590,20 @@ uint64_t SwstIndex::OptionsFingerprint() const {
 }
 
 Status SwstIndex::Save(PageId* meta_page) {
+  // Global exclusion: take every shard lock (ascending shard order — the
+  // one place multiple shard locks are held at once; see
+  // docs/concurrency.md) so the directory snapshot, the buffer-pool flush,
+  // and the sync form one consistent checkpoint.
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    locks.emplace_back(shard->mu);
+  }
+
+  const size_t total_cells = grid_.cell_count();
   // Ensure the chain is long enough for all cells.
   const size_t pages_needed =
-      (cells_.size() + kCellsPerPage - 1) / kCellsPerPage;
+      (total_cells + kCellsPerPage - 1) / kCellsPerPage;
   while (meta_chain_.size() < pages_needed) {
     auto page = pool_->New();
     if (!page.ok()) return page.status();
@@ -440,28 +611,32 @@ Status SwstIndex::Save(PageId* meta_page) {
   }
   if (meta_page_ == kInvalidPageId) meta_page_ = meta_chain_[0];
 
-  size_t cell = 0;
+  uint32_t cell = 0;
   for (size_t p = 0; p < pages_needed; ++p) {
     auto page = pool_->Fetch(meta_chain_[p]);
     if (!page.ok()) return page.status();
     auto* hdr = page->As<MetaHeader>();
     hdr->magic = kMetaMagic;
     hdr->fingerprint = OptionsFingerprint();
-    hdr->now = now_;
+    hdr->now = now();
     hdr->cell_count =
-        (p == 0) ? static_cast<uint32_t>(cells_.size()) : 0;
+        (p == 0) ? static_cast<uint32_t>(total_cells) : 0;
     hdr->next =
         (p + 1 < pages_needed) ? meta_chain_[p + 1] : kInvalidPageId;
     auto* recs = reinterpret_cast<CellRecord*>(page->data() +
                                                sizeof(MetaHeader));
     uint32_t here = 0;
-    for (; cell < cells_.size() && here < kCellsPerPage; ++cell, ++here) {
-      recs[here] = CellRecord{cells_[cell].root[0], cells_[cell].root[1],
-                              cells_[cell].epoch[0], cells_[cell].epoch[1]};
+    for (; cell < total_cells && here < kCellsPerPage; ++cell, ++here) {
+      const CellTrees& ct = CellIn(ShardFor(cell), cell);
+      recs[here] = CellRecord{ct.root[0], ct.root[1], ct.epoch[0],
+                              ct.epoch[1]};
     }
     hdr->cells_here = here;
     page->MarkDirty();
   }
+  // All partitions of the striped pool are flushed before the pager sync —
+  // the tree pages and the meta chain land on disk as one checkpoint (the
+  // crash-consistency invariant crash_recovery_test verifies).
   SWST_RETURN_IF_ERROR(pool_->FlushAll());
   SWST_RETURN_IF_ERROR(pool_->pager()->Sync());
   *meta_page = meta_page_;
@@ -474,9 +649,10 @@ Result<std::unique_ptr<SwstIndex>> SwstIndex::Open(BufferPool* pool,
   auto idx_or = Create(pool, options);
   if (!idx_or.ok()) return idx_or.status();
   std::unique_ptr<SwstIndex> idx = std::move(*idx_or);
+  const uint32_t total_cells = idx->grid_.cell_count();
 
   PageId cur = meta_page;
-  size_t cell = 0;
+  uint32_t cell = 0;
   bool first = true;
   // A chain longer than the file has pages must be a next-pointer cycle.
   const uint64_t max_chain = pool->pager()->page_count() + 1;
@@ -500,27 +676,28 @@ Result<std::unique_ptr<SwstIndex>> SwstIndex::Open(BufferPool* pool,
           "SwstIndex::Open: options do not match the persisted index");
     }
     if (first) {
-      if (hdr->cell_count != idx->cells_.size()) {
+      if (hdr->cell_count != total_cells) {
         return Status::Corruption("SwstIndex::Open: cell count mismatch");
       }
-      idx->now_ = hdr->now;
+      idx->now_.store(hdr->now, std::memory_order_release);
       first = false;
     }
     const auto* recs = reinterpret_cast<const CellRecord*>(
         page->data() + sizeof(MetaHeader));
     for (uint32_t i = 0; i < hdr->cells_here; ++i, ++cell) {
-      if (cell >= idx->cells_.size()) {
+      if (cell >= total_cells) {
         return Status::Corruption("SwstIndex::Open: too many cell records");
       }
-      idx->cells_[cell].root[0] = recs[i].root0;
-      idx->cells_[cell].root[1] = recs[i].root1;
-      idx->cells_[cell].epoch[0] = recs[i].epoch0;
-      idx->cells_[cell].epoch[1] = recs[i].epoch1;
+      CellTrees& ct = CellIn(idx->ShardFor(cell), cell);
+      ct.root[0] = recs[i].root0;
+      ct.root[1] = recs[i].root1;
+      ct.epoch[0] = recs[i].epoch0;
+      ct.epoch[1] = recs[i].epoch1;
     }
     idx->meta_chain_.push_back(cur);
     cur = hdr->next;
   }
-  if (cell != idx->cells_.size()) {
+  if (cell != total_cells) {
     return Status::Corruption("SwstIndex::Open: truncated metadata chain");
   }
   idx->meta_page_ = meta_page;
@@ -529,17 +706,22 @@ Result<std::unique_ptr<SwstIndex>> SwstIndex::Open(BufferPool* pool,
 }
 
 Status SwstIndex::RebuildMemo() {
-  for (uint32_t cell = 0; cell < cells_.size(); ++cell) {
-    for (int slot = 0; slot < 2; ++slot) {
-      memo_.ResetSlot(cell, slot);
-      if (cells_[cell].root[slot] == kInvalidPageId) continue;
-      BTree tree = BTree::Attach(pool_, cells_[cell].root[slot]);
-      SWST_RETURN_IF_ERROR(
-          tree.Scan(0, UINT64_MAX, [&](const BTreeRecord& rec) {
-            memo_.Add(cell, slot, codec_.LocalColumn(rec.entry.start),
-                      codec_.DPartition(rec.entry.duration), rec.entry.pos);
-            return true;
-          }));
+  for (auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->mu);
+    for (uint32_t local = 0; local < shard->cells.size(); ++local) {
+      for (int slot = 0; slot < 2; ++slot) {
+        shard->memo.ResetSlot(local, slot);
+        if (shard->cells[local].root[slot] == kInvalidPageId) continue;
+        BTree tree = BTree::Attach(pool_, shard->cells[local].root[slot]);
+        SWST_RETURN_IF_ERROR(
+            tree.Scan(0, UINT64_MAX, [&](const BTreeRecord& rec) {
+              shard->memo.Add(local, slot,
+                              codec_.LocalColumn(rec.entry.start),
+                              codec_.DPartition(rec.entry.duration),
+                              rec.entry.pos);
+              return true;
+            }));
+      }
     }
   }
   return Status::OK();
@@ -547,24 +729,27 @@ Status SwstIndex::RebuildMemo() {
 
 Result<SwstIndex::DebugStats> SwstIndex::GetDebugStats() const {
   DebugStats stats;
-  stats.memo_bytes = memo_.MemoryUsage();
-  stats.memo_nonempty_cells = memo_.NonEmptyCells();
-  for (const CellTrees& ct : cells_) {
-    for (int slot = 0; slot < 2; ++slot) {
-      if (ct.root[slot] == kInvalidPageId) continue;
-      stats.live_trees++;
-      BTree tree = BTree::Attach(pool_, ct.root[slot]);
-      auto height = tree.Height();
-      if (!height.ok()) return height.status();
-      stats.max_tree_height = std::max(stats.max_tree_height, *height);
-      SWST_RETURN_IF_ERROR(tree.Scan(0, UINT64_MAX,
-                                     [&stats](const BTreeRecord& rec) {
-                                       stats.entries++;
-                                       if (rec.entry.is_current()) {
-                                         stats.current_entries++;
-                                       }
-                                       return true;
-                                     }));
+  stats.memo_bytes = StatisticsMemoryUsage();
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    stats.memo_nonempty_cells += shard->memo.NonEmptyCells();
+    for (const CellTrees& ct : shard->cells) {
+      for (int slot = 0; slot < 2; ++slot) {
+        if (ct.root[slot] == kInvalidPageId) continue;
+        stats.live_trees++;
+        BTree tree = BTree::Attach(pool_, ct.root[slot]);
+        auto height = tree.Height();
+        if (!height.ok()) return height.status();
+        stats.max_tree_height = std::max(stats.max_tree_height, *height);
+        SWST_RETURN_IF_ERROR(tree.Scan(0, UINT64_MAX,
+                                       [&stats](const BTreeRecord& rec) {
+                                         stats.entries++;
+                                         if (rec.entry.is_current()) {
+                                           stats.current_entries++;
+                                         }
+                                         return true;
+                                       }));
+      }
     }
   }
   return stats;

@@ -1,9 +1,11 @@
 #ifndef SWST_SWST_SWST_INDEX_H_
 #define SWST_SWST_SWST_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "btree/btree.h"
@@ -13,13 +15,16 @@
 #include "swst/is_present_memo.h"
 #include "swst/options.h"
 #include "swst/overlap.h"
+#include "swst/query_executor.h"
 #include "swst/spatial_grid.h"
 #include "swst/temporal_key.h"
 
 namespace swst {
 
 /// Per-query cost counters, matching the metrics reported in the paper's
-/// evaluation (node accesses) plus finer-grained breakdowns.
+/// evaluation (node accesses) plus finer-grained breakdowns. All counters
+/// are computed from per-query locals, so they are exact even when many
+/// queries (or a query's own cell tasks) run concurrently.
 struct QueryStats {
   uint64_t node_accesses = 0;     ///< B+ tree page fetches for this query.
   uint64_t spatial_cells = 0;     ///< Overlapping spatial grid cells.
@@ -29,6 +34,19 @@ struct QueryStats {
   uint64_t full_cell_accepts = 0; ///< Accepted with no refinement check.
   uint64_t refined_out = 0;       ///< False positives removed by refinement.
   uint64_t memo_pruned_columns = 0;  ///< Columns skipped entirely by memo.
+
+  /// Accumulates another query's (or cell task's) counters.
+  QueryStats& operator+=(const QueryStats& o) {
+    node_accesses += o.node_accesses;
+    spatial_cells += o.spatial_cells;
+    columns += o.columns;
+    key_ranges += o.key_ranges;
+    candidates += o.candidates;
+    full_cell_accepts += o.full_cell_accepts;
+    refined_out += o.refined_out;
+    memo_pruned_columns += o.memo_pruned_columns;
+    return *this;
+  }
 };
 
 /// Per-query options.
@@ -55,6 +73,26 @@ struct QueryOptions {
 /// timestamps. Window maintenance is a wholesale drop of the expired tree
 /// (plus a memo slot reset) — no per-entry deletion.
 ///
+/// ### Concurrency
+///
+/// All per-cell state (tree directory, isPresent memo) is split into
+/// *shards* — contiguous ranges of spatial cells, each guarded by its own
+/// reader/writer lock — so concurrency follows the paper's grid
+/// partitioning instead of a global lock:
+///  - `Insert` / `Delete` / `CloseCurrent` lock only the target cell's
+///    shard (exclusively);
+///  - queries lock each searched cell's shard in shared mode, one cell at
+///    a time, and with `SwstOptions::query_threads > 1` fan the per-cell
+///    searches out over an internal thread pool;
+///  - `Advance` sweeps shards independently;
+///  - `Save` alone is global: it acquires every shard lock (in ascending
+///    shard order) to write a consistent checkpoint.
+/// Each query therefore sees every individual cell atomically, but not an
+/// atomic snapshot across cells while writers are active — the natural
+/// semantics of a streaming window. Results and their order are identical
+/// for any `query_threads` / `shard_count` setting. See
+/// docs/concurrency.md for the full lock hierarchy.
+///
 /// ### Streaming usage
 ///
 /// Positions arrive in non-decreasing start-timestamp order. A position
@@ -80,7 +118,8 @@ class SwstIndex {
   /// Re-opens an index previously persisted with `Save` from the pager
   /// behind `pool`. `options` must match the options the index was created
   /// with (they parameterize the key codec and grid; a fingerprint stored
-  /// in the metadata is verified). The isPresent memo is rebuilt by
+  /// in the metadata is verified — `shard_count` and `query_threads` are
+  /// runtime knobs and may differ). The isPresent memo is rebuilt by
   /// scanning the live trees.
   static Result<std::unique_ptr<SwstIndex>> Open(BufferPool* pool,
                                                  const SwstOptions& options,
@@ -91,6 +130,8 @@ class SwstIndex {
   /// chain head through `meta_page`. Call once after Create (the page id
   /// is stable across subsequent saves); store it in your application's
   /// superblock. Flushes the buffer pool so tree pages are durable too.
+  /// Acquires every shard lock, so the checkpoint is consistent even with
+  /// concurrent readers and writers.
   Status Save(PageId* meta_page);
 
   SwstIndex(const SwstIndex&) = delete;
@@ -103,12 +144,14 @@ class SwstIndex {
   Status Insert(const Entry& entry);
 
   /// Deletes a specific entry (matched by oid + start, located via its
-  /// key). NotFound if absent or already dropped with an expired tree.
+  /// key). InvalidArgument if the position is outside the spatial domain;
+  /// NotFound if absent or already dropped with an expired tree.
   Status Delete(const Entry& entry);
 
   /// Closes a previously inserted *current* entry: deletes its ND-keyed
   /// record and re-inserts it with duration `actual`. If the entry's epoch
   /// has already been dropped, this is a no-op (the entry expired).
+  /// InvalidArgument if the position is outside the spatial domain.
   Status CloseCurrent(const Entry& current, Duration actual);
 
   /// Streaming convenience: report that `oid` is at `pos` from time `t`
@@ -120,6 +163,7 @@ class SwstIndex {
 
   /// Advances the index clock to `t` and performs window maintenance:
   /// drops every B+ tree whose epoch is fully expired (paper §IV-C).
+  /// Shards are swept independently, each under its own exclusive lock.
   Status Advance(Timestamp t);
 
   /// Interval query ([x_l,y_l],[x_h,y_h],[t_l,t_h]): entries of the output
@@ -137,7 +181,10 @@ class SwstIndex {
   /// Streaming interval query: `fn` is invoked for every matching entry
   /// as the search proceeds (no result materialization); returning false
   /// stops the query early. Useful for large results, existence tests,
-  /// and aggregations.
+  /// and aggregations. With `query_threads > 1` cell searches run on the
+  /// pool but `fn` is always invoked from the calling thread, in the same
+  /// deterministic order as serial execution; early termination raises a
+  /// cancellation flag that stops in-flight cell tasks.
   Status IntervalQueryStream(const Rect& area, const TimeInterval& interval,
                              const QueryOptions& opts,
                              const std::function<bool(const Entry&)>& fn,
@@ -152,7 +199,7 @@ class SwstIndex {
                                  QueryStats* stats = nullptr);
 
   /// Current index clock (tau).
-  Timestamp now() const { return now_; }
+  Timestamp now() const { return now_.load(std::memory_order_acquire); }
 
   /// Queriable period [tau', tau] (paper §III-A), under an optional
   /// logical window.
@@ -181,6 +228,11 @@ class SwstIndex {
   const SwstOptions& options() const { return options_; }
   const SpatialGrid& grid() const { return grid_; }
 
+  /// Number of shards the cell directory is split into (runtime knob).
+  uint32_t shard_count() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+
  private:
   /// Live B+ trees of one spatial cell: slot k%2 holds epoch k.
   struct CellTrees {
@@ -188,9 +240,25 @@ class SwstIndex {
     uint64_t epoch[2] = {0, 0};
   };
 
+  /// A contiguous range of spatial cells with all of their mutable state:
+  /// the cell-tree directory and the isPresent-memo slice, guarded by one
+  /// reader/writer lock. Shards never share mutable state, so operations
+  /// on different shards proceed fully in parallel.
+  struct Shard {
+    Shard(uint32_t begin, uint32_t count, uint32_t s_partitions,
+          uint32_t d_slots)
+        : cell_begin(begin), cells(count), memo(count, s_partitions, d_slots) {}
+
+    mutable std::shared_mutex mu;
+    uint32_t cell_begin;            ///< First global cell index covered.
+    std::vector<CellTrees> cells;   ///< Indexed by (cell - cell_begin).
+    IsPresentMemo memo;             ///< Indexed by (cell - cell_begin).
+  };
+
   /// Static per-query plan: classification of every active column, indexed
   /// by the key's s-partition field (paper: computed once, valid for all
-  /// overlapping spatial cells).
+  /// overlapping spatial cells). Immutable after BuildPlan, so cell tasks
+  /// share it without synchronization.
   struct ColumnPlan {
     struct Column {
       bool active = false;
@@ -207,24 +275,59 @@ class SwstIndex {
 
   SwstIndex(BufferPool* pool, const SwstOptions& options);
 
+  Shard& ShardFor(uint32_t cell) { return *shards_[cell / cells_per_shard_]; }
+  const Shard& ShardFor(uint32_t cell) const {
+    return *shards_[cell / cells_per_shard_];
+  }
+  static CellTrees& CellIn(Shard& shard, uint32_t cell) {
+    return shard.cells[cell - shard.cell_begin];
+  }
+  static const CellTrees& CellIn(const Shard& shard, uint32_t cell) {
+    return shard.cells[cell - shard.cell_begin];
+  }
+
+  /// Monotonically advances the clock (lock-free CAS max).
+  void BumpClock(Timestamp t);
+
+  /// \name Shard-local operations; caller holds `shard.mu` exclusively.
+  /// @{
+  Status InsertLocked(Shard& shard, uint32_t cell, const Entry& entry);
+  Status DeleteLocked(Shard& shard, uint32_t cell, const Entry& entry);
+
   /// Ensures the cell's slot holds a live tree for `epoch`, dropping a
   /// stale tree first. Creates the tree lazily.
-  Status PrepareTree(uint32_t cell, uint64_t epoch);
+  Status PrepareTree(Shard& shard, uint32_t cell, uint64_t epoch);
 
   /// Drops any tree in `cell` whose epoch is < `min_live_epoch`.
-  Status DropExpired(uint32_t cell, uint64_t min_live_epoch);
+  Status DropExpired(Shard& shard, uint32_t cell, uint64_t min_live_epoch);
+  /// @}
 
   Status BuildPlan(const TimeInterval& q, const TimeInterval& win,
                    ColumnPlan* plan) const;
 
   /// Runs the temporal search of one overlapping spatial cell and emits
-  /// every accepted entry. Shared by the rectangle queries and KNN.
-  /// `emit` returning false stops the search of this cell (and the whole
-  /// query, via the caller's stop flag).
+  /// every accepted entry, under the cell's shard lock (shared). Shared by
+  /// the rectangle queries and KNN. `emit` returning false stops the
+  /// search of this cell (and the whole query, via the caller's stop
+  /// flag). All counters land in `stats` (a per-task local under parallel
+  /// execution), including exact node accesses.
   Status SearchCell(const SpatialGrid::CellOverlap& co, const ColumnPlan& plan,
                     const TimeInterval& q, const TimeInterval& win,
                     const QueryOptions& opts, QueryStats* stats,
                     const std::function<bool(const Entry&)>& emit);
+
+  /// Fans `SearchCell` out over `executor_` for every cell in `cells`,
+  /// buffering each cell's accepted entries. `consume(i, entries)` is
+  /// invoked on the calling thread in ascending cell order as tasks
+  /// complete; returning false cancels in-flight tasks (they stop at the
+  /// next emitted entry) and skips the remaining cells' results. Cell
+  /// stats are merged into `stats` in deterministic cell order.
+  Status FanOutCells(const std::vector<SpatialGrid::CellOverlap>& cells,
+                     const ColumnPlan& plan, const TimeInterval& q,
+                     const TimeInterval& win, const QueryOptions& opts,
+                     QueryStats* stats,
+                     const std::function<bool(size_t, std::vector<Entry>&)>&
+                         consume);
 
   uint64_t KeyFor(const Entry& entry, uint32_t cell) const;
 
@@ -239,9 +342,11 @@ class SwstIndex {
   KeyCodec codec_;
   SpatialGrid grid_;
   TemporalOverlapComputer overlap_;
-  IsPresentMemo memo_;
-  std::vector<CellTrees> cells_;
-  Timestamp now_ = 0;
+  uint32_t cells_per_shard_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Thread pool for per-query cell fan-out; null when query_threads <= 1.
+  std::unique_ptr<QueryExecutor> executor_;
+  std::atomic<Timestamp> now_{0};
   /// Head of the persisted metadata page chain; allocated on first Save.
   PageId meta_page_ = kInvalidPageId;
   /// Additional metadata pages of the chain (for reuse across saves).

@@ -90,6 +90,9 @@ Status SwstOptions::Validate() const {
   if (zcurve_bits < 1 || zcurve_bits > 16) {
     return Status::InvalidArgument("zcurve_bits must be in [1, 16]");
   }
+  if (query_threads == 0) {
+    return Status::InvalidArgument("query_threads must be >= 1");
+  }
   const int s_bits = KeyCodec::BitsFor(2ULL * s_partitions() - 1);
   const int d_bits = KeyCodec::BitsFor(d_partitions());
   if (s_bits + d_bits + 2 * zcurve_bits > 64) {
