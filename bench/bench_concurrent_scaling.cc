@@ -8,8 +8,10 @@
 // lock-striped buffer pool let read throughput scale with client threads
 // instead of serializing on a single index mutex.
 //
-// Usage: bench_concurrent_scaling [--smoke]
+// Usage: bench_concurrent_scaling [--smoke] [--json]
 //   --smoke    one short iteration per point (CI smoke test).
+//   --json     accepted for symmetry with the other benches; output is
+//              always the machine-readable BENCH_*.json schema.
 
 #include <algorithm>
 #include <atomic>
@@ -39,6 +41,8 @@ struct ScalingPoint {
   double qps;
   double p50_us;
   double p99_us;
+  uint64_t pages_read = 0;     // Physical page reads during this point.
+  uint64_t pages_written = 0;  // Physical page writes during this point.
 };
 
 ScalingPoint RunPoint(SwstIndex* idx, const std::vector<WindowQuery>& queries,
@@ -116,6 +120,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0) {}  // JSON is the only format.
   }
 
   const double scale = smoke ? 0.02 : ScaleFromEnv();
@@ -145,8 +150,13 @@ int main(int argc, char** argv) {
                                                : std::vector<int>{1, 2, 4, 8};
   for (bool mixed : {false, true}) {
     for (int threads : thread_counts) {
-      points.push_back(RunPoint(idx.get(), queries, threads,
-                                queries_per_thread, mixed, mixer));
+      const IoStats before = pool.stats();
+      ScalingPoint p = RunPoint(idx.get(), queries, threads,
+                                queries_per_thread, mixed, mixer);
+      const IoStats io = pool.stats().Since(before);
+      p.pages_read = io.physical_reads.load();
+      p.pages_written = io.physical_writes.load();
+      points.push_back(p);
     }
   }
 
@@ -158,8 +168,11 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < points.size(); ++i) {
     const ScalingPoint& p = points[i];
     std::printf("    {\"mode\": \"%s\", \"threads\": %d, \"qps\": %.1f, "
-                "\"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
+                "\"p50_us\": %.1f, \"p99_us\": %.1f, \"pages_read\": %llu, "
+                "\"pages_written\": %llu}%s\n",
                 p.mode, p.threads, p.qps, p.p50_us, p.p99_us,
+                static_cast<unsigned long long>(p.pages_read),
+                static_cast<unsigned long long>(p.pages_written),
                 (i + 1 < points.size()) ? "," : "");
   }
   std::printf("  ]\n}\n");

@@ -382,16 +382,29 @@ Status BTree::Scan(uint64_t lo, uint64_t hi,
   if (!cur.ok()) return cur.status();
   PageHandle node = std::move(*cur);
   int depth = 0;
+  std::vector<PageId> readahead;
   while (node.As<btree_internal::NodeHeader>()->type == kInternalType) {
     if (++depth > kMaxDepth) {
       return Status::Corruption("B+ tree descent exceeds max depth");
     }
     auto* in = node.As<InternalNode>();
-    PageId child = in->children[LowerBoundChild(in, lo)];
+    const int idx = LowerBoundChild(in, lo);
+    // Right siblings of the descent child whose subtrees can still hold
+    // keys <= hi; after the last internal level these are the sibling
+    // leaves the chain walk below will visit, so hint them to the pool.
+    // A point-ish scan (hi below the next separator) prefetches nothing.
+    int last = idx;
+    while (last < in->header.count && last - idx < btree_internal::kScanReadahead &&
+           in->keys[last] <= hi) {
+      ++last;
+    }
+    readahead.assign(in->children + idx + 1, in->children + last + 1);
+    PageId child = in->children[idx];
     auto next = FetchNode(pool_, child);
     if (!next.ok()) return next.status();
     node = std::move(*next);
   }
+  if (!readahead.empty()) pool_->Prefetch(readahead);
   const auto* leaf = node.As<LeafNode>();
   int pos = LowerBoundRecord(leaf, lo);
   // A sibling chain longer than the file has pages must be a cycle.

@@ -59,6 +59,24 @@ class BTree {
   /// after existing ones.
   Status Insert(uint64_t key, const Entry& entry);
 
+  /// Inserts `n` records, which must be sorted by key (stable: records
+  /// with equal keys keep their relative order and land after any equal
+  /// keys already in the tree — the same final record order the serial
+  /// `Insert` loop produces). One recursive descent distributes the whole
+  /// batch: each touched leaf is merged and rewritten once, and
+  /// overflowing nodes split proactively into evenly filled siblings, so
+  /// page touches are amortized across the run instead of paid per record.
+  Status InsertBatch(const BTreeRecord* records, size_t n);
+  Status InsertBatch(const std::vector<BTreeRecord>& records);
+
+  /// Builds a fresh tree from sorted records: `Create` + one
+  /// `InsertBatch`, which on an empty tree degenerates into left-to-right
+  /// bulk loading of evenly filled leaves. Used when an epoch tree is
+  /// (re)built from a known record set — `CloseCurrent` reinserts and
+  /// other rebuild paths — in place of repeated single inserts.
+  static Result<BTree> BulkLoad(BufferPool* pool, const BTreeRecord* records,
+                                size_t n);
+
   /// Deletes the record with exactly this `key` whose entry matches
   /// (oid, start). Returns NotFound if absent. Rebalances underflowing
   /// nodes by borrowing from or merging with siblings.
@@ -116,6 +134,20 @@ class BTree {
     bool found = false;
     bool underflow = false;
   };
+
+  /// A new right sibling produced while applying a batch to a subtree;
+  /// `separator` is the smallest key stored under `right`.
+  struct BatchSplit {
+    uint64_t separator;
+    PageId right;
+  };
+
+  /// Applies the sorted slice `records[begin, end)` to the subtree rooted
+  /// at `node_id`; any new siblings of that node are appended to `splits`
+  /// (left to right) for the caller to graft into the parent.
+  Status InsertBatchInSubtree(PageId node_id, int depth,
+                              const BTreeRecord* records, size_t begin,
+                              size_t end, std::vector<BatchSplit>* splits);
 
   /// Recursive delete; searches all children whose range may contain `key`.
   Status DeleteInSubtree(PageId node_id, int depth, uint64_t key, ObjectId oid,

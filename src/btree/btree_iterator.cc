@@ -1,5 +1,8 @@
 #include "btree/btree_iterator.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "btree/btree_node.h"
 
 namespace swst {
@@ -25,19 +28,28 @@ void BTreeIterator::Seek(uint64_t key) {
   }
   PageHandle node = std::move(*cur);
   int depth = 0;
+  std::vector<PageId> readahead;
   while (node.As<btree_internal::NodeHeader>()->type == kInternalType) {
     if (++depth > kMaxDepth) {
       status_ = Status::Corruption("B+ tree descent exceeds max depth");
       return;
     }
     const auto* in = node.As<InternalNode>();
-    auto next = FetchNode(pool_, in->children[LowerBoundChild(in, key)]);
+    const int idx = LowerBoundChild(in, key);
+    // After the loop's last iteration these are the sibling leaves the
+    // iterator will step through; hinting them lets the pool pull the
+    // chain in with vectored reads instead of one page per Next().
+    const int last = std::min<int>(in->header.count,
+                                   idx + btree_internal::kScanReadahead);
+    readahead.assign(in->children + idx + 1, in->children + last + 1);
+    auto next = FetchNode(pool_, in->children[idx]);
     if (!next.ok()) {
       status_ = next.status();
       return;
     }
     node = std::move(*next);
   }
+  if (!readahead.empty()) pool_->Prefetch(readahead);
   leaf_ = node.id();
   pos_ = LowerBoundRecord(node.As<LeafNode>(), key);
   node.Release();

@@ -28,6 +28,11 @@ inline constexpr uint16_t kInternalType = 2;
 /// through corrupt child/sibling pointers.
 inline constexpr int kMaxDepth = 64;
 
+/// How many upcoming sibling leaves a chain scan (Scan, BTreeIterator)
+/// hints to `BufferPool::Prefetch` ahead of reading them. Bounded so a
+/// short bounded scan does not drag a whole subtree into the pool.
+inline constexpr int kScanReadahead = 16;
+
 /// Leaf page: header followed by `count` sorted records.
 inline constexpr int kLeafCapacity =
     static_cast<int>((kPageSize - sizeof(NodeHeader)) / sizeof(BTreeRecord));

@@ -48,9 +48,19 @@ Status BTree::SearchRanges(
   level.push_back(WorkItem{root_, 0, ranges.size()});
 
   int depth = 0;
+  std::vector<PageId> prefetch_ids;
   while (!level.empty()) {
     if (++depth > kMaxDepth) {
       return Status::Corruption("B+ tree descent exceeds max depth");
+    }
+    // The whole level is known up front, in key order — at the leaf level
+    // this is exactly the run of sibling leaves the query will read, so
+    // adjacent page ids collapse into vectored reads. Prefetching does not
+    // count as a node access, keeping per-query `node_accesses` exact.
+    if (level.size() > 1) {
+      prefetch_ids.clear();
+      for (const WorkItem& item : level) prefetch_ids.push_back(item.node);
+      pool_->Prefetch(prefetch_ids);
     }
     std::vector<WorkItem> next_level;
     bool is_leaf_level = false;

@@ -1,7 +1,9 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <utility>
 
 namespace swst {
 
@@ -86,6 +88,10 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   auto it = part.page_to_frame.find(id);
   if (it != part.page_to_frame.end()) {
     Frame& f = part.frames[it->second];
+    if (f.prefetched) {
+      f.prefetched = false;
+      part.stats.readahead_hits++;
+    }
     if (f.pin_count == 0 && f.in_lru) {
       part.lru.erase(f.lru_pos);
       f.in_lru = false;
@@ -112,6 +118,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   f.pin_count = 1;
   f.dirty = false;
   f.in_lru = false;
+  f.prefetched = false;
   part.page_to_frame[id] = *frame_idx;
   return PageHandle(this, *frame_idx, id, f.data.data());
 }
@@ -142,6 +149,7 @@ Result<PageHandle> BufferPool::New() {
   f.pin_count = 1;
   f.dirty = true;
   f.in_lru = false;
+  f.prefetched = false;
   part.page_to_frame[*id] = *frame_idx;
   return PageHandle(this, *frame_idx, *id, f.data.data());
 }
@@ -161,6 +169,7 @@ Status BufferPool::Free(PageId id) {
     }
     f.page_id = kInvalidPageId;
     f.dirty = false;
+    f.prefetched = false;
     part.unused_frames.push_back(it->second);
     part.page_to_frame.erase(it);
   }
@@ -178,26 +187,159 @@ Status BufferPool::FlushAll() {
   // the first error. Frames that failed to write back stay dirty for a
   // later retry. Checkpoints (SwstIndex::Save) depend on this sweeping all
   // partitions before the pager is synced.
-  Status first_error;
+  //
+  // All partition mutexes are held together (ascending index order — no
+  // other path takes more than one at a time) so the dirty set can be
+  // sorted by page id across stripes and adjacent pages written with one
+  // vectored call per run.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(partitions_.size());
+  for (auto& part : partitions_) locks.emplace_back(part->mu);
+
+  struct DirtyPage {
+    PageId id;
+    Partition* part;
+    Frame* frame;
+  };
+  std::vector<DirtyPage> dirty;
   for (auto& part : partitions_) {
-    std::lock_guard<std::mutex> lock(part->mu);
     for (Frame& f : part->frames) {
       if (f.page_id != kInvalidPageId && f.dirty) {
-        Status st;
-        {
-          std::lock_guard<std::mutex> pager_lock(pager_mu_);
-          st = pager_->WritePage(f.page_id, f.data.data());
-        }
-        if (st.ok()) {
-          part->stats.physical_writes++;
-          f.dirty = false;
-        } else if (first_error.ok()) {
-          first_error = st;
-        }
+        dirty.push_back({f.page_id, part.get(), &f});
       }
     }
   }
+  std::sort(dirty.begin(), dirty.end(),
+            [](const DirtyPage& a, const DirtyPage& b) { return a.id < b.id; });
+
+  Status first_error;
+  std::vector<char> scratch;
+  for (size_t i = 0; i < dirty.size();) {
+    size_t j = i + 1;
+    while (j < dirty.size() && dirty[j].id == dirty[j - 1].id + 1) ++j;
+    const uint32_t run = static_cast<uint32_t>(j - i);
+    Status st;
+    if (run == 1) {
+      std::lock_guard<std::mutex> pager_lock(pager_mu_);
+      st = pager_->WritePage(dirty[i].id, dirty[i].frame->data.data());
+    } else {
+      scratch.resize(static_cast<size_t>(run) * kPageSize);
+      for (size_t k = i; k < j; ++k) {
+        std::memcpy(scratch.data() + (k - i) * kPageSize,
+                    dirty[k].frame->data.data(), kPageSize);
+      }
+      std::lock_guard<std::mutex> pager_lock(pager_mu_);
+      st = pager_->WritePages(dirty[i].id, run, scratch.data());
+    }
+    if (st.ok()) {
+      for (size_t k = i; k < j; ++k) {
+        dirty[k].frame->dirty = false;
+        dirty[k].part->stats.physical_writes++;
+        if (run > 1) dirty[k].part->stats.coalesced_writes++;
+      }
+    } else if (first_error.ok()) {
+      first_error = st;
+    }
+    i = j;
+  }
   return first_error;
+}
+
+void BufferPool::Prefetch(const std::vector<PageId>& ids) {
+  // Sort + dedup once so misses appear in page-id order and adjacent runs
+  // are easy to find; then handle each partition's share under its mutex.
+  std::vector<PageId> want(ids);
+  std::sort(want.begin(), want.end());
+  want.erase(std::unique(want.begin(), want.end()), want.end());
+
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    Partition& part = *partitions_[p];
+    std::lock_guard<std::mutex> lock(part.mu);
+    // Never let a single readahead wash out more than half the stripe.
+    size_t budget = part.frames.size() / 2;
+    if (budget == 0) budget = 1;
+
+    std::vector<std::pair<PageId, size_t>> misses;  // (page id, frame idx)
+    for (PageId id : want) {
+      if (id == kInvalidPageId) continue;
+      if (partitions_.size() > 1 && PartitionIndex(id) != p) continue;
+      if (misses.size() >= budget) break;
+      if (part.page_to_frame.count(id) != 0) continue;
+      // A prefetch-safe frame grab: a never-used frame, or a *clean* LRU
+      // victim. Evicting (and writing back) dirty pages to make room for a
+      // speculative read would invert the optimization, so stop instead.
+      size_t frame_idx;
+      if (!part.unused_frames.empty()) {
+        frame_idx = part.unused_frames.back();
+        part.unused_frames.pop_back();
+      } else if (!part.lru.empty() &&
+                 !part.frames[part.lru.back()].dirty) {
+        frame_idx = part.lru.back();
+        part.lru.pop_back();
+        Frame& victim = part.frames[frame_idx];
+        victim.in_lru = false;
+        part.page_to_frame.erase(victim.page_id);
+        victim.page_id = kInvalidPageId;
+        victim.prefetched = false;
+      } else {
+        break;
+      }
+      misses.emplace_back(id, frame_idx);
+    }
+
+    std::vector<char> scratch;
+    for (size_t i = 0; i < misses.size();) {
+      size_t j = i + 1;
+      while (j < misses.size() &&
+             misses[j].first == misses[j - 1].first + 1) {
+        ++j;
+      }
+      const uint32_t run = static_cast<uint32_t>(j - i);
+      Status st;
+      if (run == 1) {
+        Frame& f = part.frames[misses[i].second];
+        if (f.data.empty()) f.data.resize(kPageSize);
+        std::lock_guard<std::mutex> pager_lock(pager_mu_);
+        st = pager_->ReadPage(misses[i].first, f.data.data());
+      } else {
+        scratch.resize(static_cast<size_t>(run) * kPageSize);
+        {
+          std::lock_guard<std::mutex> pager_lock(pager_mu_);
+          st = pager_->ReadPages(misses[i].first, run, scratch.data());
+        }
+        if (st.ok()) {
+          for (size_t k = i; k < j; ++k) {
+            Frame& f = part.frames[misses[k].second];
+            if (f.data.empty()) f.data.resize(kPageSize);
+            std::memcpy(f.data.data(), scratch.data() + (k - i) * kPageSize,
+                        kPageSize);
+          }
+        }
+      }
+      if (st.ok()) {
+        for (size_t k = i; k < j; ++k) {
+          Frame& f = part.frames[misses[k].second];
+          f.page_id = misses[k].first;
+          f.pin_count = 0;
+          f.dirty = false;
+          f.prefetched = true;
+          part.lru.push_front(misses[k].second);
+          f.lru_pos = part.lru.begin();
+          f.in_lru = true;
+          part.page_to_frame[misses[k].first] = misses[k].second;
+          part.stats.physical_reads++;
+          part.stats.readahead_pages++;
+        }
+      } else {
+        // Purely a hint: hand the frames back and let the eventual Fetch
+        // re-read the page and surface the error.
+        for (size_t k = i; k < j; ++k) {
+          part.unused_frames.push_back(misses[k].second);
+        }
+      }
+      i = j;
+    }
+  }
 }
 
 IoStats BufferPool::stats() const {
@@ -247,21 +389,60 @@ Result<size_t> BufferPool::GrabFrame(Partition& part) {
   Frame& f = part.frames[victim];
   f.in_lru = false;
   if (f.dirty) {
+    // Coalesced write-behind: gather unpinned dirty neighbors (by page id)
+    // cached in this partition and write the whole adjacent run with one
+    // vectored call. Neighbors stay cached — they merely become clean, so
+    // their own later eviction is free. Pinned frames are excluded: their
+    // contents may be mid-mutation by the pin holder.
+    constexpr size_t kEvictRunCap = 16;
+    std::vector<std::pair<PageId, Frame*>> run;
+    run.reserve(kEvictRunCap);
+    run.emplace_back(f.page_id, &f);
+    for (PageId id = f.page_id - 1;
+         id != kInvalidPageId && run.size() < kEvictRunCap; --id) {
+      auto it = part.page_to_frame.find(id);
+      if (it == part.page_to_frame.end()) break;
+      Frame& nb = part.frames[it->second];
+      if (!nb.dirty || nb.pin_count != 0) break;
+      run.emplace_back(id, &nb);
+    }
+    std::reverse(run.begin(), run.end());
+    for (PageId id = f.page_id + 1; run.size() < kEvictRunCap; ++id) {
+      auto it = part.page_to_frame.find(id);
+      if (it == part.page_to_frame.end()) break;
+      Frame& nb = part.frames[it->second];
+      if (!nb.dirty || nb.pin_count != 0) break;
+      run.emplace_back(id, &nb);
+    }
+
     Status st;
-    {
+    if (run.size() > 1) {
+      std::vector<char> scratch(run.size() * kPageSize);
+      for (size_t k = 0; k < run.size(); ++k) {
+        std::memcpy(scratch.data() + k * kPageSize, run[k].second->data.data(),
+                    kPageSize);
+      }
+      std::lock_guard<std::mutex> pager_lock(pager_mu_);
+      st = pager_->WritePages(run[0].first, static_cast<uint32_t>(run.size()),
+                              scratch.data());
+    } else {
       std::lock_guard<std::mutex> pager_lock(pager_mu_);
       st = pager_->WritePage(f.page_id, f.data.data());
     }
     if (!st.ok()) {
-      // Write-back failed: the frame keeps its dirty data and returns to
-      // the LRU tail so it stays evictable (and retryable) — never dropped.
+      // Write-back failed: every frame of the run (the victim included)
+      // keeps its dirty data, and the victim returns to the LRU tail so it
+      // stays evictable (and retryable) — never dropped.
       part.lru.push_back(victim);
       f.lru_pos = std::prev(part.lru.end());
       f.in_lru = true;
       return st;
     }
-    part.stats.physical_writes++;
-    f.dirty = false;
+    for (auto& entry : run) {
+      entry.second->dirty = false;
+      part.stats.physical_writes++;
+      if (run.size() > 1) part.stats.coalesced_writes++;
+    }
   }
   part.page_to_frame.erase(f.page_id);
   f.page_id = kInvalidPageId;

@@ -115,7 +115,22 @@ class BufferPool {
   /// error; frames that failed to write back stay dirty for a retry.
   /// `Save`-style checkpoints rely on this covering *all* partitions
   /// before the pager is synced.
+  ///
+  /// The dirty set is gathered across all partitions (their mutexes are
+  /// taken together, in ascending index order), sorted by page id, and
+  /// runs of adjacent pages are written with one `Pager::WritePages` call
+  /// each (`stats().coalesced_writes` counts pages in multi-page runs).
   Status FlushAll();
+
+  /// Best-effort readahead: loads the given pages into the cache without
+  /// pinning them, so subsequent `Fetch` calls hit. Pages already cached
+  /// are skipped; runs of adjacent missing ids are read with a single
+  /// `Pager::ReadPages` call. Prefetching never evicts a dirty page, never
+  /// consumes more than half of a partition's frames in one call, and
+  /// swallows read errors (the later `Fetch` re-reads and reports them) —
+  /// it is purely a hint. Does NOT count toward `logical_reads`, so node
+  /// access metrics are unaffected; see `readahead_pages`/`readahead_hits`.
+  void Prefetch(const std::vector<PageId>& ids);
 
   /// Aggregated counters across all partitions (relaxed snapshot).
   IoStats stats() const;
@@ -134,6 +149,7 @@ class BufferPool {
     uint32_t pin_count = 0;
     bool dirty = false;
     bool in_lru = false;
+    bool prefetched = false;  ///< Filled by readahead, not yet fetched.
     std::list<size_t>::iterator lru_pos;
     std::vector<char> data;
   };

@@ -1,6 +1,20 @@
 #include "storage/crc32c.h"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define SWST_CRC32C_X86 1
+#endif
+
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#define SWST_CRC32C_ARM 1
+#endif
 
 namespace swst {
 namespace crc32c {
@@ -34,11 +48,90 @@ const Tables& tables() {
   return kTables;
 }
 
-}  // namespace
+#if defined(SWST_CRC32C_X86)
 
-uint32_t Extend(uint32_t crc, const void* data, size_t n) {
+bool DetectX86Crc() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  return (ecx & (1u << 20)) != 0;  // SSE4.2 implies the crc32 instruction.
+}
+
+__attribute__((target("sse4.2"))) uint32_t ExtendHardware(uint32_t crc,
+                                                          const uint8_t* p,
+                                                          size_t n) {
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --n;
+  }
+  uint64_t crc64 = crc;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = __builtin_ia32_crc32di(crc64, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (n > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --n;
+  }
+  return ~crc;
+}
+
+constexpr const char* kHardwareName = "sse4.2";
+
+#elif defined(SWST_CRC32C_ARM)
+
+bool DetectArmCrc() { return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0; }
+
+__attribute__((target("+crc"))) uint32_t ExtendHardware(uint32_t crc,
+                                                        const uint8_t* p,
+                                                        size_t n) {
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = __builtin_aarch64_crc32cb(crc, *p++);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc = __builtin_aarch64_crc32cx(crc, word);
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = __builtin_aarch64_crc32cb(crc, *p++);
+    --n;
+  }
+  return ~crc;
+}
+
+constexpr const char* kHardwareName = "armv8-crc";
+
+#endif
+
+using ExtendFn = uint32_t (*)(uint32_t, const uint8_t*, size_t);
+
+uint32_t ExtendSoftwareImpl(uint32_t crc, const uint8_t* p, size_t n);
+
+/// Resolved once, at the first checksum of the process; safe under
+/// concurrent first calls (C++11 magic static).
+ExtendFn ActiveKernel() {
+  static const ExtendFn fn = []() -> ExtendFn {
+#if defined(SWST_CRC32C_X86)
+    if (DetectX86Crc()) return &ExtendHardware;
+#elif defined(SWST_CRC32C_ARM)
+    if (DetectArmCrc()) return &ExtendHardware;
+#endif
+    return &ExtendSoftwareImpl;
+  }();
+  return fn;
+}
+
+uint32_t ExtendSoftwareImpl(uint32_t crc, const uint8_t* p, size_t n) {
   const Tables& tb = tables();
-  const uint8_t* p = static_cast<const uint8_t*>(data);
   crc = ~crc;
 
   // Process unaligned prefix byte-wise.
@@ -67,7 +160,32 @@ uint32_t Extend(uint32_t crc, const void* data, size_t n) {
   return ~crc;
 }
 
+}  // namespace
+
+uint32_t Extend(uint32_t crc, const void* data, size_t n) {
+  return ActiveKernel()(crc, static_cast<const uint8_t*>(data), n);
+}
+
+uint32_t ExtendSoftware(uint32_t crc, const void* data, size_t n) {
+  return ExtendSoftwareImpl(crc, static_cast<const uint8_t*>(data), n);
+}
+
 uint32_t Compute(const void* data, size_t n) { return Extend(0, data, n); }
+
+bool IsHardwareAccelerated() {
+#if defined(SWST_CRC32C_X86) || defined(SWST_CRC32C_ARM)
+  return ActiveKernel() == &ExtendHardware;
+#else
+  return false;
+#endif
+}
+
+const char* BackendName() {
+#if defined(SWST_CRC32C_X86) || defined(SWST_CRC32C_ARM)
+  if (IsHardwareAccelerated()) return kHardwareName;
+#endif
+  return "software";
+}
 
 }  // namespace crc32c
 }  // namespace swst

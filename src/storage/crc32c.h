@@ -9,13 +9,25 @@ namespace crc32c {
 
 /// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
 /// page-checksum polynomial used by iSCSI, ext4, LevelDB and RocksDB.
-/// Software slice-by-8 implementation; fast enough that checksumming an
-/// 8 KiB page is negligible next to the `pread` that fetched it.
+/// Dispatches at first use to the hardware CRC instruction when the CPU
+/// has one (SSE4.2 `crc32` on x86-64, ARMv8 `crc32c*`), detected at
+/// runtime; otherwise falls back to the software slice-by-8 kernel. Both
+/// paths produce identical values (see crc32c_test).
 uint32_t Compute(const void* data, size_t n);
 
 /// Extends a running CRC with more bytes: `Extend(Compute(a), b)` equals
 /// `Compute(concat(a, b))`.
 uint32_t Extend(uint32_t crc, const void* data, size_t n);
+
+/// The portable slice-by-8 kernel, always available regardless of CPU.
+/// Exposed so tests can cross-check the hardware path against it.
+uint32_t ExtendSoftware(uint32_t crc, const void* data, size_t n);
+
+/// True when `Extend`/`Compute` use a CPU CRC instruction on this machine.
+bool IsHardwareAccelerated();
+
+/// Name of the active kernel: "sse4.2", "armv8-crc" or "software".
+const char* BackendName();
 
 /// CRCs of page payloads are stored *masked* on disk (RocksDB-style
 /// rotation + offset) so that a page whose payload happens to contain its

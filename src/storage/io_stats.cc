@@ -11,6 +11,9 @@ IoStats IoStats::Since(const IoStats& snapshot) const {
   d.physical_writes = physical_writes - snapshot.physical_writes;
   d.pages_allocated = pages_allocated - snapshot.pages_allocated;
   d.pages_freed = pages_freed - snapshot.pages_freed;
+  d.coalesced_writes = coalesced_writes - snapshot.coalesced_writes;
+  d.readahead_pages = readahead_pages - snapshot.readahead_pages;
+  d.readahead_hits = readahead_hits - snapshot.readahead_hits;
   return d;
 }
 
@@ -20,7 +23,10 @@ std::string IoStats::ToString() const {
      << ", physical_reads=" << physical_reads
      << ", physical_writes=" << physical_writes
      << ", pages_allocated=" << pages_allocated
-     << ", pages_freed=" << pages_freed << "}";
+     << ", pages_freed=" << pages_freed
+     << ", coalesced_writes=" << coalesced_writes
+     << ", readahead_pages=" << readahead_pages
+     << ", readahead_hits=" << readahead_hits << "}";
   return os.str();
 }
 

@@ -26,6 +26,15 @@ struct IoStats {
   std::atomic<uint64_t> physical_writes{0};  ///< Pages written to the backend.
   std::atomic<uint64_t> pages_allocated{0};
   std::atomic<uint64_t> pages_freed{0};
+  /// Pages written as part of a multi-page vectored batch (adjacent dirty
+  /// pages coalesced by `FlushAll` or eviction into one `Pager::WritePages`
+  /// call). A subset of `physical_writes`.
+  std::atomic<uint64_t> coalesced_writes{0};
+  /// Pages loaded by `BufferPool::Prefetch` (readahead). A subset of
+  /// `physical_reads`; prefetches do NOT count as logical reads.
+  std::atomic<uint64_t> readahead_pages{0};
+  /// Fetches that were served by a frame filled by readahead.
+  std::atomic<uint64_t> readahead_hits{0};
 
   IoStats() = default;
 
@@ -43,6 +52,12 @@ struct IoStats {
                           std::memory_order_relaxed);
     pages_freed.store(o.pages_freed.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
+    coalesced_writes.store(o.coalesced_writes.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    readahead_pages.store(o.readahead_pages.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    readahead_hits.store(o.readahead_hits.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
     return *this;
   }
 
@@ -61,6 +76,14 @@ struct IoStats {
         std::memory_order_relaxed);
     pages_freed.fetch_add(o.pages_freed.load(std::memory_order_relaxed),
                           std::memory_order_relaxed);
+    coalesced_writes.fetch_add(
+        o.coalesced_writes.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    readahead_pages.fetch_add(
+        o.readahead_pages.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    readahead_hits.fetch_add(o.readahead_hits.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
     return *this;
   }
 

@@ -69,6 +69,20 @@ class Pager {
   /// Writes `buf` (kPageSize bytes) to page `id`.
   virtual Status WritePage(PageId id, const void* buf) = 0;
 
+  /// Reads `count` consecutive pages starting at `first` into `buf`
+  /// (`count * kPageSize` bytes; page `first + i` lands at offset
+  /// `i * kPageSize`). The base implementation loops over `ReadPage`, so
+  /// decorators such as `FaultInjectionPager` still observe (and can fault)
+  /// each page as its own operation. The file backend overrides this with a
+  /// single `preadv` spanning the physical range; every page's trailer is
+  /// verified exactly as in `ReadPage`.
+  virtual Status ReadPages(PageId first, uint32_t count, void* buf);
+
+  /// Writes `count` consecutive pages from `buf` starting at `first`.
+  /// Same layout and override contract as `ReadPages`; the file backend
+  /// uses `pwritev` and stamps a fresh trailer per page.
+  virtual Status WritePages(PageId first, uint32_t count, const void* buf);
+
   /// Flushes OS buffers to stable storage (no-op for the memory backend).
   virtual Status Sync() = 0;
 

@@ -54,6 +54,27 @@ void IsPresentMemo::Add(uint32_t cell, int slot, uint32_t column, uint32_t dp,
   s.count++;
 }
 
+void IsPresentMemo::AddN(uint32_t cell, int slot, uint32_t column, uint32_t dp,
+                         const Point* pts, size_t n) {
+  if (n == 0) return;
+  CellStat& s = stats_[Index(cell, slot, column, dp)];
+  size_t i = 0;
+  if (s.count == 0) {
+    s.min_x = FloorFloat(pts[0].x);
+    s.max_x = CeilFloat(pts[0].x);
+    s.min_y = FloorFloat(pts[0].y);
+    s.max_y = CeilFloat(pts[0].y);
+    i = 1;
+  }
+  for (; i < n; ++i) {
+    s.min_x = std::min(s.min_x, FloorFloat(pts[i].x));
+    s.max_x = std::max(s.max_x, CeilFloat(pts[i].x));
+    s.min_y = std::min(s.min_y, FloorFloat(pts[i].y));
+    s.max_y = std::max(s.max_y, CeilFloat(pts[i].y));
+  }
+  s.count += static_cast<uint32_t>(n);
+}
+
 void IsPresentMemo::Remove(uint32_t cell, int slot, uint32_t column,
                            uint32_t dp) {
   CellStat& s = stats_[Index(cell, slot, column, dp)];

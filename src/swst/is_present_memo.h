@@ -33,6 +33,8 @@ class IsPresentMemo {
     uint32_t count = 0;
     float min_x = 0, min_y = 0, max_x = 0, max_y = 0;
 
+    friend bool operator==(const CellStat&, const CellStat&) = default;
+
     bool empty() const { return count == 0; }
 
     bool Intersects(const Rect& r) const {
@@ -50,6 +52,12 @@ class IsPresentMemo {
   /// coordinates, matching query rectangles).
   void Add(uint32_t cell, int slot, uint32_t column, uint32_t dp,
            const Point& p);
+
+  /// Records `n` entries of one temporal cell in a single update (the batch
+  /// insert path groups points by temporal cell first). The resulting
+  /// statistics are bit-identical to `n` individual `Add` calls.
+  void AddN(uint32_t cell, int slot, uint32_t column, uint32_t dp,
+            const Point* pts, size_t n);
 
   /// Removes one entry. The MBR resets when the count reaches zero,
   /// otherwise it stays (conservatively) unchanged.
@@ -83,6 +91,10 @@ class IsPresentMemo {
 
   uint32_t s_partitions() const { return sp_; }
   uint32_t d_slots() const { return d_slots_; }
+
+  /// Raw statistics vector, ordered by (cell, slot, column, dp); for
+  /// snapshots in differential tests.
+  const std::vector<CellStat>& stats() const { return stats_; }
 
  private:
   size_t Index(uint32_t cell, int slot, uint32_t column, uint32_t dp) const {

@@ -148,6 +148,111 @@ Status SwstIndex::InsertLocked(Shard& shard, uint32_t cell,
   return Status::OK();
 }
 
+Status SwstIndex::InsertBatch(const std::vector<Entry>& entries) {
+  return InsertBatch(entries.data(), entries.size());
+}
+
+Status SwstIndex::InsertBatch(const Entry* entries, size_t n) {
+  if (n == 0) return Status::OK();
+
+  // Validation pass in arrival order against a running clock — exactly the
+  // accept/reject decisions a serial Insert loop would make (each Insert
+  // bumps the clock before its window check). Keys are computed once here
+  // and reused by the tree inserts and the memo grouping below.
+  struct Item {
+    uint32_t cell;
+    uint64_t epoch;
+    uint64_t key;
+    uint32_t index;  ///< Arrival position in `entries`.
+  };
+  std::vector<Item> items;
+  items.reserve(n);
+  Timestamp clock = now();
+  for (size_t i = 0; i < n; ++i) {
+    const Entry& e = entries[i];
+    if (!grid_.Contains(e.pos)) {
+      return Status::InvalidArgument("Insert: position outside spatial domain");
+    }
+    if (!e.is_current() &&
+        (e.duration == 0 || e.duration > options_.max_duration)) {
+      return Status::InvalidArgument("Insert: duration outside [1, Dmax]");
+    }
+    clock = std::max(clock, e.start);
+    const Timestamp aligned = (clock / options_.slide) * options_.slide;
+    const Timestamp win_lo =
+        (aligned >= options_.window_size) ? aligned - options_.window_size : 0;
+    if (e.start < win_lo) {
+      return Status::InvalidArgument("Insert: entry already expired");
+    }
+    const uint32_t cell = grid_.CellOf(e.pos);
+    items.push_back(Item{cell, codec_.Epoch(e.start), KeyFor(e, cell),
+                         static_cast<uint32_t>(i)});
+  }
+  BumpClock(clock);
+
+  // Group by (spatial cell, epoch) and sort each group's records by key.
+  // Stable, so equal keys keep arrival order — the order serial Insert
+  // produces by appending equal keys after existing ones. Cells ascend,
+  // so shards are visited in ascending order, each locked exactly once.
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) {
+                     if (a.cell != b.cell) return a.cell < b.cell;
+                     if (a.epoch != b.epoch) return a.epoch < b.epoch;
+                     return a.key < b.key;
+                   });
+
+  std::vector<BTreeRecord> recs;
+  std::vector<Point> run_pts;
+  size_t i = 0;
+  while (i < n) {
+    Shard& shard = ShardFor(items[i].cell);
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    while (i < n && &ShardFor(items[i].cell) == &shard) {
+      const uint32_t cell = items[i].cell;
+      const uint64_t epoch = items[i].epoch;
+      size_t g = i;
+      while (g < n && items[g].cell == cell && items[g].epoch == epoch) ++g;
+
+      SWST_RETURN_IF_ERROR(PrepareTree(shard, cell, epoch));
+      const int slot = static_cast<int>(epoch % 2);
+      CellTrees& ct = CellIn(shard, cell);
+      recs.clear();
+      recs.reserve(g - i);
+      for (size_t j = i; j < g; ++j) {
+        recs.push_back(BTreeRecord{items[j].key, entries[items[j].index]});
+      }
+      BTree tree = BTree::Attach(pool_, ct.root[slot]);
+      SWST_RETURN_IF_ERROR(tree.InsertBatch(recs));
+      ct.root[slot] = tree.root();
+
+      // The key sort clusters each temporal cell (s-partition column and
+      // d-partition occupy the key's high bits), so the memo takes one
+      // AddN per consecutive run instead of one update per point.
+      const uint32_t local_cell = cell - shard.cell_begin;
+      for (size_t r = i; r < g;) {
+        const Entry& first = entries[items[r].index];
+        const uint32_t column = codec_.LocalColumn(first.start);
+        const uint32_t dp = codec_.DPartition(first.duration);
+        run_pts.clear();
+        size_t r2 = r;
+        for (; r2 < g; ++r2) {
+          const Entry& e = entries[items[r2].index];
+          if (codec_.LocalColumn(e.start) != column ||
+              codec_.DPartition(e.duration) != dp) {
+            break;
+          }
+          run_pts.push_back(e.pos);
+        }
+        shard.memo.AddN(local_cell, slot, column, dp, run_pts.data(),
+                        run_pts.size());
+        r = r2;
+      }
+      i = g;
+    }
+  }
+  return Status::OK();
+}
+
 Status SwstIndex::Delete(const Entry& entry) {
   if (!grid_.Contains(entry.pos)) {
     return Status::InvalidArgument("Delete: position outside spatial domain");
@@ -528,6 +633,16 @@ Status SwstIndex::ValidateTrees() const {
     }
   }
   return Status::OK();
+}
+
+std::vector<IsPresentMemo::CellStat> SwstIndex::MemoSnapshot() const {
+  std::vector<IsPresentMemo::CellStat> out;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    const auto& s = shard->memo.stats();
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  return out;
 }
 
 size_t SwstIndex::StatisticsMemoryUsage() const {

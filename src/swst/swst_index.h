@@ -143,6 +143,23 @@ class SwstIndex {
   /// is inside the current queriable period (not already expired).
   Status Insert(const Entry& entry);
 
+  /// Inserts a batch of entries with the exact end state a serial `Insert`
+  /// loop over `entries` (in order) would produce — the same tree contents
+  /// (including duplicate-key order), the same memo statistics, and the
+  /// same clock — but with the group-insert pipeline: keys are computed
+  /// once, entries are grouped by (spatial cell, epoch) and sorted by key,
+  /// each group lands in its tree through `BTree::InsertBatch` (one descent
+  /// per leaf run), and the memo is updated once per temporal cell.
+  ///
+  /// Validation (domain, duration, expiry against a running clock — the
+  /// decisions the serial loop would make) runs up front: if any entry is
+  /// invalid, its `InvalidArgument` is returned and *nothing* is inserted,
+  /// unlike the serial loop which stops mid-way. I/O errors can still
+  /// leave a prefix of the groups applied, exactly like an aborted loop.
+  /// Each touched shard is locked exclusively once, in ascending order.
+  Status InsertBatch(const Entry* entries, size_t n);
+  Status InsertBatch(const std::vector<Entry>& entries);
+
   /// Deletes a specific entry (matched by oid + start, located via its
   /// key). InvalidArgument if the position is outside the spatial domain;
   /// NotFound if absent or already dropped with an expired tree.
@@ -224,6 +241,11 @@ class SwstIndex {
 
   /// Validates every live B+ tree's structural invariants (tests only).
   Status ValidateTrees() const;
+
+  /// Full isPresent-memo snapshot, concatenated over shards in shard order
+  /// (i.e. global cell order); lets differential tests assert that batched
+  /// and serial insertion leave bit-identical statistics.
+  std::vector<IsPresentMemo::CellStat> MemoSnapshot() const;
 
   const SwstOptions& options() const { return options_; }
   const SpatialGrid& grid() const { return grid_; }

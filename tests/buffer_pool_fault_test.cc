@@ -106,20 +106,41 @@ TEST_F(BufferPoolFaultTest, FetchEvictionFailureIsRetryable) {
   ExpectPageContent(pool, c, 'c');
 }
 
-TEST_F(BufferPoolFaultTest, FlushAllAttemptsAllFramesAndReportsFirstError) {
+TEST_F(BufferPoolFaultTest, FlushAllAttemptsAllRunsAndReportsFirstError) {
+  // FlushAll coalesces adjacent dirty pages into vectored runs, so a run —
+  // not an individual frame — is the unit of write-back failure. A failure
+  // in one run must not stop the remaining runs from being attempted, and
+  // the failed run's frames must stay dirty for a retry.
   BufferPool pool(&fi_, 8);
-  NewFilledPage(pool, '1');
-  NewFilledPage(pool, '2');
-  NewFilledPage(pool, '3');
+  const PageId p1 = NewFilledPage(pool, '1');
+  const PageId p2 = NewFilledPage(pool, '2');
+  const PageId p3 = NewFilledPage(pool, '3');
+  const PageId p4 = NewFilledPage(pool, '4');
+  (void)p3;
+  ASSERT_OK(pool.FlushAll());
+  ASSERT_OK(fi_.Sync());
   ASSERT_EQ(fi_.unsynced_pages(), 0u);
+
+  // Re-dirty two adjacent pages plus one disjoint page: the dirty set
+  // coalesces into runs [p1,p2] and [p4] (p3 stays clean between them).
+  auto redirty = [&](PageId id, char fill) {
+    auto h = pool.Fetch(id);
+    ASSERT_TRUE(h.ok());
+    std::memset(h->data(), fill, kPageSize);
+    h->MarkDirty();
+  };
+  redirty(p1, 'A');
+  redirty(p2, 'B');
+  redirty(p4, 'D');
 
   FailNextWrite();
   Status st = pool.FlushAll();
   EXPECT_TRUE(st.IsIOError()) << st.ToString();
-  // One write failed, but the other two frames were still attempted.
-  EXPECT_EQ(fi_.unsynced_pages(), 2u);
+  // The first run [p1,p2] failed as a unit; the run [p4] was still
+  // attempted and written.
+  EXPECT_EQ(fi_.unsynced_pages(), 1u);
 
-  // The failed frame stayed dirty: a clean retry completes the flush.
+  // The failed run stayed dirty: a clean retry completes the flush.
   fi_.ClearFaults();
   EXPECT_OK(pool.FlushAll());
   EXPECT_EQ(fi_.unsynced_pages(), 3u);
@@ -128,6 +149,11 @@ TEST_F(BufferPoolFaultTest, FlushAllAttemptsAllFramesAndReportsFirstError) {
   const uint64_t writes_before = fi_.writes();
   EXPECT_OK(pool.FlushAll());
   EXPECT_EQ(fi_.writes(), writes_before);
+
+  // No data was lost anywhere along the way.
+  ExpectPageContent(pool, p1, 'A');
+  ExpectPageContent(pool, p2, 'B');
+  ExpectPageContent(pool, p4, 'D');
 }
 
 TEST_F(BufferPoolFaultTest, NewDoesNotLeakPageWhenAllFramesPinned) {

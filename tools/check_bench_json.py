@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Validate a bench JSON emission against its committed baseline schema.
+
+Usage: check_bench_json.py CURRENT.json BASELINE.json
+
+The benches emit machine-readable BENCH_*.json (see bench/baselines/).
+CI regenerates them in smoke mode and runs this checker: measured values
+are allowed to drift, the *schema* is not. A run fails when:
+
+  - either file is not valid JSON,
+  - an object gains or loses a key relative to the baseline,
+  - a value changes JSON type (string <-> number, scalar <-> list/object),
+  - a list becomes empty when the baseline has elements (every element is
+    checked against the baseline's first element, so lists may grow),
+  - the "bench" name differs.
+
+Exit status 0 on success, 1 on any mismatch (all mismatches are listed).
+"""
+
+import json
+import sys
+
+
+def type_name(v):
+    if isinstance(v, bool):
+        return "bool"
+    if isinstance(v, (int, float)):
+        return "number"
+    if isinstance(v, str):
+        return "string"
+    if isinstance(v, list):
+        return "list"
+    if isinstance(v, dict):
+        return "object"
+    return "null"
+
+
+def compare(cur, base, path, errors):
+    if type_name(cur) != type_name(base):
+        errors.append(f"{path}: type {type_name(cur)}, baseline has "
+                      f"{type_name(base)}")
+        return
+    if isinstance(base, dict):
+        for key in sorted(set(cur) | set(base)):
+            sub = f"{path}.{key}" if path else key
+            if key not in cur:
+                errors.append(f"{sub}: missing (present in baseline)")
+            elif key not in base:
+                errors.append(f"{sub}: unexpected (absent in baseline)")
+            else:
+                compare(cur[key], base[key], sub, errors)
+    elif isinstance(base, list):
+        if base and not cur:
+            errors.append(f"{path}: empty, baseline has {len(base)} elements")
+        for i, elem in enumerate(cur):
+            compare(elem, base[0] if base else elem, f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    paths = argv[1:3]
+    docs = []
+    for p in paths:
+        try:
+            with open(p, "r", encoding="utf-8") as f:
+                docs.append(json.load(f))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"FAIL {p}: {e}", file=sys.stderr)
+            return 1
+    cur, base = docs
+    errors = []
+    if cur.get("bench") != base.get("bench"):
+        errors.append(f'bench: "{cur.get("bench")}" != baseline '
+                      f'"{base.get("bench")}"')
+    compare(cur, base, "", errors)
+    if errors:
+        print(f"FAIL {paths[0]} vs {paths[1]}: schema drift", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(f"OK {paths[0]}: schema matches {paths[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -15,6 +15,8 @@
 //
 //   report <oid> <x> <y> <t>          stream a position report
 //   insert <oid> <x> <y> <s> <d>      insert a closed entry
+//   batch <n>                         read n `oid x y s d` lines, insert
+//                                     them through the batched write path
 //   delete <oid> <x> <y> <s> <d>      delete a specific entry
 //   query <xlo> <ylo> <xhi> <yhi> <tlo> <thi> [W']   interval query
 //   slice <xlo> <ylo> <xhi> <yhi> <t> [W']           timeslice query
@@ -74,6 +76,7 @@ void PrintHelp() {
       "commands:\n"
       "  report <oid> <x> <y> <t>\n"
       "  insert <oid> <x> <y> <start> <duration>\n"
+      "  batch <n>   (then n lines: <oid> <x> <y> <start> <duration|current>)\n"
       "  delete <oid> <x> <y> <start> <duration>\n"
       "  query <xlo> <ylo> <xhi> <yhi> <tlo> <thi> [logical_window]\n"
       "  slice <xlo> <ylo> <xhi> <yhi> <t> [logical_window]\n"
@@ -146,6 +149,19 @@ int RunVerify(const CliConfig& cfg) {
   std::printf("verify: ok (%llu entries, now=%llu)\n",
               static_cast<unsigned long long>(*count),
               static_cast<unsigned long long>((*idx)->now()));
+  // I/O profile of the verification itself — surfaces whether the batched
+  // write path's readahead and coalescing are active on this build.
+  const IoStats io = pool.stats();
+  std::printf(
+      "verify: io logical_reads=%llu physical_reads=%llu "
+      "physical_writes=%llu coalesced_writes=%llu readahead_pages=%llu "
+      "readahead_hits=%llu\n",
+      static_cast<unsigned long long>(io.logical_reads.load()),
+      static_cast<unsigned long long>(io.physical_reads.load()),
+      static_cast<unsigned long long>(io.physical_writes.load()),
+      static_cast<unsigned long long>(io.coalesced_writes.load()),
+      static_cast<unsigned long long>(io.readahead_pages.load()),
+      static_cast<unsigned long long>(io.readahead_hits.load()));
   return 0;
 }
 
@@ -297,6 +313,46 @@ int main(int argc, char** argv) {
         continue;
       }
       std::printf("ok\n");
+    } else if (cmd == "batch") {
+      size_t n;
+      if (!(in >> n)) {
+        std::printf("usage: batch <n>\n");
+        continue;
+      }
+      std::vector<Entry> entries;
+      entries.reserve(n);
+      std::string entry_line;
+      bool parse_ok = true;
+      while (entries.size() < n && std::getline(std::cin, entry_line)) {
+        std::istringstream ein(entry_line);
+        ObjectId oid;
+        double x, y;
+        Timestamp s;
+        std::string dur;
+        if (!(ein >> oid >> x >> y >> s >> dur)) {
+          std::printf("batch: bad entry line: %s\n", entry_line.c_str());
+          parse_ok = false;
+          break;
+        }
+        entries.push_back(
+            Entry{oid, {x, y}, s,
+                  dur == "current"
+                      ? kUnknownDuration
+                      : std::strtoull(dur.c_str(), nullptr, 10)});
+      }
+      if (!parse_ok) continue;
+      if (entries.size() < n) {
+        std::printf("batch: expected %zu entries, got %zu\n", n,
+                    entries.size());
+        continue;
+      }
+      Status st = index->InsertBatch(entries);
+      if (!st.ok()) {
+        Fail(st);
+        continue;
+      }
+      std::printf("ok inserted=%zu now=%llu\n", entries.size(),
+                  static_cast<unsigned long long>(index->now()));
     } else if (cmd == "query" || cmd == "slice") {
       double xlo, ylo, xhi, yhi;
       Timestamp tlo, thi;
