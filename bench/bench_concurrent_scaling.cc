@@ -17,11 +17,16 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/workload.h"
+#include "obs/metrics.h"
+#include "obs/stats_dumper.h"
 
 namespace {
 
@@ -127,12 +132,14 @@ int main(int argc, char** argv) {
   const uint64_t objects = ScaledObjects(50000, scale);
   const int queries_per_thread = smoke ? 20 : 400;
 
+  obs::MetricsRegistry registry;
   SwstOptions options = PaperSwstOptions();
   // Intra-query fan-out stays off: this benchmark measures inter-query
   // scaling, the dominant mode for a streaming server.
   options.query_threads = 1;
+  options.metrics = &registry;
   auto pager = Pager::OpenMemory();
-  BufferPool pool(pager.get(), 1 << 17);
+  BufferPool pool(pager.get(), 1 << 17, /*partitions=*/0, &registry);
   auto idx_or = SwstIndex::Create(&pool, options);
   if (!idx_or.ok()) return 1;
   auto idx = std::move(*idx_or);
@@ -143,6 +150,20 @@ int main(int argc, char** argv) {
   const auto queries =
       MakeQueries(options.space, win, /*spatial_extent=*/0.01,
                   /*temporal_extent=*/0.10, /*count=*/256, /*seed=*/11);
+
+  // SWST_STATS_DUMP_MS=<ms> enables a periodic registry dump to stderr —
+  // handy for watching a long run converge without touching the JSON output.
+  std::unique_ptr<obs::StatsDumper> dumper;
+  if (const char* ms_env = std::getenv("SWST_STATS_DUMP_MS")) {
+    const long ms = std::strtol(ms_env, nullptr, 10);
+    if (ms > 0) {
+      dumper = std::make_unique<obs::StatsDumper>(
+          &registry, std::chrono::milliseconds(ms),
+          [](const std::string& json) {
+            std::fprintf(stderr, "stats: %s\n", json.c_str());
+          });
+    }
+  }
 
   const GstdOptions mixer = PaperGstdOptions(objects, /*seed=*/77);
   std::vector<ScalingPoint> points;
@@ -175,6 +196,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(p.pages_written),
                 (i + 1 < points.size()) ? "," : "");
   }
-  std::printf("  ]\n}\n");
+  dumper.reset();  // Stop the periodic dump before the final snapshot.
+  std::printf("  ],\n  \"metrics\": %s\n}\n", registry.RenderJson().c_str());
   return 0;
 }

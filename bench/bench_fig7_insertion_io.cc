@@ -19,9 +19,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/workload.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -56,11 +58,18 @@ struct WritePathPoint {
 /// Drives `records` closed GSTD entries into a fresh index over a small
 /// pool (so dirty pages are continuously evicted, as on a disk-bound
 /// server) and measures the physical write-back traffic.
+/// When `registry`/`metrics_json` are given, the run is instrumented and
+/// the registry rendered (while pool and index are still alive, so the
+/// polled gauges resolve) into `*metrics_json`. Pool and index unregister
+/// on teardown, so the same registry can be reused across serial runs.
 WritePathPoint RunWritePath(size_t batch_size, uint64_t objects,
-                            size_t pool_pages) {
+                            size_t pool_pages,
+                            obs::MetricsRegistry* registry = nullptr,
+                            std::string* metrics_json = nullptr) {
   SwstOptions options = PaperSwstOptions();
+  options.metrics = registry;
   auto pager = Pager::OpenMemory();
-  BufferPool pool(pager.get(), pool_pages);
+  BufferPool pool(pager.get(), pool_pages, /*partitions=*/0, registry);
   auto idx_or = SwstIndex::Create(&pool, options);
   if (!idx_or.ok()) {
     std::fprintf(stderr, "SwstIndex::Create: %s\n",
@@ -119,6 +128,9 @@ WritePathPoint RunWritePath(size_t batch_size, uint64_t objects,
       static_cast<double>(res.pages_written) / static_cast<double>(res.records);
   res.p50_us = PercentileUs(&lat, 0.50);
   res.p99_us = PercentileUs(&lat, 0.99);
+  if (registry != nullptr && metrics_json != nullptr) {
+    *metrics_json = registry->RenderJson();
+  }
   return res;
 }
 
@@ -155,9 +167,15 @@ int main(int argc, char** argv) {
   // the batch pipeline targets.
   const uint64_t wp_objects = ScaledObjects(50000, scale);
   const size_t wp_pool = 256;
+  obs::MetricsRegistry registry;
+  std::string metrics_json = "{}";
   std::vector<WritePathPoint> write_path;
   for (size_t batch_size : {size_t{1}, size_t{64}, size_t{1024}, size_t{8192}}) {
-    write_path.push_back(RunWritePath(batch_size, wp_objects, wp_pool));
+    // Each run re-registers into the shared registry; the JSON snapshot kept
+    // is the last run's (largest batch), taken before its pool tears down.
+    write_path.push_back(
+        RunWritePath(batch_size, wp_objects, wp_pool, &registry,
+                     &metrics_json));
   }
   // Amortization appears once a batch covers the active cell set several
   // times over (~#cells records per batch); report serial vs the best
@@ -203,8 +221,9 @@ int main(int argc, char** argv) {
     }
     std::printf("    ],\n");
     std::printf("    \"best_batch_size\": %zu,\n", best->batch_size);
-    std::printf("    \"serial_over_best_batch_write_ratio\": %.2f\n  }\n}\n",
+    std::printf("    \"serial_over_best_batch_write_ratio\": %.2f\n  },\n",
                 amplification_ratio);
+    std::printf("  \"metrics\": %s\n}\n", metrics_json.c_str());
     return 0;
   }
 

@@ -96,9 +96,17 @@ class BTree {
   /// this search is *added* to it. This gives callers an exact per-query
   /// node-access count without diffing the shared buffer-pool counter,
   /// which is approximate when queries run concurrently.
+  ///
+  /// If `level_nodes` is non-null, the node count of each level is
+  /// *appended* to it as the level is entered, root level first (so a
+  /// search of a height-3 tree appends 3 values; unless `fn` stops the
+  /// search mid-level, their sum equals the delta added to
+  /// `node_accesses`). Query tracing uses this for the per-level BFS
+  /// breakdown; pass null on the untraced path.
   Status SearchRanges(const std::vector<KeyRange>& ranges,
                       const std::function<bool(const BTreeRecord&)>& fn,
-                      uint64_t* node_accesses = nullptr) const;
+                      uint64_t* node_accesses = nullptr,
+                      std::vector<uint32_t>* level_nodes = nullptr) const;
 
   /// Baseline for the multi-search ablation: one root-to-leaf descent per
   /// range. Same results, more node accesses on adjacent ranges.

@@ -31,7 +31,7 @@ struct WorkItem {
 Status BTree::SearchRanges(
     const std::vector<KeyRange>& ranges,
     const std::function<bool(const BTreeRecord&)>& fn,
-    uint64_t* node_accesses) const {
+    uint64_t* node_accesses, std::vector<uint32_t>* level_nodes) const {
   if (ranges.empty()) return Status::OK();
 #ifndef NDEBUG
   for (size_t i = 1; i < ranges.size(); ++i) {
@@ -64,6 +64,9 @@ Status BTree::SearchRanges(
     }
     std::vector<WorkItem> next_level;
     bool is_leaf_level = false;
+    if (level_nodes != nullptr) {
+      level_nodes->push_back(static_cast<uint32_t>(level.size()));
+    }
 
     for (const WorkItem& item : level) {
       auto page = FetchNode(pool_, item.node);

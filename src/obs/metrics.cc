@@ -1,0 +1,212 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace swst {
+namespace obs {
+
+uint64_t Histogram::count() const {
+  uint64_t n = 0;
+  for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+  return n;
+}
+
+size_t Histogram::BucketIndex(uint64_t v) {
+  if (v == 0) return 0;
+  const size_t width = static_cast<size_t>(std::bit_width(v));
+  return std::min(width, kValueBuckets);  // >= kValueBuckets -> overflow.
+}
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= kValueBuckets) return UINT64_MAX;
+  return (uint64_t{1} << i) - 1;
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  p = std::clamp(p, 0.0, 1.0);
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p * static_cast<double>(total))));
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (cum >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kBucketCount - 1);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(kBucketCount);
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::shared_ptr<Counter> MetricsRegistry::RegisterCounter(
+    const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) return it->second.counter;  // null on mismatch.
+  Entry e;
+  e.help = help;
+  e.counter = std::make_shared<Counter>();
+  metrics_.emplace(name, e);
+  return e.counter;
+}
+
+std::shared_ptr<Gauge> MetricsRegistry::RegisterGauge(const std::string& name,
+                                                      const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) return it->second.gauge;
+  Entry e;
+  e.help = help;
+  e.gauge = std::make_shared<Gauge>();
+  metrics_.emplace(name, e);
+  return e.gauge;
+}
+
+std::shared_ptr<Histogram> MetricsRegistry::RegisterHistogram(
+    const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) return it->second.histogram;
+  Entry e;
+  e.help = help;
+  e.histogram = std::make_shared<Histogram>();
+  metrics_.emplace(name, e);
+  return e.histogram;
+}
+
+bool MetricsRegistry::RegisterCallback(const std::string& name,
+                                       const std::string& help,
+                                       std::function<int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (metrics_.count(name) != 0) return false;
+  Entry e;
+  e.help = help;
+  e.callback = std::move(fn);
+  metrics_.emplace(name, std::move(e));
+  return true;
+}
+
+bool MetricsRegistry::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.erase(name) != 0;
+}
+
+size_t MetricsRegistry::UnregisterPrefix(std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t removed = 0;
+  for (auto it = metrics_.begin(); it != metrics_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = metrics_.erase(it);
+      removed++;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.size();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, e] : metrics_) {
+    if (!e.help.empty()) os << "# HELP " << name << " " << e.help << "\n";
+    if (e.counter != nullptr) {
+      os << "# TYPE " << name << " counter\n";
+      os << name << " " << e.counter->value() << "\n";
+    } else if (e.gauge != nullptr) {
+      os << "# TYPE " << name << " gauge\n";
+      os << name << " " << e.gauge->value() << "\n";
+    } else if (e.callback) {
+      os << "# TYPE " << name << " gauge\n";
+      os << name << " " << e.callback() << "\n";
+    } else if (e.histogram != nullptr) {
+      os << "# TYPE " << name << " histogram\n";
+      const std::vector<uint64_t> counts = e.histogram->BucketCounts();
+      uint64_t cum = 0;
+      for (size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0) continue;
+        cum += counts[i];
+        if (i + 1 == counts.size()) {
+          // Overflow bucket is folded into +Inf below.
+          continue;
+        }
+        os << name << "_bucket{le=\"" << Histogram::BucketUpperBound(i)
+           << "\"} " << cum << "\n";
+      }
+      cum = 0;
+      for (uint64_t c : counts) cum += c;
+      os << name << "_bucket{le=\"+Inf\"} " << cum << "\n";
+      os << name << "_sum " << e.histogram->sum() << "\n";
+      os << name << "_count " << cum << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream counters, gauges, histograms;
+  bool first_c = true, first_g = true, first_h = true;
+  for (const auto& [name, e] : metrics_) {
+    if (e.counter != nullptr) {
+      counters << (first_c ? "" : ", ") << "\"" << name
+               << "\": " << e.counter->value();
+      first_c = false;
+    } else if (e.gauge != nullptr || e.callback) {
+      const int64_t v = (e.gauge != nullptr) ? e.gauge->value() : e.callback();
+      gauges << (first_g ? "" : ", ") << "\"" << name << "\": " << v;
+      first_g = false;
+    } else if (e.histogram != nullptr) {
+      const std::vector<uint64_t> counts = e.histogram->BucketCounts();
+      uint64_t total = 0;
+      for (uint64_t c : counts) total += c;
+      histograms << (first_h ? "" : ", ") << "\"" << name << "\": {"
+                 << "\"count\": " << total << ", \"sum\": "
+                 << e.histogram->sum()
+                 << ", \"p50\": " << e.histogram->Percentile(0.50)
+                 << ", \"p90\": " << e.histogram->Percentile(0.90)
+                 << ", \"p99\": " << e.histogram->Percentile(0.99)
+                 << ", \"buckets\": [";
+      bool first_b = true;
+      for (size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0) continue;
+        // The overflow bucket's upper bound (UINT64_MAX) is not exactly
+        // representable in JSON numbers; expose it as -1 ("unbounded").
+        histograms << (first_b ? "" : ", ") << "{\"le\": ";
+        if (i + 1 == counts.size()) {
+          histograms << -1;
+        } else {
+          histograms << Histogram::BucketUpperBound(i);
+        }
+        histograms << ", \"count\": " << counts[i] << "}";
+        first_b = false;
+      }
+      histograms << "]}";
+      first_h = false;
+    }
+  }
+  std::ostringstream os;
+  os << "{\"counters\": {" << counters.str() << "}, \"gauges\": {"
+     << gauges.str() << "}, \"histograms\": {" << histograms.str() << "}}";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace swst

@@ -1,0 +1,158 @@
+#ifndef SWST_OBS_METRICS_H_
+#define SWST_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swst {
+namespace obs {
+
+/// \brief Monotonically increasing counter. Increments are relaxed atomics
+/// (lock-free); reads are exact per counter, and a multi-counter snapshot is
+/// only as consistent as the reader's own synchronization.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// \brief Instantaneous signed value (queue depth, pinned frames, clock).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// \brief Log2-bucketed histogram of non-negative integer samples (latency
+/// in microseconds, sizes in pages/records).
+///
+/// Bucket `i` (1 <= i < kValueBuckets) holds samples whose bit width is `i`,
+/// i.e. v in [2^(i-1), 2^i - 1]; bucket 0 holds exactly v == 0; samples of
+/// 2^(kValueBuckets-1) or more land in the overflow bucket. `Record` is two
+/// relaxed fetch_adds — lock-free and cheap enough for per-physical-I/O and
+/// per-query call sites (NOT per-record hot loops).
+///
+/// Percentiles are extracted as the *upper bound* of the bucket where the
+/// cumulative count crosses the rank, so a reported quantile is at most 2x
+/// the true sample value (one bucket of error) and is deterministic — which
+/// is what the golden tests and bench baselines need.
+class Histogram {
+ public:
+  /// 48 value buckets cover sample values up to 2^47 - 1 (~1.6 days in
+  /// microseconds); anything larger is clamped into the overflow bucket.
+  static constexpr size_t kValueBuckets = 48;
+  static constexpr size_t kBucketCount = kValueBuckets + 1;  ///< + overflow.
+
+  void Record(uint64_t v) {
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const;
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Upper bound of the bucket containing the sample of rank
+  /// ceil(p * count); 0 when empty. p is clamped into [0, 1].
+  uint64_t Percentile(double p) const;
+
+  /// Bucket index a sample lands in (see class comment).
+  static size_t BucketIndex(uint64_t v);
+
+  /// Largest sample value bucket `i` can hold: 0 for bucket 0, 2^i - 1 for
+  /// value buckets, UINT64_MAX for the overflow bucket.
+  static uint64_t BucketUpperBound(size_t i);
+
+  /// Relaxed snapshot of the per-bucket counts.
+  std::vector<uint64_t> BucketCounts() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kBucketCount] = {};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// \brief Named registry of counters, gauges, histograms, and polled
+/// callback gauges, with Prometheus and JSON exposition.
+///
+/// The hot path is lock-free: `Register*` hands out shared pointers to
+/// atomically updated metrics, so increments never touch the registry lock.
+/// The registry mutex guards only registration, unregistration, and
+/// rendering (rare, slow-path operations).
+///
+/// Registration is idempotent: registering a name that already exists with
+/// the same kind returns the existing metric (concurrent registrations of
+/// the same counter all observe one instance); a kind mismatch returns
+/// nullptr. Components that register *callbacks* (which capture `this`)
+/// must call `UnregisterPrefix` before they are destroyed — `BufferPool`
+/// and `SwstIndex` do this in their destructors. Metric names should be
+/// Prometheus-safe: `[a-z0-9_]`, conventionally prefixed `swst_<component>_`.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  std::shared_ptr<Counter> RegisterCounter(const std::string& name,
+                                           const std::string& help);
+  std::shared_ptr<Gauge> RegisterGauge(const std::string& name,
+                                       const std::string& help);
+  std::shared_ptr<Histogram> RegisterHistogram(const std::string& name,
+                                               const std::string& help);
+
+  /// Polled gauge: `fn` is invoked (under the registry lock) at render
+  /// time. Returns false if `name` is already taken. The callback must stay
+  /// valid until `Unregister`/`UnregisterPrefix` removes it.
+  bool RegisterCallback(const std::string& name, const std::string& help,
+                        std::function<int64_t()> fn);
+
+  /// Removes one metric; returns true if it existed.
+  bool Unregister(const std::string& name);
+
+  /// Removes every metric whose name starts with `prefix`; returns the
+  /// number removed. Components use this in their destructors to drop the
+  /// callbacks that capture them.
+  size_t UnregisterPrefix(std::string_view prefix);
+
+  size_t size() const;
+
+  /// Prometheus text exposition format (metrics sorted by name; histograms
+  /// as cumulative `_bucket{le=...}` series plus `_sum` and `_count`).
+  std::string RenderPrometheus() const;
+
+  /// JSON object: {"counters": {name: value}, "gauges": {name: value},
+  /// "histograms": {name: {"count", "sum", "p50", "p90", "p99",
+  /// "buckets": [{"le", "count"}, ...]}}}. Only non-empty buckets are
+  /// listed. Deterministic key order (sorted by name).
+  std::string RenderJson() const;
+
+ private:
+  struct Entry {
+    std::string help;
+    std::shared_ptr<Counter> counter;
+    std::shared_ptr<Gauge> gauge;
+    std::shared_ptr<Histogram> histogram;
+    std::function<int64_t()> callback;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;  ///< Sorted: render order is stable.
+};
+
+}  // namespace obs
+}  // namespace swst
+
+#endif  // SWST_OBS_METRICS_H_

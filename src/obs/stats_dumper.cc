@@ -1,0 +1,37 @@
+#include "obs/stats_dumper.h"
+
+namespace swst {
+namespace obs {
+
+StatsDumper::StatsDumper(const MetricsRegistry* registry,
+                         std::chrono::milliseconds period,
+                         std::function<void(const std::string&)> sink)
+    : registry_(registry), period_(period), sink_(std::move(sink)) {
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (cv_.wait_for(lock, period_, [this] { return stop_; })) return;
+      // Render outside the wait but without holding our own lock across
+      // the sink: the registry has its own synchronization.
+      lock.unlock();
+      sink_(registry_->RenderJson());
+      lock.lock();
+    }
+  });
+}
+
+StatsDumper::~StatsDumper() { Stop(); }
+
+void StatsDumper::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  sink_(registry_->RenderJson());  // Final snapshot.
+}
+
+}  // namespace obs
+}  // namespace swst

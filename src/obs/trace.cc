@@ -1,0 +1,93 @@
+#include "obs/trace.h"
+
+#include <sstream>
+
+namespace swst {
+namespace obs {
+
+uint64_t TraceSpan::SumCounter(std::string_view key) const {
+  uint64_t total = 0;
+  for (const auto& [k, v] : counters) {
+    if (k == key) total += v;
+  }
+  for (const auto& child : children) total += child->SumCounter(key);
+  return total;
+}
+
+const TraceSpan* TraceSpan::FindChild(std::string_view child_name) const {
+  for (const auto& child : children) {
+    if (child->name == child_name) return child.get();
+  }
+  return nullptr;
+}
+
+TraceSpan* QueryTrace::StartSpan(TraceSpan* parent, std::string name) {
+  auto span = std::make_unique<TraceSpan>();
+  span->name = std::move(name);
+  span->start_ns = NowNs();
+  TraceSpan* raw = span.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    parent->children.push_back(std::move(span));
+  }
+  return raw;
+}
+
+void QueryTrace::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  root_.children.clear();
+  root_.counters.clear();
+  root_.start_ns = 0;
+  root_.duration_ns = 0;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+namespace {
+
+void RenderTextSpan(const TraceSpan& span, int depth, std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  *os << span.name << "  "
+      << static_cast<double>(span.duration_ns) / 1e6 << " ms";
+  for (const auto& [k, v] : span.counters) {
+    *os << "  " << k << "=" << v;
+  }
+  *os << "\n";
+  for (const auto& child : span.children) {
+    RenderTextSpan(*child, depth + 1, os);
+  }
+}
+
+void RenderJsonSpan(const TraceSpan& span, std::ostringstream* os) {
+  *os << "{\"name\": \"" << span.name << "\", \"start_ns\": " << span.start_ns
+      << ", \"duration_ns\": " << span.duration_ns << ", \"counters\": {";
+  for (size_t i = 0; i < span.counters.size(); ++i) {
+    if (i > 0) *os << ", ";
+    *os << "\"" << span.counters[i].first
+        << "\": " << span.counters[i].second;
+  }
+  *os << "}, \"children\": [";
+  for (size_t i = 0; i < span.children.size(); ++i) {
+    if (i > 0) *os << ", ";
+    RenderJsonSpan(*span.children[i], os);
+  }
+  *os << "]}";
+}
+
+}  // namespace
+
+std::string QueryTrace::RenderText() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  RenderTextSpan(root_, 0, &os);
+  return os.str();
+}
+
+std::string QueryTrace::RenderJson() const {
+  std::ostringstream os;
+  RenderJsonSpan(root_, &os);
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace swst

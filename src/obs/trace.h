@@ -1,0 +1,129 @@
+#ifndef SWST_OBS_TRACE_H_
+#define SWST_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace swst {
+namespace obs {
+
+/// \brief One stage of a traced query: a name, wall time, named counters,
+/// and child stages.
+///
+/// Spans form a tree under `QueryTrace`. A span is written by exactly one
+/// task (the thread that started it); only *adding a child* is synchronized
+/// (through `QueryTrace::StartSpan`), because parallel cell tasks attach
+/// their spans to the shared search span concurrently.
+struct TraceSpan {
+  std::string name;
+  uint64_t start_ns = 0;     ///< Relative to the trace epoch.
+  uint64_t duration_ns = 0;  ///< 0 until the span is ended.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::unique_ptr<TraceSpan>> children;
+
+  void AddCounter(std::string key, uint64_t value) {
+    counters.emplace_back(std::move(key), value);
+  }
+
+  /// Sum of this subtree's occurrences of counter `key`.
+  uint64_t SumCounter(std::string_view key) const;
+
+  /// First child with `name`, or nullptr.
+  const TraceSpan* FindChild(std::string_view child_name) const;
+};
+
+/// \brief Span tree for one query — the paper's per-query cost breakdown
+/// (node accesses, memo pruning) extended with wall time per stage.
+///
+/// Attach a trace to a query via `QueryOptions::trace`; when the pointer is
+/// null the query runs with zero tracing overhead (a single pointer test
+/// per stage). `SwstIndex::Explain` packages query + render. A trace is
+/// single-query: reuse after `Reset()` only.
+class QueryTrace {
+ public:
+  QueryTrace() : epoch_(std::chrono::steady_clock::now()) {
+    root_.name = "query";
+  }
+
+  TraceSpan* root() { return &root_; }
+  const TraceSpan& root() const { return root_; }
+
+  /// Nanoseconds since the trace was constructed.
+  uint64_t NowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Creates a child span of `parent` and stamps its start time.
+  /// Thread-safe: parallel cell tasks may share one parent.
+  TraceSpan* StartSpan(TraceSpan* parent, std::string name);
+
+  /// Stamps `span->duration_ns` from its start time.
+  void EndSpan(TraceSpan* span) {
+    span->duration_ns = NowNs() - span->start_ns;
+  }
+
+  void Reset();
+
+  /// Human-readable plan: one line per span, indented by depth, with
+  /// milliseconds and counters. See docs/observability.md for how to read
+  /// it.
+  std::string RenderText() const;
+
+  /// Machine-readable span tree:
+  /// {"name", "start_ns", "duration_ns", "counters": {..}, "children": [..]}.
+  std::string RenderJson() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::mutex mu_;  ///< Guards child-vector mutation only.
+  TraceSpan root_;
+};
+
+/// RAII span: starts on construction, ends on destruction. All operations
+/// are no-ops when constructed with a null trace, so call sites read
+/// `ScopedSpan span(opts.trace, parent, "plan");` unconditionally.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(QueryTrace* trace, TraceSpan* parent, std::string name)
+      : trace_(trace) {
+    if (trace_ != nullptr) {
+      span_ = trace_->StartSpan(parent, std::move(name));
+    }
+  }
+  ~ScopedSpan() { End(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// The underlying span, or nullptr when tracing is disabled.
+  TraceSpan* get() { return span_; }
+
+  void AddCounter(std::string key, uint64_t value) {
+    if (span_ != nullptr) span_->AddCounter(std::move(key), value);
+  }
+
+  void End() {
+    if (span_ != nullptr) {
+      trace_->EndSpan(span_);
+      span_ = nullptr;
+    }
+  }
+
+ private:
+  QueryTrace* trace_ = nullptr;
+  TraceSpan* span_ = nullptr;
+};
+
+}  // namespace obs
+}  // namespace swst
+
+#endif  // SWST_OBS_TRACE_H_

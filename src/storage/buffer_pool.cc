@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -50,10 +51,32 @@ size_t AutoPartitions(size_t capacity_pages) {
   return n;
 }
 
+/// Records the scope's wall time (microseconds) into `h`; no-op (and no
+/// clock read) when `h` is null, so unobserved pools pay nothing.
+class PagerTimer {
+ public:
+  explicit PagerTimer(obs::Histogram* h) : h_(h) {
+    if (h_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~PagerTimer() {
+    if (h_ != nullptr) {
+      auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+      h_->Record(static_cast<uint64_t>(us));
+    }
+  }
+
+ private:
+  obs::Histogram* h_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace
 
-BufferPool::BufferPool(Pager* pager, size_t capacity_pages, size_t partitions)
-    : pager_(pager), capacity_(capacity_pages) {
+BufferPool::BufferPool(Pager* pager, size_t capacity_pages, size_t partitions,
+                       obs::MetricsRegistry* registry)
+    : pager_(pager), capacity_(capacity_pages), registry_(registry) {
   assert(capacity_pages >= 1);
   size_t n = (partitions == 0) ? AutoPartitions(capacity_pages) : partitions;
   if (n > capacity_pages) n = capacity_pages;
@@ -71,11 +94,83 @@ BufferPool::BufferPool(Pager* pager, size_t capacity_pages, size_t partitions)
     }
     partitions_.push_back(std::move(part));
   }
+
+  if (registry_ != nullptr) {
+    m_read_us_ = registry_->RegisterHistogram(
+        "swst_pager_read_us", "Wall microseconds per physical pager read call");
+    m_write_us_ = registry_->RegisterHistogram(
+        "swst_pager_write_us",
+        "Wall microseconds per physical pager write call");
+    m_write_run_pages_ = registry_->RegisterHistogram(
+        "swst_pager_write_run_pages",
+        "Pages per pager write call (runs > 1 are coalesced adjacent pages)");
+    // The IoStats counters already exist as relaxed atomics; expose them as
+    // callback gauges polled at render time instead of double-counting.
+    registry_->RegisterCallback(
+        "swst_pool_logical_reads",
+        "Pool fetches (the paper's node-access metric)", [this] {
+          return static_cast<int64_t>(
+              stats().logical_reads.load(std::memory_order_relaxed));
+        });
+    registry_->RegisterCallback(
+        "swst_pool_physical_reads", "Pages read from the pager backend",
+        [this] {
+          return static_cast<int64_t>(
+              stats().physical_reads.load(std::memory_order_relaxed));
+        });
+    registry_->RegisterCallback(
+        "swst_pool_physical_writes", "Pages written to the pager backend",
+        [this] {
+          return static_cast<int64_t>(
+              stats().physical_writes.load(std::memory_order_relaxed));
+        });
+    registry_->RegisterCallback(
+        "swst_pool_pages_allocated", "Pages allocated via the pool", [this] {
+          return static_cast<int64_t>(
+              stats().pages_allocated.load(std::memory_order_relaxed));
+        });
+    registry_->RegisterCallback(
+        "swst_pool_pages_freed", "Pages freed via the pool", [this] {
+          return static_cast<int64_t>(
+              stats().pages_freed.load(std::memory_order_relaxed));
+        });
+    registry_->RegisterCallback(
+        "swst_pool_coalesced_writes",
+        "Pages written as part of a multi-page vectored run", [this] {
+          return static_cast<int64_t>(
+              stats().coalesced_writes.load(std::memory_order_relaxed));
+        });
+    registry_->RegisterCallback(
+        "swst_pool_readahead_pages", "Pages loaded by readahead", [this] {
+          return static_cast<int64_t>(
+              stats().readahead_pages.load(std::memory_order_relaxed));
+        });
+    registry_->RegisterCallback(
+        "swst_pool_readahead_hits",
+        "Fetches served by a readahead-filled frame", [this] {
+          return static_cast<int64_t>(
+              stats().readahead_hits.load(std::memory_order_relaxed));
+        });
+    registry_->RegisterCallback(
+        "swst_pool_pinned_frames", "Currently pinned frames",
+        [this] { return static_cast<int64_t>(pinned_count()); });
+    registry_->RegisterCallback(
+        "swst_pool_capacity_pages", "Total frame budget across partitions",
+        [this] { return static_cast<int64_t>(capacity_); });
+    registry_->RegisterCallback(
+        "swst_pool_partitions", "Lock-stripe count",
+        [this] { return static_cast<int64_t>(partitions_.size()); });
+  }
 }
 
 BufferPool::~BufferPool() {
   // Best-effort write-back; errors here cannot be reported.
   (void)FlushAll();
+  if (registry_ != nullptr) {
+    // The callbacks capture `this`; drop them before the pool dies.
+    registry_->UnregisterPrefix("swst_pool_");
+    registry_->UnregisterPrefix("swst_pager_");
+  }
 }
 
 Result<PageHandle> BufferPool::Fetch(PageId id) {
@@ -107,6 +202,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   Status st;
   {
     std::lock_guard<std::mutex> pager_lock(pager_mu_);
+    PagerTimer timer(m_read_us_.get());
     st = pager_->ReadPage(id, f.data.data());
   }
   if (!st.ok()) {
@@ -218,9 +314,11 @@ Status BufferPool::FlushAll() {
     size_t j = i + 1;
     while (j < dirty.size() && dirty[j].id == dirty[j - 1].id + 1) ++j;
     const uint32_t run = static_cast<uint32_t>(j - i);
+    if (m_write_run_pages_ != nullptr) m_write_run_pages_->Record(run);
     Status st;
     if (run == 1) {
       std::lock_guard<std::mutex> pager_lock(pager_mu_);
+      PagerTimer timer(m_write_us_.get());
       st = pager_->WritePage(dirty[i].id, dirty[i].frame->data.data());
     } else {
       scratch.resize(static_cast<size_t>(run) * kPageSize);
@@ -229,6 +327,7 @@ Status BufferPool::FlushAll() {
                     dirty[k].frame->data.data(), kPageSize);
       }
       std::lock_guard<std::mutex> pager_lock(pager_mu_);
+      PagerTimer timer(m_write_us_.get());
       st = pager_->WritePages(dirty[i].id, run, scratch.data());
     }
     if (st.ok()) {
@@ -300,11 +399,13 @@ void BufferPool::Prefetch(const std::vector<PageId>& ids) {
         Frame& f = part.frames[misses[i].second];
         if (f.data.empty()) f.data.resize(kPageSize);
         std::lock_guard<std::mutex> pager_lock(pager_mu_);
+        PagerTimer timer(m_read_us_.get());
         st = pager_->ReadPage(misses[i].first, f.data.data());
       } else {
         scratch.resize(static_cast<size_t>(run) * kPageSize);
         {
           std::lock_guard<std::mutex> pager_lock(pager_mu_);
+          PagerTimer timer(m_read_us_.get());
           st = pager_->ReadPages(misses[i].first, run, scratch.data());
         }
         if (st.ok()) {
@@ -416,6 +517,7 @@ Result<size_t> BufferPool::GrabFrame(Partition& part) {
     }
 
     Status st;
+    if (m_write_run_pages_ != nullptr) m_write_run_pages_->Record(run.size());
     if (run.size() > 1) {
       std::vector<char> scratch(run.size() * kPageSize);
       for (size_t k = 0; k < run.size(); ++k) {
@@ -423,10 +525,12 @@ Result<size_t> BufferPool::GrabFrame(Partition& part) {
                     kPageSize);
       }
       std::lock_guard<std::mutex> pager_lock(pager_mu_);
+      PagerTimer timer(m_write_us_.get());
       st = pager_->WritePages(run[0].first, static_cast<uint32_t>(run.size()),
                               scratch.data());
     } else {
       std::lock_guard<std::mutex> pager_lock(pager_mu_);
+      PagerTimer timer(m_write_us_.get());
       st = pager_->WritePage(f.page_id, f.data.data());
     }
     if (!st.ok()) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 #include "storage/pager.h"
@@ -94,7 +95,17 @@ class BufferPool {
   /// all partitions. `partitions` = 0 picks an automatic stripe count:
   /// min(16, capacity_pages / 64), at least 1, so small pools behave
   /// exactly like the previous single-mutex pool.
-  BufferPool(Pager* pager, size_t capacity_pages, size_t partitions = 0);
+  ///
+  /// When `registry` is non-null the pool registers its counters under
+  /// `swst_pool_*` (polled snapshots of the aggregated `IoStats`, pinned
+  /// frames, capacity) and latency/size histograms for the pager calls it
+  /// makes under `swst_pager_*` (physical read/write microseconds, write
+  /// run lengths) — the pool serializes all pager I/O, so this is where the
+  /// backend's latency distribution is observable. The registry must
+  /// outlive the pool (the destructor unregisters both prefixes); attach at
+  /// most one pool per registry.
+  BufferPool(Pager* pager, size_t capacity_pages, size_t partitions = 0,
+             obs::MetricsRegistry* registry = nullptr);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -189,6 +200,14 @@ class BufferPool {
   std::mutex pager_mu_;
   size_t capacity_;
   std::vector<std::unique_ptr<Partition>> partitions_;
+
+  /// Observability (all null when no registry was attached). Histograms are
+  /// recorded around the pager calls, under `pager_mu_` — one `Record` per
+  /// physical I/O, negligible next to the I/O itself.
+  obs::MetricsRegistry* registry_ = nullptr;
+  std::shared_ptr<obs::Histogram> m_read_us_;
+  std::shared_ptr<obs::Histogram> m_write_us_;
+  std::shared_ptr<obs::Histogram> m_write_run_pages_;
 };
 
 }  // namespace swst

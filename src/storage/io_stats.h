@@ -61,7 +61,24 @@ struct IoStats {
     return *this;
   }
 
-  void Reset() { *this = IoStats{}; }
+  /// Zeroes every counter with an individual `store(0)`. Like `Since()`,
+  /// this is per-counter atomic but NOT atomic as a whole: increments that
+  /// race with a `Reset()` (or land between a `Since()` snapshot and the
+  /// `Reset()` that follows it) may be attributed to either side of the
+  /// reset, but are never lost or torn. Callers that need an exact epoch
+  /// boundary must provide their own exclusion. (The previous
+  /// implementation assigned from a temporary, which reads-then-writes each
+  /// counter — same contract, but easy to mistake for a wholesale swap.)
+  void Reset() {
+    logical_reads.store(0, std::memory_order_relaxed);
+    physical_reads.store(0, std::memory_order_relaxed);
+    physical_writes.store(0, std::memory_order_relaxed);
+    pages_allocated.store(0, std::memory_order_relaxed);
+    pages_freed.store(0, std::memory_order_relaxed);
+    coalesced_writes.store(0, std::memory_order_relaxed);
+    readahead_pages.store(0, std::memory_order_relaxed);
+    readahead_hits.store(0, std::memory_order_relaxed);
+  }
 
   IoStats& operator+=(const IoStats& o) {
     logical_reads.fetch_add(o.logical_reads.load(std::memory_order_relaxed),

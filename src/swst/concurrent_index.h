@@ -69,6 +69,17 @@ class ConcurrentSwstIndex {
                                  QueryStats* stats = nullptr) {
     return index_->Knn(center, k, interval, opts, stats);
   }
+  Status IntervalQueryStream(const Rect& area, const TimeInterval& interval,
+                             const QueryOptions& opts,
+                             const std::function<bool(const Entry&)>& fn,
+                             QueryStats* stats = nullptr) {
+    return index_->IntervalQueryStream(area, interval, opts, fn, stats);
+  }
+  Result<SwstIndex::ExplainResult> Explain(const Rect& area,
+                                           const TimeInterval& interval,
+                                           const QueryOptions& opts = {}) {
+    return index_->Explain(area, interval, opts);
+  }
   TimeInterval QueriablePeriod(Timestamp logical_window = 0) const {
     return index_->QueriablePeriod(logical_window);
   }

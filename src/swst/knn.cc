@@ -1,6 +1,7 @@
 #include <algorithm>
-#include <limits>
+#include <chrono>
 #include <cmath>
+#include <limits>
 #include <queue>
 #include <vector>
 
@@ -35,6 +36,34 @@ Result<std::vector<Entry>> SwstIndex::Knn(const Point& center, size_t k,
                                           const TimeInterval& interval,
                                           const QueryOptions& opts,
                                           QueryStats* stats) {
+  obs::QueryTrace* trace = opts.trace;
+  if (m_queries_ == nullptr && trace == nullptr) {
+    return KnnImpl(center, k, interval, opts, stats);
+  }
+  // Same wrapper as IntervalQueryStream: a fresh stats block isolates this
+  // query's counters for the registry and the trace root.
+  QueryStats local;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = KnnImpl(center, k, interval, opts, &local);
+  const uint64_t latency_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  RecordQueryMetrics(local, latency_us);
+  if (trace != nullptr) {
+    obs::TraceSpan* root = trace->root();
+    root->AddCounter("node_accesses", local.node_accesses);
+    root->AddCounter("results", local.results);
+    trace->EndSpan(root);
+  }
+  if (stats != nullptr) *stats += local;
+  return result;
+}
+
+Result<std::vector<Entry>> SwstIndex::KnnImpl(const Point& center, size_t k,
+                                              const TimeInterval& interval,
+                                              const QueryOptions& opts,
+                                              QueryStats* stats) {
   std::vector<Entry> out;
   if (k == 0) return out;
   if (!grid_.Contains(center)) {
@@ -117,6 +146,8 @@ Result<std::vector<Entry>> SwstIndex::Knn(const Point& center, size_t k,
     }
     if (ring_cells.empty()) continue;
 
+    obs::TraceSpan* root =
+        (opts.trace != nullptr) ? opts.trace->root() : nullptr;
     if (executor_ != nullptr && ring_cells.size() > 1) {
       // Fan the ring's cells out in parallel; candidates are merged into
       // the heap in ascending scan order, so the result (including ties)
@@ -126,15 +157,18 @@ Result<std::vector<Entry>> SwstIndex::Knn(const Point& center, size_t k,
           [&accept](size_t, std::vector<Entry>& entries) {
             for (const Entry& e : entries) accept(e);
             return true;
-          }));
+          },
+          root));
     } else {
       for (const SpatialGrid::CellOverlap& co : ring_cells) {
         if (stats != nullptr) stats->spatial_cells++;
-        SWST_RETURN_IF_ERROR(SearchCell(co, plan, q, win, opts, stats,
-                                        [&accept](const Entry& e) {
-                                          accept(e);
-                                          return true;
-                                        }));
+        SWST_RETURN_IF_ERROR(SearchCell(
+            co, plan, q, win, opts, stats,
+            [&accept](const Entry& e) {
+              accept(e);
+              return true;
+            },
+            root));
       }
     }
   }

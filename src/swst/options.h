@@ -8,6 +8,10 @@
 
 namespace swst {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// \brief Configuration of an SWST index (paper Table I / Table II).
 ///
 /// Defaults follow the paper's experimental settings: spatial space
@@ -57,6 +61,18 @@ struct SwstOptions {
   /// values > 1 spin up an internal thread pool owned by the index.
   /// Results and their order are identical either way.
   uint32_t query_threads = 1;
+
+  /// --- Observability (see docs/observability.md) --------------------------
+
+  /// When non-null, the index (and its query executor) register named
+  /// counters/gauges/histograms — query latency, node accesses, memo
+  /// pruning, batch sizes — with this registry, updated once per operation
+  /// from per-query locals. Null (the default) disables registration
+  /// entirely. Purely a runtime knob: not part of the on-disk fingerprint;
+  /// the registry must outlive the index. The same registry is typically
+  /// also passed to `BufferPool` so one `RenderPrometheus()`/`RenderJson()`
+  /// exposes storage, pool, and index metrics together.
+  obs::MetricsRegistry* metrics = nullptr;
 
   /// --- Derived quantities -------------------------------------------------
 

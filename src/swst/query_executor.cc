@@ -2,15 +2,32 @@
 
 namespace swst {
 
-QueryExecutor::QueryExecutor(size_t threads) {
+QueryExecutor::QueryExecutor(size_t threads, obs::MetricsRegistry* registry)
+    : registry_(registry) {
   if (threads < 1) threads = 1;
   workers_.reserve(threads);
   for (size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  if (registry_ != nullptr) {
+    m_tasks_ = registry_->RegisterCounter(
+        "swst_executor_tasks_total", "Fan-out tasks submitted to the pool");
+    registry_->RegisterCallback(
+        "swst_executor_threads", "Worker threads in the query executor",
+        [this] { return static_cast<int64_t>(workers_.size()); });
+    registry_->RegisterCallback(
+        "swst_executor_queue_depth", "Tasks waiting for a worker", [this] {
+          std::lock_guard<std::mutex> lock(mu_);
+          return static_cast<int64_t>(queue_.size());
+        });
+  }
 }
 
 QueryExecutor::~QueryExecutor() {
+  if (registry_ != nullptr) {
+    // Callbacks capture `this`; drop them before the pool shuts down.
+    registry_->UnregisterPrefix("swst_executor_");
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
@@ -22,6 +39,7 @@ QueryExecutor::~QueryExecutor() {
 }
 
 void QueryExecutor::Submit(std::function<void()> task) {
+  if (m_tasks_ != nullptr) m_tasks_->Increment();
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));

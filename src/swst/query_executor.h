@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace swst {
 
 /// \brief Small fixed-size thread pool used by `SwstIndex` to fan a single
@@ -21,9 +23,16 @@ namespace swst {
 /// docs/concurrency.md). The pool is created once per index when
 /// `SwstOptions::query_threads > 1` and shared by all of that index's
 /// queries; tasks must never block on other tasks.
+///
+/// With a non-null `registry` the executor exposes `swst_executor_*`:
+/// a task counter, a thread-count gauge, and a queue-depth callback gauge
+/// (polled under `mu_` — registry renders never run inside a task, so the
+/// registry-then-`mu_` lock order cannot deadlock). The registry must
+/// outlive the executor; the destructor unregisters the prefix.
 class QueryExecutor {
  public:
-  explicit QueryExecutor(size_t threads);
+  explicit QueryExecutor(size_t threads,
+                         obs::MetricsRegistry* registry = nullptr);
   ~QueryExecutor();
 
   QueryExecutor(const QueryExecutor&) = delete;
@@ -42,6 +51,9 @@ class QueryExecutor {
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+
+  obs::MetricsRegistry* registry_ = nullptr;
+  std::shared_ptr<obs::Counter> m_tasks_;
 };
 
 }  // namespace swst

@@ -3,10 +3,24 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <string>
 
 namespace swst {
+
+namespace {
+
+/// Microseconds elapsed since `t0` (query-latency measurement).
+uint64_t MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
 
 SwstIndex::SwstIndex(BufferPool* pool, const SwstOptions& options)
     : pool_(pool),
@@ -25,8 +39,76 @@ SwstIndex::SwstIndex(BufferPool* pool, const SwstOptions& options)
     shards_.push_back(std::make_unique<Shard>(begin, count, sp, ds));
   }
   if (options.query_threads > 1) {
-    executor_ = std::make_unique<QueryExecutor>(options.query_threads);
+    executor_ = std::make_unique<QueryExecutor>(options.query_threads,
+                                                options.metrics);
   }
+  RegisterMetrics();
+}
+
+SwstIndex::~SwstIndex() {
+  if (options_.metrics != nullptr) {
+    // The callback gauges capture `this`; drop them before the index dies.
+    // (The executor unregisters its own `swst_executor_` prefix.)
+    options_.metrics->UnregisterPrefix("swst_index_");
+  }
+}
+
+void SwstIndex::RegisterMetrics() {
+  obs::MetricsRegistry* r = options_.metrics;
+  if (r == nullptr) return;
+  m_queries_ = r->RegisterCounter("swst_index_queries_total",
+                                  "Rectangle and KNN queries executed");
+  m_inserts_ = r->RegisterCounter("swst_index_inserts_total",
+                                  "Entries inserted (single and batched)");
+  m_deletes_ = r->RegisterCounter(
+      "swst_index_deletes_total",
+      "Entries deleted (incl. the delete half of CloseCurrent)");
+  m_node_accesses_ = r->RegisterCounter(
+      "swst_index_node_accesses_total",
+      "B+ tree page fetches across all queries (the paper's cost metric)");
+  m_memo_pruned_columns_ =
+      r->RegisterCounter("swst_index_memo_pruned_columns_total",
+                         "Columns skipped entirely by the isPresent memo");
+  m_cells_pruned_ =
+      r->RegisterCounter("swst_index_cells_pruned_total",
+                         "Overlapping cells pruned wholesale by the memo");
+  m_cells_visited_ = r->RegisterCounter(
+      "swst_index_cells_visited_total",
+      "Overlapping cells where at least one key range was searched");
+  m_results_ = r->RegisterCounter("swst_index_results_total",
+                                  "Entries emitted to query callers");
+  m_trees_dropped_ =
+      r->RegisterCounter("swst_index_trees_dropped_total",
+                         "Expired epoch trees dropped wholesale");
+  m_query_latency_us_ = r->RegisterHistogram("swst_index_query_latency_us",
+                                             "Wall microseconds per query");
+  m_query_node_accesses_ = r->RegisterHistogram(
+      "swst_index_query_node_accesses", "Node accesses per query");
+  m_batch_records_ = r->RegisterHistogram("swst_index_batch_records",
+                                          "Entries per InsertBatch call");
+  r->RegisterCallback("swst_index_shards",
+                      "Shards the cell directory is split into", [this] {
+                        return static_cast<int64_t>(shards_.size());
+                      });
+  r->RegisterCallback(
+      "swst_index_memo_bytes",
+      "Bytes of in-memory statistical state (memos + directory)",
+      [this] { return static_cast<int64_t>(StatisticsMemoryUsage()); });
+  r->RegisterCallback("swst_index_clock", "Current index clock (tau)",
+                      [this] { return static_cast<int64_t>(now()); });
+}
+
+void SwstIndex::RecordQueryMetrics(const QueryStats& stats,
+                                   uint64_t latency_us) {
+  if (m_queries_ == nullptr) return;
+  m_queries_->Increment();
+  m_node_accesses_->Increment(stats.node_accesses);
+  m_memo_pruned_columns_->Increment(stats.memo_pruned_columns);
+  m_cells_pruned_->Increment(stats.cells_pruned);
+  m_cells_visited_->Increment(stats.cells_visited);
+  m_results_->Increment(stats.results);
+  m_query_latency_us_->Record(latency_us);
+  m_query_node_accesses_->Record(stats.node_accesses);
 }
 
 Result<std::unique_ptr<SwstIndex>> SwstIndex::Create(
@@ -72,6 +154,7 @@ Status SwstIndex::PrepareTree(Shard& shard, uint32_t cell, uint64_t epoch) {
     SWST_RETURN_IF_ERROR(stale.Drop());
     shard.memo.ResetSlot(cell - shard.cell_begin, slot);
     ct.root[slot] = kInvalidPageId;
+    if (m_trees_dropped_ != nullptr) m_trees_dropped_->Increment();
   }
   auto tree = BTree::Create(pool_);
   if (!tree.ok()) return tree.status();
@@ -89,6 +172,7 @@ Status SwstIndex::DropExpired(Shard& shard, uint32_t cell,
       SWST_RETURN_IF_ERROR(stale.Drop());
       shard.memo.ResetSlot(cell - shard.cell_begin, slot);
       ct.root[slot] = kInvalidPageId;
+      if (m_trees_dropped_ != nullptr) m_trees_dropped_->Increment();
     }
   }
   return Status::OK();
@@ -145,6 +229,7 @@ Status SwstIndex::InsertLocked(Shard& shard, uint32_t cell,
   shard.memo.Add(cell - shard.cell_begin, slot,
                  codec_.LocalColumn(entry.start),
                  codec_.DPartition(entry.duration), entry.pos);
+  if (m_inserts_ != nullptr) m_inserts_->Increment();
   return Status::OK();
 }
 
@@ -250,6 +335,10 @@ Status SwstIndex::InsertBatch(const Entry* entries, size_t n) {
       i = g;
     }
   }
+  if (m_inserts_ != nullptr) {
+    m_inserts_->Increment(n);
+    m_batch_records_->Record(n);
+  }
   return Status::OK();
 }
 
@@ -278,6 +367,7 @@ Status SwstIndex::DeleteLocked(Shard& shard, uint32_t cell,
   shard.memo.Remove(cell - shard.cell_begin, slot,
                     codec_.LocalColumn(entry.start),
                     codec_.DPartition(entry.duration));
+  if (m_deletes_ != nullptr) m_deletes_->Increment();
   return Status::OK();
 }
 
@@ -365,7 +455,16 @@ Status SwstIndex::SearchCell(const SpatialGrid::CellOverlap& co,
                              const ColumnPlan& plan, const TimeInterval& q,
                              const TimeInterval& win, const QueryOptions& opts,
                              QueryStats* stats,
-                             const std::function<bool(const Entry&)>& emit) {
+                             const std::function<bool(const Entry&)>& emit,
+                             obs::TraceSpan* trace_parent) {
+  obs::QueryTrace* trace = opts.trace;
+  obs::ScopedSpan cell_span(
+      trace, trace_parent,
+      trace != nullptr ? "cell " + std::to_string(co.cell) : std::string());
+  // Per-cell trace counters are deltas against this snapshot, so they are
+  // exact both serially (shared `stats`) and fanned out (per-task `stats`).
+  const QueryStats before = (stats != nullptr) ? *stats : QueryStats{};
+
   Shard& shard = ShardFor(co.cell);
   // Shared lock: mutations of this shard wait, other shards are untouched.
   std::shared_lock<std::shared_mutex> lock(shard.mu);
@@ -421,9 +520,25 @@ Status SwstIndex::SearchCell(const SpatialGrid::CellOverlap& co,
     ranges[slot].push_back(r);
   }
 
+  if (stats != nullptr) {
+    if (!ranges[0].empty() || !ranges[1].empty()) {
+      stats->cells_visited++;
+    } else if (stats->memo_pruned_columns > before.memo_pruned_columns) {
+      // Every active column with a live tree was trimmed to nothing: the
+      // memo pruned this whole overlapping cell without one tree fetch.
+      stats->cells_pruned++;
+    }
+  }
+
+  std::vector<uint32_t> level_nodes;
   for (int slot = 0; slot < 2; ++slot) {
     if (ranges[slot].empty()) continue;
     if (stats != nullptr) stats->key_ranges += ranges[slot].size();
+    obs::ScopedSpan bfs_span(
+        trace, cell_span.get(),
+        trace != nullptr ? "bfs slot" + std::to_string(slot) : std::string());
+    level_nodes.clear();
+    const uint64_t na_before = (stats != nullptr) ? stats->node_accesses : 0;
     BTree tree = BTree::Attach(pool_, ct.root[slot]);
     SWST_RETURN_IF_ERROR(tree.SearchRanges(
         ranges[slot],
@@ -437,9 +552,13 @@ Status SwstIndex::SearchCell(const SpatialGrid::CellOverlap& co,
           if (temporal_full && co.full && !opts.retention_filter) {
             // Full temporal + full spatial overlap: guaranteed qualified,
             // no refinement (paper §IV-B.d).
-            if (stats != nullptr) stats->full_cell_accepts++;
+            if (stats != nullptr) {
+              stats->full_cell_accepts++;
+              stats->results++;
+            }
             return emit(e);
           }
+          if (stats != nullptr) stats->candidates_refined++;
           const bool in_window = e.start >= win.lo && e.start <= win.hi;
           const bool temporal_ok =
               temporal_full || e.ValidTimeOverlaps(q);
@@ -449,12 +568,45 @@ Status SwstIndex::SearchCell(const SpatialGrid::CellOverlap& co,
           const bool retained =
               !opts.retention_filter || opts.retention_filter(e, now());
           if (in_window && temporal_ok && spatial_ok && retained) {
+            if (stats != nullptr) stats->results++;
             return emit(e);
           }
           if (stats != nullptr) stats->refined_out++;
           return true;
         },
-        (stats != nullptr) ? &stats->node_accesses : nullptr));
+        (stats != nullptr) ? &stats->node_accesses : nullptr,
+        (trace != nullptr) ? &level_nodes : nullptr));
+    if (trace != nullptr) {
+      bfs_span.AddCounter("ranges", ranges[slot].size());
+      for (size_t lvl = 0; lvl < level_nodes.size(); ++lvl) {
+        bfs_span.AddCounter("level" + std::to_string(lvl) + "_nodes",
+                            level_nodes[lvl]);
+      }
+      if (stats != nullptr) {
+        bfs_span.AddCounter("node_accesses", stats->node_accesses - na_before);
+      }
+    }
+  }
+
+  if (trace != nullptr && stats != nullptr) {
+    // Refinement runs interleaved with the BFS (inside its emit callback),
+    // so this stage carries the candidate flow; its wall time is part of
+    // the bfs spans above.
+    const uint64_t refined =
+        stats->candidates_refined - before.candidates_refined;
+    const uint64_t rejected = stats->refined_out - before.refined_out;
+    obs::ScopedSpan refine_span(trace, cell_span.get(), "refine");
+    refine_span.AddCounter("candidates_in", refined);
+    refine_span.AddCounter("survivors_out", refined - rejected);
+    refine_span.End();
+    cell_span.AddCounter("node_accesses",
+                         stats->node_accesses - before.node_accesses);
+    cell_span.AddCounter("key_ranges", stats->key_ranges - before.key_ranges);
+    cell_span.AddCounter("candidates", stats->candidates - before.candidates);
+    cell_span.AddCounter(
+        "memo_pruned_columns",
+        stats->memo_pruned_columns - before.memo_pruned_columns);
+    cell_span.AddCounter("results", stats->results - before.results);
   }
   return Status::OK();
 }
@@ -463,7 +615,9 @@ Status SwstIndex::FanOutCells(
     const std::vector<SpatialGrid::CellOverlap>& cells, const ColumnPlan& plan,
     const TimeInterval& q, const TimeInterval& win, const QueryOptions& opts,
     QueryStats* stats,
-    const std::function<bool(size_t, std::vector<Entry>&)>& consume) {
+    const std::function<bool(size_t, std::vector<Entry>&)>& consume,
+    obs::TraceSpan* trace_parent) {
+  obs::QueryTrace* trace = opts.trace;
   struct CellTask {
     std::vector<Entry> entries;
     QueryStats qs;
@@ -481,16 +635,18 @@ Status SwstIndex::FanOutCells(
       CellTask& t = tasks[i];
       if (!cancel.load(std::memory_order_relaxed)) {
         t.qs.spatial_cells = 1;
-        t.st = SearchCell(cells[i], plan, q, win, opts, &t.qs,
-                          [&t, &cancel](const Entry& e) {
-                            // The consumer cancelled the query: stop this
-                            // cell's tree search at the next emission.
-                            if (cancel.load(std::memory_order_relaxed)) {
-                              return false;
-                            }
-                            t.entries.push_back(e);
-                            return true;
-                          });
+        t.st = SearchCell(
+            cells[i], plan, q, win, opts, &t.qs,
+            [&t, &cancel](const Entry& e) {
+              // The consumer cancelled the query: stop this
+              // cell's tree search at the next emission.
+              if (cancel.load(std::memory_order_relaxed)) {
+                return false;
+              }
+              t.entries.push_back(e);
+              return true;
+            },
+            trace_parent);
       }
       {
         // Notify under the lock: once the consumer observes done[i] it may
@@ -507,12 +663,17 @@ Status SwstIndex::FanOutCells(
   // their tasks complete — result order (and, absent cancellation, stats)
   // are identical to serial execution. Every task is awaited even after a
   // stop, since tasks reference this frame.
+  obs::ScopedSpan merge_span(trace, trace_parent,
+                             trace != nullptr ? "merge" : std::string());
+  uint64_t wait_ns = 0;
   Status result;
   bool stopped = false;
   for (size_t i = 0; i < n; ++i) {
     {
+      const uint64_t wait_start = (trace != nullptr) ? trace->NowNs() : 0;
       std::unique_lock<std::mutex> lock(mu);
       cv.wait(lock, [&] { return done[i] != 0; });
+      if (trace != nullptr) wait_ns += trace->NowNs() - wait_start;
     }
     if (stopped) continue;
     CellTask& t = tasks[i];
@@ -527,18 +688,25 @@ Status SwstIndex::FanOutCells(
       stopped = true;
     }
   }
+  if (trace != nullptr) {
+    merge_span.AddCounter("cells", n);
+    merge_span.AddCounter("wait_ns", wait_ns);
+  }
   if (stats != nullptr) {
     for (const CellTask& t : tasks) *stats += t.qs;
   }
   return result;
 }
 
-Status SwstIndex::IntervalQueryStream(
+Status SwstIndex::IntervalQueryStreamImpl(
     const Rect& area, const TimeInterval& interval, const QueryOptions& opts,
     const std::function<bool(const Entry&)>& fn, QueryStats* stats) {
   if (area.IsEmpty() || interval.lo > interval.hi) {
     return Status::InvalidArgument("IntervalQuery: malformed query");
   }
+  obs::QueryTrace* trace = opts.trace;
+  obs::TraceSpan* root = (trace != nullptr) ? trace->root() : nullptr;
+
   const TimeInterval win = QueriablePeriod(opts.logical_window);
   // Queries are defined within the queriable period (paper §III-A); the
   // parts of the interval outside it cannot match any entry of R(tau).
@@ -550,10 +718,19 @@ Status SwstIndex::IntervalQueryStream(
   // The plan is immutable and built without touching any shard lock; it is
   // shared read-only by every cell search (and cell task) below.
   ColumnPlan plan;
-  SWST_RETURN_IF_ERROR(BuildPlan(q, win, &plan));
+  std::vector<SpatialGrid::CellOverlap> cells;
+  {
+    obs::ScopedSpan plan_span(trace, root, "plan");
+    SWST_RETURN_IF_ERROR(BuildPlan(q, win, &plan));
+    cells = grid_.Overlapping(area);
+    plan_span.AddCounter("columns", plan.active_fields.size());
+    plan_span.AddCounter("cells", cells.size());
+  }
 
-  const std::vector<SpatialGrid::CellOverlap> cells = grid_.Overlapping(area);
-  if (executor_ != nullptr && cells.size() > 1) {
+  obs::ScopedSpan search_span(trace, root, "search");
+  const bool fan_out = executor_ != nullptr && cells.size() > 1;
+  search_span.AddCounter("fanout", fan_out ? 1 : 0);
+  if (fan_out) {
     SWST_RETURN_IF_ERROR(FanOutCells(
         cells, plan, q, win, opts, stats,
         [&fn](size_t, std::vector<Entry>& entries) {
@@ -561,26 +738,61 @@ Status SwstIndex::IntervalQueryStream(
             if (!fn(e)) return false;
           }
           return true;
-        }));
+        },
+        search_span.get()));
   } else {
     bool stop = false;
     for (const SpatialGrid::CellOverlap& co : cells) {
       if (stop) break;
       if (stats != nullptr) stats->spatial_cells++;
-      SWST_RETURN_IF_ERROR(SearchCell(co, plan, q, win, opts, stats,
-                                      [&fn, &stop](const Entry& e) {
-                                        if (!fn(e)) {
-                                          stop = true;
-                                          return false;
-                                        }
-                                        return true;
-                                      }));
+      SWST_RETURN_IF_ERROR(SearchCell(
+          co, plan, q, win, opts, stats,
+          [&fn, &stop](const Entry& e) {
+            if (!fn(e)) {
+              stop = true;
+              return false;
+            }
+            return true;
+          },
+          search_span.get()));
     }
   }
   if (stats != nullptr) {
     stats->columns += plan.active_fields.size();
   }
   return Status::OK();
+}
+
+Status SwstIndex::IntervalQueryStream(
+    const Rect& area, const TimeInterval& interval, const QueryOptions& opts,
+    const std::function<bool(const Entry&)>& fn, QueryStats* stats) {
+  obs::QueryTrace* trace = opts.trace;
+  if (m_queries_ == nullptr && trace == nullptr) {
+    // Neither a registry nor a trace is attached: stay on the zero-overhead
+    // path — no clock reads, no extra stats block.
+    return IntervalQueryStreamImpl(area, interval, opts, fn, stats);
+  }
+
+  // Run the pipeline against a fresh stats block so the registry and the
+  // trace see exactly this query's counters even when the caller passes an
+  // accumulating `stats` (or none at all).
+  QueryStats local;
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status st = IntervalQueryStreamImpl(area, interval, opts, fn, &local);
+  const uint64_t latency_us = MicrosSince(t0);
+  RecordQueryMetrics(local, latency_us);
+  if (trace != nullptr) {
+    obs::TraceSpan* root = trace->root();
+    root->AddCounter("node_accesses", local.node_accesses);
+    root->AddCounter("spatial_cells", local.spatial_cells);
+    root->AddCounter("cells_visited", local.cells_visited);
+    root->AddCounter("cells_pruned", local.cells_pruned);
+    root->AddCounter("memo_pruned_columns", local.memo_pruned_columns);
+    root->AddCounter("results", local.results);
+    trace->EndSpan(root);
+  }
+  if (stats != nullptr) *stats += local;
+  return st;
 }
 
 Result<std::vector<Entry>> SwstIndex::IntervalQuery(
@@ -602,6 +814,26 @@ Result<std::vector<Entry>> SwstIndex::TimesliceQuery(const Rect& area,
                                                      const QueryOptions& opts,
                                                      QueryStats* stats) {
   return IntervalQuery(area, TimeInterval{t, t}, opts, stats);
+}
+
+Result<SwstIndex::ExplainResult> SwstIndex::Explain(
+    const Rect& area, const TimeInterval& interval, const QueryOptions& opts) {
+  ExplainResult out;
+  obs::QueryTrace own_trace;
+  obs::QueryTrace* trace =
+      (opts.trace != nullptr) ? opts.trace : &own_trace;
+  QueryOptions traced = opts;
+  traced.trace = trace;
+  SWST_RETURN_IF_ERROR(IntervalQueryStream(
+      area, interval, traced,
+      [&out](const Entry& e) {
+        out.results.push_back(e);
+        return true;
+      },
+      &out.stats));
+  out.text = trace->RenderText();
+  out.json = trace->RenderJson();
+  return out;
 }
 
 Result<uint64_t> SwstIndex::CountEntries() const {

@@ -11,6 +11,8 @@
 #include "btree/btree.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/buffer_pool.h"
 #include "swst/is_present_memo.h"
 #include "swst/options.h"
@@ -34,6 +36,18 @@ struct QueryStats {
   uint64_t full_cell_accepts = 0; ///< Accepted with no refinement check.
   uint64_t refined_out = 0;       ///< False positives removed by refinement.
   uint64_t memo_pruned_columns = 0;  ///< Columns skipped entirely by memo.
+  /// Overlapping cells the memo pruned wholesale: every active column of
+  /// the cell was trimmed to nothing, so no key range was searched there.
+  uint64_t cells_pruned = 0;
+  /// Overlapping cells where at least one key range was actually searched.
+  /// `cells_pruned + cells_visited <= spatial_cells` (cells with no live
+  /// tree for any active column count in neither).
+  uint64_t cells_visited = 0;
+  /// Candidates that went through the refinement predicate (i.e. were not
+  /// fast-accepted by the full-overlap rule): `refined_out` of them were
+  /// rejected, the rest emitted.
+  uint64_t candidates_refined = 0;
+  uint64_t results = 0;  ///< Entries emitted to the caller.
 
   /// Accumulates another query's (or cell task's) counters.
   QueryStats& operator+=(const QueryStats& o) {
@@ -45,6 +59,10 @@ struct QueryStats {
     full_cell_accepts += o.full_cell_accepts;
     refined_out += o.refined_out;
     memo_pruned_columns += o.memo_pruned_columns;
+    cells_pruned += o.cells_pruned;
+    cells_visited += o.cells_visited;
+    candidates_refined += o.candidates_refined;
+    results += o.results;
     return *this;
   }
 };
@@ -63,6 +81,13 @@ struct QueryOptions {
   /// queries so every candidate is checked — exactly the modification the
   /// paper describes. Window drops are unchanged.
   std::function<bool(const Entry& entry, Timestamp now)> retention_filter;
+
+  /// Per-query tracing: when non-null, the query records a span tree
+  /// (plan / per-cell search / BFS levels / refinement / merge wait) into
+  /// this trace — see docs/observability.md for the schema. Null (the
+  /// default) keeps the query on the untraced path; the only cost is one
+  /// pointer test per stage. `SwstIndex::Explain` packages query + render.
+  obs::QueryTrace* trace = nullptr;
 };
 
 /// \brief The SWST index: sliding-window spatio-temporal index (the paper's
@@ -136,6 +161,10 @@ class SwstIndex {
 
   SwstIndex(const SwstIndex&) = delete;
   SwstIndex& operator=(const SwstIndex&) = delete;
+
+  /// Unregisters this index's callback metrics from
+  /// `SwstOptions::metrics` (if one was attached).
+  ~SwstIndex();
 
   /// Inserts an entry (closed or current). Advances the index clock to
   /// `entry.start` if it is ahead. Requirements: the position lies in the
@@ -214,6 +243,22 @@ class SwstIndex {
                                  const TimeInterval& interval,
                                  const QueryOptions& opts = {},
                                  QueryStats* stats = nullptr);
+
+  /// EXPLAIN: runs the interval query with tracing enabled and returns the
+  /// results together with the rendered plan. `text` is the indented
+  /// per-stage breakdown (wall time + counters per span), `json` the
+  /// machine-readable span tree; per-stage `node_accesses` counters sum to
+  /// `stats.node_accesses` exactly. A timeslice query is explained as the
+  /// degenerate interval [t, t]. Any `opts.trace` the caller set is used
+  /// (and appended to) instead of an internal trace.
+  struct ExplainResult {
+    std::vector<Entry> results;
+    QueryStats stats;
+    std::string text;
+    std::string json;
+  };
+  Result<ExplainResult> Explain(const Rect& area, const TimeInterval& interval,
+                                const QueryOptions& opts = {});
 
   /// Current index clock (tau).
   Timestamp now() const { return now_.load(std::memory_order_acquire); }
@@ -332,26 +377,55 @@ class SwstIndex {
   /// the rectangle queries and KNN. `emit` returning false stops the
   /// search of this cell (and the whole query, via the caller's stop
   /// flag). All counters land in `stats` (a per-task local under parallel
-  /// execution), including exact node accesses.
+  /// execution), including exact node accesses. When `opts.trace` is set a
+  /// "cell <N>" span (with "bfs slot<k>" / "refine" children) is attached
+  /// under `trace_parent`.
   Status SearchCell(const SpatialGrid::CellOverlap& co, const ColumnPlan& plan,
                     const TimeInterval& q, const TimeInterval& win,
                     const QueryOptions& opts, QueryStats* stats,
-                    const std::function<bool(const Entry&)>& emit);
+                    const std::function<bool(const Entry&)>& emit,
+                    obs::TraceSpan* trace_parent = nullptr);
 
   /// Fans `SearchCell` out over `executor_` for every cell in `cells`,
   /// buffering each cell's accepted entries. `consume(i, entries)` is
   /// invoked on the calling thread in ascending cell order as tasks
   /// complete; returning false cancels in-flight tasks (they stop at the
   /// next emitted entry) and skips the remaining cells' results. Cell
-  /// stats are merged into `stats` in deterministic cell order.
+  /// stats are merged into `stats` in deterministic cell order. Cell
+  /// tasks attach their trace spans under `trace_parent`; a sibling
+  /// "merge" span records the consumer's wait time.
   Status FanOutCells(const std::vector<SpatialGrid::CellOverlap>& cells,
                      const ColumnPlan& plan, const TimeInterval& q,
                      const TimeInterval& win, const QueryOptions& opts,
                      QueryStats* stats,
                      const std::function<bool(size_t, std::vector<Entry>&)>&
-                         consume);
+                         consume,
+                     obs::TraceSpan* trace_parent = nullptr);
+
+  /// The actual query pipeline behind `IntervalQueryStream`, which wraps it
+  /// with metrics/trace bookkeeping (latency, registry counters, root-span
+  /// totals) when either is enabled and calls straight through otherwise.
+  Status IntervalQueryStreamImpl(const Rect& area,
+                                 const TimeInterval& interval,
+                                 const QueryOptions& opts,
+                                 const std::function<bool(const Entry&)>& fn,
+                                 QueryStats* stats);
+
+  /// Ring-expansion KNN pipeline behind `Knn` (same wrapper split).
+  Result<std::vector<Entry>> KnnImpl(const Point& center, size_t k,
+                                     const TimeInterval& interval,
+                                     const QueryOptions& opts,
+                                     QueryStats* stats);
 
   uint64_t KeyFor(const Entry& entry, uint32_t cell) const;
+
+  /// Registers this index's metrics with `options_.metrics` (no-op when
+  /// null); called once from the constructor.
+  void RegisterMetrics();
+
+  /// Folds a finished query's per-query counters into the registry metrics
+  /// and records its latency (no-op when no registry is attached).
+  void RecordQueryMetrics(const QueryStats& stats, uint64_t latency_us);
 
   /// Reconstructs the isPresent memo from the live trees (used by Open).
   Status RebuildMemo();
@@ -373,6 +447,24 @@ class SwstIndex {
   PageId meta_page_ = kInvalidPageId;
   /// Additional metadata pages of the chain (for reuse across saves).
   std::vector<PageId> meta_chain_;
+
+  /// \name Registry metrics (all null when `SwstOptions::metrics` is null).
+  /// Updated once per operation from per-query/-batch locals, never from
+  /// per-record hot loops. See docs/observability.md for the catalog.
+  /// @{
+  std::shared_ptr<obs::Counter> m_queries_;
+  std::shared_ptr<obs::Counter> m_inserts_;
+  std::shared_ptr<obs::Counter> m_deletes_;
+  std::shared_ptr<obs::Counter> m_node_accesses_;
+  std::shared_ptr<obs::Counter> m_memo_pruned_columns_;
+  std::shared_ptr<obs::Counter> m_cells_pruned_;
+  std::shared_ptr<obs::Counter> m_cells_visited_;
+  std::shared_ptr<obs::Counter> m_results_;
+  std::shared_ptr<obs::Counter> m_trees_dropped_;
+  std::shared_ptr<obs::Histogram> m_query_latency_us_;
+  std::shared_ptr<obs::Histogram> m_query_node_accesses_;
+  std::shared_ptr<obs::Histogram> m_batch_records_;
+  /// @}
 };
 
 }  // namespace swst

@@ -1,0 +1,175 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace swst {
+namespace obs {
+namespace {
+
+TEST(MetricsTest, CounterIncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.Set(-5);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(MetricsTest, HistogramBucketIndexIsBitWidth) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  // Largest in-range value, then the first overflowing one.
+  EXPECT_EQ(Histogram::BucketIndex((uint64_t{1} << 47) - 1),
+            Histogram::kValueBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(uint64_t{1} << 47),
+            Histogram::kValueBuckets);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), Histogram::kValueBuckets);
+}
+
+TEST(MetricsTest, HistogramBucketUpperBounds) {
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023u);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kValueBuckets - 1),
+            (uint64_t{1} << 47) - 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kValueBuckets),
+            UINT64_MAX);
+  // Every sample value lands in the bucket whose upper bound covers it.
+  for (uint64_t v : {0ull, 1ull, 5ull, 100ull, 65536ull}) {
+    EXPECT_GE(Histogram::BucketUpperBound(Histogram::BucketIndex(v)), v);
+  }
+}
+
+TEST(MetricsTest, HistogramPercentileIsBucketUpperBound) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.5), 0u);  // Empty histogram.
+
+  // 100 samples of value 1 and one slow outlier of 1000.
+  for (int i = 0; i < 100; ++i) h.Record(1);
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 101u);
+  EXPECT_EQ(h.sum(), 1100u);
+  EXPECT_EQ(h.Percentile(0.50), 1u);
+  EXPECT_EQ(h.Percentile(0.90), 1u);
+  // Rank 100 of 101 still falls inside the fast bucket; only the max
+  // reaches the outlier's bucket (upper bound 1023 for value 1000).
+  EXPECT_EQ(h.Percentile(0.99), 1u);
+  EXPECT_EQ(h.Percentile(1.0), 1023u);
+  // Out-of-range p is clamped.
+  EXPECT_EQ(h.Percentile(-1.0), h.Percentile(0.0));
+  EXPECT_EQ(h.Percentile(2.0), 1023u);
+}
+
+TEST(MetricsTest, HistogramOverflowBucket) {
+  Histogram h;
+  h.Record(uint64_t{1} << 50);
+  h.Record(UINT64_MAX - 1);
+  const std::vector<uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), Histogram::kBucketCount);
+  EXPECT_EQ(counts.back(), 2u);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.Percentile(0.5), UINT64_MAX);
+}
+
+TEST(MetricsTest, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  auto c1 = reg.RegisterCounter("swst_test_total", "a counter");
+  auto c2 = reg.RegisterCounter("swst_test_total", "a counter");
+  ASSERT_NE(c1, nullptr);
+  EXPECT_EQ(c1.get(), c2.get());
+  c1->Increment();
+  c2->Increment();
+  EXPECT_EQ(c1->value(), 2u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsTest, KindMismatchReturnsNull) {
+  MetricsRegistry reg;
+  ASSERT_NE(reg.RegisterCounter("swst_test_total", "c"), nullptr);
+  EXPECT_EQ(reg.RegisterGauge("swst_test_total", "g"), nullptr);
+  EXPECT_EQ(reg.RegisterHistogram("swst_test_total", "h"), nullptr);
+  EXPECT_FALSE(reg.RegisterCallback("swst_test_total", "cb",
+                                    [] { return int64_t{0}; }));
+  // The original registration is untouched.
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_NE(reg.RegisterCounter("swst_test_total", "c"), nullptr);
+}
+
+TEST(MetricsTest, UnregisterAndUnregisterPrefix) {
+  MetricsRegistry reg;
+  reg.RegisterCounter("swst_pool_reads", "r");
+  reg.RegisterCounter("swst_pool_writes", "w");
+  reg.RegisterGauge("swst_index_clock", "t");
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_TRUE(reg.Unregister("swst_index_clock"));
+  EXPECT_FALSE(reg.Unregister("swst_index_clock"));
+  EXPECT_EQ(reg.UnregisterPrefix("swst_pool_"), 2u);
+  EXPECT_EQ(reg.UnregisterPrefix("swst_pool_"), 0u);
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(MetricsTest, RenderPrometheusFormat) {
+  MetricsRegistry reg;
+  reg.RegisterCounter("swst_c_total", "counted things")->Increment(7);
+  reg.RegisterGauge("swst_g", "a level")->Set(-2);
+  auto h = reg.RegisterHistogram("swst_h", "a histogram");
+  h->Record(1);
+  h->Record(3);
+  reg.RegisterCallback("swst_cb", "polled", [] { return int64_t{99}; });
+  const std::string out = reg.RenderPrometheus();
+
+  EXPECT_NE(out.find("# HELP swst_c_total counted things\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE swst_c_total counter\n"), std::string::npos);
+  EXPECT_NE(out.find("swst_c_total 7\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE swst_g gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("swst_g -2\n"), std::string::npos);
+  EXPECT_NE(out.find("swst_cb 99\n"), std::string::npos);
+  // Histogram buckets are cumulative and end at +Inf == count.
+  EXPECT_NE(out.find("swst_h_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(out.find("swst_h_bucket{le=\"3\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find("swst_h_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find("swst_h_sum 4\n"), std::string::npos);
+  EXPECT_NE(out.find("swst_h_count 2\n"), std::string::npos);
+}
+
+TEST(MetricsTest, RenderJsonFormat) {
+  MetricsRegistry reg;
+  reg.RegisterCounter("swst_c_total", "c")->Increment(5);
+  reg.RegisterGauge("swst_g", "g")->Set(11);
+  auto h = reg.RegisterHistogram("swst_h", "h");
+  h->Record(2);
+  const std::string out = reg.RenderJson();
+  EXPECT_NE(out.find("\"counters\": {\"swst_c_total\": 5}"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"swst_g\": 11"), std::string::npos);
+  EXPECT_NE(out.find("\"swst_h\": {\"count\": 1, \"sum\": 2"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"buckets\": [{\"le\": 3, \"count\": 1}]"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace swst

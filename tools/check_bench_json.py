@@ -14,6 +14,14 @@ are allowed to drift, the *schema* is not. A run fails when:
     checked against the baseline's first element, so lists may grow),
   - the "bench" name differs.
 
+A top-level "metrics" block (the observability registry snapshot emitted
+by instrumented benches) is validated structurally rather than against
+the baseline: which histogram buckets are populated depends on timing, so
+only the shape is pinned — "counters" and "gauges" map names to numbers,
+and each entry of "histograms" carries numeric count/sum/p50/p90/p99 plus
+a "buckets" list of {le, count} objects. Both files must agree on whether
+the block exists at all.
+
 Exit status 0 on success, 1 on any mismatch (all mismatches are listed).
 """
 
@@ -56,6 +64,63 @@ def compare(cur, base, path, errors):
             compare(elem, base[0] if base else elem, f"{path}[{i}]", errors)
 
 
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_metrics(m, path, errors):
+    """Structural validation of a MetricsRegistry::RenderJson() snapshot."""
+    if not isinstance(m, dict):
+        errors.append(f"{path}: expected object, got {type_name(m)}")
+        return
+    for key in sorted(set(m) - {"counters", "gauges", "histograms"}):
+        errors.append(f"{path}.{key}: unexpected section")
+    for section in ("counters", "gauges"):
+        entries = m.get(section)
+        if not isinstance(entries, dict):
+            errors.append(f"{path}.{section}: missing or not an object")
+            continue
+        for name, v in sorted(entries.items()):
+            if not is_number(v):
+                errors.append(f"{path}.{section}.{name}: expected number, "
+                              f"got {type_name(v)}")
+    hists = m.get("histograms")
+    if not isinstance(hists, dict):
+        errors.append(f"{path}.histograms: missing or not an object")
+        return
+    for name, h in sorted(hists.items()):
+        sub = f"{path}.histograms.{name}"
+        if not isinstance(h, dict):
+            errors.append(f"{sub}: expected object, got {type_name(h)}")
+            continue
+        required = {"count", "sum", "p50", "p90", "p99", "buckets"}
+        for key in sorted(required - set(h)):
+            errors.append(f"{sub}.{key}: missing")
+        for key in sorted(set(h) - required):
+            errors.append(f"{sub}.{key}: unexpected")
+        for key in ("count", "sum", "p50", "p90", "p99"):
+            if key in h and not is_number(h[key]):
+                errors.append(f"{sub}.{key}: expected number, got "
+                              f"{type_name(h[key])}")
+        buckets = h.get("buckets")
+        if buckets is None:
+            continue
+        if not isinstance(buckets, list):
+            errors.append(f"{sub}.buckets: expected list, got "
+                          f"{type_name(buckets)}")
+            continue
+        for i, b in enumerate(buckets):
+            bsub = f"{sub}.buckets[{i}]"
+            if not isinstance(b, dict) or set(b) != {"le", "count"}:
+                errors.append(f"{bsub}: expected {{le, count}} object")
+                continue
+            for key in ("le", "count"):
+                # "le" is -1 for the overflow ("+Inf") bucket.
+                if not is_number(b[key]):
+                    errors.append(f"{bsub}.{key}: expected number, got "
+                                  f"{b[key]!r}")
+
+
 def main(argv):
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
@@ -74,6 +139,13 @@ def main(argv):
     if cur.get("bench") != base.get("bench"):
         errors.append(f'bench: "{cur.get("bench")}" != baseline '
                       f'"{base.get("bench")}"')
+    # The metrics snapshot is shape-checked, not diffed (see module doc).
+    if ("metrics" in cur) != ("metrics" in base):
+        errors.append('metrics: present in only one of current/baseline')
+    if "metrics" in cur:
+        check_metrics(cur["metrics"], "metrics", errors)
+    cur = {k: v for k, v in cur.items() if k != "metrics"}
+    base = {k: v for k, v in base.items() if k != "metrics"}
     compare(cur, base, "", errors)
     if errors:
         print(f"FAIL {paths[0]} vs {paths[1]}: schema drift", file=sys.stderr)

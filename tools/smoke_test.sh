@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Smoke tests for swst_cli. Usage: smoke_test.sh <path-to-swst_cli> <mode>
-# Modes: basic | persistence | verify
+# Modes: basic | persistence | verify | observability
 set -eu
 
 CLI="$1"
@@ -41,6 +41,36 @@ case "$MODE" in
       exit 1
     fi
     echo "corruption detected as expected"
+    ;;
+  observability)
+    db=$(mktemp -u /tmp/swst_cli_XXXXXX.db)
+    trap 'rm -f "$db"' EXIT
+    # explain + metrics in the interactive shell.
+    out=$(printf 'report 1 10 20 100\nreport 2 400 400 120\nexplain 0 0 1000 1000 100 150\nmetrics\nsave\nquit\n' \
+          | "$CLI" --db "$db" $FLAGS)
+    echo "$out"
+    echo "$out" | grep -q 'explain results=2'
+    echo "$out" | grep -q '^query '            # trace root span
+    echo "$out" | grep -q 'cell '              # per-cell span
+    echo "$out" | grep -q 'bfs slot'           # per-slot BFS span
+    echo "$out" | grep -q 'refine'             # refinement span
+    echo "$out" | grep -q 'swst_index_queries_total 1'
+    # verify defaults to Prometheus exposition; --legacy-stats keeps the
+    # old one-line io summary.
+    out=$("$CLI" verify --db "$db" $FLAGS)
+    echo "$out" | grep -q 'verify: ok'
+    echo "$out" | grep -q '# TYPE swst_pool_logical_reads gauge'
+    out=$("$CLI" verify --db "$db" $FLAGS --legacy-stats)
+    echo "$out" | grep -q 'verify: io logical_reads='
+    if echo "$out" | grep -q '# TYPE'; then
+      echo "--legacy-stats should suppress Prometheus output" >&2
+      exit 1
+    fi
+    # stats mode emits the registry as JSON.
+    out=$("$CLI" stats --db "$db" $FLAGS)
+    echo "$out" | grep -q '"counters"'
+    echo "$out" | grep -q '"swst_index_clock"'
+    echo "observability smoke ok"
     ;;
   *)
     echo "unknown mode: $MODE" >&2

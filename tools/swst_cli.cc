@@ -2,12 +2,20 @@
 //
 // Usage:
 //   swst_cli [--db FILE] [--window W] [--slide L] [--dmax D] [--delta d]
-//            [--grid N] [--space MAX] [--pool PAGES]
-//   swst_cli verify --db FILE [index options as above]
+//            [--grid N] [--space MAX] [--pool PAGES] [--stats-dump-ms N]
+//   swst_cli verify --db FILE [--legacy-stats] [index options as above]
+//   swst_cli stats --db FILE [index options as above]
 //
 // `verify` opens FILE read-only, reads every page (which checks the
 // per-page checksums), then opens the index and runs CountEntries +
 // ValidateTrees. Exit status is non-zero if any page or tree is corrupt.
+// After "verify: ok" it prints the run's metrics in Prometheus text
+// exposition format; `--legacy-stats` restores the old hand-formatted
+// `verify: io ...` line for scripts that still scrape it.
+//
+// `stats` opens FILE read-only, walks the index once (GetDebugStats) and
+// prints the metrics registry as JSON — a machine-readable snapshot of
+// the pool, pager, and index counters (see docs/observability.md).
 //
 // With --db the index is opened from (or created at) FILE and persisted on
 // `save` / `quit`; without it an in-memory index is used. Commands are read
@@ -20,12 +28,17 @@
 //   delete <oid> <x> <y> <s> <d>      delete a specific entry
 //   query <xlo> <ylo> <xhi> <yhi> <tlo> <thi> [W']   interval query
 //   slice <xlo> <ylo> <xhi> <yhi> <t> [W']           timeslice query
+//   explain <xlo> <ylo> <xhi> <yhi> <tlo> <thi> [W'] traced query plan
 //   knn <x> <y> <k> <tlo> <thi>       k nearest entries
 //   advance <t>                       move the clock / expire windows
 //   window                            print the queriable period
 //   stats                             index statistics
+//   metrics                           Prometheus rendering of the registry
 //   save                              persist (needs --db)
 //   help | quit
+//
+// `--stats-dump-ms N` starts a background thread that writes the metrics
+// JSON to stderr every N milliseconds (plus one final dump on exit).
 //
 // Example:
 //   printf 'report 1 10 20 100\nslice 0 0 50 50 100\nquit\n' | swst_cli
@@ -34,11 +47,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/stats_dumper.h"
+#include "obs/trace.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
 #include "swst/swst_index.h"
@@ -51,6 +68,8 @@ struct CliConfig {
   std::string db_path;
   SwstOptions options;
   size_t pool_pages = 4096;
+  bool legacy_stats = false;     ///< verify: old `verify: io ...` line.
+  uint64_t stats_dump_ms = 0;    ///< Periodic JSON dump to stderr (0 = off).
 };
 
 void PrintEntry(const Entry& e) {
@@ -80,8 +99,9 @@ void PrintHelp() {
       "  delete <oid> <x> <y> <start> <duration>\n"
       "  query <xlo> <ylo> <xhi> <yhi> <tlo> <thi> [logical_window]\n"
       "  slice <xlo> <ylo> <xhi> <yhi> <t> [logical_window]\n"
+      "  explain <xlo> <ylo> <xhi> <yhi> <tlo> <thi> [logical_window]\n"
       "  knn <x> <y> <k> <tlo> <thi>\n"
-      "  advance <t> | window | stats | save | help | quit\n");
+      "  advance <t> | window | stats | metrics | save | help | quit\n");
 }
 
 /// `swst_cli verify --db FILE`: offline integrity check. Every page read
@@ -126,9 +146,13 @@ int RunVerify(const CliConfig& cfg) {
   if (bad_pages > 0) return 1;
 
   // Pass 2: logical integrity of the index rooted at the conventional
-  // metadata head (page 1, see below).
-  BufferPool pool(pager.get(), cfg.pool_pages);
-  auto idx = SwstIndex::Open(&pool, cfg.options, /*meta_page=*/1);
+  // metadata head (page 1, see below). The registry outlives the pool and
+  // the index (both unregister their metrics on destruction).
+  obs::MetricsRegistry registry;
+  BufferPool pool(pager.get(), cfg.pool_pages, /*partitions=*/0, &registry);
+  SwstOptions opts = cfg.options;
+  opts.metrics = &registry;
+  auto idx = SwstIndex::Open(&pool, opts, /*meta_page=*/1);
   if (!idx.ok()) {
     std::fprintf(stderr, "verify: open index: %s\n",
                  idx.status().ToString().c_str());
@@ -149,19 +173,67 @@ int RunVerify(const CliConfig& cfg) {
   std::printf("verify: ok (%llu entries, now=%llu)\n",
               static_cast<unsigned long long>(*count),
               static_cast<unsigned long long>((*idx)->now()));
-  // I/O profile of the verification itself — surfaces whether the batched
-  // write path's readahead and coalescing are active on this build.
-  const IoStats io = pool.stats();
-  std::printf(
-      "verify: io logical_reads=%llu physical_reads=%llu "
-      "physical_writes=%llu coalesced_writes=%llu readahead_pages=%llu "
-      "readahead_hits=%llu\n",
-      static_cast<unsigned long long>(io.logical_reads.load()),
-      static_cast<unsigned long long>(io.physical_reads.load()),
-      static_cast<unsigned long long>(io.physical_writes.load()),
-      static_cast<unsigned long long>(io.coalesced_writes.load()),
-      static_cast<unsigned long long>(io.readahead_pages.load()),
-      static_cast<unsigned long long>(io.readahead_hits.load()));
+  if (cfg.legacy_stats) {
+    // I/O profile of the verification itself in the pre-registry format,
+    // for smoke scripts that scrape the `verify: io` line.
+    const IoStats io = pool.stats();
+    std::printf(
+        "verify: io logical_reads=%llu physical_reads=%llu "
+        "physical_writes=%llu coalesced_writes=%llu readahead_pages=%llu "
+        "readahead_hits=%llu\n",
+        static_cast<unsigned long long>(io.logical_reads.load()),
+        static_cast<unsigned long long>(io.physical_reads.load()),
+        static_cast<unsigned long long>(io.physical_writes.load()),
+        static_cast<unsigned long long>(io.coalesced_writes.load()),
+        static_cast<unsigned long long>(io.readahead_pages.load()),
+        static_cast<unsigned long long>(io.readahead_hits.load()));
+  } else {
+    // Everything the verification touched — pool, pager, and index — in
+    // Prometheus text exposition format.
+    std::fputs(registry.RenderPrometheus().c_str(), stdout);
+  }
+  return 0;
+}
+
+/// `swst_cli stats --db FILE`: opens the index read-only, walks it once,
+/// and prints the metrics registry as JSON.
+int RunStats(const CliConfig& cfg) {
+  if (cfg.db_path.empty()) {
+    std::fprintf(stderr, "stats: --db FILE is required\n");
+    return 2;
+  }
+  FILE* probe = std::fopen(cfg.db_path.c_str(), "rb");
+  if (probe == nullptr) {
+    std::fprintf(stderr, "stats: %s: no such file\n", cfg.db_path.c_str());
+    return 1;
+  }
+  std::fclose(probe);
+  auto p = Pager::OpenFile(cfg.db_path, /*truncate=*/false);
+  if (!p.ok()) {
+    std::fprintf(stderr, "stats: open %s: %s\n", cfg.db_path.c_str(),
+                 p.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Pager> pager = std::move(*p);
+  obs::MetricsRegistry registry;
+  BufferPool pool(pager.get(), cfg.pool_pages, /*partitions=*/0, &registry);
+  SwstOptions opts = cfg.options;
+  opts.metrics = &registry;
+  auto idx = SwstIndex::Open(&pool, opts, /*meta_page=*/1);
+  if (!idx.ok()) {
+    std::fprintf(stderr, "stats: open index: %s\n",
+                 idx.status().ToString().c_str());
+    return 1;
+  }
+  // One structural walk so entry/tree counts are reflected in the pool's
+  // logical-read counters even on a cold open.
+  auto dbg = (*idx)->GetDebugStats();
+  if (!dbg.ok()) {
+    std::fprintf(stderr, "stats: GetDebugStats: %s\n",
+                 dbg.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", registry.RenderJson().c_str());
   return 0;
 }
 
@@ -170,9 +242,13 @@ int RunVerify(const CliConfig& cfg) {
 int main(int argc, char** argv) {
   CliConfig cfg;
   bool verify_mode = false;
+  bool stats_mode = false;
   int first_flag = 1;
   if (argc > 1 && std::strcmp(argv[1], "verify") == 0) {
     verify_mode = true;
+    first_flag = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
+    stats_mode = true;
     first_flag = 2;
   }
   for (int i = first_flag; i < argc; ++i) {
@@ -204,12 +280,17 @@ int main(int argc, char** argv) {
       cfg.options.space = Rect{{0, 0}, {m, m}};
     } else if (std::strcmp(argv[i], "--pool") == 0) {
       cfg.pool_pages = std::strtoull(next("--pool"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--legacy-stats") == 0) {
+      cfg.legacy_stats = true;
+    } else if (std::strcmp(argv[i], "--stats-dump-ms") == 0) {
+      cfg.stats_dump_ms = std::strtoull(next("--stats-dump-ms"), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
     }
   }
   if (verify_mode) return RunVerify(cfg);
+  if (stats_mode) return RunStats(cfg);
 
   // Storage: file-backed (persistent) or in-memory.
   std::unique_ptr<Pager> pager;
@@ -229,7 +310,11 @@ int main(int argc, char** argv) {
   } else {
     pager = Pager::OpenMemory();
   }
-  BufferPool pool(pager.get(), cfg.pool_pages);
+  // The registry is declared before the pool and the index so it outlives
+  // both (their destructors unregister the callbacks that capture them).
+  obs::MetricsRegistry registry;
+  BufferPool pool(pager.get(), cfg.pool_pages, /*partitions=*/0, &registry);
+  cfg.options.metrics = &registry;
 
   // The metadata page chain head lives at a known page right after the
   // superblock; we stash its id in a tiny sidecar convention: page 1.
@@ -261,6 +346,17 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+  }
+
+  // Declared after `index` so it is destroyed first: the final dump on
+  // exit still sees the index's registered metrics.
+  std::unique_ptr<obs::StatsDumper> dumper;
+  if (cfg.stats_dump_ms > 0) {
+    dumper = std::make_unique<obs::StatsDumper>(
+        &registry, std::chrono::milliseconds(cfg.stats_dump_ms),
+        [](const std::string& json) {
+          std::fprintf(stderr, "%s\n", json.c_str());
+        });
   }
 
   std::unordered_map<ObjectId, Entry> open_entries;
@@ -382,6 +478,35 @@ int main(int argc, char** argv) {
       std::printf("results %zu (node_accesses=%llu)\n", r->size(),
                   static_cast<unsigned long long>(stats.node_accesses));
       for (const Entry& e : *r) PrintEntry(e);
+    } else if (cmd == "explain") {
+      double xlo, ylo, xhi, yhi;
+      Timestamp tlo, thi;
+      if (!(in >> xlo >> ylo >> xhi >> yhi >> tlo >> thi)) {
+        std::printf(
+            "usage: explain <xlo> <ylo> <xhi> <yhi> <tlo> <thi> "
+            "[logical_window]\n");
+        continue;
+      }
+      QueryOptions qo;
+      Timestamp lw;
+      if (in >> lw) qo.logical_window = lw;
+      auto r = index->Explain(Rect{{xlo, ylo}, {xhi, yhi}}, {tlo, thi}, qo);
+      if (!r.ok()) {
+        Fail(r.status());
+        continue;
+      }
+      std::printf("explain results=%zu node_accesses=%llu "
+                  "cells_visited=%llu cells_pruned=%llu "
+                  "memo_pruned_columns=%llu\n",
+                  r->results.size(),
+                  static_cast<unsigned long long>(r->stats.node_accesses),
+                  static_cast<unsigned long long>(r->stats.cells_visited),
+                  static_cast<unsigned long long>(r->stats.cells_pruned),
+                  static_cast<unsigned long long>(
+                      r->stats.memo_pruned_columns));
+      std::fputs(r->text.c_str(), stdout);
+    } else if (cmd == "metrics") {
+      std::fputs(registry.RenderPrometheus().c_str(), stdout);
     } else if (cmd == "knn") {
       double x, y;
       size_t k;
