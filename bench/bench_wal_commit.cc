@@ -1,0 +1,180 @@
+// WAL group-commit throughput: ingest the same number of entries at
+// increasing commit batch sizes and report records/sec plus the real
+// fsync cost per record. Batch size 1 is the per-insert-sync baseline
+// (every Insert forces its own log sync); larger batches go through
+// InsertBatch, whose group commit stamps every record and pays for one
+// sync per batch.
+//
+// The point of the experiment: group commit amortizes the dominant
+// durability cost — fsyncs/record must fall roughly linearly with the
+// batch size (the bench aborts unless batch 1024 shows at least a 4x
+// reduction vs. per-insert sync).
+//
+// Syncs are counted at the WalStore boundary through the
+// FaultInjectionWalStore decorator (no faults installed) — the same
+// counter the crash-matrix tests use — so "fsyncs" means actual store
+// sync calls, not requests that Wal::Sync short-circuited.
+//
+// Usage: bench_wal_commit [--smoke] [--json]
+//   --smoke    fewer records per point (CI smoke test).
+//   --json     accepted for symmetry with the other benches; output is
+//              always the machine-readable BENCH_*.json schema.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench/workload.h"
+#include "common/random.h"
+#include "obs/metrics.h"
+#include "storage/fault_injection_wal.h"
+#include "storage/wal.h"
+
+namespace {
+
+using namespace swst;
+using namespace swst::bench;
+
+struct CommitPoint {
+  uint64_t batch = 0;
+  uint64_t records = 0;
+  double records_per_sec = 0;
+  uint64_t wal_appends = 0;
+  uint64_t wal_syncs = 0;
+  double fsyncs_per_record = 0;
+};
+
+// Fixed arrival clock inside the first window: the bench measures commit
+// cost, so nothing should expire or slide mid-run.
+Entry MakeBenchEntry(Random* rng, ObjectId oid, const SwstOptions& options) {
+  Entry e;
+  e.oid = oid;
+  e.pos = {rng->UniformDouble(options.space.lo.x, options.space.hi.x),
+           rng->UniformDouble(options.space.lo.y, options.space.hi.y)};
+  e.start = 100;
+  e.duration = 1 + static_cast<Duration>(rng->Uniform(options.max_duration - 1));
+  return e;
+}
+
+CommitPoint RunPoint(uint64_t batch, uint64_t records,
+                     obs::MetricsRegistry* registry) {
+  auto pager = Pager::OpenMemory();
+  auto base_wal = WalStore::OpenMemory();
+  FaultInjectionWalStore store(base_wal.get());  // Sync counter; no faults.
+
+  WalOptions wopts;
+  wopts.metrics = registry;
+  auto wal = Wal::Open(&store, wopts);
+  if (!wal.ok()) {
+    std::fprintf(stderr, "Wal::Open: %s\n", wal.status().ToString().c_str());
+    std::abort();
+  }
+  BufferPool pool(pager.get(), 1 << 14);
+  pool.AttachWal(wal->get());
+
+  SwstOptions options = PaperSwstOptions();
+  options.wal = wal->get();
+  auto idx_or = SwstIndex::Create(&pool, options);
+  if (!idx_or.ok()) {
+    std::fprintf(stderr, "Create: %s\n", idx_or.status().ToString().c_str());
+    std::abort();
+  }
+  auto idx = std::move(*idx_or);
+
+  Random rng(/*seed=*/batch * 7919 + 1);
+  const uint64_t syncs0 = store.syncs();
+  const uint64_t appends0 = store.appends();
+  ObjectId oid = 1;
+  uint64_t done = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (done < records) {
+    const uint64_t n = std::min(batch, records - done);
+    Status st;
+    if (n == 1) {
+      st = idx->Insert(MakeBenchEntry(&rng, oid, options));
+      ++oid;
+    } else {
+      std::vector<Entry> group;
+      group.reserve(n);
+      for (uint64_t j = 0; j < n; ++j) {
+        group.push_back(MakeBenchEntry(&rng, oid, options));
+        ++oid;
+      }
+      st = idx->InsertBatch(group);
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "insert: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+    done += n;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  CommitPoint p;
+  p.batch = batch;
+  p.records = records;
+  p.records_per_sec = (secs > 0) ? records / secs : 0;
+  p.wal_appends = store.appends() - appends0;
+  p.wal_syncs = store.syncs() - syncs0;
+  p.fsyncs_per_record =
+      (records > 0) ? static_cast<double>(p.wal_syncs) / records : 0;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0) {}  // JSON is the only format.
+  }
+
+  const double scale = smoke ? 0.02 : ScaleFromEnv();
+  const uint64_t records = ScaledObjects(100000, scale);
+  const std::vector<uint64_t> batches = {1, 16, 256, 1024, 8192};
+
+  obs::MetricsRegistry registry;
+  std::vector<CommitPoint> points;
+  for (uint64_t batch : batches) {
+    points.push_back(RunPoint(batch, records, &registry));
+  }
+
+  // Acceptance gate: group commit at batch 1024 must cut fsyncs/record
+  // by at least 4x vs. per-insert sync (in practice it is ~batch-size x).
+  double fpr1 = 0, fpr1024 = 0;
+  for (const CommitPoint& p : points) {
+    if (p.batch == 1) fpr1 = p.fsyncs_per_record;
+    if (p.batch == 1024) fpr1024 = p.fsyncs_per_record;
+  }
+  if (fpr1 <= 0 || fpr1024 * 4.0 > fpr1) {
+    std::fprintf(stderr,
+                 "group commit regression: fsyncs/record %.4f at batch 1 vs "
+                 "%.4f at batch 1024 (< 4x reduction)\n",
+                 fpr1, fpr1024);
+    std::abort();
+  }
+
+  std::printf("{\n  \"bench\": \"wal_commit\",\n");
+  std::printf("  \"records_per_point\": %llu,\n  \"results\": [\n",
+              static_cast<unsigned long long>(records));
+  for (size_t i = 0; i < points.size(); ++i) {
+    const CommitPoint& p = points[i];
+    std::printf(
+        "    {\"batch\": %llu, \"records\": %llu, \"records_per_sec\": %.1f, "
+        "\"wal_appends\": %llu, \"wal_syncs\": %llu, "
+        "\"fsyncs_per_record\": %.6f}%s\n",
+        static_cast<unsigned long long>(p.batch),
+        static_cast<unsigned long long>(p.records), p.records_per_sec,
+        static_cast<unsigned long long>(p.wal_appends),
+        static_cast<unsigned long long>(p.wal_syncs), p.fsyncs_per_record,
+        (i + 1 < points.size()) ? "," : "");
+  }
+  std::printf("  ],\n  \"metrics\": %s\n}\n", registry.RenderJson().c_str());
+  return 0;
+}

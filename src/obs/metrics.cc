@@ -88,12 +88,21 @@ std::shared_ptr<Histogram> MetricsRegistry::RegisterHistogram(
 
 bool MetricsRegistry::RegisterCallback(const std::string& name,
                                        const std::string& help,
-                                       std::function<int64_t()> fn) {
+                                       std::function<int64_t()> fn,
+                                       const void* owner) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (metrics_.count(name) != 0) return false;
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (!it->second.callback) return false;  // Taken by a non-callback kind.
+    it->second.help = help;
+    it->second.callback = std::move(fn);
+    it->second.owner = owner;
+    return true;
+  }
   Entry e;
   e.help = help;
   e.callback = std::move(fn);
+  e.owner = owner;
   metrics_.emplace(name, std::move(e));
   return true;
 }
@@ -108,6 +117,21 @@ size_t MetricsRegistry::UnregisterPrefix(std::string_view prefix) {
   size_t removed = 0;
   for (auto it = metrics_.begin(); it != metrics_.end();) {
     if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = metrics_.erase(it);
+      removed++;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+size_t MetricsRegistry::UnregisterCallbacksByOwner(const void* owner) {
+  if (owner == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t removed = 0;
+  for (auto it = metrics_.begin(); it != metrics_.end();) {
+    if (it->second.callback && it->second.owner == owner) {
       it = metrics_.erase(it);
       removed++;
     } else {

@@ -96,9 +96,17 @@ class Histogram {
 /// Registration is idempotent: registering a name that already exists with
 /// the same kind returns the existing metric (concurrent registrations of
 /// the same counter all observe one instance); a kind mismatch returns
-/// nullptr. Components that register *callbacks* (which capture `this`)
-/// must call `UnregisterPrefix` before they are destroyed — `BufferPool`
-/// and `SwstIndex` do this in their destructors. Metric names should be
+/// nullptr. Counters/gauges/histograms therefore *persist* across a
+/// close-then-reopen of the component that registered them — a successor
+/// component re-registering the same name continues the same series, which
+/// is what a recovery of the same index directory wants.
+///
+/// Callbacks are different: they capture `this` of one specific component
+/// instance, so re-registering the same name *replaces* the previous
+/// callback (latest instance wins), and each component passes itself as
+/// `owner` so its destructor can remove exactly the callbacks that still
+/// point at it (`UnregisterCallbacksByOwner`) without tearing down a
+/// successor's replacements or any shared counters. Metric names should be
 /// Prometheus-safe: `[a-z0-9_]`, conventionally prefixed `swst_<component>_`.
 class MetricsRegistry {
  public:
@@ -114,18 +122,30 @@ class MetricsRegistry {
                                                const std::string& help);
 
   /// Polled gauge: `fn` is invoked (under the registry lock) at render
-  /// time. Returns false if `name` is already taken. The callback must stay
-  /// valid until `Unregister`/`UnregisterPrefix` removes it.
+  /// time. If `name` already names a callback, the old one is *replaced*
+  /// (the newest registrant's `this` is the live one — see class comment);
+  /// returns false only if `name` is taken by a non-callback metric. The
+  /// callback must stay valid until `Unregister`/`UnregisterPrefix`/
+  /// `UnregisterCallbacksByOwner` removes or replaces it.
   bool RegisterCallback(const std::string& name, const std::string& help,
-                        std::function<int64_t()> fn);
+                        std::function<int64_t()> fn,
+                        const void* owner = nullptr);
 
   /// Removes one metric; returns true if it existed.
   bool Unregister(const std::string& name);
 
   /// Removes every metric whose name starts with `prefix`; returns the
-  /// number removed. Components use this in their destructors to drop the
-  /// callbacks that capture them.
+  /// number removed. Note this also removes counters/histograms under the
+  /// prefix, breaking series continuity across close-then-reopen — component
+  /// destructors should prefer `UnregisterCallbacksByOwner`.
   size_t UnregisterPrefix(std::string_view prefix);
+
+  /// Removes every *callback* registered with this `owner` that has not
+  /// since been replaced by another registrant; returns the number removed.
+  /// Counters, gauges, and histograms are never touched, so a successor
+  /// component reopening the same metrics keeps accumulating into the same
+  /// series. No-op when `owner` is null.
+  size_t UnregisterCallbacksByOwner(const void* owner);
 
   size_t size() const;
 
@@ -146,6 +166,7 @@ class MetricsRegistry {
     std::shared_ptr<Gauge> gauge;
     std::shared_ptr<Histogram> histogram;
     std::function<int64_t()> callback;
+    const void* owner = nullptr;  ///< Callback registrant (see class doc).
   };
 
   mutable std::mutex mu_;

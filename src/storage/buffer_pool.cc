@@ -106,58 +106,70 @@ BufferPool::BufferPool(Pager* pager, size_t capacity_pages, size_t partitions,
         "Pages per pager write call (runs > 1 are coalesced adjacent pages)");
     // The IoStats counters already exist as relaxed atomics; expose them as
     // callback gauges polled at render time instead of double-counting.
-    registry_->RegisterCallback(
+    // Registered with `this` as owner: a successor pool on the same
+    // registry replaces them, and ~BufferPool removes only its own.
+    auto cb = [this](const char* name, const char* help,
+                     std::function<int64_t()> fn) {
+      registry_->RegisterCallback(name, help, std::move(fn), this);
+    };
+    cb(
         "swst_pool_logical_reads",
         "Pool fetches (the paper's node-access metric)", [this] {
           return static_cast<int64_t>(
               stats().logical_reads.load(std::memory_order_relaxed));
         });
-    registry_->RegisterCallback(
+    cb(
         "swst_pool_physical_reads", "Pages read from the pager backend",
         [this] {
           return static_cast<int64_t>(
               stats().physical_reads.load(std::memory_order_relaxed));
         });
-    registry_->RegisterCallback(
+    cb(
         "swst_pool_physical_writes", "Pages written to the pager backend",
         [this] {
           return static_cast<int64_t>(
               stats().physical_writes.load(std::memory_order_relaxed));
         });
-    registry_->RegisterCallback(
+    cb(
         "swst_pool_pages_allocated", "Pages allocated via the pool", [this] {
           return static_cast<int64_t>(
               stats().pages_allocated.load(std::memory_order_relaxed));
         });
-    registry_->RegisterCallback(
+    cb(
         "swst_pool_pages_freed", "Pages freed via the pool", [this] {
           return static_cast<int64_t>(
               stats().pages_freed.load(std::memory_order_relaxed));
         });
-    registry_->RegisterCallback(
+    cb(
         "swst_pool_coalesced_writes",
         "Pages written as part of a multi-page vectored run", [this] {
           return static_cast<int64_t>(
               stats().coalesced_writes.load(std::memory_order_relaxed));
         });
-    registry_->RegisterCallback(
+    cb(
         "swst_pool_readahead_pages", "Pages loaded by readahead", [this] {
           return static_cast<int64_t>(
               stats().readahead_pages.load(std::memory_order_relaxed));
         });
-    registry_->RegisterCallback(
+    cb(
         "swst_pool_readahead_hits",
         "Fetches served by a readahead-filled frame", [this] {
           return static_cast<int64_t>(
               stats().readahead_hits.load(std::memory_order_relaxed));
         });
-    registry_->RegisterCallback(
+    cb(
+        "swst_pool_wal_forced_syncs",
+        "WAL syncs forced by the write-back path (WAL rule)", [this] {
+          return static_cast<int64_t>(
+              stats().wal_forced_syncs.load(std::memory_order_relaxed));
+        });
+    cb(
         "swst_pool_pinned_frames", "Currently pinned frames",
         [this] { return static_cast<int64_t>(pinned_count()); });
-    registry_->RegisterCallback(
+    cb(
         "swst_pool_capacity_pages", "Total frame budget across partitions",
         [this] { return static_cast<int64_t>(capacity_); });
-    registry_->RegisterCallback(
+    cb(
         "swst_pool_partitions", "Lock-stripe count",
         [this] { return static_cast<int64_t>(partitions_.size()); });
   }
@@ -167,9 +179,11 @@ BufferPool::~BufferPool() {
   // Best-effort write-back; errors here cannot be reported.
   (void)FlushAll();
   if (registry_ != nullptr) {
-    // The callbacks capture `this`; drop them before the pool dies.
-    registry_->UnregisterPrefix("swst_pool_");
-    registry_->UnregisterPrefix("swst_pager_");
+    // Drop only the callbacks that still capture `this`. Counters and
+    // histograms stay registered so a successor pool over the same
+    // registry (close-then-recover of one index directory) continues the
+    // same series instead of losing or re-zeroing them.
+    registry_->UnregisterCallbacksByOwner(this);
   }
 }
 
@@ -215,16 +229,16 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   f.dirty = false;
   f.in_lru = false;
   f.prefetched = false;
+  f.lsn = kInvalidLsn;
   part.page_to_frame[id] = *frame_idx;
   return PageHandle(this, *frame_idx, id, f.data.data());
 }
 
 Result<PageHandle> BufferPool::New() {
-  Result<PageId> id = Status::OK();
-  {
+  Result<PageId> id = [&]() -> Result<PageId> {
     std::lock_guard<std::mutex> pager_lock(pager_mu_);
-    id = pager_->AllocatePage();
-  }
+    return pager_->AllocatePage();
+  }();
   if (!id.ok()) return id.status();
 
   Partition& part = PartitionFor(*id);
@@ -246,6 +260,9 @@ Result<PageHandle> BufferPool::New() {
   f.dirty = true;
   f.in_lru = false;
   f.prefetched = false;
+  // A fresh page belongs to the mutation whose log record (if any) was
+  // appended before the tree touched the pool — stamp it like MarkDirty.
+  f.lsn = (wal_ != nullptr) ? wal_->last_lsn() : kInvalidLsn;
   part.page_to_frame[*id] = *frame_idx;
   return PageHandle(this, *frame_idx, *id, f.data.data());
 }
@@ -266,6 +283,7 @@ Status BufferPool::Free(PageId id) {
     f.page_id = kInvalidPageId;
     f.dirty = false;
     f.prefetched = false;
+    f.lsn = kInvalidLsn;
     part.unused_frames.push_back(it->second);
     part.page_to_frame.erase(it);
   }
@@ -307,6 +325,15 @@ Status BufferPool::FlushAll() {
   }
   std::sort(dirty.begin(), dirty.end(),
             [](const DirtyPage& a, const DirtyPage& b) { return a.id < b.id; });
+
+  // WAL rule: make the log durable up to the newest stamp in the dirty set
+  // before any of these page images can reach the pager. One sync covers
+  // the whole flush.
+  Lsn max_lsn = kInvalidLsn;
+  for (const DirtyPage& d : dirty) max_lsn = std::max(max_lsn, d.frame->lsn);
+  if (!dirty.empty()) {
+    SWST_RETURN_IF_ERROR(ForceWalFor(max_lsn, partitions_.front().get()));
+  }
 
   Status first_error;
   std::vector<char> scratch;
@@ -424,6 +451,7 @@ void BufferPool::Prefetch(const std::vector<PageId>& ids) {
           f.pin_count = 0;
           f.dirty = false;
           f.prefetched = true;
+          f.lsn = kInvalidLsn;
           part.lru.push_front(misses[k].second);
           f.lru_pos = part.lru.begin();
           f.in_lru = true;
@@ -516,7 +544,17 @@ Result<size_t> BufferPool::GrabFrame(Partition& part) {
       run.emplace_back(id, &nb);
     }
 
-    Status st;
+    // WAL rule: the evicted run's newest stamp must be durable in the log
+    // before its page images reach the pager.
+    Lsn max_lsn = kInvalidLsn;
+    for (const auto& entry : run) max_lsn = std::max(max_lsn, entry.second->lsn);
+    Status st = ForceWalFor(max_lsn, &part);
+    if (!st.ok()) {
+      part.lru.push_back(victim);
+      f.lru_pos = std::prev(part.lru.end());
+      f.in_lru = true;
+      return st;
+    }
     if (m_write_run_pages_ != nullptr) m_write_run_pages_->Record(run.size());
     if (run.size() > 1) {
       std::vector<char> scratch(run.size() * kPageSize);
@@ -551,6 +589,16 @@ Result<size_t> BufferPool::GrabFrame(Partition& part) {
   part.page_to_frame.erase(f.page_id);
   f.page_id = kInvalidPageId;
   return victim;
+}
+
+Status BufferPool::ForceWalFor(Lsn max_lsn, Partition* part) {
+  if (wal_ == nullptr || max_lsn == kInvalidLsn ||
+      max_lsn <= wal_->durable_lsn()) {
+    return Status::OK();
+  }
+  SWST_RETURN_IF_ERROR(wal_->Sync());
+  part->stats.wal_forced_syncs++;
+  return Status::OK();
 }
 
 }  // namespace swst

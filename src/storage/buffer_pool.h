@@ -13,6 +13,7 @@
 #include "storage/io_stats.h"
 #include "storage/page.h"
 #include "storage/pager.h"
+#include "storage/wal.h"
 
 namespace swst {
 
@@ -143,6 +144,21 @@ class BufferPool {
   /// access metrics are unaffected; see `readahead_pages`/`readahead_hits`.
   void Prefetch(const std::vector<PageId>& ids);
 
+  /// Attaches a write-ahead log and enables the WAL rule: from now on
+  /// every dirtied frame is stamped with the log's current `last_lsn()`,
+  /// and no page is written back to the pager while its stamp exceeds
+  /// `wal->durable_lsn()` — the pool forces a `Wal::Sync` first (counted
+  /// in `stats().wal_forced_syncs`). This is what makes "log record first,
+  /// page second" hold even under eviction: a page image whose changes are
+  /// not yet re-derivable from the durable log can never reach disk.
+  ///
+  /// `wal` is not owned and must outlive the pool (or be detached by
+  /// attaching nullptr). Attach before the first write-producing
+  /// operation; pages dirtied earlier carry stamp 0 and are written back
+  /// unconditionally.
+  void AttachWal(Wal* wal) { wal_ = wal; }
+  Wal* wal() const { return wal_; }
+
   /// Aggregated counters across all partitions (relaxed snapshot).
   IoStats stats() const;
 
@@ -161,6 +177,10 @@ class BufferPool {
     bool dirty = false;
     bool in_lru = false;
     bool prefetched = false;  ///< Filled by readahead, not yet fetched.
+    /// WAL LSN stamped when the frame was last dirtied: the log must be
+    /// durable at least up to here before this frame may be written back
+    /// (0 = no WAL attached, or dirtied before one was).
+    Lsn lsn = kInvalidLsn;
     std::list<size_t>::iterator lru_pos;
     std::vector<char> data;
   };
@@ -187,8 +207,16 @@ class BufferPool {
   void MarkDirty(PageId id, size_t frame_idx) {
     Partition& part = PartitionFor(id);
     std::lock_guard<std::mutex> lock(part.mu);
-    part.frames[frame_idx].dirty = true;
+    Frame& f = part.frames[frame_idx];
+    f.dirty = true;
+    if (wal_ != nullptr) f.lsn = wal_->last_lsn();
   }
+
+  /// WAL rule enforcement: syncs the log before a write-back of frames
+  /// whose highest stamp `max_lsn` exceeds the durable LSN. `part`'s stats
+  /// take the forced-sync count. Caller may hold partition mutexes (the
+  /// Wal has its own lock; lock order is partition -> wal, never back).
+  Status ForceWalFor(Lsn max_lsn, Partition* part);
 
   /// Finds a frame in `part` for a new page: a never-used frame or the LRU
   /// victim (written back if dirty). Fails if every frame of the partition
@@ -196,6 +224,7 @@ class BufferPool {
   Result<size_t> GrabFrame(Partition& part);
 
   Pager* pager_;
+  Wal* wal_ = nullptr;  ///< Not owned; see AttachWal.
   /// Serializes all calls into `pager_`; acquired after a partition mutex.
   std::mutex pager_mu_;
   size_t capacity_;

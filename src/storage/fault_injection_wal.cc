@@ -1,0 +1,94 @@
+#include "storage/fault_injection_wal.h"
+
+#include <algorithm>
+#include <string>
+
+namespace swst {
+
+Result<std::vector<uint64_t>> FaultInjectionWalStore::ListSegments() {
+  return base_->ListSegments();
+}
+
+Status FaultInjectionWalStore::CreateSegment(uint64_t seq) {
+  // Creation passes through (the file exists even if its content never
+  // becomes durable), matching FaultInjectionPager's AllocatePage.
+  return base_->CreateSegment(seq);
+}
+
+Status FaultInjectionWalStore::DeleteSegment(uint64_t seq) {
+  pending_.erase(seq);
+  return base_->DeleteSegment(seq);
+}
+
+Status FaultInjectionWalStore::Append(uint64_t seq, const void* data,
+                                      size_t n) {
+  appends_++;
+  if (policy_.fail_append_at != 0 && appends_ == policy_.fail_append_at) {
+    return Status::IOError("injected wal append failure (append " +
+                           std::to_string(appends_) + ")");
+  }
+  const char* p = static_cast<const char*>(data);
+  std::vector<char>& buf = pending_[seq];
+  buf.insert(buf.end(), p, p + n);
+  return Status::OK();
+}
+
+Status FaultInjectionWalStore::Sync(uint64_t seq) {
+  syncs_++;
+  if (policy_.fail_sync_at != 0 && syncs_ == policy_.fail_sync_at) {
+    return Status::IOError("injected wal sync failure (sync " +
+                           std::to_string(syncs_) + ")");
+  }
+  auto it = pending_.find(seq);
+  if (it != pending_.end()) {
+    if (!it->second.empty()) {
+      SWST_RETURN_IF_ERROR(
+          base_->Append(seq, it->second.data(), it->second.size()));
+    }
+    pending_.erase(it);
+  }
+  return base_->Sync(seq);
+}
+
+Result<std::vector<char>> FaultInjectionWalStore::ReadSegment(uint64_t seq) {
+  Result<std::vector<char>> base = base_->ReadSegment(seq);
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return base;
+  std::vector<char> bytes;
+  if (base.ok()) {
+    bytes = std::move(*base);
+  } else if (!base.status().IsNotFound()) {
+    return base.status();
+  }
+  bytes.insert(bytes.end(), it->second.begin(), it->second.end());
+  return bytes;
+}
+
+Status FaultInjectionWalStore::CorruptForTesting(uint64_t seq,
+                                                 uint64_t offset,
+                                                 uint32_t len) {
+  return base_->CorruptForTesting(seq, offset, len);
+}
+
+Status FaultInjectionWalStore::CrashAndRecover() {
+  for (auto& [seq, buf] : pending_) {
+    const uint64_t keep =
+        std::min<uint64_t>(policy_.torn_tail_bytes, buf.size());
+    if (keep != 0) {
+      // The page cache persisted a prefix of the tail: the last surviving
+      // frame is cut mid-way and must fail its CRC on replay.
+      SWST_RETURN_IF_ERROR(base_->Append(seq, buf.data(), keep));
+      SWST_RETURN_IF_ERROR(base_->Sync(seq));
+    }
+  }
+  pending_.clear();
+  return Status::OK();
+}
+
+uint64_t FaultInjectionWalStore::unsynced_bytes() const {
+  uint64_t n = 0;
+  for (const auto& [seq, buf] : pending_) n += buf.size();
+  return n;
+}
+
+}  // namespace swst

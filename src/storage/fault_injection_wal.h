@@ -1,0 +1,77 @@
+#ifndef SWST_STORAGE_FAULT_INJECTION_WAL_H_
+#define SWST_STORAGE_FAULT_INJECTION_WAL_H_
+
+#include <map>
+#include <vector>
+
+#include "storage/wal.h"
+
+namespace swst {
+
+/// \brief Fault-injecting, crash-simulating decorator over any `WalStore`,
+/// the log-side twin of `FaultInjectionPager`.
+///
+///  - **Append buffering / durability boundary.** Appended bytes are held
+///    in memory per segment and only reach the base store on a successful
+///    `Sync` of that segment (`CreateSegment`/`DeleteSegment` pass
+///    through, like file creation reaching the directory before the
+///    content is durable). `CrashAndRecover()` drops every un-synced
+///    byte — except an optional torn prefix (see below).
+///  - **Deterministic fault schedule.** Fail exactly the Nth `Append` or
+///    Nth `Sync` (1-based lifetime counters). A failed append buffers
+///    nothing; a failed sync flushes nothing.
+///  - **Torn tails.** With `torn_tail_bytes > 0`, a crash lets the first
+///    `torn_tail_bytes` of each segment's un-synced tail survive — the
+///    page-cache-persisted-a-prefix case — cutting a record frame mid-way
+///    so recovery must detect it via CRC.
+///
+/// `ReadSegment` sees buffered bytes (reading through the OS cache);
+/// only a crash reveals what was actually durable.
+class FaultInjectionWalStore final : public WalStore {
+ public:
+  struct FaultPolicy {
+    uint64_t fail_append_at = 0;  ///< Fail the Nth Append; 0 disables.
+    uint64_t fail_sync_at = 0;    ///< Fail the Nth Sync; 0 disables.
+    /// Bytes of each segment's un-synced tail that survive a crash.
+    uint64_t torn_tail_bytes = 0;
+  };
+
+  /// Decorates `base` (not owned; must outlive this store).
+  explicit FaultInjectionWalStore(WalStore* base) : base_(base) {}
+
+  Result<std::vector<uint64_t>> ListSegments() override;
+  Status CreateSegment(uint64_t seq) override;
+  Status DeleteSegment(uint64_t seq) override;
+  Status Append(uint64_t seq, const void* data, size_t n) override;
+  Status Sync(uint64_t seq) override;
+  Result<std::vector<char>> ReadSegment(uint64_t seq) override;
+  Status CorruptForTesting(uint64_t seq, uint64_t offset,
+                           uint32_t len) override;
+
+  /// Installs a fault schedule (lifetime counters are *not* reset).
+  void set_policy(const FaultPolicy& policy) { policy_ = policy; }
+  void ClearFaults() { policy_ = FaultPolicy{}; }
+
+  /// Simulates power loss + restart: flushes each segment's torn prefix
+  /// (if configured) to the base, then discards all buffered bytes.
+  Status CrashAndRecover();
+
+  /// Lifetime operation counters (including operations that failed).
+  uint64_t appends() const { return appends_; }
+  uint64_t syncs() const { return syncs_; }
+
+  /// Bytes buffered (not yet durable) across all segments.
+  uint64_t unsynced_bytes() const;
+
+ private:
+  WalStore* base_;
+  FaultPolicy policy_;
+  /// Bytes appended per segment since its last successful Sync.
+  std::map<uint64_t, std::vector<char>> pending_;
+  uint64_t appends_ = 0;
+  uint64_t syncs_ = 0;
+};
+
+}  // namespace swst
+
+#endif  // SWST_STORAGE_FAULT_INJECTION_WAL_H_

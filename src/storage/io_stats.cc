@@ -14,6 +14,7 @@ IoStats IoStats::Since(const IoStats& snapshot) const {
   d.coalesced_writes = coalesced_writes - snapshot.coalesced_writes;
   d.readahead_pages = readahead_pages - snapshot.readahead_pages;
   d.readahead_hits = readahead_hits - snapshot.readahead_hits;
+  d.wal_forced_syncs = wal_forced_syncs - snapshot.wal_forced_syncs;
   return d;
 }
 
@@ -26,7 +27,8 @@ std::string IoStats::ToString() const {
      << ", pages_freed=" << pages_freed
      << ", coalesced_writes=" << coalesced_writes
      << ", readahead_pages=" << readahead_pages
-     << ", readahead_hits=" << readahead_hits << "}";
+     << ", readahead_hits=" << readahead_hits
+     << ", wal_forced_syncs=" << wal_forced_syncs << "}";
   return os.str();
 }
 

@@ -35,6 +35,10 @@ struct IoStats {
   std::atomic<uint64_t> readahead_pages{0};
   /// Fetches that were served by a frame filled by readahead.
   std::atomic<uint64_t> readahead_hits{0};
+  /// WAL syncs forced by the write-back path: a dirty page carried an LSN
+  /// beyond the log's durable LSN, so the WAL rule made the pool sync the
+  /// log before writing the page (see docs/durability.md).
+  std::atomic<uint64_t> wal_forced_syncs{0};
 
   IoStats() = default;
 
@@ -58,6 +62,8 @@ struct IoStats {
                           std::memory_order_relaxed);
     readahead_hits.store(o.readahead_hits.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
+    wal_forced_syncs.store(o.wal_forced_syncs.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
     return *this;
   }
 
@@ -78,6 +84,7 @@ struct IoStats {
     coalesced_writes.store(0, std::memory_order_relaxed);
     readahead_pages.store(0, std::memory_order_relaxed);
     readahead_hits.store(0, std::memory_order_relaxed);
+    wal_forced_syncs.store(0, std::memory_order_relaxed);
   }
 
   IoStats& operator+=(const IoStats& o) {
@@ -101,6 +108,9 @@ struct IoStats {
         std::memory_order_relaxed);
     readahead_hits.fetch_add(o.readahead_hits.load(std::memory_order_relaxed),
                              std::memory_order_relaxed);
+    wal_forced_syncs.fetch_add(
+        o.wal_forced_syncs.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
     return *this;
   }
 

@@ -12,6 +12,8 @@ namespace obs {
 class MetricsRegistry;
 }  // namespace obs
 
+class Wal;
+
 /// \brief Configuration of an SWST index (paper Table I / Table II).
 ///
 /// Defaults follow the paper's experimental settings: spatial space
@@ -73,6 +75,19 @@ struct SwstOptions {
   /// also passed to `BufferPool` so one `RenderPrometheus()`/`RenderJson()`
   /// exposes storage, pool, and index metrics together.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// --- Durability (see docs/durability.md) --------------------------------
+
+  /// When non-null, every mutation (`Insert`, `InsertBatch`, `Delete`,
+  /// `CloseCurrent`, `Advance`) appends a logical record to this
+  /// write-ahead log *before* touching any page, and syncs it before
+  /// returning (one sync per `InsertBatch` — group commit). `Save` stores
+  /// the log position the checkpoint covers, `SwstIndex::Recover` redoes
+  /// the suffix after a crash, and `Checkpoint` truncates the covered
+  /// prefix. Attach the same `Wal` to the `BufferPool` (`AttachWal`) so
+  /// the log-before-data rule also holds across evictions. Not owned; must
+  /// outlive the index; not part of the on-disk fingerprint.
+  Wal* wal = nullptr;
 
   /// --- Derived quantities -------------------------------------------------
 

@@ -14,19 +14,22 @@ QueryExecutor::QueryExecutor(size_t threads, obs::MetricsRegistry* registry)
         "swst_executor_tasks_total", "Fan-out tasks submitted to the pool");
     registry_->RegisterCallback(
         "swst_executor_threads", "Worker threads in the query executor",
-        [this] { return static_cast<int64_t>(workers_.size()); });
+        [this] { return static_cast<int64_t>(workers_.size()); }, this);
     registry_->RegisterCallback(
-        "swst_executor_queue_depth", "Tasks waiting for a worker", [this] {
+        "swst_executor_queue_depth", "Tasks waiting for a worker",
+        [this] {
           std::lock_guard<std::mutex> lock(mu_);
           return static_cast<int64_t>(queue_.size());
-        });
+        },
+        this);
   }
 }
 
 QueryExecutor::~QueryExecutor() {
   if (registry_ != nullptr) {
-    // Callbacks capture `this`; drop them before the pool shuts down.
-    registry_->UnregisterPrefix("swst_executor_");
+    // Callbacks capture `this`; drop the ones still owned by this executor
+    // (the shared swst_executor_tasks_total counter stays registered).
+    registry_->UnregisterCallbacksByOwner(this);
   }
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <mutex>
 #include <string>
 
@@ -25,6 +26,7 @@ uint64_t MicrosSince(std::chrono::steady_clock::time_point t0) {
 SwstIndex::SwstIndex(BufferPool* pool, const SwstOptions& options)
     : pool_(pool),
       options_(options),
+      wal_(options.wal),
       codec_(options),
       grid_(options),
       overlap_(options) {
@@ -47,9 +49,11 @@ SwstIndex::SwstIndex(BufferPool* pool, const SwstOptions& options)
 
 SwstIndex::~SwstIndex() {
   if (options_.metrics != nullptr) {
-    // The callback gauges capture `this`; drop them before the index dies.
-    // (The executor unregisters its own `swst_executor_` prefix.)
-    options_.metrics->UnregisterPrefix("swst_index_");
+    // The callback gauges capture `this`; drop the ones still owned by this
+    // instance. Counters/histograms stay registered so a recovered index
+    // over the same registry keeps accumulating into the same series.
+    // (The executor unregisters its own callbacks.)
+    options_.metrics->UnregisterCallbacksByOwner(this);
   }
 }
 
@@ -86,16 +90,16 @@ void SwstIndex::RegisterMetrics() {
       "swst_index_query_node_accesses", "Node accesses per query");
   m_batch_records_ = r->RegisterHistogram("swst_index_batch_records",
                                           "Entries per InsertBatch call");
-  r->RegisterCallback("swst_index_shards",
-                      "Shards the cell directory is split into", [this] {
-                        return static_cast<int64_t>(shards_.size());
-                      });
+  r->RegisterCallback(
+      "swst_index_shards", "Shards the cell directory is split into",
+      [this] { return static_cast<int64_t>(shards_.size()); }, this);
   r->RegisterCallback(
       "swst_index_memo_bytes",
       "Bytes of in-memory statistical state (memos + directory)",
-      [this] { return static_cast<int64_t>(StatisticsMemoryUsage()); });
-  r->RegisterCallback("swst_index_clock", "Current index clock (tau)",
-                      [this] { return static_cast<int64_t>(now()); });
+      [this] { return static_cast<int64_t>(StatisticsMemoryUsage()); }, this);
+  r->RegisterCallback(
+      "swst_index_clock", "Current index clock (tau)",
+      [this] { return static_cast<int64_t>(now()); }, this);
 }
 
 void SwstIndex::RecordQueryMetrics(const QueryStats& stats,
@@ -115,6 +119,42 @@ Result<std::unique_ptr<SwstIndex>> SwstIndex::Create(
     BufferPool* pool, const SwstOptions& options) {
   SWST_RETURN_IF_ERROR(options.Validate());
   return std::unique_ptr<SwstIndex>(new SwstIndex(pool, options));
+}
+
+Status SwstIndex::LogOp(WalRecordType type, const void* payload, size_t len) {
+  if (wal_ == nullptr || replaying_) return Status::OK();
+  auto lsn = wal_->Append(type, payload, static_cast<uint32_t>(len));
+  if (!lsn.ok()) return lsn.status();
+  // CAS max: concurrent shards log in LSN order per shard, but their
+  // watermark updates may interleave.
+  Lsn cur = applied_lsn_.load(std::memory_order_relaxed);
+  while (cur < *lsn &&
+         !applied_lsn_.compare_exchange_weak(cur, *lsn,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+Status SwstIndex::SyncWal() {
+  if (wal_ == nullptr || replaying_) return Status::OK();
+  return wal_->Sync();
+}
+
+Status SwstIndex::ValidateInsert(const Entry& entry) const {
+  if (!entry.is_current() &&
+      (entry.duration == 0 || entry.duration > options_.max_duration)) {
+    return Status::InvalidArgument("Insert: duration outside [1, Dmax]");
+  }
+  // Project the clock bump InsertLocked will make and run its window check.
+  const Timestamp clock = std::max(now(), entry.start);
+  const Timestamp aligned = (clock / options_.slide) * options_.slide;
+  const Timestamp win_lo =
+      (aligned >= options_.window_size) ? aligned - options_.window_size : 0;
+  if (entry.start < win_lo) {
+    return Status::InvalidArgument("Insert: entry already expired");
+  }
+  return Status::OK();
 }
 
 void SwstIndex::BumpClock(Timestamp t) {
@@ -179,6 +219,16 @@ Status SwstIndex::DropExpired(Shard& shard, uint32_t cell,
 }
 
 Status SwstIndex::Advance(Timestamp t) {
+  std::shared_lock<std::shared_mutex> ckpt(checkpoint_mu_);
+  if (wal_ != nullptr && !replaying_) {
+    // Logged before the sweep so redo re-drops whatever the crash
+    // interrupted. Losing an un-synced kAdvance is benign: the expired
+    // trees just survive until the next Advance, and queries never see
+    // them (the window filter is clock-relative).
+    const WalAdvancePayload payload{t};
+    SWST_RETURN_IF_ERROR(
+        LogOp(WalRecordType::kAdvance, &payload, sizeof(payload)));
+  }
   BumpClock(t);
   const uint64_t k = now() / options_.epoch_length();
   const uint64_t min_live = (k == 0) ? 0 : k - 1;
@@ -192,7 +242,7 @@ Status SwstIndex::Advance(Timestamp t) {
       SWST_RETURN_IF_ERROR(DropExpired(*shard, cell, min_live));
     }
   }
-  return Status::OK();
+  return SyncWal();
 }
 
 Status SwstIndex::Insert(const Entry& entry) {
@@ -201,8 +251,20 @@ Status SwstIndex::Insert(const Entry& entry) {
   }
   const uint32_t cell = grid_.CellOf(entry.pos);
   Shard& shard = ShardFor(cell);
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
-  return InsertLocked(shard, cell, entry);
+  std::shared_lock<std::shared_mutex> ckpt(checkpoint_mu_);
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    if (wal_ != nullptr && !replaying_) {
+      // Log-before-data, but only for entries that will be accepted — a
+      // rejected insert must leave no record (the pre-validation mirrors
+      // InsertLocked's decision exactly).
+      SWST_RETURN_IF_ERROR(ValidateInsert(entry));
+      SWST_RETURN_IF_ERROR(
+          LogOp(WalRecordType::kInsert, &entry, sizeof(Entry)));
+    }
+    SWST_RETURN_IF_ERROR(InsertLocked(shard, cell, entry));
+  }
+  return SyncWal();
 }
 
 Status SwstIndex::InsertLocked(Shard& shard, uint32_t cell,
@@ -239,6 +301,7 @@ Status SwstIndex::InsertBatch(const std::vector<Entry>& entries) {
 
 Status SwstIndex::InsertBatch(const Entry* entries, size_t n) {
   if (n == 0) return Status::OK();
+  std::shared_lock<std::shared_mutex> ckpt(checkpoint_mu_);
 
   // Validation pass in arrival order against a running clock — exactly the
   // accept/reject decisions a serial Insert loop would make (each Insert
@@ -274,6 +337,19 @@ Status SwstIndex::InsertBatch(const Entry* entries, size_t n) {
                          static_cast<uint32_t>(i)});
   }
   BumpClock(clock);
+
+  if (wal_ != nullptr && !replaying_) {
+    // Group commit: every entry is logged up front (validation passed, so
+    // all will be accepted), then ONE sync covers the whole batch at the
+    // end. Records go in *arrival* order, not the sorted apply order below
+    // — redo replays them through serial `Insert`, whose running-clock
+    // window check only reproduces the batch's accept decisions when it
+    // sees the same order the batch validated in.
+    for (size_t j = 0; j < n; ++j) {
+      SWST_RETURN_IF_ERROR(
+          LogOp(WalRecordType::kInsert, &entries[j], sizeof(Entry)));
+    }
+  }
 
   // Group by (spatial cell, epoch) and sort each group's records by key.
   // Stable, so equal keys keep arrival order — the order serial Insert
@@ -339,7 +415,7 @@ Status SwstIndex::InsertBatch(const Entry* entries, size_t n) {
     m_inserts_->Increment(n);
     m_batch_records_->Record(n);
   }
-  return Status::OK();
+  return SyncWal();
 }
 
 Status SwstIndex::Delete(const Entry& entry) {
@@ -348,8 +424,17 @@ Status SwstIndex::Delete(const Entry& entry) {
   }
   const uint32_t cell = grid_.CellOf(entry.pos);
   Shard& shard = ShardFor(cell);
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
-  return DeleteLocked(shard, cell, entry);
+  std::shared_lock<std::shared_mutex> ckpt(checkpoint_mu_);
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    // Logged before the epoch-liveness check: a Delete that turns out to
+    // be NotFound leaves a record behind, and redo replays it to the same
+    // NotFound (a counted skip) — harmless, and it keeps the hot path to
+    // one tree descent.
+    SWST_RETURN_IF_ERROR(LogOp(WalRecordType::kDelete, &entry, sizeof(Entry)));
+    SWST_RETURN_IF_ERROR(DeleteLocked(shard, cell, entry));
+  }
+  return SyncWal();
 }
 
 Status SwstIndex::DeleteLocked(Shard& shard, uint32_t cell,
@@ -386,18 +471,28 @@ Status SwstIndex::CloseCurrent(const Entry& current, Duration actual) {
   const uint64_t epoch = codec_.Epoch(current.start);
   const int slot = static_cast<int>(epoch % 2);
   Shard& shard = ShardFor(cell);
-  // Delete + re-insert under one critical section: the close is atomic to
-  // concurrent queries of this shard.
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
-  CellTrees& ct = CellIn(shard, cell);
-  if (ct.root[slot] == kInvalidPageId || ct.epoch[slot] != epoch) {
-    // The entry expired with its window; nothing to close.
-    return Status::OK();
+  std::shared_lock<std::shared_mutex> ckpt(checkpoint_mu_);
+  {
+    // Delete + re-insert under one critical section: the close is atomic
+    // to concurrent queries of this shard.
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    CellTrees& ct = CellIn(shard, cell);
+    if (ct.root[slot] == kInvalidPageId || ct.epoch[slot] != epoch) {
+      // The entry expired with its window; nothing to close (and nothing
+      // to log — redo reconstructs the same no-op from index state).
+      return Status::OK();
+    }
+    if (wal_ != nullptr && !replaying_) {
+      const WalClosePayload payload{current, actual};
+      SWST_RETURN_IF_ERROR(
+          LogOp(WalRecordType::kClose, &payload, sizeof(payload)));
+    }
+    SWST_RETURN_IF_ERROR(DeleteLocked(shard, cell, current));
+    Entry closed = current;
+    closed.duration = actual;
+    SWST_RETURN_IF_ERROR(InsertLocked(shard, cell, closed));
   }
-  SWST_RETURN_IF_ERROR(DeleteLocked(shard, cell, current));
-  Entry closed = current;
-  closed.duration = actual;
-  return InsertLocked(shard, cell, closed);
+  return SyncWal();
 }
 
 Status SwstIndex::ReportPosition(ObjectId oid, const Point& pos, Timestamp t,
@@ -895,6 +990,10 @@ struct MetaHeader {
   uint64_t magic;
   uint64_t fingerprint;
   uint64_t now;
+  /// WAL redo watermark + 1: recovery replays log records with
+  /// lsn >= this value (first page only; 0 = no WAL at checkpoint time,
+  /// replay everything).
+  uint64_t wal_start_lsn;
   uint32_t cell_count;   // Total cells (first page only; 0 on others).
   uint32_t cells_here;   // CellRecords stored in this page.
   PageId next;           // Next page of the chain, or kInvalidPageId.
@@ -937,6 +1036,16 @@ uint64_t SwstIndex::OptionsFingerprint() const {
 }
 
 Status SwstIndex::Save(PageId* meta_page) {
+  // Sync the log up front (outside the exclusion, so writers keep going)
+  // — the WAL rule would force it during FlushAll anyway; doing it here
+  // keeps the forced-sync path cold.
+  if (wal_ != nullptr && !replaying_) {
+    SWST_RETURN_IF_ERROR(wal_->Sync());
+  }
+  // Checkpoint exclusion first: no mutation is mid-way between its log
+  // append and its apply, so `applied_lsn_` exactly describes the state
+  // being snapshotted.
+  std::unique_lock<std::shared_mutex> ckpt(checkpoint_mu_);
   // Global exclusion: take every shard lock (ascending shard order — the
   // one place multiple shard locks are held at once; see
   // docs/concurrency.md) so the directory snapshot, the buffer-pool flush,
@@ -946,6 +1055,7 @@ Status SwstIndex::Save(PageId* meta_page) {
   for (auto& shard : shards_) {
     locks.emplace_back(shard->mu);
   }
+  const Lsn captured = applied_lsn_.load(std::memory_order_acquire);
 
   const size_t total_cells = grid_.cell_count();
   // Ensure the chain is long enough for all cells.
@@ -966,6 +1076,7 @@ Status SwstIndex::Save(PageId* meta_page) {
     hdr->magic = kMetaMagic;
     hdr->fingerprint = OptionsFingerprint();
     hdr->now = now();
+    hdr->wal_start_lsn = (p == 0 && wal_ != nullptr) ? captured + 1 : 0;
     hdr->cell_count =
         (p == 0) ? static_cast<uint32_t>(total_cells) : 0;
     hdr->next =
@@ -986,7 +1097,20 @@ Status SwstIndex::Save(PageId* meta_page) {
   // crash-consistency invariant crash_recovery_test verifies).
   SWST_RETURN_IF_ERROR(pool_->FlushAll());
   SWST_RETURN_IF_ERROR(pool_->pager()->Sync());
+  // Only a *durable* checkpoint moves the truncation watermark.
+  last_checkpoint_lsn_.store(captured, std::memory_order_release);
   *meta_page = meta_page_;
+  return Status::OK();
+}
+
+Status SwstIndex::Checkpoint(PageId* meta_page) {
+  SWST_RETURN_IF_ERROR(Save(meta_page));
+  if (wal_ != nullptr) {
+    // Everything at or below the checkpoint's watermark is re-derivable
+    // from the snapshot just made durable; whole segments below it go.
+    return wal_->TruncateBefore(
+        last_checkpoint_lsn_.load(std::memory_order_acquire) + 1);
+  }
   return Status::OK();
 }
 
@@ -1027,6 +1151,12 @@ Result<std::unique_ptr<SwstIndex>> SwstIndex::Open(BufferPool* pool,
         return Status::Corruption("SwstIndex::Open: cell count mismatch");
       }
       idx->now_.store(hdr->now, std::memory_order_release);
+      // Redo watermark: the checkpoint covers LSNs up to
+      // wal_start_lsn - 1 (0 = checkpoint predates the WAL; replay all).
+      const Lsn applied =
+          (hdr->wal_start_lsn == 0) ? kInvalidLsn : hdr->wal_start_lsn - 1;
+      idx->applied_lsn_.store(applied, std::memory_order_release);
+      idx->last_checkpoint_lsn_.store(applied, std::memory_order_release);
       first = false;
     }
     const auto* recs = reinterpret_cast<const CellRecord*>(
@@ -1050,6 +1180,92 @@ Result<std::unique_ptr<SwstIndex>> SwstIndex::Open(BufferPool* pool,
   idx->meta_page_ = meta_page;
   SWST_RETURN_IF_ERROR(idx->RebuildMemo());
   return Result<std::unique_ptr<SwstIndex>>(std::move(idx));
+}
+
+Result<std::unique_ptr<SwstIndex>> SwstIndex::Recover(BufferPool* pool,
+                                                      const SwstOptions& options,
+                                                      PageId meta_page,
+                                                      RecoverStats* stats) {
+  // No checkpoint yet: the crash happened before the first Save, so the
+  // starting point is an empty index and the log carries everything.
+  auto idx_or = (meta_page == kInvalidPageId) ? Create(pool, options)
+                                              : Open(pool, options, meta_page);
+  if (!idx_or.ok()) return idx_or.status();
+  std::unique_ptr<SwstIndex> idx = std::move(*idx_or);
+  SWST_RETURN_IF_ERROR(idx->ReplayWal(stats));
+  return Result<std::unique_ptr<SwstIndex>>(std::move(idx));
+}
+
+Status SwstIndex::ReplayWal(RecoverStats* stats) {
+  if (stats != nullptr) *stats = RecoverStats{};
+  if (wal_ == nullptr) return Status::OK();
+  const auto t0 = std::chrono::steady_clock::now();
+  const Lsn from = applied_lsn_.load(std::memory_order_acquire) + 1;
+  uint64_t replayed = 0;
+  uint64_t skipped = 0;
+  replaying_ = true;
+  auto result = wal_->Replay(
+      from, [&](Lsn lsn, WalRecordType type, const char* payload,
+                uint32_t len) -> Status {
+        Status st = ApplyLogged(type, payload, len);
+        if (st.ok()) {
+          ++replayed;
+        } else if (st.IsInvalidArgument() || st.IsNotFound()) {
+          // The operation's own original outcome (e.g. a logged Delete
+          // that found nothing): a no-op then, a no-op now.
+          ++skipped;
+        } else {
+          return st;  // I/O or corruption: abort recovery.
+        }
+        applied_lsn_.store(lsn, std::memory_order_release);
+        return Status::OK();
+      });
+  replaying_ = false;
+  if (!result.ok()) return result.status();
+  if (stats != nullptr) {
+    stats->records_replayed = replayed;
+    stats->records_skipped = skipped;
+    stats->first_lsn = result->first_lsn;
+    stats->last_lsn = result->last_lsn;
+    stats->torn_tail = result->torn_tail;
+    stats->segments_scanned = result->segments_scanned;
+    stats->replay_us = MicrosSince(t0);
+  }
+  return Status::OK();
+}
+
+Status SwstIndex::ApplyLogged(WalRecordType type, const char* payload,
+                              uint32_t len) {
+  switch (type) {
+    case WalRecordType::kInsert:
+    case WalRecordType::kDelete: {
+      if (len != sizeof(Entry)) {
+        return Status::Corruption("WAL replay: bad entry payload size");
+      }
+      Entry e;
+      std::memcpy(&e, payload, sizeof(Entry));
+      return (type == WalRecordType::kInsert) ? Insert(e) : Delete(e);
+    }
+    case WalRecordType::kClose: {
+      if (len != sizeof(WalClosePayload)) {
+        return Status::Corruption("WAL replay: bad close payload size");
+      }
+      WalClosePayload p;
+      std::memcpy(&p, payload, sizeof(p));
+      return CloseCurrent(p.current, p.actual);
+    }
+    case WalRecordType::kAdvance: {
+      if (len != sizeof(WalAdvancePayload)) {
+        return Status::Corruption("WAL replay: bad advance payload size");
+      }
+      WalAdvancePayload p;
+      std::memcpy(&p, payload, sizeof(p));
+      return Advance(p.t);
+    }
+    case WalRecordType::kNote:
+      return Status::OK();  // Opaque marker; nothing to redo.
+  }
+  return Status::Corruption("WAL replay: unknown record type");
 }
 
 Status SwstIndex::RebuildMemo() {

@@ -14,6 +14,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/buffer_pool.h"
+#include "storage/wal.h"
 #include "swst/is_present_memo.h"
 #include "swst/options.h"
 #include "swst/overlap.h"
@@ -66,6 +67,22 @@ struct QueryStats {
     return *this;
   }
 };
+
+/// \name WAL payload layouts
+/// The logical records `SwstIndex` appends to its `Wal` (see
+/// `WalRecordType` in storage/wal.h). `kInsert` and `kDelete` carry a raw
+/// `Entry`; the composite operations use these packed PODs. All layouts
+/// are fixed-width little-endian memcpys — replay rejects any record whose
+/// payload length does not match its type exactly.
+/// @{
+struct WalClosePayload {
+  Entry current;    ///< The still-open entry being closed.
+  Duration actual;  ///< Its actual duration.
+};
+struct WalAdvancePayload {
+  Timestamp t;  ///< Clock value passed to `Advance`.
+};
+/// @}
 
 /// Per-query options.
 struct QueryOptions {
@@ -157,7 +174,47 @@ class SwstIndex {
   /// superblock. Flushes the buffer pool so tree pages are durable too.
   /// Acquires every shard lock, so the checkpoint is consistent even with
   /// concurrent readers and writers.
+  ///
+  /// With a `SwstOptions::wal` attached, Save is a *checkpoint*: it first
+  /// syncs the log, then (under a lock that excludes all in-flight logged
+  /// mutations, so every operation is entirely inside or entirely outside
+  /// the checkpoint) records the LSN watermark the snapshot covers in the
+  /// metadata. `Recover` replays only records past that watermark —
+  /// exactly-once redo without any presence checks.
   Status Save(PageId* meta_page);
+
+  /// `Save` plus log truncation: after the checkpoint is durable, deletes
+  /// every whole WAL segment the checkpoint made redundant
+  /// (`Wal::TruncateBefore`). Without a WAL this is identical to `Save`.
+  Status Checkpoint(PageId* meta_page);
+
+  /// Outcome of the redo pass of `Recover`.
+  struct RecoverStats {
+    uint64_t records_replayed = 0;  ///< Records redone into the index.
+    /// Records whose redo was a no-op (e.g. a logged Delete that had
+    /// found nothing, replayed to the same NotFound) — skipped, counted.
+    uint64_t records_skipped = 0;
+    Lsn first_lsn = kInvalidLsn;  ///< First LSN delivered (0 if none).
+    Lsn last_lsn = kInvalidLsn;   ///< Last valid LSN in the log (0 if none).
+    /// True when the log ended at a torn or corrupt frame (crash cut the
+    /// un-synced tail). Everything replayed is still a verified prefix.
+    bool torn_tail = false;
+    uint64_t segments_scanned = 0;
+    uint64_t replay_us = 0;  ///< Wall microseconds of the redo pass.
+  };
+
+  /// Crash recovery: opens the index from its last checkpoint (`Open`, or
+  /// `Create` when `meta_page` is `kInvalidPageId` — i.e. the crash
+  /// happened before the first checkpoint) and redoes the suffix of
+  /// `options.wal` past the checkpoint's watermark. Replay is idempotent:
+  /// recovering an already-recovered directory redoes nothing, and
+  /// crashing *during* recovery loses nothing — the watermark only
+  /// advances at the next checkpoint. Requires the data file to reflect
+  /// exactly the last checkpoint (see docs/durability.md on the crash
+  /// model). With a null `options.wal` this is just Open/Create.
+  static Result<std::unique_ptr<SwstIndex>> Recover(
+      BufferPool* pool, const SwstOptions& options, PageId meta_page,
+      RecoverStats* stats = nullptr);
 
   SwstIndex(const SwstIndex&) = delete;
   SwstIndex& operator=(const SwstIndex&) = delete;
@@ -295,6 +352,15 @@ class SwstIndex {
   const SwstOptions& options() const { return options_; }
   const SpatialGrid& grid() const { return grid_; }
 
+  /// Attached write-ahead log (null when none; see `SwstOptions::wal`).
+  Wal* wal() const { return wal_; }
+
+  /// Highest LSN whose operation has been applied to the in-memory state
+  /// (the redo watermark a checkpoint would store). Tests only.
+  Lsn applied_lsn() const {
+    return applied_lsn_.load(std::memory_order_acquire);
+  }
+
   /// Number of shards the cell directory is split into (runtime knob).
   uint32_t shard_count() const {
     return static_cast<uint32_t>(shards_.size());
@@ -355,6 +421,34 @@ class SwstIndex {
 
   /// Monotonically advances the clock (lock-free CAS max).
   void BumpClock(Timestamp t);
+
+  /// \name Write-ahead logging (all no-ops when `wal_` is null or during
+  /// replay).
+  /// @{
+
+  /// Appends one logical record and advances the applied-LSN watermark
+  /// (CAS max). Callers hold the lock(s) that make the append atomic with
+  /// the apply relative to `Save` — see `checkpoint_mu_`.
+  Status LogOp(WalRecordType type, const void* payload, size_t len);
+
+  /// Makes everything logged so far durable (the per-operation / per-batch
+  /// commit point). Called after the shard locks are released.
+  Status SyncWal();
+
+  /// The pre-apply validation `Insert` needs before it may log: the exact
+  /// accept/reject decision `InsertLocked` will make, computed without
+  /// mutating anything (the clock bump is projected).
+  Status ValidateInsert(const Entry& entry) const;
+
+  /// Redo pass of `Recover`: replays `wal_` from the watermark with
+  /// logging suppressed. Benign per-record failures (InvalidArgument /
+  /// NotFound — the operation's original outcome) count as skips; I/O
+  /// errors abort.
+  Status ReplayWal(RecoverStats* stats);
+
+  /// Dispatches one replayed record to the matching operation.
+  Status ApplyLogged(WalRecordType type, const char* payload, uint32_t len);
+  /// @}
 
   /// \name Shard-local operations; caller holds `shard.mu` exclusively.
   /// @{
@@ -435,6 +529,25 @@ class SwstIndex {
 
   BufferPool* pool_;
   SwstOptions options_;
+  /// Cached `options_.wal` (null disables all logging).
+  Wal* wal_ = nullptr;
+  /// Checkpoint exclusion: every logged mutation holds this shared for its
+  /// whole append+apply critical path; `Save` holds it exclusive while
+  /// capturing the watermark and snapshotting. An operation is therefore
+  /// entirely inside or entirely outside a checkpoint — never half-logged,
+  /// half-applied across one. Lock order: checkpoint_mu_ -> shard.mu ->
+  /// (wal / pool internals). Queries never touch it.
+  mutable std::shared_mutex checkpoint_mu_;
+  /// Highest LSN applied to the in-memory state (redo watermark). Advanced
+  /// under `checkpoint_mu_` (shared) as records are logged+applied; `Save`
+  /// reads it under the exclusive lock.
+  std::atomic<Lsn> applied_lsn_{kInvalidLsn};
+  /// Watermark captured by the last successful `Save` (what `Checkpoint`
+  /// may truncate up to).
+  std::atomic<Lsn> last_checkpoint_lsn_{kInvalidLsn};
+  /// True while `ReplayWal` drives the mutation paths: suppresses logging
+  /// and syncs so redo never re-logs.
+  bool replaying_ = false;
   KeyCodec codec_;
   SpatialGrid grid_;
   TemporalOverlapComputer overlap_;

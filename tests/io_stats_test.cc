@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
+#include <string>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "storage/wal.h"
 #include "swst/swst_index.h"
 #include "tests/test_util.h"
 
@@ -49,6 +53,7 @@ TEST(IoStatsTest, ResetZeroesEveryCounter) {
   a.coalesced_writes = 6;
   a.readahead_pages = 7;
   a.readahead_hits = 8;
+  a.wal_forced_syncs = 9;
   a.Reset();
   EXPECT_EQ(a.logical_reads, 0u);
   EXPECT_EQ(a.physical_reads, 0u);
@@ -58,6 +63,7 @@ TEST(IoStatsTest, ResetZeroesEveryCounter) {
   EXPECT_EQ(a.coalesced_writes, 0u);
   EXPECT_EQ(a.readahead_pages, 0u);
   EXPECT_EQ(a.readahead_hits, 0u);
+  EXPECT_EQ(a.wal_forced_syncs, 0u);
 }
 
 // Reset is per-counter stores, not a destructive reconstruction: an
@@ -91,6 +97,93 @@ TEST(IoStatsTest, ToStringMentionsAllCounters) {
   EXPECT_NE(s.find("logical_reads=11"), std::string::npos);
   EXPECT_NE(s.find("physical_reads=22"), std::string::npos);
   EXPECT_NE(s.find("physical_writes=33"), std::string::npos);
+  EXPECT_NE(s.find("wal_forced_syncs="), std::string::npos);
+}
+
+// Regression test (ISSUE 6 satellite): closing an index/pool and
+// recovering over the same stores with the SAME metrics registry used to
+// leave the registry pointing at the dead pool's callback closures —
+// rendering after the close dereferenced freed memory, and re-opening
+// either failed to register or double-registered the swst_pool_* series.
+// The contract now: callbacks are owner-tracked (a successor replaces
+// them, a destructor removes only its own), persistent counters like
+// swst_wal_records_total survive the close and keep counting after
+// recovery.
+TEST(IoStatsTest, MetricsSurviveCloseThenRecoverOnOneRegistry) {
+  obs::MetricsRegistry registry;
+  auto pager = Pager::OpenMemory();
+  auto wal_store = WalStore::OpenMemory();
+
+  SwstOptions o;
+  o.space = Rect{{0, 0}, {1000, 1000}};
+  o.x_partitions = 4;
+  o.y_partitions = 4;
+  o.window_size = 1000;
+  o.slide = 50;
+  o.max_duration = 200;
+  o.duration_interval = 50;
+  o.metrics = &registry;
+
+  WalOptions wopts;
+  wopts.metrics = &registry;
+
+  PageId meta = kInvalidPageId;
+  uint64_t records_before = 0;
+  {
+    auto wal = Wal::Open(wal_store.get(), wopts);
+    ASSERT_TRUE(wal.ok());
+    BufferPool pool(pager.get(), 64, 0, &registry);
+    pool.AttachWal(wal->get());
+    o.wal = wal->get();
+    auto idx = SwstIndex::Create(&pool, o);
+    ASSERT_TRUE(idx.ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_OK((*idx)->Insert(MakeEntry(i, 100 + i, 100, 10, 50)));
+    }
+    ASSERT_OK((*idx)->Checkpoint(&meta));
+    records_before = (*wal)->last_lsn();
+
+    const std::string live = registry.RenderPrometheus();
+    EXPECT_NE(live.find("swst_pool_logical_reads"), std::string::npos);
+    EXPECT_NE(live.find("swst_wal_records_total"), std::string::npos);
+  }  // "close": index, pool, and wal all destroyed.
+
+  // Rendering after the close must not touch freed closures: the dead
+  // pool/wal callback gauges are gone, persistent counters remain.
+  const std::string closed = registry.RenderPrometheus();
+  EXPECT_EQ(closed.find("swst_pool_logical_reads"), std::string::npos);
+  EXPECT_NE(closed.find("swst_wal_records_total " +
+                        std::to_string(records_before)),
+            std::string::npos);
+
+  {
+    // Recover over the same stores + registry. To exercise the overlap
+    // case, open the successor while a second short-lived pool is also
+    // registered: destroying the older registrant must not strip the
+    // successor's series.
+    auto wal = Wal::Open(wal_store.get(), wopts);
+    ASSERT_TRUE(wal.ok());
+    auto overlap_pool =
+        std::make_unique<BufferPool>(pager.get(), 16, 0, &registry);
+    BufferPool pool(pager.get(), 64, 0, &registry);
+    pool.AttachWal(wal->get());
+    o.wal = wal->get();
+    auto idx = SwstIndex::Recover(&pool, o, meta);
+    ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+    overlap_pool.reset();  // Older owner dies; successor series must stay.
+
+    auto count = (*idx)->CountEntries();
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, 10u);
+
+    ASSERT_OK((*idx)->Insert(MakeEntry(100, 500, 500, 10, 50)));
+    const std::string recovered = registry.RenderPrometheus();
+    EXPECT_NE(recovered.find("swst_pool_logical_reads"), std::string::npos);
+    // The persistent counter kept its pre-close value and keeps counting.
+    EXPECT_NE(recovered.find("swst_wal_records_total " +
+                             std::to_string(records_before + 1)),
+              std::string::npos);
+  }
 }
 
 class DebugStatsTest : public PoolTest {};

@@ -43,8 +43,10 @@ class Mv3rTest : public PoolTest {
 
   /// Runs the paper's streaming protocol: each arrival closes the previous
   /// current entry (an update) and inserts a new current one.
-  Workload RunStream(Mv3rTree* tree, int steps, int objects, uint64_t seed) {
+  Workload RunStream(Mv3rTree* tree, int steps, int objects, uint64_t seed,
+                     Timestamp start_now = 0) {
     Workload w;
+    w.now = start_now;
     Random rng(seed);
     std::map<ObjectId, size_t> open;
     for (int step = 0; step < steps; ++step) {
@@ -144,7 +146,8 @@ TEST_F(Mv3rTest, StorageGrowsWithoutReclamation) {
   ASSERT_TRUE(tree.ok());
   RunStream(tree->get(), 3000, 100, 96);
   const uint64_t after_first = (*tree)->mvr_pages_created();
-  RunStream(tree->get(), 1, 100, 97);  // No-op sized.
+  // Versions must keep increasing across streams on one tree.
+  RunStream(tree->get(), 1, 100, 97, /*start_now=*/3000);  // No-op sized.
   EXPECT_GE((*tree)->mvr_pages_created(), after_first);
   EXPECT_GT(after_first, 20u);
 }

@@ -1,10 +1,12 @@
 // swst_cli — interactive / scriptable shell over an SWST index.
 //
 // Usage:
-//   swst_cli [--db FILE] [--window W] [--slide L] [--dmax D] [--delta d]
-//            [--grid N] [--space MAX] [--pool PAGES] [--stats-dump-ms N]
+//   swst_cli [--db FILE] [--wal DIR] [--window W] [--slide L] [--dmax D]
+//            [--delta d] [--grid N] [--space MAX] [--pool PAGES]
+//            [--stats-dump-ms N]
 //   swst_cli verify --db FILE [--legacy-stats] [index options as above]
 //   swst_cli stats --db FILE [index options as above]
+//   swst_cli recover --db FILE --wal DIR [index options as above]
 //
 // `verify` opens FILE read-only, reads every page (which checks the
 // per-page checksums), then opens the index and runs CountEntries +
@@ -16,6 +18,15 @@
 // `stats` opens FILE read-only, walks the index once (GetDebugStats) and
 // prints the metrics registry as JSON — a machine-readable snapshot of
 // the pool, pager, and index counters (see docs/observability.md).
+//
+// `recover` replays the write-ahead log in DIR on top of the last
+// checkpoint in FILE (creating FILE when it does not exist yet), prints
+// the replay statistics, and checkpoints so the log can be truncated.
+// See docs/durability.md for the protocol.
+//
+// `--wal DIR` in shell mode attaches a write-ahead log: every mutation is
+// logged and synced before it is acknowledged, and `checkpoint` persists
+// the index and truncates the log's covered prefix.
 //
 // With --db the index is opened from (or created at) FILE and persisted on
 // `save` / `quit`; without it an in-memory index is used. Commands are read
@@ -66,6 +77,7 @@ using namespace swst;
 
 struct CliConfig {
   std::string db_path;
+  std::string wal_dir;
   SwstOptions options;
   size_t pool_pages = 4096;
   bool legacy_stats = false;     ///< verify: old `verify: io ...` line.
@@ -101,7 +113,8 @@ void PrintHelp() {
       "  slice <xlo> <ylo> <xhi> <yhi> <t> [logical_window]\n"
       "  explain <xlo> <ylo> <xhi> <yhi> <tlo> <thi> [logical_window]\n"
       "  knn <x> <y> <k> <tlo> <thi>\n"
-      "  advance <t> | window | stats | metrics | save | help | quit\n");
+      "  advance <t> | window | stats | metrics | save | checkpoint\n"
+      "  help | quit\n");
 }
 
 /// `swst_cli verify --db FILE`: offline integrity check. Every page read
@@ -237,18 +250,99 @@ int RunStats(const CliConfig& cfg) {
   return 0;
 }
 
+/// `swst_cli recover --db FILE --wal DIR`: redo-recovers the index from
+/// its last checkpoint plus the log suffix, prints what was replayed, and
+/// checkpoints so the covered log prefix can be truncated. Creates FILE
+/// when it does not exist (recovery of a database that crashed before its
+/// first checkpoint).
+int RunRecover(const CliConfig& cfg) {
+  if (cfg.db_path.empty() || cfg.wal_dir.empty()) {
+    std::fprintf(stderr, "recover: --db FILE and --wal DIR are required\n");
+    return 2;
+  }
+  FILE* probe = std::fopen(cfg.db_path.c_str(), "rb");
+  const bool fresh = (probe == nullptr);
+  if (probe != nullptr) std::fclose(probe);
+  auto p = Pager::OpenFile(cfg.db_path, /*truncate=*/fresh);
+  if (!p.ok()) {
+    std::fprintf(stderr, "recover: open %s: %s\n", cfg.db_path.c_str(),
+                 p.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Pager> pager = std::move(*p);
+  auto store = WalStore::OpenDir(cfg.wal_dir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "recover: open wal %s: %s\n", cfg.wal_dir.c_str(),
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  obs::MetricsRegistry registry;
+  WalOptions wopts;
+  wopts.metrics = &registry;
+  auto wal = Wal::Open(store->get(), wopts);
+  if (!wal.ok()) {
+    std::fprintf(stderr, "recover: wal: %s\n",
+                 wal.status().ToString().c_str());
+    return 1;
+  }
+  BufferPool pool(pager.get(), cfg.pool_pages, /*partitions=*/0, &registry);
+  pool.AttachWal(wal->get());
+  SwstOptions opts = cfg.options;
+  opts.metrics = &registry;
+  opts.wal = wal->get();
+
+  SwstIndex::RecoverStats rs;
+  auto idx = SwstIndex::Recover(&pool, opts,
+                                fresh ? kInvalidPageId : PageId{1}, &rs);
+  if (!idx.ok()) {
+    std::fprintf(stderr, "recover: %s\n", idx.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "recover: replayed=%llu skipped=%llu lsn=[%llu, %llu] torn_tail=%s "
+      "segments=%llu replay_us=%llu\n",
+      static_cast<unsigned long long>(rs.records_replayed),
+      static_cast<unsigned long long>(rs.records_skipped),
+      static_cast<unsigned long long>(rs.first_lsn),
+      static_cast<unsigned long long>(rs.last_lsn),
+      rs.torn_tail ? "yes" : "no",
+      static_cast<unsigned long long>(rs.segments_scanned),
+      static_cast<unsigned long long>(rs.replay_us));
+
+  PageId meta = kInvalidPageId;
+  Status st = (*idx)->Checkpoint(&meta);
+  if (!st.ok()) {
+    std::fprintf(stderr, "recover: checkpoint: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto count = (*idx)->CountEntries();
+  if (!count.ok()) {
+    std::fprintf(stderr, "recover: CountEntries: %s\n",
+                 count.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("recover: ok meta_page=%u entries=%llu now=%llu\n", meta,
+              static_cast<unsigned long long>(*count),
+              static_cast<unsigned long long>((*idx)->now()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliConfig cfg;
   bool verify_mode = false;
   bool stats_mode = false;
+  bool recover_mode = false;
   int first_flag = 1;
   if (argc > 1 && std::strcmp(argv[1], "verify") == 0) {
     verify_mode = true;
     first_flag = 2;
   } else if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
     stats_mode = true;
+    first_flag = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "recover") == 0) {
+    recover_mode = true;
     first_flag = 2;
   }
   for (int i = first_flag; i < argc; ++i) {
@@ -261,6 +355,8 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--db") == 0) {
       cfg.db_path = next("--db");
+    } else if (std::strcmp(argv[i], "--wal") == 0) {
+      cfg.wal_dir = next("--wal");
     } else if (std::strcmp(argv[i], "--window") == 0) {
       cfg.options.window_size = std::strtoull(next("--window"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--slide") == 0) {
@@ -291,6 +387,7 @@ int main(int argc, char** argv) {
   }
   if (verify_mode) return RunVerify(cfg);
   if (stats_mode) return RunStats(cfg);
+  if (recover_mode) return RunRecover(cfg);
 
   // Storage: file-backed (persistent) or in-memory.
   std::unique_ptr<Pager> pager;
@@ -312,9 +409,32 @@ int main(int argc, char** argv) {
   }
   // The registry is declared before the pool and the index so it outlives
   // both (their destructors unregister the callbacks that capture them).
+  // The Wal is declared before the pool for the same reason: the pool's
+  // destructor-time flush enforces the WAL rule against it.
   obs::MetricsRegistry registry;
+  std::unique_ptr<WalStore> wal_store;
+  std::unique_ptr<Wal> wal;
+  if (!cfg.wal_dir.empty()) {
+    auto ws = WalStore::OpenDir(cfg.wal_dir);
+    if (!ws.ok()) {
+      std::fprintf(stderr, "open wal %s: %s\n", cfg.wal_dir.c_str(),
+                   ws.status().ToString().c_str());
+      return 1;
+    }
+    wal_store = std::move(*ws);
+    WalOptions wopts;
+    wopts.metrics = &registry;
+    auto w = Wal::Open(wal_store.get(), wopts);
+    if (!w.ok()) {
+      std::fprintf(stderr, "wal: %s\n", w.status().ToString().c_str());
+      return 1;
+    }
+    wal = std::move(*w);
+  }
   BufferPool pool(pager.get(), cfg.pool_pages, /*partitions=*/0, &registry);
+  if (wal != nullptr) pool.AttachWal(wal.get());
   cfg.options.metrics = &registry;
+  cfg.options.wal = wal.get();
 
   // The metadata page chain head lives at a known page right after the
   // superblock; we stash its id in a tiny sidecar convention: page 1.
@@ -567,13 +687,30 @@ int main(int argc, char** argv) {
         continue;
       }
       std::printf("ok meta_page=%u\n", meta);
+    } else if (cmd == "checkpoint") {
+      if (cfg.db_path.empty()) {
+        std::printf("error: no --db file\n");
+        continue;
+      }
+      Status st = index->Checkpoint(&meta);
+      if (!st.ok()) {
+        Fail(st);
+        continue;
+      }
+      std::printf("ok meta_page=%u wal_segments=%llu\n", meta,
+                  wal != nullptr
+                      ? static_cast<unsigned long long>(wal->segment_count())
+                      : 0ull);
     } else {
       std::printf("unknown command: %s (try 'help')\n", cmd.c_str());
     }
   }
 
   if (!cfg.db_path.empty()) {
-    Status st = index->Save(&meta);
+    // With a WAL attached, the final persist is a checkpoint so the log's
+    // covered prefix is truncated too.
+    Status st = (wal != nullptr) ? index->Checkpoint(&meta)
+                                 : index->Save(&meta);
     if (!st.ok()) {
       std::fprintf(stderr, "final save: %s\n", st.ToString().c_str());
       return 1;
