@@ -4,9 +4,19 @@
 // Reports QPS and latency percentiles as JSON, one result object per
 // (mode, threads) point.
 //
-// The point of the experiment: per-shard reader/writer locks plus the
-// lock-striped buffer pool let read throughput scale with client threads
-// instead of serializing on a single index mutex.
+// The point of the experiment: the lock-free read path (epoch-pinned shard
+// snapshots + wait-free memo reads) lets read throughput scale with client
+// threads instead of serializing on shard mutexes. Each point also reports
+// `lock_waits` — the delta of the swst_index_shard_lock_wait_us histogram
+// count across the point — so the read-only rows double as a proof that
+// queries acquire zero shard locks (the checker gates lock_waits == 0 for
+// every read_only point). The top-level `hw_concurrency` field records the
+// machine's core count so the scaling gate in tools/check_bench_json.py can
+// scale its speedup expectation to the hardware the run executed on.
+//
+// Latency is collected in bounded per-thread reservoirs (no shared state on
+// the query path, no unbounded growth for long runs); reservoirs are merged
+// after the threads join and percentiles are computed over the union.
 //
 // Usage: bench_concurrent_scaling [--smoke] [--json]
 //   --smoke    one short iteration per point (CI smoke test).
@@ -40,12 +50,32 @@ double PercentileUs(std::vector<double>* lat, double p) {
   return (*lat)[i];
 }
 
+// Bounded per-thread latency sink: the first kCap samples fill the buffer,
+// later ones overwrite it round-robin, so a long run keeps a recent window
+// instead of growing without bound. `total` still counts every completed
+// query, so QPS is exact even when the reservoir wraps.
+struct LatencyReservoir {
+  static constexpr size_t kCap = 8192;
+  std::vector<double> samples;
+  uint64_t total = 0;
+
+  void Add(double us) {
+    if (samples.size() < kCap) {
+      samples.push_back(us);
+    } else {
+      samples[total % kCap] = us;
+    }
+    total++;
+  }
+};
+
 struct ScalingPoint {
   const char* mode;
   int threads;
   double qps;
   double p50_us;
   double p99_us;
+  uint64_t lock_waits = 0;     // Shard-lock acquisitions during this point.
   uint64_t pages_read = 0;     // Physical page reads during this point.
   uint64_t pages_written = 0;  // Physical page writes during this point.
 };
@@ -73,13 +103,12 @@ ScalingPoint RunPoint(SwstIndex* idx, const std::vector<WindowQuery>& queries,
     });
   }
 
-  std::vector<std::vector<double>> lat(threads);
+  std::vector<LatencyReservoir> lat(threads);
   std::atomic<uint64_t> errors{0};
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
   for (int t = 0; t < threads; ++t) {
     clients.emplace_back([&, t] {
-      lat[t].reserve(queries_per_thread);
       for (int i = 0; i < queries_per_thread; ++i) {
         const WindowQuery& q = queries[(t * queries_per_thread + i) %
                                        queries.size()];
@@ -90,7 +119,7 @@ ScalingPoint RunPoint(SwstIndex* idx, const std::vector<WindowQuery>& queries,
           errors++;
           return;
         }
-        lat[t].push_back(
+        lat[t].Add(
             std::chrono::duration<double, std::micro>(q1 - q0).count());
       }
     });
@@ -108,12 +137,16 @@ ScalingPoint RunPoint(SwstIndex* idx, const std::vector<WindowQuery>& queries,
   }
 
   std::vector<double> all;
-  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  uint64_t completed = 0;
+  for (auto& v : lat) {
+    all.insert(all.end(), v.samples.begin(), v.samples.end());
+    completed += v.total;
+  }
   const double secs = std::chrono::duration<double>(t1 - t0).count();
   ScalingPoint p;
   p.mode = mixed ? "mixed" : "read_only";
   p.threads = threads;
-  p.qps = (secs > 0) ? all.size() / secs : 0;
+  p.qps = (secs > 0) ? completed / secs : 0;
   p.p50_us = PercentileUs(&all, 0.50);
   p.p99_us = PercentileUs(&all, 0.99);
   return p;
@@ -165,15 +198,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Registration is idempotent, so this returns the very histogram the
+  // index records shard-lock waits into — its count() delta across a point
+  // is the number of shard mutex acquisitions that point performed.
+  auto lock_wait_hist = registry.RegisterHistogram(
+      "swst_index_shard_lock_wait_us",
+      "Time spent waiting to acquire a shard mutex on the write path");
+
   const GstdOptions mixer = PaperGstdOptions(objects, /*seed=*/77);
   std::vector<ScalingPoint> points;
-  const std::vector<int> thread_counts = smoke ? std::vector<int>{1, 4}
-                                               : std::vector<int>{1, 2, 4, 8};
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 4, 8} : std::vector<int>{1, 2, 4, 8, 16};
   for (bool mixed : {false, true}) {
     for (int threads : thread_counts) {
       const IoStats before = pool.stats();
+      const uint64_t locks_before = lock_wait_hist->count();
       ScalingPoint p = RunPoint(idx.get(), queries, threads,
                                 queries_per_thread, mixed, mixer);
+      p.lock_waits = lock_wait_hist->count() - locks_before;
       const IoStats io = pool.stats().Since(before);
       p.pages_read = io.physical_reads.load();
       p.pages_written = io.physical_writes.load();
@@ -184,14 +226,17 @@ int main(int argc, char** argv) {
   std::printf("{\n  \"bench\": \"concurrent_scaling\",\n");
   std::printf("  \"objects\": %llu,\n",
               static_cast<unsigned long long>(objects));
+  std::printf("  \"hw_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
   std::printf("  \"queries_per_thread\": %d,\n  \"results\": [\n",
               queries_per_thread);
   for (size_t i = 0; i < points.size(); ++i) {
     const ScalingPoint& p = points[i];
     std::printf("    {\"mode\": \"%s\", \"threads\": %d, \"qps\": %.1f, "
-                "\"p50_us\": %.1f, \"p99_us\": %.1f, \"pages_read\": %llu, "
-                "\"pages_written\": %llu}%s\n",
+                "\"p50_us\": %.1f, \"p99_us\": %.1f, \"lock_waits\": %llu, "
+                "\"pages_read\": %llu, \"pages_written\": %llu}%s\n",
                 p.mode, p.threads, p.qps, p.p50_us, p.p99_us,
+                static_cast<unsigned long long>(p.lock_waits),
                 static_cast<unsigned long long>(p.pages_read),
                 static_cast<unsigned long long>(p.pages_written),
                 (i + 1 < points.size()) ? "," : "");

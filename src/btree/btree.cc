@@ -42,6 +42,50 @@ BTree BTree::Attach(BufferPool* pool, PageId root) {
   return BTree(pool, root);
 }
 
+BTree BTree::AttachCow(BufferPool* pool, PageId root,
+                       std::vector<PageId>* retired) {
+  BTree tree(pool, root);
+  tree.retired_ = retired;
+  return tree;
+}
+
+bool BTree::IsFresh(PageId id) const {
+  return std::find(fresh_.begin(), fresh_.end(), id) != fresh_.end();
+}
+
+Result<PageHandle> BTree::WritableNode(PageId node_id, PageId* new_id) {
+  if (!cow() || IsFresh(node_id)) {
+    *new_id = node_id;
+    return FetchNode(pool_, node_id);
+  }
+  auto src = FetchNode(pool_, node_id);
+  if (!src.ok()) return src;
+  auto copy = pool_->New();
+  if (!copy.ok()) return copy.status();
+  std::memcpy(copy->data(), src->data(), kPageSize);
+  src->Release();
+  copy->MarkDirty();
+  retired_->push_back(node_id);
+  fresh_.push_back(copy->id());
+  *new_id = copy->id();
+  return copy;
+}
+
+Result<PageHandle> BTree::NewNode() {
+  auto page = pool_->New();
+  if (!page.ok()) return page;
+  if (cow()) fresh_.push_back(page->id());
+  return page;
+}
+
+Status BTree::FreeNode(PageId node_id) {
+  if (cow() && !IsFresh(node_id)) {
+    retired_->push_back(node_id);
+    return Status::OK();
+  }
+  return pool_->Free(node_id);
+}
+
 namespace {
 
 // Inserts `rec` at index `pos` of a leaf, shifting the tail right.
@@ -83,117 +127,132 @@ void InternalRemoveAt(InternalNode* node, int key_pos) {
 }  // namespace
 
 Status BTree::Insert(uint64_t key, const Entry& entry) {
-  // Descend to the target leaf, recording the path for split propagation.
-  struct PathStep {
-    PageHandle handle;
-    int child_idx;
-  };
-  std::vector<PathStep> path;
-
-  auto cur = FetchNode(pool_, root_);
-  if (!cur.ok()) return cur.status();
-  PageHandle node = std::move(*cur);
-  while (node.As<btree_internal::NodeHeader>()->type == kInternalType) {
-    if (static_cast<int>(path.size()) >= kMaxDepth) {
-      return Status::Corruption("B+ tree descent exceeds max depth");
-    }
-    auto* in = node.As<InternalNode>();
-    int idx = UpperBoundChild(in, key);
-    PageId child = in->children[idx];
-    path.push_back(PathStep{std::move(node), idx});
-    auto next = FetchNode(pool_, child);
-    if (!next.ok()) return next.status();
-    node = std::move(*next);
-  }
-
-  auto* leaf = node.As<LeafNode>();
-  if (leaf->header.count < kLeafCapacity) {
-    int pos = UpperBoundRecord(leaf, key);
-    LeafInsertAt(leaf, pos, BTreeRecord{key, entry});
-    node.MarkDirty();
-    return Status::OK();
-  }
-
-  // Leaf split: move the upper half to a new right sibling.
-  auto right_page = pool_->New();
-  if (!right_page.ok()) return right_page.status();
-  auto* right = right_page->As<LeafNode>();
-  right->header.type = kLeafType;
-  const int split = kLeafCapacity / 2;
-  right->header.count = static_cast<uint16_t>(kLeafCapacity - split);
-  std::memcpy(right->records, &leaf->records[split],
-              sizeof(BTreeRecord) * right->header.count);
-  leaf->header.count = static_cast<uint16_t>(split);
-  right->header.next = leaf->header.next;
-  leaf->header.next = right_page->id();
-
-  uint64_t separator = right->records[0].key;
-  if (key < separator) {
-    LeafInsertAt(leaf, UpperBoundRecord(leaf, key), BTreeRecord{key, entry});
-  } else {
-    LeafInsertAt(right, UpperBoundRecord(right, key), BTreeRecord{key, entry});
-  }
-  node.MarkDirty();
-  right_page->MarkDirty();
-
-  // Propagate the separator up the recorded path.
-  PageId new_child = right_page->id();
-  node.Release();
-  right_page->Release();
-
-  while (!path.empty()) {
-    PathStep step = std::move(path.back());
-    path.pop_back();
-    auto* in = step.handle.As<InternalNode>();
-    if (in->header.count < kInternalCapacity) {
-      InternalInsertAt(in, step.child_idx, separator, new_child);
-      step.handle.MarkDirty();
-      return Status::OK();
-    }
-    // Internal split: middle key moves up.
-    auto new_right = pool_->New();
-    if (!new_right.ok()) return new_right.status();
-    auto* rin = new_right->As<InternalNode>();
-    rin->header.type = kInternalType;
-    rin->header.next = kInvalidPageId;
-    const int mid = kInternalCapacity / 2;
-    uint64_t up_key = in->keys[mid];
-    rin->header.count = static_cast<uint16_t>(kInternalCapacity - mid - 1);
-    std::memcpy(rin->keys, &in->keys[mid + 1],
-                sizeof(uint64_t) * rin->header.count);
-    std::memcpy(rin->children, &in->children[mid + 1],
-                sizeof(PageId) * (rin->header.count + 1));
-    in->header.count = static_cast<uint16_t>(mid);
-
-    if (step.child_idx <= mid) {
-      InternalInsertAt(in, step.child_idx, separator, new_child);
-    } else {
-      InternalInsertAt(rin, step.child_idx - mid - 1, separator, new_child);
-    }
-    step.handle.MarkDirty();
-    new_right->MarkDirty();
-    separator = up_key;
-    new_child = new_right->id();
-  }
+  PageId new_root = root_;
+  std::vector<BatchSplit> split;
+  SWST_RETURN_IF_ERROR(InsertInSubtree(root_, 0, key, entry, &new_root,
+                                       &split));
+  root_ = new_root;
+  if (split.empty()) return Status::OK();
 
   // Root split: grow the tree by one level.
-  auto new_root = pool_->New();
-  if (!new_root.ok()) return new_root.status();
-  auto* rootn = new_root->As<InternalNode>();
+  auto top = NewNode();
+  if (!top.ok()) return top.status();
+  auto* rootn = top->As<InternalNode>();
   rootn->header.type = kInternalType;
   rootn->header.next = kInvalidPageId;
   rootn->header.count = 1;
-  rootn->keys[0] = separator;
+  rootn->keys[0] = split[0].separator;
   rootn->children[0] = root_;
-  rootn->children[1] = new_child;
-  new_root->MarkDirty();
-  root_ = new_root->id();
+  rootn->children[1] = split[0].right;
+  top->MarkDirty();
+  root_ = top->id();
+  return Status::OK();
+}
+
+Status BTree::InsertInSubtree(PageId node_id, int depth, uint64_t key,
+                              const Entry& entry, PageId* new_id,
+                              std::vector<BatchSplit>* split) {
+  if (depth >= kMaxDepth) {
+    return Status::Corruption("B+ tree descent exceeds max depth");
+  }
+  auto probe = FetchNode(pool_, node_id);
+  if (!probe.ok()) return probe.status();
+
+  if (probe->As<btree_internal::NodeHeader>()->type == kLeafType) {
+    probe->Release();
+    auto writable = WritableNode(node_id, new_id);
+    if (!writable.ok()) return writable.status();
+    auto* leaf = writable->As<LeafNode>();
+    if (leaf->header.count < kLeafCapacity) {
+      LeafInsertAt(leaf, UpperBoundRecord(leaf, key), BTreeRecord{key, entry});
+      writable->MarkDirty();
+      return Status::OK();
+    }
+
+    // Leaf split: move the upper half to a new right sibling.
+    auto right_page = NewNode();
+    if (!right_page.ok()) return right_page.status();
+    auto* right = right_page->As<LeafNode>();
+    right->header.type = kLeafType;
+    right->header.next = kInvalidPageId;
+    const int half = kLeafCapacity / 2;
+    right->header.count = static_cast<uint16_t>(kLeafCapacity - half);
+    std::memcpy(right->records, &leaf->records[half],
+                sizeof(BTreeRecord) * right->header.count);
+    leaf->header.count = static_cast<uint16_t>(half);
+
+    const uint64_t separator = right->records[0].key;
+    if (key < separator) {
+      LeafInsertAt(leaf, UpperBoundRecord(leaf, key), BTreeRecord{key, entry});
+    } else {
+      LeafInsertAt(right, UpperBoundRecord(right, key),
+                   BTreeRecord{key, entry});
+    }
+    writable->MarkDirty();
+    right_page->MarkDirty();
+    split->push_back(BatchSplit{separator, right_page->id()});
+    return Status::OK();
+  }
+
+  const auto* in = probe->As<InternalNode>();
+  const int idx = UpperBoundChild(in, key);
+  const PageId child = in->children[idx];
+  probe->Release();
+
+  PageId child_new = child;
+  std::vector<BatchSplit> child_split;
+  SWST_RETURN_IF_ERROR(
+      InsertInSubtree(child, depth + 1, key, entry, &child_new, &child_split));
+  if (child_new == child && child_split.empty()) {
+    *new_id = node_id;  // Nothing structural changed at this level.
+    return Status::OK();
+  }
+
+  auto writable = WritableNode(node_id, new_id);
+  if (!writable.ok()) return writable.status();
+  auto* win = writable->As<InternalNode>();
+  win->children[idx] = child_new;
+  writable->MarkDirty();
+  if (child_split.empty()) return Status::OK();
+
+  const uint64_t separator = child_split[0].separator;
+  const PageId new_child = child_split[0].right;
+  if (win->header.count < kInternalCapacity) {
+    InternalInsertAt(win, idx, separator, new_child);
+    return Status::OK();
+  }
+
+  // Internal split: middle key moves up.
+  auto new_right = NewNode();
+  if (!new_right.ok()) return new_right.status();
+  auto* rin = new_right->As<InternalNode>();
+  rin->header.type = kInternalType;
+  rin->header.next = kInvalidPageId;
+  const int mid = kInternalCapacity / 2;
+  const uint64_t up_key = win->keys[mid];
+  rin->header.count = static_cast<uint16_t>(kInternalCapacity - mid - 1);
+  std::memcpy(rin->keys, &win->keys[mid + 1],
+              sizeof(uint64_t) * rin->header.count);
+  std::memcpy(rin->children, &win->children[mid + 1],
+              sizeof(PageId) * (rin->header.count + 1));
+  win->header.count = static_cast<uint16_t>(mid);
+
+  if (idx <= mid) {
+    InternalInsertAt(win, idx, separator, new_child);
+  } else {
+    InternalInsertAt(rin, idx - mid - 1, separator, new_child);
+  }
+  new_right->MarkDirty();
+  split->push_back(BatchSplit{up_key, new_right->id()});
   return Status::OK();
 }
 
 Status BTree::Delete(uint64_t key, ObjectId oid, Timestamp start) {
   DeleteResult result;
-  SWST_RETURN_IF_ERROR(DeleteInSubtree(root_, 0, key, oid, start, &result));
+  PageId new_root = root_;
+  SWST_RETURN_IF_ERROR(
+      DeleteInSubtree(root_, 0, key, oid, start, &result, &new_root));
+  root_ = new_root;
   if (!result.found) {
     return Status::NotFound("BTree::Delete: no matching record");
   }
@@ -205,50 +264,67 @@ Status BTree::Delete(uint64_t key, ObjectId oid, Timestamp start) {
     PageId old_root = root_;
     root_ = root_page->As<InternalNode>()->children[0];
     root_page->Release();
-    SWST_RETURN_IF_ERROR(pool_->Free(old_root));
+    SWST_RETURN_IF_ERROR(FreeNode(old_root));
   }
   return Status::OK();
 }
 
 Status BTree::DeleteInSubtree(PageId node_id, int depth, uint64_t key,
                               ObjectId oid, Timestamp start,
-                              DeleteResult* result) {
+                              DeleteResult* result, PageId* new_id) {
   if (depth >= kMaxDepth) {
     return Status::Corruption("B+ tree descent exceeds max depth");
   }
+  *new_id = node_id;
   auto page = FetchNode(pool_, node_id);
   if (!page.ok()) return page.status();
 
   if (page->As<btree_internal::NodeHeader>()->type == kLeafType) {
-    auto* leaf = page->As<LeafNode>();
-    int pos = LowerBoundRecord(leaf, key);
-    for (; pos < leaf->header.count && leaf->records[pos].key == key; ++pos) {
-      const Entry& e = leaf->records[pos].entry;
-      if (e.oid == oid && e.start == start) {
-        LeafRemoveAt(leaf, pos);
-        page->MarkDirty();
-        result->found = true;
-        result->underflow = leaf->header.count < kLeafMin;
-        return Status::OK();
-      }
+    const auto* probe = page->As<LeafNode>();
+    int pos = LowerBoundRecord(probe, key);
+    for (; pos < probe->header.count && probe->records[pos].key == key;
+         ++pos) {
+      const Entry& e = probe->records[pos].entry;
+      if (e.oid == oid && e.start == start) break;
     }
-    result->found = false;
+    if (pos >= probe->header.count || probe->records[pos].key != key) {
+      result->found = false;
+      return Status::OK();
+    }
+    page->Release();
+    auto writable = WritableNode(node_id, new_id);
+    if (!writable.ok()) return writable.status();
+    auto* leaf = writable->As<LeafNode>();
+    LeafRemoveAt(leaf, pos);
+    writable->MarkDirty();
+    result->found = true;
+    result->underflow = leaf->header.count < kLeafMin;
     return Status::OK();
   }
 
-  auto* in = page->As<InternalNode>();
-  int lb = LowerBoundChild(in, key);
-  int ub = UpperBoundChild(in, key);
+  const auto* in = page->As<InternalNode>();
+  const int lb = LowerBoundChild(in, key);
+  const int ub = UpperBoundChild(in, key);
+  std::vector<PageId> children(in->children + lb, in->children + ub + 1);
+  page->Release();
+
   for (int i = lb; i <= ub; ++i) {
     DeleteResult child_result;
-    SWST_RETURN_IF_ERROR(DeleteInSubtree(in->children[i], depth + 1, key, oid,
-                                         start, &child_result));
+    PageId child_new = children[i - lb];
+    SWST_RETURN_IF_ERROR(DeleteInSubtree(children[i - lb], depth + 1, key,
+                                         oid, start, &child_result,
+                                         &child_new));
     if (!child_result.found) continue;
     result->found = true;
+    auto writable = WritableNode(node_id, new_id);
+    if (!writable.ok()) return writable.status();
+    auto* win = writable->As<InternalNode>();
+    win->children[i] = child_new;
+    writable->MarkDirty();
     if (child_result.underflow) {
-      SWST_RETURN_IF_ERROR(RebalanceChild(*page, i));
+      SWST_RETURN_IF_ERROR(RebalanceChild(*writable, i));
     }
-    result->underflow = in->header.count < kInternalMin;
+    result->underflow = win->header.count < kInternalMin;
     return Status::OK();
   }
   result->found = false;
@@ -257,31 +333,37 @@ Status BTree::DeleteInSubtree(PageId node_id, int depth, uint64_t key,
 
 Status BTree::RebalanceChild(PageHandle& parent, int child_idx) {
   auto* in = parent.As<InternalNode>();
-  auto child_page = FetchNode(pool_, in->children[child_idx]);
+  // The underflowing child was just mutated, so in copy-on-write mode it
+  // is already a fresh page; WritableNode returns it unchanged.
+  PageId child_id = in->children[child_idx];
+  auto child_page = WritableNode(child_id, &child_id);
   if (!child_page.ok()) return child_page.status();
+  in->children[child_idx] = child_id;
   const bool child_is_leaf =
       child_page->As<btree_internal::NodeHeader>()->type == kLeafType;
 
   // Try borrowing from the left sibling, then the right, then merge.
   if (child_idx > 0) {
-    auto left_page = FetchNode(pool_, in->children[child_idx - 1]);
-    if (!left_page.ok()) return left_page.status();
-    if (child_is_leaf) {
-      auto* left = left_page->As<LeafNode>();
-      auto* child = child_page->As<LeafNode>();
-      if (left->header.count > kLeafMin) {
+    auto probe = FetchNode(pool_, in->children[child_idx - 1]);
+    if (!probe.ok()) return probe.status();
+    const bool can_borrow =
+        probe->As<btree_internal::NodeHeader>()->count >
+        (child_is_leaf ? kLeafMin : kInternalMin);
+    probe->Release();
+    if (can_borrow) {
+      PageId left_id = in->children[child_idx - 1];
+      auto left_page = WritableNode(left_id, &left_id);
+      if (!left_page.ok()) return left_page.status();
+      in->children[child_idx - 1] = left_id;
+      if (child_is_leaf) {
+        auto* left = left_page->As<LeafNode>();
+        auto* child = child_page->As<LeafNode>();
         LeafInsertAt(child, 0, left->records[left->header.count - 1]);
         left->header.count--;
         in->keys[child_idx - 1] = child->records[0].key;
-        left_page->MarkDirty();
-        child_page->MarkDirty();
-        parent.MarkDirty();
-        return Status::OK();
-      }
-    } else {
-      auto* left = left_page->As<InternalNode>();
-      auto* child = child_page->As<InternalNode>();
-      if (left->header.count > kInternalMin) {
+      } else {
+        auto* left = left_page->As<InternalNode>();
+        auto* child = child_page->As<InternalNode>();
         // Rotate right through the parent separator.
         std::memmove(&child->keys[1], &child->keys[0],
                      sizeof(uint64_t) * child->header.count);
@@ -292,33 +374,35 @@ Status BTree::RebalanceChild(PageHandle& parent, int child_idx) {
         child->header.count++;
         in->keys[child_idx - 1] = left->keys[left->header.count - 1];
         left->header.count--;
-        left_page->MarkDirty();
-        child_page->MarkDirty();
-        parent.MarkDirty();
-        return Status::OK();
       }
+      left_page->MarkDirty();
+      child_page->MarkDirty();
+      parent.MarkDirty();
+      return Status::OK();
     }
   }
 
   if (child_idx < in->header.count) {
-    auto right_page = FetchNode(pool_, in->children[child_idx + 1]);
-    if (!right_page.ok()) return right_page.status();
-    if (child_is_leaf) {
-      auto* right = right_page->As<LeafNode>();
-      auto* child = child_page->As<LeafNode>();
-      if (right->header.count > kLeafMin) {
+    auto probe = FetchNode(pool_, in->children[child_idx + 1]);
+    if (!probe.ok()) return probe.status();
+    const bool can_borrow =
+        probe->As<btree_internal::NodeHeader>()->count >
+        (child_is_leaf ? kLeafMin : kInternalMin);
+    probe->Release();
+    if (can_borrow) {
+      PageId right_id = in->children[child_idx + 1];
+      auto right_page = WritableNode(right_id, &right_id);
+      if (!right_page.ok()) return right_page.status();
+      in->children[child_idx + 1] = right_id;
+      if (child_is_leaf) {
+        auto* right = right_page->As<LeafNode>();
+        auto* child = child_page->As<LeafNode>();
         LeafInsertAt(child, child->header.count, right->records[0]);
         LeafRemoveAt(right, 0);
         in->keys[child_idx] = right->records[0].key;
-        right_page->MarkDirty();
-        child_page->MarkDirty();
-        parent.MarkDirty();
-        return Status::OK();
-      }
-    } else {
-      auto* right = right_page->As<InternalNode>();
-      auto* child = child_page->As<InternalNode>();
-      if (right->header.count > kInternalMin) {
+      } else {
+        auto* right = right_page->As<InternalNode>();
+        auto* child = child_page->As<InternalNode>();
         // Rotate left through the parent separator.
         child->keys[child->header.count] = in->keys[child_idx];
         child->children[child->header.count + 1] = right->children[0];
@@ -329,34 +413,37 @@ Status BTree::RebalanceChild(PageHandle& parent, int child_idx) {
         std::memmove(&right->children[0], &right->children[1],
                      sizeof(PageId) * right->header.count);
         right->header.count--;
-        right_page->MarkDirty();
-        child_page->MarkDirty();
-        parent.MarkDirty();
-        return Status::OK();
       }
+      right_page->MarkDirty();
+      child_page->MarkDirty();
+      parent.MarkDirty();
+      return Status::OK();
     }
   }
 
   // Merge: fold the child into its left sibling, or its right sibling into
   // the child. Normalize to "merge node at index j+1 into node at index j".
-  int j = (child_idx > 0) ? child_idx - 1 : child_idx;
-  auto left_page = FetchNode(pool_, in->children[j]);
+  // The right-hand node is only read, then unlinked and released.
+  const int j = (child_idx > 0) ? child_idx - 1 : child_idx;
+  PageId left_id = in->children[j];
+  auto left_page = WritableNode(left_id, &left_id);
   if (!left_page.ok()) return left_page.status();
-  auto right_page = FetchNode(pool_, in->children[j + 1]);
+  in->children[j] = left_id;
+  const PageId right_id = in->children[j + 1];
+  auto right_page = FetchNode(pool_, right_id);
   if (!right_page.ok()) return right_page.status();
 
   if (child_is_leaf) {
     auto* left = left_page->As<LeafNode>();
-    auto* right = right_page->As<LeafNode>();
+    const auto* right = right_page->As<LeafNode>();
     assert(left->header.count + right->header.count <= kLeafCapacity);
     std::memcpy(&left->records[left->header.count], right->records,
                 sizeof(BTreeRecord) * right->header.count);
     left->header.count =
         static_cast<uint16_t>(left->header.count + right->header.count);
-    left->header.next = right->header.next;
   } else {
     auto* left = left_page->As<InternalNode>();
-    auto* right = right_page->As<InternalNode>();
+    const auto* right = right_page->As<InternalNode>();
     assert(left->header.count + right->header.count + 1 <= kInternalCapacity);
     left->keys[left->header.count] = in->keys[j];
     std::memcpy(&left->keys[left->header.count + 1], right->keys,
@@ -366,68 +453,75 @@ Status BTree::RebalanceChild(PageHandle& parent, int child_idx) {
     left->header.count = static_cast<uint16_t>(left->header.count +
                                                right->header.count + 1);
   }
-  PageId freed = right_page->id();
   left_page->MarkDirty();
   right_page->Release();
-  child_page.value().Release();
+  child_page->Release();
   InternalRemoveAt(in, j);
   parent.MarkDirty();
-  return pool_->Free(freed);
+  return FreeNode(right_id);
 }
+
+namespace {
+
+/// Recursive range scan. Chain-free: sibling leaves are reached through
+/// their common ancestors, never through leaf links, so the walk stays
+/// correct on copy-on-write snapshots where a cloned leaf's former left
+/// sibling still holds a stale link. `*stop` ends the whole scan (either
+/// `fn` returned false or a key exceeded `hi`).
+Status ScanSubtree(BufferPool* pool, PageId node_id, int depth, uint64_t lo,
+                   uint64_t hi,
+                   const std::function<bool(const BTreeRecord&)>& fn,
+                   bool* stop) {
+  if (depth >= kMaxDepth) {
+    return Status::Corruption("B+ tree descent exceeds max depth");
+  }
+  auto page = FetchNode(pool, node_id);
+  if (!page.ok()) return page.status();
+
+  if (page->As<btree_internal::NodeHeader>()->type == kLeafType) {
+    const auto* leaf = page->As<LeafNode>();
+    for (int pos = LowerBoundRecord(leaf, lo); pos < leaf->header.count;
+         ++pos) {
+      if (leaf->records[pos].key > hi || !fn(leaf->records[pos])) {
+        *stop = true;
+        return Status::OK();
+      }
+    }
+    return Status::OK();
+  }
+
+  const auto* in = page->As<InternalNode>();
+  const int child_lo = LowerBoundChild(in, lo);
+  const int child_hi = UpperBoundChild(in, hi);
+  std::vector<PageId> children(in->children + child_lo,
+                               in->children + child_hi + 1);
+  page->Release();
+
+  if (children.size() > 1) {
+    // The run of children this scan will read next — at the last internal
+    // level these are exactly the sibling leaves, so adjacent page ids
+    // collapse into vectored reads.
+    const size_t cap = static_cast<size_t>(btree_internal::kScanReadahead);
+    std::vector<PageId> hint(
+        children.begin(),
+        children.begin() + std::min(children.size(), cap));
+    pool->Prefetch(hint);
+  }
+  for (PageId child : children) {
+    SWST_RETURN_IF_ERROR(ScanSubtree(pool, child, depth + 1, lo, hi, fn,
+                                     stop));
+    if (*stop) return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Status BTree::Scan(uint64_t lo, uint64_t hi,
                    const std::function<bool(const BTreeRecord&)>& fn) const {
   if (lo > hi) return Status::OK();
-  auto cur = FetchNode(pool_, root_);
-  if (!cur.ok()) return cur.status();
-  PageHandle node = std::move(*cur);
-  int depth = 0;
-  std::vector<PageId> readahead;
-  while (node.As<btree_internal::NodeHeader>()->type == kInternalType) {
-    if (++depth > kMaxDepth) {
-      return Status::Corruption("B+ tree descent exceeds max depth");
-    }
-    auto* in = node.As<InternalNode>();
-    const int idx = LowerBoundChild(in, lo);
-    // Right siblings of the descent child whose subtrees can still hold
-    // keys <= hi; after the last internal level these are the sibling
-    // leaves the chain walk below will visit, so hint them to the pool.
-    // A point-ish scan (hi below the next separator) prefetches nothing.
-    int last = idx;
-    while (last < in->header.count && last - idx < btree_internal::kScanReadahead &&
-           in->keys[last] <= hi) {
-      ++last;
-    }
-    readahead.assign(in->children + idx + 1, in->children + last + 1);
-    PageId child = in->children[idx];
-    auto next = FetchNode(pool_, child);
-    if (!next.ok()) return next.status();
-    node = std::move(*next);
-  }
-  if (!readahead.empty()) pool_->Prefetch(readahead);
-  const auto* leaf = node.As<LeafNode>();
-  int pos = LowerBoundRecord(leaf, lo);
-  // A sibling chain longer than the file has pages must be a cycle.
-  const uint64_t max_leaves = pool_->pager()->page_count() + 1;
-  for (uint64_t visited = 1;; ++visited) {
-    if (visited > max_leaves) {
-      return Status::Corruption("B+ tree leaf chain cycle");
-    }
-    for (; pos < leaf->header.count; ++pos) {
-      if (leaf->records[pos].key > hi) return Status::OK();
-      if (!fn(leaf->records[pos])) return Status::OK();
-    }
-    PageId next_id = leaf->header.next;
-    if (next_id == kInvalidPageId) return Status::OK();
-    auto next = FetchNode(pool_, next_id);
-    if (!next.ok()) return next.status();
-    node = std::move(*next);
-    if (node.As<btree_internal::NodeHeader>()->type != kLeafType) {
-      return Status::Corruption("B+ tree leaf chain reaches non-leaf page");
-    }
-    leaf = node.As<LeafNode>();
-    pos = 0;
-  }
+  bool stop = false;
+  return ScanSubtree(pool_, root_, 0, lo, hi, fn, &stop);
 }
 
 Status BTree::Drop() {
@@ -452,7 +546,7 @@ Status BTree::DropSubtree(PageId node_id, int depth) {
   for (PageId child : children) {
     SWST_RETURN_IF_ERROR(DropSubtree(child, depth + 1));
   }
-  return pool_->Free(node_id);
+  return FreeNode(node_id);
 }
 
 Result<uint64_t> BTree::CountEntries() const {
@@ -484,7 +578,8 @@ namespace {
 
 struct ValidateState {
   int leaf_depth = -1;
-  uint64_t leaf_count = 0;
+  uint64_t last_key = 0;
+  bool have_last = false;
 };
 
 Status ValidateSubtree(BufferPool* pool, PageId node_id, int depth,
@@ -511,11 +606,14 @@ Status ValidateSubtree(BufferPool* pool, PageId node_id, int depth,
       if (k < min_key || k > max_key) {
         return Status::Corruption("leaf key outside separator bounds");
       }
-      if (i > 0 && leaf->records[i - 1].key > k) {
+      // Left-to-right recursion makes this a check of the *global* record
+      // sequence, the invariant the leaf-chain walk used to verify.
+      if (state->have_last && state->last_key > k) {
         return Status::Corruption("leaf keys out of order");
       }
+      state->last_key = k;
+      state->have_last = true;
     }
-    state->leaf_count++;
     return Status::OK();
   }
 
@@ -553,50 +651,7 @@ Status ValidateSubtree(BufferPool* pool, PageId node_id, int depth,
 
 Status BTree::Validate() const {
   ValidateState state;
-  SWST_RETURN_IF_ERROR(ValidateSubtree(pool_, root_, 0, true, 0, UINT64_MAX,
-                                       &state));
-  // Leaf chain must visit exactly the leaves found by the tree walk, in
-  // non-decreasing key order.
-  auto cur = FetchNode(pool_, root_);
-  if (!cur.ok()) return cur.status();
-  PageHandle node = std::move(*cur);
-  int depth = 0;
-  while (node.As<btree_internal::NodeHeader>()->type == kInternalType) {
-    if (++depth > kMaxDepth) {
-      return Status::Corruption("B+ tree descent exceeds max depth");
-    }
-    auto next = FetchNode(pool_, node.As<InternalNode>()->children[0]);
-    if (!next.ok()) return next.status();
-    node = std::move(*next);
-  }
-  uint64_t chain_leaves = 0;
-  uint64_t last_key = 0;
-  bool have_last = false;
-  const uint64_t max_leaves = pool_->pager()->page_count() + 1;
-  for (;;) {
-    const auto* leaf = node.As<LeafNode>();
-    if (++chain_leaves > max_leaves) {
-      return Status::Corruption("B+ tree leaf chain cycle");
-    }
-    for (int i = 0; i < leaf->header.count; ++i) {
-      if (have_last && leaf->records[i].key < last_key) {
-        return Status::Corruption("leaf chain keys out of order");
-      }
-      last_key = leaf->records[i].key;
-      have_last = true;
-    }
-    if (leaf->header.next == kInvalidPageId) break;
-    auto next = FetchNode(pool_, leaf->header.next);
-    if (!next.ok()) return next.status();
-    node = std::move(*next);
-    if (node.As<btree_internal::NodeHeader>()->type != kLeafType) {
-      return Status::Corruption("B+ tree leaf chain reaches non-leaf page");
-    }
-  }
-  if (chain_leaves != state.leaf_count) {
-    return Status::Corruption("leaf chain does not cover all leaves");
-  }
-  return Status::OK();
+  return ValidateSubtree(pool_, root_, 0, true, 0, UINT64_MAX, &state);
 }
 
 }  // namespace swst

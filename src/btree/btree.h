@@ -47,8 +47,21 @@ class BTree {
   /// Creates an empty tree (a single empty leaf) in `pool`.
   static Result<BTree> Create(BufferPool* pool);
 
-  /// Attaches to an existing tree rooted at `root`.
+  /// Attaches to an existing tree rooted at `root`. Mutations rewrite
+  /// pages in place.
   static BTree Attach(BufferPool* pool, PageId root);
+
+  /// Attaches in *copy-on-write* mode: every mutation clones the pages it
+  /// touches into freshly allocated ones (shadow paging), so the tree
+  /// rooted at the original `root` stays byte-identical and fully readable
+  /// while — and after — this instance mutates. `root()` changes on every
+  /// mutation; superseded page ids are appended to `retired` instead of
+  /// being freed, for the caller to release once no reader can still
+  /// reach them (SWST defers them through epoch reclamation; see
+  /// docs/concurrency.md). Pages allocated *by this instance* are written
+  /// in place and freed directly — they were never visible to readers.
+  static BTree AttachCow(BufferPool* pool, PageId root,
+                         std::vector<PageId>* retired);
 
   BTree(BTree&&) = default;
   BTree& operator=(BTree&&) = default;
@@ -125,7 +138,7 @@ class BTree {
   Result<int> Height() const;
 
   /// Checks structural invariants (key order within nodes, separator
-  /// consistency, leaf chain order, uniform leaf depth, minimum occupancy).
+  /// consistency, uniform leaf depth, minimum occupancy).
   /// Used heavily by property tests.
   Status Validate() const;
 
@@ -143,31 +156,66 @@ class BTree {
     bool underflow = false;
   };
 
-  /// A new right sibling produced while applying a batch to a subtree;
+  /// A new right sibling produced while splitting during an insert;
   /// `separator` is the smallest key stored under `right`.
   struct BatchSplit {
     uint64_t separator;
     PageId right;
   };
 
+  /// Recursive insert. `*new_id` receives the id this subtree is rooted at
+  /// afterwards (== `node_id` unless copy-on-write cloned it); a split of
+  /// this node appends the new right sibling to `split`.
+  Status InsertInSubtree(PageId node_id, int depth, uint64_t key,
+                         const Entry& entry, PageId* new_id,
+                         std::vector<BatchSplit>* split);
+
   /// Applies the sorted slice `records[begin, end)` to the subtree rooted
   /// at `node_id`; any new siblings of that node are appended to `splits`
-  /// (left to right) for the caller to graft into the parent.
+  /// (left to right) for the caller to graft into the parent. `*new_id` as
+  /// in `InsertInSubtree`.
   Status InsertBatchInSubtree(PageId node_id, int depth,
                               const BTreeRecord* records, size_t begin,
-                              size_t end, std::vector<BatchSplit>* splits);
+                              size_t end, PageId* new_id,
+                              std::vector<BatchSplit>* splits);
 
   /// Recursive delete; searches all children whose range may contain `key`.
   Status DeleteInSubtree(PageId node_id, int depth, uint64_t key, ObjectId oid,
-                         Timestamp start, DeleteResult* result);
+                         Timestamp start, DeleteResult* result,
+                         PageId* new_id);
 
-  /// Fixes an underflowing child `child_idx` of internal node `parent`.
+  /// Fixes an underflowing child `child_idx` of internal node `parent`
+  /// (already writable; its child ids are updated if rebalancing clones a
+  /// sibling).
   Status RebalanceChild(PageHandle& parent, int child_idx);
 
   Status DropSubtree(PageId node_id, int depth);
 
+  /// Fetches `node_id` for mutation. In-place mode: a plain fetch,
+  /// `*new_id == node_id`. Copy-on-write mode: pages this instance
+  /// allocated are returned as-is; anything older is cloned into a new
+  /// page, the original is recorded in `retired_`, and `*new_id` is the
+  /// clone's id (the caller must re-point its parent).
+  Result<PageHandle> WritableNode(PageId node_id, PageId* new_id);
+
+  /// Allocates a node page (split sibling, new root) and tracks it as
+  /// fresh in copy-on-write mode.
+  Result<PageHandle> NewNode();
+
+  /// Releases a page this tree no longer references: frees it directly if
+  /// it is fresh (never reader-visible) or in-place mode, otherwise
+  /// records it in `retired_`.
+  Status FreeNode(PageId node_id);
+
+  bool cow() const { return retired_ != nullptr; }
+  bool IsFresh(PageId id) const;
+
   BufferPool* pool_;
   PageId root_;
+  /// Copy-on-write state: superseded page ids for deferred release
+  /// (nullptr = in-place mode) and pages allocated by this instance.
+  std::vector<PageId>* retired_ = nullptr;
+  std::vector<PageId> fresh_;
 };
 
 }  // namespace swst

@@ -11,9 +11,14 @@
 // Equal-key order matches the serial path exactly: `std::merge` keeps
 // existing records ahead of batch records on ties, and batch records keep
 // their relative order, which is precisely what repeated upper-bound
-// inserts produce. The resulting leaf-chain record sequence — and hence
-// every query answer — is identical to serial insertion (tree *shape* may
-// differ; see swst_batch_differential_test).
+// inserts produce. The resulting record sequence — and hence every query
+// answer — is identical to serial insertion (tree *shape* may differ; see
+// swst_batch_differential_test).
+//
+// In copy-on-write mode (`AttachCow`) every touched page is cloned before
+// rewriting, exactly like the serial paths in btree.cc: `WritableNode`
+// redirects the mutation into a fresh page and the subtree's possibly-new
+// root id propagates up through `new_id`.
 
 #include <algorithm>
 #include <cassert>
@@ -52,7 +57,10 @@ Status BTree::InsertBatch(const BTreeRecord* records, size_t n) {
   for (size_t i = 1; i < n; ++i) assert(records[i - 1].key <= records[i].key);
 #endif
   std::vector<BatchSplit> splits;
-  SWST_RETURN_IF_ERROR(InsertBatchInSubtree(root_, 0, records, 0, n, &splits));
+  PageId new_root = root_;
+  SWST_RETURN_IF_ERROR(
+      InsertBatchInSubtree(root_, 0, records, 0, n, &new_root, &splits));
+  root_ = new_root;
 
   // Grow the tree upward while the former root has new right siblings.
   // Each pass builds one level of evenly filled parents over the sibling
@@ -77,7 +85,7 @@ Status BTree::InsertBatch(const BTreeRecord* records, size_t n) {
     PageId first_parent = kInvalidPageId;
     for (size_t i = 0; i < m; ++i) {
       const size_t cnt = base + (i < extra ? 1 : 0);
-      auto np = pool_->New();
+      auto np = NewNode();
       if (!np.ok()) return np.status();
       auto* pn = np->As<InternalNode>();
       pn->header.type = kInternalType;
@@ -100,16 +108,20 @@ Status BTree::InsertBatch(const BTreeRecord* records, size_t n) {
 
 Status BTree::InsertBatchInSubtree(PageId node_id, int depth,
                                    const BTreeRecord* records, size_t begin,
-                                   size_t end,
+                                   size_t end, PageId* new_id,
                                    std::vector<BatchSplit>* splits) {
   if (depth >= kMaxDepth) {
     return Status::Corruption("B+ tree descent exceeds max depth");
   }
-  auto fetched = FetchNode(pool_, node_id);
-  if (!fetched.ok()) return fetched.status();
-  PageHandle page = std::move(*fetched);
+  *new_id = node_id;
+  auto probe = FetchNode(pool_, node_id);
+  if (!probe.ok()) return probe.status();
 
-  if (page.As<btree_internal::NodeHeader>()->type == kLeafType) {
+  if (probe->As<btree_internal::NodeHeader>()->type == kLeafType) {
+    probe->Release();
+    auto writable = WritableNode(node_id, new_id);
+    if (!writable.ok()) return writable.status();
+    PageHandle page = std::move(*writable);
     auto* leaf = page.As<LeafNode>();
     const size_t total = leaf->header.count + (end - begin);
     // Merge once; on ties existing records stay first and batch records
@@ -135,16 +147,15 @@ Status BTree::InsertBatchInSubtree(PageId node_id, int depth,
     const size_t m = (total + kLeafCapacity - 1) / kLeafCapacity;
     const size_t base = total / m;
     const size_t extra = total % m;
-    const PageId chain_next = leaf->header.next;
 
     size_t off = base + (extra > 0 ? 1 : 0);
     leaf->header.count = static_cast<uint16_t>(off);
     std::memcpy(leaf->records, merged.data(), off * sizeof(BTreeRecord));
     page.MarkDirty();
-    PageHandle prev = std::move(page);
+    page.Release();
     for (size_t i = 1; i < m; ++i) {
       const size_t cnt = base + (i < extra ? 1 : 0);
-      auto np = pool_->New();
+      auto np = NewNode();
       if (!np.ok()) return np.status();
       auto* nl = np->As<LeafNode>();
       nl->header.type = kLeafType;
@@ -153,25 +164,20 @@ Status BTree::InsertBatchInSubtree(PageId node_id, int depth,
       std::memcpy(nl->records, merged.data() + off,
                   cnt * sizeof(BTreeRecord));
       off += cnt;
-      prev.As<LeafNode>()->header.next = np->id();
-      prev.MarkDirty();
       np->MarkDirty();
       splits->push_back(BatchSplit{nl->records[0].key, np->id()});
-      prev = std::move(*np);
     }
-    prev.As<LeafNode>()->header.next = chain_next;
-    prev.MarkDirty();
     return Status::OK();
   }
 
   // Internal node: copy separators and children, then release before
   // recursing so the pin count stays bounded by the tree depth, not by
   // the batch size.
-  const auto* in = page.As<InternalNode>();
+  const auto* in = probe->As<InternalNode>();
   std::vector<uint64_t> keys(in->keys, in->keys + in->header.count);
   std::vector<PageId> children(in->children,
                                in->children + in->header.count + 1);
-  page.Release();
+  probe->Release();
 
   // Route each child its slice of the run using the serial descent rule
   // (`UpperBoundChild`): child c gets keys in [keys[c-1], keys[c]), ties
@@ -189,6 +195,7 @@ Status BTree::InsertBatchInSubtree(PageId node_id, int depth,
     if (stop > pos) {
       SWST_RETURN_IF_ERROR(InsertBatchInSubtree(children[c], depth + 1,
                                                 records, pos, stop,
+                                                &children[c],
                                                 &child_splits[c]));
     }
     pos = stop;
@@ -208,9 +215,9 @@ Status BTree::InsertBatchInSubtree(PageId node_id, int depth,
     if (c < keys.size()) keys_out.push_back(keys[c]);
   }
 
-  auto refetched = FetchNode(pool_, node_id);
-  if (!refetched.ok()) return refetched.status();
-  page = std::move(*refetched);
+  auto writable = WritableNode(node_id, new_id);
+  if (!writable.ok()) return writable.status();
+  PageHandle page = std::move(*writable);
   auto* node = page.As<InternalNode>();
 
   if (keys_out.size() <= static_cast<size_t>(kInternalCapacity)) {
@@ -238,7 +245,7 @@ Status BTree::InsertBatchInSubtree(PageId node_id, int depth,
   page.Release();
   for (size_t i = 1; i < m; ++i) {
     const size_t cnt = base + (i < extra ? 1 : 0);
-    auto np = pool_->New();
+    auto np = NewNode();
     if (!np.ok()) return np.status();
     auto* nn = np->As<InternalNode>();
     nn->header.type = kInternalType;

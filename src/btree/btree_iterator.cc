@@ -21,39 +21,45 @@ void BTreeIterator::SeekToFirst() { Seek(0); }
 void BTreeIterator::Seek(uint64_t key) {
   valid_ = false;
   status_ = Status::OK();
-  auto cur = FetchNode(pool_, root_);
-  if (!cur.ok()) {
-    status_ = cur.status();
-    return;
-  }
-  PageHandle node = std::move(*cur);
-  int depth = 0;
+  stack_.clear();
+  DescendToLeaf(root_, key, /*leftmost=*/false);
+  if (!status_.ok()) return;
+  LoadCurrent();
+}
+
+void BTreeIterator::DescendToLeaf(PageId node_id, uint64_t key,
+                                  bool leftmost) {
+  PageId cur = node_id;
   std::vector<PageId> readahead;
-  while (node.As<btree_internal::NodeHeader>()->type == kInternalType) {
-    if (++depth > kMaxDepth) {
+  for (;;) {
+    if (static_cast<int>(stack_.size()) > kMaxDepth) {
       status_ = Status::Corruption("B+ tree descent exceeds max depth");
       return;
     }
-    const auto* in = node.As<InternalNode>();
-    const int idx = LowerBoundChild(in, key);
+    auto page = FetchNode(pool_, cur);
+    if (!page.ok()) {
+      status_ = page.status();
+      return;
+    }
+    if (page->As<btree_internal::NodeHeader>()->type == kLeafType) {
+      leaf_ = cur;
+      pos_ = leftmost ? 0 : LowerBoundRecord(page->As<LeafNode>(), key);
+      page->Release();
+      if (!readahead.empty()) pool_->Prefetch(readahead);
+      return;
+    }
+    const auto* in = page->As<InternalNode>();
+    const int idx = leftmost ? 0 : LowerBoundChild(in, key);
     // After the loop's last iteration these are the sibling leaves the
-    // iterator will step through; hinting them lets the pool pull the
-    // chain in with vectored reads instead of one page per Next().
+    // iterator will step through next; hinting them lets the pool pull
+    // them in with vectored reads instead of one page per Next().
     const int last = std::min<int>(in->header.count,
                                    idx + btree_internal::kScanReadahead);
     readahead.assign(in->children + idx + 1, in->children + last + 1);
-    auto next = FetchNode(pool_, in->children[idx]);
-    if (!next.ok()) {
-      status_ = next.status();
-      return;
-    }
-    node = std::move(*next);
+    stack_.push_back(Level{cur, idx, in->header.count + 1});
+    cur = in->children[idx];
+    page->Release();
   }
-  if (!readahead.empty()) pool_->Prefetch(readahead);
-  leaf_ = node.id();
-  pos_ = LowerBoundRecord(node.As<LeafNode>(), key);
-  node.Release();
-  LoadCurrent();
 }
 
 void BTreeIterator::Next() {
@@ -62,14 +68,7 @@ void BTreeIterator::Next() {
 }
 
 void BTreeIterator::LoadCurrent() {
-  // A sibling chain longer than the file has pages must be a cycle.
-  const uint64_t max_leaves = pool_->pager()->page_count() + 1;
-  for (uint64_t visited = 1;; ++visited) {
-    if (visited > max_leaves) {
-      status_ = Status::Corruption("B+ tree leaf chain cycle");
-      valid_ = false;
-      return;
-    }
+  for (;;) {
     auto page = FetchNode(pool_, leaf_);
     if (!page.ok()) {
       status_ = page.status();
@@ -77,7 +76,7 @@ void BTreeIterator::LoadCurrent() {
       return;
     }
     if (page->As<btree_internal::NodeHeader>()->type != kLeafType) {
-      status_ = Status::Corruption("B+ tree leaf chain reaches non-leaf page");
+      status_ = Status::Corruption("B+ tree descent reaches non-leaf page");
       valid_ = false;
       return;
     }
@@ -87,12 +86,40 @@ void BTreeIterator::LoadCurrent() {
       valid_ = true;
       return;
     }
-    if (leaf->header.next == kInvalidPageId) {
+    page->Release();
+
+    // Leaf exhausted: climb to the nearest ancestor with an unvisited
+    // right child, then descend to the leftmost leaf under it. Ancestors
+    // are re-read through the recorded page ids, never via sibling links.
+    while (!stack_.empty() &&
+           stack_.back().child_idx + 1 >= stack_.back().child_count) {
+      stack_.pop_back();
+    }
+    if (stack_.empty()) {
       valid_ = false;
       return;
     }
-    leaf_ = leaf->header.next;
-    pos_ = 0;
+    Level& level = stack_.back();
+    level.child_idx++;
+    auto parent = FetchNode(pool_, level.id);
+    if (!parent.ok()) {
+      status_ = parent.status();
+      valid_ = false;
+      return;
+    }
+    if (parent->As<btree_internal::NodeHeader>()->type != kInternalType ||
+        level.child_idx > parent->As<InternalNode>()->header.count) {
+      status_ = Status::Corruption("B+ tree iterator stack is stale");
+      valid_ = false;
+      return;
+    }
+    const PageId next = parent->As<InternalNode>()->children[level.child_idx];
+    parent->Release();
+    DescendToLeaf(next, 0, /*leftmost=*/true);
+    if (!status_.ok()) {
+      valid_ = false;
+      return;
+    }
   }
 }
 

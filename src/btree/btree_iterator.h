@@ -1,12 +1,20 @@
 #ifndef SWST_BTREE_BTREE_ITERATOR_H_
 #define SWST_BTREE_BTREE_ITERATOR_H_
 
+#include <vector>
+
 #include "btree/btree.h"
 #include "storage/buffer_pool.h"
 
 namespace swst {
 
-/// \brief Forward cursor over a B+ tree's leaf chain, RocksDB-iterator style.
+/// \brief Forward cursor over a B+ tree's records, RocksDB-iterator style.
+///
+/// The cursor keeps an explicit descent stack (page id + child index per
+/// internal level) and steps to the next leaf through the ancestors
+/// instead of following leaf sibling links — copy-on-write mutations do
+/// not maintain those, and a tree reached through an immutable snapshot
+/// root must be traversable without them.
 ///
 /// Usage:
 /// \code
@@ -37,10 +45,21 @@ class BTreeIterator {
   const Status& status() const { return status_; }
 
  private:
+  /// One internal level of the descent: the node and the child index the
+  /// current position descends through.
+  struct Level {
+    PageId id;
+    int child_idx;
+    int child_count;  ///< Number of children (header.count + 1).
+  };
+
   void LoadCurrent();
+  /// Descends to the leftmost leaf under `node_id`, pushing levels.
+  void DescendToLeaf(PageId node_id, uint64_t key, bool leftmost);
 
   BufferPool* pool_;
   PageId root_;
+  std::vector<Level> stack_;
   PageId leaf_ = kInvalidPageId;
   int pos_ = 0;
   bool valid_ = false;

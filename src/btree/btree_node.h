@@ -16,7 +16,12 @@ namespace btree_internal {
 struct NodeHeader {
   uint16_t type;   ///< kLeafType or kInternalType.
   uint16_t count;  ///< Records (leaf) or separator keys (internal).
-  PageId next;     ///< Right sibling for leaves; unused for internal nodes.
+  PageId next;     ///< Reserved (always kInvalidPageId). Leaves used to be
+                   ///< chained through here, but sibling links cannot be
+                   ///< kept consistent under copy-on-write — cloning a
+                   ///< leaf would leave its left sibling's link pointing
+                   ///< at the superseded page — so all scans now walk the
+                   ///< tree through ancestors instead.
 };
 static_assert(sizeof(NodeHeader) == 8);
 
@@ -28,9 +33,9 @@ inline constexpr uint16_t kInternalType = 2;
 /// through corrupt child/sibling pointers.
 inline constexpr int kMaxDepth = 64;
 
-/// How many upcoming sibling leaves a chain scan (Scan, BTreeIterator)
-/// hints to `BufferPool::Prefetch` ahead of reading them. Bounded so a
-/// short bounded scan does not drag a whole subtree into the pool.
+/// How many upcoming sibling nodes a scan (Scan, BTreeIterator) hints to
+/// `BufferPool::Prefetch` ahead of reading them. Bounded so a short
+/// bounded scan does not drag a whole subtree into the pool.
 inline constexpr int kScanReadahead = 16;
 
 /// Leaf page: header followed by `count` sorted records.

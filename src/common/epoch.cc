@@ -1,0 +1,107 @@
+#include "common/epoch.h"
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace swst {
+
+namespace {
+
+/// Cheap per-thread starting index so concurrent pinners probe different
+/// slots instead of all colliding on slot 0.
+size_t ThreadSlotHint() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t hint = next.fetch_add(1, std::memory_order_relaxed) * 7;
+  return hint % EpochManager::kMaxSlots;
+}
+
+}  // namespace
+
+EpochManager::Guard::Guard(EpochManager* mgr) : mgr_(mgr) {
+  slot_ = mgr_->PinSlot();
+}
+
+EpochManager::Guard::~Guard() { mgr_->ReleaseSlot(slot_); }
+
+size_t EpochManager::PinSlot() {
+  const size_t start = ThreadSlotHint();
+  for (;;) {
+    for (size_t probe = 0; probe < kMaxSlots; ++probe) {
+      const size_t i = (start + probe) % kMaxSlots;
+      uint64_t expected = 0;
+      // The pinned value must be <= any retirement tag assigned after this
+      // CAS, and the CAS must be ordered before the subsequent shared
+      // pointer load — both delivered by seq_cst (see class comment).
+      if (slots_[i].epoch.compare_exchange_strong(
+              expected, global_.load(std::memory_order_seq_cst),
+              std::memory_order_seq_cst, std::memory_order_relaxed)) {
+        return i;
+      }
+    }
+    // All slots busy: more concurrent guards than kMaxSlots. Back off until
+    // one frees up; guards are short-lived (one query cell).
+    std::this_thread::yield();
+  }
+}
+
+void EpochManager::ReleaseSlot(size_t slot) {
+  slots_[slot].epoch.store(0, std::memory_order_release);
+}
+
+uint64_t EpochManager::MinPinnedEpoch() const {
+  uint64_t min = UINT64_MAX;
+  for (const Slot& s : slots_) {
+    const uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+    if (e != 0 && e < min) min = e;
+  }
+  return min;
+}
+
+void EpochManager::Retire(std::function<void()> fn) {
+  // fetch_add returns the pre-increment epoch: a reader that raced the
+  // writer's pointer swap may have pinned exactly this value, so the
+  // callback only runs once the minimum pinned epoch exceeds the tag.
+  const uint64_t tag = global_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> l(retire_mu_);
+    retired_.push_back(Retired{tag, std::move(fn)});
+  }
+  n_retired_.fetch_add(1, std::memory_order_relaxed);
+  Collect();
+}
+
+void EpochManager::Collect() {
+  // Pop ripe callbacks under the mutex, run them outside it so a slow
+  // destructor (page frees hitting the pager) never blocks Retire callers
+  // longer than necessary.
+  std::vector<std::function<void()>> ripe;
+  {
+    std::lock_guard<std::mutex> l(retire_mu_);
+    const uint64_t min_pinned = MinPinnedEpoch();
+    while (!retired_.empty() && retired_.front().epoch < min_pinned) {
+      ripe.push_back(std::move(retired_.front().fn));
+      retired_.pop_front();
+    }
+  }
+  for (auto& fn : ripe) fn();
+  n_reclaimed_.fetch_add(ripe.size(), std::memory_order_relaxed);
+}
+
+EpochManager::~EpochManager() {
+  // By contract no guards are active; every pending callback is ripe.
+  Collect();
+}
+
+EpochManager::Stats EpochManager::stats() const {
+  Stats s;
+  s.retired = n_retired_.load(std::memory_order_relaxed);
+  s.reclaimed = n_reclaimed_.load(std::memory_order_relaxed);
+  s.pending = s.retired - s.reclaimed;
+  for (const Slot& slot : slots_) {
+    if (slot.epoch.load(std::memory_order_relaxed) != 0) s.pinned++;
+  }
+  return s;
+}
+
+}  // namespace swst

@@ -1,0 +1,116 @@
+#ifndef SWST_COMMON_EPOCH_H_
+#define SWST_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+namespace swst {
+
+/// \brief Epoch-based reclamation for lock-free readers.
+///
+/// The scheme protects objects that writers replace via atomic pointer swap
+/// and readers traverse without locks (per-shard snapshots, copy-on-write
+/// B+ tree pages). The protocol:
+///
+///  - A reader wraps each lock-free access in an `EpochManager::Guard`. The
+///    guard *pins* the current global epoch into one of a fixed array of
+///    per-thread slots (claimed with a single CAS) before the reader loads
+///    any shared pointer, and clears the slot when destroyed.
+///  - A writer that unlinks an object (swaps out a snapshot pointer,
+///    replaces a tree page) hands its destructor to `Retire`. The callback
+///    is tagged with the global epoch at retirement time and deferred.
+///  - A retired object is destroyed once every slot pinned at an epoch
+///    <= its tag has been released — at that point no reader can still
+///    hold a reference, including references reached *through* older
+///    objects (a reader pinned at epoch e blocks every retirement tagged
+///    >= e, so anything an e-era object points to is also safe).
+///
+/// Memory ordering: the pin store, the writer's pointer swap, and the
+/// collector's slot scan are all `seq_cst`. This gives the classic
+/// store/load fence pairing — either the reader's pin is visible to the
+/// collector (blocking reclamation), or the reader observes the *new*
+/// pointer and never touches the retired object.
+///
+/// Writers serialize on a small internal mutex in `Retire`/`Collect`;
+/// readers never take any lock (one CAS to pin, one store to unpin).
+class EpochManager {
+ public:
+  /// Fixed number of pin slots. Readers beyond this many *concurrent*
+  /// guards spin-yield until a slot frees up; 256 comfortably exceeds any
+  /// realistic query thread count.
+  static constexpr size_t kMaxSlots = 256;
+
+  /// RAII pin. Movable-from is intentionally disabled: a guard is meant to
+  /// live on the stack for the duration of one lock-free traversal.
+  class Guard {
+   public:
+    explicit Guard(EpochManager* mgr);
+    ~Guard();
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EpochManager* mgr_;
+    size_t slot_;
+  };
+
+  struct Stats {
+    uint64_t retired = 0;    ///< Total objects handed to Retire().
+    uint64_t reclaimed = 0;  ///< Total deferred destructors executed.
+    uint64_t pending = 0;    ///< retired - reclaimed (awaiting grace).
+    uint64_t pinned = 0;     ///< Slots currently pinned by active guards.
+  };
+
+  EpochManager() = default;
+  /// Runs every pending callback. Requires no active guards.
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Defers `fn` until every guard active at the time of this call has been
+  /// released. Advances the global epoch and opportunistically reclaims
+  /// whatever has already quiesced, so the pending list stays bounded by
+  /// the amount of churn one grace period can cover.
+  void Retire(std::function<void()> fn);
+
+  /// Runs callbacks whose grace period has elapsed. Called from Retire();
+  /// exposed so owners can drain at quiescent points (shutdown, tests).
+  void Collect();
+
+  Stats stats() const;
+
+ private:
+  friend class Guard;
+
+  /// One cache line per slot so pin/unpin traffic never false-shares.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{0};  ///< 0 = free, else pinned epoch.
+  };
+
+  size_t PinSlot();
+  void ReleaseSlot(size_t slot);
+  uint64_t MinPinnedEpoch() const;
+
+  Slot slots_[kMaxSlots];
+  std::atomic<uint64_t> global_{1};  ///< Never 0 (0 marks a free slot).
+
+  struct Retired {
+    uint64_t epoch;
+    std::function<void()> fn;
+  };
+  /// FIFO with non-decreasing epochs; guarded by retire_mu_ (writers only).
+  std::mutex retire_mu_;
+  std::deque<Retired> retired_;
+
+  std::atomic<uint64_t> n_retired_{0};
+  std::atomic<uint64_t> n_reclaimed_{0};
+};
+
+}  // namespace swst
+
+#endif  // SWST_COMMON_EPOCH_H_

@@ -27,68 +27,214 @@ float CeilFloat(double v) {
   return f;
 }
 
+/// Bounded seqlock retries before a reader gives up and skips pruning.
+/// Writers hold the odd state only for a handful of relaxed stores, so a
+/// retry nearly always succeeds; the bound keeps the read path wait-free.
+constexpr int kSeqlockRetries = 3;
+
 }  // namespace
 
 IsPresentMemo::IsPresentMemo(uint32_t spatial_cells, uint32_t s_partitions,
                              uint32_t d_slots)
     : sp_(s_partitions), d_slots_(d_slots) {
-  stats_.resize(static_cast<size_t>(spatial_cells) * 2 * sp_ * d_slots_);
+  n_stats_ = static_cast<size_t>(spatial_cells) * 2 * sp_ * d_slots_;
+  stats_ = std::make_unique<AtomicCellStat[]>(n_stats_);
+  meta_ = std::make_unique<ColMeta[]>(static_cast<size_t>(spatial_cells) * 2 *
+                                      sp_);
+}
+
+// Standard seqlock write protocol: flip the sequence odd, fence, mutate,
+// publish even with release. Readers that overlap the write see an odd or
+// changed sequence and retry. The writer itself is serialized by the
+// owning shard's mutex, so plain load/store (no RMW) suffices.
+void IsPresentMemo::BeginWrite(ColMeta& m) {
+  const uint32_t s = m.seq.load(std::memory_order_relaxed);
+  m.seq.store(s + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+void IsPresentMemo::EndWrite(ColMeta& m, uint64_t ver) {
+  m.ver.store(ver, std::memory_order_relaxed);
+  const uint32_t s = m.seq.load(std::memory_order_relaxed);
+  m.seq.store(s + 1, std::memory_order_release);
 }
 
 void IsPresentMemo::Add(uint32_t cell, int slot, uint32_t column, uint32_t dp,
-                        const Point& p) {
-  CellStat& s = stats_[Index(cell, slot, column, dp)];
+                        const Point& p, uint64_t ver) {
+  AtomicCellStat& s = stats_[Index(cell, slot, column, dp)];
+  ColMeta& m = meta_[ColIndex(cell, slot, column)];
   const float xlo = FloorFloat(p.x), xhi = CeilFloat(p.x);
   const float ylo = FloorFloat(p.y), yhi = CeilFloat(p.y);
-  if (s.count == 0) {
-    s.min_x = xlo;
-    s.max_x = xhi;
-    s.min_y = ylo;
-    s.max_y = yhi;
+  BeginWrite(m);
+  const uint32_t count = s.count.load(std::memory_order_relaxed);
+  if (count == 0) {
+    s.min_x.store(xlo, std::memory_order_relaxed);
+    s.max_x.store(xhi, std::memory_order_relaxed);
+    s.min_y.store(ylo, std::memory_order_relaxed);
+    s.max_y.store(yhi, std::memory_order_relaxed);
   } else {
-    s.min_x = std::min(s.min_x, xlo);
-    s.max_x = std::max(s.max_x, xhi);
-    s.min_y = std::min(s.min_y, ylo);
-    s.max_y = std::max(s.max_y, yhi);
+    s.min_x.store(std::min(s.min_x.load(std::memory_order_relaxed), xlo),
+                  std::memory_order_relaxed);
+    s.max_x.store(std::max(s.max_x.load(std::memory_order_relaxed), xhi),
+                  std::memory_order_relaxed);
+    s.min_y.store(std::min(s.min_y.load(std::memory_order_relaxed), ylo),
+                  std::memory_order_relaxed);
+    s.max_y.store(std::max(s.max_y.load(std::memory_order_relaxed), yhi),
+                  std::memory_order_relaxed);
   }
-  s.count++;
+  s.count.store(count + 1, std::memory_order_relaxed);
+  EndWrite(m, ver);
 }
 
 void IsPresentMemo::AddN(uint32_t cell, int slot, uint32_t column, uint32_t dp,
-                         const Point* pts, size_t n) {
+                         const Point* pts, size_t n, uint64_t ver) {
   if (n == 0) return;
-  CellStat& s = stats_[Index(cell, slot, column, dp)];
+  AtomicCellStat& s = stats_[Index(cell, slot, column, dp)];
+  ColMeta& m = meta_[ColIndex(cell, slot, column)];
+  BeginWrite(m);
+  const uint32_t count = s.count.load(std::memory_order_relaxed);
+  float min_x, max_x, min_y, max_y;
   size_t i = 0;
-  if (s.count == 0) {
-    s.min_x = FloorFloat(pts[0].x);
-    s.max_x = CeilFloat(pts[0].x);
-    s.min_y = FloorFloat(pts[0].y);
-    s.max_y = CeilFloat(pts[0].y);
+  if (count == 0) {
+    min_x = FloorFloat(pts[0].x);
+    max_x = CeilFloat(pts[0].x);
+    min_y = FloorFloat(pts[0].y);
+    max_y = CeilFloat(pts[0].y);
     i = 1;
+  } else {
+    min_x = s.min_x.load(std::memory_order_relaxed);
+    max_x = s.max_x.load(std::memory_order_relaxed);
+    min_y = s.min_y.load(std::memory_order_relaxed);
+    max_y = s.max_y.load(std::memory_order_relaxed);
   }
   for (; i < n; ++i) {
-    s.min_x = std::min(s.min_x, FloorFloat(pts[i].x));
-    s.max_x = std::max(s.max_x, CeilFloat(pts[i].x));
-    s.min_y = std::min(s.min_y, FloorFloat(pts[i].y));
-    s.max_y = std::max(s.max_y, CeilFloat(pts[i].y));
+    min_x = std::min(min_x, FloorFloat(pts[i].x));
+    max_x = std::max(max_x, CeilFloat(pts[i].x));
+    min_y = std::min(min_y, FloorFloat(pts[i].y));
+    max_y = std::max(max_y, CeilFloat(pts[i].y));
   }
-  s.count += static_cast<uint32_t>(n);
+  s.min_x.store(min_x, std::memory_order_relaxed);
+  s.max_x.store(max_x, std::memory_order_relaxed);
+  s.min_y.store(min_y, std::memory_order_relaxed);
+  s.max_y.store(max_y, std::memory_order_relaxed);
+  s.count.store(count + static_cast<uint32_t>(n), std::memory_order_relaxed);
+  EndWrite(m, ver);
 }
 
 void IsPresentMemo::Remove(uint32_t cell, int slot, uint32_t column,
-                           uint32_t dp) {
-  CellStat& s = stats_[Index(cell, slot, column, dp)];
-  assert(s.count > 0);
-  s.count--;
-  if (s.count == 0) {
-    s = CellStat{};
+                           uint32_t dp, uint64_t ver) {
+  AtomicCellStat& s = stats_[Index(cell, slot, column, dp)];
+  ColMeta& m = meta_[ColIndex(cell, slot, column)];
+  const uint32_t count = s.count.load(std::memory_order_relaxed);
+  assert(count > 0);
+  BeginWrite(m);
+  if (count == 1) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.min_x.store(0, std::memory_order_relaxed);
+    s.max_x.store(0, std::memory_order_relaxed);
+    s.min_y.store(0, std::memory_order_relaxed);
+    s.max_y.store(0, std::memory_order_relaxed);
+  } else {
+    s.count.store(count - 1, std::memory_order_relaxed);
+  }
+  EndWrite(m, ver);
+}
+
+void IsPresentMemo::ResetSlot(uint32_t cell, int slot, uint64_t ver) {
+  for (uint32_t column = 0; column < sp_; ++column) {
+    ColMeta& m = meta_[ColIndex(cell, slot, column)];
+    AtomicCellStat* col = &stats_[Index(cell, slot, column, 0)];
+    BeginWrite(m);
+    for (uint32_t dp = 0; dp < d_slots_; ++dp) {
+      col[dp].count.store(0, std::memory_order_relaxed);
+      col[dp].min_x.store(0, std::memory_order_relaxed);
+      col[dp].max_x.store(0, std::memory_order_relaxed);
+      col[dp].min_y.store(0, std::memory_order_relaxed);
+      col[dp].max_y.store(0, std::memory_order_relaxed);
+    }
+    EndWrite(m, ver);
   }
 }
 
-void IsPresentMemo::ResetSlot(uint32_t cell, int slot) {
-  const size_t begin = Index(cell, slot, 0, 0);
-  const size_t n = static_cast<size_t>(sp_) * d_slots_;
-  std::fill(stats_.begin() + begin, stats_.begin() + begin + n, CellStat{});
+IsPresentMemo::CellStat IsPresentMemo::At(uint32_t cell, int slot,
+                                          uint32_t column, uint32_t dp) const {
+  const AtomicCellStat& s = stats_[Index(cell, slot, column, dp)];
+  CellStat out;
+  out.count = s.count.load(std::memory_order_relaxed);
+  out.min_x = s.min_x.load(std::memory_order_relaxed);
+  out.max_x = s.max_x.load(std::memory_order_relaxed);
+  out.min_y = s.min_y.load(std::memory_order_relaxed);
+  out.max_y = s.max_y.load(std::memory_order_relaxed);
+  return out;
+}
+
+bool IsPresentMemo::ReadColumn(uint32_t cell, int slot, uint32_t column,
+                               uint64_t snapshot_version,
+                               CellStat* out) const {
+  const ColMeta& m = meta_[ColIndex(cell, slot, column)];
+  const AtomicCellStat* col = &stats_[Index(cell, slot, column, 0)];
+  for (int retry = 0; retry < kSeqlockRetries; ++retry) {
+    const uint32_t s1 = m.seq.load(std::memory_order_acquire);
+    if (s1 & 1) continue;
+    for (uint32_t dp = 0; dp < d_slots_; ++dp) {
+      out[dp].count = col[dp].count.load(std::memory_order_relaxed);
+      out[dp].min_x = col[dp].min_x.load(std::memory_order_relaxed);
+      out[dp].max_x = col[dp].max_x.load(std::memory_order_relaxed);
+      out[dp].min_y = col[dp].min_y.load(std::memory_order_relaxed);
+      out[dp].max_y = col[dp].max_y.load(std::memory_order_relaxed);
+    }
+    const uint64_t ver = m.ver.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (m.seq.load(std::memory_order_relaxed) != s1) continue;
+    // Consistent copy; usable only if no mutation newer than the reader's
+    // snapshot has touched this column (it may have shrunk since).
+    return ver <= snapshot_version;
+  }
+  return false;
+}
+
+bool IsPresentMemo::TrimColumn(uint32_t cell, int slot, uint32_t column,
+                               uint64_t snapshot_version, const Rect& overlap,
+                               uint32_t* n_start, uint32_t* n_end) const {
+  const ColMeta& m = meta_[ColIndex(cell, slot, column)];
+  const AtomicCellStat* col = &stats_[Index(cell, slot, column, 0)];
+  // Individual loads are relaxed; the seqlock validation below makes the
+  // whole trim consistent, exactly as it does for a ReadColumn copy.
+  auto intersects = [&](uint32_t dp) {
+    if (col[dp].count.load(std::memory_order_relaxed) == 0) return false;
+    return col[dp].min_x.load(std::memory_order_relaxed) <= overlap.hi.x &&
+           overlap.lo.x <= col[dp].max_x.load(std::memory_order_relaxed) &&
+           col[dp].min_y.load(std::memory_order_relaxed) <= overlap.hi.y &&
+           overlap.lo.y <= col[dp].max_y.load(std::memory_order_relaxed);
+  };
+  for (int retry = 0; retry < kSeqlockRetries; ++retry) {
+    const uint32_t s1 = m.seq.load(std::memory_order_acquire);
+    if (s1 & 1) continue;
+    uint32_t lo = *n_start;
+    uint32_t hi = *n_end;
+    while (lo <= hi && !intersects(lo)) lo++;
+    while (hi > lo && !intersects(hi)) hi--;
+    const uint64_t ver = m.ver.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (m.seq.load(std::memory_order_relaxed) != s1) continue;
+    if (ver > snapshot_version) return false;
+    *n_start = lo;
+    *n_end = hi;
+    return true;
+  }
+  return false;
+}
+
+std::vector<IsPresentMemo::CellStat> IsPresentMemo::stats() const {
+  std::vector<CellStat> out(n_stats_);
+  for (size_t i = 0; i < n_stats_; ++i) {
+    out[i].count = stats_[i].count.load(std::memory_order_relaxed);
+    out[i].min_x = stats_[i].min_x.load(std::memory_order_relaxed);
+    out[i].max_x = stats_[i].max_x.load(std::memory_order_relaxed);
+    out[i].min_y = stats_[i].min_y.load(std::memory_order_relaxed);
+    out[i].max_y = stats_[i].max_y.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 }  // namespace swst

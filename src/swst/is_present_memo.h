@@ -1,7 +1,9 @@
 #ifndef SWST_SWST_IS_PRESENT_MEMO_H_
 #define SWST_SWST_IS_PRESENT_MEMO_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/types.h"
@@ -25,6 +27,23 @@ namespace swst {
 /// insert (a conservative over-approximation) and reset when a temporal
 /// cell empties or when a whole tree slot is dropped with the expired
 /// window.
+///
+/// ## Concurrency
+///
+/// The memo is shared between one writer (serialized by the owning
+/// shard's mutex) and lock-free snapshot readers. All statistics are
+/// stored in atomics, and each (cell, slot, column) *column* of d-slots
+/// carries a seqlock word plus the *version* of the shard mutation that
+/// last touched it. `ReadColumn` is the wait-free read path: it copies a
+/// column under a bounded number of seqlock retries and reports whether
+/// the copy is consistent with the reader's shard-snapshot version — a
+/// column touched by a *newer* mutation than the reader's snapshot must
+/// not be used to prune, because it may have shrunk (a delete zeroing a
+/// count, a slot reset) relative to the tree the reader actually scans.
+/// Failure is always safe: the caller simply skips memo pruning for that
+/// column. Writers pass the version of the mutation in progress to
+/// `Add`/`AddN`/`Remove`/`ResetSlot` (tests may omit it; version 0 reads
+/// as "never modified").
 class IsPresentMemo {
  public:
   /// Per-temporal-cell statistics. Coordinates are stored as floats (the
@@ -48,43 +67,75 @@ class IsPresentMemo {
   IsPresentMemo(uint32_t spatial_cells, uint32_t s_partitions,
                 uint32_t d_slots);
 
+  IsPresentMemo(const IsPresentMemo&) = delete;
+  IsPresentMemo& operator=(const IsPresentMemo&) = delete;
+
   /// Records an entry at absolute position `p` (memo MBRs are in domain
-  /// coordinates, matching query rectangles).
+  /// coordinates, matching query rectangles). `ver` is the shard mutation
+  /// version this write belongs to (see class comment).
   void Add(uint32_t cell, int slot, uint32_t column, uint32_t dp,
-           const Point& p);
+           const Point& p, uint64_t ver = 0);
 
   /// Records `n` entries of one temporal cell in a single update (the batch
   /// insert path groups points by temporal cell first). The resulting
   /// statistics are bit-identical to `n` individual `Add` calls.
   void AddN(uint32_t cell, int slot, uint32_t column, uint32_t dp,
-            const Point* pts, size_t n);
+            const Point* pts, size_t n, uint64_t ver = 0);
 
   /// Removes one entry. The MBR resets when the count reaches zero,
   /// otherwise it stays (conservatively) unchanged.
-  void Remove(uint32_t cell, int slot, uint32_t column, uint32_t dp);
+  void Remove(uint32_t cell, int slot, uint32_t column, uint32_t dp,
+              uint64_t ver = 0);
 
   /// Clears a whole slot; called when the expired B+ tree is dropped.
-  void ResetSlot(uint32_t cell, int slot);
+  void ResetSlot(uint32_t cell, int slot, uint64_t ver = 0);
 
-  const CellStat& At(uint32_t cell, int slot, uint32_t column,
-                     uint32_t dp) const {
-    return stats_[Index(cell, slot, column, dp)];
-  }
+  /// Composite read of one temporal cell. *Not* seqlock-validated: exact
+  /// only when no writer runs concurrently (tests, writer-side code under
+  /// the shard lock). Lock-free readers use `ReadColumn`.
+  CellStat At(uint32_t cell, int slot, uint32_t column, uint32_t dp) const;
 
   /// True iff the temporal cell has entries whose MBR intersects `area`.
+  /// Same caveat as `At`.
   bool MayContain(uint32_t cell, int slot, uint32_t column, uint32_t dp,
                   const Rect& area) const {
     return At(cell, slot, column, dp).Intersects(area);
   }
 
+  /// Wait-free reader path: copies the `d_slots()` stats of one column
+  /// into `out` and returns true iff the copy is internally consistent
+  /// (bounded seqlock retries) *and* the column was last modified at or
+  /// before `snapshot_version`. On false the caller must not prune with
+  /// the column (treat every temporal cell as "may contain").
+  bool ReadColumn(uint32_t cell, int slot, uint32_t column,
+                  uint64_t snapshot_version, CellStat* out) const;
+
+  /// Wait-free trimming read, the query hot path: advances `*n_start` up /
+  /// `*n_end` down past the temporal cells of one column whose stats
+  /// cannot intersect `overlap`, exactly as the caller's own trim loops
+  /// over a `ReadColumn` copy would — but touching only the stats those
+  /// loops actually inspect (an empty temporal cell costs one count load,
+  /// the common case in a mostly-prunable column, instead of a full
+  /// column copy). Post-condition on success: either `*n_start > *n_end`
+  /// (the whole column is pruned) or the cell at `*n_start` intersects.
+  /// Returns true iff the trim was computed from a consistent view
+  /// (bounded seqlock retries) last modified at or before
+  /// `snapshot_version`; on false the bounds are untouched and the caller
+  /// must not prune.
+  bool TrimColumn(uint32_t cell, int slot, uint32_t column,
+                  uint64_t snapshot_version, const Rect& overlap,
+                  uint32_t* n_start, uint32_t* n_end) const;
+
   /// Bytes of statistical state (paper §V-E reports 25 MB at defaults).
-  size_t MemoryUsage() const { return stats_.size() * sizeof(CellStat); }
+  /// Excludes the per-column seqlock/version words, which are bookkeeping
+  /// rather than statistics.
+  size_t MemoryUsage() const { return n_stats_ * sizeof(CellStat); }
 
   /// Number of temporal cells currently holding at least one entry.
   uint64_t NonEmptyCells() const {
     uint64_t n = 0;
-    for (const CellStat& s : stats_) {
-      if (s.count > 0) n++;
+    for (size_t i = 0; i < n_stats_; ++i) {
+      if (stats_[i].count.load(std::memory_order_relaxed) > 0) n++;
     }
     return n;
   }
@@ -92,19 +143,42 @@ class IsPresentMemo {
   uint32_t s_partitions() const { return sp_; }
   uint32_t d_slots() const { return d_slots_; }
 
-  /// Raw statistics vector, ordered by (cell, slot, column, dp); for
-  /// snapshots in differential tests.
-  const std::vector<CellStat>& stats() const { return stats_; }
+  /// Materialized statistics, ordered by (cell, slot, column, dp); for
+  /// snapshots in differential tests. Same caveat as `At`.
+  std::vector<CellStat> stats() const;
 
  private:
+  /// One temporal cell's statistics, field-for-field the atomic mirror of
+  /// `CellStat` (same 20-byte layout, so `MemoryUsage` stays honest).
+  struct AtomicCellStat {
+    std::atomic<uint32_t> count{0};
+    std::atomic<float> min_x{0}, min_y{0}, max_x{0}, max_y{0};
+  };
+  static_assert(sizeof(AtomicCellStat) == sizeof(CellStat));
+
+  /// Seqlock + last-writer version of one (cell, slot, column) column.
+  struct ColMeta {
+    std::atomic<uint32_t> seq{0};  ///< Odd while a write is in progress.
+    std::atomic<uint64_t> ver{0};  ///< Shard version of the last write.
+  };
+
   size_t Index(uint32_t cell, int slot, uint32_t column, uint32_t dp) const {
     return ((static_cast<size_t>(cell) * 2 + slot) * sp_ + column) * d_slots_ +
            dp;
   }
+  size_t ColIndex(uint32_t cell, int slot, uint32_t column) const {
+    return (static_cast<size_t>(cell) * 2 + slot) * sp_ + column;
+  }
+
+  /// Seqlock write section around one column mutation.
+  void BeginWrite(ColMeta& m);
+  void EndWrite(ColMeta& m, uint64_t ver);
 
   uint32_t sp_;
   uint32_t d_slots_;
-  std::vector<CellStat> stats_;
+  size_t n_stats_;
+  std::unique_ptr<AtomicCellStat[]> stats_;
+  std::unique_ptr<ColMeta[]> meta_;
 };
 
 }  // namespace swst

@@ -51,11 +51,13 @@ struct SwstOptions {
   /// --- Concurrency (see docs/concurrency.md) -----------------------------
 
   /// Number of shards the spatial cells are split into. Each shard is a
-  /// contiguous range of cells with its own reader/writer lock, cell-tree
-  /// directory, and isPresent-memo slice, so operations on different
-  /// shards never contend. 0 = automatic (min(16, cell_count)). Purely a
-  /// runtime knob: it does not affect the on-disk format and may differ
-  /// between Save and Open.
+  /// contiguous range of cells with its own writer mutex, cell-tree
+  /// directory, isPresent-memo slice, and atomically published snapshot.
+  /// Writers on different shards never contend; readers never take any
+  /// shard lock at all — they pin the shard's immutable snapshot via
+  /// epoch-based reclamation. 0 = automatic (min(16, cell_count)).
+  /// Purely a runtime knob: it does not affect the on-disk format and
+  /// may differ between Save and Open.
   uint32_t shard_count = 0;
 
   /// Worker threads used to fan a single query out across its overlapping

@@ -50,6 +50,19 @@ void QueryExecutor::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+void QueryExecutor::SubmitBatch(std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (m_tasks_ != nullptr) m_tasks_->Increment(tasks.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& t : tasks) {
+      queue_.push_back(std::move(t));
+    }
+  }
+  cv_.notify_all();
+  tasks.clear();
+}
+
 void QueryExecutor::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

@@ -18,11 +18,12 @@ namespace swst {
 ///
 /// Tasks are plain `void()` closures executed FIFO; completion signalling
 /// (and any cancellation) is the submitter's responsibility — `SwstIndex`
-/// uses a per-query done-bitmap + condition variable so results can be
-/// consumed in deterministic cell order as tasks finish (see
-/// docs/concurrency.md). The pool is created once per index when
-/// `SwstOptions::query_threads > 1` and shared by all of that index's
-/// queries; tasks must never block on other tasks.
+/// gives every task its own output buffer and per-task atomic done flag
+/// (`std::atomic` wait/notify, no shared mutex on the result path) and
+/// merges the buffers on the consuming thread in deterministic cell order
+/// as tasks finish (see docs/concurrency.md). The pool is created once per
+/// index when `SwstOptions::query_threads > 1` and shared by all of that
+/// index's queries; tasks must never block on other tasks.
 ///
 /// With a non-null `registry` the executor exposes `swst_executor_*`:
 /// a task counter, a thread-count gauge, and a queue-depth callback gauge
@@ -42,6 +43,11 @@ class QueryExecutor {
 
   /// Enqueues `task` for execution on some worker thread.
   void Submit(std::function<void()> task);
+
+  /// Enqueues a whole batch of tasks under one queue-lock acquisition (a
+  /// fan-out submits one task per overlapping cell; per-task Submit would
+  /// take the lock once per cell). The batch is consumed destructively.
+  void SubmitBatch(std::vector<std::function<void()>>& tasks);
 
  private:
   void WorkerLoop();

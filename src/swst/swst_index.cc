@@ -39,6 +39,11 @@ SwstIndex::SwstIndex(BufferPool* pool, const SwstOptions& options)
   for (uint32_t begin = 0; begin < total; begin += cells_per_shard_) {
     const uint32_t count = std::min(cells_per_shard_, total - begin);
     shards_.push_back(std::make_unique<Shard>(begin, count, sp, ds));
+    // Initial (empty) snapshot so the lock-free read path never sees a
+    // null pointer, even on an index that was never written to.
+    shards_.back()->snap.store(
+        new ShardSnapshot{0, 0, shards_.back()->cells},
+        std::memory_order_release);
   }
   if (options.query_threads > 1) {
     executor_ = std::make_unique<QueryExecutor>(options.query_threads,
@@ -54,6 +59,12 @@ SwstIndex::~SwstIndex() {
     // over the same registry keeps accumulating into the same series.
     // (The executor unregisters its own callbacks.)
     options_.metrics->UnregisterCallbacksByOwner(this);
+  }
+  // No queries are in flight at destruction (API contract), so every
+  // shard's current snapshot is unreachable once dropped here; superseded
+  // snapshots and retired pages drain in ~EpochManager.
+  for (auto& shard : shards_) {
+    delete shard->snap.load(std::memory_order_acquire);
   }
 }
 
@@ -90,6 +101,23 @@ void SwstIndex::RegisterMetrics() {
       "swst_index_query_node_accesses", "Node accesses per query");
   m_batch_records_ = r->RegisterHistogram("swst_index_batch_records",
                                           "Entries per InsertBatch call");
+  m_shard_lock_wait_us_ = r->RegisterHistogram(
+      "swst_index_shard_lock_wait_us",
+      "Writer-path wait for an exclusive shard lock (us; queries are "
+      "lock-free and never record here)");
+  m_snapshots_published_ = r->RegisterCounter(
+      "swst_epoch_snapshots_published_total",
+      "Immutable shard snapshots published by writers");
+  m_snapshots_retired_ = r->RegisterCounter(
+      "swst_epoch_snapshots_retired_total",
+      "Superseded shard snapshots retired for epoch reclamation");
+  r->RegisterCallback(
+      "swst_epoch_pinned", "Epoch guards currently pinned by readers",
+      [this] { return static_cast<int64_t>(epoch_.stats().pinned); }, this);
+  r->RegisterCallback(
+      "swst_epoch_pending",
+      "Retired objects awaiting their epoch grace period",
+      [this] { return static_cast<int64_t>(epoch_.stats().pending); }, this);
   r->RegisterCallback(
       "swst_index_shards", "Shards the cell directory is split into",
       [this] { return static_cast<int64_t>(shards_.size()); }, this);
@@ -183,16 +211,52 @@ uint64_t SwstIndex::KeyFor(const Entry& entry, uint32_t cell) const {
   return codec_.MakeKey(entry.start, entry.duration, qx, qy);
 }
 
-Status SwstIndex::PrepareTree(Shard& shard, uint32_t cell, uint64_t epoch) {
+std::unique_lock<std::shared_mutex> SwstIndex::LockShard(Shard& shard) {
+  if (m_shard_lock_wait_us_ == nullptr) {
+    return std::unique_lock<std::shared_mutex>(shard.mu);
+  }
+  std::unique_lock<std::shared_mutex> lock(shard.mu, std::try_to_lock);
+  if (lock.owns_lock()) {
+    m_shard_lock_wait_us_->Record(0);
+    return lock;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  lock.lock();
+  m_shard_lock_wait_us_->Record(MicrosSince(t0));
+  return lock;
+}
+
+void SwstIndex::PublishShard(Shard& shard, std::vector<PageId> retired) {
+  shard.version++;
+  auto* next = new ShardSnapshot{shard.version, now(), shard.cells};
+  ShardSnapshot* old = shard.snap.exchange(next, std::memory_order_seq_cst);
+  if (m_snapshots_published_ != nullptr) {
+    m_snapshots_published_->Increment();
+    m_snapshots_retired_->Increment();
+  }
+  // The old snapshot — and the pages this mutation rewrote, which the old
+  // snapshot's roots may still reach — stay alive until every reader
+  // pinned at or before the swap has unpinned.
+  epoch_.Retire(
+      [pool = pool_, old, pages = std::move(retired)] {
+        for (PageId id : pages) pool->Free(id);
+        delete old;
+      });
+}
+
+Status SwstIndex::PrepareTree(Shard& shard, uint32_t cell, uint64_t epoch,
+                              std::vector<PageId>* retired) {
   CellTrees& ct = CellIn(shard, cell);
   const int slot = static_cast<int>(epoch % 2);
   if (ct.root[slot] != kInvalidPageId) {
     if (ct.epoch[slot] == epoch) return Status::OK();
     // The slot holds a fully expired epoch (epoch - 2 or older): drop it
     // wholesale — this is SWST's entire deletion cost for a window's data.
-    BTree stale = BTree::Attach(pool_, ct.root[slot]);
+    // In COW mode Drop retires the pages instead of freeing them: readers
+    // pinned on the published snapshot may still be traversing the tree.
+    BTree stale = BTree::AttachCow(pool_, ct.root[slot], retired);
     SWST_RETURN_IF_ERROR(stale.Drop());
-    shard.memo.ResetSlot(cell - shard.cell_begin, slot);
+    shard.memo.ResetSlot(cell - shard.cell_begin, slot, shard.version + 1);
     ct.root[slot] = kInvalidPageId;
     if (m_trees_dropped_ != nullptr) m_trees_dropped_->Increment();
   }
@@ -204,13 +268,14 @@ Status SwstIndex::PrepareTree(Shard& shard, uint32_t cell, uint64_t epoch) {
 }
 
 Status SwstIndex::DropExpired(Shard& shard, uint32_t cell,
-                              uint64_t min_live_epoch) {
+                              uint64_t min_live_epoch,
+                              std::vector<PageId>* retired) {
   CellTrees& ct = CellIn(shard, cell);
   for (int slot = 0; slot < 2; ++slot) {
     if (ct.root[slot] != kInvalidPageId && ct.epoch[slot] < min_live_epoch) {
-      BTree stale = BTree::Attach(pool_, ct.root[slot]);
+      BTree stale = BTree::AttachCow(pool_, ct.root[slot], retired);
       SWST_RETURN_IF_ERROR(stale.Drop());
-      shard.memo.ResetSlot(cell - shard.cell_begin, slot);
+      shard.memo.ResetSlot(cell - shard.cell_begin, slot, shard.version + 1);
       ct.root[slot] = kInvalidPageId;
       if (m_trees_dropped_ != nullptr) m_trees_dropped_->Increment();
     }
@@ -232,15 +297,20 @@ Status SwstIndex::Advance(Timestamp t) {
   BumpClock(t);
   const uint64_t k = now() / options_.epoch_length();
   const uint64_t min_live = (k == 0) ? 0 : k - 1;
-  // Each shard is swept under its own exclusive lock; shards not being
-  // swept stay fully available to readers and writers.
+  // Each shard is swept under its own exclusive lock; other shards stay
+  // fully available to writers, and readers everywhere keep executing
+  // against published snapshots — queries never block behind Advance.
   for (auto& shard : shards_) {
-    std::unique_lock<std::shared_mutex> lock(shard->mu);
+    std::vector<PageId> retired;
+    auto lock = LockShard(*shard);
     const uint32_t end =
         shard->cell_begin + static_cast<uint32_t>(shard->cells.size());
     for (uint32_t cell = shard->cell_begin; cell < end; ++cell) {
-      SWST_RETURN_IF_ERROR(DropExpired(*shard, cell, min_live));
+      SWST_RETURN_IF_ERROR(DropExpired(*shard, cell, min_live, &retired));
     }
+    // A dropped tree always retires at least its root page, so an empty
+    // list means the sweep changed nothing — skip the publish.
+    if (!retired.empty()) PublishShard(*shard, std::move(retired));
   }
   return SyncWal();
 }
@@ -253,7 +323,7 @@ Status SwstIndex::Insert(const Entry& entry) {
   Shard& shard = ShardFor(cell);
   std::shared_lock<std::shared_mutex> ckpt(checkpoint_mu_);
   {
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    auto lock = LockShard(shard);
     if (wal_ != nullptr && !replaying_) {
       // Log-before-data, but only for entries that will be accepted — a
       // rejected insert must leave no record (the pre-validation mirrors
@@ -262,13 +332,16 @@ Status SwstIndex::Insert(const Entry& entry) {
       SWST_RETURN_IF_ERROR(
           LogOp(WalRecordType::kInsert, &entry, sizeof(Entry)));
     }
-    SWST_RETURN_IF_ERROR(InsertLocked(shard, cell, entry));
+    std::vector<PageId> retired;
+    SWST_RETURN_IF_ERROR(InsertLocked(shard, cell, entry, &retired));
+    PublishShard(shard, std::move(retired));
   }
   return SyncWal();
 }
 
 Status SwstIndex::InsertLocked(Shard& shard, uint32_t cell,
-                               const Entry& entry) {
+                               const Entry& entry,
+                               std::vector<PageId>* retired) {
   if (!entry.is_current() &&
       (entry.duration == 0 || entry.duration > options_.max_duration)) {
     return Status::InvalidArgument("Insert: duration outside [1, Dmax]");
@@ -280,17 +353,18 @@ Status SwstIndex::InsertLocked(Shard& shard, uint32_t cell,
   }
 
   const uint64_t epoch = codec_.Epoch(entry.start);
-  SWST_RETURN_IF_ERROR(PrepareTree(shard, cell, epoch));
+  SWST_RETURN_IF_ERROR(PrepareTree(shard, cell, epoch, retired));
 
   const int slot = static_cast<int>(epoch % 2);
   CellTrees& ct = CellIn(shard, cell);
-  BTree tree = BTree::Attach(pool_, ct.root[slot]);
+  BTree tree = BTree::AttachCow(pool_, ct.root[slot], retired);
   SWST_RETURN_IF_ERROR(tree.Insert(KeyFor(entry, cell), entry));
   ct.root[slot] = tree.root();
 
   shard.memo.Add(cell - shard.cell_begin, slot,
                  codec_.LocalColumn(entry.start),
-                 codec_.DPartition(entry.duration), entry.pos);
+                 codec_.DPartition(entry.duration), entry.pos,
+                 shard.version + 1);
   if (m_inserts_ != nullptr) m_inserts_->Increment();
   return Status::OK();
 }
@@ -364,17 +438,19 @@ Status SwstIndex::InsertBatch(const Entry* entries, size_t n) {
 
   std::vector<BTreeRecord> recs;
   std::vector<Point> run_pts;
+  std::vector<PageId> retired;
   size_t i = 0;
   while (i < n) {
     Shard& shard = ShardFor(items[i].cell);
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    retired.clear();
+    auto lock = LockShard(shard);
     while (i < n && &ShardFor(items[i].cell) == &shard) {
       const uint32_t cell = items[i].cell;
       const uint64_t epoch = items[i].epoch;
       size_t g = i;
       while (g < n && items[g].cell == cell && items[g].epoch == epoch) ++g;
 
-      SWST_RETURN_IF_ERROR(PrepareTree(shard, cell, epoch));
+      SWST_RETURN_IF_ERROR(PrepareTree(shard, cell, epoch, &retired));
       const int slot = static_cast<int>(epoch % 2);
       CellTrees& ct = CellIn(shard, cell);
       recs.clear();
@@ -382,7 +458,7 @@ Status SwstIndex::InsertBatch(const Entry* entries, size_t n) {
       for (size_t j = i; j < g; ++j) {
         recs.push_back(BTreeRecord{items[j].key, entries[items[j].index]});
       }
-      BTree tree = BTree::Attach(pool_, ct.root[slot]);
+      BTree tree = BTree::AttachCow(pool_, ct.root[slot], &retired);
       SWST_RETURN_IF_ERROR(tree.InsertBatch(recs));
       ct.root[slot] = tree.root();
 
@@ -405,11 +481,14 @@ Status SwstIndex::InsertBatch(const Entry* entries, size_t n) {
           run_pts.push_back(e.pos);
         }
         shard.memo.AddN(local_cell, slot, column, dp, run_pts.data(),
-                        run_pts.size());
+                        run_pts.size(), shard.version + 1);
         r = r2;
       }
       i = g;
     }
+    // One publish per touched shard: the whole slice of the batch that
+    // landed here becomes visible to queries atomically.
+    PublishShard(shard, std::move(retired));
   }
   if (m_inserts_ != nullptr) {
     m_inserts_->Increment(n);
@@ -426,32 +505,35 @@ Status SwstIndex::Delete(const Entry& entry) {
   Shard& shard = ShardFor(cell);
   std::shared_lock<std::shared_mutex> ckpt(checkpoint_mu_);
   {
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    auto lock = LockShard(shard);
     // Logged before the epoch-liveness check: a Delete that turns out to
     // be NotFound leaves a record behind, and redo replays it to the same
     // NotFound (a counted skip) — harmless, and it keeps the hot path to
     // one tree descent.
     SWST_RETURN_IF_ERROR(LogOp(WalRecordType::kDelete, &entry, sizeof(Entry)));
-    SWST_RETURN_IF_ERROR(DeleteLocked(shard, cell, entry));
+    std::vector<PageId> retired;
+    SWST_RETURN_IF_ERROR(DeleteLocked(shard, cell, entry, &retired));
+    PublishShard(shard, std::move(retired));
   }
   return SyncWal();
 }
 
 Status SwstIndex::DeleteLocked(Shard& shard, uint32_t cell,
-                               const Entry& entry) {
+                               const Entry& entry,
+                               std::vector<PageId>* retired) {
   const uint64_t epoch = codec_.Epoch(entry.start);
   const int slot = static_cast<int>(epoch % 2);
   CellTrees& ct = CellIn(shard, cell);
   if (ct.root[slot] == kInvalidPageId || ct.epoch[slot] != epoch) {
     return Status::NotFound("Delete: entry's epoch is no longer live");
   }
-  BTree tree = BTree::Attach(pool_, ct.root[slot]);
+  BTree tree = BTree::AttachCow(pool_, ct.root[slot], retired);
   SWST_RETURN_IF_ERROR(tree.Delete(KeyFor(entry, cell), entry.oid,
                                    entry.start));
   ct.root[slot] = tree.root();
   shard.memo.Remove(cell - shard.cell_begin, slot,
                     codec_.LocalColumn(entry.start),
-                    codec_.DPartition(entry.duration));
+                    codec_.DPartition(entry.duration), shard.version + 1);
   if (m_deletes_ != nullptr) m_deletes_->Increment();
   return Status::OK();
 }
@@ -473,9 +555,10 @@ Status SwstIndex::CloseCurrent(const Entry& current, Duration actual) {
   Shard& shard = ShardFor(cell);
   std::shared_lock<std::shared_mutex> ckpt(checkpoint_mu_);
   {
-    // Delete + re-insert under one critical section: the close is atomic
-    // to concurrent queries of this shard.
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    // Delete + re-insert under one critical section and ONE publish: a
+    // query sees either the still-open entry or the closed one, never
+    // both and never neither (no torn view).
+    auto lock = LockShard(shard);
     CellTrees& ct = CellIn(shard, cell);
     if (ct.root[slot] == kInvalidPageId || ct.epoch[slot] != epoch) {
       // The entry expired with its window; nothing to close (and nothing
@@ -487,10 +570,12 @@ Status SwstIndex::CloseCurrent(const Entry& current, Duration actual) {
       SWST_RETURN_IF_ERROR(
           LogOp(WalRecordType::kClose, &payload, sizeof(payload)));
     }
-    SWST_RETURN_IF_ERROR(DeleteLocked(shard, cell, current));
+    std::vector<PageId> retired;
+    SWST_RETURN_IF_ERROR(DeleteLocked(shard, cell, current, &retired));
     Entry closed = current;
     closed.duration = actual;
-    SWST_RETURN_IF_ERROR(InsertLocked(shard, cell, closed));
+    SWST_RETURN_IF_ERROR(InsertLocked(shard, cell, closed, &retired));
+    PublishShard(shard, std::move(retired));
   }
   return SyncWal();
 }
@@ -561,9 +646,16 @@ Status SwstIndex::SearchCell(const SpatialGrid::CellOverlap& co,
   const QueryStats before = (stats != nullptr) ? *stats : QueryStats{};
 
   Shard& shard = ShardFor(co.cell);
-  // Shared lock: mutations of this shard wait, other shards are untouched.
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
-  const CellTrees& ct = CellIn(shard, co.cell);
+  // Lock-free read path: pin an epoch, load the shard's published
+  // snapshot, and execute entirely against that frozen directory. No
+  // shard or checkpoint mutex — writers never make this search wait, and
+  // this search never makes a writer wait. The pin (seq_cst, like the
+  // publisher's pointer swap) guarantees everything the snapshot
+  // references — including its copy-on-write tree pages — outlives the
+  // guard.
+  EpochManager::Guard guard(&epoch_);
+  const ShardSnapshot* snap = shard.snap.load(std::memory_order_seq_cst);
+  const CellTrees& ct = snap->cells[co.cell - shard.cell_begin];
   const uint32_t local_cell = co.cell - shard.cell_begin;
   const Rect cell_rect = grid_.CellRect(co.cell);
   const uint32_t d_slots = options_.d_partition_slots();
@@ -588,23 +680,17 @@ Status SwstIndex::SearchCell(const SpatialGrid::CellOverlap& co,
     }
     uint32_t n_start = col.n_partial;
     uint32_t n_end = d_slots - 1;
-    if (options_.use_memo) {
-      // Trim empty temporal cells at the bottom and top of the column
-      // (middle holes are kept; the paper keeps one contiguous range per
-      // column to bound the number of key ranges).
-      while (n_start <= n_end &&
-             !shard.memo.MayContain(local_cell, slot, col.m_local, n_start,
-                                    co.overlap)) {
-        n_start++;
-      }
-      while (n_end > n_start &&
-             !shard.memo.MayContain(local_cell, slot, col.m_local, n_end,
-                                    co.overlap)) {
-        n_end--;
-      }
-      if (n_start > n_end ||
-          !shard.memo.MayContain(local_cell, slot, col.m_local, n_start,
-                                 co.overlap)) {
+    if (options_.use_memo &&
+        shard.memo.TrimColumn(local_cell, slot, col.m_local, snap->version,
+                              co.overlap, &n_start, &n_end)) {
+      // The wait-free trim is seqlock-consistent and no newer than this
+      // snapshot, so it is safe to prune with. It drops empty temporal
+      // cells at the bottom and top of the column (middle holes are kept;
+      // the paper keeps one contiguous range per column to bound the
+      // number of key ranges). When TrimColumn fails — a racing writer,
+      // or a column already mutated past the snapshot — pruning is simply
+      // skipped: the full column range stays correct, just unpruned.
+      if (n_start > n_end) {
         if (stats != nullptr) stats->memo_pruned_columns++;
         continue;
       }
@@ -713,29 +799,39 @@ Status SwstIndex::FanOutCells(
     const std::function<bool(size_t, std::vector<Entry>&)>& consume,
     obs::TraceSpan* trace_parent) {
   obs::QueryTrace* trace = opts.trace;
+  // Every cell task owns its output buffer, stats block, and atomic done
+  // flag — workers and the consumer share no mutex; completion signalling
+  // is one release-store + notify per task, and the consumer merges the
+  // buffers in deterministic cell order. The state lives on the heap with
+  // shared ownership so a worker's final notify can never land on a
+  // destroyed flag, no matter how the consumer's waits interleave.
   struct CellTask {
     std::vector<Entry> entries;
     QueryStats qs;
     Status st;
+    std::atomic<uint32_t> done{0};
+  };
+  struct FanState {
+    explicit FanState(size_t n) : tasks(n) {}
+    std::vector<CellTask> tasks;
+    std::atomic<bool> cancel{false};
   };
   const size_t n = cells.size();
-  std::vector<CellTask> tasks(n);
-  std::atomic<bool> cancel{false};
-  std::mutex mu;
-  std::condition_variable cv;
-  std::vector<char> done(n, 0);
+  auto state = std::make_shared<FanState>(n);
 
+  std::vector<std::function<void()>> batch;
+  batch.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    executor_->Submit([&, i] {
-      CellTask& t = tasks[i];
-      if (!cancel.load(std::memory_order_relaxed)) {
+    batch.push_back([&, this, state, i] {
+      CellTask& t = state->tasks[i];
+      if (!state->cancel.load(std::memory_order_relaxed)) {
         t.qs.spatial_cells = 1;
         t.st = SearchCell(
             cells[i], plan, q, win, opts, &t.qs,
-            [&t, &cancel](const Entry& e) {
+            [&t, s = state.get()](const Entry& e) {
               // The consumer cancelled the query: stop this
               // cell's tree search at the next emission.
-              if (cancel.load(std::memory_order_relaxed)) {
+              if (s->cancel.load(std::memory_order_relaxed)) {
                 return false;
               }
               t.entries.push_back(e);
@@ -743,16 +839,11 @@ Status SwstIndex::FanOutCells(
             },
             trace_parent);
       }
-      {
-        // Notify under the lock: once the consumer observes done[i] it may
-        // return from FanOutCells and destroy cv/mu, so the notify must
-        // complete before the lock is released.
-        std::lock_guard<std::mutex> lock(mu);
-        done[i] = 1;
-        cv.notify_all();
-      }
+      t.done.store(1, std::memory_order_release);
+      t.done.notify_one();
     });
   }
+  executor_->SubmitBatch(batch);
 
   // Consume results on the calling thread, in ascending cell order, as
   // their tasks complete — result order (and, absent cancellation, stats)
@@ -764,22 +855,21 @@ Status SwstIndex::FanOutCells(
   Status result;
   bool stopped = false;
   for (size_t i = 0; i < n; ++i) {
-    {
+    CellTask& t = state->tasks[i];
+    if (t.done.load(std::memory_order_acquire) == 0) {
       const uint64_t wait_start = (trace != nullptr) ? trace->NowNs() : 0;
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [&] { return done[i] != 0; });
+      t.done.wait(0, std::memory_order_acquire);
       if (trace != nullptr) wait_ns += trace->NowNs() - wait_start;
     }
     if (stopped) continue;
-    CellTask& t = tasks[i];
     if (!t.st.ok()) {
       result = t.st;
-      cancel.store(true, std::memory_order_relaxed);
+      state->cancel.store(true, std::memory_order_relaxed);
       stopped = true;
       continue;
     }
     if (!consume(i, t.entries)) {
-      cancel.store(true, std::memory_order_relaxed);
+      state->cancel.store(true, std::memory_order_relaxed);
       stopped = true;
     }
   }
@@ -788,7 +878,7 @@ Status SwstIndex::FanOutCells(
     merge_span.AddCounter("wait_ns", wait_ns);
   }
   if (stats != nullptr) {
-    for (const CellTask& t : tasks) *stats += t.qs;
+    for (const CellTask& t : state->tasks) *stats += t.qs;
   }
   return result;
 }
@@ -1271,9 +1361,10 @@ Status SwstIndex::ApplyLogged(WalRecordType type, const char* payload,
 Status SwstIndex::RebuildMemo() {
   for (auto& shard : shards_) {
     std::unique_lock<std::shared_mutex> lock(shard->mu);
+    const uint64_t ver = shard->version + 1;
     for (uint32_t local = 0; local < shard->cells.size(); ++local) {
       for (int slot = 0; slot < 2; ++slot) {
-        shard->memo.ResetSlot(local, slot);
+        shard->memo.ResetSlot(local, slot, ver);
         if (shard->cells[local].root[slot] == kInvalidPageId) continue;
         BTree tree = BTree::Attach(pool_, shard->cells[local].root[slot]);
         SWST_RETURN_IF_ERROR(
@@ -1281,11 +1372,14 @@ Status SwstIndex::RebuildMemo() {
               shard->memo.Add(local, slot,
                               codec_.LocalColumn(rec.entry.start),
                               codec_.DPartition(rec.entry.duration),
-                              rec.entry.pos);
+                              rec.entry.pos, ver);
               return true;
             }));
       }
     }
+    // Expose the freshly loaded directory (Open writes it directly into
+    // the writer state) and the rebuilt memo versions to the read path.
+    PublishShard(*shard, {});
   }
   return Status::OK();
 }

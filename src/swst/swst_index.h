@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "btree/btree.h"
+#include "common/epoch.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "obs/metrics.h"
@@ -118,22 +119,28 @@ struct QueryOptions {
 /// ### Concurrency
 ///
 /// All per-cell state (tree directory, isPresent memo) is split into
-/// *shards* — contiguous ranges of spatial cells, each guarded by its own
-/// reader/writer lock — so concurrency follows the paper's grid
-/// partitioning instead of a global lock:
-///  - `Insert` / `Delete` / `CloseCurrent` lock only the target cell's
-///    shard (exclusively);
-///  - queries lock each searched cell's shard in shared mode, one cell at
-///    a time, and with `SwstOptions::query_threads > 1` fan the per-cell
-///    searches out over an internal thread pool;
-///  - `Advance` sweeps shards independently;
-///  - `Save` alone is global: it acquires every shard lock (in ascending
-///    shard order) to write a consistent checkpoint.
-/// Each query therefore sees every individual cell atomically, but not an
-/// atomic snapshot across cells while writers are active — the natural
-/// semantics of a streaming window. Results and their order are identical
-/// for any `query_threads` / `shard_count` setting. See
-/// docs/concurrency.md for the full lock hierarchy.
+/// *shards* — contiguous ranges of spatial cells — and reads are MVCC:
+///  - Every mutation runs under the target shard's writer lock, rewrites
+///    the affected B+ tree pages copy-on-write, and *publishes* a new
+///    immutable `ShardSnapshot` (directory slice + version + clock) via an
+///    atomic pointer swap. Superseded snapshots and superseded tree pages
+///    are retired through epoch-based reclamation.
+///  - Queries acquire **no mutex at all**: each cell search pins an epoch
+///    (`EpochManager::Guard`, one CAS), loads the shard's current snapshot
+///    pointer, and runs entirely against that frozen directory; isPresent
+///    memo reads are wait-free seqlock copies validated against the
+///    snapshot's version. Queries never block behind `CloseCurrent`,
+///    `Advance`, or `Save` — and never make a writer wait.
+///  - `Advance` sweeps shards independently, each under its own writer
+///    lock, publishing per shard;
+///  - `Save` acquires every shard lock (in ascending shard order) to write
+///    a consistent checkpoint; readers are unaffected.
+/// Each query therefore sees every individual cell atomically (a whole
+/// `CloseCurrent` is one publish: no torn "both ND and closed" views), but
+/// not an atomic snapshot across cells while writers are active — the
+/// natural semantics of a streaming window. Results and their order are
+/// identical for any `query_threads` / `shard_count` setting. See
+/// docs/concurrency.md for the full protocol and lock hierarchy.
 ///
 /// ### Streaming usage
 ///
@@ -366,6 +373,11 @@ class SwstIndex {
     return static_cast<uint32_t>(shards_.size());
   }
 
+  /// Epoch-reclamation counters (snapshots/pages retired vs reclaimed,
+  /// currently pinned guards). Tests use this to assert the retire list
+  /// stays bounded and drains at quiescence.
+  EpochManager::Stats EpochStats() const { return epoch_.stats(); }
+
  private:
   /// Live B+ trees of one spatial cell: slot k%2 holds epoch k.
   struct CellTrees {
@@ -373,10 +385,24 @@ class SwstIndex {
     uint64_t epoch[2] = {0, 0};
   };
 
+  /// Immutable read view of one shard, published by writers via atomic
+  /// pointer swap and reclaimed through `epoch_`. Readers resolve every
+  /// tree root from `cells` and validate memo reads against `version`;
+  /// the copy-on-write tree pages those roots reach are retired *after*
+  /// the snapshot that exposed them, so a pinned snapshot transitively
+  /// protects its whole tree slice.
+  struct ShardSnapshot {
+    uint64_t version = 0;          ///< Shard mutation count at publish.
+    Timestamp clock = 0;           ///< Index clock at publish.
+    std::vector<CellTrees> cells;  ///< Frozen directory slice.
+  };
+
   /// A contiguous range of spatial cells with all of their mutable state:
-  /// the cell-tree directory and the isPresent-memo slice, guarded by one
-  /// reader/writer lock. Shards never share mutable state, so operations
-  /// on different shards proceed fully in parallel.
+  /// the cell-tree directory and the isPresent-memo slice. `mu` is a
+  /// *writer-only* lock — it serializes mutations (and the test-only
+  /// whole-tree walks); queries never take it, reading through `snap`
+  /// instead. Shards never share mutable state, so operations on
+  /// different shards proceed fully in parallel.
   struct Shard {
     Shard(uint32_t begin, uint32_t count, uint32_t s_partitions,
           uint32_t d_slots)
@@ -384,8 +410,14 @@ class SwstIndex {
 
     mutable std::shared_mutex mu;
     uint32_t cell_begin;            ///< First global cell index covered.
-    std::vector<CellTrees> cells;   ///< Indexed by (cell - cell_begin).
+    std::vector<CellTrees> cells;   ///< Writer state; indexed by
+                                    ///< (cell - cell_begin).
     IsPresentMemo memo;             ///< Indexed by (cell - cell_begin).
+    /// Current published snapshot (never null after construction); swapped
+    /// with seq_cst by `PublishShard`, loaded lock-free by queries.
+    std::atomic<ShardSnapshot*> snap{nullptr};
+    /// Mutation counter behind `ShardSnapshot::version`; guarded by `mu`.
+    uint64_t version = 0;
   };
 
   /// Static per-query plan: classification of every active column, indexed
@@ -450,17 +482,38 @@ class SwstIndex {
   Status ApplyLogged(WalRecordType type, const char* payload, uint32_t len);
   /// @}
 
-  /// \name Shard-local operations; caller holds `shard.mu` exclusively.
+  /// Acquires `shard.mu` exclusively, recording the wait in the
+  /// `swst_index_shard_lock_wait_us` histogram when metrics are attached
+  /// (0 for an uncontended acquisition). Writer paths only — the read
+  /// path's whole point is that it never calls this.
+  std::unique_lock<std::shared_mutex> LockShard(Shard& shard);
+
+  /// Publishes the shard's current writer state as a new immutable
+  /// snapshot (version + 1, current clock, a copy of the directory slice)
+  /// and retires the superseded snapshot together with `retired` — the
+  /// copy-on-write pages the mutation superseded — through `epoch_`.
+  /// Caller holds `shard.mu` exclusively. Mutations that fail mid-way
+  /// simply skip the publish: readers keep the old snapshot, whose pages
+  /// were never freed.
+  void PublishShard(Shard& shard, std::vector<PageId> retired);
+
+  /// \name Shard-local operations; caller holds `shard.mu` exclusively,
+  /// collects superseded pages into `retired`, and publishes once on
+  /// success.
   /// @{
-  Status InsertLocked(Shard& shard, uint32_t cell, const Entry& entry);
-  Status DeleteLocked(Shard& shard, uint32_t cell, const Entry& entry);
+  Status InsertLocked(Shard& shard, uint32_t cell, const Entry& entry,
+                      std::vector<PageId>* retired);
+  Status DeleteLocked(Shard& shard, uint32_t cell, const Entry& entry,
+                      std::vector<PageId>* retired);
 
   /// Ensures the cell's slot holds a live tree for `epoch`, dropping a
   /// stale tree first. Creates the tree lazily.
-  Status PrepareTree(Shard& shard, uint32_t cell, uint64_t epoch);
+  Status PrepareTree(Shard& shard, uint32_t cell, uint64_t epoch,
+                     std::vector<PageId>* retired);
 
   /// Drops any tree in `cell` whose epoch is < `min_live_epoch`.
-  Status DropExpired(Shard& shard, uint32_t cell, uint64_t min_live_epoch);
+  Status DropExpired(Shard& shard, uint32_t cell, uint64_t min_live_epoch,
+                     std::vector<PageId>* retired);
   /// @}
 
   Status BuildPlan(const TimeInterval& q, const TimeInterval& win,
@@ -553,6 +606,12 @@ class SwstIndex {
   TemporalOverlapComputer overlap_;
   uint32_t cells_per_shard_ = 1;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Grace periods for lock-free readers: protects retired `ShardSnapshot`
+  /// objects and the copy-on-write tree pages they reference. Declared
+  /// after `shards_` / before the destructor body runs so pending
+  /// reclamation callbacks (which touch only `pool_` and heap snapshots)
+  /// drain safely at destruction.
+  mutable EpochManager epoch_;
   /// Thread pool for per-query cell fan-out; null when query_threads <= 1.
   std::unique_ptr<QueryExecutor> executor_;
   std::atomic<Timestamp> now_{0};
@@ -577,6 +636,11 @@ class SwstIndex {
   std::shared_ptr<obs::Histogram> m_query_latency_us_;
   std::shared_ptr<obs::Histogram> m_query_node_accesses_;
   std::shared_ptr<obs::Histogram> m_batch_records_;
+  /// Writer-path shard-lock wait (µs per exclusive acquisition). Empty in
+  /// read-only workloads — the acceptance check that queries are lock-free.
+  std::shared_ptr<obs::Histogram> m_shard_lock_wait_us_;
+  std::shared_ptr<obs::Counter> m_snapshots_published_;
+  std::shared_ptr<obs::Counter> m_snapshots_retired_;
   /// @}
 };
 

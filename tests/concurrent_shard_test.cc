@@ -5,13 +5,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <iterator>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "obs/metrics.h"
 #include "swst/swst_index.h"
 #include "tests/test_util.h"
 
@@ -232,6 +235,181 @@ TEST(ConcurrentShardTest, MixedWorkloadAgreesWithOracle) {
   auto count = idx->CountEntries();
   ASSERT_TRUE(count.ok());
   EXPECT_EQ(*count, oracle.size());
+  ASSERT_OK(idx->ValidateTrees());
+}
+
+// Queries racing CloseCurrent/Advance/Checkpoint loops: every query runs
+// against one published shard snapshot, so it must see each close
+// atomically — for any (oid, start) either the still-open (ND) entry or
+// the closed one, NEVER both in one result set. Expiry can legitimately
+// remove entries, so "neither" is only an error while the window is too
+// large to expire anything — which this setup guarantees.
+TEST(ConcurrentShardTest, SnapshotQueriesRaceWindowMaintenance) {
+  auto pager = Pager::OpenMemory();
+  BufferPool pool(pager.get(), 4096);
+  auto idx_or = SwstIndex::Create(&pool, ShardedOptions(1));
+  ASSERT_TRUE(idx_or.ok());
+  auto idx = std::move(*idx_or);
+
+  // Seed: every object has one *current* (ND) entry at a known position.
+  constexpr int kObjects = 400;
+  std::vector<Entry> currents;
+  for (int i = 0; i < kObjects; ++i) {
+    Random rng(1000 + i);
+    Entry e{static_cast<ObjectId>(i),
+            {rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)},
+            static_cast<Timestamp>(1 + rng.Uniform(2000)),
+            kUnknownDuration};
+    ASSERT_OK(idx->Insert(e));
+    currents.push_back(e);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> torn{0};
+
+  // Writer: closes every current entry (delete + re-insert with a real
+  // duration), interleaved with Advance sweeps and checkpoints — the
+  // operations the old read path used to block behind.
+  std::thread writer([&] {
+    for (int i = 0; i < kObjects; ++i) {
+      if (!idx->CloseCurrent(currents[i], 100).ok()) {
+        errors++;
+        break;
+      }
+      if (i % 64 == 0) {
+        if (!idx->Advance(3000 + i).ok()) errors++;
+        PageId meta;
+        if (!idx->Save(&meta).ok()) errors++;
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto res = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}},
+                                      {0, 1000000});
+        if (!res.ok()) {
+          errors++;
+          return;
+        }
+        // Torn-view check: the ND and the closed version of one entry
+        // share (oid, start); seeing both means the query straddled the
+        // middle of a CloseCurrent.
+        std::vector<std::pair<ObjectId, Timestamp>> open, closed;
+        for (const Entry& e : *res) {
+          (e.is_current() ? open : closed).emplace_back(e.oid, e.start);
+        }
+        std::sort(open.begin(), open.end());
+        std::sort(closed.begin(), closed.end());
+        std::vector<std::pair<ObjectId, Timestamp>> both;
+        std::set_intersection(open.begin(), open.end(), closed.begin(),
+                              closed.end(), std::back_inserter(both));
+        if (!both.empty()) torn++;
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  ASSERT_EQ(errors.load(), 0u);
+  EXPECT_EQ(torn.load(), 0u);
+
+  // Quiesced: every object is closed exactly once.
+  auto all = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}}, {0, 1000000});
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), static_cast<size_t>(kObjects));
+  for (const Entry& e : *all) {
+    EXPECT_FALSE(e.is_current()) << "oid " << e.oid;
+  }
+  ASSERT_OK(idx->ValidateTrees());
+}
+
+// The acceptance check for the lock-free read path: a read-only workload
+// records nothing in the writer-path shard-lock-wait histogram (queries
+// acquire zero mutexes end-to-end), while any mutation records exactly
+// its lock acquisitions.
+TEST(ConcurrentShardTest, ReadOnlyQueriesAcquireNoShardLocks) {
+  obs::MetricsRegistry registry;
+  SwstOptions opts = ShardedOptions(2);
+  opts.metrics = &registry;
+  auto pager = Pager::OpenMemory();
+  BufferPool pool(pager.get(), 4096);
+  auto idx_or = SwstIndex::Create(&pool, opts);
+  ASSERT_TRUE(idx_or.ok());
+  auto idx = std::move(*idx_or);
+
+  Random rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_OK(idx->Insert(RandomEntry(&rng, static_cast<ObjectId>(i))));
+  }
+
+  // Registration is idempotent: this returns the index's own histogram.
+  auto lock_waits = registry.RegisterHistogram(
+      "swst_index_shard_lock_wait_us", "");
+  const uint64_t after_writes = lock_waits->count();
+  EXPECT_EQ(after_writes, 1000u);  // One exclusive acquisition per Insert.
+
+  for (int i = 0; i < 50; ++i) {
+    auto res = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}}, {0, 100000});
+    ASSERT_TRUE(res.ok());
+    auto knn = idx->Knn({500, 500}, 5, {0, 100000});
+    ASSERT_TRUE(knn.ok());
+  }
+  EXPECT_EQ(lock_waits->count(), after_writes)
+      << "a query recorded a shard-lock acquisition";
+
+  // Epoch metrics are live: every Insert published one snapshot.
+  auto published = registry.RegisterCounter(
+      "swst_epoch_snapshots_published_total", "");
+  EXPECT_GE(published->value(), 1000u);
+}
+
+// Epoch reclamation keeps up with mutation churn and fully drains at
+// quiescence: after the last mutation (with no readers pinned) the
+// pending list is empty — retired snapshots and COW pages never pile up.
+TEST(ConcurrentShardTest, EpochReclamationDrainsAtQuiescence) {
+  auto pager = Pager::OpenMemory();
+  BufferPool pool(pager.get(), 4096);
+  auto idx_or = SwstIndex::Create(&pool, ShardedOptions(2));
+  ASSERT_TRUE(idx_or.ok());
+  auto idx = std::move(*idx_or);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto res = idx->IntervalQuery(Rect{{0, 0}, {500, 500}}, {0, 100000});
+        if (!res.ok()) return;
+      }
+    });
+  }
+
+  Random rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_OK(idx->Insert(RandomEntry(&rng, static_cast<ObjectId>(i))));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  auto stats = idx->EpochStats();
+  EXPECT_GE(stats.retired, 2000u);  // >= one snapshot per insert.
+  EXPECT_GT(stats.reclaimed, 0u);
+  EXPECT_EQ(stats.pinned, 0u);
+
+  // One more mutation with no readers: its Retire's opportunistic Collect
+  // must drain everything, itself included.
+  ASSERT_OK(idx->Insert(RandomEntry(&rng, 99999)));
+  stats = idx->EpochStats();
+  EXPECT_EQ(stats.pending, 0u);
+  EXPECT_EQ(stats.retired, stats.reclaimed);
+
+  auto count = idx->CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 2001u);
   ASSERT_OK(idx->ValidateTrees());
 }
 

@@ -1,5 +1,7 @@
 #include "swst/is_present_memo.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace swst {
@@ -83,6 +85,65 @@ TEST(IsPresentMemoTest, MemoryUsageMatchesGeometry) {
   // 400 cells * 2 slots * 201 columns * 21 d-slots * sizeof(CellStat).
   EXPECT_EQ(memo.MemoryUsage(),
             400ull * 2 * 201 * 21 * sizeof(IsPresentMemo::CellStat));
+}
+
+TEST(IsPresentMemoTest, ReadColumnCopiesAndGatesOnVersion) {
+  IsPresentMemo memo(1, 4, 5);
+  memo.Add(0, 0, 1, 2, {10, 20}, /*ver=*/3);
+  memo.Add(0, 0, 1, 4, {30, 40}, /*ver=*/5);
+
+  std::vector<IsPresentMemo::CellStat> out(5);
+  // Snapshot at or past the last writer version: trusted, exact copy.
+  ASSERT_TRUE(memo.ReadColumn(0, 0, 1, /*snapshot_version=*/5, out.data()));
+  EXPECT_TRUE(out[0].empty());
+  EXPECT_EQ(out[2].count, 1u);
+  EXPECT_EQ(out[4].count, 1u);
+  EXPECT_EQ(out[2], memo.At(0, 0, 1, 2));
+
+  // A column touched by a mutation newer than the reader's snapshot must
+  // not be trusted (it may have shrunk relative to the snapshot's trees).
+  EXPECT_FALSE(memo.ReadColumn(0, 0, 1, /*snapshot_version=*/4, out.data()));
+  // Other columns are independent: column 2 was never written (ver 0).
+  EXPECT_TRUE(memo.ReadColumn(0, 0, 2, /*snapshot_version=*/0, out.data()));
+}
+
+TEST(IsPresentMemoTest, TrimColumnMatchesManualTrim) {
+  IsPresentMemo memo(1, 4, 6);
+  // Column 1: entries at dp 2 and dp 4; dp 4 lies outside the probe rect.
+  memo.Add(0, 0, 1, 2, {10, 20}, /*ver=*/1);
+  memo.Add(0, 0, 1, 4, {500, 500}, /*ver=*/2);
+
+  const Rect probe{{0, 0}, {100, 100}};
+  uint32_t lo = 0, hi = 5;
+  ASSERT_TRUE(memo.TrimColumn(0, 0, 1, /*snapshot_version=*/2, probe,
+                              &lo, &hi));
+  // Both ends trim to the single intersecting temporal cell.
+  EXPECT_EQ(lo, 2u);
+  EXPECT_EQ(hi, 2u);
+
+  // Nothing intersects: the bounds cross, signalling a fully pruned column.
+  lo = 0;
+  hi = 5;
+  ASSERT_TRUE(memo.TrimColumn(0, 0, 1, /*snapshot_version=*/2,
+                              Rect{{900, 900}, {950, 950}}, &lo, &hi));
+  EXPECT_GT(lo, hi);
+
+  // An untrusted read (column newer than the snapshot) leaves the caller's
+  // bounds untouched so it can fall back to the unpruned range.
+  lo = 0;
+  hi = 5;
+  EXPECT_FALSE(memo.TrimColumn(0, 0, 1, /*snapshot_version=*/1, probe,
+                               &lo, &hi));
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 5u);
+
+  // Starting bounds inside the column are respected (n_partial > 0): a
+  // trim never widens the caller's range back over dp 2.
+  lo = 3;
+  hi = 5;
+  ASSERT_TRUE(memo.TrimColumn(0, 0, 1, /*snapshot_version=*/2, probe,
+                              &lo, &hi));
+  EXPECT_GT(lo, hi);
 }
 
 }  // namespace

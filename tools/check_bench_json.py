@@ -22,6 +22,22 @@ and each entry of "histograms" carries numeric count/sum/p50/p90/p99 plus
 a "buckets" list of {le, count} objects. Both files must agree on whether
 the block exists at all.
 
+The "concurrent_scaling" bench additionally gets *numeric* gates on the
+CURRENT file (the fresh run, not the baseline), protecting the lock-free
+read path from regressing back to lock-based behavior:
+
+  - every read_only result must report lock_waits == 0 — queries must
+    acquire zero shard mutexes end to end;
+  - read-only throughput must scale: with both 1-thread and 8-thread
+    read_only points present, qps(8) / qps(1) must be at least
+    min(3.0, max(0.9, 0.4 * hw_concurrency)) — the expectation scales
+    with the machine so a 1-core CI runner only gates against collapse
+    while an 8+-core machine demands a genuine 3x speedup;
+  - tail latency must not blow up under parallelism: on machines with
+    hw_concurrency >= 8, the 8-thread read_only p99 must stay within 4x
+    of the 1-thread p99 (skipped on smaller machines, where 8 threads
+    time-slicing few cores makes the tail scheduler-bound).
+
 Exit status 0 on success, 1 on any mismatch (all mismatches are listed).
 """
 
@@ -121,6 +137,52 @@ def check_metrics(m, path, errors):
                                   f"{b[key]!r}")
 
 
+def check_scaling_gates(cur, errors):
+    """Numeric gates for the concurrent_scaling bench (see module doc)."""
+    results = cur.get("results")
+    if not isinstance(results, list):
+        errors.append("results: missing or not a list")
+        return
+    read_only = {}
+    for i, r in enumerate(results):
+        if not isinstance(r, dict):
+            continue
+        if "lock_waits" not in r:
+            errors.append(f"results[{i}]: missing lock_waits field")
+            continue
+        if r.get("mode") != "read_only":
+            continue
+        if r["lock_waits"] != 0:
+            errors.append(
+                f"results[{i}]: read_only point at {r.get('threads')} "
+                f"threads took {r['lock_waits']} shard locks (expected 0 — "
+                f"the read path must stay lock-free)")
+        if is_number(r.get("threads")):
+            read_only[r["threads"]] = r
+    hw = cur.get("hw_concurrency")
+    if not is_number(hw):
+        errors.append("hw_concurrency: missing or not a number")
+        return
+    if 1 in read_only and 8 in read_only:
+        qps1 = read_only[1].get("qps")
+        qps8 = read_only[8].get("qps")
+        if is_number(qps1) and is_number(qps8) and qps1 > 0:
+            required = min(3.0, max(0.9, 0.4 * hw))
+            speedup = qps8 / qps1
+            if speedup < required:
+                errors.append(
+                    f"read_only scaling: 8-thread QPS is {speedup:.2f}x the "
+                    f"1-thread QPS, below the {required:.2f}x gate for "
+                    f"hw_concurrency={hw}")
+        p99_1 = read_only[1].get("p99_us")
+        p99_8 = read_only[8].get("p99_us")
+        if hw >= 8 and is_number(p99_1) and is_number(p99_8) and p99_1 > 0:
+            if p99_8 > 4.0 * p99_1:
+                errors.append(
+                    f"read_only tail latency: 8-thread p99 {p99_8:.1f}us "
+                    f"exceeds 4x the 1-thread p99 {p99_1:.1f}us")
+
+
 def main(argv):
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
@@ -144,6 +206,8 @@ def main(argv):
         errors.append('metrics: present in only one of current/baseline')
     if "metrics" in cur:
         check_metrics(cur["metrics"], "metrics", errors)
+    if cur.get("bench") == "concurrent_scaling":
+        check_scaling_gates(cur, errors)
     cur = {k: v for k, v in cur.items() if k != "metrics"}
     base = {k: v for k, v in base.items() if k != "metrics"}
     compare(cur, base, "", errors)
