@@ -1,0 +1,279 @@
+// Hot/cold tiering benchmark: the memory-resident live tier must make the
+// streaming hot path free of page I/O. Four phases over one index whose
+// cold tier (closed B+ trees) is pre-loaded:
+//
+//   insert_current   stream current-entry inserts (zero pages touched),
+//   timeslice_now    timeslice queries at tau — the snapshot watermark
+//                    proves no closed entry can match, so every cell is
+//                    answered from the live tier without a B+ search,
+//   knn_now          KNN at [tau, tau] — same live-only property,
+//   close_heavy      CloseCurrent for every open entry (the seal-time
+//                    migration into the closed trees).
+//
+// The bench aborts unless the three hot phases report exactly zero pool
+// reads (logical and physical) — the tier's core promise, also gated in
+// CI through tools/check_bench_json.py — and unless every timeslice-now
+// query was counted live-only by the index's own metrics.
+//
+// Usage: bench_live_tier [--smoke] [--json]
+//   --smoke    fewer records (CI smoke test).
+//   --json     accepted for symmetry with the other benches; output is
+//              always the machine-readable BENCH_*.json schema.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/workload.h"
+#include "common/random.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace swst;
+using namespace swst::bench;
+
+struct PhaseResult {
+  std::string phase;
+  uint64_t ops = 0;
+  double ops_per_sec = 0;
+  uint64_t logical_reads = 0;
+  uint64_t physical_reads = 0;
+  double avg_results = 0;
+};
+
+double Seconds(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void RequireZeroReads(const PhaseResult& p) {
+  if (p.logical_reads != 0 || p.physical_reads != 0) {
+    std::fprintf(stderr,
+                 "live-tier regression: phase %s performed %llu logical / "
+                 "%llu physical pool reads (expected 0 — the hot path must "
+                 "not touch pages)\n",
+                 p.phase.c_str(),
+                 static_cast<unsigned long long>(p.logical_reads),
+                 static_cast<unsigned long long>(p.physical_reads));
+    std::abort();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0) {}  // JSON is the only format.
+  }
+
+  const double scale = smoke ? 0.02 : ScaleFromEnv();
+  const uint64_t closed_entries = ScaledObjects(100000, scale);
+  const uint64_t current_entries = ScaledObjects(50000, scale);
+  const int queries = smoke ? 50 : 200;
+
+  obs::MetricsRegistry registry;
+  SwstOptions options = PaperSwstOptions();
+  options.metrics = &registry;
+
+  auto pager = Pager::OpenMemory();
+  BufferPool pool(pager.get(), 1 << 17);
+  auto idx_or = SwstIndex::Create(&pool, options);
+  if (!idx_or.ok()) {
+    std::fprintf(stderr, "Create: %s\n", idx_or.status().ToString().c_str());
+    std::abort();
+  }
+  auto idx = std::move(*idx_or);
+
+  // Cold tier: closed entries whose valid times all end by t=7000, so the
+  // per-shard watermark lets now-queries (at tau=10000) skip every tree.
+  {
+    Random rng(42);
+    std::vector<Entry> closed;
+    closed.reserve(closed_entries);
+    for (uint64_t i = 0; i < closed_entries; ++i) {
+      Entry e;
+      e.oid = static_cast<ObjectId>(i);
+      e.pos = {rng.UniformDouble(0, 10000), rng.UniformDouble(0, 10000)};
+      e.start = 100 + (i * 4900) / closed_entries;  // Non-decreasing.
+      e.duration = 1 + rng.Uniform(options.max_duration - 1);
+      closed.push_back(e);
+    }
+    Status st = idx->InsertBatch(closed);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cold load: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+    st = idx->Advance(10000);
+    if (!st.ok()) {
+      std::fprintf(stderr, "advance: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::vector<PhaseResult> phases;
+  Random rng(7);
+
+  // Phase 1: stream current entries — the hot insert path.
+  std::vector<Entry> currents;
+  currents.reserve(current_entries);
+  {
+    for (uint64_t i = 0; i < current_entries; ++i) {
+      Entry e;
+      e.oid = static_cast<ObjectId>(1u << 24) + static_cast<ObjectId>(i);
+      e.pos = {rng.UniformDouble(0, 10000), rng.UniformDouble(0, 10000)};
+      e.start = 9000 + (i * 1000) / current_entries;  // Non-decreasing.
+      e.duration = kUnknownDuration;
+      currents.push_back(e);
+    }
+    const IoStats before = pool.stats();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const Entry& e : currents) {
+      Status st = idx->Insert(e);
+      if (!st.ok()) {
+        std::fprintf(stderr, "insert-current: %s\n", st.ToString().c_str());
+        std::abort();
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const IoStats d = pool.stats().Since(before);
+    PhaseResult p;
+    p.phase = "insert_current";
+    p.ops = current_entries;
+    p.ops_per_sec = current_entries / std::max(1e-9, Seconds(t0, t1));
+    p.logical_reads = d.logical_reads;
+    p.physical_reads = d.physical_reads;
+    RequireZeroReads(p);
+    phases.push_back(p);
+  }
+
+  auto live_only = registry.RegisterCounter("swst_live_only_queries_total", "");
+
+  // Phase 2: timeslice queries at tau — answered from memory alone.
+  {
+    const Timestamp now = idx->now();
+    const auto qs = MakeQueries(options.space, {now, now}, 0.04, 0.0,
+                                queries, /*seed=*/99);
+    const uint64_t live_only0 = live_only->value();
+    const IoStats before = pool.stats();
+    uint64_t results = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const WindowQuery& q : qs) {
+      auto r = idx->TimesliceQuery(q.area, now);
+      if (!r.ok()) {
+        std::fprintf(stderr, "timeslice: %s\n", r.status().ToString().c_str());
+        std::abort();
+      }
+      results += r->size();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const IoStats d = pool.stats().Since(before);
+    PhaseResult p;
+    p.phase = "timeslice_now";
+    p.ops = qs.size();
+    p.ops_per_sec = qs.size() / std::max(1e-9, Seconds(t0, t1));
+    p.logical_reads = d.logical_reads;
+    p.physical_reads = d.physical_reads;
+    p.avg_results = static_cast<double>(results) / qs.size();
+    RequireZeroReads(p);
+    // The index's own hit-ratio metric must agree: every query live-only.
+    const uint64_t hits = live_only->value() - live_only0;
+    if (hits != qs.size()) {
+      std::fprintf(stderr,
+                   "timeslice_now: only %llu of %zu queries were counted "
+                   "live-only by swst_live_only_queries_total\n",
+                   static_cast<unsigned long long>(hits), qs.size());
+      std::abort();
+    }
+    phases.push_back(p);
+  }
+
+  // Phase 3: KNN at [tau, tau] — live-only through the ring search too.
+  {
+    const Timestamp now = idx->now();
+    const IoStats before = pool.stats();
+    uint64_t results = 0;
+    Random qrng(123);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < queries; ++i) {
+      const Point c{qrng.UniformDouble(0, 10000), qrng.UniformDouble(0, 10000)};
+      auto r = idx->Knn(c, 10, {now, now});
+      if (!r.ok()) {
+        std::fprintf(stderr, "knn: %s\n", r.status().ToString().c_str());
+        std::abort();
+      }
+      results += r->size();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const IoStats d = pool.stats().Since(before);
+    PhaseResult p;
+    p.phase = "knn_now";
+    p.ops = queries;
+    p.ops_per_sec = queries / std::max(1e-9, Seconds(t0, t1));
+    p.logical_reads = d.logical_reads;
+    p.physical_reads = d.physical_reads;
+    p.avg_results = static_cast<double>(results) / queries;
+    RequireZeroReads(p);
+    phases.push_back(p);
+  }
+
+  // Phase 4: seal every open entry — the migration into the closed trees.
+  {
+    const IoStats before = pool.stats();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const Entry& e : currents) {
+      Status st = idx->CloseCurrent(e, 100);
+      if (!st.ok()) {
+        std::fprintf(stderr, "close: %s\n", st.ToString().c_str());
+        std::abort();
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const IoStats d = pool.stats().Since(before);
+    PhaseResult p;
+    p.phase = "close_heavy";
+    p.ops = currents.size();
+    p.ops_per_sec = currents.size() / std::max(1e-9, Seconds(t0, t1));
+    p.logical_reads = d.logical_reads;
+    p.physical_reads = d.physical_reads;
+    phases.push_back(p);
+
+    auto migrations =
+        registry.RegisterCounter("swst_live_migrations_total", "");
+    if (migrations->value() != currents.size()) {
+      std::fprintf(stderr,
+                   "close_heavy: swst_live_migrations_total is %llu, "
+                   "expected %zu\n",
+                   static_cast<unsigned long long>(migrations->value()),
+                   currents.size());
+      std::abort();
+    }
+  }
+
+  std::printf("{\n  \"bench\": \"live_tier\",\n");
+  std::printf("  \"closed_entries\": %llu,\n",
+              static_cast<unsigned long long>(closed_entries));
+  std::printf("  \"current_entries\": %llu,\n",
+              static_cast<unsigned long long>(current_entries));
+  std::printf("  \"results\": [\n");
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseResult& p = phases[i];
+    std::printf(
+        "    {\"phase\": \"%s\", \"ops\": %llu, \"ops_per_sec\": %.1f, "
+        "\"logical_reads\": %llu, \"physical_reads\": %llu, "
+        "\"avg_results\": %.2f}%s\n",
+        p.phase.c_str(), static_cast<unsigned long long>(p.ops),
+        p.ops_per_sec, static_cast<unsigned long long>(p.logical_reads),
+        static_cast<unsigned long long>(p.physical_reads), p.avg_results,
+        (i + 1 < phases.size()) ? "," : "");
+  }
+  std::printf("  ],\n  \"metrics\": %s\n}\n", registry.RenderJson().c_str());
+  return 0;
+}

@@ -5,8 +5,14 @@
 // baseline with per-entry deletes and condense-tree).
 //
 // DESIGN.md ablation 1: two sub-indexes + modulo fold vs per-entry expiry.
+//
+// Usage: bench_window_maintenance [--smoke] [--json]
+//   --smoke    fewer objects (CI smoke test).
+//   --json     emit the machine-readable BENCH_*.json schema instead of
+//              the human-readable table (the default).
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench/workload.h"
 #include "rtree/rstar_tree.h"
@@ -26,15 +32,25 @@ swst::Box3 EntryBox(const swst::Entry& e) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace swst;
   using namespace swst::bench;
 
-  const double scale = ScaleFromEnv();
+  bool smoke = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+
+  const double scale = smoke ? 0.02 : ScaleFromEnv();
   const uint64_t objects = ScaledObjects(10000, scale);
-  std::printf("# Window maintenance: SWST tree drop vs per-entry deletion\n");
-  std::printf("# dataset=%llu objects (scale=%.3f of 10K)\n",
-              static_cast<unsigned long long>(objects), scale);
+  if (!json) {
+    std::printf("# Window maintenance: SWST tree drop vs per-entry "
+                "deletion\n");
+    std::printf("# dataset=%llu objects (scale=%.3f of 10K)\n",
+                static_cast<unsigned long long>(objects), scale);
+  }
 
   // --- SWST: load one window's worth, advance past expiry, measure. ---
   SwstOptions o = PaperSwstOptions();
@@ -106,6 +122,27 @@ int main() {
   const auto t3 = std::chrono::steady_clock::now();
   const uint64_t rtree_io = rt_pool.stats().logical_reads - rt_reads_before;
   const double rtree_s = std::chrono::duration<double>(t3 - t2).count();
+
+  if (json) {
+    std::printf("{\n  \"bench\": \"window_maintenance\",\n");
+    std::printf("  \"objects\": %llu,\n",
+                static_cast<unsigned long long>(objects));
+    std::printf("  \"pages_dropped\": %llu,\n",
+                static_cast<unsigned long long>(pages_before));
+    std::printf("  \"results\": [\n");
+    std::printf(
+        "    {\"method\": \"swst_window_drop\", \"entries\": %llu, "
+        "\"node_io\": %llu, \"seconds\": %.4f},\n",
+        static_cast<unsigned long long>(entries_in_window),
+        static_cast<unsigned long long>(drop_io), drop_s);
+    std::printf(
+        "    {\"method\": \"rtree3d_per_entry_delete\", \"entries\": %zu, "
+        "\"node_io\": %llu, \"seconds\": %.4f}\n",
+        closed_entries.size(), static_cast<unsigned long long>(rtree_io),
+        rtree_s);
+    std::printf("  ]\n}\n");
+    return 0;
+  }
 
   std::printf("%-28s %14s %12s %14s\n", "method", "entries", "node_io",
               "seconds");

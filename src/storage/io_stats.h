@@ -15,7 +15,7 @@ namespace swst {
 /// kept too, for completeness.
 ///
 /// Counters are relaxed atomics: `BufferPool` bumps them under its own
-/// mutex, but readers (benchmark reporters, `ConcurrentSwstIndex` query
+/// mutex, but readers (benchmark reporters, `SwstIndex` query
 /// threads) snapshot them without taking that mutex, so plain `uint64_t`
 /// fields would be a data race under TSan. Individual counter reads are
 /// exact; a multi-counter snapshot is only as consistent as the caller's

@@ -1,0 +1,83 @@
+#include "swst/live_tier.h"
+
+#include <algorithm>
+
+namespace swst {
+
+namespace {
+
+/// Shared empty bucket: all empty cells point at the same allocation, so
+/// an idle tier costs O(cells) pointers and nothing else.
+const LiveTier::BucketRef& EmptyBucket() {
+  static const LiveTier::BucketRef kEmpty =
+      std::make_shared<const LiveTier::Bucket>();
+  return kEmpty;
+}
+
+}  // namespace
+
+LiveTier::LiveTier(uint32_t cell_count)
+    : buckets_(cell_count, EmptyBucket()) {}
+
+LiveTier::Bucket LiveTier::CloneBucket(uint32_t local_cell) const {
+  const BucketRef& ref = buckets_[local_cell];
+  return ref ? *ref : Bucket{};
+}
+
+void LiveTier::Insert(uint32_t local_cell, uint64_t key, uint64_t epoch,
+                      const Entry& entry) {
+  Bucket next = CloneBucket(local_cell);
+  auto pos = std::upper_bound(
+      next.begin(), next.end(), key,
+      [](uint64_t k, const Record& r) { return k < r.key; });
+  next.insert(pos, Record{key, epoch, entry});
+  buckets_[local_cell] = std::make_shared<const Bucket>(std::move(next));
+  ++entries_;
+}
+
+bool LiveTier::Remove(uint32_t local_cell, ObjectId oid, Timestamp start) {
+  const BucketRef& ref = buckets_[local_cell];
+  if (!ref || ref->empty()) return false;
+  Bucket next = *ref;
+  auto it = std::find_if(next.begin(), next.end(), [&](const Record& r) {
+    return r.entry.oid == oid && r.entry.start == start;
+  });
+  if (it == next.end()) return false;
+  next.erase(it);
+  buckets_[local_cell] = next.empty()
+                             ? EmptyBucket()
+                             : std::make_shared<const Bucket>(std::move(next));
+  --entries_;
+  return true;
+}
+
+bool LiveTier::Contains(uint32_t local_cell, ObjectId oid,
+                        Timestamp start) const {
+  const BucketRef& ref = buckets_[local_cell];
+  if (!ref) return false;
+  return std::any_of(ref->begin(), ref->end(), [&](const Record& r) {
+    return r.entry.oid == oid && r.entry.start == start;
+  });
+}
+
+size_t LiveTier::DropExpired(uint32_t local_cell, uint64_t min_live_epoch) {
+  const BucketRef& ref = buckets_[local_cell];
+  if (!ref || ref->empty()) return 0;
+  size_t expired = static_cast<size_t>(
+      std::count_if(ref->begin(), ref->end(), [&](const Record& r) {
+        return r.epoch < min_live_epoch;
+      }));
+  if (expired == 0) return 0;
+  Bucket next;
+  next.reserve(ref->size() - expired);
+  for (const Record& r : *ref) {
+    if (r.epoch >= min_live_epoch) next.push_back(r);
+  }
+  buckets_[local_cell] = next.empty()
+                             ? EmptyBucket()
+                             : std::make_shared<const Bucket>(std::move(next));
+  entries_ -= expired;
+  return expired;
+}
+
+}  // namespace swst

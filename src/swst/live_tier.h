@@ -1,0 +1,110 @@
+#ifndef SWST_SWST_LIVE_TIER_H_
+#define SWST_SWST_LIVE_TIER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace swst {
+
+/// \brief The hot tier of the index: a memory-resident, per-shard store of
+/// all *current* entries (duration still unknown).
+///
+/// SWST's split between current entries (reserved ND d-partition, end time
+/// unknown) and closed entries maps onto a hot/cold tier design: current
+/// entries are exactly the ones that are (a) mutated again soon (closed by
+/// the object's next position report) and (b) needed by every now-query.
+/// Keeping them here means `Insert` of a current entry touches zero pages,
+/// `CloseCurrent` migrates memory -> B+ tree in one step instead of
+/// delete-ND-key + reinsert, and window maintenance drains expired current
+/// entries without disk I/O.
+///
+/// ### Structure
+///
+/// One bucket per spatial cell of the owning shard. A bucket is a plain
+/// sorted array of `Record`s ordered by (key, arrival) — `key` is the same
+/// composite KEY(s | d=ND | z) the entry would have carried in the B+ tree,
+/// so a bucket scan visits entries in exactly the order the disk tier
+/// would have produced them. Current-entry populations are small (one per
+/// live object per cell at most), so sorted arrays beat any tree.
+///
+/// ### Concurrency
+///
+/// The tier is written only under the owning shard's writer mutex, and
+/// read lock-free through published `ShardSnapshot`s: every bucket is an
+/// immutable value behind a `shared_ptr<const Bucket>`; a mutation clones
+/// the touched bucket (copy-on-write), and `Buckets()` hands the publisher
+/// a cheap vector-of-refcounts copy. Readers holding a snapshot therefore
+/// see a frozen live tier consistent with the snapshot's tree directory —
+/// a `CloseCurrent` migration (live-remove + tree-insert) is visible only
+/// as a whole.
+class LiveTier {
+ public:
+  /// One current entry plus the precomputed routing the index needs:
+  /// its B+ key (for deterministic in-bucket order identical to the disk
+  /// tier's) and its epoch (for expiry drains without re-deriving).
+  struct Record {
+    uint64_t key = 0;
+    uint64_t epoch = 0;
+    Entry entry;
+  };
+
+  using Bucket = std::vector<Record>;
+  using BucketRef = std::shared_ptr<const Bucket>;
+
+  /// Creates the tier with `cell_count` empty buckets (one per cell of the
+  /// owning shard, indexed by shard-local cell index).
+  explicit LiveTier(uint32_t cell_count);
+
+  LiveTier(const LiveTier&) = delete;
+  LiveTier& operator=(const LiveTier&) = delete;
+
+  /// Inserts a current entry into `local_cell`'s bucket at its key-sorted
+  /// position (after any equal keys — stable arrival order, matching the
+  /// duplicate-key order of the B+ tree insert path). Caller holds the
+  /// shard writer lock.
+  void Insert(uint32_t local_cell, uint64_t key, uint64_t epoch,
+              const Entry& entry);
+
+  /// Removes the (first) record in `local_cell` matching (oid, start).
+  /// Returns false when absent. Caller holds the shard writer lock.
+  bool Remove(uint32_t local_cell, ObjectId oid, Timestamp start);
+
+  /// True iff `local_cell` holds a record matching (oid, start).
+  bool Contains(uint32_t local_cell, ObjectId oid, Timestamp start) const;
+
+  /// Drops every record in `local_cell` whose epoch is below
+  /// `min_live_epoch` (window expiry). Returns the number dropped.
+  /// Caller holds the shard writer lock.
+  size_t DropExpired(uint32_t local_cell, uint64_t min_live_epoch);
+
+  /// The current bucket of one cell (never null; empty buckets share one
+  /// allocation-free sentinel semantics via an empty vector).
+  const BucketRef& bucket(uint32_t local_cell) const {
+    return buckets_[local_cell];
+  }
+
+  /// Copy of the bucket-pointer vector for snapshot publication: O(cells)
+  /// refcount bumps, no entry copies.
+  std::vector<BucketRef> Buckets() const { return buckets_; }
+
+  /// Total live records across all buckets.
+  uint64_t entries() const { return entries_; }
+
+  uint32_t cell_count() const {
+    return static_cast<uint32_t>(buckets_.size());
+  }
+
+ private:
+  /// Clones `local_cell`'s bucket for mutation (copy-on-write step).
+  Bucket CloneBucket(uint32_t local_cell) const;
+
+  std::vector<BucketRef> buckets_;
+  uint64_t entries_ = 0;
+};
+
+}  // namespace swst
+
+#endif  // SWST_SWST_LIVE_TIER_H_

@@ -42,7 +42,8 @@ SwstIndex::SwstIndex(BufferPool* pool, const SwstOptions& options)
     // Initial (empty) snapshot so the lock-free read path never sees a
     // null pointer, even on an index that was never written to.
     shards_.back()->snap.store(
-        new ShardSnapshot{0, 0, shards_.back()->cells},
+        new ShardSnapshot{0, 0, shards_.back()->cells,
+                          shards_.back()->live.Buckets(), 0},
         std::memory_order_release);
   }
   if (options.query_threads > 1) {
@@ -111,6 +112,34 @@ void SwstIndex::RegisterMetrics() {
   m_snapshots_retired_ = r->RegisterCounter(
       "swst_epoch_snapshots_retired_total",
       "Superseded shard snapshots retired for epoch reclamation");
+  m_live_migrations_ = r->RegisterCounter(
+      "swst_live_migrations_total",
+      "Current entries migrated from the live tier to a closed B+ tree "
+      "by CloseCurrent");
+  m_live_drained_ = r->RegisterCounter(
+      "swst_live_drained_total",
+      "Current entries drained from the live tier by window expiry");
+  m_live_only_queries_ = r->RegisterCounter(
+      "swst_live_only_queries_total",
+      "Queries whose every overlapping cell was answered without touching "
+      "the disk tier (now-query hit count; ratio vs "
+      "swst_index_queries_total)");
+  r->RegisterCallback(
+      "swst_live_entries",
+      "Current entries resident in the in-memory live tier",
+      [this] {
+        return static_cast<int64_t>(
+            live_entries_.load(std::memory_order_relaxed));
+      },
+      this);
+  r->RegisterCallback(
+      "swst_live_bytes", "Bytes of live-tier records (entries x record size)",
+      [this] {
+        return static_cast<int64_t>(
+            live_entries_.load(std::memory_order_relaxed) *
+            sizeof(LiveTier::Record));
+      },
+      this);
   r->RegisterCallback(
       "swst_epoch_pinned", "Epoch guards currently pinned by readers",
       [this] { return static_cast<int64_t>(epoch_.stats().pinned); }, this);
@@ -139,6 +168,10 @@ void SwstIndex::RecordQueryMetrics(const QueryStats& stats,
   m_cells_pruned_->Increment(stats.cells_pruned);
   m_cells_visited_->Increment(stats.cells_visited);
   m_results_->Increment(stats.results);
+  if (stats.spatial_cells > 0 &&
+      stats.live_only_cells == stats.spatial_cells) {
+    m_live_only_queries_->Increment();
+  }
   m_query_latency_us_->Record(latency_us);
   m_query_node_accesses_->Record(stats.node_accesses);
 }
@@ -228,7 +261,11 @@ std::unique_lock<std::shared_mutex> SwstIndex::LockShard(Shard& shard) {
 
 void SwstIndex::PublishShard(Shard& shard, std::vector<PageId> retired) {
   shard.version++;
-  auto* next = new ShardSnapshot{shard.version, now(), shard.cells};
+  // The live-tier buckets ride along as shared immutable values (refcount
+  // bumps, no copies), so a migration's live-removal and tree-insert are
+  // always visible together.
+  auto* next = new ShardSnapshot{shard.version, now(), shard.cells,
+                                 shard.live.Buckets(), shard.max_closed_end};
   ShardSnapshot* old = shard.snap.exchange(next, std::memory_order_seq_cst);
   if (m_snapshots_published_ != nullptr) {
     m_snapshots_published_->Increment();
@@ -302,15 +339,26 @@ Status SwstIndex::Advance(Timestamp t) {
   // against published snapshots — queries never block behind Advance.
   for (auto& shard : shards_) {
     std::vector<PageId> retired;
+    size_t drained = 0;
     auto lock = LockShard(*shard);
     const uint32_t end =
         shard->cell_begin + static_cast<uint32_t>(shard->cells.size());
     for (uint32_t cell = shard->cell_begin; cell < end; ++cell) {
       SWST_RETURN_IF_ERROR(DropExpired(*shard, cell, min_live, &retired));
+      // Expired current entries leave the live tier the same way expired
+      // trees leave the disk tier — wholesale, with zero page I/O.
+      drained += shard->live.DropExpired(cell - shard->cell_begin, min_live);
+    }
+    if (drained > 0) {
+      live_entries_.fetch_sub(drained, std::memory_order_relaxed);
+      if (m_live_drained_ != nullptr) m_live_drained_->Increment(drained);
     }
     // A dropped tree always retires at least its root page, so an empty
-    // list means the sweep changed nothing — skip the publish.
-    if (!retired.empty()) PublishShard(*shard, std::move(retired));
+    // list plus an untouched live tier means the sweep changed nothing —
+    // skip the publish.
+    if (!retired.empty() || drained > 0) {
+      PublishShard(*shard, std::move(retired));
+    }
   }
   return SyncWal();
 }
@@ -353,6 +401,16 @@ Status SwstIndex::InsertLocked(Shard& shard, uint32_t cell,
   }
 
   const uint64_t epoch = codec_.Epoch(entry.start);
+  if (entry.is_current()) {
+    // Hot tier: current entries live in memory only — no tree, no memo,
+    // zero page I/O. They reach the disk tier when CloseCurrent migrates
+    // them (or never, if they expire first).
+    shard.live.Insert(cell - shard.cell_begin, KeyFor(entry, cell), epoch,
+                      entry);
+    live_entries_.fetch_add(1, std::memory_order_relaxed);
+    if (m_inserts_ != nullptr) m_inserts_->Increment();
+    return Status::OK();
+  }
   SWST_RETURN_IF_ERROR(PrepareTree(shard, cell, epoch, retired));
 
   const int slot = static_cast<int>(epoch % 2);
@@ -360,6 +418,8 @@ Status SwstIndex::InsertLocked(Shard& shard, uint32_t cell,
   BTree tree = BTree::AttachCow(pool_, ct.root[slot], retired);
   SWST_RETURN_IF_ERROR(tree.Insert(KeyFor(entry, cell), entry));
   ct.root[slot] = tree.root();
+  shard.max_closed_end =
+      std::max(shard.max_closed_end, entry.start + entry.duration);
 
   shard.memo.Add(cell - shard.cell_begin, slot,
                  codec_.LocalColumn(entry.start),
@@ -450,38 +510,63 @@ Status SwstIndex::InsertBatch(const Entry* entries, size_t n) {
       size_t g = i;
       while (g < n && items[g].cell == cell && items[g].epoch == epoch) ++g;
 
-      SWST_RETURN_IF_ERROR(PrepareTree(shard, cell, epoch, &retired));
-      const int slot = static_cast<int>(epoch % 2);
-      CellTrees& ct = CellIn(shard, cell);
+      const uint32_t local_cell = cell - shard.cell_begin;
+      // Closed entries go to the group's B+ tree; current entries go to
+      // the live tier (key-sorted stable order reproduces the bucket a
+      // serial Insert loop would build).
       recs.clear();
       recs.reserve(g - i);
       for (size_t j = i; j < g; ++j) {
-        recs.push_back(BTreeRecord{items[j].key, entries[items[j].index]});
+        const Entry& e = entries[items[j].index];
+        if (e.is_current()) continue;
+        recs.push_back(BTreeRecord{items[j].key, e});
+        shard.max_closed_end =
+            std::max(shard.max_closed_end, e.start + e.duration);
       }
-      BTree tree = BTree::AttachCow(pool_, ct.root[slot], &retired);
-      SWST_RETURN_IF_ERROR(tree.InsertBatch(recs));
-      ct.root[slot] = tree.root();
+      const int slot = static_cast<int>(epoch % 2);
+      if (!recs.empty()) {
+        // Current-only groups skip the tree entirely (a stale tree in the
+        // slot survives until a closed insert or Advance drops it; queries
+        // filter by epoch, so it is invisible either way).
+        SWST_RETURN_IF_ERROR(PrepareTree(shard, cell, epoch, &retired));
+        CellTrees& ct = CellIn(shard, cell);
+        BTree tree = BTree::AttachCow(pool_, ct.root[slot], &retired);
+        SWST_RETURN_IF_ERROR(tree.InsertBatch(recs));
+        ct.root[slot] = tree.root();
+      }
 
       // The key sort clusters each temporal cell (s-partition column and
       // d-partition occupy the key's high bits), so the memo takes one
-      // AddN per consecutive run instead of one update per point.
-      const uint32_t local_cell = cell - shard.cell_begin;
+      // AddN per consecutive run instead of one update per point. Current
+      // entries occupy the reserved top d-partition, so they form their
+      // own runs — routed to the live tier instead of the memo.
       for (size_t r = i; r < g;) {
         const Entry& first = entries[items[r].index];
         const uint32_t column = codec_.LocalColumn(first.start);
         const uint32_t dp = codec_.DPartition(first.duration);
-        run_pts.clear();
         size_t r2 = r;
-        for (; r2 < g; ++r2) {
-          const Entry& e = entries[items[r2].index];
-          if (codec_.LocalColumn(e.start) != column ||
-              codec_.DPartition(e.duration) != dp) {
-            break;
+        if (first.is_current()) {
+          for (; r2 < g; ++r2) {
+            const Entry& e = entries[items[r2].index];
+            if (!e.is_current() || codec_.LocalColumn(e.start) != column) {
+              break;
+            }
+            shard.live.Insert(local_cell, items[r2].key, epoch, e);
           }
-          run_pts.push_back(e.pos);
+          live_entries_.fetch_add(r2 - r, std::memory_order_relaxed);
+        } else {
+          run_pts.clear();
+          for (; r2 < g; ++r2) {
+            const Entry& e = entries[items[r2].index];
+            if (codec_.LocalColumn(e.start) != column ||
+                codec_.DPartition(e.duration) != dp) {
+              break;
+            }
+            run_pts.push_back(e.pos);
+          }
+          shard.memo.AddN(local_cell, slot, column, dp, run_pts.data(),
+                          run_pts.size(), shard.version + 1);
         }
-        shard.memo.AddN(local_cell, slot, column, dp, run_pts.data(),
-                        run_pts.size(), shard.version + 1);
         r = r2;
       }
       i = g;
@@ -521,6 +606,16 @@ Status SwstIndex::Delete(const Entry& entry) {
 Status SwstIndex::DeleteLocked(Shard& shard, uint32_t cell,
                                const Entry& entry,
                                std::vector<PageId>* retired) {
+  if (entry.is_current()) {
+    // Current entries never reach the trees — the live tier is the only
+    // place a delete can find them.
+    if (!shard.live.Remove(cell - shard.cell_begin, entry.oid, entry.start)) {
+      return Status::NotFound("Delete: current entry not in the live tier");
+    }
+    live_entries_.fetch_sub(1, std::memory_order_relaxed);
+    if (m_deletes_ != nullptr) m_deletes_->Increment();
+    return Status::OK();
+  }
   const uint64_t epoch = codec_.Epoch(entry.start);
   const int slot = static_cast<int>(epoch % 2);
   CellTrees& ct = CellIn(shard, cell);
@@ -551,30 +646,45 @@ Status SwstIndex::CloseCurrent(const Entry& current, Duration actual) {
   }
   const uint32_t cell = grid_.CellOf(current.pos);
   const uint64_t epoch = codec_.Epoch(current.start);
-  const int slot = static_cast<int>(epoch % 2);
   Shard& shard = ShardFor(cell);
   std::shared_lock<std::shared_mutex> ckpt(checkpoint_mu_);
   {
-    // Delete + re-insert under one critical section and ONE publish: a
-    // query sees either the still-open entry or the closed one, never
-    // both and never neither (no torn view).
+    // Seal-time migration: live-tier removal + closed B+ insert under one
+    // critical section and ONE publish, so a query sees either the
+    // still-open entry (via the live buckets of an older snapshot) or the
+    // closed one (via the trees and raised watermark of the new snapshot)
+    // — never both and never neither (no torn view).
     auto lock = LockShard(shard);
-    CellTrees& ct = CellIn(shard, cell);
-    if (ct.root[slot] == kInvalidPageId || ct.epoch[slot] != epoch) {
-      // The entry expired with its window; nothing to close (and nothing
-      // to log — redo reconstructs the same no-op from index state).
-      return Status::OK();
+    const uint32_t local_cell = cell - shard.cell_begin;
+    if (!shard.live.Contains(local_cell, current.oid, current.start)) {
+      const uint64_t k = now() / options_.epoch_length();
+      const uint64_t min_live = (k == 0) ? 0 : k - 1;
+      if (epoch < min_live) {
+        // The entry expired with its window; nothing to close (and
+        // nothing to log — redo reconstructs the same no-op from state).
+        return Status::OK();
+      }
+      return Status::NotFound("CloseCurrent: entry not in the live tier");
     }
+    Entry closed = current;
+    closed.duration = actual;
+    // Validate the closed entry *before* logging or mutating: a rejected
+    // close (e.g. the re-insert would fall outside the window) leaves no
+    // WAL record and no state change at all.
+    SWST_RETURN_IF_ERROR(ValidateInsert(closed));
     if (wal_ != nullptr && !replaying_) {
       const WalClosePayload payload{current, actual};
       SWST_RETURN_IF_ERROR(
           LogOp(WalRecordType::kClose, &payload, sizeof(payload)));
     }
     std::vector<PageId> retired;
-    SWST_RETURN_IF_ERROR(DeleteLocked(shard, cell, current, &retired));
-    Entry closed = current;
-    closed.duration = actual;
+    // Tree insert first: if it fails (I/O), the live tier is untouched
+    // and nothing publishes — the entry simply stays current.
     SWST_RETURN_IF_ERROR(InsertLocked(shard, cell, closed, &retired));
+    shard.live.Remove(local_cell, current.oid, current.start);
+    live_entries_.fetch_sub(1, std::memory_order_relaxed);
+    if (m_deletes_ != nullptr) m_deletes_->Increment();
+    if (m_live_migrations_ != nullptr) m_live_migrations_->Increment();
     PublishShard(shard, std::move(retired));
   }
   return SyncWal();
@@ -659,6 +769,62 @@ Status SwstIndex::SearchCell(const SpatialGrid::CellOverlap& co,
   const uint32_t local_cell = co.cell - shard.cell_begin;
   const Rect cell_rect = grid_.CellRect(co.cell);
   const uint32_t d_slots = options_.d_partition_slots();
+
+  // --- Hot tier: scan the snapshot's live bucket first (zero page I/O).
+  // Emission order is live-then-disk per cell, identical for serial,
+  // fanned-out, and KNN execution, so results stay deterministic across
+  // every query_threads / shard_count setting.
+  bool stopped = false;
+  {
+    obs::ScopedSpan live_span(trace, cell_span.get(),
+                              trace != nullptr ? "live" : std::string());
+    const LiveTier::Bucket& bucket = *snap->live[local_cell];
+    uint64_t scanned = 0;
+    uint64_t emitted = 0;
+    for (const LiveTier::Record& rec : bucket) {
+      ++scanned;
+      const Entry& e = rec.entry;
+      const bool in_window = e.start >= win.lo && e.start <= win.hi;
+      const bool temporal_ok = e.ValidTimeOverlaps(q);
+      const bool spatial_ok = co.full || co.overlap.Contains(e.pos);
+      const bool retained =
+          !opts.retention_filter || opts.retention_filter(e, now());
+      if (in_window && temporal_ok && spatial_ok && retained) {
+        ++emitted;
+        if (!emit(e)) {
+          stopped = true;
+          break;
+        }
+      }
+    }
+    if (stats != nullptr) {
+      stats->live_candidates += scanned;
+      stats->live_results += emitted;
+      stats->results += emitted;
+    }
+    if (trace != nullptr) {
+      live_span.AddCounter("candidates", scanned);
+      live_span.AddCounter("results", emitted);
+    }
+  }
+
+  // --- Cold tier: the watermark proof. Every closed entry in this
+  // shard's trees ends at or before `max_closed_end`, and a closed entry
+  // matches only if its end exceeds q.lo — so a query interval starting
+  // at or past the watermark cannot match *any* disk-tier entry, and the
+  // whole B+ search (memo trims, key ranges, page fetches) is skipped.
+  // This is what makes timeslice-now and KNN-now zero-I/O.
+  const bool disk_skip = q.lo >= snap->max_closed_end;
+  if (disk_skip && !stopped) {
+    if (stats != nullptr) stats->live_only_cells++;
+    if (trace != nullptr) cell_span.AddCounter("disk_skipped", 1);
+  }
+  if (stopped || disk_skip) {
+    if (trace != nullptr && stats != nullptr) {
+      cell_span.AddCounter("results", stats->results - before.results);
+    }
+    return Status::OK();
+  }
 
   // Quantized corners of the overlap rectangle (the paper's S_l and S_h).
   const uint32_t qx_lo =
@@ -973,6 +1139,9 @@ Status SwstIndex::IntervalQueryStream(
     root->AddCounter("cells_visited", local.cells_visited);
     root->AddCounter("cells_pruned", local.cells_pruned);
     root->AddCounter("memo_pruned_columns", local.memo_pruned_columns);
+    root->AddCounter("live_candidates", local.live_candidates);
+    root->AddCounter("live_results", local.live_results);
+    root->AddCounter("live_only_cells", local.live_only_cells);
     root->AddCounter("results", local.results);
     trace->EndSpan(root);
   }
@@ -1025,6 +1194,7 @@ Result<uint64_t> SwstIndex::CountEntries() const {
   uint64_t n = 0;
   for (const auto& shard : shards_) {
     std::shared_lock<std::shared_mutex> lock(shard->mu);
+    n += shard->live.entries();
     for (const CellTrees& ct : shard->cells) {
       for (int slot = 0; slot < 2; ++slot) {
         if (ct.root[slot] == kInvalidPageId) continue;
@@ -1084,10 +1254,14 @@ struct MetaHeader {
   /// lsn >= this value (first page only; 0 = no WAL at checkpoint time,
   /// replay everything).
   uint64_t wal_start_lsn;
+  /// Live-tier entries persisted in the `live_head` chain (first page
+  /// only) — the checkpoint must carry the memory-resident tier, since
+  /// `Checkpoint` truncates the WAL records that created it.
+  uint64_t live_count;
   uint32_t cell_count;   // Total cells (first page only; 0 on others).
   uint32_t cells_here;   // CellRecords stored in this page.
   PageId next;           // Next page of the chain, or kInvalidPageId.
-  uint32_t padding;
+  PageId live_head;      // Live-entry chain head (first page only).
 };
 
 struct CellRecord {
@@ -1097,9 +1271,20 @@ struct CellRecord {
   uint64_t epoch1;
 };
 
+/// On-disk layout of one live-tier page: this header followed by `count`
+/// packed `Entry` records.
+struct LivePageHeader {
+  uint64_t magic;
+  uint32_t count;
+  PageId next;
+};
+
 constexpr uint64_t kMetaMagic = 0x5357'5354'4D45'5441ULL;  // "SWSTMETA"
+constexpr uint64_t kLiveMagic = 0x5357'5354'4C49'5645ULL;  // "SWSTLIVE"
 constexpr size_t kCellsPerPage =
     (kPageSize - sizeof(MetaHeader)) / sizeof(CellRecord);
+constexpr size_t kLiveEntriesPerPage =
+    (kPageSize - sizeof(LivePageHeader)) / sizeof(Entry);
 
 uint64_t HashCombine(uint64_t h, uint64_t v) {
   h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
@@ -1147,6 +1332,27 @@ Status SwstIndex::Save(PageId* meta_page) {
   }
   const Lsn captured = applied_lsn_.load(std::memory_order_acquire);
 
+  // Gather the live tier for persistence (shard-, cell-, then bucket-
+  // ordered, so a Save/Open round trip reproduces the exact buckets).
+  // Without this, `Checkpoint`'s log truncation would discard the only
+  // durable trace of acked current entries.
+  std::vector<Entry> live_entries;
+  live_entries.reserve(live_entries_.load(std::memory_order_relaxed));
+  for (const auto& shard : shards_) {
+    for (uint32_t local = 0; local < shard->live.cell_count(); ++local) {
+      for (const LiveTier::Record& rec : *shard->live.bucket(local)) {
+        live_entries.push_back(rec.entry);
+      }
+    }
+  }
+  const size_t live_pages =
+      (live_entries.size() + kLiveEntriesPerPage - 1) / kLiveEntriesPerPage;
+  while (live_chain_.size() < live_pages) {
+    auto page = pool_->New();
+    if (!page.ok()) return page.status();
+    live_chain_.push_back(page->id());
+  }
+
   const size_t total_cells = grid_.cell_count();
   // Ensure the chain is long enough for all cells.
   const size_t pages_needed =
@@ -1167,6 +1373,9 @@ Status SwstIndex::Save(PageId* meta_page) {
     hdr->fingerprint = OptionsFingerprint();
     hdr->now = now();
     hdr->wal_start_lsn = (p == 0 && wal_ != nullptr) ? captured + 1 : 0;
+    hdr->live_count = (p == 0) ? live_entries.size() : 0;
+    hdr->live_head =
+        (p == 0 && live_pages > 0) ? live_chain_[0] : kInvalidPageId;
     hdr->cell_count =
         (p == 0) ? static_cast<uint32_t>(total_cells) : 0;
     hdr->next =
@@ -1180,6 +1389,21 @@ Status SwstIndex::Save(PageId* meta_page) {
                               ct.epoch[1]};
     }
     hdr->cells_here = here;
+    page->MarkDirty();
+  }
+  size_t off = 0;
+  for (size_t p = 0; p < live_pages; ++p) {
+    auto page = pool_->Fetch(live_chain_[p]);
+    if (!page.ok()) return page.status();
+    auto* hdr = page->As<LivePageHeader>();
+    hdr->magic = kLiveMagic;
+    const size_t here =
+        std::min(kLiveEntriesPerPage, live_entries.size() - off);
+    hdr->count = static_cast<uint32_t>(here);
+    hdr->next = (p + 1 < live_pages) ? live_chain_[p + 1] : kInvalidPageId;
+    std::memcpy(page->data() + sizeof(LivePageHeader),
+                live_entries.data() + off, here * sizeof(Entry));
+    off += here;
     page->MarkDirty();
   }
   // All partitions of the striped pool are flushed before the pager sync —
@@ -1215,6 +1439,8 @@ Result<std::unique_ptr<SwstIndex>> SwstIndex::Open(BufferPool* pool,
   PageId cur = meta_page;
   uint32_t cell = 0;
   bool first = true;
+  PageId live_head = kInvalidPageId;
+  uint64_t live_count = 0;
   // A chain longer than the file has pages must be a next-pointer cycle.
   const uint64_t max_chain = pool->pager()->page_count() + 1;
   uint64_t chain_len = 0;
@@ -1247,6 +1473,8 @@ Result<std::unique_ptr<SwstIndex>> SwstIndex::Open(BufferPool* pool,
           (hdr->wal_start_lsn == 0) ? kInvalidLsn : hdr->wal_start_lsn - 1;
       idx->applied_lsn_.store(applied, std::memory_order_release);
       idx->last_checkpoint_lsn_.store(applied, std::memory_order_release);
+      live_head = hdr->live_head;
+      live_count = hdr->live_count;
       first = false;
     }
     const auto* recs = reinterpret_cast<const CellRecord*>(
@@ -1268,6 +1496,46 @@ Result<std::unique_ptr<SwstIndex>> SwstIndex::Open(BufferPool* pool,
     return Status::Corruption("SwstIndex::Open: truncated metadata chain");
   }
   idx->meta_page_ = meta_page;
+
+  // Reload the persisted live tier before RebuildMemo publishes the first
+  // snapshots, so the buckets are visible to the read path from the start.
+  PageId lcur = live_head;
+  uint64_t loaded = 0;
+  uint64_t live_len = 0;
+  while (lcur != kInvalidPageId) {
+    if (++live_len > max_chain) {
+      return Status::Corruption("SwstIndex::Open: live chain cycle");
+    }
+    auto page = pool->Fetch(lcur);
+    if (!page.ok()) return page.status();
+    const auto* hdr = page->As<LivePageHeader>();
+    if (hdr->magic != kLiveMagic) {
+      return Status::Corruption("SwstIndex::Open: bad live page magic");
+    }
+    if (hdr->count > kLiveEntriesPerPage) {
+      return Status::Corruption("SwstIndex::Open: live record overflow");
+    }
+    const char* base = page->data() + sizeof(LivePageHeader);
+    for (uint32_t i = 0; i < hdr->count; ++i) {
+      Entry e;
+      std::memcpy(&e, base + i * sizeof(Entry), sizeof(Entry));
+      if (!e.is_current() || !idx->grid_.Contains(e.pos)) {
+        return Status::Corruption("SwstIndex::Open: invalid live entry");
+      }
+      const uint32_t ecell = idx->grid_.CellOf(e.pos);
+      Shard& shard = idx->ShardFor(ecell);
+      shard.live.Insert(ecell - shard.cell_begin, idx->KeyFor(e, ecell),
+                        idx->codec_.Epoch(e.start), e);
+    }
+    loaded += hdr->count;
+    idx->live_chain_.push_back(lcur);
+    lcur = hdr->next;
+  }
+  if (loaded != live_count) {
+    return Status::Corruption("SwstIndex::Open: truncated live chain");
+  }
+  idx->live_entries_.store(loaded, std::memory_order_release);
+
   SWST_RETURN_IF_ERROR(idx->RebuildMemo());
   return Result<std::unique_ptr<SwstIndex>>(std::move(idx));
 }
@@ -1373,6 +1641,12 @@ Status SwstIndex::RebuildMemo() {
                               codec_.LocalColumn(rec.entry.start),
                               codec_.DPartition(rec.entry.duration),
                               rec.entry.pos, ver);
+              // Re-derive the disk-skip watermark the snapshot needs;
+              // trees hold closed entries only, but stay defensive.
+              if (!rec.entry.is_current()) {
+                shard->max_closed_end = std::max(
+                    shard->max_closed_end, rec.entry.end());
+              }
               return true;
             }));
       }
@@ -1390,6 +1664,10 @@ Result<SwstIndex::DebugStats> SwstIndex::GetDebugStats() const {
   for (const auto& shard : shards_) {
     std::shared_lock<std::shared_mutex> lock(shard->mu);
     stats.memo_nonempty_cells += shard->memo.NonEmptyCells();
+    // Live-tier residents count as entries (they are queriable state);
+    // they are all current by construction.
+    stats.entries += shard->live.entries();
+    stats.current_entries += shard->live.entries();
     for (const CellTrees& ct : shard->cells) {
       for (int slot = 0; slot < 2; ++slot) {
         if (ct.root[slot] == kInvalidPageId) continue;

@@ -17,6 +17,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/wal.h"
 #include "swst/is_present_memo.h"
+#include "swst/live_tier.h"
 #include "swst/options.h"
 #include "swst/overlap.h"
 #include "swst/query_executor.h"
@@ -49,6 +50,16 @@ struct QueryStats {
   /// fast-accepted by the full-overlap rule): `refined_out` of them were
   /// rejected, the rest emitted.
   uint64_t candidates_refined = 0;
+  /// Live-tier (memory-resident current entries) records scanned. Not
+  /// included in `candidates`, which counts disk-tier tree records only.
+  uint64_t live_candidates = 0;
+  /// Results emitted from the live tier (subset of `results`).
+  uint64_t live_results = 0;
+  /// Overlapping cells answered *entirely* from the live tier: the
+  /// snapshot's closed-end watermark proved no disk-tier entry can match,
+  /// so the whole B+ search (memo, key ranges, page fetches) was skipped.
+  /// Such cells count in neither `cells_visited` nor `cells_pruned`.
+  uint64_t live_only_cells = 0;
   uint64_t results = 0;  ///< Entries emitted to the caller.
 
   /// Accumulates another query's (or cell task's) counters.
@@ -64,6 +75,9 @@ struct QueryStats {
     cells_pruned += o.cells_pruned;
     cells_visited += o.cells_visited;
     candidates_refined += o.candidates_refined;
+    live_candidates += o.live_candidates;
+    live_results += o.live_results;
+    live_only_cells += o.live_only_cells;
     results += o.results;
     return *this;
   }
@@ -234,6 +248,10 @@ class SwstIndex {
   /// `entry.start` if it is ahead. Requirements: the position lies in the
   /// spatial domain; a closed duration is in [1, Dmax]; the start timestamp
   /// is inside the current queriable period (not already expired).
+  ///
+  /// Routing is by entry kind: closed entries go to the cell's on-disk B+
+  /// tree; *current* entries go to the shard's memory-resident live tier
+  /// and touch zero pages (see docs/swst_internals.md, "Two tiers").
   Status Insert(const Entry& entry);
 
   /// Inserts a batch of entries with the exact end state a serial `Insert`
@@ -258,10 +276,14 @@ class SwstIndex {
   /// NotFound if absent or already dropped with an expired tree.
   Status Delete(const Entry& entry);
 
-  /// Closes a previously inserted *current* entry: deletes its ND-keyed
-  /// record and re-inserts it with duration `actual`. If the entry's epoch
-  /// has already been dropped, this is a no-op (the entry expired).
-  /// InvalidArgument if the position is outside the spatial domain.
+  /// Closes a previously inserted *current* entry: migrates it from the
+  /// in-memory live tier into the cell's closed B+ tree with duration
+  /// `actual`, in one atomic publish. If the entry's epoch has already
+  /// expired out of the window, this is a no-op; NotFound if the entry is
+  /// in a live epoch but was never inserted (or was already closed).
+  /// InvalidArgument if the position is outside the spatial domain, the
+  /// duration is invalid, or the closed entry would fall outside the
+  /// window.
   Status CloseCurrent(const Entry& current, Duration actual);
 
   /// Streaming convenience: report that `oid` is at `pos` from time `t`
@@ -395,6 +417,18 @@ class SwstIndex {
     uint64_t version = 0;          ///< Shard mutation count at publish.
     Timestamp clock = 0;           ///< Index clock at publish.
     std::vector<CellTrees> cells;  ///< Frozen directory slice.
+    /// Frozen live-tier buckets (current entries), one per cell; shared
+    /// immutable values, so publication costs refcount bumps only. The
+    /// live tier and the tree directory of one snapshot are always
+    /// mutually consistent: a `CloseCurrent` migration publishes the
+    /// live-removal and the tree-insert as one snapshot.
+    std::vector<LiveTier::BucketRef> live;
+    /// Strict upper bound over the end timestamps (start + duration) of
+    /// every closed entry ever inserted into this shard's trees. Queries
+    /// with `q.lo >= max_closed_end` cannot match any disk-tier entry
+    /// (closed entries match iff end > q.lo), so they skip the B+ search
+    /// of every cell outright — the zero-I/O path for now-queries.
+    Timestamp max_closed_end = 0;
   };
 
   /// A contiguous range of spatial cells with all of their mutable state:
@@ -406,13 +440,22 @@ class SwstIndex {
   struct Shard {
     Shard(uint32_t begin, uint32_t count, uint32_t s_partitions,
           uint32_t d_slots)
-        : cell_begin(begin), cells(count), memo(count, s_partitions, d_slots) {}
+        : cell_begin(begin),
+          cells(count),
+          memo(count, s_partitions, d_slots),
+          live(count) {}
 
     mutable std::shared_mutex mu;
     uint32_t cell_begin;            ///< First global cell index covered.
     std::vector<CellTrees> cells;   ///< Writer state; indexed by
                                     ///< (cell - cell_begin).
     IsPresentMemo memo;             ///< Indexed by (cell - cell_begin).
+    /// Hot tier: current entries of this shard, cell-bucketed and
+    /// key-sorted in memory. Mutated under `mu`, read through `snap`.
+    LiveTier live;
+    /// Writer-side watermark behind `ShardSnapshot::max_closed_end`;
+    /// guarded by `mu`, max-updated on every closed-entry tree insert.
+    Timestamp max_closed_end = 0;
     /// Current published snapshot (never null after construction); swapped
     /// with seq_cst by `PublishShard`, loaded lock-free by queries.
     std::atomic<ShardSnapshot*> snap{nullptr};
@@ -615,10 +658,16 @@ class SwstIndex {
   /// Thread pool for per-query cell fan-out; null when query_threads <= 1.
   std::unique_ptr<QueryExecutor> executor_;
   std::atomic<Timestamp> now_{0};
+  /// Total current entries across all shards' live tiers (gauge source;
+  /// the per-shard counts are guarded by the shard mutexes).
+  std::atomic<uint64_t> live_entries_{0};
   /// Head of the persisted metadata page chain; allocated on first Save.
   PageId meta_page_ = kInvalidPageId;
   /// Additional metadata pages of the chain (for reuse across saves).
   std::vector<PageId> meta_chain_;
+  /// Pages of the persisted live-tier entry chain (reused across saves;
+  /// the head is recorded in the first metadata page).
+  std::vector<PageId> live_chain_;
 
   /// \name Registry metrics (all null when `SwstOptions::metrics` is null).
   /// Updated once per operation from per-query/-batch locals, never from
@@ -641,6 +690,12 @@ class SwstIndex {
   std::shared_ptr<obs::Histogram> m_shard_lock_wait_us_;
   std::shared_ptr<obs::Counter> m_snapshots_published_;
   std::shared_ptr<obs::Counter> m_snapshots_retired_;
+  /// Live-tier lifecycle: entries migrated to the disk tier by
+  /// `CloseCurrent`, entries drained by window expiry, and queries whose
+  /// every overlapping cell was answered without touching the disk tier.
+  std::shared_ptr<obs::Counter> m_live_migrations_;
+  std::shared_ptr<obs::Counter> m_live_drained_;
+  std::shared_ptr<obs::Counter> m_live_only_queries_;
   /// @}
 };
 

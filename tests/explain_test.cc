@@ -12,7 +12,6 @@
 #include <vector>
 
 #include "obs/trace.h"
-#include "swst/concurrent_index.h"
 #include "swst/swst_index.h"
 #include "tests/test_util.h"
 
@@ -204,6 +203,12 @@ TEST_F(ExplainTest, MemoPruningMatchesNoMemoGroundTruth) {
     // the shortest duration partition, so the memo can rule the cell out.
     EXPECT_OK((*idx)->Insert(MakeEntry(1, 100, 100, 10, 1)));
     EXPECT_OK((*idx)->Advance(200));
+    // Alive over [250, 251]: starts after the queried interval (so its
+    // s-partition column is inactive and it can never match), but its end
+    // raises the shard's closed-end watermark past q.lo — otherwise the
+    // live-tier disk-skip would answer the query before the memo (or the
+    // tree) is ever consulted, which is not what this test measures.
+    EXPECT_OK((*idx)->Insert(MakeEntry(2, 100, 100, 250, 1)));
     obs::QueryTrace trace;
     QueryOptions qo;
     qo.trace = &trace;
@@ -254,24 +259,31 @@ TEST_F(ExplainTest, KnnTraceRootMatchesStats) {
   EXPECT_FALSE(ChildrenWithPrefix(root, "cell ").empty());
 }
 
-// ConcurrentSwstIndex delegates Explain (and its stream API) unchanged.
-TEST_F(ExplainTest, ConcurrentFacadeDelegatesExplain) {
+// A query over an index holding only current entries is answered from the
+// live tier alone: Explain annotates every cell with `disk_skipped` and a
+// `live` child span, and the roll-up reports all touched cells live-only.
+TEST_F(ExplainTest, AnnotatesLiveTierOnlyQueries) {
   SwstOptions o = TestOptions();
   auto idx_or = SwstIndex::Create(pool(), o);
   ASSERT_TRUE(idx_or.ok());
-  ASSERT_OK((*idx_or)->Insert(MakeEntry(1, 100, 100, 10, 100)));
-  ASSERT_OK((*idx_or)->Advance(200));
+  auto& idx = *idx_or;
+  ASSERT_OK(idx->Insert(Entry{1, {100, 100}, 10, kUnknownDuration}));
+  ASSERT_OK(idx->Insert(Entry{2, {500, 500}, 20, kUnknownDuration}));
+  ASSERT_OK(idx->Advance(200));
 
-  auto pager = Pager::OpenMemory();
-  BufferPool p(pager.get(), 1024);
-  auto conc = ConcurrentSwstIndex::Create(&p, o);
-  ASSERT_TRUE(conc.ok());
-  ASSERT_OK((*conc)->Insert(MakeEntry(1, 100, 100, 10, 100)));
-  ASSERT_OK((*conc)->Advance(200));
-  auto ex = (*conc)->Explain(Rect{{0, 0}, {1000, 1000}}, {0, 150});
+  auto ex = idx->Explain(Rect{{0, 0}, {1000, 1000}}, {100, 150});
   ASSERT_TRUE(ex.ok());
-  EXPECT_EQ(ex->results.size(), 1u);
+  EXPECT_EQ(ex->results.size(), 2u);
   EXPECT_NE(ex->text.find("cell "), std::string::npos);
+  EXPECT_NE(ex->text.find("live "), std::string::npos);
+  EXPECT_NE(ex->text.find("disk_skipped"), std::string::npos);
+  EXPECT_EQ(ex->stats.live_results, 2u);
+  EXPECT_EQ(ex->stats.results, 2u);
+  EXPECT_GT(ex->stats.live_only_cells, 0u);
+  EXPECT_EQ(ex->stats.live_only_cells, ex->stats.spatial_cells);
+  // Nothing closed exists, so no cell consulted a B+ tree.
+  EXPECT_EQ(ex->stats.node_accesses, 0u);
+  EXPECT_EQ(ex->stats.cells_visited, 0u);
 }
 
 }  // namespace

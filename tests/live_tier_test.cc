@@ -1,0 +1,394 @@
+// Tests for the memory-resident live tier (hot/cold tiering): current
+// entries live in per-shard, cell-bucketed memory until CloseCurrent
+// migrates them into the closed B+ trees. Pins the tier's core promises:
+// zero page I/O for current-entry inserts and for now-queries, atomic
+// close migration, Advance draining without disk, determinism across
+// shard/thread configurations, and persistence/recovery of the tier.
+//
+// The "LiveTier" suite prefix is load-bearing: CI's sanitizer job runs
+// these tests under TSan via its suite-name filter.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/wal.h"
+#include "swst/swst_index.h"
+#include "tests/test_util.h"
+
+namespace swst {
+namespace {
+
+SwstOptions TierOptions() {
+  SwstOptions o;
+  o.space = Rect{{0, 0}, {1000, 1000}};
+  o.x_partitions = 4;
+  o.y_partitions = 4;
+  o.window_size = 1000;
+  o.slide = 50;
+  o.max_duration = 200;
+  o.duration_interval = 50;
+  return o;
+}
+
+Entry MakeCurrent(ObjectId oid, double x, double y, Timestamp s) {
+  return Entry{oid, Point{x, y}, s, kUnknownDuration};
+}
+
+class LiveTierTest : public PoolTest {};
+
+TEST_F(LiveTierTest, CurrentInsertsTouchZeroPages) {
+  auto idx = SwstIndex::Create(pool(), TierOptions());
+  ASSERT_TRUE(idx.ok());
+  const IoStats before = pool()->stats();
+  Random rng(7);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK((*idx)->Insert(MakeCurrent(
+        i, rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000),
+        static_cast<Timestamp>(i))));
+  }
+  const IoStats d = pool()->stats().Since(before);
+  EXPECT_EQ(d.logical_reads, 0u);
+  EXPECT_EQ(d.physical_reads, 0u);
+  EXPECT_EQ(d.pages_allocated, 0u);
+  auto count = (*idx)->CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 200u);
+}
+
+TEST_F(LiveTierTest, TimesliceNowIsAnsweredWithoutDiskReads) {
+  auto idx_or = SwstIndex::Create(pool(), TierOptions());
+  ASSERT_TRUE(idx_or.ok());
+  auto& idx = *idx_or;
+  // Cold tier: closed entries whose valid time ends well before "now".
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_OK(idx->Insert(MakeEntry(100 + i, 100.0 + 100 * (i % 8), 150,
+                                    10 + i, 50)));
+  }
+  // Hot tier: current entries, still open at query time.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_OK(idx->Insert(MakeCurrent(200 + i, 100.0 + 100 * (i % 8), 850,
+                                      400 + i)));
+  }
+  ASSERT_OK(idx->Advance(500));
+
+  const IoStats before = pool()->stats();
+  QueryStats stats;
+  auto r = idx->TimesliceQuery(Rect{{0, 0}, {1000, 1000}}, idx->now(), {},
+                               &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 8u);  // Only the current entries are valid at now.
+  for (const Entry& e : *r) EXPECT_TRUE(e.is_current());
+  // Every closed entry ended by t=69 < 500, so the watermark proves the
+  // disk tier cannot contribute: the whole query is live-tier only.
+  EXPECT_EQ(stats.node_accesses, 0u);
+  EXPECT_EQ(stats.cells_visited, 0u);
+  EXPECT_GT(stats.live_only_cells, 0u);
+  EXPECT_EQ(stats.live_only_cells, stats.spatial_cells);
+  EXPECT_EQ(stats.live_results, 8u);
+  const IoStats d = pool()->stats().Since(before);
+  EXPECT_EQ(d.logical_reads, 0u);
+  EXPECT_EQ(d.physical_reads, 0u);
+}
+
+TEST_F(LiveTierTest, KnnNowIsAnsweredWithoutDiskReads) {
+  auto idx_or = SwstIndex::Create(pool(), TierOptions());
+  ASSERT_TRUE(idx_or.ok());
+  auto& idx = *idx_or;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_OK(idx->Insert(MakeEntry(100 + i, 500, 500, 10 + i, 50)));
+    ASSERT_OK(idx->Insert(MakeCurrent(200 + i, 100.0 * (i + 1), 500,
+                                      400 + i)));
+  }
+  ASSERT_OK(idx->Advance(500));
+
+  const IoStats before = pool()->stats();
+  QueryStats stats;
+  auto r = idx->Knn(Point{500, 500}, 3, {idx->now(), idx->now()}, {}, &stats);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 3u);
+  for (const Entry& e : *r) EXPECT_TRUE(e.is_current());
+  EXPECT_EQ(stats.node_accesses, 0u);
+  const IoStats d = pool()->stats().Since(before);
+  EXPECT_EQ(d.logical_reads, 0u);
+  EXPECT_EQ(d.physical_reads, 0u);
+}
+
+TEST_F(LiveTierTest, CloseMigratesLiveEntryIntoTree) {
+  auto idx_or = SwstIndex::Create(pool(), TierOptions());
+  ASSERT_TRUE(idx_or.ok());
+  auto& idx = *idx_or;
+  const Entry cur = MakeCurrent(1, 300, 300, 100);
+  ASSERT_OK(idx->Insert(cur));
+
+  auto stats = idx->GetDebugStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->entries, 1u);
+  EXPECT_EQ(stats->current_entries, 1u);
+  EXPECT_EQ(stats->live_trees, 0u);  // Nothing on disk yet.
+
+  ASSERT_OK(idx->CloseCurrent(cur, 50));
+  stats = idx->GetDebugStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->entries, 1u);
+  EXPECT_EQ(stats->current_entries, 0u);
+  EXPECT_EQ(stats->live_trees, 1u);  // Migrated to the closed B+ tree.
+
+  // The closed version answers interval queries; the open one is gone.
+  auto r = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}}, {0, 1000});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].duration, 50u);
+
+  // Double close: the entry is no longer in the live tier.
+  EXPECT_TRUE(idx->CloseCurrent(cur, 50).IsNotFound());
+}
+
+TEST_F(LiveTierTest, CloseAfterExpiryIsANoOp) {
+  SwstOptions o = TierOptions();
+  auto idx_or = SwstIndex::Create(pool(), o);
+  ASSERT_TRUE(idx_or.ok());
+  auto& idx = *idx_or;
+  const Entry cur = MakeCurrent(1, 300, 300, 100);
+  ASSERT_OK(idx->Insert(cur));
+  // Push the clock far enough that the entry's epoch left the window.
+  ASSERT_OK(idx->Advance(10 * o.epoch_length()));
+  EXPECT_OK(idx->CloseCurrent(cur, 50));  // Expired: OK, nothing to do.
+  auto count = idx->CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+}
+
+TEST_F(LiveTierTest, AdvanceDrainsExpiredLiveEntriesWithoutDisk) {
+  SwstOptions o = TierOptions();
+  auto idx_or = SwstIndex::Create(pool(), o);
+  ASSERT_TRUE(idx_or.ok());
+  auto& idx = *idx_or;
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_OK(idx->Insert(MakeCurrent(i, 31.25 * i + 10, 500, 10 + i)));
+  }
+  const IoStats before = pool()->stats();
+  ASSERT_OK(idx->Advance(10 * o.epoch_length()));
+  // Draining the live tier is pure memory work: no tree pages exist.
+  const IoStats d = pool()->stats().Since(before);
+  EXPECT_EQ(d.logical_reads, 0u);
+  auto count = idx->CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+  auto stats = idx->GetDebugStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->entries, 0u);
+  EXPECT_EQ(stats->current_entries, 0u);
+}
+
+// The live tier participates in the batch pipeline: a batch with current
+// entries interleaved must leave the exact state of the serial loop,
+// including result order under every shard/thread configuration.
+TEST_F(LiveTierTest, ResultsDeterministicAcrossShardAndThreadConfigs) {
+  Random rng(11);
+  std::vector<Entry> data;
+  for (int i = 0; i < 500; ++i) {
+    const Timestamp s = static_cast<Timestamp>(i / 3);
+    if (i % 3 == 0) {
+      data.push_back(MakeCurrent(i, rng.UniformDouble(0, 1000),
+                                 rng.UniformDouble(0, 1000), s));
+    } else {
+      data.push_back(Entry{static_cast<ObjectId>(i),
+                           {rng.UniformDouble(0, 1000),
+                            rng.UniformDouble(0, 1000)},
+                           s, 1 + rng.Uniform(200)});
+    }
+  }
+
+  auto run = [&](uint32_t shards, uint32_t threads, bool batch) {
+    SwstOptions o = TierOptions();
+    o.shard_count = shards;
+    o.query_threads = threads;
+    auto pager = Pager::OpenMemory();
+    BufferPool p(pager.get(), 4096);
+    auto idx = SwstIndex::Create(&p, o);
+    EXPECT_TRUE(idx.ok());
+    if (batch) {
+      EXPECT_OK((*idx)->InsertBatch(data));
+    } else {
+      for (const Entry& e : data) EXPECT_OK((*idx)->Insert(e));
+    }
+    auto r = (*idx)->IntervalQuery(Rect{{100, 100}, {900, 900}}, {0, 400});
+    EXPECT_TRUE(r.ok());
+    return *r;
+  };
+
+  const auto reference = run(1, 1, /*batch=*/false);
+  EXPECT_GT(reference.size(), 0u);
+  for (uint32_t shards : {1u, 4u, 16u}) {
+    for (uint32_t threads : {1u, 4u}) {
+      for (bool batch : {false, true}) {
+        const auto got = run(shards, threads, batch);
+        ASSERT_EQ(got.size(), reference.size())
+            << "shards=" << shards << " threads=" << threads
+            << " batch=" << batch;
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].oid, reference[i].oid) << "position " << i;
+          EXPECT_EQ(got[i].start, reference[i].start) << "position " << i;
+          EXPECT_EQ(got[i].duration, reference[i].duration)
+              << "position " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(LiveTierTest, SaveAndOpenRestoreLiveBuckets) {
+  SwstOptions o = TierOptions();
+  auto idx_or = SwstIndex::Create(pool(), o);
+  ASSERT_TRUE(idx_or.ok());
+  auto idx = std::move(*idx_or);
+  Random rng(3);
+  std::vector<Entry> currents;
+  for (int i = 0; i < 40; ++i) {
+    currents.push_back(MakeCurrent(i, rng.UniformDouble(0, 1000),
+                                   rng.UniformDouble(0, 1000), 100 + i));
+    ASSERT_OK(idx->Insert(currents.back()));
+    ASSERT_OK(idx->Insert(MakeEntry(1000 + i, rng.UniformDouble(0, 1000),
+                                    rng.UniformDouble(0, 1000), 100 + i, 20)));
+  }
+  ASSERT_OK(idx->Advance(200));
+  auto before = idx->TimesliceQuery(Rect{{0, 0}, {1000, 1000}}, idx->now());
+  ASSERT_TRUE(before.ok());
+
+  PageId meta = kInvalidPageId;
+  ASSERT_OK(idx->Save(&meta));
+  idx.reset();
+
+  auto reopened = SwstIndex::Open(pool(), o, meta);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto stats = (*reopened)->GetDebugStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->current_entries, 40u);
+  EXPECT_EQ(stats->entries, 80u);
+
+  EXPECT_EQ((*reopened)->now(), 200u);
+  auto after = (*reopened)->TimesliceQuery(Rect{{0, 0}, {1000, 1000}}, 200);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->size(), before->size());
+  for (size_t i = 0; i < after->size(); ++i) {
+    EXPECT_EQ((*after)[i].oid, (*before)[i].oid) << "position " << i;
+    EXPECT_EQ((*after)[i].start, (*before)[i].start) << "position " << i;
+  }
+
+  // The restored tier is fully operational: close one of the reloaded
+  // current entries and watch it migrate.
+  ASSERT_OK((*reopened)->CloseCurrent(currents[0], 30));
+  stats = (*reopened)->GetDebugStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->current_entries, 39u);
+  EXPECT_EQ(stats->entries, 80u);
+}
+
+TEST_F(LiveTierTest, RecoverRebuildsLiveTierFromWal) {
+  SwstOptions o = TierOptions();
+  auto wal_store = WalStore::OpenMemory();
+  auto wal = Wal::Open(wal_store.get());
+  ASSERT_TRUE(wal.ok());
+  o.wal = wal->get();
+
+  const Entry cur1 = MakeCurrent(1, 200, 200, 100);
+  const Entry cur2 = MakeCurrent(2, 700, 700, 110);
+  {
+    auto idx = SwstIndex::Create(pool(), o);
+    ASSERT_TRUE(idx.ok());
+    ASSERT_OK((*idx)->Insert(cur1));
+    ASSERT_OK((*idx)->Insert(cur2));
+    ASSERT_OK((*idx)->CloseCurrent(cur2, 40));
+  }  // Crash before any checkpoint: only the WAL survives.
+
+  auto pager2 = Pager::OpenMemory();
+  BufferPool pool2(pager2.get(), 4096);
+  SwstIndex::RecoverStats rstats;
+  auto rec = SwstIndex::Recover(&pool2, o, kInvalidPageId, &rstats);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_GT(rstats.records_replayed, 0u);
+
+  auto stats = (*rec)->GetDebugStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->entries, 2u);
+  EXPECT_EQ(stats->current_entries, 1u);  // cur1 open, cur2 closed.
+  // The rebuilt live tier accepts the close that never happened.
+  ASSERT_OK((*rec)->CloseCurrent(cur1, 25));
+  stats = (*rec)->GetDebugStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->current_entries, 0u);
+}
+
+// A reader racing CloseCurrent must see each object either still open or
+// already closed — never both versions, never neither. The shard publish
+// makes the migration atomic; this runs under TSan in CI.
+TEST(LiveTierConcurrencyTest, CloseMigrationIsAtomicUnderReaders) {
+  SwstOptions o;
+  o.space = Rect{{0, 0}, {1000, 1000}};
+  o.x_partitions = 4;
+  o.y_partitions = 4;
+  o.window_size = 100000;
+  o.slide = 1000;
+  o.max_duration = 1000;
+  o.duration_interval = 100;
+  auto pager = Pager::OpenMemory();
+  BufferPool pool(pager.get(), 4096);
+  auto idx_or = SwstIndex::Create(&pool, o);
+  ASSERT_TRUE(idx_or.ok());
+  auto idx = std::move(*idx_or);
+
+  constexpr int kObjects = 800;
+  Random rng(5);
+  std::vector<Entry> currents;
+  for (int i = 0; i < kObjects; ++i) {
+    currents.push_back(MakeCurrent(i, rng.UniformDouble(0, 1000),
+                                   rng.UniformDouble(0, 1000),
+                                   static_cast<Timestamp>(i / 8)));
+    ASSERT_OK(idx->Insert(currents[i]));
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> anomalies{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        auto res = idx->IntervalQuery(Rect{{0, 0}, {1000, 1000}},
+                                      {0, 100000});
+        if (!res.ok()) {
+          anomalies++;
+          return;
+        }
+        // Exactly one version of every object, open or closed.
+        if (res->size() != kObjects) anomalies++;
+        std::vector<char> seen(kObjects, 0);
+        for (const Entry& e : *res) {
+          if (e.oid >= kObjects || seen[e.oid]) anomalies++;
+          seen[e.oid] = 1;
+        }
+      }
+    });
+  }
+  for (int i = 0; i < kObjects; ++i) {
+    ASSERT_OK(idx->CloseCurrent(currents[i], 100));
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(anomalies.load(), 0u);
+
+  auto stats = idx->GetDebugStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->entries, static_cast<uint64_t>(kObjects));
+  EXPECT_EQ(stats->current_entries, 0u);
+}
+
+}  // namespace
+}  // namespace swst

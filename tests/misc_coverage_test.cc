@@ -3,7 +3,7 @@
 #include "btree/btree_iterator.h"
 #include "hrtree/hr_tree.h"
 #include "pist/pist_index.h"
-#include "swst/concurrent_index.h"
+#include "swst/swst_index.h"
 #include "tests/test_util.h"
 
 namespace swst {
@@ -67,7 +67,10 @@ TEST(MiscCoverage, HrTreeQueriesOnEmptyTree) {
   EXPECT_EQ((*t)->version_count(), 0u);
 }
 
-TEST(MiscCoverage, ConcurrentIndexUnsafeEscapeHatch) {
+// SwstIndex is internally thread-safe, so the whole surface — including
+// debug introspection — is available on the one type; this pins the API
+// points the removed ConcurrentSwstIndex façade used to forward.
+TEST(MiscCoverage, IndexExposesDebugSurfaceDirectly) {
   auto pager = Pager::OpenMemory();
   BufferPool pool(pager.get(), 64);
   SwstOptions o;
@@ -78,11 +81,10 @@ TEST(MiscCoverage, ConcurrentIndexUnsafeEscapeHatch) {
   o.slide = 10;
   o.max_duration = 20;
   o.duration_interval = 10;
-  auto idx = ConcurrentSwstIndex::Create(&pool, o);
+  auto idx = SwstIndex::Create(&pool, o);
   ASSERT_TRUE(idx.ok());
   ASSERT_OK((*idx)->Insert(Entry{1, {5, 5}, 0, 10}));
-  // The escape hatch exposes the full single-threaded API.
-  auto stats = (*idx)->Unsafe()->GetDebugStats();
+  auto stats = (*idx)->GetDebugStats();
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->entries, 1u);
   EXPECT_EQ((*idx)->QueriablePeriod().hi, 0u);

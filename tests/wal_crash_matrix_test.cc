@@ -160,11 +160,14 @@ using Key = std::tuple<ObjectId, Timestamp, Duration>;
 
 struct Snapshot {
   uint64_t count = 0;
+  uint64_t current = 0;  ///< Open (unknown-duration) entries: the live tier.
   Timestamp now = 0;
+  std::multiset<Key> now_slice;  ///< Timeslice at tau over the whole space.
   std::vector<std::multiset<Key>> answers;
 
   bool operator==(const Snapshot& o) const {
-    return count == o.count && now == o.now && answers == o.answers;
+    return count == o.count && current == o.current && now == o.now &&
+           now_slice == o.now_slice && answers == o.answers;
   }
 };
 
@@ -176,7 +179,19 @@ Status TakeSnapshot(SwstIndex* idx, Snapshot* out) {
   out->count = *count;
   out->now = idx->now();
 
+  // The live tier must be rebuilt exactly: pin the open-entry count and
+  // the timeslice-at-now answer (which every open entry participates in).
+  auto debug = idx->GetDebugStats();
+  if (!debug.ok()) return debug.status();
+  out->current = debug->current_entries;
+
   const TimeInterval win = idx->QueriablePeriod();
+  auto slice = idx->TimesliceQuery(Rect{{0, 0}, {1000, 1000}}, win.hi);
+  if (!slice.ok()) return slice.status();
+  out->now_slice.clear();
+  for (const Entry& e : *slice) {
+    out->now_slice.insert({e.oid, e.start, e.duration});
+  }
   const Timestamp span = win.hi - win.lo;
   const Rect rects[] = {
       Rect{{0, 0}, {1000, 1000}},
@@ -444,6 +459,145 @@ TEST_F(WalCrashMatrixTest, CrashAtEveryNthSyncRecoversAPrefix) {
     RunAndCheck(policy, "sync-fault@" + std::to_string(k), &r);
     if (HasFatalFailure()) return;
     EXPECT_TRUE(r.fault_hit) << "fault point never reached";
+  }
+}
+
+// Acked current-entry insert, crash before the close ever runs: recovery
+// must rebuild the entry in the live tier (still open), the post-recovery
+// CloseCurrent must succeed and migrate it, and recovering twice from the
+// same crash yields the identical state.
+TEST_F(WalCrashMatrixTest, AckedCurrentInsertSurvivesCrashBeforeClose) {
+  auto base_pager = Pager::OpenMemory();
+  FaultInjectionPager pager(base_pager.get());
+  auto base_wal = WalStore::OpenMemory();
+  FaultInjectionWalStore wal_store(base_wal.get());
+  WalOptions wopts;
+  wopts.segment_bytes = 2048;
+  const PageId meta = kInvalidPageId;  // Crash before the first checkpoint.
+  const Entry closed = MakeEntry(2, 100, 100, 90, 50);
+  const Entry cur = MakeEntry(1, 500, 500, 100, kUnknownDuration);
+  {
+    auto wal = Wal::Open(&wal_store, wopts);
+    ASSERT_TRUE(wal.ok());
+    BufferPool pool(&pager, 64);
+    pool.AttachWal(wal->get());
+    SwstOptions opts = SmallOptions();
+    opts.wal = wal->get();
+    auto idx = SwstIndex::Create(&pool, opts);
+    ASSERT_TRUE(idx.ok());
+    ASSERT_OK((*idx)->Insert(closed));
+    ASSERT_OK((*idx)->Insert(cur));  // Acked: its record is synced.
+  }  // Crash between the acked insert-current and any CloseCurrent.
+  ASSERT_OK(pager.CrashAndRecover());
+  ASSERT_OK(wal_store.CrashAndRecover());
+
+  Snapshot s1;
+  Lsn applied1 = 0;
+  {
+    auto wal = Wal::Open(&wal_store, wopts);
+    ASSERT_TRUE(wal.ok());
+    BufferPool pool(&pager, 64);
+    pool.AttachWal(wal->get());
+    SwstOptions opts = SmallOptions();
+    opts.wal = wal->get();
+    auto idx = SwstIndex::Recover(&pool, opts, meta);
+    ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+    applied1 = (*idx)->applied_lsn();
+    ASSERT_OK(TakeSnapshot(idx->get(), &s1));
+    EXPECT_EQ(s1.count, 2u);
+    EXPECT_EQ(s1.current, 1u);  // Rebuilt into the live tier, still open.
+    EXPECT_EQ(s1.now_slice.count({cur.oid, cur.start, kUnknownDuration}), 1u);
+    // The rebuilt live tier is fully operational: the close that never
+    // happened before the crash succeeds now and migrates the entry.
+    ASSERT_OK((*idx)->CloseCurrent(cur, 40));
+    auto debug = (*idx)->GetDebugStats();
+    ASSERT_TRUE(debug.ok());
+    EXPECT_EQ(debug->current_entries, 0u);
+    EXPECT_EQ(debug->entries, 2u);
+  }  // Crash again — the close above was logged but not checkpointed.
+  ASSERT_OK(pager.CrashAndRecover());
+  ASSERT_OK(wal_store.CrashAndRecover());
+
+  // The synced close replays; a third crash-and-recover is then identical.
+  Snapshot s2, s3;
+  Lsn applied2 = 0, applied3 = 0;
+  Recover(&pager, &wal_store, wopts, meta, "after-close", &s2, &applied2);
+  ASSERT_FALSE(HasFatalFailure());
+  EXPECT_GT(applied2, applied1);
+  EXPECT_EQ(s2.count, 2u);
+  EXPECT_EQ(s2.current, 0u);
+  EXPECT_EQ(s2.now_slice.count({cur.oid, cur.start, Duration{40}}), 1u);
+  ASSERT_OK(pager.CrashAndRecover());
+  ASSERT_OK(wal_store.CrashAndRecover());
+  Recover(&pager, &wal_store, wopts, meta, "after-close (2nd)", &s3,
+          &applied3);
+  ASSERT_FALSE(HasFatalFailure());
+  EXPECT_EQ(applied3, applied2);
+  EXPECT_TRUE(s3 == s2) << "second recovery diverges from the first";
+}
+
+// Crash *inside* the close migration (the WAL write of the kClose record
+// fails, at the append or at the sync): after recovery the entry is either
+// still open or fully closed — never both versions, never neither — and a
+// second recovery is identical. Covers the seal-time migration crash
+// point of the hot/cold tiering design.
+TEST_F(WalCrashMatrixTest, CrashMidCloseMigrationYieldsOpenOrClosedNeverBoth) {
+  for (const bool fail_at_sync : {false, true}) {
+    SCOPED_TRACE(fail_at_sync ? "fault at close sync" : "fault at close append");
+    auto base_pager = Pager::OpenMemory();
+    FaultInjectionPager pager(base_pager.get());
+    auto base_wal = WalStore::OpenMemory();
+    FaultInjectionWalStore wal_store(base_wal.get());
+    WalOptions wopts;
+    wopts.segment_bytes = 2048;
+    const PageId meta = kInvalidPageId;
+    const Entry cur = MakeEntry(1, 500, 500, 100, kUnknownDuration);
+    {
+      auto wal = Wal::Open(&wal_store, wopts);
+      ASSERT_TRUE(wal.ok());
+      BufferPool pool(&pager, 64);
+      pool.AttachWal(wal->get());
+      SwstOptions opts = SmallOptions();
+      opts.wal = wal->get();
+      auto idx = SwstIndex::Create(&pool, opts);
+      ASSERT_TRUE(idx.ok());
+      ASSERT_OK((*idx)->Insert(cur));  // Acked before the fault arms.
+
+      FaultInjectionWalStore::FaultPolicy policy;
+      if (fail_at_sync) {
+        policy.fail_sync_at = wal_store.syncs() + 1;
+      } else {
+        policy.fail_append_at = wal_store.appends() + 1;
+      }
+      wal_store.set_policy(policy);
+      EXPECT_FALSE((*idx)->CloseCurrent(cur, 40).ok()) << "fault not hit";
+    }  // Fail-stop: abandon the index mid-close and crash.
+    wal_store.ClearFaults();
+    ASSERT_OK(pager.CrashAndRecover());
+    ASSERT_OK(wal_store.CrashAndRecover());
+
+    Snapshot s1, s2;
+    Lsn applied1 = 0, applied2 = 0;
+    Recover(&pager, &wal_store, wopts, meta, "mid-close", &s1, &applied1);
+    ASSERT_FALSE(HasFatalFailure());
+    // Exactly one version of the entry, whichever side of the cut the
+    // close record landed on.
+    EXPECT_EQ(s1.count, 1u);
+    const uint64_t open_seen =
+        s1.now_slice.count({cur.oid, cur.start, kUnknownDuration});
+    const uint64_t closed_seen =
+        s1.now_slice.count({cur.oid, cur.start, Duration{40}});
+    EXPECT_EQ(open_seen + closed_seen, 1u)
+        << "open=" << open_seen << " closed=" << closed_seen;
+    EXPECT_EQ(s1.current, open_seen);
+
+    ASSERT_OK(pager.CrashAndRecover());
+    ASSERT_OK(wal_store.CrashAndRecover());
+    Recover(&pager, &wal_store, wopts, meta, "mid-close (2nd)", &s2,
+            &applied2);
+    ASSERT_FALSE(HasFatalFailure());
+    EXPECT_EQ(applied2, applied1);
+    EXPECT_TRUE(s2 == s1) << "second recovery diverges from the first";
   }
 }
 

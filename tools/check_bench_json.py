@@ -22,6 +22,16 @@ and each entry of "histograms" carries numeric count/sum/p50/p90/p99 plus
 a "buckets" list of {le, count} objects. Both files must agree on whether
 the block exists at all.
 
+The "live_tier" bench gets *numeric* gates on the CURRENT file: the
+insert_current, timeslice_now, and knn_now phases must each report
+exactly zero logical and physical pool reads — the hot/cold tiering
+promise that the memory-resident live tier answers the streaming hot
+path (current-entry inserts and now-queries) without touching a page.
+
+The "window_maintenance" bench is gated on the paper's §IV-C claim:
+wholesale tree-drop expiry must not cost more node accesses than the
+per-entry-deletion baseline.
+
 The "concurrent_scaling" bench additionally gets *numeric* gates on the
 CURRENT file (the fresh run, not the baseline), protecting the lock-free
 read path from regressing back to lock-based behavior:
@@ -137,6 +147,55 @@ def check_metrics(m, path, errors):
                                   f"{b[key]!r}")
 
 
+def check_live_tier_gates(cur, errors):
+    """Numeric gates for the live_tier bench (see module doc)."""
+    results = cur.get("results")
+    if not isinstance(results, list):
+        errors.append("results: missing or not a list")
+        return
+    hot_phases = {"insert_current", "timeslice_now", "knn_now"}
+    seen = set()
+    for i, r in enumerate(results):
+        if not isinstance(r, dict):
+            continue
+        phase = r.get("phase")
+        if phase not in hot_phases:
+            continue
+        seen.add(phase)
+        for key in ("logical_reads", "physical_reads"):
+            v = r.get(key)
+            if not is_number(v):
+                errors.append(f"results[{i}] ({phase}): missing {key}")
+            elif v != 0:
+                errors.append(
+                    f"results[{i}] ({phase}): {key} is {v} (expected 0 — "
+                    f"the live-tier hot path must not read pages)")
+    for phase in sorted(hot_phases - seen):
+        errors.append(f"results: no {phase} phase (gate not exercised)")
+
+
+def check_window_maintenance_gates(cur, errors):
+    """Numeric gate for the window_maintenance bench (see module doc)."""
+    results = cur.get("results")
+    if not isinstance(results, list):
+        errors.append("results: missing or not a list")
+        return
+    io = {}
+    for r in results:
+        if isinstance(r, dict) and is_number(r.get("node_io")):
+            io[r.get("method")] = r["node_io"]
+    for method in ("swst_window_drop", "rtree3d_per_entry_delete"):
+        if method not in io:
+            errors.append(f"results: no {method} point")
+    if ("swst_window_drop" in io and "rtree3d_per_entry_delete" in io and
+            io["swst_window_drop"] > io["rtree3d_per_entry_delete"]):
+        errors.append(
+            f"window maintenance: wholesale drop cost "
+            f"{io['swst_window_drop']} node accesses, more than the "
+            f"per-entry-deletion baseline's "
+            f"{io['rtree3d_per_entry_delete']}")
+
+
 def check_scaling_gates(cur, errors):
     """Numeric gates for the concurrent_scaling bench (see module doc)."""
     results = cur.get("results")
@@ -208,6 +267,10 @@ def main(argv):
         check_metrics(cur["metrics"], "metrics", errors)
     if cur.get("bench") == "concurrent_scaling":
         check_scaling_gates(cur, errors)
+    if cur.get("bench") == "live_tier":
+        check_live_tier_gates(cur, errors)
+    if cur.get("bench") == "window_maintenance":
+        check_window_maintenance_gates(cur, errors)
     cur = {k: v for k, v in cur.items() if k != "metrics"}
     base = {k: v for k, v in base.items() if k != "metrics"}
     compare(cur, base, "", errors)

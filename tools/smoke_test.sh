@@ -45,16 +45,24 @@ case "$MODE" in
   observability)
     db=$(mktemp -u /tmp/swst_cli_XXXXXX.db)
     trap 'rm -f "$db"' EXIT
-    # explain + metrics in the interactive shell.
-    out=$(printf 'report 1 10 20 100\nreport 2 400 400 120\nexplain 0 0 1000 1000 100 150\nmetrics\nsave\nquit\n' \
+    # explain + metrics in the interactive shell. The closed insert keeps
+    # the disk tier in play (its end, 140, is past the first query's lo
+    # bound); the two reports stay in the memory-resident live tier.
+    out=$(printf 'report 1 10 20 100\nreport 2 400 400 120\ninsert 3 500 500 60 80\nexplain 0 0 1000 1000 100 150\nadvance 150\nexplain 0 0 1000 1000 141 150\nmetrics\nsave\nquit\n' \
           | "$CLI" --db "$db" $FLAGS)
     echo "$out"
-    echo "$out" | grep -q 'explain results=2'
+    echo "$out" | grep -q 'explain results=3'
     echo "$out" | grep -q '^query '            # trace root span
     echo "$out" | grep -q 'cell '              # per-cell span
     echo "$out" | grep -q 'bfs slot'           # per-slot BFS span
     echo "$out" | grep -q 'refine'             # refinement span
-    echo "$out" | grep -q 'swst_index_queries_total 1'
+    echo "$out" | grep -q ' live '             # live-tier scan span
+    # The second query starts past every closed entry's end, so each cell
+    # is answered from the live tier alone and skips the B+ trees.
+    echo "$out" | grep -q 'explain results=2'
+    echo "$out" | grep -q 'disk_skipped=1'
+    echo "$out" | grep -q 'live_only_cells=100'
+    echo "$out" | grep -q 'swst_index_queries_total 2'
     # verify defaults to Prometheus exposition; --legacy-stats keeps the
     # old one-line io summary.
     out=$("$CLI" verify --db "$db" $FLAGS)
