@@ -6,23 +6,31 @@
 #include <vector>
 
 #include "btree/btree_node.h"
+#include "btree/leaf_codec.h"
 
 namespace swst {
 
+using btree_internal::DecodeLeaf;
+using btree_internal::EncodeLeaf;
 using btree_internal::FetchNode;
 using btree_internal::InternalNode;
+using btree_internal::IsLeafType;
 using btree_internal::kInternalCapacity;
 using btree_internal::kInternalMin;
 using btree_internal::kInternalType;
 using btree_internal::kLeafCapacity;
 using btree_internal::kLeafMin;
 using btree_internal::kLeafType;
-using btree_internal::LeafNode;
+using btree_internal::kLeafV2Type;
+using btree_internal::LeafEncoding;
+using btree_internal::LeafFits;
 using btree_internal::LowerBoundChild;
 using btree_internal::LowerBoundRecord;
 using btree_internal::kMaxDepth;
+using btree_internal::PlanLeafChunks;
 using btree_internal::UpperBoundChild;
 using btree_internal::UpperBoundRecord;
+using btree_internal::WriteLeaf;
 
 int BTree::LeafCapacity() { return kLeafCapacity; }
 int BTree::InternalCapacity() { return kInternalCapacity; }
@@ -30,10 +38,8 @@ int BTree::InternalCapacity() { return kInternalCapacity; }
 Result<BTree> BTree::Create(BufferPool* pool) {
   auto page = pool->New();
   if (!page.ok()) return page.status();
-  auto* leaf = page->As<LeafNode>();
-  leaf->header.type = kLeafType;
-  leaf->header.count = 0;
-  leaf->header.next = kInvalidPageId;
+  auto enc = EncodeLeaf(page->data(), nullptr, 0);
+  if (!enc.ok()) return enc.status();
   page->MarkDirty();
   return BTree(pool, page->id());
 }
@@ -87,20 +93,6 @@ Status BTree::FreeNode(PageId node_id) {
 }
 
 namespace {
-
-// Inserts `rec` at index `pos` of a leaf, shifting the tail right.
-void LeafInsertAt(LeafNode* leaf, int pos, const BTreeRecord& rec) {
-  std::memmove(&leaf->records[pos + 1], &leaf->records[pos],
-               sizeof(BTreeRecord) * (leaf->header.count - pos));
-  leaf->records[pos] = rec;
-  leaf->header.count++;
-}
-
-void LeafRemoveAt(LeafNode* leaf, int pos) {
-  std::memmove(&leaf->records[pos], &leaf->records[pos + 1],
-               sizeof(BTreeRecord) * (leaf->header.count - pos - 1));
-  leaf->header.count--;
-}
 
 // Inserts separator `key` and right child at key index `pos` of an
 // internal node (children shift from pos+1).
@@ -158,39 +150,30 @@ Status BTree::InsertInSubtree(PageId node_id, int depth, uint64_t key,
   auto probe = FetchNode(pool_, node_id);
   if (!probe.ok()) return probe.status();
 
-  if (probe->As<btree_internal::NodeHeader>()->type == kLeafType) {
+  if (IsLeafType(probe->As<btree_internal::NodeHeader>()->type)) {
     probe->Release();
     auto writable = WritableNode(node_id, new_id);
     if (!writable.ok()) return writable.status();
-    auto* leaf = writable->As<LeafNode>();
-    if (leaf->header.count < kLeafCapacity) {
-      LeafInsertAt(leaf, UpperBoundRecord(leaf, key), BTreeRecord{key, entry});
-      writable->MarkDirty();
-      return Status::OK();
+    std::vector<BTreeRecord> recs;
+    SWST_RETURN_IF_ERROR(DecodeLeaf(writable->data(), *new_id, &recs));
+    recs.insert(recs.begin() + UpperBoundRecord(recs, key),
+                BTreeRecord{key, entry});
+    if (LeafFits(recs.data(), recs.size())) {
+      return WriteLeaf(pool_, *writable, recs.data(), recs.size());
     }
 
-    // Leaf split: move the upper half to a new right sibling.
+    // Leaf split: a run that fit one page and grew by a single record
+    // always plans exactly two chunks (see PlanLeafChunks).
+    const auto chunks = PlanLeafChunks(recs.data(), recs.size());
+    if (chunks.size() != 2) {
+      return Status::Corruption("serial leaf split is not two-way");
+    }
     auto right_page = NewNode();
     if (!right_page.ok()) return right_page.status();
-    auto* right = right_page->As<LeafNode>();
-    right->header.type = kLeafType;
-    right->header.next = kInvalidPageId;
-    const int half = kLeafCapacity / 2;
-    right->header.count = static_cast<uint16_t>(kLeafCapacity - half);
-    std::memcpy(right->records, &leaf->records[half],
-                sizeof(BTreeRecord) * right->header.count);
-    leaf->header.count = static_cast<uint16_t>(half);
-
-    const uint64_t separator = right->records[0].key;
-    if (key < separator) {
-      LeafInsertAt(leaf, UpperBoundRecord(leaf, key), BTreeRecord{key, entry});
-    } else {
-      LeafInsertAt(right, UpperBoundRecord(right, key),
-                   BTreeRecord{key, entry});
-    }
-    writable->MarkDirty();
-    right_page->MarkDirty();
-    split->push_back(BatchSplit{separator, right_page->id()});
+    SWST_RETURN_IF_ERROR(WriteLeaf(pool_, *writable, recs.data(), chunks[0]));
+    SWST_RETURN_IF_ERROR(
+        WriteLeaf(pool_, *right_page, recs.data() + chunks[0], chunks[1]));
+    split->push_back(BatchSplit{recs[chunks[0]].key, right_page->id()});
     return Status::OK();
   }
 
@@ -279,26 +262,25 @@ Status BTree::DeleteInSubtree(PageId node_id, int depth, uint64_t key,
   auto page = FetchNode(pool_, node_id);
   if (!page.ok()) return page.status();
 
-  if (page->As<btree_internal::NodeHeader>()->type == kLeafType) {
-    const auto* probe = page->As<LeafNode>();
-    int pos = LowerBoundRecord(probe, key);
-    for (; pos < probe->header.count && probe->records[pos].key == key;
-         ++pos) {
-      const Entry& e = probe->records[pos].entry;
+  if (IsLeafType(page->As<btree_internal::NodeHeader>()->type)) {
+    std::vector<BTreeRecord> recs;
+    SWST_RETURN_IF_ERROR(DecodeLeaf(page->data(), node_id, &recs));
+    size_t pos = static_cast<size_t>(LowerBoundRecord(recs, key));
+    for (; pos < recs.size() && recs[pos].key == key; ++pos) {
+      const Entry& e = recs[pos].entry;
       if (e.oid == oid && e.start == start) break;
     }
-    if (pos >= probe->header.count || probe->records[pos].key != key) {
+    if (pos >= recs.size() || recs[pos].key != key) {
       result->found = false;
       return Status::OK();
     }
     page->Release();
     auto writable = WritableNode(node_id, new_id);
     if (!writable.ok()) return writable.status();
-    auto* leaf = writable->As<LeafNode>();
-    LeafRemoveAt(leaf, pos);
-    writable->MarkDirty();
+    recs.erase(recs.begin() + static_cast<ptrdiff_t>(pos));
+    SWST_RETURN_IF_ERROR(WriteLeaf(pool_, *writable, recs.data(), recs.size()));
     result->found = true;
-    result->underflow = leaf->header.count < kLeafMin;
+    result->underflow = recs.size() < static_cast<size_t>(kLeafMin);
     return Status::OK();
   }
 
@@ -340,41 +322,83 @@ Status BTree::RebalanceChild(PageHandle& parent, int child_idx) {
   if (!child_page.ok()) return child_page.status();
   in->children[child_idx] = child_id;
   const bool child_is_leaf =
-      child_page->As<btree_internal::NodeHeader>()->type == kLeafType;
+      IsLeafType(child_page->As<btree_internal::NodeHeader>()->type);
 
-  // Try borrowing from the left sibling, then the right, then merge.
+  if (child_is_leaf) {
+    // Leaves rebalance on decoded records, normalized to the pair
+    // (j, j+1): merge when the combined run fits one page under the
+    // current encoding policy, otherwise redistribute it evenly across
+    // both pages. Byte-aware fit replaces the v1 count-based borrow —
+    // with compressed leaves a record count says nothing about space.
+    child_page->Release();
+    const int j = (child_idx > 0) ? child_idx - 1 : child_idx;
+    PageId left_id = in->children[j];
+    auto left_page = WritableNode(left_id, &left_id);
+    if (!left_page.ok()) return left_page.status();
+    in->children[j] = left_id;
+    const PageId right_id = in->children[j + 1];
+    auto right_page = FetchNode(pool_, right_id);
+    if (!right_page.ok()) return right_page.status();
+
+    std::vector<BTreeRecord> recs, right_recs;
+    SWST_RETURN_IF_ERROR(DecodeLeaf(left_page->data(), left_id, &recs));
+    SWST_RETURN_IF_ERROR(
+        DecodeLeaf(right_page->data(), right_id, &right_recs));
+    right_page->Release();
+    recs.insert(recs.end(), right_recs.begin(), right_recs.end());
+
+    if (LeafFits(recs.data(), recs.size())) {
+      SWST_RETURN_IF_ERROR(
+          WriteLeaf(pool_, *left_page, recs.data(), recs.size()));
+      InternalRemoveAt(in, j);
+      parent.MarkDirty();
+      return FreeNode(right_id);
+    }
+
+    const auto chunks = PlanLeafChunks(recs.data(), recs.size());
+    if (chunks.size() != 2) {
+      // Adversarial encodings can defeat an even two-way redistribution;
+      // both pages are near full by bytes anyway, so leave them as they
+      // are (v2 leaves have no count floor to restore).
+      return Status::OK();
+    }
+    PageId right_new = right_id;
+    auto right_w = WritableNode(right_id, &right_new);
+    if (!right_w.ok()) return right_w.status();
+    in->children[j + 1] = right_new;
+    SWST_RETURN_IF_ERROR(WriteLeaf(pool_, *left_page, recs.data(), chunks[0]));
+    SWST_RETURN_IF_ERROR(
+        WriteLeaf(pool_, *right_w, recs.data() + chunks[0], chunks[1]));
+    in->keys[j] = recs[chunks[0]].key;
+    parent.MarkDirty();
+    return Status::OK();
+  }
+
+  // Internal nodes: try borrowing from the left sibling, then the right,
+  // then merge.
   if (child_idx > 0) {
     auto probe = FetchNode(pool_, in->children[child_idx - 1]);
     if (!probe.ok()) return probe.status();
     const bool can_borrow =
-        probe->As<btree_internal::NodeHeader>()->count >
-        (child_is_leaf ? kLeafMin : kInternalMin);
+        probe->As<btree_internal::NodeHeader>()->count > kInternalMin;
     probe->Release();
     if (can_borrow) {
       PageId left_id = in->children[child_idx - 1];
       auto left_page = WritableNode(left_id, &left_id);
       if (!left_page.ok()) return left_page.status();
       in->children[child_idx - 1] = left_id;
-      if (child_is_leaf) {
-        auto* left = left_page->As<LeafNode>();
-        auto* child = child_page->As<LeafNode>();
-        LeafInsertAt(child, 0, left->records[left->header.count - 1]);
-        left->header.count--;
-        in->keys[child_idx - 1] = child->records[0].key;
-      } else {
-        auto* left = left_page->As<InternalNode>();
-        auto* child = child_page->As<InternalNode>();
-        // Rotate right through the parent separator.
-        std::memmove(&child->keys[1], &child->keys[0],
-                     sizeof(uint64_t) * child->header.count);
-        std::memmove(&child->children[1], &child->children[0],
-                     sizeof(PageId) * (child->header.count + 1));
-        child->keys[0] = in->keys[child_idx - 1];
-        child->children[0] = left->children[left->header.count];
-        child->header.count++;
-        in->keys[child_idx - 1] = left->keys[left->header.count - 1];
-        left->header.count--;
-      }
+      auto* left = left_page->As<InternalNode>();
+      auto* child = child_page->As<InternalNode>();
+      // Rotate right through the parent separator.
+      std::memmove(&child->keys[1], &child->keys[0],
+                   sizeof(uint64_t) * child->header.count);
+      std::memmove(&child->children[1], &child->children[0],
+                   sizeof(PageId) * (child->header.count + 1));
+      child->keys[0] = in->keys[child_idx - 1];
+      child->children[0] = left->children[left->header.count];
+      child->header.count++;
+      in->keys[child_idx - 1] = left->keys[left->header.count - 1];
+      left->header.count--;
       left_page->MarkDirty();
       child_page->MarkDirty();
       parent.MarkDirty();
@@ -386,34 +410,25 @@ Status BTree::RebalanceChild(PageHandle& parent, int child_idx) {
     auto probe = FetchNode(pool_, in->children[child_idx + 1]);
     if (!probe.ok()) return probe.status();
     const bool can_borrow =
-        probe->As<btree_internal::NodeHeader>()->count >
-        (child_is_leaf ? kLeafMin : kInternalMin);
+        probe->As<btree_internal::NodeHeader>()->count > kInternalMin;
     probe->Release();
     if (can_borrow) {
       PageId right_id = in->children[child_idx + 1];
       auto right_page = WritableNode(right_id, &right_id);
       if (!right_page.ok()) return right_page.status();
       in->children[child_idx + 1] = right_id;
-      if (child_is_leaf) {
-        auto* right = right_page->As<LeafNode>();
-        auto* child = child_page->As<LeafNode>();
-        LeafInsertAt(child, child->header.count, right->records[0]);
-        LeafRemoveAt(right, 0);
-        in->keys[child_idx] = right->records[0].key;
-      } else {
-        auto* right = right_page->As<InternalNode>();
-        auto* child = child_page->As<InternalNode>();
-        // Rotate left through the parent separator.
-        child->keys[child->header.count] = in->keys[child_idx];
-        child->children[child->header.count + 1] = right->children[0];
-        child->header.count++;
-        in->keys[child_idx] = right->keys[0];
-        std::memmove(&right->keys[0], &right->keys[1],
-                     sizeof(uint64_t) * (right->header.count - 1));
-        std::memmove(&right->children[0], &right->children[1],
-                     sizeof(PageId) * right->header.count);
-        right->header.count--;
-      }
+      auto* right = right_page->As<InternalNode>();
+      auto* child = child_page->As<InternalNode>();
+      // Rotate left through the parent separator.
+      child->keys[child->header.count] = in->keys[child_idx];
+      child->children[child->header.count + 1] = right->children[0];
+      child->header.count++;
+      in->keys[child_idx] = right->keys[0];
+      std::memmove(&right->keys[0], &right->keys[1],
+                   sizeof(uint64_t) * (right->header.count - 1));
+      std::memmove(&right->children[0], &right->children[1],
+                   sizeof(PageId) * right->header.count);
+      right->header.count--;
       right_page->MarkDirty();
       child_page->MarkDirty();
       parent.MarkDirty();
@@ -433,26 +448,16 @@ Status BTree::RebalanceChild(PageHandle& parent, int child_idx) {
   auto right_page = FetchNode(pool_, right_id);
   if (!right_page.ok()) return right_page.status();
 
-  if (child_is_leaf) {
-    auto* left = left_page->As<LeafNode>();
-    const auto* right = right_page->As<LeafNode>();
-    assert(left->header.count + right->header.count <= kLeafCapacity);
-    std::memcpy(&left->records[left->header.count], right->records,
-                sizeof(BTreeRecord) * right->header.count);
-    left->header.count =
-        static_cast<uint16_t>(left->header.count + right->header.count);
-  } else {
-    auto* left = left_page->As<InternalNode>();
-    const auto* right = right_page->As<InternalNode>();
-    assert(left->header.count + right->header.count + 1 <= kInternalCapacity);
-    left->keys[left->header.count] = in->keys[j];
-    std::memcpy(&left->keys[left->header.count + 1], right->keys,
-                sizeof(uint64_t) * right->header.count);
-    std::memcpy(&left->children[left->header.count + 1], right->children,
-                sizeof(PageId) * (right->header.count + 1));
-    left->header.count = static_cast<uint16_t>(left->header.count +
-                                               right->header.count + 1);
-  }
+  auto* left = left_page->As<InternalNode>();
+  const auto* right = right_page->As<InternalNode>();
+  assert(left->header.count + right->header.count + 1 <= kInternalCapacity);
+  left->keys[left->header.count] = in->keys[j];
+  std::memcpy(&left->keys[left->header.count + 1], right->keys,
+              sizeof(uint64_t) * right->header.count);
+  std::memcpy(&left->children[left->header.count + 1], right->children,
+              sizeof(PageId) * (right->header.count + 1));
+  left->header.count = static_cast<uint16_t>(left->header.count +
+                                             right->header.count + 1);
   left_page->MarkDirty();
   right_page->Release();
   child_page->Release();
@@ -478,11 +483,16 @@ Status ScanSubtree(BufferPool* pool, PageId node_id, int depth, uint64_t lo,
   auto page = FetchNode(pool, node_id);
   if (!page.ok()) return page.status();
 
-  if (page->As<btree_internal::NodeHeader>()->type == kLeafType) {
-    const auto* leaf = page->As<LeafNode>();
-    for (int pos = LowerBoundRecord(leaf, lo); pos < leaf->header.count;
-         ++pos) {
-      if (leaf->records[pos].key > hi || !fn(leaf->records[pos])) {
+  if (btree_internal::IsLeafType(
+          page->As<btree_internal::NodeHeader>()->type)) {
+    std::vector<BTreeRecord> recs;
+    SWST_RETURN_IF_ERROR(
+        btree_internal::DecodeLeaf(page->data(), node_id, &recs));
+    page->Release();
+    for (size_t pos = static_cast<size_t>(
+             btree_internal::LowerBoundRecord(recs, lo));
+         pos < recs.size(); ++pos) {
+      if (recs[pos].key > hi || !fn(recs[pos])) {
         *stop = true;
         return Status::OK();
       }
@@ -568,7 +578,7 @@ Result<int> BTree::Height() const {
     }
     auto page = FetchNode(pool_, cur);
     if (!page.ok()) return page.status();
-    if (page->As<btree_internal::NodeHeader>()->type == kLeafType) return h;
+    if (IsLeafType(page->As<btree_internal::NodeHeader>()->type)) return h;
     cur = page->As<InternalNode>()->children[0];
     h++;
   }
@@ -591,18 +601,30 @@ Status ValidateSubtree(BufferPool* pool, PageId node_id, int depth,
   auto page = FetchNode(pool, node_id);
   if (!page.ok()) return page.status();
 
-  if (page->As<btree_internal::NodeHeader>()->type == kLeafType) {
-    const auto* leaf = page->As<LeafNode>();
+  const uint16_t type = page->As<btree_internal::NodeHeader>()->type;
+  if (btree_internal::IsLeafType(type)) {
+    std::vector<BTreeRecord> recs;
+    SWST_RETURN_IF_ERROR(
+        btree_internal::DecodeLeaf(page->data(), node_id, &recs));
     if (state->leaf_depth == -1) {
       state->leaf_depth = depth;
     } else if (state->leaf_depth != depth) {
       return Status::Corruption("leaves at different depths");
     }
-    if (!is_root && leaf->header.count < kLeafMin) {
+    // v1 leaves keep the classic half-full count floor. For compressed v2
+    // leaves a record count says nothing about occupancy — adversarial
+    // encodings can force byte-full pages with few records — so only
+    // emptiness is structurally invalid there (rebalancing still merges
+    // whenever the combined records fit one page).
+    if (!is_root && type == btree_internal::kLeafType &&
+        recs.size() < static_cast<size_t>(kLeafMin)) {
       return Status::Corruption("leaf underflow");
     }
-    for (int i = 0; i < leaf->header.count; ++i) {
-      uint64_t k = leaf->records[i].key;
+    if (!is_root && recs.empty()) {
+      return Status::Corruption("empty non-root leaf");
+    }
+    for (const BTreeRecord& rec : recs) {
+      uint64_t k = rec.key;
       if (k < min_key || k > max_key) {
         return Status::Corruption("leaf key outside separator bounds");
       }

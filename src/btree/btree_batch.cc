@@ -5,8 +5,9 @@
 // land in adjacent leaves, so applying a sorted batch in one recursive
 // pass touches every affected page exactly once: leaves merge their slice
 // of the run in place, overflowing nodes split proactively into evenly
-// filled siblings (never below the minimum occupancy `Validate` checks),
-// and new separators are grafted level by level on the way back up.
+// filled siblings (planned byte-aware by `PlanLeafChunks` for leaves, so
+// prefix-compressed and raw pages are both filled evenly), and new
+// separators are grafted level by level on the way back up.
 //
 // Equal-key order matches the serial path exactly: `std::merge` keeps
 // existing records ahead of batch records on ties, and batch records keep
@@ -27,17 +28,19 @@
 
 #include "btree/btree.h"
 #include "btree/btree_node.h"
+#include "btree/leaf_codec.h"
 
 namespace swst {
 
+using btree_internal::DecodeLeaf;
 using btree_internal::FetchNode;
 using btree_internal::InternalNode;
+using btree_internal::IsLeafType;
 using btree_internal::kInternalCapacity;
 using btree_internal::kInternalType;
-using btree_internal::kLeafCapacity;
-using btree_internal::kLeafType;
 using btree_internal::kMaxDepth;
-using btree_internal::LeafNode;
+using btree_internal::PlanLeafChunks;
+using btree_internal::WriteLeaf;
 
 Status BTree::InsertBatch(const std::vector<BTreeRecord>& records) {
   return InsertBatch(records.data(), records.size());
@@ -117,55 +120,37 @@ Status BTree::InsertBatchInSubtree(PageId node_id, int depth,
   auto probe = FetchNode(pool_, node_id);
   if (!probe.ok()) return probe.status();
 
-  if (probe->As<btree_internal::NodeHeader>()->type == kLeafType) {
+  if (IsLeafType(probe->As<btree_internal::NodeHeader>()->type)) {
     probe->Release();
     auto writable = WritableNode(node_id, new_id);
     if (!writable.ok()) return writable.status();
     PageHandle page = std::move(*writable);
-    auto* leaf = page.As<LeafNode>();
-    const size_t total = leaf->header.count + (end - begin);
+    std::vector<BTreeRecord> existing;
+    SWST_RETURN_IF_ERROR(DecodeLeaf(page.data(), *new_id, &existing));
     // Merge once; on ties existing records stay first and batch records
     // keep their order — the serial upper-bound insertion order.
-    std::vector<BTreeRecord> merged(total);
-    std::merge(leaf->records, leaf->records + leaf->header.count,
-               records + begin, records + end, merged.begin(),
+    std::vector<BTreeRecord> merged(existing.size() + (end - begin));
+    std::merge(existing.begin(), existing.end(), records + begin,
+               records + end, merged.begin(),
                [](const BTreeRecord& a, const BTreeRecord& b) {
                  return a.key < b.key;
                });
-    if (total <= static_cast<size_t>(kLeafCapacity)) {
-      std::memcpy(leaf->records, merged.data(),
-                  total * sizeof(BTreeRecord));
-      leaf->header.count = static_cast<uint16_t>(total);
-      page.MarkDirty();
-      return Status::OK();
-    }
 
-    // Proactive multi-way split: spread the merged run evenly over
-    // ceil(total / capacity) leaves. Minimality of that leaf count keeps
-    // every chunk at or above kLeafMin, so Validate's occupancy and the
-    // occupancy regression test stay satisfied.
-    const size_t m = (total + kLeafCapacity - 1) / kLeafCapacity;
-    const size_t base = total / m;
-    const size_t extra = total % m;
-
-    size_t off = base + (extra > 0 ? 1 : 0);
-    leaf->header.count = static_cast<uint16_t>(off);
-    std::memcpy(leaf->records, merged.data(), off * sizeof(BTreeRecord));
-    page.MarkDirty();
+    // Proactive multi-way split: spread the merged run evenly (by record
+    // count, chunk-capped by page bytes under compression) over the
+    // minimal number of leaves — one chunk when the whole run fits, so
+    // the common case stays a single page rewrite.
+    const auto chunks = PlanLeafChunks(merged.data(), merged.size());
+    SWST_RETURN_IF_ERROR(WriteLeaf(pool_, page, merged.data(), chunks[0]));
     page.Release();
-    for (size_t i = 1; i < m; ++i) {
-      const size_t cnt = base + (i < extra ? 1 : 0);
+    size_t off = chunks[0];
+    for (size_t i = 1; i < chunks.size(); ++i) {
       auto np = NewNode();
       if (!np.ok()) return np.status();
-      auto* nl = np->As<LeafNode>();
-      nl->header.type = kLeafType;
-      nl->header.count = static_cast<uint16_t>(cnt);
-      nl->header.next = kInvalidPageId;
-      std::memcpy(nl->records, merged.data() + off,
-                  cnt * sizeof(BTreeRecord));
-      off += cnt;
-      np->MarkDirty();
-      splits->push_back(BatchSplit{nl->records[0].key, np->id()});
+      SWST_RETURN_IF_ERROR(
+          WriteLeaf(pool_, *np, merged.data() + off, chunks[i]));
+      splits->push_back(BatchSplit{merged[off].key, np->id()});
+      off += chunks[i];
     }
     return Status::OK();
   }

@@ -4,15 +4,16 @@
 #include <vector>
 
 #include "btree/btree_node.h"
+#include "btree/leaf_codec.h"
 
 namespace swst {
 
+using btree_internal::DecodeLeaf;
 using btree_internal::FetchNode;
 using btree_internal::InternalNode;
+using btree_internal::IsLeafType;
 using btree_internal::kInternalType;
-using btree_internal::kLeafType;
 using btree_internal::kMaxDepth;
-using btree_internal::LeafNode;
 using btree_internal::LowerBoundChild;
 using btree_internal::LowerBoundRecord;
 
@@ -22,6 +23,7 @@ void BTreeIterator::Seek(uint64_t key) {
   valid_ = false;
   status_ = Status::OK();
   stack_.clear();
+  leaf_loaded_ = kInvalidPageId;
   DescendToLeaf(root_, key, /*leftmost=*/false);
   if (!status_.ok()) return;
   LoadCurrent();
@@ -29,6 +31,9 @@ void BTreeIterator::Seek(uint64_t key) {
 
 void BTreeIterator::DescendToLeaf(PageId node_id, uint64_t key,
                                   bool leftmost) {
+  // Reap any readahead still in flight so the descent's fetches (which may
+  // include pages of that batch) hit the pool instead of duplicating reads.
+  readahead_.Finish();
   PageId cur = node_id;
   std::vector<PageId> readahead;
   for (;;) {
@@ -41,18 +46,23 @@ void BTreeIterator::DescendToLeaf(PageId node_id, uint64_t key,
       status_ = page.status();
       return;
     }
-    if (page->As<btree_internal::NodeHeader>()->type == kLeafType) {
+    if (IsLeafType(page->As<btree_internal::NodeHeader>()->type)) {
       leaf_ = cur;
-      pos_ = leftmost ? 0 : LowerBoundRecord(page->As<LeafNode>(), key);
+      status_ = DecodeLeaf(page->data(), cur, &leaf_recs_);
       page->Release();
-      if (!readahead.empty()) pool_->Prefetch(readahead);
+      if (!status_.ok()) return;
+      leaf_loaded_ = cur;
+      pos_ = leftmost ? 0 : LowerBoundRecord(leaf_recs_, key);
+      // Submit the sibling readahead asynchronously: the reads overlap
+      // the caller consuming this leaf's records and are reaped when the
+      // cursor steps to the next leaf.
+      if (!readahead.empty()) readahead_ = pool_->PrefetchAsync(readahead);
       return;
     }
     const auto* in = page->As<InternalNode>();
     const int idx = leftmost ? 0 : LowerBoundChild(in, key);
     // After the loop's last iteration these are the sibling leaves the
-    // iterator will step through next; hinting them lets the pool pull
-    // them in with vectored reads instead of one page per Next().
+    // iterator will step through next.
     const int last = std::min<int>(in->header.count,
                                    idx + btree_internal::kScanReadahead);
     readahead.assign(in->children + idx + 1, in->children + last + 1);
@@ -69,24 +79,33 @@ void BTreeIterator::Next() {
 
 void BTreeIterator::LoadCurrent() {
   for (;;) {
-    auto page = FetchNode(pool_, leaf_);
-    if (!page.ok()) {
-      status_ = page.status();
-      valid_ = false;
-      return;
+    if (leaf_loaded_ != leaf_) {
+      // Entering a leaf that is not decoded yet (only reachable if a Seek
+      // failed mid-way); reap pending reads, then fetch and decode.
+      readahead_.Finish();
+      auto page = FetchNode(pool_, leaf_);
+      if (!page.ok()) {
+        status_ = page.status();
+        valid_ = false;
+        return;
+      }
+      if (!IsLeafType(page->As<btree_internal::NodeHeader>()->type)) {
+        status_ = Status::Corruption("B+ tree descent reaches non-leaf page");
+        valid_ = false;
+        return;
+      }
+      status_ = DecodeLeaf(page->data(), leaf_, &leaf_recs_);
+      if (!status_.ok()) {
+        valid_ = false;
+        return;
+      }
+      leaf_loaded_ = leaf_;
     }
-    if (page->As<btree_internal::NodeHeader>()->type != kLeafType) {
-      status_ = Status::Corruption("B+ tree descent reaches non-leaf page");
-      valid_ = false;
-      return;
-    }
-    const auto* leaf = page->As<LeafNode>();
-    if (pos_ < leaf->header.count) {
-      record_ = leaf->records[pos_];
+    if (pos_ < static_cast<int>(leaf_recs_.size())) {
+      record_ = leaf_recs_[pos_];
       valid_ = true;
       return;
     }
-    page->Release();
 
     // Leaf exhausted: climb to the nearest ancestor with an unvisited
     // right child, then descend to the leftmost leaf under it. Ancestors

@@ -16,6 +16,14 @@ namespace swst {
 /// not maintain those, and a tree reached through an immutable snapshot
 /// root must be traversable without them.
 ///
+/// The current leaf is decoded once into a record cache (prefix-compressed
+/// v2 leaves make per-record page access unaffordable), and the upcoming
+/// sibling leaves are read ahead *asynchronously*: the batch is submitted
+/// when a leaf is entered, overlaps the caller consuming that leaf's
+/// records, and is reaped when the cursor steps to the next leaf. Like any
+/// iterator over a mutable structure, interleaving writes to the same tree
+/// with iteration is unsupported (use a copy-on-write snapshot root).
+///
 /// Usage:
 /// \code
 ///   BTreeIterator it(&pool, tree.root());
@@ -65,6 +73,11 @@ class BTreeIterator {
   bool valid_ = false;
   BTreeRecord record_;
   Status status_;
+  /// Decoded records of `leaf_` (valid while `leaf_loaded_ == leaf_`).
+  std::vector<BTreeRecord> leaf_recs_;
+  PageId leaf_loaded_ = kInvalidPageId;
+  /// In-flight async readahead of upcoming sibling leaves.
+  AsyncPrefetch readahead_;
 };
 
 }  // namespace swst

@@ -27,6 +27,16 @@ static_assert(sizeof(NodeHeader) == 8);
 
 inline constexpr uint16_t kLeafType = 1;
 inline constexpr uint16_t kInternalType = 2;
+/// Prefix-compressed leaf (format v2, see leaf_codec.h). The header `type`
+/// doubles as the page-format version: v1 leaves keep `kLeafType`, so a
+/// file written before compression existed stays readable page by page and
+/// migrates one leaf at a time as leaves are rewritten.
+inline constexpr uint16_t kLeafV2Type = 3;
+
+/// Both on-page leaf formats; internal nodes have a single format.
+inline bool IsLeafType(uint16_t type) {
+  return type == kLeafType || type == kLeafV2Type;
+}
 
 /// Depth bound for descents and recursive walks: a healthy tree over
 /// 32-bit page ids can never be this deep, so exceeding it means a cycle
@@ -48,6 +58,34 @@ struct LeafNode {
   BTreeRecord records[kLeafCapacity];
 };
 static_assert(sizeof(LeafNode) <= kPageSize);
+
+/// v2 leaf sub-header, directly after `NodeHeader`. The record stream that
+/// follows is a delta/varint encoding of the sorted records (layout in
+/// leaf_codec.h); `payload_bytes` is its exact length, checked against the
+/// header `count` on every decode.
+struct LeafV2Header {
+  uint16_t payload_bytes;  ///< Encoded stream length in bytes.
+  uint16_t flags;          ///< Reserved, always 0.
+  uint32_t reserved;       ///< Reserved, always 0.
+  uint64_t base_key;       ///< Key the first record's delta is against.
+};
+static_assert(sizeof(LeafV2Header) == 16);
+
+/// Bytes available for the v2 record stream.
+inline constexpr size_t kLeafV2StreamCapacity =
+    kPageSize - sizeof(NodeHeader) - sizeof(LeafV2Header);
+
+/// Encoded record size bounds: varint key delta + varint oid + raw 16-byte
+/// position + varint start + varint duration. Best case five 1-byte varints
+/// (20 bytes), worst case four 10-byte varints (56 bytes — *larger* than
+/// the 48-byte raw record, which is why EncodeLeaf can fall back to v1).
+inline constexpr size_t kMinEncodedRecordSize = 1 + 1 + 16 + 1 + 1;
+inline constexpr size_t kMaxEncodedRecordSize = 10 + 10 + 16 + 10 + 10;
+
+/// Hard ceiling on records in a v2 leaf (all-minimal encoding). The real
+/// per-page count is whatever `payload_bytes` admits.
+inline constexpr int kLeafV2MaxRecords =
+    static_cast<int>(kLeafV2StreamCapacity / kMinEncodedRecordSize);
 
 /// Internal page: header, `count+1` children, `count` separator keys.
 /// Invariant: every key in subtree `children[i]` is <= keys[i] and
@@ -72,6 +110,9 @@ static_assert(sizeof(InternalNode) <= kPageSize);
 /// read path calls this right after `Fetch` and propagates `Corruption`.
 inline Status CheckNodeHeader(const NodeHeader* h, PageId id) {
   if (h->type == kLeafType && h->count <= kLeafCapacity) return Status::OK();
+  if (h->type == kLeafV2Type && h->count <= kLeafV2MaxRecords) {
+    return Status::OK();  // Stream-level bounds are enforced by DecodeLeaf.
+  }
   if (h->type == kInternalType && h->count <= kInternalCapacity) {
     return Status::OK();
   }

@@ -3,15 +3,16 @@
 
 #include "btree/btree.h"
 #include "btree/btree_node.h"
+#include "btree/leaf_codec.h"
 
 namespace swst {
 
+using btree_internal::DecodeLeaf;
 using btree_internal::FetchNode;
 using btree_internal::InternalNode;
+using btree_internal::IsLeafType;
 using btree_internal::kInternalType;
-using btree_internal::kLeafType;
 using btree_internal::kMaxDepth;
-using btree_internal::LeafNode;
 using btree_internal::LowerBoundChild;
 using btree_internal::LowerBoundRecord;
 using btree_internal::UpperBoundChild;
@@ -54,34 +55,43 @@ Status BTree::SearchRanges(
       return Status::Corruption("B+ tree descent exceeds max depth");
     }
     // The whole level is known up front, in key order — at the leaf level
-    // this is exactly the run of sibling leaves the query will read, so
-    // adjacent page ids collapse into vectored reads. Prefetching does not
-    // count as a node access, keeping per-query `node_accesses` exact.
+    // this is exactly the run of sibling leaves the query will read. All
+    // misses of the level go to the backend as one asynchronous batch (a
+    // single io_uring submission when available, vectored reads
+    // otherwise); the batch is awaited before the first fetch below, so
+    // the level's pages arrive with one syscall-bounded wait instead of
+    // one blocking read per miss. Prefetching does not count as a node
+    // access, keeping per-query `node_accesses` exact.
+    AsyncPrefetch prefetch;
     if (level.size() > 1) {
       prefetch_ids.clear();
       for (const WorkItem& item : level) prefetch_ids.push_back(item.node);
-      pool_->Prefetch(prefetch_ids);
+      prefetch = pool_->PrefetchAsync(prefetch_ids);
     }
     std::vector<WorkItem> next_level;
     bool is_leaf_level = false;
     if (level_nodes != nullptr) {
       level_nodes->push_back(static_cast<uint32_t>(level.size()));
     }
+    prefetch.Finish();  // Reap completions; the level is now pool-resident.
 
+    std::vector<BTreeRecord> recs;
     for (const WorkItem& item : level) {
       auto page = FetchNode(pool_, item.node);
       if (!page.ok()) return page.status();
       if (node_accesses != nullptr) (*node_accesses)++;
 
-      if (page->As<btree_internal::NodeHeader>()->type == kLeafType) {
+      if (IsLeafType(page->As<btree_internal::NodeHeader>()->type)) {
         is_leaf_level = true;
-        const auto* leaf = page->As<LeafNode>();
+        // Decode once, then answer every range of this leaf from the
+        // decoded records.
+        SWST_RETURN_IF_ERROR(DecodeLeaf(page->data(), item.node, &recs));
+        page->Release();
         for (size_t r = item.range_begin; r < item.range_end; ++r) {
-          int pos = LowerBoundRecord(leaf, ranges[r].lo);
-          for (; pos < leaf->header.count &&
-                 leaf->records[pos].key <= ranges[r].hi;
-               ++pos) {
-            if (!fn(leaf->records[pos])) return Status::OK();
+          size_t pos =
+              static_cast<size_t>(LowerBoundRecord(recs, ranges[r].lo));
+          for (; pos < recs.size() && recs[pos].key <= ranges[r].hi; ++pos) {
+            if (!fn(recs[pos])) return Status::OK();
           }
         }
         continue;

@@ -104,6 +104,12 @@ BufferPool::BufferPool(Pager* pager, size_t capacity_pages, size_t partitions,
     m_write_run_pages_ = registry_->RegisterHistogram(
         "swst_pager_write_run_pages",
         "Pages per pager write call (runs > 1 are coalesced adjacent pages)");
+    m_uring_batch_pages_ = registry_->RegisterHistogram(
+        "swst_pager_uring_batch_pages",
+        "Pages per read batch submitted to the io_uring engine");
+    m_uring_wait_us_ = registry_->RegisterHistogram(
+        "swst_pager_uring_wait_us",
+        "Wall microseconds awaiting a read batch's completions");
     // The IoStats counters already exist as relaxed atomics; expose them as
     // callback gauges polled at render time instead of double-counting.
     // Registered with `this` as owner: a successor pool on the same
@@ -162,6 +168,37 @@ BufferPool::BufferPool(Pager* pager, size_t capacity_pages, size_t partitions,
         "WAL syncs forced by the write-back path (WAL rule)", [this] {
           return static_cast<int64_t>(
               stats().wal_forced_syncs.load(std::memory_order_relaxed));
+        });
+    cb(
+        "swst_pager_uring_submits_total",
+        "Read batches submitted to the io_uring engine", [this] {
+          return static_cast<int64_t>(
+              stats().uring_submits.load(std::memory_order_relaxed));
+        });
+    cb(
+        "swst_pager_uring_completions_total",
+        "Pages completed through the io_uring engine", [this] {
+          return static_cast<int64_t>(
+              stats().uring_completions.load(std::memory_order_relaxed));
+        });
+    cb(
+        "swst_pager_uring_fallbacks_total",
+        "Read batches executed by the synchronous fallback", [this] {
+          return static_cast<int64_t>(
+              stats().uring_fallbacks.load(std::memory_order_relaxed));
+        });
+    cb(
+        "swst_pool_pages_compressed",
+        "Leaf pages stored in the compressed v2 format", [this] {
+          return static_cast<int64_t>(
+              stats().pages_compressed.load(std::memory_order_relaxed));
+        });
+    cb(
+        "swst_pool_compression_saved_bytes",
+        "Payload bytes saved by v2 leaf compression vs the v1 layout",
+        [this] {
+          return static_cast<int64_t>(stats().compression_saved_bytes.load(
+              std::memory_order_relaxed));
         });
     cb(
         "swst_pool_pinned_frames", "Currently pinned frames",
@@ -337,47 +374,55 @@ Status BufferPool::FlushAll() {
 
   Status first_error;
   std::vector<char> scratch;
-  for (size_t i = 0; i < dirty.size();) {
-    size_t j = i + 1;
-    while (j < dirty.size() && dirty[j].id == dirty[j - 1].id + 1) ++j;
-    const uint32_t run = static_cast<uint32_t>(j - i);
-    if (m_write_run_pages_ != nullptr) m_write_run_pages_->Record(run);
-    Status st;
-    if (run == 1) {
-      std::lock_guard<std::mutex> pager_lock(pager_mu_);
-      PagerTimer timer(m_write_us_.get());
-      st = pager_->WritePage(dirty[i].id, dirty[i].frame->data.data());
-    } else {
-      scratch.resize(static_cast<size_t>(run) * kPageSize);
-      for (size_t k = i; k < j; ++k) {
-        std::memcpy(scratch.data() + (k - i) * kPageSize,
-                    dirty[k].frame->data.data(), kPageSize);
-      }
-      std::lock_guard<std::mutex> pager_lock(pager_mu_);
-      PagerTimer timer(m_write_us_.get());
-      st = pager_->WritePages(dirty[i].id, run, scratch.data());
-    }
-    if (st.ok()) {
-      for (size_t k = i; k < j; ++k) {
-        dirty[k].frame->dirty = false;
-        dirty[k].part->stats.physical_writes++;
-        if (run > 1) dirty[k].part->stats.coalesced_writes++;
-      }
-    } else if (first_error.ok()) {
-      first_error = st;
-    }
-    i = j;
-  }
+  ForEachAdjacentRun(
+      dirty.size(), [&](size_t i) { return dirty[i].id; },
+      [&](size_t i, size_t len) {
+        const size_t j = i + len;
+        const uint32_t run = static_cast<uint32_t>(len);
+        if (m_write_run_pages_ != nullptr) m_write_run_pages_->Record(run);
+        Status st;
+        if (run == 1) {
+          std::lock_guard<std::mutex> pager_lock(pager_mu_);
+          PagerTimer timer(m_write_us_.get());
+          st = pager_->WritePage(dirty[i].id, dirty[i].frame->data.data());
+        } else {
+          scratch.resize(static_cast<size_t>(run) * kPageSize);
+          for (size_t k = i; k < j; ++k) {
+            std::memcpy(scratch.data() + (k - i) * kPageSize,
+                        dirty[k].frame->data.data(), kPageSize);
+          }
+          std::lock_guard<std::mutex> pager_lock(pager_mu_);
+          PagerTimer timer(m_write_us_.get());
+          st = pager_->WritePages(dirty[i].id, run, scratch.data());
+        }
+        if (st.ok()) {
+          for (size_t k = i; k < j; ++k) {
+            dirty[k].frame->dirty = false;
+            dirty[k].part->stats.physical_writes++;
+            if (run > 1) dirty[k].part->stats.coalesced_writes++;
+          }
+        } else if (first_error.ok()) {
+          first_error = st;
+        }
+      });
   return first_error;
 }
 
 void BufferPool::Prefetch(const std::vector<PageId>& ids) {
-  // Sort + dedup once so misses appear in page-id order and adjacent runs
-  // are easy to find; then handle each partition's share under its mutex.
+  PrefetchAsync(ids).Finish();
+}
+
+AsyncPrefetch BufferPool::PrefetchAsync(const std::vector<PageId>& ids) {
+  // Sort + dedup once so misses appear in page-id order (adjacent runs stay
+  // adjacent for the pager's vectored fallback); then claim frames per
+  // partition under its mutex. Claimed frames are in no map, no LRU, and no
+  // free list — invisible to every concurrent pool operation — so the reads
+  // can proceed into them with no partition lock held.
   std::vector<PageId> want(ids);
   std::sort(want.begin(), want.end());
   want.erase(std::unique(want.begin(), want.end()), want.end());
 
+  AsyncPrefetch pf;
   for (size_t p = 0; p < partitions_.size(); ++p) {
     Partition& part = *partitions_[p];
     std::lock_guard<std::mutex> lock(part.mu);
@@ -385,11 +430,11 @@ void BufferPool::Prefetch(const std::vector<PageId>& ids) {
     size_t budget = part.frames.size() / 2;
     if (budget == 0) budget = 1;
 
-    std::vector<std::pair<PageId, size_t>> misses;  // (page id, frame idx)
+    size_t claimed = 0;
     for (PageId id : want) {
       if (id == kInvalidPageId) continue;
       if (partitions_.size() > 1 && PartitionIndex(id) != p) continue;
-      if (misses.size() >= budget) break;
+      if (claimed >= budget) break;
       if (part.page_to_frame.count(id) != 0) continue;
       // A prefetch-safe frame grab: a never-used frame, or a *clean* LRU
       // victim. Evicting (and writing back) dirty pages to make room for a
@@ -410,63 +455,111 @@ void BufferPool::Prefetch(const std::vector<PageId>& ids) {
       } else {
         break;
       }
-      misses.emplace_back(id, frame_idx);
+      // The read lands directly in the frame (stable buffer, resized once);
+      // no scratch copy, and no zero-fill of bytes about to be overwritten.
+      Frame& f = part.frames[frame_idx];
+      if (f.data.empty()) f.data.resize(kPageSize);
+      pf.claims_.push_back({id, p, frame_idx});
+      claimed++;
     }
+  }
+  if (pf.claims_.empty()) return pf;
 
-    std::vector<char> scratch;
-    for (size_t i = 0; i < misses.size();) {
-      size_t j = i + 1;
-      while (j < misses.size() &&
-             misses[j].first == misses[j - 1].first + 1) {
-        ++j;
+  pf.reqs_.resize(pf.claims_.size());
+  for (size_t i = 0; i < pf.claims_.size(); ++i) {
+    const AsyncPrefetch::Claim& c = pf.claims_[i];
+    pf.reqs_[i].id = c.id;
+    pf.reqs_[i].buf = partitions_[c.partition]->frames[c.frame].data.data();
+  }
+  {
+    std::lock_guard<std::mutex> pager_lock(pager_mu_);
+    // Covers the actual reads on the synchronous fallback (they execute
+    // inside SubmitReads there); submission cost only when async.
+    PagerTimer timer(m_read_us_.get());
+    pf.batch_ = pager_->SubmitReads(pf.reqs_.data(), pf.reqs_.size());
+  }
+  IoStats& s0 = partitions_.front()->stats;
+  if (pf.batch_->async()) {
+    s0.uring_submits.fetch_add(1, std::memory_order_relaxed);
+    if (m_uring_batch_pages_ != nullptr) {
+      m_uring_batch_pages_->Record(pf.reqs_.size());
+    }
+  } else {
+    s0.uring_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
+  pf.pool_ = this;
+  return pf;
+}
+
+AsyncPrefetch& AsyncPrefetch::operator=(AsyncPrefetch&& o) noexcept {
+  if (this != &o) {
+    Finish();
+    pool_ = o.pool_;
+    claims_ = std::move(o.claims_);
+    reqs_ = std::move(o.reqs_);
+    batch_ = std::move(o.batch_);
+    o.pool_ = nullptr;
+  }
+  return *this;
+}
+
+void AsyncPrefetch::Finish() {
+  if (pool_ == nullptr) return;
+  pool_->FinishPrefetch(*this);
+  pool_ = nullptr;
+  claims_.clear();
+  reqs_.clear();
+  batch_.reset();
+}
+
+void BufferPool::FinishPrefetch(AsyncPrefetch& pf) {
+  size_t completed = 0;
+  {
+    std::lock_guard<std::mutex> pager_lock(pager_mu_);
+    PagerTimer timer(m_uring_wait_us_.get());
+    (void)pf.batch_->Await();  // Per-request statuses carry the detail.
+    const bool was_async = pf.batch_->async();
+    pf.batch_.reset();  // Batch teardown is a pager call too.
+    if (was_async) {
+      completed = pf.reqs_.size();
+    }
+  }
+  if (completed != 0) {
+    partitions_.front()->stats.uring_completions.fetch_add(
+        completed, std::memory_order_relaxed);
+  }
+
+  // Install under the partition mutexes (never held together with
+  // pager_mu_). A page fetched by another thread while our read was in
+  // flight wins: the duplicate frame goes back to the free list.
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    Partition* part = nullptr;
+    std::unique_lock<std::mutex> lock;
+    for (size_t i = 0; i < pf.claims_.size(); ++i) {
+      const AsyncPrefetch::Claim& c = pf.claims_[i];
+      if (c.partition != p) continue;
+      if (part == nullptr) {
+        part = partitions_[p].get();
+        lock = std::unique_lock<std::mutex>(part->mu);
       }
-      const uint32_t run = static_cast<uint32_t>(j - i);
-      Status st;
-      if (run == 1) {
-        Frame& f = part.frames[misses[i].second];
-        if (f.data.empty()) f.data.resize(kPageSize);
-        std::lock_guard<std::mutex> pager_lock(pager_mu_);
-        PagerTimer timer(m_read_us_.get());
-        st = pager_->ReadPage(misses[i].first, f.data.data());
-      } else {
-        scratch.resize(static_cast<size_t>(run) * kPageSize);
-        {
-          std::lock_guard<std::mutex> pager_lock(pager_mu_);
-          PagerTimer timer(m_read_us_.get());
-          st = pager_->ReadPages(misses[i].first, run, scratch.data());
-        }
-        if (st.ok()) {
-          for (size_t k = i; k < j; ++k) {
-            Frame& f = part.frames[misses[k].second];
-            if (f.data.empty()) f.data.resize(kPageSize);
-            std::memcpy(f.data.data(), scratch.data() + (k - i) * kPageSize,
-                        kPageSize);
-          }
-        }
+      Frame& f = part->frames[c.frame];
+      if (!pf.reqs_[i].status.ok() || part->page_to_frame.count(c.id) != 0) {
+        // Failed read (purely a hint: the eventual Fetch re-reads and
+        // surfaces the error) or raced install — return the frame.
+        part->unused_frames.push_back(c.frame);
+        continue;
       }
-      if (st.ok()) {
-        for (size_t k = i; k < j; ++k) {
-          Frame& f = part.frames[misses[k].second];
-          f.page_id = misses[k].first;
-          f.pin_count = 0;
-          f.dirty = false;
-          f.prefetched = true;
-          f.lsn = kInvalidLsn;
-          part.lru.push_front(misses[k].second);
-          f.lru_pos = part.lru.begin();
-          f.in_lru = true;
-          part.page_to_frame[misses[k].first] = misses[k].second;
-          part.stats.physical_reads++;
-          part.stats.readahead_pages++;
-        }
-      } else {
-        // Purely a hint: hand the frames back and let the eventual Fetch
-        // re-read the page and surface the error.
-        for (size_t k = i; k < j; ++k) {
-          part.unused_frames.push_back(misses[k].second);
-        }
-      }
-      i = j;
+      f.page_id = c.id;
+      f.pin_count = 0;
+      f.dirty = false;
+      f.prefetched = true;
+      f.lsn = kInvalidLsn;
+      part->lru.push_front(c.frame);
+      f.lru_pos = part->lru.begin();
+      f.in_lru = true;
+      part->page_to_frame[c.id] = c.frame;
+      part->stats.physical_reads++;
+      part->stats.readahead_pages++;
     }
   }
 }

@@ -133,6 +133,12 @@ Status FaultInjectionPager::CorruptPageForTesting(PageId id, uint32_t offset,
   return base_->CorruptPageForTesting(id, offset, len);
 }
 
+std::unique_ptr<Pager::ReadBatch> FaultInjectionPager::SubmitReads(
+    AsyncPageRead* reqs, size_t n) {
+  batch_submits_++;
+  return Pager::SubmitReads(reqs, n);
+}
+
 uint64_t FaultInjectionPager::page_count() const {
   return base_->page_count();
 }

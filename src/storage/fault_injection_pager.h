@@ -74,6 +74,18 @@ class FaultInjectionPager final : public Pager {
   uint64_t page_count() const override;
   uint64_t live_page_count() const override;
 
+  /// Batched reads run through the decorator-transparent base
+  /// implementation: one virtual `ReadPage` per request, so Nth and
+  /// probabilistic read faults, buffered (unsynced) images, and torn-page
+  /// corruption all fire exactly as they would on single reads — the error
+  /// simply surfaces at completion time in the request's `status`, matching
+  /// the async engine's contract. Never submits to io_uring (the base's
+  /// ring would bypass this decorator entirely).
+  std::unique_ptr<ReadBatch> SubmitReads(AsyncPageRead* reqs,
+                                         size_t n) override;
+  void SetAsyncReads(bool enabled) override { base_->SetAsyncReads(enabled); }
+  uint64_t read_syscalls() const override { return base_->read_syscalls(); }
+
   /// Installs a fault schedule (resets the probabilistic RNG to
   /// `policy.seed`; lifetime operation counters are *not* reset).
   void set_policy(const FaultPolicy& policy);
@@ -91,6 +103,9 @@ class FaultInjectionPager final : public Pager {
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }
   uint64_t syncs() const { return syncs_; }
+  /// Read batches submitted through `SubmitReads` (each batch's pages also
+  /// count toward `reads()`, one per page).
+  uint64_t batch_submits() const { return batch_submits_; }
 
   /// Pages with buffered (not yet durable) content.
   size_t unsynced_pages() const { return unsynced_.size(); }
@@ -114,6 +129,7 @@ class FaultInjectionPager final : public Pager {
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
   uint64_t syncs_ = 0;
+  uint64_t batch_submits_ = 0;
 };
 
 }  // namespace swst

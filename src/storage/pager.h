@@ -27,6 +27,30 @@ static_assert(sizeof(PageTrailer) == 16);
 inline constexpr uint32_t kPhysicalPageSize =
     kPageSize + static_cast<uint32_t>(sizeof(PageTrailer));
 
+/// One page read in an asynchronous batch (see `Pager::SubmitReads`).
+/// `buf` must point at `kPageSize` writable bytes that stay valid until the
+/// batch's `Await` returns; `status` is undefined until then.
+struct AsyncPageRead {
+  PageId id = kInvalidPageId;
+  void* buf = nullptr;
+  Status status;
+};
+
+/// Calls `fn(start, length)` for every maximal run of adjacent ascending
+/// page ids, where `id_at(i)` yields the i-th id of a sorted sequence of
+/// `n` ids. Shared by the buffer pool's flush/write-back paths and the
+/// pager's synchronous batch fallback, so run detection lives in one place
+/// instead of being re-derived at each call site.
+template <typename GetId, typename Fn>
+void ForEachAdjacentRun(size_t n, GetId&& id_at, Fn&& fn) {
+  for (size_t i = 0; i < n;) {
+    size_t j = i + 1;
+    while (j < n && id_at(j) == id_at(j - 1) + 1) ++j;
+    fn(i, j - i);
+    i = j;
+  }
+}
+
 /// \brief Low-level page store: allocate/free/read/write fixed-size pages.
 ///
 /// Two backends are provided:
@@ -82,6 +106,49 @@ class Pager {
   /// Same layout and override contract as `ReadPages`; the file backend
   /// uses `pwritev` and stamps a fresh trailer per page.
   virtual Status WritePages(PageId first, uint32_t count, const void* buf);
+
+  /// Handle for a batch of page reads submitted with `SubmitReads`.
+  ///
+  /// `Await` blocks until every read of the batch has completed and every
+  /// request's `status` is set; it returns the first error encountered but
+  /// — unlike the early-returning `ReadPages` — keeps completing the rest
+  /// of the batch, so callers get per-request completion-time statuses.
+  /// `Await` is idempotent; the destructor calls it as a last resort.
+  ///
+  /// Like every other pager method, `Await` (and destruction of an
+  /// un-awaited batch) must be serialized with other calls into the same
+  /// pager by the caller — `BufferPool` holds its pager mutex around both.
+  class ReadBatch {
+   public:
+    virtual ~ReadBatch() = default;
+    virtual Status Await() = 0;
+    /// True when the batch was submitted to an asynchronous engine
+    /// (io_uring) rather than executed by the synchronous fallback.
+    virtual bool async() const { return false; }
+  };
+
+  /// Submits `n` independent page reads and returns a completion handle.
+  ///
+  /// The base implementation executes the batch immediately with one
+  /// `ReadPage` per request (so decorators such as `FaultInjectionPager`
+  /// observe, and can fault, each page as its own operation — errors are
+  /// reported per request at completion time) and returns an
+  /// already-complete handle. The file backend overrides this with an
+  /// io_uring submission when the kernel supports it, falling back to
+  /// vectored synchronous reads otherwise; either way the contents and
+  /// per-request statuses are identical.
+  virtual std::unique_ptr<ReadBatch> SubmitReads(AsyncPageRead* reqs,
+                                                 size_t n);
+
+  /// Toggles asynchronous submission for `SubmitReads` (A/B benchmarking
+  /// and tests). Backends without an async engine ignore it; default on.
+  virtual void SetAsyncReads(bool enabled) { (void)enabled; }
+
+  /// Blocking read syscalls this pager has issued (pread/preadv calls and
+  /// io_uring_enter waits). Zero for backends that do no syscalls. The
+  /// async-read benchmark gates on this: one ring submission covering a
+  /// whole level must replace a chain of per-run preadv calls.
+  virtual uint64_t read_syscalls() const { return 0; }
 
   /// Flushes OS buffers to stable storage (no-op for the memory backend).
   virtual Status Sync() = 0;

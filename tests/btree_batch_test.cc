@@ -57,10 +57,11 @@ TEST_F(BTreeBatchTest, EmptyBatchIsANoOp) {
 }
 
 TEST_F(BTreeBatchTest, BulkLoadBuildsDeepValidTree) {
-  // Enough records for a height-3 tree (fan-out is ~170 records per leaf
-  // and ~680 children per internal node, so height 3 needs >116k records);
-  // BulkLoad must produce evenly filled leaves passing occupancy checks.
-  const size_t n = 130000;
+  // Enough records for a height-3 tree (prefix-compressed leaves hold
+  // ~330 of these tightly packed records and internal nodes ~680
+  // children, so height 3 needs >225k records); BulkLoad must produce
+  // evenly filled leaves passing occupancy checks.
+  const size_t n = 400000;
   std::vector<BTreeRecord> recs;
   recs.reserve(n);
   Random rng(7);

@@ -25,6 +25,7 @@
 #include <tuple>
 #include <vector>
 
+#include "btree/leaf_codec.h"
 #include "common/random.h"
 #include "storage/fault_injection_pager.h"
 #include "swst/swst_index.h"
@@ -163,9 +164,20 @@ Snapshot OracleSnapshot(const std::vector<Op>& ops, size_t prefix_len) {
 
 // -------------------------------------------------------------------------
 
-class CrashRecoveryTest : public ::testing::Test {
+// Parameterized over the leaf encoding: the whole sweep runs once over
+// legacy raw leaves and once over prefix-compressed v2 leaves, so torn
+// writes, injected faults, and crash recovery are exercised against the
+// compressed on-disk format with the exact same workload and oracle.
+class CrashRecoveryTest
+    : public ::testing::TestWithParam<btree_internal::LeafEncoding> {
  protected:
-  CrashRecoveryTest() : ops_(MakeWorkload()) {}
+  CrashRecoveryTest() : ops_(MakeWorkload()) {
+    btree_internal::SetDefaultLeafEncoding(GetParam());
+  }
+  ~CrashRecoveryTest() override {
+    btree_internal::SetDefaultLeafEncoding(
+        btree_internal::LeafEncoding::kV2);
+  }
 
   /// Lazily computed oracle per save point (prefix length = save step + 1).
   const Snapshot& Oracle(size_t save_step) {
@@ -208,7 +220,7 @@ class CrashRecoveryTest : public ::testing::Test {
   std::map<size_t, Snapshot> oracles_;
 };
 
-TEST_F(CrashRecoveryTest, CrashAtEveryStepRecoversLastSave) {
+TEST_P(CrashRecoveryTest, CrashAtEveryStepRecoversLastSave) {
   for (int crash_at = 0; crash_at <= kSteps; ++crash_at) {
     auto base = Pager::OpenMemory();
     FaultInjectionPager fi(base.get());
@@ -234,7 +246,7 @@ TEST_F(CrashRecoveryTest, CrashAtEveryStepRecoversLastSave) {
   }
 }
 
-TEST_F(CrashRecoveryTest, InjectedWriteFaultsFailStopThenRecover) {
+TEST_P(CrashRecoveryTest, InjectedWriteFaultsFailStopThenRecover) {
   // Count the writes of a fault-free run so the sweep covers the whole
   // workload.
   uint64_t total_writes = 0;
@@ -289,7 +301,7 @@ TEST_F(CrashRecoveryTest, InjectedWriteFaultsFailStopThenRecover) {
   }
 }
 
-TEST_F(CrashRecoveryTest, InjectedSyncFaultsFailStopThenRecover) {
+TEST_P(CrashRecoveryTest, InjectedSyncFaultsFailStopThenRecover) {
   // One sync per Save; fail each of them in turn.
   const uint64_t total_saves = kSteps / 25;
   for (uint64_t k = 1; k <= total_saves; ++k) {
@@ -329,7 +341,7 @@ TEST_F(CrashRecoveryTest, InjectedSyncFaultsFailStopThenRecover) {
   }
 }
 
-TEST_F(CrashRecoveryTest, TornWritesOverFileBackendNeverAnswerWrong) {
+TEST_P(CrashRecoveryTest, TornWritesOverFileBackendNeverAnswerWrong) {
   const auto path = std::filesystem::temp_directory_path() /
                     ("swst_crash_torn_" + std::to_string(::getpid()) + ".db");
 
@@ -382,6 +394,14 @@ TEST_F(CrashRecoveryTest, TornWritesOverFileBackendNeverAnswerWrong) {
   }
   std::filesystem::remove(path);
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    LeafEncodings, CrashRecoveryTest,
+    ::testing::Values(btree_internal::LeafEncoding::kV1,
+                      btree_internal::LeafEncoding::kV2),
+    [](const ::testing::TestParamInfo<btree_internal::LeafEncoding>& info) {
+      return info.param == btree_internal::LeafEncoding::kV1 ? "V1" : "V2";
+    });
 
 }  // namespace
 }  // namespace swst

@@ -80,8 +80,9 @@ TEST_F(SwstWindowTest, TreeDropReclaimsPages) {
   SwstOptions o = SmallOptions();
   auto idx = Make(o);
   Random rng(51);
-  // Fill epoch 0 densely.
-  for (int i = 0; i < 5000; ++i) {
+  // Fill epoch 0 densely (enough that even prefix-compressed leaves
+  // spread over a meaningful number of pages).
+  for (int i = 0; i < 20000; ++i) {
     ASSERT_OK(idx->Insert(MakeEntry(i, rng.UniformDouble(0, 1000),
                                     rng.UniformDouble(0, 1000),
                                     rng.Uniform(1000), 1 + rng.Uniform(200))));

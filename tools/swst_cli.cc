@@ -200,6 +200,14 @@ int RunVerify(const CliConfig& cfg) {
         static_cast<unsigned long long>(io.coalesced_writes.load()),
         static_cast<unsigned long long>(io.readahead_pages.load()),
         static_cast<unsigned long long>(io.readahead_hits.load()));
+    std::printf(
+        "verify: uring submits=%llu completions=%llu fallbacks=%llu "
+        "pages_compressed=%llu compression_saved_bytes=%llu\n",
+        static_cast<unsigned long long>(io.uring_submits.load()),
+        static_cast<unsigned long long>(io.uring_completions.load()),
+        static_cast<unsigned long long>(io.uring_fallbacks.load()),
+        static_cast<unsigned long long>(io.pages_compressed.load()),
+        static_cast<unsigned long long>(io.compression_saved_bytes.load()));
   } else {
     // Everything the verification touched — pool, pager, and index — in
     // Prometheus text exposition format.
