@@ -18,6 +18,13 @@
 // the query path, no unbounded growth for long runs); reservoirs are merged
 // after the threads join and percentiles are computed over the union.
 //
+// The run also prices the always-on observability stack: the index runs
+// with a SlowQueryLog attached throughout, and a final A/B section re-runs
+// the mixed-mode 4-thread point with the process-wide flight recorder
+// enabled vs disabled (three alternating reps, best-of each side). The
+// result is the top-level "recorder" JSON object; the checker gates
+// qps_on >= 0.95 * qps_off — recording must cost at most 5% of QPS.
+//
 // Usage: bench_concurrent_scaling [--smoke] [--json]
 //   --smoke    one short iteration per point (CI smoke test).
 //   --json     accepted for symmetry with the other benches; output is
@@ -35,7 +42,9 @@
 #include <vector>
 
 #include "bench/workload.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/slow_query_log.h"
 #include "obs/stats_dumper.h"
 
 namespace {
@@ -171,6 +180,10 @@ int main(int argc, char** argv) {
   // scaling, the dominant mode for a streaming server.
   options.query_threads = 1;
   options.metrics = &registry;
+  // The production posture: slow-query capture is on for every point, so
+  // the scaling numbers already include its (lock-free) hot-path cost.
+  obs::SlowQueryLog slow_log;
+  options.slow_log = &slow_log;
   auto pager = Pager::OpenMemory();
   BufferPool pool(pager.get(), 1 << 17, /*partitions=*/0, &registry);
   auto idx_or = SwstIndex::Create(&pool, options);
@@ -223,13 +236,41 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Flight-recorder overhead A/B on the busiest observable point (mixed
+  // mode: the writer emits snapshot-publish/epoch-reclaim events while the
+  // clients query). Alternating reps, best-of per side to shed scheduler
+  // noise; the recorder is re-enabled afterwards — it is always on in
+  // production and the A/B exists to prove that is affordable.
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  const int ab_threads = 4;
+  // Even in smoke mode each A/B rep runs a few hundred queries per thread:
+  // a sub-10ms measurement would be scheduler noise, and this section is a
+  // pass/fail gate, not a scaling curve.
+  const int ab_queries = std::max(queries_per_thread, 200);
+  double qps_on = 0.0, qps_off = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    recorder.SetEnabled(true);
+    qps_on = std::max(qps_on, RunPoint(idx.get(), queries, ab_threads,
+                                       ab_queries, /*mixed=*/true, mixer)
+                                  .qps);
+    recorder.SetEnabled(false);
+    qps_off = std::max(qps_off, RunPoint(idx.get(), queries, ab_threads,
+                                         ab_queries, /*mixed=*/true, mixer)
+                                    .qps);
+  }
+  recorder.SetEnabled(true);
+
   std::printf("{\n  \"bench\": \"concurrent_scaling\",\n");
   std::printf("  \"objects\": %llu,\n",
               static_cast<unsigned long long>(objects));
   std::printf("  \"hw_concurrency\": %u,\n",
               std::thread::hardware_concurrency());
-  std::printf("  \"queries_per_thread\": %d,\n  \"results\": [\n",
-              queries_per_thread);
+  std::printf("  \"queries_per_thread\": %d,\n", queries_per_thread);
+  std::printf("  \"recorder\": {\"mode\": \"mixed\", \"threads\": %d, "
+              "\"qps_on\": %.1f, \"qps_off\": %.1f, \"ratio\": %.3f},\n",
+              ab_threads, qps_on, qps_off,
+              qps_off > 0 ? qps_on / qps_off : 0.0);
+  std::printf("  \"results\": [\n");
   for (size_t i = 0; i < points.size(); ++i) {
     const ScalingPoint& p = points[i];
     std::printf("    {\"mode\": \"%s\", \"threads\": %d, \"qps\": %.1f, "

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <string>
 
+#include "obs/flight_recorder.h"
+
 namespace swst {
 namespace btree_internal {
 
@@ -212,10 +214,18 @@ Result<LeafEncodeInfo> EncodeLeaf(void* page, const BTreeRecord* recs,
 
 Status WriteLeaf(BufferPool* pool, PageHandle& page, const BTreeRecord* recs,
                  size_t n) {
+  const uint16_t prior_type =
+      reinterpret_cast<const NodeHeader*>(page.data())->type;
   auto enc = EncodeLeaf(page.data(), recs, n);
   if (!enc.ok()) return enc.status();
   if (enc->used == LeafEncoding::kV2) {
     pool->NoteCompressedLeaf(enc->saved_bytes);
+    if (prior_type == kLeafType) {
+      // A v1 leaf from an older on-disk image just got rewritten packed —
+      // the format migration the flight recorder tracks.
+      obs::RecordEvent(obs::EventType::kLeafMigrateV2, page.id(), n,
+                       enc->saved_bytes);
+    }
   }
   page.MarkDirty();
   return Status::OK();

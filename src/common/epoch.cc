@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.h"
+
 namespace swst {
 
 namespace {
@@ -86,6 +88,11 @@ void EpochManager::Collect() {
   }
   for (auto& fn : ripe) fn();
   n_reclaimed_.fetch_add(ripe.size(), std::memory_order_relaxed);
+  if (!ripe.empty()) {
+    obs::RecordEvent(obs::EventType::kEpochReclaim, ripe.size(),
+                     n_retired_.load(std::memory_order_relaxed) -
+                         n_reclaimed_.load(std::memory_order_relaxed));
+  }
 }
 
 EpochManager::~EpochManager() {

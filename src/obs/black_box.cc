@@ -1,0 +1,156 @@
+#include "obs/black_box.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/flight_recorder.h"
+#include "obs/history_ring.h"
+#include "obs/slow_query_log.h"
+
+namespace swst {
+namespace obs {
+
+namespace {
+
+// All handler state is lock-free: set under Install, read by the handler.
+std::atomic<const FlightRecorder*> g_recorder{nullptr};
+std::atomic<const SlowQueryLog*> g_slow_log{nullptr};
+std::atomic<const MetricsHistory*> g_history{nullptr};
+std::atomic<int> g_crash_fd{-1};
+std::atomic<bool> g_installed{false};
+std::atomic<bool> g_dumping{false};  // Re-entrancy guard (crash in dump).
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGILL, SIGFPE};
+struct sigaction g_previous[5];
+
+void WriteAll(int fd, const char* p, size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w <= 0) return;
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+void SafeWrite(int fd, const char* s) { WriteAll(fd, s, std::strlen(s)); }
+
+void SafeWriteInt(int fd, long long v) {
+  char buf[24];
+  char* p = buf + sizeof(buf);
+  const bool neg = v < 0;
+  unsigned long long u = neg ? 0ULL - static_cast<unsigned long long>(v)
+                             : static_cast<unsigned long long>(v);
+  do {
+    *--p = static_cast<char>('0' + u % 10);
+    u /= 10;
+  } while (u != 0);
+  if (neg) *--p = '-';
+  WriteAll(fd, p, static_cast<size_t>(buf + sizeof(buf) - p));
+}
+
+void FatalSignalHandler(int signo) {
+  // Dump once; a crash inside the dump falls through to the re-raise.
+  if (!g_dumping.exchange(true, std::memory_order_acq_rel)) {
+    BlackBox::DumpToFd(STDERR_FILENO, signo, nullptr);
+    const int crash_fd = g_crash_fd.load(std::memory_order_acquire);
+    if (crash_fd >= 0) {
+      BlackBox::DumpToFd(crash_fd, signo, nullptr);
+      ::fsync(crash_fd);
+    }
+  }
+  // Restore the previous disposition and re-raise so the process dies with
+  // the original signal semantics (core dump, exit code 128+signo).
+  for (size_t i = 0; i < sizeof(kFatalSignals) / sizeof(kFatalSignals[0]);
+       ++i) {
+    if (kFatalSignals[i] == signo) {
+      ::sigaction(signo, &g_previous[i], nullptr);
+      break;
+    }
+  }
+  ::raise(signo);
+}
+
+}  // namespace
+
+void BlackBox::Install(const Sources& sources, const std::string& crash_file) {
+  g_recorder.store(sources.recorder, std::memory_order_release);
+  g_slow_log.store(sources.slow_log, std::memory_order_release);
+  g_history.store(sources.history, std::memory_order_release);
+
+  if (!crash_file.empty()) {
+    const int fd =
+        ::open(crash_file.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+               0644);
+    const int old = g_crash_fd.exchange(fd, std::memory_order_acq_rel);
+    if (old >= 0) ::close(old);
+  }
+
+  if (g_installed.exchange(true, std::memory_order_acq_rel)) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = FatalSignalHandler;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESETHAND: the handler restores dispositions itself so it can
+  // pick which to restore; SA_NODEFER unset keeps the signal blocked
+  // during the dump.
+  for (size_t i = 0; i < sizeof(kFatalSignals) / sizeof(kFatalSignals[0]);
+       ++i) {
+    ::sigaction(kFatalSignals[i], &sa, &g_previous[i]);
+  }
+}
+
+void BlackBox::DumpToFd(int fd, int signo, const char* reason) {
+  SafeWrite(fd, "\n");
+  SafeWrite(fd, kMarker);
+  SafeWrite(fd, "\n");
+  if (signo != 0) {
+    SafeWrite(fd, "fatal signal ");
+    SafeWriteInt(fd, signo);
+    SafeWrite(fd, "\n");
+  }
+  if (reason != nullptr) {
+    SafeWrite(fd, "reason: ");
+    SafeWrite(fd, reason);
+    SafeWrite(fd, "\n");
+  }
+
+  const FlightRecorder* recorder = g_recorder.load(std::memory_order_acquire);
+  if (recorder != nullptr) {
+    SafeWrite(fd, "--- flight recorder (last events, per thread) ---\n");
+    recorder->WriteToFd(fd, 256);
+  }
+  const SlowQueryLog* slow = g_slow_log.load(std::memory_order_acquire);
+  if (slow != nullptr) {
+    SafeWrite(fd, "--- slow queries ---\n");
+    slow->WriteToFd(fd);
+  }
+  const MetricsHistory* history = g_history.load(std::memory_order_acquire);
+  if (history != nullptr) {
+    SafeWrite(fd, "--- metrics snapshot ---\n");
+    history->WriteLastSampleToFd(fd);
+  }
+  SafeWrite(fd, "=== END SWST BLACK BOX ===\n");
+}
+
+void BlackBox::Fatal(const char* reason) {
+  RecordEvent(EventType::kFatal, 0);
+  if (!g_dumping.exchange(true, std::memory_order_acq_rel)) {
+    DumpToFd(STDERR_FILENO, 0, reason);
+    const int crash_fd = g_crash_fd.load(std::memory_order_acquire);
+    if (crash_fd >= 0) {
+      DumpToFd(crash_fd, 0, reason);
+      ::fsync(crash_fd);
+    }
+    // g_dumping intentionally stays set: abort() raises SIGABRT, and the
+    // fatal handler must not produce a second copy of this dump.
+  }
+  std::abort();
+}
+
+}  // namespace obs
+}  // namespace swst

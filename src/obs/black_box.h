@@ -1,0 +1,61 @@
+#ifndef SWST_OBS_BLACK_BOX_H_
+#define SWST_OBS_BLACK_BOX_H_
+
+#include <cstdint>
+#include <string>
+
+namespace swst {
+namespace obs {
+
+class FlightRecorder;
+class SlowQueryLog;
+class MetricsHistory;
+
+/// \brief Process-wide fatal-error black box: on a fatal signal (SIGSEGV,
+/// SIGABRT, SIGBUS, SIGILL, SIGFPE) or an explicit `Fatal()` call, dumps
+/// the flight recorder's last events, the slow-query log's summary lines,
+/// and the latest metrics snapshot — the three things an incident
+/// post-mortem needs — to stderr and (optionally) a crash file.
+///
+/// The signal path is async-signal-safe end to end: the sources expose
+/// lock-free, allocation-free `WriteToFd` dumps, the crash file's fd is
+/// opened at install time, and formatting is integer-only. After dumping,
+/// the previous signal disposition is restored and the signal re-raised,
+/// so exit codes/core dumps behave as without the black box.
+///
+/// `Install` is idempotent and keeps raw pointers: the registered sources
+/// must outlive the process's last fatal opportunity (in practice: pass
+/// `FlightRecorder::Global()` and heap objects that are never destroyed,
+/// or call `Install` again with nullptr replacements before teardown).
+class BlackBox {
+ public:
+  struct Sources {
+    const FlightRecorder* recorder = nullptr;
+    const SlowQueryLog* slow_log = nullptr;
+    const MetricsHistory* history = nullptr;
+  };
+
+  /// Registers the dump sources and installs the fatal-signal handlers
+  /// (first call only; later calls just swap sources). `crash_file` non-
+  /// empty opens (creates/truncates) a file that receives a copy of every
+  /// dump; empty keeps stderr only.
+  static void Install(const Sources& sources,
+                      const std::string& crash_file = "");
+
+  /// Dumps (marker, events, slow queries, metrics snapshot) to `fd` using
+  /// only async-signal-safe operations. `reason` appears in the header;
+  /// pass the signal number or 0 for a logical fatal error.
+  static void DumpToFd(int fd, int signo, const char* reason);
+
+  /// Logical fatal error: emits a kFatal event, dumps to stderr + crash
+  /// file, then aborts.
+  [[noreturn]] static void Fatal(const char* reason);
+
+  /// Dump marker line; tests and log scrapers grep for this.
+  static constexpr const char* kMarker = "=== SWST BLACK BOX ===";
+};
+
+}  // namespace obs
+}  // namespace swst
+
+#endif  // SWST_OBS_BLACK_BOX_H_

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 namespace swst {
@@ -48,6 +50,29 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
     out[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return out;
+}
+
+MetricsRegistry::~MetricsRegistry() {
+#ifndef NDEBUG
+  // A callback still registered here captured a component `this` whose
+  // lifetime the registry can no longer vouch for. Name the offenders so
+  // the leaking component is identifiable, then trip the assert.
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dangling = 0;
+  for (const auto& [name, e] : metrics_) {
+    if (e.callback) {
+      std::fprintf(stderr,
+                   "MetricsRegistry destroyed with live callback gauge "
+                   "'%s' (owner %p)\n",
+                   name.c_str(), e.owner);
+      dangling++;
+    }
+  }
+  assert(dangling == 0 &&
+         "MetricsRegistry destroyed with callback gauges still registered; "
+         "the owning component must call UnregisterCallbacksByOwner(this) "
+         "before the registry dies");
+#endif
 }
 
 std::shared_ptr<Counter> MetricsRegistry::RegisterCounter(
@@ -230,6 +255,27 @@ std::string MetricsRegistry::RenderJson() const {
   os << "{\"counters\": {" << counters.str() << "}, \"gauges\": {"
      << gauges.str() << "}, \"histograms\": {" << histograms.str() << "}}";
   return os.str();
+}
+
+std::vector<MetricsRegistry::Scalar> MetricsRegistry::CollectScalars() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Scalar> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, e] : metrics_) {
+    if (e.counter != nullptr) {
+      out.push_back({name, static_cast<int64_t>(e.counter->value()), true});
+    } else if (e.gauge != nullptr) {
+      out.push_back({name, e.gauge->value(), false});
+    } else if (e.callback) {
+      out.push_back({name, e.callback(), false});
+    } else if (e.histogram != nullptr) {
+      out.push_back({name + "_count",
+                     static_cast<int64_t>(e.histogram->count()), true});
+      out.push_back({name + "_sum", static_cast<int64_t>(e.histogram->sum()),
+                     true});
+    }
+  }
+  return out;
 }
 
 }  // namespace obs

@@ -111,6 +111,15 @@ class Histogram {
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
+
+  /// Debug builds assert that no callback gauges remain registered: a
+  /// surviving callback captured the `this` of a component that outlived
+  /// the registry's users' expectations — render after the component's
+  /// destruction would call through a dangling pointer. Components must
+  /// call `UnregisterCallbacksByOwner(this)` in their destructors (every
+  /// in-tree component does); release builds keep the old silent behavior.
+  ~MetricsRegistry();
+
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
@@ -158,6 +167,19 @@ class MetricsRegistry {
   /// "buckets": [{"le", "count"}, ...]}}}. Only non-empty buckets are
   /// listed. Deterministic key order (sorted by name).
   std::string RenderJson() const;
+
+  /// One sampled scalar, as collected by `CollectScalars`.
+  struct Scalar {
+    std::string name;
+    int64_t value = 0;
+    bool monotonic = false;  ///< Counter-like: rates are meaningful.
+  };
+
+  /// Flattens every metric to scalars for rate computation (see
+  /// `MetricsHistory`): counters and histogram `_count`/`_sum` as
+  /// monotonic, gauges and callbacks as instantaneous. Ordered by base
+  /// metric name (stable across calls).
+  std::vector<Scalar> CollectScalars() const;
 
  private:
   struct Entry {

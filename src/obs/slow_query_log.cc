@@ -1,0 +1,206 @@
+#include "obs/slow_query_log.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace swst {
+namespace obs {
+
+namespace {
+
+std::atomic<uint64_t> g_entry_seq{0};
+
+void WriteAll(int fd, const char* p, size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w <= 0) return;
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SlowQueryLog::SlowQueryLog(Options options)
+    : options_([&] {
+        Options o = options;
+        if (o.sample_every == 0) o.sample_every = 1;
+        if (o.capacity == 0) o.capacity = 1;
+        return o;
+      }()),
+      fixed_(new FixedLine[options_.capacity]) {}
+
+void SlowQueryLog::Record(
+    uint64_t latency_us, std::string description,
+    std::vector<std::pair<std::string, uint64_t>> counters,
+    const QueryTrace* trace) {
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  const bool slow = latency_us >= options_.latency_threshold_us;
+  const bool sampled = trace != nullptr;
+  if (!slow && !sampled) {
+    // Below threshold and untraced: only useful while the log is filling.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.size() >= options_.capacity) return;
+  }
+
+  Entry e;
+  e.seq = g_entry_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  e.latency_us = latency_us;
+  e.description = std::move(description);
+  e.counters = std::move(counters);
+  if (trace != nullptr) {
+    e.trace_text = trace->RenderText();
+    e.trace_json = trace->RenderJson();
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t slot;
+  if (entries_.size() < options_.capacity) {
+    slot = entries_.size();
+    entries_.push_back(std::move(e));
+  } else {
+    // Evict the current fastest if this query is slower; an at-capacity log
+    // holds the worst `capacity` queries ever recorded.
+    slot = 0;
+    for (size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].latency_us < entries_[slot].latency_us) slot = i;
+    }
+    if (entries_[slot].latency_us >= e.latency_us) return;
+    entries_[slot] = std::move(e);
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+
+  // Refresh the slot's signal-safe summary line under a per-line seqlock:
+  // odd stamp while writing, even (seq<<1) when settled.
+  const Entry& ent = entries_[slot];
+  FixedLine& line = fixed_[slot];
+  line.seq.store(ent.seq * 2 + 1, std::memory_order_release);
+  char buf[sizeof(line.text)];
+  int len = std::snprintf(buf, sizeof(buf), "#%llu %llu.%03llums %s%s\n",
+                          static_cast<unsigned long long>(ent.seq),
+                          static_cast<unsigned long long>(ent.latency_us / 1000),
+                          static_cast<unsigned long long>(ent.latency_us % 1000),
+                          ent.description.c_str(),
+                          ent.trace_text.empty() ? "" : " [traced]");
+  if (len < 0) len = 0;
+  if (static_cast<size_t>(len) >= sizeof(buf)) len = sizeof(buf) - 1;
+  std::memcpy(line.text, buf, static_cast<size_t>(len));
+  line.len = static_cast<uint16_t>(len);
+  line.seq.store(ent.seq * 2, std::memory_order_release);
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::Worst() const {
+  std::vector<Entry> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = entries_;
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.latency_us != b.latency_us) return a.latency_us > b.latency_us;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+SlowQueryLog::Stats SlowQueryLog::stats() const {
+  Stats st;
+  st.recorded = recorded_.load(std::memory_order_relaxed);
+  st.fast = fast_.load(std::memory_order_relaxed);
+  st.admitted = admitted_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  st.retained = entries_.size();
+  return st;
+}
+
+std::string SlowQueryLog::RenderText(const std::vector<Entry>& entries) {
+  std::string out;
+  for (const Entry& e : entries) {
+    out += "#" + std::to_string(e.seq) + " " +
+           std::to_string(e.latency_us / 1000) + "." +
+           std::to_string(e.latency_us % 1000 / 100) +
+           std::to_string(e.latency_us % 100 / 10) +
+           std::to_string(e.latency_us % 10) + "ms " + e.description + "\n";
+    if (!e.counters.empty()) {
+      out += "  counters:";
+      for (const auto& [k, v] : e.counters) {
+        out += " " + k + "=" + std::to_string(v);
+      }
+      out += "\n";
+    }
+    if (!e.trace_text.empty()) {
+      // Indent the rendered trace under its entry.
+      size_t pos = 0;
+      while (pos < e.trace_text.size()) {
+        size_t nl = e.trace_text.find('\n', pos);
+        if (nl == std::string::npos) nl = e.trace_text.size();
+        out += "  | " + e.trace_text.substr(pos, nl - pos) + "\n";
+        pos = nl + 1;
+      }
+    }
+  }
+  return out;
+}
+
+std::string SlowQueryLog::RenderJsonLines(const std::vector<Entry>& entries) {
+  std::string out;
+  for (const Entry& e : entries) {
+    out += "{\"seq\":" + std::to_string(e.seq) +
+           ",\"latency_us\":" + std::to_string(e.latency_us) +
+           ",\"description\":\"" + JsonEscape(e.description) +
+           "\",\"counters\":{";
+    bool first = true;
+    for (const auto& [k, v] : e.counters) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + JsonEscape(k) + "\":" + std::to_string(v);
+    }
+    out += "}";
+    if (!e.trace_json.empty()) {
+      out += ",\"trace\":" + e.trace_json;
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+void SlowQueryLog::WriteToFd(int fd) const {
+  for (size_t i = 0; i < options_.capacity; ++i) {
+    const FixedLine& line = fixed_[i];
+    const uint64_t s0 = line.seq.load(std::memory_order_acquire);
+    if (s0 == 0 || (s0 & 1) != 0) continue;  // Empty or mid-write.
+    char buf[sizeof(line.text)];
+    const uint16_t len = line.len;
+    if (len == 0 || len > sizeof(buf)) continue;
+    std::memcpy(buf, line.text, len);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (line.seq.load(std::memory_order_relaxed) != s0) continue;  // Torn.
+    WriteAll(fd, buf, len);
+  }
+}
+
+}  // namespace obs
+}  // namespace swst

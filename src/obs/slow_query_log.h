@@ -1,0 +1,121 @@
+#ifndef SWST_OBS_SLOW_QUERY_LOG_H_
+#define SWST_OBS_SLOW_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace swst {
+namespace obs {
+
+/// \brief Always-on slow-query capture: latency threshold + 1-in-N trace
+/// sampling, retaining the worst `capacity` queries seen.
+///
+/// The query layer asks `ShouldTrace()` *before* running a query — a
+/// cheap relaxed counter tick that returns true for one query in
+/// `sample_every` — and attaches a `QueryTrace` to exactly those. After
+/// the query it calls `Record()` with the measured latency, a short
+/// description, the query's final counters, and the trace (if one was
+/// attached). Queries that beat the latency threshold are kept even
+/// without a sampled trace, so tail outliers never slip through the
+/// sampler; sampled-but-fast queries are kept only while the log is not
+/// yet full, so warmup still yields example traces.
+///
+/// Retention is worst-N by latency under a mutex — contention is bounded
+/// by the slow/sampled rate, not QPS, so the hot path stays lock-free.
+/// Entries render their trace to text at admission time and keep a
+/// fixed-size preformatted summary line, letting the fatal black-box
+/// handler dump the log without locks or allocation.
+class SlowQueryLog {
+ public:
+  struct Options {
+    uint64_t latency_threshold_us = 10000;  ///< Keep queries slower than this.
+    uint64_t sample_every = 256;            ///< Attach a trace 1-in-N.
+    size_t capacity = 32;                   ///< Worst-N entries retained.
+  };
+
+  /// One retained slow query.
+  struct Entry {
+    uint64_t seq = 0;          ///< Admission order (process-wide).
+    uint64_t latency_us = 0;
+    std::string description;   ///< e.g. "interval t=[10,20) r=[...]".
+    /// Counter name/value pairs — for SWST queries these are the
+    /// QueryStats fields and sum exactly to what RecordQueryMetrics saw.
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::string trace_text;    ///< Rendered QueryTrace ("" if unsampled).
+    std::string trace_json;
+  };
+
+  SlowQueryLog() : SlowQueryLog(Options{}) {}
+  explicit SlowQueryLog(Options options);
+
+  /// True for one call in `sample_every` — the caller should attach a
+  /// QueryTrace to this query. Lock-free.
+  bool ShouldTrace() {
+    return sample_tick_.fetch_add(1, std::memory_order_relaxed) %
+               options_.sample_every ==
+           0;
+  }
+
+  /// Admits the query if it is slow (>= threshold), carries a sampled
+  /// trace, or the log is not full yet; otherwise just counts it.
+  /// `trace` may be nullptr; it is rendered (not retained) on admission.
+  void Record(uint64_t latency_us, std::string description,
+              std::vector<std::pair<std::string, uint64_t>> counters,
+              const QueryTrace* trace);
+
+  /// Hot-path accounting for queries that skipped Record entirely.
+  void NoteFast() { fast_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Entries ordered slowest-first. Safe under concurrent Record.
+  std::vector<Entry> Worst() const;
+
+  struct Stats {
+    uint64_t recorded = 0;  ///< Calls to Record.
+    uint64_t fast = 0;      ///< Calls to NoteFast.
+    uint64_t admitted = 0;  ///< Entries ever admitted (incl. later evicted).
+    uint64_t retained = 0;  ///< Entries currently in the log.
+  };
+  Stats stats() const;
+
+  const Options& options() const { return options_; }
+
+  /// Renders `Worst()` as human text / JSON lines.
+  static std::string RenderText(const std::vector<Entry>& entries);
+  static std::string RenderJsonLines(const std::vector<Entry>& entries);
+
+  /// Async-signal-safe: writes each retained entry's preformatted summary
+  /// line to `fd`. No locks, no allocation; a line being concurrently
+  /// replaced is skipped (per-line seqlock).
+  void WriteToFd(int fd) const;
+
+ private:
+  // Fixed preformatted line + seqlock stamp, written under mu_ on
+  // admission, read lock-free by the fatal handler.
+  struct FixedLine {
+    std::atomic<uint64_t> seq{0};  // 0 = empty; odd = write in flight.
+    char text[192] = {0};
+    uint16_t len = 0;
+  };
+
+  const Options options_;
+  std::atomic<uint64_t> sample_tick_{0};
+  std::atomic<uint64_t> fast_{0};
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> admitted_{0};
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;  // Heap-free: small N, linear min scan.
+  std::unique_ptr<FixedLine[]> fixed_;  // capacity lines, slot i <-> entry i.
+};
+
+}  // namespace obs
+}  // namespace swst
+
+#endif  // SWST_OBS_SLOW_QUERY_LOG_H_

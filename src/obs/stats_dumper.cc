@@ -5,8 +5,13 @@ namespace obs {
 
 StatsDumper::StatsDumper(const MetricsRegistry* registry,
                          std::chrono::milliseconds period,
-                         std::function<void(const std::string&)> sink)
-    : registry_(registry), period_(period), sink_(std::move(sink)) {
+                         std::function<void(const std::string&)> sink,
+                         Format format)
+    : registry_(registry),
+      period_(period),
+      sink_(std::move(sink)),
+      format_(format),
+      epoch_(std::chrono::steady_clock::now()) {
   thread_ = std::thread([this] {
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
@@ -14,13 +19,27 @@ StatsDumper::StatsDumper(const MetricsRegistry* registry,
       // Render outside the wait but without holding our own lock across
       // the sink: the registry has its own synchronization.
       lock.unlock();
-      sink_(registry_->RenderJson());
+      sink_(RenderOne());
       lock.lock();
     }
   });
 }
 
 StatsDumper::~StatsDumper() { Stop(); }
+
+std::string StatsDumper::RenderOne() {
+  const std::string body = registry_->RenderJson();
+  if (format_ == Format::kJson) return body;
+  // JSON lines: stamp the snapshot and splice the registry object's keys
+  // into one flat single-line object. RenderJson emits a single line that
+  // starts with '{', so splicing after it is safe.
+  const uint64_t ts_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  return "{\"ts_ms\": " + std::to_string(ts_ms) +
+         ", \"seq\": " + std::to_string(++seq_) + ", " + body.substr(1) + "\n";
+}
 
 void StatsDumper::Stop() {
   {
@@ -30,7 +49,7 @@ void StatsDumper::Stop() {
   }
   cv_.notify_all();
   thread_.join();
-  sink_(registry_->RenderJson());  // Final snapshot.
+  sink_(RenderOne());  // Final snapshot.
 }
 
 }  // namespace obs

@@ -16,14 +16,22 @@ namespace obs {
 /// \brief Periodic stats-dump hook for long-running processes (benchmarks,
 /// the CLI's `--stats-dump-ms` flag).
 ///
-/// A background thread renders `registry->RenderJson()` every `period` and
-/// hands the string to `sink` (e.g. a line writer to stderr or a rotating
-/// file). A final dump is emitted on `Stop()`/destruction so short runs
-/// still produce one snapshot. The registry must outlive the dumper.
+/// A background thread renders the registry every `period` and hands the
+/// string to `sink` (e.g. a line writer to stderr or a rotating file). A
+/// final dump is emitted on `Stop()`/destruction so short runs still
+/// produce one snapshot. The registry must outlive the dumper.
 class StatsDumper {
  public:
+  enum class Format {
+    kJson,       ///< registry->RenderJson() verbatim (may be large).
+    kJsonLines,  ///< One self-contained line per snapshot, prefixed with
+                 ///< {"ts_ms": <uptime>, "seq": <n>, ...registry json...}
+                 ///< — machine-ingestible with line-oriented tooling.
+  };
+
   StatsDumper(const MetricsRegistry* registry, std::chrono::milliseconds period,
-              std::function<void(const std::string& json)> sink);
+              std::function<void(const std::string& json)> sink,
+              Format format = Format::kJson);
   ~StatsDumper();
 
   StatsDumper(const StatsDumper&) = delete;
@@ -33,9 +41,14 @@ class StatsDumper {
   void Stop();
 
  private:
+  std::string RenderOne();
+
   const MetricsRegistry* registry_;
   std::chrono::milliseconds period_;
   std::function<void(const std::string&)> sink_;
+  const Format format_;
+  const std::chrono::steady_clock::time_point epoch_;
+  uint64_t seq_ = 0;  ///< Snapshots emitted; only the dumper thread + Stop.
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

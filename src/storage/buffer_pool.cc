@@ -6,6 +6,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+
 namespace swst {
 
 PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
@@ -486,6 +488,7 @@ AsyncPrefetch BufferPool::PrefetchAsync(const std::vector<PageId>& ids) {
     }
   } else {
     s0.uring_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    obs::RecordEvent(obs::EventType::kUringFallback, pf.reqs_.size());
   }
   pf.pool_ = this;
   return pf;

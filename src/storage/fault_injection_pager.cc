@@ -4,6 +4,8 @@
 #include <cstring>
 #include <string>
 
+#include "obs/flight_recorder.h"
+
 namespace swst {
 
 FaultInjectionPager::FaultInjectionPager(Pager* base)
@@ -44,6 +46,8 @@ Status FaultInjectionPager::FreePage(PageId id) {
 Status FaultInjectionPager::ReadPage(PageId id, void* buf) {
   reads_++;
   if (reads_ == policy_.fail_read_at || Roll(policy_.read_fail_prob)) {
+    obs::RecordEvent(obs::EventType::kFaultInjected,
+                     static_cast<uint64_t>(obs::FaultKind::kRead), reads_);
     return Status::IOError("injected read fault (read #" +
                            std::to_string(reads_) + ")");
   }
@@ -61,6 +65,8 @@ Status FaultInjectionPager::WritePage(PageId id, const void* buf) {
     return Status::InvalidArgument("WritePage: bad page id");
   }
   if (writes_ == policy_.fail_write_at || Roll(policy_.write_fail_prob)) {
+    obs::RecordEvent(obs::EventType::kFaultInjected,
+                     static_cast<uint64_t>(obs::FaultKind::kWrite), writes_);
     return Status::IOError("injected write fault (write #" +
                            std::to_string(writes_) + ")");
   }
@@ -69,6 +75,8 @@ Status FaultInjectionPager::WritePage(PageId id, const void* buf) {
                static_cast<const char*>(buf) + kPageSize);
   if (writes_ == policy_.torn_write_at) {
     torn_[id] = std::min(policy_.torn_bytes, kPageSize);
+    obs::RecordEvent(obs::EventType::kFaultInjected,
+                     static_cast<uint64_t>(obs::FaultKind::kTorn), writes_);
   } else {
     // A full rewrite supersedes an earlier torn mark on the same page.
     torn_.erase(id);
@@ -79,6 +87,8 @@ Status FaultInjectionPager::WritePage(PageId id, const void* buf) {
 Status FaultInjectionPager::Sync() {
   syncs_++;
   if (syncs_ == policy_.fail_sync_at || Roll(policy_.sync_fail_prob)) {
+    obs::RecordEvent(obs::EventType::kFaultInjected,
+                     static_cast<uint64_t>(obs::FaultKind::kSync), syncs_);
     return Status::IOError("injected sync fault (sync #" +
                            std::to_string(syncs_) + ")");
   }
@@ -98,6 +108,8 @@ Status FaultInjectionPager::Sync() {
 }
 
 Status FaultInjectionPager::CrashAndRecover() {
+  obs::RecordEvent(obs::EventType::kFaultInjected,
+                   static_cast<uint64_t>(obs::FaultKind::kCrash), syncs_);
   // Torn pages: a prefix of the in-flight image reached the platter before
   // the power cut. Persist the full image, then damage the tail without
   // restamping the trailer — over a file backend the checksum now fails,

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <map>
 
+#include "obs/flight_recorder.h"
 #include "storage/crc32c.h"
 
 namespace swst {
@@ -403,6 +404,7 @@ Status Wal::RotateLocked() {
   SWST_RETURN_IF_ERROR(store_->Append(seq, &hdr, sizeof(hdr)));
   segments_.push_back(SegmentInfo{seq, hdr.first_lsn, sizeof(hdr), true});
   if (m_segments_created_ != nullptr) m_segments_created_->Increment();
+  obs::RecordEvent(obs::EventType::kWalRotate, seq, hdr.first_lsn);
   return Status::OK();
 }
 
@@ -566,6 +568,7 @@ Result<WalReplayResult> Wal::ReplayLocked(Lsn from, const ReplayFn& fn) {
 
 Status Wal::TruncateBefore(Lsn lsn) {
   std::lock_guard<std::mutex> lock(mu_);
+  uint64_t deleted = 0;
   while (segments_.size() > 1) {
     // segments_[0] covers [first_lsn, segments_[1].first_lsn); deletable
     // when every record in it precedes `lsn`. Segments that never got a
@@ -576,6 +579,10 @@ Status Wal::TruncateBefore(Lsn lsn) {
     SWST_RETURN_IF_ERROR(store_->DeleteSegment(segments_[0].seq));
     segments_.erase(segments_.begin());
     if (m_segments_deleted_ != nullptr) m_segments_deleted_->Increment();
+    deleted++;
+  }
+  if (deleted > 0) {
+    obs::RecordEvent(obs::EventType::kWalTruncate, lsn, deleted);
   }
   return Status::OK();
 }

@@ -1,10 +1,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <limits>
+#include <memory>
 #include <queue>
 #include <vector>
 
+#include "obs/slow_query_log.h"
 #include "swst/swst_index.h"
 
 namespace swst {
@@ -37,14 +40,27 @@ Result<std::vector<Entry>> SwstIndex::Knn(const Point& center, size_t k,
                                           const QueryOptions& opts,
                                           QueryStats* stats) {
   obs::QueryTrace* trace = opts.trace;
-  if (m_queries_ == nullptr && trace == nullptr) {
+  obs::SlowQueryLog* slow = options_.slow_log;
+  if (m_queries_ == nullptr && trace == nullptr && slow == nullptr) {
     return KnnImpl(center, k, interval, opts, stats);
+  }
+  // Slow-query sampling, as in IntervalQueryStream: 1-in-N untraced KNN
+  // queries run with an auto-attached trace for the slow log.
+  std::unique_ptr<obs::QueryTrace> sampled;
+  QueryOptions sampled_opts;
+  const QueryOptions* run_opts = &opts;
+  if (trace == nullptr && slow != nullptr && slow->ShouldTrace()) {
+    sampled = std::make_unique<obs::QueryTrace>();
+    sampled_opts = opts;
+    sampled_opts.trace = sampled.get();
+    run_opts = &sampled_opts;
+    trace = sampled.get();
   }
   // Same wrapper as IntervalQueryStream: a fresh stats block isolates this
   // query's counters for the registry and the trace root.
   QueryStats local;
   const auto t0 = std::chrono::steady_clock::now();
-  auto result = KnnImpl(center, k, interval, opts, &local);
+  auto result = KnnImpl(center, k, interval, *run_opts, &local);
   const uint64_t latency_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - t0)
@@ -55,6 +71,19 @@ Result<std::vector<Entry>> SwstIndex::Knn(const Point& center, size_t k,
     root->AddCounter("node_accesses", local.node_accesses);
     root->AddCounter("results", local.results);
     trace->EndSpan(root);
+  }
+  if (slow != nullptr) {
+    if (latency_us >= slow->options().latency_threshold_us ||
+        sampled != nullptr) {
+      char detail[96];
+      std::snprintf(detail, sizeof(detail), "k=%zu t=[%llu,%llu] results=%llu",
+                    k, static_cast<unsigned long long>(interval.lo),
+                    static_cast<unsigned long long>(interval.hi),
+                    static_cast<unsigned long long>(local.results));
+      ReportSlowQuery(slow, latency_us, local, sampled.get(), "knn", detail);
+    } else {
+      slow->NoteFast();
+    }
   }
   if (stats != nullptr) *stats += local;
   return result;

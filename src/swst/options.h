@@ -10,6 +10,7 @@ namespace swst {
 
 namespace obs {
 class MetricsRegistry;
+class SlowQueryLog;
 }  // namespace obs
 
 class Wal;
@@ -77,6 +78,14 @@ struct SwstOptions {
   /// also passed to `BufferPool` so one `RenderPrometheus()`/`RenderJson()`
   /// exposes storage, pool, and index metrics together.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// When non-null, every query reports its latency and counters to this
+  /// slow-query log, and one query in `SlowQueryLog::Options::sample_every`
+  /// runs with an auto-attached `QueryTrace` whose rendered span tree is
+  /// retained alongside the worst-latency entries. Queries that already
+  /// carry a caller trace are unaffected. Runtime knob like `metrics`: not
+  /// part of the fingerprint; must outlive the index.
+  obs::SlowQueryLog* slow_log = nullptr;
 
   /// --- Durability (see docs/durability.md) --------------------------------
 

@@ -5,9 +5,13 @@
 #include <cassert>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <mutex>
 #include <string>
+
+#include "obs/flight_recorder.h"
+#include "obs/slow_query_log.h"
 
 namespace swst {
 
@@ -271,6 +275,8 @@ void SwstIndex::PublishShard(Shard& shard, std::vector<PageId> retired) {
     m_snapshots_published_->Increment();
     m_snapshots_retired_->Increment();
   }
+  obs::RecordEvent(obs::EventType::kSnapshotPublish, shard.cell_begin,
+                   shard.version, retired.size());
   // The old snapshot — and the pages this mutation rewrote, which the old
   // snapshot's roots may still reach — stay alive until every reader
   // pinned at or before the swap has unpinned.
@@ -306,7 +312,7 @@ Status SwstIndex::PrepareTree(Shard& shard, uint32_t cell, uint64_t epoch,
 
 Status SwstIndex::DropExpired(Shard& shard, uint32_t cell,
                               uint64_t min_live_epoch,
-                              std::vector<PageId>* retired) {
+                              std::vector<PageId>* retired, size_t* dropped) {
   CellTrees& ct = CellIn(shard, cell);
   for (int slot = 0; slot < 2; ++slot) {
     if (ct.root[slot] != kInvalidPageId && ct.epoch[slot] < min_live_epoch) {
@@ -315,6 +321,7 @@ Status SwstIndex::DropExpired(Shard& shard, uint32_t cell,
       shard.memo.ResetSlot(cell - shard.cell_begin, slot, shard.version + 1);
       ct.root[slot] = kInvalidPageId;
       if (m_trees_dropped_ != nullptr) m_trees_dropped_->Increment();
+      if (dropped != nullptr) ++*dropped;
     }
   }
   return Status::OK();
@@ -337,6 +344,8 @@ Status SwstIndex::Advance(Timestamp t) {
   // Each shard is swept under its own exclusive lock; other shards stay
   // fully available to writers, and readers everywhere keep executing
   // against published snapshots — queries never block behind Advance.
+  size_t total_dropped = 0;
+  size_t total_drained = 0;
   for (auto& shard : shards_) {
     std::vector<PageId> retired;
     size_t drained = 0;
@@ -344,7 +353,8 @@ Status SwstIndex::Advance(Timestamp t) {
     const uint32_t end =
         shard->cell_begin + static_cast<uint32_t>(shard->cells.size());
     for (uint32_t cell = shard->cell_begin; cell < end; ++cell) {
-      SWST_RETURN_IF_ERROR(DropExpired(*shard, cell, min_live, &retired));
+      SWST_RETURN_IF_ERROR(
+          DropExpired(*shard, cell, min_live, &retired, &total_dropped));
       // Expired current entries leave the live tier the same way expired
       // trees leave the disk tier — wholesale, with zero page I/O.
       drained += shard->live.DropExpired(cell - shard->cell_begin, min_live);
@@ -352,6 +362,7 @@ Status SwstIndex::Advance(Timestamp t) {
     if (drained > 0) {
       live_entries_.fetch_sub(drained, std::memory_order_relaxed);
       if (m_live_drained_ != nullptr) m_live_drained_->Increment(drained);
+      total_drained += drained;
     }
     // A dropped tree always retires at least its root page, so an empty
     // list plus an untouched live tier means the sweep changed nothing —
@@ -360,6 +371,8 @@ Status SwstIndex::Advance(Timestamp t) {
       PublishShard(*shard, std::move(retired));
     }
   }
+  obs::RecordEvent(obs::EventType::kWindowAdvance, static_cast<uint64_t>(t),
+                   total_dropped, total_drained);
   return SyncWal();
 }
 
@@ -685,6 +698,9 @@ Status SwstIndex::CloseCurrent(const Entry& current, Duration actual) {
     live_entries_.fetch_sub(1, std::memory_order_relaxed);
     if (m_deletes_ != nullptr) m_deletes_->Increment();
     if (m_live_migrations_ != nullptr) m_live_migrations_->Increment();
+    obs::RecordEvent(obs::EventType::kCloseMigrate, current.oid,
+                     static_cast<uint64_t>(current.start), cell,
+                     static_cast<uint64_t>(actual));
     PublishShard(shard, std::move(retired));
   }
   return SyncWal();
@@ -1114,14 +1130,65 @@ Status SwstIndex::IntervalQueryStreamImpl(
   return Status::OK();
 }
 
+namespace {
+
+/// The QueryStats fields a trace root span carries, as slow-log counter
+/// pairs — same names, same values, so a slow-log entry's counters match
+/// the QueryStats the metrics layer recorded exactly.
+std::vector<std::pair<std::string, uint64_t>> SlowLogCounters(
+    const QueryStats& s) {
+  return {{"node_accesses", s.node_accesses},
+          {"spatial_cells", s.spatial_cells},
+          {"cells_visited", s.cells_visited},
+          {"cells_pruned", s.cells_pruned},
+          {"memo_pruned_columns", s.memo_pruned_columns},
+          {"live_candidates", s.live_candidates},
+          {"live_results", s.live_results},
+          {"live_only_cells", s.live_only_cells},
+          {"results", s.results}};
+}
+
+}  // namespace
+
+void SwstIndex::ReportSlowQuery(obs::SlowQueryLog* slow, uint64_t latency_us,
+                                const QueryStats& stats,
+                                const obs::QueryTrace* sampled,
+                                const char* kind, const char* detail) {
+  const bool is_slow = latency_us >= slow->options().latency_threshold_us;
+  if (!is_slow && sampled == nullptr) {
+    slow->NoteFast();  // Hot path: one relaxed increment, no allocation.
+    return;
+  }
+  if (is_slow) {
+    obs::RecordEvent(obs::EventType::kSlowQuery, latency_us,
+                     stats.node_accesses, stats.results);
+  }
+  slow->Record(latency_us, std::string(kind) + " " + detail,
+               SlowLogCounters(stats), sampled);
+}
+
 Status SwstIndex::IntervalQueryStream(
     const Rect& area, const TimeInterval& interval, const QueryOptions& opts,
     const std::function<bool(const Entry&)>& fn, QueryStats* stats) {
   obs::QueryTrace* trace = opts.trace;
-  if (m_queries_ == nullptr && trace == nullptr) {
-    // Neither a registry nor a trace is attached: stay on the zero-overhead
+  obs::SlowQueryLog* slow = options_.slow_log;
+  if (m_queries_ == nullptr && trace == nullptr && slow == nullptr) {
+    // No registry, trace, or slow log attached: stay on the zero-overhead
     // path — no clock reads, no extra stats block.
     return IntervalQueryStreamImpl(area, interval, opts, fn, stats);
+  }
+
+  // Slow-query sampling: 1-in-N untraced queries run with an auto-attached
+  // trace so the log retains example span trees, not just counters.
+  std::unique_ptr<obs::QueryTrace> sampled;
+  QueryOptions sampled_opts;
+  const QueryOptions* run_opts = &opts;
+  if (trace == nullptr && slow != nullptr && slow->ShouldTrace()) {
+    sampled = std::make_unique<obs::QueryTrace>();
+    sampled_opts = opts;
+    sampled_opts.trace = sampled.get();
+    run_opts = &sampled_opts;
+    trace = sampled.get();
   }
 
   // Run the pipeline against a fresh stats block so the registry and the
@@ -1129,7 +1196,8 @@ Status SwstIndex::IntervalQueryStream(
   // accumulating `stats` (or none at all).
   QueryStats local;
   const auto t0 = std::chrono::steady_clock::now();
-  const Status st = IntervalQueryStreamImpl(area, interval, opts, fn, &local);
+  const Status st =
+      IntervalQueryStreamImpl(area, interval, *run_opts, fn, &local);
   const uint64_t latency_us = MicrosSince(t0);
   RecordQueryMetrics(local, latency_us);
   if (trace != nullptr) {
@@ -1144,6 +1212,20 @@ Status SwstIndex::IntervalQueryStream(
     root->AddCounter("live_only_cells", local.live_only_cells);
     root->AddCounter("results", local.results);
     trace->EndSpan(root);
+  }
+  if (slow != nullptr) {
+    if (latency_us >= slow->options().latency_threshold_us ||
+        sampled != nullptr) {
+      char detail[96];
+      std::snprintf(detail, sizeof(detail), "t=[%llu,%llu] results=%llu",
+                    static_cast<unsigned long long>(interval.lo),
+                    static_cast<unsigned long long>(interval.hi),
+                    static_cast<unsigned long long>(local.results));
+      ReportSlowQuery(slow, latency_us, local, sampled.get(), "interval",
+                      detail);
+    } else {
+      slow->NoteFast();
+    }
   }
   if (stats != nullptr) *stats += local;
   return st;
@@ -1311,6 +1393,10 @@ uint64_t SwstIndex::OptionsFingerprint() const {
 }
 
 Status SwstIndex::Save(PageId* meta_page) {
+  obs::RecordEvent(obs::EventType::kCheckpointBegin,
+                   wal_ != nullptr
+                       ? applied_lsn_.load(std::memory_order_acquire)
+                       : 0);
   // Sync the log up front (outside the exclusion, so writers keep going)
   // — the WAL rule would force it during FlushAll anyway; doing it here
   // keeps the forced-sync path cold.
@@ -1414,6 +1500,8 @@ Status SwstIndex::Save(PageId* meta_page) {
   // Only a *durable* checkpoint moves the truncation watermark.
   last_checkpoint_lsn_.store(captured, std::memory_order_release);
   *meta_page = meta_page_;
+  obs::RecordEvent(obs::EventType::kCheckpointEnd, captured,
+                   live_entries.size());
   return Status::OK();
 }
 
@@ -1580,6 +1668,8 @@ Status SwstIndex::ReplayWal(RecoverStats* stats) {
       });
   replaying_ = false;
   if (!result.ok()) return result.status();
+  obs::RecordEvent(obs::EventType::kRecoverReplay, replayed, skipped,
+                   result->last_lsn, result->torn_tail ? 1 : 0);
   if (stats != nullptr) {
     stats->records_replayed = replayed;
     stats->records_skipped = skipped;

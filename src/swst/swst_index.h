@@ -26,6 +26,10 @@
 
 namespace swst {
 
+namespace obs {
+class SlowQueryLog;
+}  // namespace obs
+
 /// Per-query cost counters, matching the metrics reported in the paper's
 /// evaluation (node accesses) plus finer-grained breakdowns. All counters
 /// are computed from per-query locals, so they are exact even when many
@@ -554,10 +558,19 @@ class SwstIndex {
   Status PrepareTree(Shard& shard, uint32_t cell, uint64_t epoch,
                      std::vector<PageId>* retired);
 
-  /// Drops any tree in `cell` whose epoch is < `min_live_epoch`.
+  /// Drops any tree in `cell` whose epoch is < `min_live_epoch`. Each
+  /// dropped tree bumps `*dropped` (when non-null).
   Status DropExpired(Shard& shard, uint32_t cell, uint64_t min_live_epoch,
-                     std::vector<PageId>* retired);
+                     std::vector<PageId>* retired, size_t* dropped = nullptr);
   /// @}
+
+  /// Slow-query accounting shared by the interval and KNN wrappers: fast
+  /// untraced queries tick one relaxed counter; slow or trace-sampled ones
+  /// are admitted to `slow` (with a kSlowQuery flight event when over the
+  /// latency threshold). `sampled` is the auto-attached trace or null.
+  void ReportSlowQuery(obs::SlowQueryLog* slow, uint64_t latency_us,
+                       const QueryStats& stats, const obs::QueryTrace* sampled,
+                       const char* kind, const char* detail);
 
   Status BuildPlan(const TimeInterval& q, const TimeInterval& win,
                    ColumnPlan* plan) const;

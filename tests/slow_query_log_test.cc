@@ -1,0 +1,263 @@
+// Slow-query log: admission policy, worst-N retention, and the contract
+// that a captured entry's counters are exactly the QueryStats the query
+// reported — same numbers the metrics registry aggregated, no resampling.
+
+#include "obs/slow_query_log.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "swst/swst_index.h"
+#include "tests/test_util.h"
+
+namespace swst {
+namespace {
+
+using obs::QueryTrace;
+using obs::SlowQueryLog;
+
+using Counters = std::vector<std::pair<std::string, uint64_t>>;
+
+SlowQueryLog::Options Opts(uint64_t threshold_us, size_t capacity,
+                           uint64_t sample_every = 1u << 30) {
+  SlowQueryLog::Options o;
+  o.latency_threshold_us = threshold_us;
+  o.sample_every = sample_every;
+  o.capacity = capacity;
+  return o;
+}
+
+TEST(SlowQueryLogTest, SlowQueriesAlwaysAdmitted) {
+  SlowQueryLog log(Opts(/*threshold_us=*/100, /*capacity=*/2));
+  log.Record(500, "q1", {}, nullptr);
+  log.Record(700, "q2", {}, nullptr);
+  log.Record(600, "q3", {}, nullptr);  // Evicts the 500us entry.
+  const auto worst = log.Worst();
+  ASSERT_EQ(worst.size(), 2u);
+  EXPECT_EQ(worst[0].latency_us, 700u);
+  EXPECT_EQ(worst[0].description, "q2");
+  EXPECT_EQ(worst[1].latency_us, 600u);
+  const auto st = log.stats();
+  EXPECT_EQ(st.recorded, 3u);
+  EXPECT_EQ(st.admitted, 3u);
+  EXPECT_EQ(st.retained, 2u);
+}
+
+TEST(SlowQueryLogTest, FasterThanRetainedIsDroppedWhenFull) {
+  SlowQueryLog log(Opts(100, 2));
+  log.Record(500, "a", {}, nullptr);
+  log.Record(700, "b", {}, nullptr);
+  log.Record(200, "c", {}, nullptr);  // Slow, but not slower than the min.
+  const auto worst = log.Worst();
+  ASSERT_EQ(worst.size(), 2u);
+  EXPECT_EQ(worst[1].latency_us, 500u);
+  EXPECT_EQ(log.stats().admitted, 2u);
+}
+
+TEST(SlowQueryLogTest, FastQueriesFillButNeverEvict) {
+  SlowQueryLog log(Opts(/*threshold_us=*/1000, /*capacity=*/2));
+  log.Record(5, "warm1", {}, nullptr);   // Below threshold: kept (not full).
+  log.Record(7, "warm2", {}, nullptr);
+  log.Record(9, "warm3", {}, nullptr);   // Full now: fast + untraced drops.
+  EXPECT_EQ(log.stats().retained, 2u);
+  EXPECT_EQ(log.stats().admitted, 2u);
+  EXPECT_EQ(log.stats().recorded, 3u);
+  // A sampled (traced) query still displaces a faster retained one.
+  QueryTrace trace;
+  log.Record(8, "sampled", {}, &trace);
+  const auto worst = log.Worst();
+  ASSERT_EQ(worst.size(), 2u);
+  EXPECT_EQ(worst[0].latency_us, 8u);
+  EXPECT_FALSE(worst[0].trace_text.empty());
+}
+
+TEST(SlowQueryLogTest, ShouldTraceSamplesOneInN) {
+  SlowQueryLog log(Opts(100, 4, /*sample_every=*/4));
+  int sampled = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (log.ShouldTrace()) sampled++;
+  }
+  EXPECT_EQ(sampled, 4);
+  log.NoteFast();
+  log.NoteFast();
+  EXPECT_EQ(log.stats().fast, 2u);
+}
+
+TEST(SlowQueryLogTest, RenderFormats) {
+  SlowQueryLog log(Opts(0, 4));
+  log.Record(12345, "interval t=[0,9]", Counters{{"results", 7}}, nullptr);
+  const auto worst = log.Worst();
+  const std::string text = SlowQueryLog::RenderText(worst);
+  EXPECT_NE(text.find("12.345ms"), std::string::npos);
+  EXPECT_NE(text.find("interval t=[0,9]"), std::string::npos);
+  EXPECT_NE(text.find("results=7"), std::string::npos);
+  const std::string json = SlowQueryLog::RenderJsonLines(worst);
+  EXPECT_NE(json.find("\"latency_us\":12345"), std::string::npos);
+  EXPECT_NE(json.find("\"results\":7"), std::string::npos);
+}
+
+TEST(SlowQueryLogTest, WriteToFdEmitsSummaryLines) {
+  SlowQueryLog log(Opts(0, 4));
+  QueryTrace trace;
+  log.Record(2500, "knn k=5", {}, &trace);
+  FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  log.WriteToFd(fileno(f));
+  std::fflush(f);
+  std::rewind(f);
+  char buf[1024] = {0};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  const std::string out(buf, n);
+  EXPECT_NE(out.find("2.500ms"), std::string::npos);
+  EXPECT_NE(out.find("knn k=5"), std::string::npos);
+  EXPECT_NE(out.find("[traced]"), std::string::npos);
+}
+
+TEST(SlowQueryConcurrencyTest, ConcurrentRecordAndRead) {
+  SlowQueryLog log(Opts(/*threshold_us=*/0, /*capacity=*/8));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&log, t] {
+      for (uint64_t i = 0; i < 2000; ++i) {
+        log.Record(i + static_cast<uint64_t>(t) * 10000, "w",
+                   Counters{{"i", i}}, nullptr);
+        log.NoteFast();
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto worst = log.Worst();
+      ASSERT_LE(worst.size(), 8u);
+      for (size_t i = 1; i < worst.size(); ++i) {
+        ASSERT_GE(worst[i - 1].latency_us, worst[i].latency_us);
+      }
+      (void)log.stats();
+    }
+  });
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  const auto st = log.stats();
+  EXPECT_EQ(st.recorded, 8000u);
+  EXPECT_EQ(st.fast, 8000u);
+  EXPECT_EQ(st.retained, 8u);
+  // The slowest queries overall won: the top of each writer's range.
+  EXPECT_EQ(log.Worst()[0].latency_us, 31999u);
+}
+
+// --- Integration with the index's query wrappers -------------------------
+
+SwstOptions SmallOptions() {
+  SwstOptions o;
+  o.space = Rect{{0, 0}, {1000, 1000}};
+  o.x_partitions = 4;
+  o.y_partitions = 4;
+  o.window_size = 1000;
+  o.slide = 50;
+  o.max_duration = 200;
+  o.duration_interval = 50;
+  o.zcurve_bits = 6;
+  return o;
+}
+
+class SlowQueryIndexTest : public PoolTest {};
+
+// The load-bearing contract: a captured entry's counters are the exact
+// QueryStats of that query — the same struct RecordQueryMetrics fed into
+// the registry and the trace's root span carries. No drift, no sampling.
+TEST_F(SlowQueryIndexTest, CountersSumExactlyToQueryStats) {
+  obs::MetricsRegistry registry;
+  SlowQueryLog log(Opts(/*threshold_us=*/0, /*capacity=*/8,
+                        /*sample_every=*/1));
+  SwstOptions o = SmallOptions();
+  o.metrics = &registry;
+  o.slow_log = &log;
+  auto idx_or = SwstIndex::Create(pool(), o);
+  ASSERT_TRUE(idx_or.ok());
+  auto idx = std::move(*idx_or);
+
+  for (ObjectId i = 0; i < 50; ++i) {
+    ASSERT_OK(idx->Insert(MakeEntry(i, (i * 13) % 1000, (i * 29) % 1000,
+                                    100 + i, 50)));
+  }
+
+  QueryStats stats;
+  auto r = idx->IntervalQuery(Rect{{0, 0}, {600, 600}}, {100, 160},
+                              QueryOptions{}, &stats);
+  ASSERT_TRUE(r.ok());
+
+  const auto worst = log.Worst();
+  ASSERT_FALSE(worst.empty());
+  // Newest admission = this query (threshold 0 admits everything).
+  const SlowQueryLog::Entry* entry = &worst[0];
+  for (const auto& e : worst) {
+    if (e.seq > entry->seq) entry = &e;
+  }
+  std::map<std::string, uint64_t> got(entry->counters.begin(),
+                                      entry->counters.end());
+  EXPECT_EQ(got.at("node_accesses"), stats.node_accesses);
+  EXPECT_EQ(got.at("spatial_cells"), stats.spatial_cells);
+  EXPECT_EQ(got.at("cells_visited"), stats.cells_visited);
+  EXPECT_EQ(got.at("cells_pruned"), stats.cells_pruned);
+  EXPECT_EQ(got.at("memo_pruned_columns"), stats.memo_pruned_columns);
+  EXPECT_EQ(got.at("live_candidates"), stats.live_candidates);
+  EXPECT_EQ(got.at("live_results"), stats.live_results);
+  EXPECT_EQ(got.at("live_only_cells"), stats.live_only_cells);
+  EXPECT_EQ(got.at("results"), static_cast<uint64_t>(r->size()));
+  // sample_every=1: the query was traced, and the trace's root counters
+  // must agree with the same QueryStats.
+  EXPECT_FALSE(entry->trace_text.empty());
+  EXPECT_NE(entry->trace_text.find(
+                "node_accesses=" + std::to_string(stats.node_accesses)),
+            std::string::npos);
+  EXPECT_NE(entry->trace_text.find(
+                "results=" + std::to_string(r->size())),
+            std::string::npos);
+  EXPECT_NE(entry->description.find("interval"), std::string::npos);
+}
+
+// Every query is accounted exactly once: recorded + fast == queries run,
+// and the registry's query counter saw the same total.
+TEST_F(SlowQueryIndexTest, EveryQueryAccountedOnce) {
+  obs::MetricsRegistry registry;
+  // Huge threshold + sparse sampling: most queries take the NoteFast path.
+  SlowQueryLog log(Opts(/*threshold_us=*/10000000, /*capacity=*/4,
+                        /*sample_every=*/5));
+  SwstOptions o = SmallOptions();
+  o.metrics = &registry;
+  o.slow_log = &log;
+  auto idx_or = SwstIndex::Create(pool(), o);
+  ASSERT_TRUE(idx_or.ok());
+  auto idx = std::move(*idx_or);
+  ASSERT_OK(idx->Insert(MakeEntry(1, 10, 10, 100, 50)));
+
+  constexpr uint64_t kQueries = 20;
+  for (uint64_t i = 0; i < kQueries; ++i) {
+    auto r = idx->IntervalQuery(Rect{{0, 0}, {100, 100}}, {100, 150});
+    ASSERT_TRUE(r.ok());
+  }
+  auto knn = idx->Knn(Point{10, 10}, 1, {100, 150});
+  ASSERT_TRUE(knn.ok());
+
+  const auto st = log.stats();
+  EXPECT_EQ(st.recorded + st.fast, kQueries + 1);
+  // 1 in 5 sampled: 21 queries -> ticks 0,5,10,15,20 traced and recorded.
+  EXPECT_EQ(st.recorded, 5u);
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"swst_index_queries_total\": 21"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swst

@@ -54,7 +54,10 @@ read path from regressing back to lock-based behavior:
   - tail latency must not blow up under parallelism: on machines with
     hw_concurrency >= 8, the 8-thread read_only p99 must stay within 4x
     of the 1-thread p99 (skipped on smaller machines, where 8 threads
-    time-slicing few cores makes the tail scheduler-bound).
+    time-slicing few cores makes the tail scheduler-bound);
+  - the always-on flight recorder must be nearly free: the top-level
+    "recorder" A/B block must report qps_on >= 0.95 * qps_off — enabling
+    event recording may cost at most 5% of mixed-mode throughput.
 
 Exit status 0 on success, 1 on any mismatch (all mismatches are listed).
 """
@@ -296,6 +299,18 @@ def check_scaling_gates(cur, errors):
                 errors.append(
                     f"read_only tail latency: 8-thread p99 {p99_8:.1f}us "
                     f"exceeds 4x the 1-thread p99 {p99_1:.1f}us")
+    rec = cur.get("recorder")
+    if not isinstance(rec, dict):
+        errors.append("recorder: missing overhead A/B block")
+    else:
+        on, off = rec.get("qps_on"), rec.get("qps_off")
+        if not (is_number(on) and is_number(off)):
+            errors.append("recorder: qps_on/qps_off missing or not numbers")
+        elif off > 0 and on < 0.95 * off:
+            errors.append(
+                f"recorder overhead: {on:.1f} QPS with the flight recorder "
+                f"enabled vs {off:.1f} disabled ({on / off:.3f}x, below the "
+                f"0.95x gate) — always-on recording must cost at most 5%")
 
 
 def main(argv):

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Smoke tests for swst_cli. Usage: smoke_test.sh <path-to-swst_cli> <mode>
-# Modes: basic | persistence | verify | observability
+# Modes: basic | persistence | verify | observability | telemetry
 set -eu
 
 CLI="$1"
@@ -79,6 +79,51 @@ case "$MODE" in
     echo "$out" | grep -q '"counters"'
     echo "$out" | grep -q '"swst_index_clock"'
     echo "observability smoke ok"
+    ;;
+  telemetry)
+    db=$(mktemp -u /tmp/swst_cli_XXXXXX.db)
+    crash=$(mktemp -u /tmp/swst_cli_XXXXXX.crash)
+    trap 'rm -f "$db" "$crash"' EXIT
+    # Shell session with the full telemetry stack: --slow-us 0 classifies
+    # every query as slow, so `events` and `slow` are guaranteed non-empty.
+    out=$(printf 'insert 7 10 10 5 50\nadvance 30\nquery 0 0 1000 1000 10 60\nsave\nevents\nslow\ntop\nhealthz\nquit\n' \
+          | "$CLI" --db "$db" $FLAGS --slow-us 0)
+    echo "$out"
+    echo "$out" | grep -q 'window_advance'       # events: advance 30
+    echo "$out" | grep -q 'slow_query'           # events: the query
+    echo "$out" | grep -q 'checkpoint_begin'     # events: save
+    echo "$out" | grep -q 'checkpoint_end'
+    echo "$out" | grep -q 'interval'             # slow: query description
+    echo "$out" | grep -q '\[traced\]\|node_accesses='  # slow: captured detail
+    echo "$out" | grep -q 'swst_index_queries_total'    # top: rates lines
+    echo "$out" | grep -q '"status": "ok"'       # healthz document
+    echo "$out" | grep -q '"recorder": {"enabled": true'
+    echo "$out" | grep -q '"slow_queries"'
+    # One-shot ops modes against the saved db (each runs a traced probe).
+    out=$("$CLI" events --db "$db" $FLAGS --slow-us 0)
+    echo "$out" | grep -q 'slow_query'
+    out=$("$CLI" slow --db "$db" $FLAGS --json)
+    echo "$out" | grep -q '"latency_us"'
+    out=$("$CLI" top --db "$db" $FLAGS --json)
+    echo "$out" | grep -q '"rates"'
+    out=$("$CLI" healthz --db "$db" $FLAGS)
+    echo "$out" | grep -q '"status": "ok"'
+    echo "$out" | grep -q '"qps"'
+    # Forced fatal error: the black box dumps to stderr and the crash file,
+    # then the process dies by SIGABRT (exit 128+6).
+    rc=0
+    printf 'insert 8 20 20 5 50\ncrash\n' \
+      | "$CLI" --db "$db" $FLAGS --crash-file "$crash" >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 134 ]; then
+      echo "crash command should die by SIGABRT (got rc=$rc)" >&2
+      exit 1
+    fi
+    grep -q '=== SWST BLACK BOX ===' "$crash"
+    grep -q 'reason: operator-requested crash' "$crash"
+    grep -q '=== END SWST BLACK BOX ===' "$crash"
+    # Exactly one dump: Fatal's abort must not re-trigger via SIGABRT.
+    [ "$(grep -c '=== SWST BLACK BOX ===' "$crash")" -eq 1 ]
+    echo "telemetry smoke ok"
     ;;
   *)
     echo "unknown mode: $MODE" >&2

@@ -3,10 +3,11 @@
 // Usage:
 //   swst_cli [--db FILE] [--wal DIR] [--window W] [--slide L] [--dmax D]
 //            [--delta d] [--grid N] [--space MAX] [--pool PAGES]
-//            [--stats-dump-ms N]
+//            [--stats-dump-ms N] [--json] [--slow-us N] [--crash-file FILE]
 //   swst_cli verify --db FILE [--legacy-stats] [index options as above]
 //   swst_cli stats --db FILE [index options as above]
 //   swst_cli recover --db FILE --wal DIR [index options as above]
+//   swst_cli events|slow|top|healthz --db FILE [--json] [--slow-us N]
 //
 // `verify` opens FILE read-only, reads every page (which checks the
 // per-page checksums), then opens the index and runs CountEntries +
@@ -48,8 +49,20 @@
 //   save                              persist (needs --db)
 //   help | quit
 //
+// The observability stack is always on in shell mode: the process-wide
+// flight recorder, a slow-query log (threshold `--slow-us`, default
+// 10000; 0 admits everything — handy for scripts), a metrics history
+// sampler, and the black-box fatal-signal dump (`--crash-file FILE`
+// additionally persists the dump). The shell commands `events`, `slow`,
+// `top`, and `healthz` render them on the live index; the standalone
+// modes of the same names open `--db FILE` read-only, run a small probe
+// workload, and render the same surfaces. `--json` switches `events`,
+// `slow`, and `top` to machine-readable output (`healthz` is always
+// JSON). See docs/observability.md for the schemas.
+//
 // `--stats-dump-ms N` starts a background thread that writes the metrics
-// JSON to stderr every N milliseconds (plus one final dump on exit).
+// as self-contained JSON lines to stderr every N milliseconds (plus one
+// final dump on exit).
 //
 // Example:
 //   printf 'report 1 10 20 100\nslice 0 0 50 50 100\nquit\n' | swst_cli
@@ -64,7 +77,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/black_box.h"
+#include "obs/flight_recorder.h"
+#include "obs/history_ring.h"
 #include "obs/metrics.h"
+#include "obs/slow_query_log.h"
 #include "obs/stats_dumper.h"
 #include "obs/trace.h"
 #include "storage/buffer_pool.h"
@@ -82,6 +99,9 @@ struct CliConfig {
   size_t pool_pages = 4096;
   bool legacy_stats = false;     ///< verify: old `verify: io ...` line.
   uint64_t stats_dump_ms = 0;    ///< Periodic JSON dump to stderr (0 = off).
+  bool json = false;             ///< events/slow/top: JSON output.
+  uint64_t slow_us = 10000;      ///< Slow-query threshold (0 = keep all).
+  std::string crash_file;        ///< Black-box dump file ("" = stderr only).
 };
 
 void PrintEntry(const Entry& e) {
@@ -114,7 +134,156 @@ void PrintHelp() {
       "  explain <xlo> <ylo> <xhi> <yhi> <tlo> <thi> [logical_window]\n"
       "  knn <x> <y> <k> <tlo> <thi>\n"
       "  advance <t> | window | stats | metrics | save | checkpoint\n"
+      "  events [text|json]    last flight-recorder events\n"
+      "  slow [text|json]      worst captured queries\n"
+      "  top [text|json]       metric rates over the history window\n"
+      "  healthz               one-line health summary (JSON)\n"
+      "  crash                 force a black-box dump and abort\n"
       "  help | quit\n");
+}
+
+// ---------------------------------------------------------------------------
+// Ops surface: shared renderers for the `events` / `slow` / `top` /
+// `healthz` shell commands and the standalone modes of the same names.
+
+void PrintEvents(bool json) {
+  const auto events = obs::FlightRecorder::Global().Dump(/*max_events=*/256);
+  if (json) {
+    std::fputs(obs::FlightRecorder::RenderJsonLines(events).c_str(), stdout);
+  } else {
+    std::fputs(obs::FlightRecorder::RenderText(events).c_str(), stdout);
+    if (events.empty()) std::printf("(no events recorded)\n");
+  }
+}
+
+void PrintSlow(const obs::SlowQueryLog& slow, bool json) {
+  const auto worst = slow.Worst();
+  if (json) {
+    std::fputs(obs::SlowQueryLog::RenderJsonLines(worst).c_str(), stdout);
+  } else {
+    std::fputs(obs::SlowQueryLog::RenderText(worst).c_str(), stdout);
+    if (worst.empty()) std::printf("(no slow queries captured)\n");
+  }
+}
+
+void PrintTop(obs::MetricsHistory* history, bool json) {
+  history->SampleNow();  // A fresh endpoint so rates cover "now".
+  if (json) {
+    std::printf("%s\n", history->RenderRatesJson().c_str());
+  } else {
+    std::fputs(history->RenderRatesText().c_str(), stdout);
+  }
+}
+
+/// The `healthz` JSON document (schema: docs/observability.md). Rates come
+/// from the metrics history; recorder/slow-log health from their stats.
+std::string RenderHealthz(const obs::SlowQueryLog& slow,
+                          obs::MetricsHistory* history) {
+  history->SampleNow();
+  const obs::FlightRecorder::Stats rec =
+      obs::FlightRecorder::Global().stats();
+  const obs::SlowQueryLog::Stats sq = slow.stats();
+  double qps = 0.0, write_qps = 0.0;
+  long long live_entries = 0, epoch_pending = 0;
+  for (const auto& r : history->Rates()) {
+    if (r.name == "swst_index_queries_total") {
+      qps = r.per_second;
+    } else if (r.name == "swst_index_inserts_total") {
+      write_qps = r.per_second;
+    } else if (r.name == "swst_live_entries") {
+      live_entries = r.latest;
+    } else if (r.name == "swst_epoch_pending") {
+      epoch_pending = r.latest;
+    }
+  }
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"status\": \"ok\", \"samples\": %llu, \"qps\": %.1f, "
+      "\"write_qps\": %.1f, \"live_entries\": %lld, \"epoch_pending\": %lld, "
+      "\"recorder\": {\"enabled\": %s, \"emitted\": %llu, \"retained\": %llu, "
+      "\"overwritten\": %llu, \"threads\": %llu}, "
+      "\"slow_queries\": {\"recorded\": %llu, \"fast\": %llu, "
+      "\"admitted\": %llu, \"retained\": %llu}}",
+      static_cast<unsigned long long>(history->sample_count()), qps,
+      write_qps, live_entries, epoch_pending,
+      obs::FlightRecorder::Global().enabled() ? "true" : "false",
+      static_cast<unsigned long long>(rec.emitted),
+      static_cast<unsigned long long>(rec.retained),
+      static_cast<unsigned long long>(rec.overwritten),
+      static_cast<unsigned long long>(rec.threads),
+      static_cast<unsigned long long>(sq.recorded),
+      static_cast<unsigned long long>(sq.fast),
+      static_cast<unsigned long long>(sq.admitted),
+      static_cast<unsigned long long>(sq.retained));
+  return buf;
+}
+
+/// `swst_cli events|slow|top|healthz --db FILE`: opens the index
+/// read-only, runs a small probe workload (one structural walk + one
+/// full-domain interval query) through the observability stack, and
+/// renders the requested surface. The probe query is always traced
+/// (sample_every=1), so `slow` has at least one entry; pass `--slow-us 0`
+/// to also force it over the threshold (guaranteeing a kSlowQuery flight
+/// event for `events`).
+int RunOps(const CliConfig& cfg, const std::string& surface) {
+  if (cfg.db_path.empty()) {
+    std::fprintf(stderr, "%s: --db FILE is required\n", surface.c_str());
+    return 2;
+  }
+  FILE* probe = std::fopen(cfg.db_path.c_str(), "rb");
+  if (probe == nullptr) {
+    std::fprintf(stderr, "%s: %s: no such file\n", surface.c_str(),
+                 cfg.db_path.c_str());
+    return 1;
+  }
+  std::fclose(probe);
+  auto p = Pager::OpenFile(cfg.db_path, /*truncate=*/false);
+  if (!p.ok()) {
+    std::fprintf(stderr, "%s: open %s: %s\n", surface.c_str(),
+                 cfg.db_path.c_str(), p.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Pager> pager = std::move(*p);
+  obs::MetricsRegistry registry;
+  obs::SlowQueryLog slow_log(obs::SlowQueryLog::Options{
+      cfg.slow_us, /*sample_every=*/1, /*capacity=*/32});
+  obs::MetricsHistory history(&registry);
+  BufferPool pool(pager.get(), cfg.pool_pages, /*partitions=*/0, &registry);
+  SwstOptions opts = cfg.options;
+  opts.metrics = &registry;
+  opts.slow_log = &slow_log;
+  auto idx = SwstIndex::Open(&pool, opts, /*meta_page=*/1);
+  if (!idx.ok()) {
+    std::fprintf(stderr, "%s: open index: %s\n", surface.c_str(),
+                 idx.status().ToString().c_str());
+    return 1;
+  }
+  history.SampleNow();  // Baseline sample, before the probe workload.
+  auto dbg = (*idx)->GetDebugStats();
+  if (!dbg.ok()) {
+    std::fprintf(stderr, "%s: GetDebugStats: %s\n", surface.c_str(),
+                 dbg.status().ToString().c_str());
+    return 1;
+  }
+  QueryStats qs;
+  auto r = (*idx)->IntervalQuery(opts.space, {0, (*idx)->now()},
+                                 QueryOptions{}, &qs);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s: probe query: %s\n", surface.c_str(),
+                 r.status().ToString().c_str());
+    return 1;
+  }
+  if (surface == "events") {
+    PrintEvents(cfg.json);
+  } else if (surface == "slow") {
+    PrintSlow(slow_log, cfg.json);
+  } else if (surface == "top") {
+    PrintTop(&history, cfg.json);
+  } else {
+    std::printf("%s\n", RenderHealthz(slow_log, &history).c_str());
+  }
+  return 0;
 }
 
 /// `swst_cli verify --db FILE`: offline integrity check. Every page read
@@ -339,18 +508,10 @@ int RunRecover(const CliConfig& cfg) {
 
 int main(int argc, char** argv) {
   CliConfig cfg;
-  bool verify_mode = false;
-  bool stats_mode = false;
-  bool recover_mode = false;
+  std::string mode;
   int first_flag = 1;
-  if (argc > 1 && std::strcmp(argv[1], "verify") == 0) {
-    verify_mode = true;
-    first_flag = 2;
-  } else if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
-    stats_mode = true;
-    first_flag = 2;
-  } else if (argc > 1 && std::strcmp(argv[1], "recover") == 0) {
-    recover_mode = true;
+  if (argc > 1 && argv[1][0] != '-') {
+    mode = argv[1];
     first_flag = 2;
   }
   for (int i = first_flag; i < argc; ++i) {
@@ -388,14 +549,28 @@ int main(int argc, char** argv) {
       cfg.legacy_stats = true;
     } else if (std::strcmp(argv[i], "--stats-dump-ms") == 0) {
       cfg.stats_dump_ms = std::strtoull(next("--stats-dump-ms"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      cfg.json = true;
+    } else if (std::strcmp(argv[i], "--slow-us") == 0) {
+      cfg.slow_us = std::strtoull(next("--slow-us"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--crash-file") == 0) {
+      cfg.crash_file = next("--crash-file");
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
     }
   }
-  if (verify_mode) return RunVerify(cfg);
-  if (stats_mode) return RunStats(cfg);
-  if (recover_mode) return RunRecover(cfg);
+  if (mode == "verify") return RunVerify(cfg);
+  if (mode == "stats") return RunStats(cfg);
+  if (mode == "recover") return RunRecover(cfg);
+  if (mode == "events" || mode == "slow" || mode == "top" ||
+      mode == "healthz") {
+    return RunOps(cfg, mode);
+  }
+  if (!mode.empty()) {
+    std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
+    return 2;
+  }
 
   // Storage: file-backed (persistent) or in-memory.
   std::unique_ptr<Pager> pager;
@@ -420,6 +595,20 @@ int main(int argc, char** argv) {
   // The Wal is declared before the pool for the same reason: the pool's
   // destructor-time flush enforces the WAL rule against it.
   obs::MetricsRegistry registry;
+  // Observability stack, always on. The slow-query log is wired into the
+  // index via options and must outlive it; the history sampler snapshots
+  // the registry every second; the black box dumps all three (plus the
+  // process-wide flight recorder) on any fatal signal or the `crash`
+  // command. Both are declared right after the registry so they are
+  // destroyed after the index but before the registry.
+  obs::SlowQueryLog slow_log(obs::SlowQueryLog::Options{
+      cfg.slow_us, /*sample_every=*/256, /*capacity=*/32});
+  obs::MetricsHistory history(&registry);
+  history.Start();
+  obs::BlackBox::Install(
+      obs::BlackBox::Sources{&obs::FlightRecorder::Global(), &slow_log,
+                             &history},
+      cfg.crash_file);
   std::unique_ptr<WalStore> wal_store;
   std::unique_ptr<Wal> wal;
   if (!cfg.wal_dir.empty()) {
@@ -442,6 +631,7 @@ int main(int argc, char** argv) {
   BufferPool pool(pager.get(), cfg.pool_pages, /*partitions=*/0, &registry);
   if (wal != nullptr) pool.AttachWal(wal.get());
   cfg.options.metrics = &registry;
+  cfg.options.slow_log = &slow_log;
   cfg.options.wal = wal.get();
 
   // The metadata page chain head lives at a known page right after the
@@ -482,9 +672,8 @@ int main(int argc, char** argv) {
   if (cfg.stats_dump_ms > 0) {
     dumper = std::make_unique<obs::StatsDumper>(
         &registry, std::chrono::milliseconds(cfg.stats_dump_ms),
-        [](const std::string& json) {
-          std::fprintf(stderr, "%s\n", json.c_str());
-        });
+        [](const std::string& json) { std::fputs(json.c_str(), stderr); },
+        obs::StatsDumper::Format::kJsonLines);
   }
 
   std::unordered_map<ObjectId, Entry> open_entries;
@@ -684,6 +873,22 @@ int main(int argc, char** argv) {
                   s->memo_bytes,
                   static_cast<unsigned long long>(
                       pager->live_page_count()));
+    } else if (cmd == "events" || cmd == "slow" || cmd == "top") {
+      std::string fmt;
+      const bool json = (in >> fmt) ? fmt == "json" : cfg.json;
+      if (cmd == "events") {
+        PrintEvents(json);
+      } else if (cmd == "slow") {
+        PrintSlow(slow_log, json);
+      } else {
+        PrintTop(&history, json);
+      }
+    } else if (cmd == "healthz") {
+      std::printf("%s\n", RenderHealthz(slow_log, &history).c_str());
+    } else if (cmd == "crash") {
+      // Deliberate black-box exercise: dumps the flight recorder, slow
+      // log, and last metrics sample, then aborts the process.
+      obs::BlackBox::Fatal("operator-requested crash (crash command)");
     } else if (cmd == "save") {
       if (cfg.db_path.empty()) {
         std::printf("error: no --db file\n");
